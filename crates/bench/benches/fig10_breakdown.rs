@@ -1,0 +1,58 @@
+//! Figure 10: end-to-end stage breakdown on the 2TB-analog (distorted)
+//! and TIGER-analog datasets. Criterion times the full pipelines; the
+//! per-stage split is printed by `cargo run -p bench --bin repro -- fig10`.
+
+use bench::scale::Scale;
+use bench::setup::{build_runner, experiment_config, ModeChoice, StrategyChoice};
+use criterion::{criterion_group, criterion_main, Criterion};
+use dod_core::{OutlierParams, Rect};
+use dod_data::hierarchy::{hierarchy_dataset, HierarchyLevel};
+use dod_data::{distort, tiger_analog};
+use std::time::Duration;
+
+fn bench_fig10(c: &mut Criterion) {
+    let scale = Scale::small();
+    let params = OutlierParams::new(0.8, 4).unwrap();
+
+    // Panel (a): distorted dataset.
+    let (base, domain) =
+        hierarchy_dataset(HierarchyLevel::UnitedStates, scale.distort_base / 16, 101);
+    let distorted = distort(&base, &domain, 3, 0.3, 102);
+    let mut group = c.benchmark_group("fig10a_distorted");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for (name, strategy, mode) in [
+        ("domain_cell_based", StrategyChoice::Domain, ModeChoice::CellBased),
+        ("unispace_cell_based", StrategyChoice::UniSpace, ModeChoice::CellBased),
+        ("ddriven_cell_based", StrategyChoice::DDriven, ModeChoice::CellBased),
+        ("dmt", StrategyChoice::Dmt, ModeChoice::MultiTactic),
+    ] {
+        group.bench_function(name, |b| {
+            let runner = build_runner(strategy, mode, experiment_config(params));
+            b.iter(|| runner.run(&distorted).unwrap())
+        });
+    }
+    group.finish();
+
+    // Panel (b): TIGER analog.
+    let tiger_params = OutlierParams::new(0.4, 4).unwrap();
+    let tiger_domain = Rect::new(vec![0.0, 0.0], vec![200.0, 200.0]).unwrap();
+    let tiger = tiger_analog(&tiger_domain, scale.tiger_n, 60, 103);
+    let mut group = c.benchmark_group("fig10b_tiger");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for (name, strategy, mode) in [
+        ("cdriven_nested_loop", StrategyChoice::CDriven, ModeChoice::NestedLoop),
+        ("cdriven_cell_based", StrategyChoice::CDriven, ModeChoice::CellBased),
+        ("dmt", StrategyChoice::Dmt, ModeChoice::MultiTactic),
+    ] {
+        group.bench_function(name, |b| {
+            let runner = build_runner(strategy, mode, experiment_config(tiger_params));
+            b.iter(|| runner.run(&tiger).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 4(a): Nested-Loop execution time on D-Sparse vs D-Dense
+//! (equal cardinality, 4x density contrast; r = 5, k = 4).
+
+use bench::scale::Scale;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dod_core::OutlierParams;
+use dod_data::uniform::sparse_dense_pair;
+use dod_detect::{Detector, NestedLoop, Partition};
+use std::time::Duration;
+
+fn bench_fig4(c: &mut Criterion) {
+    let scale = Scale::small();
+    let params = OutlierParams::new(5.0, 4).unwrap();
+    let (sparse, dense) = sparse_dense_pair(scale.fig45_n, 41);
+    let sparse = Partition::standalone(sparse);
+    let dense = Partition::standalone(dense);
+
+    let mut group = c.benchmark_group("fig4_density_sensitivity");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("nested_loop/D-Sparse", |b| {
+        b.iter(|| NestedLoop::default().detect(&sparse, params))
+    });
+    group.bench_function("nested_loop/D-Dense", |b| {
+        b.iter(|| NestedLoop::default().detect(&dense, params))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

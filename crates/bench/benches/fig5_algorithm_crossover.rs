@@ -1,0 +1,36 @@
+//! Figure 5: Nested-Loop vs Cell-Based across the density-measure sweep
+//! (sparse extreme, intermediate band, dense extreme).
+
+use bench::scale::Scale;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dod_core::OutlierParams;
+use dod_data::uniform::uniform_with_density_measure;
+use dod_detect::{CellBased, Detector, NestedLoop, Partition};
+use std::time::Duration;
+
+fn bench_fig5(c: &mut Criterion) {
+    let scale = Scale::small();
+    let params = OutlierParams::new(5.0, 4).unwrap();
+
+    let mut group = c.benchmark_group("fig5_algorithm_crossover");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for (i, measure) in [0.1, 3.0, 30.0].into_iter().enumerate() {
+        let (data, _) = uniform_with_density_measure(scale.fig45_n, params.r, measure, 51 + i as u64);
+        let partition = Partition::standalone(data);
+        group.bench_with_input(
+            BenchmarkId::new("cell_based", measure),
+            &partition,
+            |b, p| b.iter(|| CellBased::default().detect(p, params)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("nested_loop", measure),
+            &partition,
+            |b, p| b.iter(|| NestedLoop::default().detect(p, params)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

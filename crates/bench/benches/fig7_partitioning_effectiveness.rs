@@ -1,0 +1,38 @@
+//! Figure 7: partitioning-strategy effectiveness on the four region
+//! analogs (Domain / uniSpace / DDriven / CDriven), with the reducer-side
+//! detector fixed to Nested-Loop (panel a) and Cell-Based (panel b).
+
+use bench::scale::Scale;
+use bench::setup::{build_runner, experiment_config, ModeChoice, StrategyChoice};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dod_core::OutlierParams;
+use dod_data::region::{region_dataset, Region};
+use std::time::Duration;
+
+fn bench_fig7(c: &mut Criterion) {
+    let scale = Scale::small();
+    let params = OutlierParams::new(0.8, 4).unwrap();
+
+    for (panel, mode) in [("a_nested_loop", ModeChoice::NestedLoop), ("b_cell_based", ModeChoice::CellBased)] {
+        let mut group = c.benchmark_group(format!("fig7{panel}"));
+        group.sample_size(10).warm_up_time(Duration::from_millis(300));
+        group.measurement_time(Duration::from_secs(2));
+        for region in Region::ALL {
+            let (data, _) = region_dataset(region, scale.region_n, 71);
+            for strategy in StrategyChoice::FIG78 {
+                group.bench_with_input(
+                    BenchmarkId::new(strategy.label(), region.abbrev()),
+                    &data,
+                    |b, data| {
+                        let runner = build_runner(strategy, mode, experiment_config(params));
+                        b.iter(|| runner.run(data).unwrap())
+                    },
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 8: partitioning-strategy scalability across the MA → Planet
+//! hierarchy.
+
+use bench::scale::Scale;
+use bench::setup::{build_runner, experiment_config, ModeChoice, StrategyChoice};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dod_core::OutlierParams;
+use dod_data::hierarchy::{hierarchy_dataset, HierarchyLevel};
+use std::time::Duration;
+
+fn bench_fig8(c: &mut Criterion) {
+    let scale = Scale::small();
+    let params = OutlierParams::new(0.8, 4).unwrap();
+
+    let mut group = c.benchmark_group("fig8_partitioning_scalability");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for level in HierarchyLevel::ALL {
+        let (data, _) = hierarchy_dataset(level, scale.hierarchy_base, 81);
+        group.throughput(Throughput::Elements(data.len() as u64));
+        for strategy in StrategyChoice::FIG78 {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.label(), level.abbrev()),
+                &data,
+                |b, data| {
+                    let runner =
+                        build_runner(strategy, ModeChoice::NestedLoop, experiment_config(params));
+                    b.iter(|| runner.run(data).unwrap())
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

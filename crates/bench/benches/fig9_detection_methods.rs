@@ -1,0 +1,60 @@
+//! Figure 9: detection methods (Nested-Loop / Cell-Based on CDriven
+//! partitioning, vs the full DMT) across distributions and sizes.
+
+use bench::scale::Scale;
+use bench::setup::{build_runner, experiment_config, ModeChoice, StrategyChoice};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dod_core::OutlierParams;
+use dod_data::hierarchy::{hierarchy_dataset, HierarchyLevel};
+use dod_data::region::{region_dataset, Region};
+use std::time::Duration;
+
+const METHODS: [(&str, StrategyChoice, ModeChoice); 3] = [
+    ("nested_loop", StrategyChoice::CDriven, ModeChoice::NestedLoop),
+    ("cell_based", StrategyChoice::CDriven, ModeChoice::CellBased),
+    ("dmt", StrategyChoice::Dmt, ModeChoice::MultiTactic),
+];
+
+fn bench_fig9(c: &mut Criterion) {
+    let scale = Scale::small();
+    let params = OutlierParams::new(0.8, 4).unwrap();
+
+    let mut group = c.benchmark_group("fig9a_distributions");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for region in Region::ALL {
+        let (data, _) = region_dataset(region, scale.region_n, 91);
+        for (name, strategy, mode) in METHODS {
+            group.bench_with_input(
+                BenchmarkId::new(name, region.abbrev()),
+                &data,
+                |b, data| {
+                    let runner = build_runner(strategy, mode, experiment_config(params));
+                    b.iter(|| runner.run(data).unwrap())
+                },
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig9b_scalability");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for level in HierarchyLevel::ALL {
+        let (data, _) = hierarchy_dataset(level, scale.hierarchy_base, 92);
+        for (name, strategy, mode) in METHODS {
+            group.bench_with_input(
+                BenchmarkId::new(name, level.abbrev()),
+                &data,
+                |b, data| {
+                    let runner = build_runner(strategy, mode, experiment_config(params));
+                    b.iter(|| runner.run(data).unwrap())
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

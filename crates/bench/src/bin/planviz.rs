@@ -1,0 +1,63 @@
+//! Renders every partitioning strategy's plan for a dataset as SVG files
+//! — the visual counterpart of `diag`.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin planviz -- [region|hierarchy|tiger] [out_dir]
+//! ```
+
+use bench::scale::Scale;
+use bench::svg::write_plan_svg;
+use dod::prelude::*;
+use dod_core::Rect;
+use dod_data::hierarchy::{hierarchy_dataset, HierarchyLevel};
+use dod_data::region::{region_dataset, Region};
+use dod_data::tiger_analog;
+use dod_detect::cost::PAPER_CANDIDATES;
+use dod_partition::{sample_points, LocalCostEstimator, PlanContext};
+
+fn main() -> std::io::Result<()> {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "region".into());
+    let out_dir = std::env::args().nth(2).unwrap_or_else(|| ".".into());
+    let scale = Scale::small();
+    let (data, params) = match which.as_str() {
+        "hierarchy" => {
+            let (d, _) = hierarchy_dataset(HierarchyLevel::NewEngland, scale.hierarchy_base, 81);
+            (d, OutlierParams::new(2.0, 4).unwrap())
+        }
+        "tiger" => {
+            let domain = Rect::new(vec![0.0, 0.0], vec![200.0, 200.0]).unwrap();
+            (tiger_analog(&domain, scale.tiger_n, 60, 103), OutlierParams::new(0.4, 4).unwrap())
+        }
+        _ => {
+            let (d, _) = region_dataset(Region::Massachusetts, scale.region_n, 71);
+            (d, OutlierParams::new(1.8, 4).unwrap())
+        }
+    };
+
+    let domain = data.bounding_rect().expect("non-empty data");
+    let sample = sample_points(&data, 0.05, 7);
+    let ctx = PlanContext::new(params, 64, 0.05);
+    let estimator = LocalCostEstimator::new(&domain, &sample, 0.05, params, 32);
+
+    std::fs::create_dir_all(&out_dir)?;
+    let strategies: Vec<(&str, Box<dyn PartitionStrategy>)> = vec![
+        ("unispace", Box::new(UniSpace)),
+        ("ddriven", Box::new(DDriven)),
+        ("cdriven", Box::new(CDriven::new(AlgorithmKind::NestedLoop))),
+        ("dmt", Box::new(Dmt::default())),
+    ];
+    for (name, strategy) in strategies {
+        let plan = strategy.build_plan(&sample, &domain, &ctx);
+        let estimates = estimator.estimate(&plan, &sample, PAPER_CANDIDATES);
+        let algorithms: Vec<_> = estimates.iter().map(|e| e.best().0).collect();
+        let path = std::path::Path::new(&out_dir).join(format!("plan_{which}_{name}.svg"));
+        write_plan_svg(&path, &plan, Some(&sample), Some(&algorithms))?;
+        println!(
+            "{:<10} {:>4} partitions -> {}",
+            name,
+            plan.num_partitions(),
+            path.display()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,294 @@
+//! Hand-rolled argument parsing for the `dod` binary (no external CLI
+//! dependency).
+
+use dod_core::{CoreError, Metric, OutlierParams};
+use dod_detect::cost::AlgorithmKind;
+
+/// Partitioning strategy selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyArg {
+    /// Grid without supporting areas (two-job baseline).
+    Domain,
+    /// Equi-width grid.
+    UniSpace,
+    /// Cardinality-balanced splits.
+    DDriven,
+    /// Cost-balanced splits.
+    CDriven,
+    /// DSHC density clustering (default).
+    Dmt,
+}
+
+/// Detection mode selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModeArg {
+    /// Per-partition selection (default).
+    MultiTactic,
+    /// A fixed detector everywhere.
+    Fixed(AlgorithmKind),
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Input CSV path.
+    pub input: String,
+    /// Outlier parameters.
+    pub params: OutlierParams,
+    /// Partitioning strategy.
+    pub strategy: StrategyArg,
+    /// Detection mode.
+    pub mode: ModeArg,
+    /// Number of reducers.
+    pub reducers: usize,
+    /// Target partitions.
+    pub partitions: usize,
+    /// Sampling rate Υ.
+    pub sample_rate: f64,
+    /// Optional output CSV for outlier rows.
+    pub output: Option<String>,
+    /// Print the per-stage report.
+    pub report: bool,
+}
+
+/// Usage string printed on `--help` or bad arguments.
+pub const USAGE: &str = "\
+dod — exact distance-based outlier detection over CSV files
+
+USAGE:
+    dod --input <points.csv> --r <radius> --k <count> [options]
+
+A point is an outlier iff it has fewer than k neighbors within distance r.
+Rows of the CSV are comma-separated coordinates (any dimensionality).
+
+OPTIONS:
+    --input <path>          input CSV (required)
+    --r <float>             distance threshold (required, > 0)
+    --k <int>               neighbor-count threshold (required, >= 1)
+    --strategy <name>       domain | unispace | ddriven | cdriven | dmt  [dmt]
+    --mode <name>           mt | nl | cb | ib | pb                       [mt]
+    --reducers <int>        number of reduce tasks                       [16]
+    --partitions <int>      target partition count                      [64]
+    --metric <name>         euclidean | manhattan | chebyshev      [euclidean]
+    --sample-rate <float>   preprocessing sampling rate                [0.005]
+    --output <path>         write outlier rows (id,coords...) as CSV
+    --report                print the per-stage execution report
+    --help                  show this help
+";
+
+/// Errors from argument parsing.
+#[derive(Debug, PartialEq)]
+pub enum ArgError {
+    /// `--help` requested.
+    Help,
+    /// A specific problem, described for the user.
+    Invalid(String),
+}
+
+impl From<CoreError> for ArgError {
+    fn from(e: CoreError) -> Self {
+        ArgError::Invalid(e.to_string())
+    }
+}
+
+/// Parses the argument list (without the program name).
+pub fn parse(args: &[String]) -> Result<Args, ArgError> {
+    let mut input = None;
+    let mut r = None;
+    let mut k = None;
+    let mut strategy = StrategyArg::Dmt;
+    let mut mode = ModeArg::MultiTactic;
+    let mut reducers = 16usize;
+    let mut partitions = 64usize;
+    let mut sample_rate = 0.005f64;
+    let mut metric = Metric::Euclidean;
+    let mut output = None;
+    let mut report = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, ArgError> {
+            it.next().ok_or_else(|| ArgError::Invalid(format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Err(ArgError::Help),
+            "--input" => input = Some(value("--input")?.clone()),
+            "--r" => {
+                r = Some(value("--r")?.parse::<f64>().map_err(|e| {
+                    ArgError::Invalid(format!("--r: {e}"))
+                })?)
+            }
+            "--k" => {
+                k = Some(value("--k")?.parse::<usize>().map_err(|e| {
+                    ArgError::Invalid(format!("--k: {e}"))
+                })?)
+            }
+            "--strategy" => {
+                strategy = match value("--strategy")?.as_str() {
+                    "domain" => StrategyArg::Domain,
+                    "unispace" => StrategyArg::UniSpace,
+                    "ddriven" => StrategyArg::DDriven,
+                    "cdriven" => StrategyArg::CDriven,
+                    "dmt" => StrategyArg::Dmt,
+                    other => {
+                        return Err(ArgError::Invalid(format!("unknown strategy {other:?}")))
+                    }
+                }
+            }
+            "--mode" => {
+                mode = match value("--mode")?.as_str() {
+                    "mt" => ModeArg::MultiTactic,
+                    "nl" => ModeArg::Fixed(AlgorithmKind::NestedLoop),
+                    "cb" => ModeArg::Fixed(AlgorithmKind::CellBased),
+                    "ib" => ModeArg::Fixed(AlgorithmKind::IndexBased),
+                    "pb" => ModeArg::Fixed(AlgorithmKind::PivotBased),
+                    other => return Err(ArgError::Invalid(format!("unknown mode {other:?}"))),
+                }
+            }
+            "--reducers" => {
+                reducers = value("--reducers")?.parse().map_err(|e| {
+                    ArgError::Invalid(format!("--reducers: {e}"))
+                })?
+            }
+            "--partitions" => {
+                partitions = value("--partitions")?.parse().map_err(|e| {
+                    ArgError::Invalid(format!("--partitions: {e}"))
+                })?
+            }
+            "--sample-rate" => {
+                sample_rate = value("--sample-rate")?.parse().map_err(|e| {
+                    ArgError::Invalid(format!("--sample-rate: {e}"))
+                })?
+            }
+            "--metric" => {
+                metric = match value("--metric")?.as_str() {
+                    "euclidean" | "l2" => Metric::Euclidean,
+                    "manhattan" | "l1" => Metric::Manhattan,
+                    "chebyshev" | "linf" => Metric::Chebyshev,
+                    other => return Err(ArgError::Invalid(format!("unknown metric {other:?}"))),
+                }
+            }
+            "--output" => output = Some(value("--output")?.clone()),
+            "--report" => report = true,
+            other => return Err(ArgError::Invalid(format!("unknown argument {other:?}"))),
+        }
+    }
+
+    let input = input.ok_or_else(|| ArgError::Invalid("--input is required".into()))?;
+    let r = r.ok_or_else(|| ArgError::Invalid("--r is required".into()))?;
+    let k = k.ok_or_else(|| ArgError::Invalid("--k is required".into()))?;
+    let params = OutlierParams::new(r, k)?.with_metric(metric);
+    if reducers == 0 {
+        return Err(ArgError::Invalid("--reducers must be at least 1".into()));
+    }
+    if !(sample_rate > 0.0 && sample_rate <= 1.0) {
+        return Err(ArgError::Invalid("--sample-rate must be in (0, 1]".into()));
+    }
+    Ok(Args {
+        input,
+        params,
+        strategy,
+        mode,
+        reducers,
+        partitions: partitions.max(1),
+        sample_rate,
+        output,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn minimal_arguments() {
+        let a = parse(&v(&["--input", "x.csv", "--r", "0.5", "--k", "4"])).unwrap();
+        assert_eq!(a.input, "x.csv");
+        assert_eq!(a.params.r, 0.5);
+        assert_eq!(a.params.k, 4);
+        assert_eq!(a.strategy, StrategyArg::Dmt);
+        assert_eq!(a.mode, ModeArg::MultiTactic);
+        assert!(!a.report);
+    }
+
+    #[test]
+    fn full_arguments() {
+        let a = parse(&v(&[
+            "--input", "x.csv", "--r", "2", "--k", "3", "--strategy", "cdriven", "--mode",
+            "cb", "--reducers", "8", "--partitions", "32", "--sample-rate", "0.05",
+            "--output", "out.csv", "--report",
+        ]))
+        .unwrap();
+        assert_eq!(a.strategy, StrategyArg::CDriven);
+        assert_eq!(a.mode, ModeArg::Fixed(AlgorithmKind::CellBased));
+        assert_eq!(a.reducers, 8);
+        assert_eq!(a.partitions, 32);
+        assert_eq!(a.sample_rate, 0.05);
+        assert_eq!(a.output.as_deref(), Some("out.csv"));
+        assert!(a.report);
+    }
+
+    #[test]
+    fn help_flag() {
+        assert!(matches!(parse(&v(&["--help"])), Err(ArgError::Help)));
+        assert!(matches!(parse(&v(&["-h"])), Err(ArgError::Help)));
+    }
+
+    #[test]
+    fn missing_required() {
+        assert!(matches!(parse(&v(&["--r", "1", "--k", "2"])), Err(ArgError::Invalid(_))));
+        assert!(matches!(parse(&v(&["--input", "x", "--k", "2"])), Err(ArgError::Invalid(_))));
+        assert!(matches!(parse(&v(&["--input", "x", "--r", "1"])), Err(ArgError::Invalid(_))));
+    }
+
+    #[test]
+    fn invalid_values() {
+        assert!(matches!(
+            parse(&v(&["--input", "x", "--r", "zero", "--k", "2"])),
+            Err(ArgError::Invalid(_))
+        ));
+        assert!(matches!(
+            parse(&v(&["--input", "x", "--r", "-1", "--k", "2"])),
+            Err(ArgError::Invalid(_))
+        ));
+        assert!(matches!(
+            parse(&v(&["--input", "x", "--r", "1", "--k", "0"])),
+            Err(ArgError::Invalid(_))
+        ));
+        assert!(matches!(
+            parse(&v(&["--input", "x", "--r", "1", "--k", "2", "--strategy", "magic"])),
+            Err(ArgError::Invalid(_))
+        ));
+        assert!(matches!(
+            parse(&v(&["--input", "x", "--r", "1", "--k", "2", "--sample-rate", "0"])),
+            Err(ArgError::Invalid(_))
+        ));
+        assert!(matches!(
+            parse(&v(&["--input", "x", "--r", "1", "--k", "2", "--bogus"])),
+            Err(ArgError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn metric_argument() {
+        let a = parse(&v(&["--input", "x", "--r", "1", "--k", "2", "--metric", "l1"])).unwrap();
+        assert_eq!(a.params.metric, Metric::Manhattan);
+        assert!(matches!(
+            parse(&v(&["--input", "x", "--r", "1", "--k", "2", "--metric", "cosine"])),
+            Err(ArgError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn dangling_value() {
+        assert!(matches!(
+            parse(&v(&["--input", "x", "--r", "1", "--k"])),
+            Err(ArgError::Invalid(_))
+        ));
+    }
+}

@@ -1,0 +1,209 @@
+//! `dod` — exact distance-based outlier detection over CSV files, from
+//! the command line.
+//!
+//! ```sh
+//! dod --input points.csv --r 0.5 --k 4 --report
+//! ```
+
+mod args;
+
+use args::{Args, ArgError, ModeArg, StrategyArg, USAGE};
+use dod::prelude::*;
+use std::io::Write;
+use std::process::ExitCode;
+
+fn build_runner(args: &Args) -> DodRunner {
+    let config = DodConfig {
+        num_reducers: args.reducers,
+        target_partitions: args.partitions,
+        sample_rate: args.sample_rate,
+        ..DodConfig::new(args.params)
+    };
+    let builder = DodRunner::builder().config(config);
+    let builder = match args.strategy {
+        StrategyArg::Domain => builder.strategy(Domain),
+        StrategyArg::UniSpace => builder.strategy(UniSpace),
+        StrategyArg::DDriven => builder.strategy(DDriven),
+        StrategyArg::CDriven => builder.strategy(CDriven::new(match args.mode {
+            ModeArg::Fixed(kind) => kind,
+            ModeArg::MultiTactic => AlgorithmKind::NestedLoop,
+        })),
+        StrategyArg::Dmt => builder.strategy(Dmt::default()),
+    };
+    match args.mode {
+        ModeArg::MultiTactic => builder.multi_tactic().build(),
+        ModeArg::Fixed(kind) => builder.fixed(kind).build(),
+    }
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let data = dod_data::io::read_csv(std::path::Path::new(&args.input))
+        .map_err(|e| format!("reading {}: {e}", args.input))?;
+    if data.is_empty() {
+        println!("0 points, 0 outliers");
+        return Ok(());
+    }
+    let runner = build_runner(args);
+    let outcome = runner.run(&data).map_err(|e| e.to_string())?;
+
+    println!(
+        "{} points ({}-d), {} outliers (r = {}, k = {})",
+        data.len(),
+        data.dim(),
+        outcome.outliers.len(),
+        args.params.r,
+        args.params.k
+    );
+
+    match &args.output {
+        Some(path) => {
+            let file = std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+            let mut out = std::io::BufWriter::new(file);
+            for &id in &outcome.outliers {
+                write!(out, "{id}").map_err(|e| e.to_string())?;
+                for v in data.point(id as usize) {
+                    write!(out, ",{v}").map_err(|e| e.to_string())?;
+                }
+                writeln!(out).map_err(|e| e.to_string())?;
+            }
+            out.flush().map_err(|e| e.to_string())?;
+            println!("outlier rows written to {path}");
+        }
+        None => {
+            for &id in &outcome.outliers {
+                let p = data.point(id as usize);
+                let coords: Vec<String> = p.iter().map(|v| format!("{v:.4}")).collect();
+                println!("  {id}: [{}]", coords.join(", "));
+            }
+        }
+    }
+
+    if args.report {
+        let r = &outcome.report;
+        println!("\n-- execution report --");
+        println!("partitions:        {}", r.num_partitions);
+        for (alg, n) in &r.algorithm_histogram {
+            println!("  {:<12} x {n}", alg.name());
+        }
+        println!("shuffle bytes:     {}", r.shuffle_bytes);
+        println!("jobs executed:     {}", r.jobs.len());
+        println!("preprocess:        {:?}", r.breakdown.preprocess);
+        println!("map makespan:      {:?}", r.breakdown.map);
+        println!("reduce makespan:   {:?}", r.breakdown.reduce);
+        println!("simulated total:   {:?}", r.breakdown.total());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_args() -> Args {
+        args::parse(
+            &["--input", "x.csv", "--r", "0.5", "--k", "4"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn runner_uses_cli_knobs() {
+        let mut a = base_args();
+        a.reducers = 7;
+        a.partitions = 21;
+        a.sample_rate = 0.25;
+        let runner = build_runner(&a);
+        assert_eq!(runner.config().num_reducers, 7);
+        assert_eq!(runner.config().target_partitions, 21);
+        assert_eq!(runner.config().sample_rate, 0.25);
+    }
+
+    #[test]
+    fn every_strategy_mode_combination_builds_and_runs() {
+        let data = {
+            let mut d = PointSet::new(2).unwrap();
+            for i in 0..50 {
+                d.push(&[(i % 10) as f64, (i / 10) as f64]).unwrap();
+            }
+            d.push(&[100.0, 100.0]).unwrap();
+            d
+        };
+        for strategy in [
+            StrategyArg::Domain,
+            StrategyArg::UniSpace,
+            StrategyArg::DDriven,
+            StrategyArg::CDriven,
+            StrategyArg::Dmt,
+        ] {
+            for mode in [
+                ModeArg::MultiTactic,
+                ModeArg::Fixed(AlgorithmKind::NestedLoop),
+                ModeArg::Fixed(AlgorithmKind::CellBased),
+            ] {
+                let mut a = base_args();
+                a.strategy = strategy;
+                a.mode = mode;
+                a.sample_rate = 1.0;
+                let runner = build_runner(&a);
+                let outcome = runner.run(&data).unwrap();
+                assert!(
+                    outcome.outliers.contains(&50),
+                    "{strategy:?}/{mode:?} missed the isolated point"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cli_end_to_end_via_run() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("dod-cli-test-{}.csv", std::process::id()));
+        let data = PointSet::from_xy(&[(0.0, 0.0), (0.1, 0.1), (0.2, 0.0), (50.0, 50.0)]);
+        dod_data::io::write_csv(&path, &data).unwrap();
+        let mut out_path = std::env::temp_dir();
+        out_path.push(format!("dod-cli-out-{}.csv", std::process::id()));
+        let mut a = base_args();
+        a.input = path.to_string_lossy().into_owned();
+        a.output = Some(out_path.to_string_lossy().into_owned());
+        a.params = OutlierParams::new(1.0, 1).unwrap();
+        a.sample_rate = 1.0;
+        run(&a).unwrap();
+        let written = std::fs::read_to_string(&out_path).unwrap();
+        assert!(written.starts_with("3,50"), "unexpected output: {written}");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&out_path).ok();
+    }
+
+    #[test]
+    fn missing_input_is_reported() {
+        let mut a = base_args();
+        a.input = "/definitely/not/here.csv".into();
+        let err = run(&a).unwrap_err();
+        assert!(err.contains("reading"), "{err}");
+    }
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&raw) {
+        Ok(args) => match run(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(ArgError::Help) => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Err(ArgError::Invalid(msg)) => {
+            eprintln!("error: {msg}\n");
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Density measures (Section IV).
+//!
+//! The paper defines the density of a dataset or partition as "the ratio of
+//! data cardinality to the domain area covered by the data". Density is the
+//! quantity that drives both the cost models (Lemmas 4.1/4.2) and the DSHC
+//! clustering criterion (Definition 5.2).
+
+use crate::rect::Rect;
+
+/// Density of `n` points over the volume of `area`: `n / volume`.
+///
+/// Degenerate areas (zero volume) yield `f64::INFINITY` when `n > 0`, and
+/// `0.0` when `n == 0`; both conventions keep comparisons well-defined for
+/// duplicated points or single-point partitions.
+pub fn density(n: usize, area: &Rect) -> f64 {
+    let v = area.volume();
+    if v == 0.0 {
+        if n == 0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        n as f64 / v
+    }
+}
+
+/// The paper's Figure 5 "density measure": `n·A(p) / A(D)` where `A(p)` is
+/// the area of the r-ball. It expresses the expected number of neighbors
+/// of a point under uniformity, normalized by `k` elsewhere; here it is
+/// kept raw so the benchmark sweep can report the same x-axis as Figure 5.
+pub fn density_measure_2d(n: usize, area: &Rect, r: f64) -> f64 {
+    let v = area.volume();
+    if v == 0.0 {
+        return f64::INFINITY;
+    }
+    n as f64 * std::f64::consts::PI * r * r / v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect2(w: f64, h: f64) -> Rect {
+        Rect::new(vec![0.0, 0.0], vec![w, h]).unwrap()
+    }
+
+    #[test]
+    fn basic_density() {
+        assert_eq!(density(100, &rect2(10.0, 10.0)), 1.0);
+        assert_eq!(density(100, &rect2(5.0, 5.0)), 4.0);
+    }
+
+    #[test]
+    fn quarter_domain_is_four_times_denser() {
+        // The paper's D-Dense covers 1/4 of D-Sparse's area at equal
+        // cardinality, hence 4x the density.
+        let sparse = density(10_000, &rect2(200.0, 200.0));
+        let dense = density(10_000, &rect2(100.0, 100.0));
+        assert!((dense / sparse - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_area() {
+        assert_eq!(density(0, &rect2(0.0, 5.0)), 0.0);
+        assert_eq!(density(3, &rect2(0.0, 5.0)), f64::INFINITY);
+    }
+
+    #[test]
+    fn density_measure_scales_with_r_squared() {
+        let a = rect2(100.0, 100.0);
+        let m1 = density_measure_2d(1000, &a, 1.0);
+        let m2 = density_measure_2d(1000, &a, 2.0);
+        assert!((m2 / m1 - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_measure_degenerate() {
+        assert_eq!(density_measure_2d(5, &rect2(0.0, 1.0), 1.0), f64::INFINITY);
+    }
+}

@@ -1,0 +1,68 @@
+//! Error type for the core crate.
+
+use std::fmt;
+
+/// Errors produced while constructing or manipulating core types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Two objects that must share a dimensionality did not.
+    DimensionMismatch {
+        /// Dimensionality expected by the operation.
+        expected: usize,
+        /// Dimensionality actually supplied.
+        actual: usize,
+    },
+    /// A parameter was outside its valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// An empty input was supplied where at least one element is required.
+    Empty(&'static str),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            CoreError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            CoreError::Empty(what) => write!(f, "empty input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = CoreError::DimensionMismatch { expected: 2, actual: 3 };
+        assert_eq!(e.to_string(), "dimension mismatch: expected 2, got 3");
+    }
+
+    #[test]
+    fn display_invalid_parameter() {
+        let e = CoreError::InvalidParameter { name: "r", reason: "must be positive".into() };
+        assert_eq!(e.to_string(), "invalid parameter `r`: must be positive");
+    }
+
+    #[test]
+    fn display_empty() {
+        assert_eq!(CoreError::Empty("dataset").to_string(), "empty input: dataset");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&CoreError::Empty("x"));
+    }
+}

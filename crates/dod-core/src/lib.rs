@@ -1,0 +1,33 @@
+//! Core geometry and outlier-semantics types shared by every crate of the
+//! DOD workspace.
+//!
+//! This crate implements Section II of the paper ("Preliminaries") plus the
+//! geometric machinery of Section III: d-dimensional points stored in a
+//! cache-friendly columnar [`PointSet`], hyper-rectangles ([`Rect`]),
+//! equi-width grid specifications ([`grid::GridSpec`]), and the
+//! supporting-area calculus (Definitions 3.2 and 3.3) in [`support`].
+//!
+//! Everything downstream — the centralized detectors in `dod-detect`, the
+//! partition planners in `dod-partition`, and the distributed pipelines in
+//! `dod` — is built on these types.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod dataset;
+pub mod density;
+pub mod error;
+pub mod grid;
+pub mod metric;
+pub mod params;
+pub mod point;
+pub mod rect;
+pub mod support;
+
+pub use dataset::{PointId, PointSet};
+pub use error::CoreError;
+pub use grid::{CellId, GridSpec};
+pub use metric::Metric;
+pub use params::OutlierParams;
+pub use point::{dist, dist_sq, Point};
+pub use rect::Rect;

@@ -1,0 +1,214 @@
+//! Supporting areas (Definitions 3.2 and 3.3, Lemma 3.1).
+//!
+//! To detect outliers in a partition in total isolation, the partition must
+//! be augmented with every external point within distance `r` of the
+//! partition's rectangle — its *support points*. This module provides both
+//! the exact Definition 3.2 predicate (distance to the rectangle) and the
+//! simplified Definition 3.3 envelope (the r-expanded rectangle), and the
+//! routing helper the mappers use to emit core/support records.
+
+use crate::grid::{CellId, GridSpec};
+use crate::rect::Rect;
+
+/// Whether `x` is a support point of the partition covered by `rect` under
+/// the exact Definition 3.2 predicate: `x` lies outside the partition but
+/// within distance `r` of it, so it may be a neighbor of a core point.
+///
+/// (Strictly, Definition 3.2 also requires an actual core point within `r`;
+/// like the paper's implementation we use the geometric superset, which
+/// Lemma 3.1 shows is sufficient.)
+pub fn is_support_point(rect: &Rect, x: &[f64], r: f64) -> bool {
+    if rect.contains(x) {
+        return false;
+    }
+    rect.min_dist_sq(x) <= r * r
+}
+
+/// The Definition 3.3 envelope: the r-expansion of the partition rectangle.
+/// Every support point of the partition lies inside this envelope, and the
+/// envelope is a superset of the exact supporting area.
+pub fn support_envelope(rect: &Rect, r: f64) -> Rect {
+    rect.expanded(r)
+}
+
+/// How a point relates to a partition: the point is a core member, a
+/// support (replicated) member, or irrelevant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Membership {
+    /// The point lies inside the partition and its outlier status must be
+    /// decided there.
+    Core,
+    /// The point lies within distance `r` outside the partition; it is
+    /// replicated so core points can count it as a neighbor.
+    Support,
+    /// The point cannot influence any core point of the partition.
+    None,
+}
+
+/// Classifies `x` against a partition rectangle.
+pub fn membership(rect: &Rect, x: &[f64], r: f64) -> Membership {
+    if rect.contains(x) {
+        Membership::Core
+    } else if rect.min_dist_sq(x) <= r * r {
+        Membership::Support
+    } else {
+        Membership::None
+    }
+}
+
+/// The map-side routing decision for one point over a grid partition plan:
+/// the single core cell plus every cell for which the point is a support
+/// point (the paper's `(cell, "0-p")` and `(cell, "1-p")` records).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Routing {
+    /// Cell in which the point is a core point.
+    pub core: CellId,
+    /// Cells for which the point is a support point.
+    pub support: Vec<CellId>,
+}
+
+/// Computes the routing of `x` over a grid plan using the exact
+/// Definition 3.2 predicate, searching only the cells intersecting the
+/// point's `r`-ball bounding box.
+pub fn route_on_grid(grid: &GridSpec, x: &[f64], r: f64) -> Routing {
+    let core = grid.cell_of(x);
+    let ball = Rect::new(
+        x.iter().map(|v| v - r).collect(),
+        x.iter().map(|v| v + r).collect(),
+    )
+    .expect("ball bounds are finite");
+    let mut support = Vec::new();
+    for cid in grid.cells_intersecting(&ball) {
+        if cid == core {
+            continue;
+        }
+        if grid.cell_rect(cid).min_dist_sq(x) <= r * r {
+            support.push(cid);
+        }
+    }
+    Routing { core, support }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rect2(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+        Rect::new(vec![x0, y0], vec![x1, y1]).unwrap()
+    }
+
+    #[test]
+    fn core_point_is_not_support() {
+        let rect = rect2(0.0, 0.0, 1.0, 1.0);
+        assert!(!is_support_point(&rect, &[0.5, 0.5], 0.3));
+        assert_eq!(membership(&rect, &[0.5, 0.5], 0.3), Membership::Core);
+    }
+
+    #[test]
+    fn near_outside_point_is_support() {
+        let rect = rect2(0.0, 0.0, 1.0, 1.0);
+        assert!(is_support_point(&rect, &[1.2, 0.5], 0.3));
+        assert_eq!(membership(&rect, &[1.2, 0.5], 0.3), Membership::Support);
+    }
+
+    #[test]
+    fn far_point_is_none() {
+        let rect = rect2(0.0, 0.0, 1.0, 1.0);
+        assert!(!is_support_point(&rect, &[2.0, 2.0], 0.3));
+        assert_eq!(membership(&rect, &[2.0, 2.0], 0.3), Membership::None);
+    }
+
+    #[test]
+    fn corner_distance_respected() {
+        let rect = rect2(0.0, 0.0, 1.0, 1.0);
+        // Point diagonally offset from corner (1,1) by (0.2, 0.2):
+        // distance ≈ 0.2828.
+        assert!(is_support_point(&rect, &[1.2, 1.2], 0.29));
+        assert!(!is_support_point(&rect, &[1.2, 1.2], 0.28));
+    }
+
+    #[test]
+    fn envelope_is_expansion() {
+        let rect = rect2(0.0, 0.0, 1.0, 1.0);
+        let env = support_envelope(&rect, 0.5);
+        assert_eq!(env.min(), &[-0.5, -0.5]);
+        assert_eq!(env.max(), &[1.5, 1.5]);
+    }
+
+    #[test]
+    fn routing_interior_point_no_support() {
+        let g = GridSpec::uniform(rect2(0.0, 0.0, 4.0, 4.0), 4).unwrap();
+        // Deep inside cell (0,0), far from every boundary.
+        let r = route_on_grid(&g, &[0.5, 0.5], 0.2);
+        assert_eq!(r.core, g.cell_of(&[0.5, 0.5]));
+        assert!(r.support.is_empty());
+    }
+
+    #[test]
+    fn routing_edge_point_supports_neighbor() {
+        let g = GridSpec::uniform(rect2(0.0, 0.0, 4.0, 4.0), 4).unwrap();
+        // Just left of the x=1 boundary: supports the cell to the right.
+        let r = route_on_grid(&g, &[0.95, 0.5], 0.2);
+        assert_eq!(r.support, vec![g.cell_of(&[1.05, 0.5])]);
+    }
+
+    #[test]
+    fn routing_corner_point_supports_three_cells() {
+        let g = GridSpec::uniform(rect2(0.0, 0.0, 4.0, 4.0), 4).unwrap();
+        // Near the interior corner (1,1): supports E, N and NE cells.
+        let r = route_on_grid(&g, &[0.95, 0.95], 0.2);
+        assert_eq!(r.support.len(), 3);
+    }
+
+    #[test]
+    fn routing_near_corner_but_outside_diagonal_reach() {
+        let g = GridSpec::uniform(rect2(0.0, 0.0, 4.0, 4.0), 4).unwrap();
+        // 0.08 from each axis boundary; diagonal distance to the NE cell is
+        // sqrt(2)*0.08 ≈ 0.113 > r = 0.1, so only E and N are supported.
+        let r = route_on_grid(&g, &[0.92, 0.92], 0.1);
+        assert_eq!(r.support.len(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn membership_partitions_space(
+            x in -2.0f64..3.0, y in -2.0f64..3.0, r in 0.01f64..1.0,
+        ) {
+            let rect = rect2(0.0, 0.0, 1.0, 1.0);
+            let m = membership(&rect, &[x, y], r);
+            // Exactly one of the three classifications applies.
+            match m {
+                Membership::Core => prop_assert!(rect.contains(&[x, y])),
+                Membership::Support => {
+                    prop_assert!(!rect.contains(&[x, y]));
+                    prop_assert!(rect.min_dist_sq(&[x, y]) <= r * r);
+                }
+                Membership::None => {
+                    prop_assert!(rect.min_dist_sq(&[x, y]) > r * r);
+                }
+            }
+        }
+
+        #[test]
+        fn every_support_cell_is_within_r(
+            x in 0.0f64..=4.0, y in 0.0f64..=4.0, r in 0.01f64..1.5,
+            n in 1usize..6,
+        ) {
+            let g = GridSpec::uniform(rect2(0.0, 0.0, 4.0, 4.0), n).unwrap();
+            let routing = route_on_grid(&g, &[x, y], r);
+            prop_assert_eq!(routing.core, g.cell_of(&[x, y]));
+            for cid in &routing.support {
+                prop_assert!(*cid != routing.core);
+                let rect = g.cell_rect(*cid);
+                prop_assert!(rect.min_dist_sq(&[x, y]) <= r * r + 1e-12);
+            }
+            // Completeness: every other cell within r is in the list.
+            for cid in 0..g.num_cells() {
+                if cid == routing.core { continue; }
+                let within = g.cell_rect(cid).min_dist_sq(&[x, y]) <= r * r;
+                prop_assert_eq!(routing.support.contains(&cid), within);
+            }
+        }
+    }
+}

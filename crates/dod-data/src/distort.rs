@@ -1,0 +1,100 @@
+//! The 2 TB distortion tool (Section VI-A).
+//!
+//! "We developed a tool that creates a distortion of the original dataset
+//! D by replicating each point p in D three times to generate p′, p″, p‴,
+//! each with a random degree of alteration on each dimension." The output
+//! therefore holds `(1 + copies) × |D|` points: the originals plus the
+//! jittered replicas, clamped into the domain.
+
+use dod_core::{PointSet, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Replicates every point of `data` `copies` times with uniform jitter in
+/// `[-jitter, +jitter]` per dimension, clamped into `domain`. The
+/// original points are kept, so the result has `(1 + copies) × data.len()`
+/// points.
+pub fn distort(data: &PointSet, domain: &Rect, copies: usize, jitter: f64, seed: u64) -> PointSet {
+    assert_eq!(data.dim(), domain.dim(), "domain dimensionality mismatch");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dim = data.dim();
+    let mut out =
+        PointSet::with_capacity(dim, data.len() * (copies + 1)).expect("dim >= 1");
+    let mut buf = vec![0.0f64; dim];
+    for p in data.iter() {
+        out.push(p).expect("same dim");
+        for _ in 0..copies {
+            for (i, b) in buf.iter_mut().enumerate() {
+                let delta = if jitter > 0.0 { rng.gen_range(-jitter..jitter) } else { 0.0 };
+                *b = (p[i] + delta).clamp(domain.min()[i], domain.max()[i]);
+            }
+            out.push(&buf).expect("same dim");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn domain() -> Rect {
+        Rect::new(vec![0.0, 0.0], vec![10.0, 10.0]).unwrap()
+    }
+
+    #[test]
+    fn quadruples_the_dataset() {
+        let data = PointSet::from_xy(&[(1.0, 1.0), (5.0, 5.0)]);
+        let out = distort(&data, &domain(), 3, 0.1, 1);
+        assert_eq!(out.len(), 8);
+    }
+
+    #[test]
+    fn originals_are_preserved() {
+        let data = PointSet::from_xy(&[(2.0, 3.0)]);
+        let out = distort(&data, &domain(), 3, 0.5, 2);
+        assert_eq!(out.point(0), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn replicas_stay_within_jitter() {
+        let data = PointSet::from_xy(&[(5.0, 5.0)]);
+        let out = distort(&data, &domain(), 3, 0.25, 3);
+        for i in 1..4 {
+            let p = out.point(i);
+            assert!((p[0] - 5.0).abs() <= 0.25);
+            assert!((p[1] - 5.0).abs() <= 0.25);
+        }
+    }
+
+    #[test]
+    fn replicas_clamped_to_domain() {
+        let data = PointSet::from_xy(&[(0.0, 10.0)]);
+        let out = distort(&data, &domain(), 10, 1.0, 4);
+        for p in out.iter() {
+            assert!(domain().contains_closed(p));
+        }
+    }
+
+    #[test]
+    fn zero_jitter_duplicates_exactly() {
+        let data = PointSet::from_xy(&[(4.0, 4.0)]);
+        let out = distort(&data, &domain(), 2, 0.0, 5);
+        for i in 0..3 {
+            assert_eq!(out.point(i), &[4.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let data = PointSet::from_xy(&[(1.0, 2.0), (3.0, 4.0)]);
+        assert_eq!(distort(&data, &domain(), 3, 0.2, 7), distort(&data, &domain(), 3, 0.2, 7));
+    }
+
+    #[test]
+    fn zero_copies_is_identity() {
+        let data = PointSet::from_xy(&[(1.0, 2.0)]);
+        let out = distort(&data, &domain(), 0, 0.2, 7);
+        assert_eq!(out, data);
+    }
+}

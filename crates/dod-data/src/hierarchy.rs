@@ -1,0 +1,181 @@
+//! The scalability hierarchy: Massachusetts → New England → United States
+//! → Planet (Section VI-A).
+//!
+//! "We build hierarchical datasets with Massachusetts as the smallest
+//! unit, then New England, then the United States, up to the whole
+//! planet. The number of data points gradually grows." Each level tiles
+//! 4× more region blocks than the previous one, mixing dense and sparse
+//! block recipes so that — as the paper observes — "larger datasets tend
+//! to be more skewed."
+
+use crate::mixture::GaussianMixture;
+use dod_core::{PointSet, Rect};
+
+/// The four scalability levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HierarchyLevel {
+    /// 1 block.
+    Massachusetts,
+    /// 4 blocks (2×2).
+    NewEngland,
+    /// 16 blocks (4×4).
+    UnitedStates,
+    /// 64 blocks (8×8).
+    Planet,
+}
+
+impl HierarchyLevel {
+    /// All levels, smallest first.
+    pub const ALL: [HierarchyLevel; 4] = [
+        HierarchyLevel::Massachusetts,
+        HierarchyLevel::NewEngland,
+        HierarchyLevel::UnitedStates,
+        HierarchyLevel::Planet,
+    ];
+
+    /// Display name used in the figures.
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            HierarchyLevel::Massachusetts => "MA",
+            HierarchyLevel::NewEngland => "NE",
+            HierarchyLevel::UnitedStates => "US",
+            HierarchyLevel::Planet => "Planet",
+        }
+    }
+
+    /// Number of region blocks per side of the square tiling.
+    pub fn blocks_per_side(&self) -> usize {
+        match self {
+            HierarchyLevel::Massachusetts => 1,
+            HierarchyLevel::NewEngland => 2,
+            HierarchyLevel::UnitedStates => 4,
+            HierarchyLevel::Planet => 8,
+        }
+    }
+
+    /// Total block count (and the dataset-size multiplier over the base).
+    pub fn num_blocks(&self) -> usize {
+        let b = self.blocks_per_side();
+        b * b
+    }
+}
+
+/// Block side length: every block gets the same footprint so the tiling is
+/// regular; block recipes vary the density inside it.
+const BLOCK_SIDE: f64 = 120.0;
+
+/// Block recipes `(occupied side, cities, spread, background fraction)`.
+/// Each block receives the same number of points, but the occupied
+/// footprint varies up to 9×, so per-block densities differ strongly —
+/// the contrast that makes larger levels more skewed. Occupied sides
+/// never exceed the block, so no clamping artifacts arise.
+const BLOCK_RECIPES: [(f64, usize, f64, f64); 4] = [
+    (120.0, 15, 1.5, 0.15), // Massachusetts-like, fills the block
+    (40.0, 40, 0.8, 0.05),  // New-York-like, very dense core
+    (120.0, 8, 2.5, 0.50),  // Ohio-like, sparse and spread out
+    (60.0, 30, 1.0, 0.08),  // California-like, dense
+];
+
+/// Generates the hierarchy dataset for `level`: `base_n` points per block
+/// (so `base_n × num_blocks` total), plus the overall domain.
+pub fn hierarchy_dataset(level: HierarchyLevel, base_n: usize, seed: u64) -> (PointSet, Rect) {
+    let side_blocks = level.blocks_per_side();
+    let domain = Rect::new(
+        vec![0.0, 0.0],
+        vec![BLOCK_SIDE * side_blocks as f64, BLOCK_SIDE * side_blocks as f64],
+    )
+    .expect("static bounds");
+    let mut out = PointSet::with_capacity(2, base_n * level.num_blocks()).expect("dim 2");
+    for by in 0..side_blocks {
+        for bx in 0..side_blocks {
+            let block_idx = by * side_blocks + bx;
+            let (side, cities, spread, background) =
+                BLOCK_RECIPES[block_idx % BLOCK_RECIPES.len()];
+            // Center the occupied footprint inside the block.
+            let margin = 0.5 * (BLOCK_SIDE - side);
+            let origin = [
+                bx as f64 * BLOCK_SIDE + margin,
+                by as f64 * BLOCK_SIDE + margin,
+            ];
+            let footprint = Rect::new(
+                origin.to_vec(),
+                origin.iter().map(|o| o + side).collect(),
+            )
+            .expect("finite footprint");
+            let mixture = GaussianMixture::random_cities(
+                footprint,
+                cities,
+                spread,
+                background,
+                seed ^ (block_idx as u64).wrapping_mul(0x9E37_79B9),
+            );
+            let pts = mixture.generate(base_n, seed.wrapping_add(block_idx as u64));
+            out.extend_from(&pts).expect("dim 2");
+        }
+    }
+    (out, domain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_grow_by_4x() {
+        let base = 250;
+        let mut last = 0;
+        for level in HierarchyLevel::ALL {
+            let (pts, domain) = hierarchy_dataset(level, base, 11);
+            assert_eq!(pts.len(), base * level.num_blocks());
+            assert!(pts.len() >= last);
+            last = pts.len();
+            for p in pts.iter() {
+                assert!(domain.contains_closed(p));
+            }
+        }
+    }
+
+    #[test]
+    fn block_counts() {
+        assert_eq!(HierarchyLevel::Massachusetts.num_blocks(), 1);
+        assert_eq!(HierarchyLevel::NewEngland.num_blocks(), 4);
+        assert_eq!(HierarchyLevel::UnitedStates.num_blocks(), 16);
+        assert_eq!(HierarchyLevel::Planet.num_blocks(), 64);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (a, _) = hierarchy_dataset(HierarchyLevel::NewEngland, 100, 3);
+        let (b, _) = hierarchy_dataset(HierarchyLevel::NewEngland, 100, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn every_level_is_strongly_skewed() {
+        // Measure skew as the coefficient of variation of cell counts on a
+        // grid fine enough to see within-block structure (cells smaller
+        // than a block).
+        fn skew(pts: &PointSet, domain: &Rect, cells: usize) -> f64 {
+            let grid = dod_core::GridSpec::uniform(domain.clone(), cells).unwrap();
+            let mut counts = vec![0f64; grid.num_cells()];
+            for p in pts.iter() {
+                counts[grid.cell_of(p)] += 1.0;
+            }
+            let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+            let var =
+                counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / counts.len() as f64;
+            var.sqrt() / mean
+        }
+        let (ma, ma_dom) = hierarchy_dataset(HierarchyLevel::Massachusetts, 2000, 5);
+        // 3 cells per block side for planet (8 blocks -> 24 cells).
+        let (planet, pl_dom) = hierarchy_dataset(HierarchyLevel::Planet, 2000, 5);
+        assert!(skew(&ma, &ma_dom, 8) > 0.5, "MA not skewed");
+        assert!(skew(&planet, &pl_dom, 24) > 0.5, "Planet not skewed");
+    }
+
+    #[test]
+    fn abbrevs() {
+        assert_eq!(HierarchyLevel::Planet.abbrev(), "Planet");
+        assert_eq!(HierarchyLevel::Massachusetts.abbrev(), "MA");
+    }
+}

@@ -1,0 +1,234 @@
+//! Gaussian-mixture spatial generators.
+//!
+//! OpenStreetMap building locations are strongly clustered around
+//! population centers. The synthetic analogs model a region as a mixture
+//! of 2-d Gaussians ("cities") over a uniform background ("rural"),
+//! clipped to the region's domain — preserving the skew that makes
+//! domain-based partitioning imbalanced (Section I, challenge 1).
+
+use dod_core::{PointSet, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+
+/// One Gaussian component of a mixture.
+#[derive(Debug, Clone)]
+pub struct MixtureComponent {
+    /// Mean (cluster center), one value per dimension.
+    pub center: Vec<f64>,
+    /// Standard deviation per dimension.
+    pub std_dev: Vec<f64>,
+    /// Relative sampling weight (need not be normalized).
+    pub weight: f64,
+}
+
+/// A Gaussian mixture over a rectangular domain with a uniform background
+/// component.
+#[derive(Debug, Clone)]
+pub struct GaussianMixture {
+    domain: Rect,
+    components: Vec<MixtureComponent>,
+    /// Fraction of points drawn uniformly from the whole domain.
+    background_fraction: f64,
+}
+
+impl GaussianMixture {
+    /// Creates a mixture. `background_fraction` is clamped into `[0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if a component's dimensionality disagrees with the domain's
+    /// or all weights are zero while `background_fraction < 1`.
+    pub fn new(
+        domain: Rect,
+        components: Vec<MixtureComponent>,
+        background_fraction: f64,
+    ) -> Self {
+        let total_weight: f64 = components.iter().map(|c| c.weight).sum();
+        for c in &components {
+            assert_eq!(c.center.len(), domain.dim(), "component dim mismatch");
+            assert_eq!(c.std_dev.len(), domain.dim(), "std-dev dim mismatch");
+        }
+        let background_fraction = background_fraction.clamp(0.0, 1.0);
+        assert!(
+            total_weight > 0.0 || background_fraction >= 1.0 || components.is_empty(),
+            "zero-weight mixture"
+        );
+        GaussianMixture { domain, components, background_fraction }
+    }
+
+    /// The domain points are clipped into.
+    pub fn domain(&self) -> &Rect {
+        &self.domain
+    }
+
+    /// Number of Gaussian components.
+    pub fn num_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Draws `n` points, deterministic in `seed`. Gaussian draws falling
+    /// outside the domain are clamped onto its boundary (mass piles at the
+    /// edge rather than being rejected, keeping the cost O(n)).
+    pub fn generate(&self, n: usize, seed: u64) -> PointSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = self.domain.dim();
+        let mut out = PointSet::with_capacity(dim, n).expect("dim >= 1");
+        let total_weight: f64 = self.components.iter().map(|c| c.weight).sum();
+        let mut buf = vec![0.0f64; dim];
+        for _ in 0..n {
+            let background = self.components.is_empty()
+                || total_weight <= 0.0
+                || rng.gen_bool(self.background_fraction);
+            if background {
+                for (i, b) in buf.iter_mut().enumerate() {
+                    let (lo, hi) = (self.domain.min()[i], self.domain.max()[i]);
+                    *b = if hi > lo { rng.gen_range(lo..hi) } else { lo };
+                }
+            } else {
+                let comp = self.pick_component(&mut rng, total_weight);
+                for (i, b) in buf.iter_mut().enumerate() {
+                    let normal = Normal::new(comp.center[i], comp.std_dev[i].max(1e-12))
+                        .expect("finite parameters");
+                    let v: f64 = normal.sample(&mut rng);
+                    *b = v.clamp(self.domain.min()[i], self.domain.max()[i]);
+                }
+            }
+            out.push(&buf).expect("same dim");
+        }
+        out
+    }
+
+    fn pick_component(&self, rng: &mut StdRng, total_weight: f64) -> &MixtureComponent {
+        let mut t = rng.gen_range(0.0..total_weight);
+        for c in &self.components {
+            if t < c.weight {
+                return c;
+            }
+            t -= c.weight;
+        }
+        self.components.last().expect("non-empty components")
+    }
+
+    /// Convenience builder: `cities` random Gaussian centers inside the
+    /// domain, each with std dev `spread` (same in every dimension) and
+    /// random weight in `[0.5, 1.5)`, plus a uniform background fraction.
+    pub fn random_cities(
+        domain: Rect,
+        cities: usize,
+        spread: f64,
+        background_fraction: f64,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = domain.dim();
+        let components = (0..cities)
+            .map(|_| {
+                let center: Vec<f64> = (0..dim)
+                    .map(|i| {
+                        let (lo, hi) = (domain.min()[i], domain.max()[i]);
+                        if hi > lo {
+                            rng.gen_range(lo..hi)
+                        } else {
+                            lo
+                        }
+                    })
+                    .collect();
+                MixtureComponent {
+                    center,
+                    std_dev: vec![spread; dim],
+                    weight: rng.gen_range(0.5..1.5),
+                }
+            })
+            .collect();
+        GaussianMixture::new(domain, components, background_fraction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn domain() -> Rect {
+        Rect::new(vec![0.0, 0.0], vec![100.0, 100.0]).unwrap()
+    }
+
+    #[test]
+    fn generates_requested_count_inside_domain() {
+        let m = GaussianMixture::random_cities(domain(), 5, 2.0, 0.1, 3);
+        let pts = m.generate(2000, 7);
+        assert_eq!(pts.len(), 2000);
+        for p in pts.iter() {
+            assert!(m.domain().contains_closed(p));
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let m = GaussianMixture::random_cities(domain(), 3, 1.0, 0.2, 5);
+        assert_eq!(m.generate(100, 1), m.generate(100, 1));
+        assert_ne!(m.generate(100, 1), m.generate(100, 2));
+    }
+
+    #[test]
+    fn clustering_concentrates_mass() {
+        // One tight city at the center, no background: most points within
+        // 3 sigma of the center.
+        let m = GaussianMixture::new(
+            domain(),
+            vec![MixtureComponent {
+                center: vec![50.0, 50.0],
+                std_dev: vec![1.0, 1.0],
+                weight: 1.0,
+            }],
+            0.0,
+        );
+        let pts = m.generate(1000, 9);
+        let close = pts
+            .iter()
+            .filter(|p| dod_core::dist(p, &[50.0, 50.0]) < 3.0)
+            .count();
+        assert!(close > 950, "only {close} of 1000 near center");
+    }
+
+    #[test]
+    fn background_only_mixture_is_uniformish() {
+        let m = GaussianMixture::new(domain(), vec![], 1.0);
+        let pts = m.generate(4000, 4);
+        // Quadrant counts roughly equal.
+        let q1 = pts.iter().filter(|p| p[0] < 50.0 && p[1] < 50.0).count();
+        assert!(q1 > 800 && q1 < 1200, "quadrant count {q1}");
+    }
+
+    #[test]
+    fn weights_bias_component_choice() {
+        let m = GaussianMixture::new(
+            domain(),
+            vec![
+                MixtureComponent {
+                    center: vec![10.0, 10.0],
+                    std_dev: vec![0.5, 0.5],
+                    weight: 9.0,
+                },
+                MixtureComponent {
+                    center: vec![90.0, 90.0],
+                    std_dev: vec![0.5, 0.5],
+                    weight: 1.0,
+                },
+            ],
+            0.0,
+        );
+        let pts = m.generate(1000, 2);
+        let near_heavy = pts.iter().filter(|p| p[0] < 50.0).count();
+        assert!(near_heavy > 820, "{near_heavy}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn component_dim_mismatch_panics() {
+        GaussianMixture::new(
+            domain(),
+            vec![MixtureComponent { center: vec![1.0], std_dev: vec![1.0], weight: 1.0 }],
+            0.0,
+        );
+    }
+}

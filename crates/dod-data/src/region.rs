@@ -1,0 +1,148 @@
+//! Analogs of the four OpenStreetMap evaluation segments (Section VI-A).
+//!
+//! "The four segments are equally sized (≈30 million points). However,
+//! they vary significantly in their densities, i.e., New York and
+//! California are very dense, Ohio is relatively sparse, and Massachusetts
+//! is in the middle between them." Each analog keeps the cardinality fixed
+//! and varies the domain size and clustering to reproduce that ordering:
+//! at equal `n`, OH covers a 36× larger area than NY.
+
+use crate::mixture::GaussianMixture;
+use dod_core::{PointSet, Rect};
+
+/// The four evaluation regions, ordered sparse → dense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Sparse: few, spread-out population centers over a large domain.
+    Ohio,
+    /// Intermediate density.
+    Massachusetts,
+    /// Dense.
+    California,
+    /// Densest: many tight population centers in a small domain.
+    NewYork,
+}
+
+impl Region {
+    /// All four regions in the order the paper's figures list them.
+    pub const ALL: [Region; 4] =
+        [Region::Ohio, Region::Massachusetts, Region::California, Region::NewYork];
+
+    /// Display abbreviation used in the figures (OH / MA / CA / NY).
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            Region::Ohio => "OH",
+            Region::Massachusetts => "MA",
+            Region::California => "CA",
+            Region::NewYork => "NY",
+        }
+    }
+
+    /// Side length of the region's square domain.
+    pub fn domain_side(&self) -> f64 {
+        match self {
+            Region::Ohio => 300.0,
+            Region::Massachusetts => 120.0,
+            Region::California => 70.0,
+            Region::NewYork => 50.0,
+        }
+    }
+
+    /// Mixture recipe: `(cities, spread, background_fraction)`.
+    fn recipe(&self) -> (usize, f64, f64) {
+        match self {
+            Region::Ohio => (8, 2.5, 0.30),
+            Region::Massachusetts => (15, 1.5, 0.15),
+            Region::California => (30, 1.0, 0.08),
+            Region::NewYork => (40, 0.8, 0.05),
+        }
+    }
+
+    /// The region's generator over a domain anchored at `origin`.
+    pub fn mixture_at(&self, origin: &[f64], seed: u64) -> GaussianMixture {
+        let side = self.domain_side();
+        let domain = Rect::new(
+            origin.to_vec(),
+            origin.iter().map(|o| o + side).collect(),
+        )
+        .expect("finite origin");
+        let (cities, spread, background) = self.recipe();
+        GaussianMixture::random_cities(domain, cities, spread, background, seed)
+    }
+}
+
+/// Generates the region analog: `n` points plus its domain.
+pub fn region_dataset(region: Region, n: usize, seed: u64) -> (PointSet, Rect) {
+    let mixture = region.mixture_at(&[0.0, 0.0], seed ^ 0x5EED_0001);
+    let pts = mixture.generate(n, seed);
+    let domain = mixture.domain().clone();
+    (pts, domain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dod_core::density::density;
+
+    #[test]
+    fn density_ordering_matches_the_paper() {
+        let n = 5_000;
+        let mut densities = Vec::new();
+        for region in Region::ALL {
+            let (pts, domain) = region_dataset(region, n, 42);
+            assert_eq!(pts.len(), n);
+            densities.push(density(n, &domain));
+        }
+        // OH < MA < CA < NY.
+        for w in densities.windows(2) {
+            assert!(w[0] < w[1], "density ordering violated: {densities:?}");
+        }
+        // NY is much denser than OH (paper: "very dense" vs "sparse").
+        assert!(densities[3] / densities[0] > 10.0);
+    }
+
+    #[test]
+    fn equal_cardinality_across_regions() {
+        for region in Region::ALL {
+            let (pts, _) = region_dataset(region, 1234, 1);
+            assert_eq!(pts.len(), 1234);
+        }
+    }
+
+    #[test]
+    fn points_stay_in_region_domain() {
+        let (pts, domain) = region_dataset(Region::NewYork, 2000, 9);
+        for p in pts.iter() {
+            assert!(domain.contains_closed(p));
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let (a, _) = region_dataset(Region::California, 500, 3);
+        let (b, _) = region_dataset(Region::California, 500, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn regions_are_skewed_not_uniform() {
+        // Split MA into a 4x4 grid of cells; the max-to-mean cell count
+        // ratio should be well above 1 (clustered data).
+        let (pts, domain) = region_dataset(Region::Massachusetts, 8_000, 5);
+        let grid = dod_core::GridSpec::uniform(domain, 4).unwrap();
+        let mut counts = vec![0usize; grid.num_cells()];
+        for p in pts.iter() {
+            counts[grid.cell_of(p)] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let mean = 8_000.0 / 16.0;
+        assert!(max / mean > 1.5, "max/mean = {}", max / mean);
+    }
+
+    #[test]
+    fn mixture_at_offsets_domain() {
+        let m = Region::NewYork.mixture_at(&[100.0, 200.0], 7);
+        assert_eq!(m.domain().min(), &[100.0, 200.0]);
+        assert_eq!(m.domain().max(), &[150.0, 250.0]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Uniform datasets, including the Figure 4 D-Sparse / D-Dense pair.
+//!
+//! "We use two datasets, each consisting of the same number of data
+//! points. However their densities are very different ... The domain area
+//! covered by the D-Dense dataset is only 1/4 of the domain area covered
+//! by the D-Sparse dataset." (Section IV-A.)
+
+use dod_core::{PointSet, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Domain of the Figure 4 sparse dataset (200 × 200).
+pub const D_SPARSE_DOMAIN: [f64; 2] = [200.0, 200.0];
+
+/// Domain of the Figure 4 dense dataset (100 × 100 — ¼ of the sparse
+/// area).
+pub const D_DENSE_DOMAIN: [f64; 2] = [100.0, 100.0];
+
+/// `n` points uniform over `domain`, deterministic in `seed`.
+pub fn uniform_in(domain: &Rect, n: usize, seed: u64) -> PointSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dim = domain.dim();
+    let mut out = PointSet::with_capacity(dim, n).expect("dim >= 1");
+    let mut buf = vec![0.0f64; dim];
+    for _ in 0..n {
+        for (i, b) in buf.iter_mut().enumerate() {
+            let (lo, hi) = (domain.min()[i], domain.max()[i]);
+            *b = if hi > lo { rng.gen_range(lo..hi) } else { lo };
+        }
+        out.push(&buf).expect("same dim");
+    }
+    out
+}
+
+/// The Figure 4 / Figure 5 experiment pair: `(D-Sparse, D-Dense)`, each of
+/// `n` points; densities differ by exactly 4x.
+pub fn sparse_dense_pair(n: usize, seed: u64) -> (PointSet, PointSet) {
+    let sparse_domain =
+        Rect::new(vec![0.0, 0.0], D_SPARSE_DOMAIN.to_vec()).expect("static bounds");
+    let dense_domain = Rect::new(vec![0.0, 0.0], D_DENSE_DOMAIN.to_vec()).expect("static bounds");
+    (uniform_in(&sparse_domain, n, seed), uniform_in(&dense_domain, n, seed.wrapping_add(1)))
+}
+
+/// A uniform dataset whose Figure 5 "density measure" (`n·πr²/A`) equals
+/// `measure`, by sizing a square domain accordingly.
+pub fn uniform_with_density_measure(n: usize, r: f64, measure: f64, seed: u64) -> (PointSet, Rect) {
+    assert!(measure > 0.0 && r > 0.0 && n > 0, "positive inputs required");
+    let area = n as f64 * std::f64::consts::PI * r * r / measure;
+    let side = area.sqrt();
+    let domain = Rect::new(vec![0.0, 0.0], vec![side, side]).expect("finite bounds");
+    (uniform_in(&domain, n, seed), domain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dod_core::density::{density, density_measure_2d};
+
+    #[test]
+    fn points_stay_inside_domain() {
+        let domain = Rect::new(vec![-5.0, 2.0], vec![5.0, 4.0]).unwrap();
+        let pts = uniform_in(&domain, 1000, 7);
+        assert_eq!(pts.len(), 1000);
+        for p in pts.iter() {
+            assert!(domain.contains_closed(p));
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let domain = Rect::new(vec![0.0], vec![1.0]).unwrap();
+        assert_eq!(uniform_in(&domain, 50, 3), uniform_in(&domain, 50, 3));
+        assert_ne!(uniform_in(&domain, 50, 3), uniform_in(&domain, 50, 4));
+    }
+
+    #[test]
+    fn degenerate_domain_pins_coordinate() {
+        let domain = Rect::new(vec![0.0, 3.0], vec![1.0, 3.0]).unwrap();
+        let pts = uniform_in(&domain, 10, 1);
+        for p in pts.iter() {
+            assert_eq!(p[1], 3.0);
+        }
+    }
+
+    #[test]
+    fn sparse_dense_pair_has_4x_density_ratio() {
+        let (sparse, dense) = sparse_dense_pair(10_000, 1);
+        assert_eq!(sparse.len(), dense.len());
+        let ds = density(sparse.len(), &Rect::new(vec![0.0, 0.0], vec![200.0, 200.0]).unwrap());
+        let dd = density(dense.len(), &Rect::new(vec![0.0, 0.0], vec![100.0, 100.0]).unwrap());
+        assert!((dd / ds - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_measure_is_hit() {
+        let (pts, domain) = uniform_with_density_measure(10_000, 5.0, 1.0, 9);
+        let measured = density_measure_2d(pts.len(), &domain, 5.0);
+        assert!((measured - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_measure_rejected() {
+        uniform_with_density_measure(100, 5.0, 0.0, 1);
+    }
+}

@@ -1,0 +1,66 @@
+//! The common interface of all centralized detectors.
+
+use crate::partition::Partition;
+use dod_core::{OutlierParams, PointId};
+
+/// Work counters a detector reports alongside its result.
+///
+/// `distance_evaluations` is the unit the paper's cost models predict
+/// (Lemmas 4.1/4.2 count random comparisons plus indexing scans), so the
+/// `ablation_cost_model` bench can compare prediction against measurement.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DetectionStats {
+    /// Number of point-to-point distance evaluations performed.
+    pub distance_evaluations: u64,
+    /// Number of points scanned/hashed during index construction
+    /// (Cell-Based and Index-Based only).
+    pub index_operations: u64,
+    /// Core points classified without any distance evaluation (pruned).
+    pub pruned_points: u64,
+}
+
+impl DetectionStats {
+    /// The total abstract work: distance evaluations plus index operations
+    /// — directly comparable with [`crate::cost::CostModel`] predictions.
+    pub fn total_work(&self) -> u64 {
+        self.distance_evaluations + self.index_operations
+    }
+}
+
+/// A centralized distance-threshold outlier detector.
+///
+/// Implementations must return exactly the set of core-point ids that
+/// satisfy Definition 2.2 (`|N_r(p)| < k`, the point itself not counted as
+/// its own neighbor), in ascending id order.
+pub trait Detector: Send + Sync {
+    /// Human-readable name used in logs and benchmark output.
+    fn name(&self) -> &'static str;
+
+    /// Detects the outliers among the partition's core points.
+    fn detect(&self, partition: &Partition, params: OutlierParams) -> Detection;
+}
+
+/// The output of a detector run: the outliers plus work counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Detection {
+    /// Ids of the core points classified as outliers, ascending.
+    pub outliers: Vec<PointId>,
+    /// Work counters for cost-model validation.
+    pub stats: DetectionStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_work_sums_counters() {
+        let s = DetectionStats { distance_evaluations: 10, index_operations: 5, pruned_points: 2 };
+        assert_eq!(s.total_work(), 15);
+    }
+
+    #[test]
+    fn default_stats_are_zero() {
+        assert_eq!(DetectionStats::default().total_work(), 0);
+    }
+}

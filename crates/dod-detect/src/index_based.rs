@@ -1,0 +1,282 @@
+//! A kd-tree index-based detector.
+//!
+//! The third class of centralized detection algorithms the paper cites
+//! (index-based solutions such as DOLPHIN [4]). A balanced kd-tree is
+//! built over core and support points; each core point then runs a range
+//! count with early termination at `k` neighbors. Included as an extension
+//! to the paper's two-candidate set `A = {Nested-Loop, Cell-Based}` — its
+//! cost model in [`crate::cost`] lets the multi-tactic planner pick it when
+//! configured.
+
+use crate::detector::{Detection, DetectionStats, Detector};
+use crate::partition::Partition;
+use dod_core::{Metric, OutlierParams};
+
+/// kd-tree range-counting detector.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IndexBased {
+    /// Maximum number of points in a leaf node.
+    leaf_size: usize,
+}
+
+impl IndexBased {
+    /// Creates a detector with the given kd-tree leaf size (0 is coerced
+    /// to the default of 16).
+    pub fn new(leaf_size: usize) -> Self {
+        IndexBased { leaf_size: if leaf_size == 0 { 16 } else { leaf_size } }
+    }
+}
+
+enum Node {
+    Leaf {
+        /// Indices (unified core-then-support) of the points in the leaf.
+        points: Vec<u32>,
+    },
+    Inner {
+        split_dim: usize,
+        split_val: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+struct KdTree<'a> {
+    partition: &'a Partition,
+    root: Node,
+}
+
+impl<'a> KdTree<'a> {
+    fn build(partition: &'a Partition, leaf_size: usize) -> (Self, u64) {
+        let total = partition.total_len();
+        let mut idx: Vec<u32> = (0..total as u32).collect();
+        let mut ops = 0u64;
+        let root = Self::build_node(partition, &mut idx, leaf_size, 0, &mut ops);
+        (KdTree { partition, root }, ops)
+    }
+
+    fn build_node(
+        partition: &Partition,
+        idx: &mut [u32],
+        leaf_size: usize,
+        depth: usize,
+        ops: &mut u64,
+    ) -> Node {
+        *ops += idx.len() as u64;
+        if idx.len() <= leaf_size {
+            return Node::Leaf { points: idx.to_vec() };
+        }
+        let dim = depth % partition.dim();
+        let mid = idx.len() / 2;
+        idx.select_nth_unstable_by(mid, |&a, &b| {
+            let va = partition.point(a as usize)[dim];
+            let vb = partition.point(b as usize)[dim];
+            va.partial_cmp(&vb).expect("finite coordinates")
+        });
+        let split_val = partition.point(idx[mid] as usize)[dim];
+        let (left, right) = idx.split_at_mut(mid);
+        // Degenerate guard: if all values are equal the median split can
+        // produce an empty side repeatedly; fall back to a leaf.
+        if left.is_empty() || right.is_empty() {
+            let mut all = Vec::with_capacity(left.len() + right.len());
+            all.extend_from_slice(left);
+            all.extend_from_slice(right);
+            return Node::Leaf { points: all };
+        }
+        Node::Inner {
+            split_dim: dim,
+            split_val,
+            left: Box::new(Self::build_node(partition, left, leaf_size, depth + 1, ops)),
+            right: Box::new(Self::build_node(partition, right, leaf_size, depth + 1, ops)),
+        }
+    }
+
+    /// Counts neighbors of point `qi` (unified index) within `r`, stopping
+    /// early once `k` are found. Returns `(count_capped_at_k, evals)`.
+    ///
+    /// The splitting-plane prune `|q[dim] − split| > r` is valid for
+    /// every `Lp` metric: a single-coordinate difference lower-bounds the
+    /// distance.
+    fn count_neighbors(&self, qi: usize, r: f64, k: usize, metric: Metric) -> (usize, u64) {
+        let q = self.partition.point(qi);
+        let mut count = 0usize;
+        let mut evals = 0u64;
+        self.visit(&self.root, q, qi, r, metric, k, &mut count, &mut evals);
+        (count, evals)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn visit(
+        &self,
+        node: &Node,
+        q: &[f64],
+        qi: usize,
+        r: f64,
+        metric: Metric,
+        k: usize,
+        count: &mut usize,
+        evals: &mut u64,
+    ) {
+        if *count >= k {
+            return;
+        }
+        match node {
+            Node::Leaf { points } => {
+                for &j in points {
+                    if j as usize == qi {
+                        continue;
+                    }
+                    *evals += 1;
+                    if metric.within(q, self.partition.point(j as usize), r) {
+                        *count += 1;
+                        if *count >= k {
+                            return;
+                        }
+                    }
+                }
+            }
+            Node::Inner { split_dim, split_val, left, right } => {
+                let delta = q[*split_dim] - split_val;
+                // Visit the side containing q first for faster termination.
+                let (near, far) = if delta < 0.0 { (left, right) } else { (right, left) };
+                self.visit(near, q, qi, r, metric, k, count, evals);
+                if *count < k && delta.abs() <= r {
+                    self.visit(far, q, qi, r, metric, k, count, evals);
+                }
+            }
+        }
+    }
+}
+
+impl Detector for IndexBased {
+    fn name(&self) -> &'static str {
+        "index-based"
+    }
+
+    fn detect(&self, partition: &Partition, params: OutlierParams) -> Detection {
+        let n_core = partition.core().len();
+        if n_core == 0 {
+            return Detection::default();
+        }
+        let leaf = if self.leaf_size == 0 { 16 } else { self.leaf_size };
+        let (tree, build_ops) = KdTree::build(partition, leaf);
+        let mut stats = DetectionStats { index_operations: build_ops, ..Default::default() };
+        let mut outliers = Vec::new();
+        for i in 0..n_core {
+            let (count, evals) = tree.count_neighbors(i, params.r, params.k, params.metric);
+            stats.distance_evaluations += evals;
+            if count < params.k {
+                outliers.push(partition.core_id(i));
+            }
+        }
+        outliers.sort_unstable();
+        Detection { outliers, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::Reference;
+    use dod_core::PointSet;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn params(r: f64, k: usize) -> OutlierParams {
+        OutlierParams::new(r, k).unwrap()
+    }
+
+    fn random_partition(seed: u64, n_core: usize, n_support: usize, extent: f64) -> Partition {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut core = PointSet::new(2).unwrap();
+        for _ in 0..n_core {
+            core.push(&[rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)]).unwrap();
+        }
+        let mut support = PointSet::new(2).unwrap();
+        for _ in 0..n_support {
+            support.push(&[rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)]).unwrap();
+        }
+        let ids = (0..n_core as u64).collect();
+        Partition::new(core, ids, support).unwrap()
+    }
+
+    #[test]
+    fn matches_reference_on_random_data() {
+        for seed in 0..10 {
+            let p = random_partition(seed, 140, 35, 10.0);
+            let prm = params(1.0, 4);
+            let ib = IndexBased::default().detect(&p, prm);
+            let rf = Reference.detect(&p, prm);
+            assert_eq!(ib.outliers, rf.outliers, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn duplicate_heavy_data_is_exact() {
+        // All points identical: the degenerate-split guard must fire.
+        let pts: Vec<(f64, f64)> = vec![(1.0, 1.0); 100];
+        let p = Partition::standalone(PointSet::from_xy(&pts));
+        let det = IndexBased::default().detect(&p, params(0.5, 4));
+        assert!(det.outliers.is_empty());
+    }
+
+    #[test]
+    fn tiny_leaf_size_is_exact() {
+        let p = random_partition(5, 100, 20, 6.0);
+        let prm = params(0.8, 3);
+        let ib = IndexBased::new(1).detect(&p, prm);
+        let rf = Reference.detect(&p, prm);
+        assert_eq!(ib.outliers, rf.outliers);
+    }
+
+    #[test]
+    fn pruning_reduces_evaluations() {
+        let p = random_partition(11, 3000, 0, 20.0);
+        let prm = params(0.5, 4);
+        let ib = IndexBased::default().detect(&p, prm);
+        let rf = Reference.detect(&p, prm);
+        assert_eq!(ib.outliers, rf.outliers);
+        assert!(ib.stats.distance_evaluations < rf.stats.distance_evaluations / 2);
+    }
+
+    #[test]
+    fn empty_partition() {
+        let det = IndexBased::default()
+            .detect(&Partition::standalone(PointSet::new(2).unwrap()), params(1.0, 1));
+        assert!(det.outliers.is_empty());
+    }
+
+    #[test]
+    fn five_dimensional_exactness() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut core = PointSet::new(5).unwrap();
+        for _ in 0..150 {
+            let p: Vec<f64> = (0..5).map(|_| rng.gen_range(0.0..4.0)).collect();
+            core.push(&p).unwrap();
+        }
+        let p = Partition::standalone(core);
+        let prm = params(1.5, 3);
+        let ib = IndexBased::default().detect(&p, prm);
+        let rf = Reference.detect(&p, prm);
+        assert_eq!(ib.outliers, rf.outliers);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn equivalent_to_reference(
+            seed in 0u64..1000,
+            n_core in 0usize..70,
+            n_support in 0usize..25,
+            r in 0.2f64..3.0,
+            k in 1usize..6,
+            leaf in 1usize..32,
+        ) {
+            let p = random_partition(seed, n_core, n_support, 8.0);
+            let prm = params(r, k);
+            let ib = IndexBased::new(leaf).detect(&p, prm);
+            let rf = Reference.detect(&p, prm);
+            prop_assert_eq!(ib.outliers, rf.outliers);
+        }
+    }
+}

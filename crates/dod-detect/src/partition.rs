@@ -1,0 +1,157 @@
+//! The unit of work a detector operates on.
+//!
+//! After the map/shuffle phase of the DOD framework (Section III-B), each
+//! reducer receives for its partition the *core* points (tag `0`) whose
+//! outlier status it must decide, plus the *support* points (tag `1`)
+//! replicated from neighboring partitions. Lemma 3.1 guarantees this is
+//! exactly the information needed to classify every core point.
+
+use dod_core::{CoreError, PointId, PointSet, Rect};
+
+/// A self-contained detection task: core points (with their global ids)
+/// plus replicated support points.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    core: PointSet,
+    core_ids: Vec<PointId>,
+    support: PointSet,
+}
+
+impl Partition {
+    /// Creates a partition from core points (with their stable global ids)
+    /// and support points.
+    ///
+    /// # Errors
+    /// Returns an error if `core_ids` doesn't match the number of core
+    /// points or the two point sets disagree on dimensionality.
+    pub fn new(
+        core: PointSet,
+        core_ids: Vec<PointId>,
+        support: PointSet,
+    ) -> Result<Self, CoreError> {
+        if core_ids.len() != core.len() {
+            return Err(CoreError::InvalidParameter {
+                name: "core_ids",
+                reason: format!("{} ids for {} core points", core_ids.len(), core.len()),
+            });
+        }
+        if core.dim() != support.dim() {
+            return Err(CoreError::DimensionMismatch {
+                expected: core.dim(),
+                actual: support.dim(),
+            });
+        }
+        Ok(Partition { core, core_ids, support })
+    }
+
+    /// A partition whose core ids are simply `0..core.len()` and with no
+    /// support points — convenient for centralized (single-partition) use.
+    pub fn standalone(core: PointSet) -> Self {
+        let ids = (0..core.len() as PointId).collect();
+        let support = PointSet::new(core.dim()).expect("dim >= 1");
+        Partition { core, core_ids: ids, support }
+    }
+
+    /// Dimensionality of the partition's points.
+    pub fn dim(&self) -> usize {
+        self.core.dim()
+    }
+
+    /// The core points.
+    pub fn core(&self) -> &PointSet {
+        &self.core
+    }
+
+    /// Global id of core point `i`.
+    pub fn core_id(&self, i: usize) -> PointId {
+        self.core_ids[i]
+    }
+
+    /// All core ids, index-aligned with [`Partition::core`].
+    pub fn core_ids(&self) -> &[PointId] {
+        &self.core_ids
+    }
+
+    /// The support points.
+    pub fn support(&self) -> &PointSet {
+        &self.support
+    }
+
+    /// Total number of points visible to the detector.
+    pub fn total_len(&self) -> usize {
+        self.core.len() + self.support.len()
+    }
+
+    /// Coordinates of the `i`-th point in the unified core-then-support
+    /// ordering.
+    #[inline]
+    pub fn point(&self, i: usize) -> &[f64] {
+        if i < self.core.len() {
+            self.core.point(i)
+        } else {
+            self.support.point(i - self.core.len())
+        }
+    }
+
+    /// Bounding box over core and support points together.
+    ///
+    /// # Errors
+    /// Returns an error if the partition holds no points at all.
+    pub fn bounding_rect(&self) -> Result<Rect, CoreError> {
+        let dim = self.dim();
+        Rect::bounding(self.core.iter().chain(self.support.iter()), dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standalone_ids_are_sequential() {
+        let p = Partition::standalone(PointSet::from_xy(&[(0.0, 0.0), (1.0, 1.0)]));
+        assert_eq!(p.core_ids(), &[0, 1]);
+        assert_eq!(p.total_len(), 2);
+        assert_eq!(p.support().len(), 0);
+    }
+
+    #[test]
+    fn id_count_mismatch_rejected() {
+        let core = PointSet::from_xy(&[(0.0, 0.0)]);
+        let support = PointSet::new(2).unwrap();
+        assert!(Partition::new(core, vec![0, 1], support).is_err());
+    }
+
+    #[test]
+    fn dim_mismatch_rejected() {
+        let core = PointSet::from_xy(&[(0.0, 0.0)]);
+        let support = PointSet::new(3).unwrap();
+        assert!(Partition::new(core, vec![7], support).is_err());
+    }
+
+    #[test]
+    fn unified_point_indexing() {
+        let core = PointSet::from_xy(&[(0.0, 0.0)]);
+        let support = PointSet::from_xy(&[(9.0, 9.0)]);
+        let p = Partition::new(core, vec![42], support).unwrap();
+        assert_eq!(p.point(0), &[0.0, 0.0]);
+        assert_eq!(p.point(1), &[9.0, 9.0]);
+        assert_eq!(p.core_id(0), 42);
+    }
+
+    #[test]
+    fn bounding_rect_spans_support() {
+        let core = PointSet::from_xy(&[(0.0, 0.0)]);
+        let support = PointSet::from_xy(&[(9.0, -3.0)]);
+        let p = Partition::new(core, vec![0], support).unwrap();
+        let r = p.bounding_rect().unwrap();
+        assert_eq!(r.min(), &[0.0, -3.0]);
+        assert_eq!(r.max(), &[9.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_partition_bounding_rect_errors() {
+        let p = Partition::standalone(PointSet::new(2).unwrap());
+        assert!(p.bounding_rect().is_err());
+    }
+}

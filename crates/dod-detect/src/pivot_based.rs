@@ -1,0 +1,244 @@
+//! A pivot-based detector (the DOLPHIN class, paper reference [4]).
+//!
+//! The paper's related work singles out pivot-based indexing as the third
+//! notable class of centralized algorithms ("[4] improved upon these
+//! prior results by introducing the pivot-based index technique") while
+//! noting its global index does not distribute. Inside one partition,
+//! however, it is a perfectly good candidate, so this implementation
+//! makes the class available to the multi-tactic set `A`:
+//!
+//! * `p ≈ √n` pivots are sampled from the partition;
+//! * every point is assigned to its nearest pivot, and each pivot keeps
+//!   its points sorted by distance;
+//! * a neighbor count for `q` inspects, per pivot `v`, only the window
+//!   `|dist(q,v) − dist(x,v)| ≤ r` (the triangle-inequality necessary
+//!   condition), verifying real distances with early termination at `k`.
+//!
+//! Works in any dimension and for duplicated data; exact by construction
+//! since every point lives in exactly one pivot list and the window test
+//! never excludes a true neighbor.
+
+use crate::detector::{Detection, DetectionStats, Detector};
+use crate::partition::Partition;
+use dod_core::OutlierParams;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Pivot-index detector.
+#[derive(Debug, Clone, Copy)]
+pub struct PivotBased {
+    /// Number of pivots; 0 means "√n, clamped to [1, 128]".
+    pivots: usize,
+    seed: u64,
+}
+
+impl PivotBased {
+    /// Creates a detector with an explicit pivot count (0 = automatic).
+    pub fn new(pivots: usize) -> Self {
+        PivotBased { pivots, seed: 0xD0D_0003 }
+    }
+}
+
+impl Default for PivotBased {
+    fn default() -> Self {
+        PivotBased::new(0)
+    }
+}
+
+/// The per-pivot sorted list: `(distance to pivot, unified point index)`.
+struct PivotList {
+    pivot: Vec<f64>,
+    entries: Vec<(f64, u32)>,
+}
+
+impl Detector for PivotBased {
+    fn name(&self) -> &'static str {
+        "pivot-based"
+    }
+
+    fn detect(&self, partition: &Partition, params: OutlierParams) -> Detection {
+        let n_core = partition.core().len();
+        let total = partition.total_len();
+        if n_core == 0 {
+            return Detection::default();
+        }
+
+        // ---- Build the pivot index. ----
+        let num_pivots = if self.pivots > 0 {
+            self.pivots.min(total)
+        } else {
+            ((total as f64).sqrt() as usize).clamp(1, 128)
+        };
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut ids: Vec<u32> = (0..total as u32).collect();
+        ids.shuffle(&mut rng);
+        let mut lists: Vec<PivotList> = ids[..num_pivots]
+            .iter()
+            .map(|&i| PivotList { pivot: partition.point(i as usize).to_vec(), entries: Vec::new() })
+            .collect();
+
+        let metric = params.metric;
+        let mut stats = DetectionStats::default();
+        // Assign every point to its nearest pivot.
+        let mut assignment: Vec<(u32, f64)> = Vec::with_capacity(total);
+        for i in 0..total {
+            let x = partition.point(i);
+            let mut best = 0u32;
+            let mut best_d = f64::INFINITY;
+            for (vi, list) in lists.iter().enumerate() {
+                stats.index_operations += 1;
+                let d = metric.dist(x, &list.pivot);
+                if d < best_d {
+                    best_d = d;
+                    best = vi as u32;
+                }
+            }
+            assignment.push((best, best_d));
+        }
+        for (i, &(v, d)) in assignment.iter().enumerate() {
+            lists[v as usize].entries.push((d, i as u32));
+        }
+        for list in &mut lists {
+            list.entries.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+        }
+
+        // ---- Count neighbors per core point. ----
+        let mut outliers = Vec::new();
+        for i in 0..n_core {
+            let q = partition.core().point(i);
+            let mut neighbors = 0usize;
+            'pivots: for list in &lists {
+                let dq = metric.dist(q, &list.pivot);
+                stats.index_operations += 1;
+                // Window [dq - r, dq + r] in the sorted entry list.
+                let lo = list.entries.partition_point(|(d, _)| *d < dq - params.r);
+                for &(dj, j) in &list.entries[lo..] {
+                    if dj > dq + params.r {
+                        break; // sorted: nothing further can qualify
+                    }
+                    if j as usize == i {
+                        continue;
+                    }
+                    stats.distance_evaluations += 1;
+                    if params.neighbors(q, partition.point(j as usize)) {
+                        neighbors += 1;
+                        if neighbors >= params.k {
+                            break 'pivots;
+                        }
+                    }
+                }
+            }
+            if neighbors < params.k {
+                outliers.push(partition.core_id(i));
+            }
+        }
+        outliers.sort_unstable();
+        Detection { outliers, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::Reference;
+    use dod_core::PointSet;
+    use proptest::prelude::*;
+    use rand::Rng;
+
+    fn params(r: f64, k: usize) -> OutlierParams {
+        OutlierParams::new(r, k).unwrap()
+    }
+
+    fn random_partition(seed: u64, n_core: usize, n_support: usize, extent: f64) -> Partition {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut core = PointSet::new(2).unwrap();
+        for _ in 0..n_core {
+            core.push(&[rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)]).unwrap();
+        }
+        let mut support = PointSet::new(2).unwrap();
+        for _ in 0..n_support {
+            support.push(&[rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)]).unwrap();
+        }
+        let ids = (0..n_core as u64).collect();
+        Partition::new(core, ids, support).unwrap()
+    }
+
+    #[test]
+    fn matches_reference_on_random_data() {
+        for seed in 0..10 {
+            let p = random_partition(seed, 130, 30, 10.0);
+            let prm = params(1.0, 4);
+            let pb = PivotBased::default().detect(&p, prm);
+            let rf = Reference.detect(&p, prm);
+            assert_eq!(pb.outliers, rf.outliers, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn single_pivot_is_exact() {
+        let p = random_partition(3, 80, 10, 6.0);
+        let prm = params(0.8, 3);
+        let pb = PivotBased::new(1).detect(&p, prm);
+        let rf = Reference.detect(&p, prm);
+        assert_eq!(pb.outliers, rf.outliers);
+    }
+
+    #[test]
+    fn more_pivots_than_points_is_exact() {
+        let p = random_partition(4, 10, 0, 3.0);
+        let prm = params(1.0, 2);
+        let pb = PivotBased::new(1000).detect(&p, prm);
+        let rf = Reference.detect(&p, prm);
+        assert_eq!(pb.outliers, rf.outliers);
+    }
+
+    #[test]
+    fn duplicates_are_exact() {
+        let pts: Vec<(f64, f64)> = vec![(1.0, 1.0); 60];
+        let p = Partition::standalone(PointSet::from_xy(&pts));
+        let det = PivotBased::default().detect(&p, params(0.5, 4));
+        assert!(det.outliers.is_empty());
+    }
+
+    #[test]
+    fn empty_partition() {
+        let det = PivotBased::default()
+            .detect(&Partition::standalone(PointSet::new(2).unwrap()), params(1.0, 1));
+        assert!(det.outliers.is_empty());
+    }
+
+    #[test]
+    fn window_pruning_saves_work_on_spread_data() {
+        let p = random_partition(5, 3000, 0, 200.0);
+        let prm = params(1.0, 3);
+        let pb = PivotBased::default().detect(&p, prm);
+        let rf = Reference.detect(&p, prm);
+        assert_eq!(pb.outliers, rf.outliers);
+        assert!(
+            pb.stats.distance_evaluations < rf.stats.distance_evaluations / 2,
+            "pivot {} vs reference {}",
+            pb.stats.distance_evaluations,
+            rf.stats.distance_evaluations
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn equivalent_to_reference(
+            seed in 0u64..1000,
+            n_core in 0usize..60,
+            n_support in 0usize..20,
+            r in 0.2f64..3.0,
+            k in 1usize..6,
+            pivots in 0usize..12,
+        ) {
+            let p = random_partition(seed, n_core, n_support, 8.0);
+            let prm = params(r, k);
+            let pb = PivotBased::new(pivots).detect(&p, prm);
+            let rf = Reference.detect(&p, prm);
+            prop_assert_eq!(pb.outliers, rf.outliers);
+        }
+    }
+}

@@ -1,0 +1,427 @@
+//! The AF-tree: an R-tree-like index over cluster Aggregate Features
+//! (Section V-A).
+//!
+//! "The key realization of DSHC relies on a well-designed Aggregate
+//! Features (AF) data structure and a R-tree like index structure to hold
+//! the AF information in its node as well as indexing spatial information,
+//! called AF tree. Each leaf node of the AF tree corresponds to one
+//! cluster ... A non-leaf node is represented by a pair
+//! (Rect, child-pointer) where Rect is a bounding box that covers all
+//! rectangles in the lower nodes' entries."
+//!
+//! The tree indexes integer bucket-space rectangles ([`IntRect`]) and maps
+//! them to cluster ids. DSHC's search operation probes with a cluster's
+//! rectangle grown by one bucket, which finds exactly the overlapping and
+//! adjacent entries. Inserting past a node's capacity triggers the
+//! standard R-tree split (linear seeds, least-enlargement distribution).
+
+use crate::intrect::IntRect;
+
+/// R-tree over `(cluster id, rectangle)` entries.
+#[derive(Debug)]
+pub struct AfTree {
+    root: Node,
+    max_entries: usize,
+    len: usize,
+}
+
+#[derive(Debug)]
+enum Node {
+    Leaf(Vec<(u32, IntRect)>),
+    Inner(Vec<(IntRect, Node)>),
+}
+
+impl Node {
+    fn bounds(&self) -> Option<IntRect> {
+        match self {
+            Node::Leaf(entries) => {
+                entries.iter().map(|(_, r)| r.clone()).reduce(|a, b| a.union(&b))
+            }
+            Node::Inner(children) => {
+                children.iter().map(|(r, _)| r.clone()).reduce(|a, b| a.union(&b))
+            }
+        }
+    }
+}
+
+impl AfTree {
+    /// Creates an empty tree with the given node capacity (minimum 4).
+    pub fn new(max_entries: usize) -> Self {
+        AfTree { root: Node::Leaf(Vec::new()), max_entries: max_entries.max(4), len: 0 }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts an entry.
+    pub fn insert(&mut self, id: u32, rect: IntRect) {
+        self.len += 1;
+        if let Some((a, b)) = Self::insert_rec(&mut self.root, id, rect, self.max_entries) {
+            // Root split: grow the tree by one level.
+            let a_bounds = a.bounds().expect("split node non-empty");
+            let b_bounds = b.bounds().expect("split node non-empty");
+            self.root = Node::Inner(vec![(a_bounds, a), (b_bounds, b)]);
+        }
+    }
+
+    /// Removes the entry with this id and rectangle. Returns whether an
+    /// entry was removed.
+    pub fn remove(&mut self, id: u32, rect: &IntRect) -> bool {
+        let removed = Self::remove_rec(&mut self.root, id, rect);
+        if removed {
+            self.len -= 1;
+            // Collapse a root with a single inner child.
+            loop {
+                match &mut self.root {
+                    Node::Inner(children) if children.len() == 1 => {
+                        let (_, child) = children.pop().expect("one child");
+                        self.root = child;
+                    }
+                    Node::Inner(children) if children.is_empty() => {
+                        self.root = Node::Leaf(Vec::new());
+                        break;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        removed
+    }
+
+    /// Ids of all entries whose rectangle intersects `probe` (inclusive).
+    /// Probing with [`IntRect::grown_by_one`] of a cluster's rectangle
+    /// yields the overlapping *and adjacent* clusters — the LMC candidates
+    /// of DSHC's search operation.
+    pub fn search_intersecting(&self, probe: &IntRect) -> Vec<u32> {
+        let mut out = Vec::new();
+        Self::search_rec(&self.root, probe, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    fn search_rec(node: &Node, probe: &IntRect, out: &mut Vec<u32>) {
+        match node {
+            Node::Leaf(entries) => {
+                for (id, r) in entries {
+                    if r.intersects(probe) {
+                        out.push(*id);
+                    }
+                }
+            }
+            Node::Inner(children) => {
+                for (bounds, child) in children {
+                    if bounds.intersects(probe) {
+                        Self::search_rec(child, probe, out);
+                    }
+                }
+            }
+        }
+    }
+
+    fn insert_rec(node: &mut Node, id: u32, rect: IntRect, cap: usize) -> Option<(Node, Node)> {
+        match node {
+            Node::Leaf(entries) => {
+                entries.push((id, rect));
+                if entries.len() > cap {
+                    let split = split_leaf(std::mem::take(entries), cap);
+                    return Some(split);
+                }
+                None
+            }
+            Node::Inner(children) => {
+                // Least-enlargement child choice.
+                let mut best = 0usize;
+                let mut best_enl = u64::MAX;
+                let mut best_cells = u64::MAX;
+                for (i, (bounds, _)) in children.iter().enumerate() {
+                    let enl = bounds.enlargement(&rect);
+                    let cells = bounds.cells();
+                    if enl < best_enl || (enl == best_enl && cells < best_cells) {
+                        best = i;
+                        best_enl = enl;
+                        best_cells = cells;
+                    }
+                }
+                let split = Self::insert_rec(&mut children[best].1, id, rect.clone(), cap);
+                children[best].0 = children[best].0.union(&rect);
+                if let Some((a, b)) = split {
+                    let a_bounds = a.bounds().expect("non-empty");
+                    let b_bounds = b.bounds().expect("non-empty");
+                    children.remove(best);
+                    children.push((a_bounds, a));
+                    children.push((b_bounds, b));
+                    if children.len() > cap {
+                        let split = split_inner(std::mem::take(children), cap);
+                        return Some(split);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    fn remove_rec(node: &mut Node, id: u32, rect: &IntRect) -> bool {
+        match node {
+            Node::Leaf(entries) => {
+                if let Some(pos) = entries.iter().position(|(eid, _)| *eid == id) {
+                    entries.remove(pos);
+                    true
+                } else {
+                    false
+                }
+            }
+            Node::Inner(children) => {
+                for i in 0..children.len() {
+                    if !children[i].0.intersects(rect) {
+                        continue;
+                    }
+                    if Self::remove_rec(&mut children[i].1, id, rect) {
+                        // Tighten or drop the child.
+                        match children[i].1.bounds() {
+                            Some(b) => children[i].0 = b,
+                            None => {
+                                children.remove(i);
+                            }
+                        }
+                        return true;
+                    }
+                }
+                false
+            }
+        }
+    }
+}
+
+/// Linear-split of an overfull leaf: pick the two entries whose union is
+/// largest as seeds, distribute the rest by least enlargement.
+fn split_leaf(entries: Vec<(u32, IntRect)>, _cap: usize) -> (Node, Node) {
+    let (sa, sb) = pick_seeds(entries.iter().map(|(_, r)| r));
+    let mut a_entries: Vec<(u32, IntRect)> = Vec::new();
+    let mut b_entries: Vec<(u32, IntRect)> = Vec::new();
+    let mut a_bounds: Option<IntRect> = None;
+    let mut b_bounds: Option<IntRect> = None;
+    for (i, (id, r)) in entries.into_iter().enumerate() {
+        let to_a = if i == sa {
+            true
+        } else if i == sb {
+            false
+        } else {
+            prefers_a(&r, &a_bounds, &b_bounds, a_entries.len(), b_entries.len())
+        };
+        if to_a {
+            a_bounds = Some(a_bounds.map_or(r.clone(), |b| b.union(&r)));
+            a_entries.push((id, r));
+        } else {
+            b_bounds = Some(b_bounds.map_or(r.clone(), |b| b.union(&r)));
+            b_entries.push((id, r));
+        }
+    }
+    (Node::Leaf(a_entries), Node::Leaf(b_entries))
+}
+
+/// Linear-split of an overfull inner node.
+fn split_inner(children: Vec<(IntRect, Node)>, _cap: usize) -> (Node, Node) {
+    let (sa, sb) = pick_seeds(children.iter().map(|(r, _)| r));
+    let mut a_children: Vec<(IntRect, Node)> = Vec::new();
+    let mut b_children: Vec<(IntRect, Node)> = Vec::new();
+    let mut a_bounds: Option<IntRect> = None;
+    let mut b_bounds: Option<IntRect> = None;
+    for (i, (r, n)) in children.into_iter().enumerate() {
+        let to_a = if i == sa {
+            true
+        } else if i == sb {
+            false
+        } else {
+            prefers_a(&r, &a_bounds, &b_bounds, a_children.len(), b_children.len())
+        };
+        if to_a {
+            a_bounds = Some(a_bounds.map_or(r.clone(), |b| b.union(&r)));
+            a_children.push((r, n));
+        } else {
+            b_bounds = Some(b_bounds.map_or(r.clone(), |b| b.union(&r)));
+            b_children.push((r, n));
+        }
+    }
+    (Node::Inner(a_children), Node::Inner(b_children))
+}
+
+/// Indices of the two rectangles whose pairwise union is largest.
+fn pick_seeds<'a, I>(rects: I) -> (usize, usize)
+where
+    I: Iterator<Item = &'a IntRect>,
+{
+    let rects: Vec<&IntRect> = rects.collect();
+    debug_assert!(rects.len() >= 2);
+    let mut best = (0, 1);
+    let mut best_waste = 0i64;
+    for i in 0..rects.len() {
+        for j in i + 1..rects.len() {
+            let waste = rects[i].union(rects[j]).cells() as i64
+                - rects[i].cells() as i64
+                - rects[j].cells() as i64;
+            if waste > best_waste || (i, j) == (0, 1) {
+                best = (i, j);
+                best_waste = waste;
+            }
+        }
+    }
+    best
+}
+
+/// Least-enlargement group preference, breaking ties toward the smaller
+/// group to keep the split balanced.
+fn prefers_a(
+    r: &IntRect,
+    a_bounds: &Option<IntRect>,
+    b_bounds: &Option<IntRect>,
+    a_len: usize,
+    b_len: usize,
+) -> bool {
+    let enl_a = a_bounds.as_ref().map_or(0, |b| b.enlargement(r));
+    let enl_b = b_bounds.as_ref().map_or(0, |b| b.enlargement(r));
+    if enl_a != enl_b {
+        enl_a < enl_b
+    } else {
+        a_len <= b_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(x: u32, y: u32) -> IntRect {
+        IntRect::unit(&[x, y])
+    }
+
+    #[test]
+    fn insert_and_search_point_entries() {
+        let mut t = AfTree::new(4);
+        for x in 0..10u32 {
+            t.insert(x, unit(x, 0));
+        }
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.search_intersecting(&unit(3, 0)), vec![3]);
+        // Grown probe finds the adjacent entries too.
+        let probe = unit(3, 0).grown_by_one(&[10, 1]);
+        assert_eq!(t.search_intersecting(&probe), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn search_on_empty_tree() {
+        let t = AfTree::new(4);
+        assert!(t.search_intersecting(&unit(0, 0)).is_empty());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn remove_entries() {
+        let mut t = AfTree::new(4);
+        for x in 0..20u32 {
+            t.insert(x, unit(x, x));
+        }
+        assert!(t.remove(7, &unit(7, 7)));
+        assert!(!t.remove(7, &unit(7, 7)));
+        assert_eq!(t.len(), 19);
+        assert!(t.search_intersecting(&unit(7, 7)).is_empty());
+        assert_eq!(t.search_intersecting(&unit(8, 8)), vec![8]);
+    }
+
+    #[test]
+    fn remove_everything_leaves_empty_tree() {
+        let mut t = AfTree::new(4);
+        for x in 0..30u32 {
+            t.insert(x, unit(x % 6, x / 6));
+        }
+        for x in 0..30u32 {
+            assert!(t.remove(x, &unit(x % 6, x / 6)), "remove {x}");
+        }
+        assert!(t.is_empty());
+        assert!(t.search_intersecting(&IntRect::new(vec![0, 0], vec![9, 9])).is_empty());
+    }
+
+    #[test]
+    fn splits_preserve_all_entries() {
+        let mut t = AfTree::new(4);
+        let n = 200u32;
+        for i in 0..n {
+            t.insert(i, unit(i % 16, i / 16));
+        }
+        let all = t.search_intersecting(&IntRect::new(vec![0, 0], vec![15, 15]));
+        assert_eq!(all.len(), n as usize);
+    }
+
+    #[test]
+    fn search_box_entries() {
+        let mut t = AfTree::new(4);
+        t.insert(0, IntRect::new(vec![0, 0], vec![3, 3]));
+        t.insert(1, IntRect::new(vec![4, 0], vec![7, 3]));
+        t.insert(2, IntRect::new(vec![0, 4], vec![7, 7]));
+        // Probe overlapping only cluster 1.
+        assert_eq!(t.search_intersecting(&IntRect::new(vec![5, 1], vec![6, 2])), vec![1]);
+        // Probe at the seam finds both (inclusive intersection).
+        assert_eq!(t.search_intersecting(&IntRect::new(vec![3, 0], vec![4, 0])), vec![0, 1]);
+    }
+
+    #[test]
+    fn reinsertion_after_growth() {
+        // The DSHC update pattern: remove a cluster, insert a grown one.
+        let mut t = AfTree::new(4);
+        t.insert(0, IntRect::new(vec![0, 0], vec![1, 1]));
+        t.insert(1, IntRect::new(vec![2, 0], vec![3, 1]));
+        assert!(t.remove(0, &IntRect::new(vec![0, 0], vec![1, 1])));
+        assert!(t.remove(1, &IntRect::new(vec![2, 0], vec![3, 1])));
+        t.insert(2, IntRect::new(vec![0, 0], vec![3, 1]));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.search_intersecting(&unit(1, 0)), vec![2]);
+    }
+
+    #[test]
+    fn random_workload_matches_linear_scan() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut t = AfTree::new(6);
+        let mut reference: Vec<(u32, IntRect)> = Vec::new();
+        let mut next_id = 0u32;
+        for _ in 0..500 {
+            if !reference.is_empty() && rng.gen_bool(0.3) {
+                let i = rng.gen_range(0..reference.len());
+                let (id, rect) = reference.swap_remove(i);
+                assert!(t.remove(id, &rect));
+            } else {
+                let x0 = rng.gen_range(0..28u32);
+                let y0 = rng.gen_range(0..28u32);
+                let rect = IntRect::new(
+                    vec![x0, y0],
+                    vec![x0 + rng.gen_range(0..4), y0 + rng.gen_range(0..4)],
+                );
+                t.insert(next_id, rect.clone());
+                reference.push((next_id, rect));
+                next_id += 1;
+            }
+            // Compare a random probe against linear scan.
+            let px = rng.gen_range(0..30u32);
+            let py = rng.gen_range(0..30u32);
+            let probe = IntRect::new(
+                vec![px, py],
+                vec![px + rng.gen_range(0..3), py + rng.gen_range(0..3)],
+            );
+            let mut expected: Vec<u32> = reference
+                .iter()
+                .filter(|(_, r)| r.intersects(&probe))
+                .map(|(id, _)| *id)
+                .collect();
+            expected.sort_unstable();
+            assert_eq!(t.search_intersecting(&probe), expected);
+            assert_eq!(t.len(), reference.len());
+        }
+    }
+}

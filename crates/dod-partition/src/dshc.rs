@@ -1,0 +1,348 @@
+//! Density and Spatial-aware Hierarchical Clustering (Section V-A, step 1).
+//!
+//! DSHC groups mini buckets of similar density into rectangular clusters
+//! with a single scan, using the [`crate::af_tree::AfTree`] to find merge
+//! candidates. It implements the paper's three constraints:
+//!
+//! 1. *density and spatial-aware*: only spatially-adjacent clusters of
+//!    similar density (|Δdensity| < `Tdiff`, Definition 5.2) merge;
+//! 2. *rectangle-shaped clusters only* (Definition 5.3), so the final
+//!    partition plan stays cheap to apply at the mappers;
+//! 3. *cardinality constraint*: a cluster never exceeds `Tmax#` points
+//!    (the number a single reducer can hold in memory).
+//!
+//! Merging a bucket triggers the recursive upward merge of Definition 5.4:
+//! the augmented cluster keeps absorbing eligible neighbors until no
+//! further merge applies.
+
+use crate::af_tree::AfTree;
+use crate::intrect::IntRect;
+use crate::minibucket::MiniBucketGrid;
+use std::collections::HashMap;
+
+/// A DSHC cluster: the materialized Aggregate Feature of Definition 5.1
+/// (`numPoints`, bucket-space bounds; density is derived).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cluster {
+    /// Bucket-space bounds of the cluster.
+    pub rect: IntRect,
+    /// Number of sample points aggregated in the cluster.
+    pub count: u64,
+}
+
+impl Cluster {
+    /// Density in real coordinates: sample count over covered volume.
+    pub fn density(&self, grid: &MiniBucketGrid) -> f64 {
+        let vol = self.rect.cells() as f64 * grid.bucket_volume();
+        if vol == 0.0 {
+            if self.count == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.count as f64 / vol
+        }
+    }
+}
+
+/// DSHC tuning parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DshcConfig {
+    /// Maximum density difference `Tdiff` (Definition 5.2), in absolute
+    /// sample-points-per-volume units.
+    pub tdiff: f64,
+    /// Maximum number of (sample) points per cluster `Tmax#`
+    /// (Definition 5.2). `u64::MAX` disables the cap.
+    pub max_points: u64,
+    /// AF-tree node capacity.
+    pub tree_fanout: usize,
+}
+
+impl DshcConfig {
+    /// A config with `tdiff` set relative to the grid's mean non-empty
+    /// density: `tdiff = factor × total_count / domain_volume`.
+    pub fn relative(grid: &MiniBucketGrid, factor: f64, max_points: u64) -> Self {
+        let volume = grid.grid().domain().volume();
+        let mean = if volume > 0.0 { grid.total_count() as f64 / volume } else { 0.0 };
+        DshcConfig { tdiff: mean * factor, max_points, tree_fanout: 8 }
+    }
+}
+
+impl Default for DshcConfig {
+    fn default() -> Self {
+        DshcConfig { tdiff: f64::INFINITY, max_points: u64::MAX, tree_fanout: 8 }
+    }
+}
+
+/// The DSHC clustering algorithm.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Dshc;
+
+impl Dshc {
+    /// Clusters every mini bucket of `grid` into rectangular partitions.
+    ///
+    /// The returned clusters are pairwise disjoint in bucket space and
+    /// cover the grid exactly.
+    pub fn cluster(grid: &MiniBucketGrid, config: &DshcConfig) -> Vec<Cluster> {
+        let limits = grid.limits();
+        let mut tree = AfTree::new(config.tree_fanout);
+        let mut live: HashMap<u32, Cluster> = HashMap::new();
+        let mut next_id: u32 = 0;
+
+        for (coords, count) in grid.iter_buckets() {
+            let bucket =
+                Cluster { rect: IntRect::unit(&coords), count: count as u64 };
+
+            // Search operation: overlapping-or-adjacent clusters.
+            let probe = bucket.rect.grown_by_one(&limits);
+            let lmc = tree.search_intersecting(&probe);
+
+            // Merge operation: filter by the Definition 5.2 criteria and
+            // pick the most density-similar candidate.
+            let chosen = best_merge_candidate(grid, config, &bucket, &lmc, &live);
+
+            match chosen {
+                Some(cid) => {
+                    let mut cluster = live.remove(&cid).expect("live cluster");
+                    assert!(tree.remove(cid, &cluster.rect), "tree in sync");
+                    cluster.rect = cluster.rect.union(&bucket.rect);
+                    cluster.count += bucket.count;
+                    // Recursive upward merge.
+                    cluster = Self::merge_recursively(
+                        grid, config, &limits, &mut tree, &mut live, cluster,
+                    );
+                    let id = next_id;
+                    next_id += 1;
+                    tree.insert(id, cluster.rect.clone());
+                    live.insert(id, cluster);
+                }
+                None => {
+                    // Insert operation: the bucket becomes its own cluster.
+                    let id = next_id;
+                    next_id += 1;
+                    tree.insert(id, bucket.rect.clone());
+                    live.insert(id, bucket);
+                }
+            }
+        }
+
+        let mut clusters: Vec<Cluster> = live.into_values().collect();
+        // Deterministic output order: by lower-left corner.
+        clusters.sort_by(|a, b| a.rect.lo().cmp(b.rect.lo()));
+        clusters
+    }
+
+    /// Keeps merging `cluster` with eligible neighbors until none remains
+    /// (the recursive merge along the path described for Definition 5.4).
+    fn merge_recursively(
+        grid: &MiniBucketGrid,
+        config: &DshcConfig,
+        limits: &[u32],
+        tree: &mut AfTree,
+        live: &mut HashMap<u32, Cluster>,
+        mut cluster: Cluster,
+    ) -> Cluster {
+        loop {
+            let probe = cluster.rect.grown_by_one(limits);
+            let lmc = tree.search_intersecting(&probe);
+            let Some(cid) = best_merge_candidate(grid, config, &cluster, &lmc, live) else {
+                return cluster;
+            };
+            let other = live.remove(&cid).expect("live cluster");
+            assert!(tree.remove(cid, &other.rect), "tree in sync");
+            cluster.rect = cluster.rect.union(&other.rect);
+            cluster.count += other.count;
+        }
+    }
+}
+
+/// Applies the Definition 5.2 merging criteria to every LMC candidate and
+/// returns the one with the most similar density, if any.
+fn best_merge_candidate(
+    grid: &MiniBucketGrid,
+    config: &DshcConfig,
+    target: &Cluster,
+    lmc: &[u32],
+    live: &HashMap<u32, Cluster>,
+) -> Option<u32> {
+    let target_density = target.density(grid);
+    let mut best: Option<(u32, f64)> = None;
+    for &cid in lmc {
+        let cand = &live[&cid];
+        // Criterion 2: rectangular union.
+        if !target.rect.union_is_rectangular(&cand.rect) {
+            continue;
+        }
+        // Criterion 1: density similarity.
+        let diff = (cand.density(grid) - target_density).abs();
+        if !(diff < config.tdiff) {
+            continue;
+        }
+        // Criterion 3: cardinality cap.
+        if target.count + cand.count >= config.max_points {
+            continue;
+        }
+        if best.is_none_or(|(_, d)| diff < d) {
+            best = Some((cid, diff));
+        }
+    }
+    best.map(|(cid, _)| cid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dod_core::{PointSet, Rect};
+
+    fn grid_from(points: &[(f64, f64)], buckets: usize) -> MiniBucketGrid {
+        let domain = Rect::new(vec![0.0, 0.0], vec![8.0, 8.0]).unwrap();
+        MiniBucketGrid::build(&domain, buckets, &PointSet::from_xy(points)).unwrap()
+    }
+
+    /// Every bucket must end up in exactly one cluster.
+    fn assert_exact_cover(grid: &MiniBucketGrid, clusters: &[Cluster]) {
+        let total: u64 = clusters.iter().map(|c| c.rect.cells()).sum();
+        assert_eq!(total, grid.num_buckets() as u64, "cell count covers grid");
+        for (i, a) in clusters.iter().enumerate() {
+            for b in &clusters[i + 1..] {
+                assert!(!a.rect.intersects(&b.rect), "{:?} overlaps {:?}", a.rect, b.rect);
+            }
+        }
+        let count: u64 = clusters.iter().map(|c| c.count).sum();
+        assert_eq!(count, grid.total_count());
+    }
+
+    #[test]
+    fn uniform_empty_grid_collapses_to_one_cluster() {
+        let grid = grid_from(&[], 8);
+        let clusters = Dshc::cluster(&grid, &DshcConfig::default());
+        assert_exact_cover(&grid, &clusters);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].rect.cells(), 64);
+    }
+
+    #[test]
+    fn unbounded_config_merges_everything() {
+        let pts: Vec<(f64, f64)> =
+            (0..50).map(|i| (0.1 + (i % 8) as f64, 0.1 + (i / 8) as f64)).collect();
+        let grid = grid_from(&pts, 8);
+        let clusters = Dshc::cluster(&grid, &DshcConfig::default());
+        assert_exact_cover(&grid, &clusters);
+        assert_eq!(clusters.len(), 1, "infinite tdiff merges all: {clusters:?}");
+    }
+
+    #[test]
+    fn density_gate_separates_dense_block() {
+        // Left half dense (16 pts per bucket), right half empty.
+        let mut pts = Vec::new();
+        for bx in 0..4 {
+            for by in 0..8 {
+                for i in 0..16 {
+                    pts.push((bx as f64 + 0.03 * i as f64, by as f64 + 0.5));
+                }
+            }
+        }
+        let grid = grid_from(&pts, 8);
+        let config = DshcConfig { tdiff: 1.0, max_points: u64::MAX, tree_fanout: 8 };
+        let clusters = Dshc::cluster(&grid, &config);
+        assert_exact_cover(&grid, &clusters);
+        // Dense and empty halves cannot merge (Δdensity = 16 >= 1).
+        assert!(clusters.len() >= 2);
+        for c in &clusters {
+            let d = c.density(&grid);
+            assert!(d < 1.0 || d > 15.0, "mixed-density cluster: {d}");
+        }
+    }
+
+    #[test]
+    fn cardinality_cap_limits_cluster_counts() {
+        let pts: Vec<(f64, f64)> = (0..64)
+            .flat_map(|b| {
+                let (bx, by) = (b % 8, b / 8);
+                (0..4).map(move |i| (bx as f64 + 0.1 + 0.01 * i as f64, by as f64 + 0.5))
+            })
+            .collect();
+        let grid = grid_from(&pts, 8);
+        // Every bucket holds 4 samples; cap at 32 -> clusters of <= 8 buckets.
+        let config = DshcConfig { tdiff: f64::INFINITY, max_points: 32, tree_fanout: 8 };
+        let clusters = Dshc::cluster(&grid, &config);
+        assert_exact_cover(&grid, &clusters);
+        for c in &clusters {
+            assert!(c.count < 32, "cluster of {} points exceeds Tmax#", c.count);
+        }
+        assert!(clusters.len() >= 8);
+    }
+
+    #[test]
+    fn clusters_are_rectangular_by_construction() {
+        // An L-shaped dense region must split into >= 2 rectangles.
+        let mut pts = Vec::new();
+        // Vertical bar x in [0,1), full height; horizontal bar y in [0,1).
+        for by in 0..8 {
+            for i in 0..8 {
+                pts.push((0.1 + 0.05 * i as f64, by as f64 + 0.5));
+            }
+        }
+        for bx in 1..8 {
+            for i in 0..8 {
+                pts.push((bx as f64 + 0.5, 0.1 + 0.05 * i as f64));
+            }
+        }
+        let grid = grid_from(&pts, 8);
+        let config = DshcConfig { tdiff: 4.0, max_points: u64::MAX, tree_fanout: 8 };
+        let clusters = Dshc::cluster(&grid, &config);
+        assert_exact_cover(&grid, &clusters);
+        let dense: Vec<&Cluster> = clusters.iter().filter(|c| c.density(&grid) > 4.0).collect();
+        assert!(dense.len() >= 2, "L-shape needs >= 2 rectangles, got {}", dense.len());
+    }
+
+    #[test]
+    fn single_bucket_grid() {
+        let domain = Rect::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
+        let grid =
+            MiniBucketGrid::build(&domain, 1, &PointSet::from_xy(&[(0.5, 0.5)])).unwrap();
+        let clusters = Dshc::cluster(&grid, &DshcConfig::default());
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].count, 1);
+    }
+
+    #[test]
+    fn relative_config_scales_with_mean_density() {
+        let pts: Vec<(f64, f64)> = (0..640).map(|i| ((i % 80) as f64 * 0.1, (i / 80) as f64)).collect();
+        let grid = grid_from(&pts, 8);
+        let c = DshcConfig::relative(&grid, 0.5, 1000);
+        // mean density = 640/64 = 10 per unit²; tdiff = 5.
+        assert!((c.tdiff - 5.0).abs() < 1e-9);
+        assert_eq!(c.max_points, 1000);
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let pts: Vec<(f64, f64)> =
+            (0..200).map(|i| ((i * 7 % 80) as f64 * 0.1, (i * 13 % 80) as f64 * 0.1)).collect();
+        let grid = grid_from(&pts, 8);
+        let config = DshcConfig { tdiff: 2.0, max_points: 64, tree_fanout: 8 };
+        let a = Dshc::cluster(&grid, &config);
+        let b = Dshc::cluster(&grid, &config);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gaussian_blob_produces_fewer_clusters_than_buckets() {
+        // A skewed dataset: dense 2x2-bucket blob + sparse background.
+        let mut pts = Vec::new();
+        for i in 0..400 {
+            pts.push((2.0 + (i % 20) as f64 * 0.1, 2.0 + (i / 20) as f64 * 0.1));
+        }
+        for i in 0..16 {
+            pts.push((0.5 + (i % 4) as f64 * 2.0, 0.5 + (i / 4) as f64 * 2.0));
+        }
+        let grid = grid_from(&pts, 8);
+        let config = DshcConfig::relative(&grid, 1.0, u64::MAX);
+        let clusters = Dshc::cluster(&grid, &config);
+        assert_exact_cover(&grid, &clusters);
+        assert!(clusters.len() < 64, "got {} clusters", clusters.len());
+        assert!(clusters.len() > 1);
+    }
+}

@@ -1,0 +1,322 @@
+//! Multi-bin packing for partition allocation (Section V-A, step 3).
+//!
+//! "This problem is equivalent to the problem of multi-bin packing, in
+//! which a set of N numbers needs to be divided into K subsets, such that
+//! the sums within each subset are as similar as possible. This problem is
+//! known to be NP-Complete. ... In DOD, we adopt the polynomial-time
+//! algorithm proposed in [25]." We implement the standard polynomial
+//! scheme — Longest-Processing-Time-first list scheduling — plus a local
+//! pairwise-improvement pass, and the naive policies the non-cost-aware
+//! baselines use.
+
+/// What quantity an allocation balances across reducers.
+///
+/// The paper's baselines balance *cardinality* (the "traditional load
+/// balancing assumption" of Section IV-A); CDriven and DMT balance the
+/// *predicted cost* of the Section IV models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BalanceWeight {
+    /// Balance estimated partition cardinalities.
+    Cardinality,
+    /// Balance predicted detection costs.
+    Cost,
+}
+
+/// A full allocation specification: packing policy plus the quantity it
+/// balances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocationSpec {
+    /// The packing policy.
+    pub policy: AllocationPolicy,
+    /// The balanced quantity (ignored by [`AllocationPolicy::RoundRobin`]).
+    pub weight: BalanceWeight,
+}
+
+impl AllocationSpec {
+    /// Hash-style round-robin (the Domain / uniSpace baselines).
+    pub fn round_robin() -> Self {
+        AllocationSpec { policy: AllocationPolicy::RoundRobin, weight: BalanceWeight::Cardinality }
+    }
+
+    /// Cardinality-balanced LPT (the DDriven baseline).
+    pub fn cardinality() -> Self {
+        AllocationSpec { policy: AllocationPolicy::LptRefined, weight: BalanceWeight::Cardinality }
+    }
+
+    /// Cost-balanced LPT (CDriven and DMT).
+    pub fn cost() -> Self {
+        AllocationSpec { policy: AllocationPolicy::LptRefined, weight: BalanceWeight::Cost }
+    }
+}
+
+/// How partitions are assigned to reducers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocationPolicy {
+    /// Partition `i` goes to reducer `i mod K` — what a hash partitioner
+    /// effectively does; used by the Domain and uniSpace baselines.
+    RoundRobin,
+    /// LPT greedy: heaviest partition first, always into the currently
+    /// lightest bin.
+    Lpt,
+    /// LPT followed by pairwise move/swap refinement until no improvement.
+    LptRefined,
+}
+
+/// Assigns each weighted item to one of `bins` bins under `policy`,
+/// returning the bin index per item.
+///
+/// Weights must be non-negative and finite; `bins` of 0 is coerced to 1.
+pub fn allocate(weights: &[f64], bins: usize, policy: AllocationPolicy) -> Vec<usize> {
+    let bins = bins.max(1);
+    match policy {
+        AllocationPolicy::RoundRobin => (0..weights.len()).map(|i| i % bins).collect(),
+        AllocationPolicy::Lpt => lpt(weights, bins),
+        AllocationPolicy::LptRefined => {
+            let mut assign = lpt(weights, bins);
+            refine(weights, bins, &mut assign);
+            assign
+        }
+    }
+}
+
+/// The resulting per-bin loads of an assignment.
+pub fn bin_loads(weights: &[f64], bins: usize, assignment: &[usize]) -> Vec<f64> {
+    let mut loads = vec![0.0; bins.max(1)];
+    for (i, &b) in assignment.iter().enumerate() {
+        loads[b] += weights[i];
+    }
+    loads
+}
+
+/// The makespan (maximum bin load) of an assignment.
+pub fn assignment_makespan(weights: &[f64], bins: usize, assignment: &[usize]) -> f64 {
+    bin_loads(weights, bins, assignment).into_iter().fold(0.0, f64::max)
+}
+
+fn lpt(weights: &[f64], bins: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| {
+        weights[b].partial_cmp(&weights[a]).expect("finite weights").then(a.cmp(&b))
+    });
+    let mut loads = vec![0.0f64; bins];
+    let mut assign = vec![0usize; weights.len()];
+    for &i in &order {
+        let (bin, _) = loads
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite loads"))
+            .expect("bins >= 1");
+        assign[i] = bin;
+        loads[bin] += weights[i];
+    }
+    assign
+}
+
+/// Local search: move single items from the heaviest bin, or swap a pair
+/// between the heaviest bin and another bin, whenever it reduces the
+/// makespan *meaningfully* (relative threshold — with float weights an
+/// absolute epsilon admits astronomically long chains of microscopic
+/// improvements). A hard iteration cap bounds the worst case.
+fn refine(weights: &[f64], bins: usize, assign: &mut [usize]) {
+    let max_rounds = 4 * assign.len().max(1);
+    for _ in 0..max_rounds {
+        let loads = bin_loads(weights, bins, assign);
+        let (hot, &hot_load) = loads
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite"))
+            .expect("bins >= 1");
+        // Only accept improvements worth at least 0.1% of the current
+        // makespan (or any improvement for small integral weights).
+        let threshold = hot_load - (hot_load * 1e-3).max(1e-12);
+        let mut improved = false;
+
+        // Try moving one item off the hot bin.
+        'outer: for i in 0..assign.len() {
+            if assign[i] != hot {
+                continue;
+            }
+            for b in 0..bins {
+                if b == hot {
+                    continue;
+                }
+                let new_src = hot_load - weights[i];
+                let new_dst = loads[b] + weights[i];
+                if new_src.max(new_dst) < threshold {
+                    assign[i] = b;
+                    improved = true;
+                    break 'outer;
+                }
+            }
+        }
+        if improved {
+            continue;
+        }
+
+        // Try swapping one hot item with a lighter item elsewhere.
+        'swap: for i in 0..assign.len() {
+            if assign[i] != hot {
+                continue;
+            }
+            for j in 0..assign.len() {
+                let b = assign[j];
+                if b == hot || weights[j] >= weights[i] {
+                    continue;
+                }
+                let delta = weights[i] - weights[j];
+                let new_src = hot_load - delta;
+                let new_dst = loads[b] + delta;
+                if new_src.max(new_dst) < threshold {
+                    assign.swap(i, j);
+                    improved = true;
+                    break 'swap;
+                }
+            }
+        }
+        if !improved {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_robin_cycles() {
+        let a = allocate(&[1.0; 7], 3, AllocationPolicy::RoundRobin);
+        assert_eq!(a, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn lpt_classic_example() {
+        // Weights 7,6,5,4,3 on 2 bins: LPT gives {7,4,3}=14? No:
+        // 7->b0, 6->b1, 5->b1? loads: 7 / 6 -> 5 to b1 (load 6<7)
+        // -> b1=11, 4 -> b0 (7<11) -> 11, 3 -> b0 -> 14? b0=7+4=11, then 3
+        // -> either (11,11) -> 14? Let's just assert optimality here: the
+        // optimum is ceil(25/2)=13; LPT yields 14 or better.
+        let w = [7.0, 6.0, 5.0, 4.0, 3.0];
+        let a = allocate(&w, 2, AllocationPolicy::Lpt);
+        let ms = assignment_makespan(&w, 2, &a);
+        assert!(ms <= 14.0 + 1e-9);
+        // LPT guarantee: <= (4/3 - 1/(3m)) OPT = (4/3 - 1/6)*13 ≈ 15.2
+        assert!(ms >= 12.5);
+    }
+
+    #[test]
+    fn refined_fixes_lpt_worst_case() {
+        // Classic LPT-suboptimal instance: 3,3,2,2,2 on 2 bins.
+        // LPT: 3->a, 3->b, 2->a, 2->b, 2->a/b -> makespan 7. Optimal 6.
+        let w = [3.0, 3.0, 2.0, 2.0, 2.0];
+        let lpt_ms = assignment_makespan(&w, 2, &allocate(&w, 2, AllocationPolicy::Lpt));
+        let ref_ms =
+            assignment_makespan(&w, 2, &allocate(&w, 2, AllocationPolicy::LptRefined));
+        assert_eq!(lpt_ms, 7.0);
+        assert_eq!(ref_ms, 6.0);
+    }
+
+    #[test]
+    fn single_bin_gets_everything() {
+        let w = [1.0, 2.0, 3.0];
+        for policy in
+            [AllocationPolicy::RoundRobin, AllocationPolicy::Lpt, AllocationPolicy::LptRefined]
+        {
+            let a = allocate(&w, 1, policy);
+            assert!(a.iter().all(|&b| b == 0));
+        }
+    }
+
+    #[test]
+    fn zero_bins_coerced() {
+        let a = allocate(&[1.0], 0, AllocationPolicy::Lpt);
+        assert_eq!(a, vec![0]);
+    }
+
+    #[test]
+    fn empty_weights() {
+        assert!(allocate(&[], 4, AllocationPolicy::LptRefined).is_empty());
+    }
+
+    #[test]
+    fn more_bins_than_items() {
+        let w = [5.0, 1.0];
+        let a = allocate(&w, 10, AllocationPolicy::Lpt);
+        assert_ne!(a[0], a[1]);
+        assert_eq!(assignment_makespan(&w, 10, &a), 5.0);
+    }
+
+    #[test]
+    fn lpt_beats_round_robin_on_skewed_weights() {
+        // Adversarial for round-robin: heavy items all land in bin 0.
+        let mut w = Vec::new();
+        for _ in 0..10 {
+            w.push(100.0);
+            w.push(1.0);
+        }
+        let rr = assignment_makespan(&w, 2, &allocate(&w, 2, AllocationPolicy::RoundRobin));
+        let lpt = assignment_makespan(&w, 2, &allocate(&w, 2, AllocationPolicy::Lpt));
+        assert_eq!(rr, 1000.0);
+        assert!(lpt <= 505.0);
+    }
+
+    /// Exhaustive optimal makespan for tiny instances.
+    fn brute_force_optimum(weights: &[f64], bins: usize) -> f64 {
+        fn rec(weights: &[f64], i: usize, loads: &mut Vec<f64>, best: &mut f64) {
+            if i == weights.len() {
+                let ms = loads.iter().copied().fold(0.0, f64::max);
+                if ms < *best {
+                    *best = ms;
+                }
+                return;
+            }
+            for b in 0..loads.len() {
+                loads[b] += weights[i];
+                let ms_so_far = loads.iter().copied().fold(0.0, f64::max);
+                if ms_so_far < *best {
+                    rec(weights, i + 1, loads, best);
+                }
+                loads[b] -= weights[i];
+            }
+        }
+        let mut best = f64::INFINITY;
+        rec(weights, 0, &mut vec![0.0; bins], &mut best);
+        best
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn lpt_within_four_thirds_of_optimum(
+            weights in proptest::collection::vec(0.1f64..100.0, 1..9),
+            bins in 1usize..4,
+        ) {
+            let opt = brute_force_optimum(&weights, bins);
+            for policy in [AllocationPolicy::Lpt, AllocationPolicy::LptRefined] {
+                let a = allocate(&weights, bins, policy);
+                let ms = assignment_makespan(&weights, bins, &a);
+                // LPT bound: (4/3 - 1/(3m)) * OPT.
+                let bound = (4.0 / 3.0) * opt + 1e-9;
+                prop_assert!(ms <= bound, "{policy:?}: {ms} > 4/3 * {opt}");
+                prop_assert!(ms >= opt - 1e-9);
+            }
+        }
+
+        #[test]
+        fn every_item_assigned_to_valid_bin(
+            weights in proptest::collection::vec(0.0f64..50.0, 0..40),
+            bins in 1usize..8,
+        ) {
+            for policy in [
+                AllocationPolicy::RoundRobin,
+                AllocationPolicy::Lpt,
+                AllocationPolicy::LptRefined,
+            ] {
+                let a = allocate(&weights, bins, policy);
+                prop_assert_eq!(a.len(), weights.len());
+                prop_assert!(a.iter().all(|&b| b < bins));
+            }
+        }
+    }
+}

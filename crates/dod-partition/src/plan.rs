@@ -1,0 +1,590 @@
+//! Partition plans, point routing, and the multi-tactic plan
+//! (Section III-C, Section V).
+//!
+//! A [`PartitionPlan`] is a set of disjoint rectangles covering the domain
+//! plus an O(1)–O(log m) [`Locator`] that maps a point to its core
+//! partition. A [`Router`] adds the supporting-area routing of
+//! Definition 3.3: for each point, the partitions it must be replicated
+//! into. A [`MultiTacticPlan`] bundles the partition plan with the
+//! per-partition algorithm plan (Definition 3.4) and the reducer
+//! allocation plan (Section V-A step 3).
+
+use crate::dshc::Cluster;
+use crate::minibucket::MiniBucketGrid;
+use crate::packing::{allocate, AllocationSpec, BalanceWeight};
+use dod_core::{CoreError, GridSpec, OutlierParams, PointSet, Rect};
+use dod_detect::cost::{choose_algorithm, AlgorithmKind, CostModel};
+
+/// Maps points to partitions.
+#[derive(Debug, Clone)]
+pub enum Locator {
+    /// Partition id = grid cell id (Domain / uniSpace plans).
+    Grid(GridSpec),
+    /// Mini-bucket lookup table (DSHC plans): bucket cell → partition.
+    Lut {
+        /// The mini-bucket grid.
+        grid: GridSpec,
+        /// Partition id per bucket cell.
+        lut: Vec<u32>,
+    },
+    /// Binary split tree (DDriven / CDriven plans).
+    Tree(SplitTree),
+}
+
+/// A kd-style binary split tree over the domain.
+#[derive(Debug, Clone, Default)]
+pub struct SplitTree {
+    nodes: Vec<SplitNode>,
+}
+
+/// One node of a [`SplitTree`].
+#[derive(Debug, Clone)]
+pub enum SplitNode {
+    /// A leaf holding its partition id.
+    Leaf(u32),
+    /// An internal split: `x[dim] < at` goes left, else right.
+    Split {
+        /// Split dimension.
+        dim: usize,
+        /// Split coordinate.
+        at: f64,
+        /// Index of the left child node.
+        left: u32,
+        /// Index of the right child node.
+        right: u32,
+    },
+}
+
+impl SplitTree {
+    /// Creates a tree from its node arena; node 0 is the root.
+    ///
+    /// # Panics
+    /// Panics if `nodes` is empty.
+    pub fn new(nodes: Vec<SplitNode>) -> Self {
+        assert!(!nodes.is_empty(), "split tree needs at least a root");
+        SplitTree { nodes }
+    }
+
+    /// The partition id of the leaf containing `x`.
+    pub fn locate(&self, x: &[f64]) -> u32 {
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                SplitNode::Leaf(pid) => return *pid,
+                SplitNode::Split { dim, at, left, right } => {
+                    node = if x[*dim] < *at { *left as usize } else { *right as usize };
+                }
+            }
+        }
+    }
+}
+
+/// A disjoint rectangular decomposition of the domain.
+#[derive(Debug, Clone)]
+pub struct PartitionPlan {
+    domain: Rect,
+    rects: Vec<Rect>,
+    locator: Locator,
+}
+
+impl PartitionPlan {
+    /// A plan whose partitions are exactly the cells of `grid`.
+    pub fn from_grid(grid: GridSpec) -> Self {
+        let rects = (0..grid.num_cells()).map(|i| grid.cell_rect(i)).collect();
+        PartitionPlan { domain: grid.domain().clone(), rects, locator: Locator::Grid(grid) }
+    }
+
+    /// A plan built from DSHC clusters over a mini-bucket grid.
+    ///
+    /// # Errors
+    /// Returns an error if the clusters do not exactly tile the bucket
+    /// grid.
+    pub fn from_clusters(
+        buckets: &MiniBucketGrid,
+        clusters: &[Cluster],
+    ) -> Result<Self, CoreError> {
+        let grid = buckets.grid().clone();
+        let mut lut = vec![u32::MAX; grid.num_cells()];
+        let mut rects = Vec::with_capacity(clusters.len());
+        for (pid, cluster) in clusters.iter().enumerate() {
+            rects.push(buckets.to_real_rect(&cluster.rect));
+            // Paint every bucket of the cluster.
+            let d = grid.dim();
+            let mut cursor: Vec<usize> =
+                cluster.rect.lo().iter().map(|&v| v as usize).collect();
+            let hi: Vec<usize> = cluster.rect.hi().iter().map(|&v| v as usize).collect();
+            loop {
+                let cell = grid.linearize(&cursor);
+                if lut[cell] != u32::MAX {
+                    return Err(CoreError::InvalidParameter {
+                        name: "clusters",
+                        reason: format!("bucket {cell} covered twice"),
+                    });
+                }
+                lut[cell] = pid as u32;
+                let mut i = d;
+                let mut done = true;
+                while i > 0 {
+                    i -= 1;
+                    if cursor[i] < hi[i] {
+                        cursor[i] += 1;
+                        for j in i + 1..d {
+                            cursor[j] = cluster.rect.lo()[j] as usize;
+                        }
+                        done = false;
+                        break;
+                    }
+                }
+                if done {
+                    break;
+                }
+            }
+        }
+        if lut.contains(&u32::MAX) {
+            return Err(CoreError::InvalidParameter {
+                name: "clusters",
+                reason: "clusters do not cover every bucket".into(),
+            });
+        }
+        Ok(PartitionPlan {
+            domain: grid.domain().clone(),
+            rects,
+            locator: Locator::Lut { grid, lut },
+        })
+    }
+
+    /// A plan defined by a split tree and the per-partition rectangles
+    /// (index-aligned with the tree's leaf partition ids).
+    pub fn from_split_tree(domain: Rect, tree: SplitTree, rects: Vec<Rect>) -> Self {
+        PartitionPlan { domain, rects, locator: Locator::Tree(tree) }
+    }
+
+    /// The domain covered by the plan.
+    pub fn domain(&self) -> &Rect {
+        &self.domain
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// Rectangle of partition `i`.
+    pub fn rect(&self, i: usize) -> &Rect {
+        &self.rects[i]
+    }
+
+    /// All partition rectangles.
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    /// Core partition of `x`.
+    pub fn locate(&self, x: &[f64]) -> u32 {
+        match &self.locator {
+            Locator::Grid(grid) => grid.cell_of(x) as u32,
+            Locator::Lut { grid, lut } => lut[grid.cell_of(x)],
+            Locator::Tree(tree) => tree.locate(x),
+        }
+    }
+
+    /// Sample count per partition.
+    pub fn count_sample(&self, sample: &PointSet) -> Vec<u64> {
+        let mut counts = vec![0u64; self.num_partitions()];
+        for p in sample.iter() {
+            counts[self.locate(p) as usize] += 1;
+        }
+        counts
+    }
+
+    /// Builds the supporting-area router for threshold `r` under the
+    /// Euclidean metric.
+    pub fn router(&self, r: f64) -> Router {
+        Router::build(self, r, dod_core::Metric::Euclidean)
+    }
+
+    /// Builds the supporting-area router for arbitrary metrics.
+    pub fn router_with_metric(&self, r: f64, metric: dod_core::Metric) -> Router {
+        Router::build(self, r, metric)
+    }
+}
+
+/// The map-side routing of one point: its core partition plus every
+/// partition it supports (Definition 3.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Routing {
+    /// Partition in which the point is core.
+    pub core: u32,
+    /// Partitions for which the point is a support point.
+    pub support: Vec<u32>,
+}
+
+/// Accelerated supporting-area routing over a [`PartitionPlan`].
+///
+/// A coarse uniform grid maps each coarse cell to the candidate partitions
+/// whose r-expanded rectangle intersects it, so routing a point tests only
+/// a handful of partitions instead of all `m`.
+#[derive(Debug, Clone)]
+pub struct Router {
+    plan: PartitionPlan,
+    r: f64,
+    metric: dod_core::Metric,
+    coarse: GridSpec,
+    candidates: Vec<Vec<u32>>,
+}
+
+impl Router {
+    fn build(plan: &PartitionPlan, r: f64, metric: dod_core::Metric) -> Router {
+        let dim = plan.domain().dim();
+        // Aim for ~4 coarse cells per partition, capped for memory.
+        let target = (plan.num_partitions() * 4).clamp(1, 65_536);
+        let per_dim = ((target as f64).powf(1.0 / dim as f64).ceil() as usize).clamp(1, 64);
+        let counts: Vec<usize> = (0..dim)
+            .map(|i| if plan.domain().extent(i) == 0.0 { 1 } else { per_dim })
+            .collect();
+        let coarse =
+            GridSpec::new(plan.domain().clone(), counts).expect("valid coarse grid");
+        let mut candidates: Vec<Vec<u32>> = vec![Vec::new(); coarse.num_cells()];
+        for (pid, rect) in plan.rects().iter().enumerate() {
+            let grown = rect.expanded(r);
+            for cell in coarse.cells_intersecting(&grown) {
+                candidates[cell].push(pid as u32);
+            }
+        }
+        Router { plan: plan.clone(), r, metric, coarse, candidates }
+    }
+
+    /// The distance threshold the router was built for.
+    pub fn r(&self) -> f64 {
+        self.r
+    }
+
+    /// Routes one point.
+    pub fn route(&self, x: &[f64]) -> Routing {
+        let core = self.plan.locate(x);
+        let mut support = Vec::new();
+        for &pid in &self.candidates[self.coarse.cell_of(x)] {
+            if pid == core {
+                continue;
+            }
+            let rect = self.plan.rect(pid as usize);
+            if self.metric.min_dist_to_rect(rect.min(), rect.max(), x) <= self.r {
+                support.push(pid);
+            }
+        }
+        support.sort_unstable();
+        Routing { core, support }
+    }
+}
+
+/// Everything the preprocessing job hands to the detection job: partition
+/// plan, algorithm plan, allocation plan, and the cost estimates behind
+/// them.
+#[derive(Debug, Clone)]
+pub struct MultiTacticPlan {
+    /// The partition plan (map side).
+    pub plan: PartitionPlan,
+    /// Detection algorithm per partition (reduce side; Definition 3.4).
+    pub algorithms: Vec<AlgorithmKind>,
+    /// Reducer index per partition (partitioner).
+    pub allocation: Vec<usize>,
+    /// Predicted cost per partition under its chosen algorithm.
+    pub predicted_costs: Vec<f64>,
+    /// Estimated real cardinality per partition (sample count / rate).
+    pub estimated_counts: Vec<f64>,
+}
+
+impl MultiTacticPlan {
+    /// Builds the full multi-tactic plan for a partition plan: estimates
+    /// per-partition cardinalities from the sample, selects the cheapest
+    /// algorithm per partition (Corollary 4.3 over `candidates`), and
+    /// allocates partitions to `num_reducers` reducers under `policy`.
+    pub fn build(
+        plan: PartitionPlan,
+        sample: &PointSet,
+        sample_rate: f64,
+        params: OutlierParams,
+        candidates: &[AlgorithmKind],
+        num_reducers: usize,
+        spec: AllocationSpec,
+    ) -> Self {
+        let model = CostModel::new(params, plan.domain().dim());
+        let counts = plan.count_sample(sample);
+        let scale = if sample_rate > 0.0 { 1.0 / sample_rate } else { 1.0 };
+        let mut algorithms = Vec::with_capacity(plan.num_partitions());
+        let mut costs = Vec::with_capacity(plan.num_partitions());
+        let mut estimated = Vec::with_capacity(plan.num_partitions());
+        for (pid, &c) in counts.iter().enumerate() {
+            let n_est = c as f64 * scale;
+            let volume = plan.rect(pid).volume();
+            let (alg, cost) = choose_algorithm(&model, candidates, n_est as usize, volume);
+            algorithms.push(alg);
+            costs.push(cost);
+            estimated.push(n_est);
+        }
+        let weights = match spec.weight {
+            BalanceWeight::Cost => &costs,
+            BalanceWeight::Cardinality => &estimated,
+        };
+        let allocation = allocate(weights, num_reducers, spec.policy);
+        MultiTacticPlan { plan, algorithms, allocation, predicted_costs: costs, estimated_counts: estimated }
+    }
+
+    /// Builds the multi-tactic plan from precomputed per-partition
+    /// estimates (see [`crate::estimate::LocalCostEstimator`]).
+    ///
+    /// With `fixed == Some(kind)` every partition runs `kind` (the
+    /// monolithic baselines) and allocation weights use that kind's cost;
+    /// otherwise each partition gets its cheapest candidate.
+    pub fn from_estimates(
+        plan: PartitionPlan,
+        estimates: &[crate::estimate::PartitionEstimate],
+        fixed: Option<AlgorithmKind>,
+        num_reducers: usize,
+        spec: AllocationSpec,
+    ) -> Self {
+        assert_eq!(estimates.len(), plan.num_partitions(), "one estimate per partition");
+        let mut algorithms = Vec::with_capacity(estimates.len());
+        let mut costs = Vec::with_capacity(estimates.len());
+        let mut counts = Vec::with_capacity(estimates.len());
+        for e in estimates {
+            let (alg, cost) = match fixed {
+                Some(kind) => (kind, e.cost_of(kind)),
+                None => e.best(),
+            };
+            algorithms.push(alg);
+            costs.push(cost);
+            counts.push(e.n_est);
+        }
+        let weights = match spec.weight {
+            BalanceWeight::Cost => &costs,
+            BalanceWeight::Cardinality => &counts,
+        };
+        let allocation = allocate(weights, num_reducers, spec.policy);
+        MultiTacticPlan {
+            plan,
+            algorithms,
+            allocation,
+            predicted_costs: costs,
+            estimated_counts: counts,
+        }
+    }
+
+    /// Builds a "monolithic" plan that uses one fixed algorithm for every
+    /// partition (the baselines of Section VI), still estimating costs so
+    /// allocation policies can act on them.
+    pub fn monolithic(
+        plan: PartitionPlan,
+        sample: &PointSet,
+        sample_rate: f64,
+        params: OutlierParams,
+        kind: AlgorithmKind,
+        num_reducers: usize,
+        spec: AllocationSpec,
+    ) -> Self {
+        let mut mt =
+            MultiTacticPlan::build(plan, sample, sample_rate, params, &[kind], num_reducers, spec);
+        // `build` with a single candidate already fixes the algorithm;
+        // keep the invariant explicit.
+        debug_assert!(mt.algorithms.iter().all(|&a| a == kind));
+        mt.algorithms.iter_mut().for_each(|a| *a = kind);
+        mt
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.plan.num_partitions()
+    }
+}
+
+/// Shared inputs every partitioning strategy receives.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanContext {
+    /// Outlier parameters (needed by cost-aware strategies).
+    pub params: OutlierParams,
+    /// Desired number of partitions `m`.
+    pub target_partitions: usize,
+    /// Sampling rate Υ the sample was drawn with (to scale counts).
+    pub sample_rate: f64,
+}
+
+impl PlanContext {
+    /// Creates a context.
+    pub fn new(params: OutlierParams, target_partitions: usize, sample_rate: f64) -> Self {
+        PlanContext { params, target_partitions: target_partitions.max(1), sample_rate }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dshc::{Dshc, DshcConfig};
+
+    fn domain() -> Rect {
+        Rect::new(vec![0.0, 0.0], vec![8.0, 8.0]).unwrap()
+    }
+
+    fn params() -> OutlierParams {
+        OutlierParams::new(1.0, 3).unwrap()
+    }
+
+    #[test]
+    fn grid_plan_locates_like_grid() {
+        let grid = GridSpec::uniform(domain(), 4).unwrap();
+        let plan = PartitionPlan::from_grid(grid.clone());
+        assert_eq!(plan.num_partitions(), 16);
+        for p in [[0.5, 0.5], [7.9, 7.9], [4.0, 4.0], [8.0, 8.0]] {
+            assert_eq!(plan.locate(&p), grid.cell_of(&p) as u32);
+        }
+    }
+
+    #[test]
+    fn split_tree_locates_half_open() {
+        // Split at x=4: left is [0,4), right is [4,8].
+        let tree = SplitTree::new(vec![
+            SplitNode::Split { dim: 0, at: 4.0, left: 1, right: 2 },
+            SplitNode::Leaf(0),
+            SplitNode::Leaf(1),
+        ]);
+        let rects = vec![
+            Rect::new(vec![0.0, 0.0], vec![4.0, 8.0]).unwrap(),
+            Rect::new(vec![4.0, 0.0], vec![8.0, 8.0]).unwrap(),
+        ];
+        let plan = PartitionPlan::from_split_tree(domain(), tree, rects);
+        assert_eq!(plan.locate(&[3.9, 1.0]), 0);
+        assert_eq!(plan.locate(&[4.0, 1.0]), 1);
+        assert_eq!(plan.locate(&[8.0, 8.0]), 1);
+    }
+
+    #[test]
+    fn cluster_plan_round_trips_buckets() {
+        let sample = PointSet::from_xy(&[(1.0, 1.0), (6.5, 6.5), (7.0, 7.0)]);
+        let buckets = MiniBucketGrid::build(&domain(), 4, &sample).unwrap();
+        let clusters = Dshc::cluster(&buckets, &DshcConfig::default());
+        let plan = PartitionPlan::from_clusters(&buckets, &clusters).unwrap();
+        assert_eq!(plan.num_partitions(), clusters.len());
+        // Every sample point lands in the partition whose rect contains it.
+        for p in sample.iter() {
+            let pid = plan.locate(p) as usize;
+            assert!(plan.rect(pid).contains_closed(p));
+        }
+        let counts = plan.count_sample(&sample);
+        assert_eq!(counts.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn cluster_plan_rejects_incomplete_cover() {
+        let sample = PointSet::from_xy(&[(1.0, 1.0)]);
+        let buckets = MiniBucketGrid::build(&domain(), 4, &sample).unwrap();
+        let clusters = vec![Cluster {
+            rect: crate::intrect::IntRect::new(vec![0, 0], vec![1, 1]),
+            count: 1,
+        }];
+        assert!(PartitionPlan::from_clusters(&buckets, &clusters).is_err());
+    }
+
+    #[test]
+    fn router_interior_point_has_no_support() {
+        let plan = PartitionPlan::from_grid(GridSpec::uniform(domain(), 2).unwrap());
+        let router = plan.router(0.5);
+        let routing = router.route(&[1.0, 1.0]);
+        assert_eq!(routing.core, plan.locate(&[1.0, 1.0]));
+        assert!(routing.support.is_empty());
+    }
+
+    #[test]
+    fn router_boundary_point_supports_neighbors() {
+        let plan = PartitionPlan::from_grid(GridSpec::uniform(domain(), 2).unwrap());
+        let router = plan.router(0.5);
+        // Near the center cross (4,4): supports the 3 other quadrants.
+        let routing = router.route(&[3.8, 3.8]);
+        assert_eq!(routing.support.len(), 3);
+        // Near only the x boundary: supports 1.
+        let routing = router.route(&[3.8, 1.0]);
+        assert_eq!(routing.support.len(), 1);
+    }
+
+    #[test]
+    fn router_matches_brute_force() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let grid = GridSpec::uniform(domain(), 5).unwrap();
+        let plan = PartitionPlan::from_grid(grid);
+        let r = 0.7;
+        let router = plan.router(r);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..500 {
+            let x = [rng.gen_range(0.0..=8.0), rng.gen_range(0.0..=8.0)];
+            let routing = router.route(&x);
+            let core = plan.locate(&x);
+            assert_eq!(routing.core, core);
+            let mut expected: Vec<u32> = (0..plan.num_partitions() as u32)
+                .filter(|&pid| {
+                    pid != core && plan.rect(pid as usize).min_dist_sq(&x) <= r * r
+                })
+                .collect();
+            expected.sort_unstable();
+            assert_eq!(routing.support, expected);
+        }
+    }
+
+    #[test]
+    fn multi_tactic_plan_selects_per_partition() {
+        // Left half very dense, right half sparse.
+        let mut pts = Vec::new();
+        for i in 0..4000 {
+            pts.push((0.001 * (i % 2000) as f64, 0.001 * (i / 2) as f64));
+        }
+        pts.push((7.5, 7.5));
+        let sample = PointSet::from_xy(&pts);
+        let plan = PartitionPlan::from_grid(GridSpec::uniform(domain(), 2).unwrap());
+        let mt = MultiTacticPlan::build(
+            plan,
+            &sample,
+            1.0,
+            params(),
+            dod_detect::cost::PAPER_CANDIDATES,
+            4,
+            AllocationSpec::cost(),
+        );
+        assert_eq!(mt.algorithms.len(), 4);
+        assert_eq!(mt.allocation.len(), 4);
+        // The ultra-dense lower-left partition must pick Cell-Based
+        // (Lemma 4.2 case 1).
+        let dense_pid = mt.plan.locate(&[0.5, 0.5]) as usize;
+        assert_eq!(mt.algorithms[dense_pid], AlgorithmKind::CellBased);
+        assert!(mt.predicted_costs[dense_pid] > 0.0);
+    }
+
+    #[test]
+    fn monolithic_plan_is_uniform() {
+        let sample = PointSet::from_xy(&[(1.0, 1.0), (5.0, 5.0)]);
+        let plan = PartitionPlan::from_grid(GridSpec::uniform(domain(), 2).unwrap());
+        let mt = MultiTacticPlan::monolithic(
+            plan,
+            &sample,
+            1.0,
+            params(),
+            AlgorithmKind::NestedLoop,
+            2,
+            AllocationSpec::round_robin(),
+        );
+        assert!(mt.algorithms.iter().all(|&a| a == AlgorithmKind::NestedLoop));
+        assert_eq!(mt.allocation, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn plan_context_clamps_targets() {
+        let ctx = PlanContext::new(params(), 0, 0.005);
+        assert_eq!(ctx.target_partitions, 1);
+    }
+
+    #[test]
+    fn count_sample_scales() {
+        let plan = PartitionPlan::from_grid(GridSpec::uniform(domain(), 2).unwrap());
+        let sample = PointSet::from_xy(&[(1.0, 1.0), (1.5, 1.5), (7.0, 7.0)]);
+        let counts = plan.count_sample(&sample);
+        assert_eq!(counts.iter().sum::<u64>(), 3);
+        assert_eq!(counts[plan.locate(&[1.0, 1.0]) as usize], 2);
+    }
+}

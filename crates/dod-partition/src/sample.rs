@@ -1,0 +1,116 @@
+//! Random sampling (Section V-A, stage 1).
+//!
+//! DMT "estimates the distribution of the data by drawing a sample from
+//! the input dataset ... random sampling preserves the distribution of the
+//! underlying dataset. The sampling rate Υ by default is set to a small
+//! value, e.g., 0.5%."
+
+use dod_core::PointSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The paper's default sampling rate Υ (0.5%).
+pub const DEFAULT_SAMPLE_RATE: f64 = 0.005;
+
+/// Draws a Bernoulli sample of `data` at `rate`, deterministically from
+/// `seed`. The rate is clamped into `[0, 1]`; at least one point is
+/// returned for non-empty input so downstream planners always have a
+/// distribution estimate.
+pub fn sample_points(data: &PointSet, rate: f64, seed: u64) -> PointSet {
+    let rate = rate.clamp(0.0, 1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = PointSet::with_capacity(data.dim(), (data.len() as f64 * rate) as usize + 1)
+        .expect("dim >= 1");
+    for p in data.iter() {
+        if rng.gen_bool(rate) {
+            out.push(p).expect("same dim");
+        }
+    }
+    if out.is_empty() && !data.is_empty() {
+        let idx = rng.gen_range(0..data.len());
+        out.push(data.point(idx)).expect("same dim");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn uniform(n: usize, seed: u64) -> PointSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = PointSet::new(2).unwrap();
+        for _ in 0..n {
+            s.push(&[rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)]).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn sample_size_close_to_rate() {
+        let data = uniform(100_000, 1);
+        let s = sample_points(&data, 0.005, 42);
+        let expected = 500.0;
+        assert!((s.len() as f64 - expected).abs() < 150.0, "got {}", s.len());
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let data = uniform(5_000, 2);
+        let a = sample_points(&data, 0.01, 7);
+        let b = sample_points(&data, 0.01, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let data = uniform(5_000, 2);
+        let a = sample_points(&data, 0.05, 1);
+        let b = sample_points(&data, 0.05, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn nonempty_input_never_yields_empty_sample() {
+        let data = uniform(10, 3);
+        let s = sample_points(&data, 1e-9, 5);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_sample() {
+        let data = PointSet::new(2).unwrap();
+        assert!(sample_points(&data, 0.5, 5).is_empty());
+    }
+
+    #[test]
+    fn rate_one_keeps_everything() {
+        let data = uniform(100, 4);
+        let s = sample_points(&data, 1.0, 5);
+        assert_eq!(s.len(), 100);
+    }
+
+    #[test]
+    fn rate_is_clamped() {
+        let data = uniform(50, 5);
+        assert_eq!(sample_points(&data, 7.5, 5).len(), 50);
+        assert_eq!(sample_points(&data, -0.5, 5).len(), 1); // rescue point
+    }
+
+    #[test]
+    fn sample_preserves_spatial_distribution() {
+        // Points only in the left half; the sample must stay there.
+        let mut data = PointSet::new(2).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..20_000 {
+            data.push(&[rng.gen_range(0.0..50.0), rng.gen_range(0.0..100.0)]).unwrap();
+        }
+        let s = sample_points(&data, 0.01, 9);
+        for p in s.iter() {
+            assert!(p[0] < 50.0);
+        }
+        assert!(s.len() > 100);
+    }
+}

@@ -1,0 +1,64 @@
+//! The DDriven strategy: data-driven, cardinality-balanced partitioning
+//! (Section VI-A).
+//!
+//! "The data-driven partitioning DDriven divides the dataset into
+//! partitions with similar number of data points" — the traditional
+//! load-balancing assumption the paper overturns. Implemented as
+//! recursive sample-median splits prioritized by partition cardinality.
+
+use crate::plan::{PartitionPlan, PlanContext};
+use crate::strategies::{splitter, PartitionStrategy};
+use dod_core::{PointSet, Rect};
+
+/// Cardinality-balanced recursive partitioning.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DDriven;
+
+impl PartitionStrategy for DDriven {
+    fn name(&self) -> &'static str {
+        "DDriven"
+    }
+
+    fn build_plan(&self, sample: &PointSet, domain: &Rect, ctx: &PlanContext) -> PartitionPlan {
+        splitter::recursive_split(sample, domain, ctx.target_partitions, &|idxs, _| idxs.len() as f64)
+    }
+
+    fn default_allocation(&self) -> crate::packing::AllocationSpec {
+        crate::packing::AllocationSpec::cardinality()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dod_core::OutlierParams;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn skewed_data_gets_balanced_counts() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut sample = PointSet::new(2).unwrap();
+        // 90% of the mass in the lower-left 10% of the domain.
+        for _ in 0..900 {
+            sample.push(&[rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]).unwrap();
+        }
+        for _ in 0..100 {
+            sample.push(&[rng.gen_range(1.0..10.0), rng.gen_range(1.0..10.0)]).unwrap();
+        }
+        let domain = Rect::new(vec![0.0, 0.0], vec![10.0, 10.0]).unwrap();
+        let ctx = PlanContext::new(OutlierParams::new(1.0, 3).unwrap(), 8, 1.0);
+        let plan = DDriven.build_plan(&sample, &domain, &ctx);
+        assert_eq!(plan.num_partitions(), 8);
+        let counts = plan.count_sample(&sample);
+        let max = *counts.iter().max().unwrap();
+        let min = counts.iter().filter(|&&c| c > 0).min().copied().unwrap_or(0);
+        assert!(max <= 300, "max {max}");
+        assert!(max <= min * 10, "imbalance: max {max}, min {min}");
+    }
+
+    #[test]
+    fn uses_support_area() {
+        assert!(DDriven.uses_support_area());
+    }
+}

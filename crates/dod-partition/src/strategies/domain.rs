@@ -1,0 +1,54 @@
+//! The Domain baseline: grid partitioning **without** supporting areas
+//! (Section VI-A).
+//!
+//! "The default domain-based partitioning without supporting area Domain
+//! ... needs an additional MapReduce job to confirm the outlier status of
+//! a point p if p is at the edge of a partition and is classified as an
+//! outlier in the first MapReduce job." The plan itself is identical to
+//! uniSpace's grid; the difference — no support replication, plus the
+//! second verification job — is enacted by the pipeline in the `dod`
+//! crate, keyed off [`PartitionStrategy::uses_support_area`].
+
+use crate::plan::{PartitionPlan, PlanContext};
+use crate::strategies::{PartitionStrategy, UniSpace};
+use dod_core::{PointSet, Rect};
+
+/// Domain-based grid partitioning without supporting areas.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Domain;
+
+impl PartitionStrategy for Domain {
+    fn name(&self) -> &'static str {
+        "Domain"
+    }
+
+    fn build_plan(&self, sample: &PointSet, domain: &Rect, ctx: &PlanContext) -> PartitionPlan {
+        UniSpace.build_plan(sample, domain, ctx)
+    }
+
+    fn uses_support_area(&self) -> bool {
+        false
+    }
+
+    fn default_allocation(&self) -> crate::packing::AllocationSpec {
+        crate::packing::AllocationSpec::round_robin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dod_core::OutlierParams;
+
+    #[test]
+    fn same_grid_as_unispace_but_no_support() {
+        let domain = Rect::new(vec![0.0, 0.0], vec![4.0, 4.0]).unwrap();
+        let ctx = PlanContext::new(OutlierParams::new(1.0, 3).unwrap(), 4, 0.01);
+        let sample = PointSet::new(2).unwrap();
+        let d = Domain.build_plan(&sample, &domain, &ctx);
+        let u = UniSpace.build_plan(&sample, &domain, &ctx);
+        assert_eq!(d.num_partitions(), u.num_partitions());
+        assert!(!Domain.uses_support_area());
+        assert_eq!(Domain.name(), "Domain");
+    }
+}

@@ -1,0 +1,51 @@
+//! The four partitioning strategies of the evaluation (Section VI-A):
+//!
+//! * [`Domain`] — grid partitioning **without** supporting areas; needs
+//!   the two-job protocol (edge outliers re-checked in a second job);
+//! * [`UniSpace`] — equi-width grid with supporting areas (Section III-A);
+//! * [`DDriven`] — data-driven recursive splits balancing *cardinality*
+//!   (the traditional load-balancing assumption);
+//! * [`CDriven`] — cost-driven recursive splits balancing the *predicted
+//!   detection cost* of Section IV's models (true load balancing).
+
+mod cdriven;
+mod ddriven;
+mod dmt;
+mod domain;
+mod splitter;
+mod unispace;
+
+pub use cdriven::CDriven;
+pub use ddriven::DDriven;
+pub use dmt::Dmt;
+pub use domain::Domain;
+pub use unispace::UniSpace;
+
+use crate::packing::AllocationSpec;
+use crate::plan::{PartitionPlan, PlanContext};
+use dod_core::{PointSet, Rect};
+
+/// A map-side partitioning strategy: consumes the preprocessing sample and
+/// produces the partition plan the mappers will apply.
+pub trait PartitionStrategy {
+    /// Name used in logs and benchmark output.
+    fn name(&self) -> &'static str;
+
+    /// Builds the partition plan.
+    fn build_plan(&self, sample: &PointSet, domain: &Rect, ctx: &PlanContext) -> PartitionPlan;
+
+    /// Whether the plan relies on supporting areas for single-job
+    /// correctness. `false` only for the [`Domain`] baseline, which must
+    /// run the second verification job.
+    fn uses_support_area(&self) -> bool {
+        true
+    }
+
+    /// The partition→reducer allocation philosophy this strategy pairs
+    /// with in the paper's evaluation: hash round-robin for the Domain
+    /// and uniSpace baselines, cardinality-balanced LPT for DDriven,
+    /// cost-balanced LPT for CDriven and DMT (the default).
+    fn default_allocation(&self) -> AllocationSpec {
+        AllocationSpec::cost()
+    }
+}

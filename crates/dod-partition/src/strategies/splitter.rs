@@ -1,0 +1,274 @@
+//! Shared recursive domain splitter used by the DDriven and CDriven
+//! strategies.
+//!
+//! Starting from the whole domain, the region with the largest weight
+//! (cardinality for DDriven, predicted detection cost for CDriven) is
+//! repeatedly split at the sample median of its widest dimension, until
+//! the target partition count is reached or no region can be split
+//! further. The split decisions are recorded in a [`SplitTree`] so the
+//! mappers can locate points in O(log m).
+
+use crate::plan::{PartitionPlan, SplitNode, SplitTree};
+use dod_core::{PointSet, Rect};
+
+/// A region under construction.
+struct Region {
+    node: usize,
+    rect: Rect,
+    /// Indices into the sample.
+    idxs: Vec<u32>,
+    splittable: bool,
+    /// Memoized `weight(idxs, rect)` — weight functions can be O(|idxs|).
+    weight: f64,
+}
+
+/// Weight function: `(sample point indices, region_rect) -> priority`.
+/// The region with the highest weight is split next.
+pub type WeightFn<'a> = dyn Fn(&[u32], &Rect) -> f64 + 'a;
+
+/// Recursively splits `domain` into at most `target` regions, balancing
+/// `weight`.
+pub fn recursive_split(
+    sample: &PointSet,
+    domain: &Rect,
+    target: usize,
+    weight: &WeightFn<'_>,
+) -> PartitionPlan {
+    let target = target.max(1);
+    let mut nodes: Vec<SplitNode> = vec![SplitNode::Leaf(0)];
+    let root_idxs: Vec<u32> = (0..sample.len() as u32).collect();
+    let root_weight = weight(&root_idxs, domain);
+    let mut regions: Vec<Region> = vec![Region {
+        node: 0,
+        rect: domain.clone(),
+        idxs: root_idxs,
+        splittable: true,
+        weight: root_weight,
+    }];
+
+    while regions.len() < target {
+        // Pick the splittable region with maximal (memoized) weight.
+        let Some(best) = regions
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.splittable)
+            .max_by(|(_, a), (_, b)| a.weight.partial_cmp(&b.weight).expect("finite weights"))
+            .map(|(i, _)| i)
+        else {
+            break; // nothing left to split
+        };
+
+        match split_region(sample, &regions[best]) {
+            Some((dim, at, left_idxs, right_idxs)) => {
+                let region = regions.swap_remove(best);
+                let (lrect, rrect) = region.rect.split_at(dim, at);
+                let left_node = nodes.len();
+                let right_node = nodes.len() + 1;
+                nodes.push(SplitNode::Leaf(0));
+                nodes.push(SplitNode::Leaf(0));
+                nodes[region.node] = SplitNode::Split {
+                    dim,
+                    at,
+                    left: left_node as u32,
+                    right: right_node as u32,
+                };
+                let left_weight = weight(&left_idxs, &lrect);
+                let right_weight = weight(&right_idxs, &rrect);
+                regions.push(Region {
+                    node: left_node,
+                    rect: lrect,
+                    idxs: left_idxs,
+                    splittable: true,
+                    weight: left_weight,
+                });
+                regions.push(Region {
+                    node: right_node,
+                    rect: rrect,
+                    idxs: right_idxs,
+                    splittable: true,
+                    weight: right_weight,
+                });
+            }
+            None => {
+                regions[best].splittable = false;
+            }
+        }
+    }
+
+    // Assign partition ids in deterministic (node-index) order.
+    regions.sort_by_key(|r| r.node);
+    let mut rects = Vec::with_capacity(regions.len());
+    for (pid, region) in regions.iter().enumerate() {
+        nodes[region.node] = SplitNode::Leaf(pid as u32);
+        rects.push(region.rect.clone());
+    }
+    PartitionPlan::from_split_tree(domain.clone(), SplitTree::new(nodes), rects)
+}
+
+/// Chooses a split for the region: sample median of the widest dimension,
+/// falling back to the midpoint when the median would not separate the
+/// region. Returns `None` when the region cannot be meaningfully split.
+fn split_region(sample: &PointSet, region: &Region) -> Option<(usize, f64, Vec<u32>, Vec<u32>)> {
+    let rect = &region.rect;
+    let dim_count = rect.dim();
+    // Try dimensions from widest to narrowest.
+    let mut dims: Vec<usize> = (0..dim_count).collect();
+    dims.sort_by(|&a, &b| rect.extent(b).partial_cmp(&rect.extent(a)).expect("finite"));
+    for &dim in &dims {
+        if rect.extent(dim) <= 0.0 {
+            continue;
+        }
+        let at = split_coordinate(sample, &region.idxs, rect, dim)?;
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for &i in &region.idxs {
+            if sample.point(i as usize)[dim] < at {
+                left.push(i);
+            } else {
+                right.push(i);
+            }
+        }
+        return Some((dim, at, left, right));
+    }
+    None
+}
+
+/// Median of the sample coordinates in `dim`, clamped strictly inside the
+/// region; midpoint fallback for empty or degenerate samples.
+fn split_coordinate(sample: &PointSet, idxs: &[u32], rect: &Rect, dim: usize) -> Option<f64> {
+    let lo = rect.min()[dim];
+    let hi = rect.max()[dim];
+    if hi <= lo {
+        return None;
+    }
+    let mid = 0.5 * (lo + hi);
+    if idxs.len() < 2 {
+        return Some(mid);
+    }
+    let mut coords: Vec<f64> = idxs.iter().map(|&i| sample.point(i as usize)[dim]).collect();
+    coords.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let median = coords[coords.len() / 2];
+    if median > lo && median < hi {
+        Some(median)
+    } else {
+        Some(mid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn domain() -> Rect {
+        Rect::new(vec![0.0, 0.0], vec![10.0, 10.0]).unwrap()
+    }
+
+    fn uniform(n: usize, seed: u64) -> PointSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = PointSet::new(2).unwrap();
+        for _ in 0..n {
+            s.push(&[rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)]).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn reaches_target_partition_count() {
+        let sample = uniform(1000, 1);
+        let plan = recursive_split(&sample, &domain(), 8, &|idxs, _| idxs.len() as f64);
+        assert_eq!(plan.num_partitions(), 8);
+    }
+
+    #[test]
+    fn rects_tile_the_domain() {
+        let sample = uniform(500, 2);
+        let plan = recursive_split(&sample, &domain(), 13, &|idxs, _| idxs.len() as f64);
+        let total: f64 = plan.rects().iter().map(Rect::volume).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+        // Disjointness: pairwise intersection has zero volume.
+        for i in 0..plan.num_partitions() {
+            for j in i + 1..plan.num_partitions() {
+                let a = plan.rect(i);
+                let b = plan.rect(j);
+                if a.intersects(b) {
+                    // Touching faces are allowed; overlapping volume isn't.
+                    let overlap: f64 = (0..2)
+                        .map(|d| {
+                            (a.max()[d].min(b.max()[d]) - a.min()[d].max(b.min()[d])).max(0.0)
+                        })
+                        .product();
+                    assert!(overlap < 1e-9, "partitions {i} and {j} overlap");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn locate_agrees_with_rects() {
+        let sample = uniform(800, 3);
+        let plan = recursive_split(&sample, &domain(), 16, &|idxs, _| idxs.len() as f64);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let x = [rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)];
+            let pid = plan.locate(&x) as usize;
+            assert!(plan.rect(pid).contains_closed(&x));
+        }
+    }
+
+    #[test]
+    fn cardinality_weight_balances_counts() {
+        // Heavily skewed data: most points in one corner.
+        let mut s = PointSet::new(2).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..900 {
+            s.push(&[rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]).unwrap();
+        }
+        for _ in 0..100 {
+            s.push(&[rng.gen_range(1.0..10.0), rng.gen_range(0.0..10.0)]).unwrap();
+        }
+        let plan = recursive_split(&s, &domain(), 10, &|idxs, _| idxs.len() as f64);
+        let counts = plan.count_sample(&s);
+        let max = *counts.iter().max().unwrap();
+        // With equal-count splitting, no partition should hold more than
+        // ~2x the average (1000/10 = 100).
+        assert!(max <= 250, "max partition count {max}");
+    }
+
+    #[test]
+    fn empty_sample_still_produces_plan() {
+        let s = PointSet::new(2).unwrap();
+        let plan = recursive_split(&s, &domain(), 4, &|idxs, _| idxs.len() as f64);
+        assert_eq!(plan.num_partitions(), 4);
+        assert_eq!(plan.locate(&[0.0, 0.0]), plan.locate(&[0.0, 0.0]));
+    }
+
+    #[test]
+    fn target_one_returns_whole_domain() {
+        let s = uniform(10, 5);
+        let plan = recursive_split(&s, &domain(), 1, &|idxs, _| idxs.len() as f64);
+        assert_eq!(plan.num_partitions(), 1);
+        assert_eq!(plan.rect(0), &domain());
+    }
+
+    #[test]
+    fn degenerate_domain_stops_splitting() {
+        let dom = Rect::new(vec![0.0, 0.0], vec![0.0, 0.0]).unwrap();
+        let mut s = PointSet::new(2).unwrap();
+        s.push(&[0.0, 0.0]).unwrap();
+        let plan = recursive_split(&s, &dom, 4, &|idxs, _| idxs.len() as f64);
+        assert_eq!(plan.num_partitions(), 1);
+    }
+
+    #[test]
+    fn duplicate_heavy_sample_terminates() {
+        let mut s = PointSet::new(2).unwrap();
+        for _ in 0..100 {
+            s.push(&[5.0, 5.0]).unwrap();
+        }
+        let plan = recursive_split(&s, &domain(), 8, &|idxs, _| idxs.len() as f64);
+        assert!(plan.num_partitions() <= 8);
+        assert!(plan.num_partitions() >= 1);
+    }
+}

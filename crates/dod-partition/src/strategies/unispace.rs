@@ -1,0 +1,72 @@
+//! The uniSpace strategy: uniform domain-space grid partitioning with
+//! supporting areas (Section III-A / VI-A).
+
+use crate::plan::{PartitionPlan, PlanContext};
+use crate::strategies::PartitionStrategy;
+use dod_core::{GridSpec, PointSet, Rect};
+
+/// Equi-width grid partitioning: every partition covers the same area
+/// regardless of how many points fall into it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UniSpace;
+
+impl UniSpace {
+    /// Number of grid cells per dimension needed to reach `target`
+    /// partitions in `dim` dimensions.
+    pub fn cells_per_dim(target: usize, dim: usize) -> usize {
+        ((target.max(1) as f64).powf(1.0 / dim as f64).round() as usize).max(1)
+    }
+}
+
+impl PartitionStrategy for UniSpace {
+    fn name(&self) -> &'static str {
+        "uniSpace"
+    }
+
+    fn build_plan(&self, _sample: &PointSet, domain: &Rect, ctx: &PlanContext) -> PartitionPlan {
+        let per_dim = Self::cells_per_dim(ctx.target_partitions, domain.dim());
+        let counts: Vec<usize> = (0..domain.dim())
+            .map(|i| if domain.extent(i) == 0.0 { 1 } else { per_dim })
+            .collect();
+        let grid = GridSpec::new(domain.clone(), counts).expect("valid grid");
+        PartitionPlan::from_grid(grid)
+    }
+
+    fn default_allocation(&self) -> crate::packing::AllocationSpec {
+        crate::packing::AllocationSpec::round_robin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dod_core::OutlierParams;
+
+    #[test]
+    fn cells_per_dim_square_root() {
+        assert_eq!(UniSpace::cells_per_dim(16, 2), 4);
+        assert_eq!(UniSpace::cells_per_dim(27, 3), 3);
+        assert_eq!(UniSpace::cells_per_dim(1, 2), 1);
+        assert_eq!(UniSpace::cells_per_dim(0, 2), 1);
+    }
+
+    #[test]
+    fn builds_equal_area_partitions() {
+        let domain = Rect::new(vec![0.0, 0.0], vec![8.0, 8.0]).unwrap();
+        let ctx = PlanContext::new(OutlierParams::new(1.0, 3).unwrap(), 16, 0.01);
+        let plan = UniSpace.build_plan(&PointSet::new(2).unwrap(), &domain, &ctx);
+        assert_eq!(plan.num_partitions(), 16);
+        for i in 0..16 {
+            assert!((plan.rect(i).volume() - 4.0).abs() < 1e-12);
+        }
+        assert!(UniSpace.uses_support_area());
+    }
+
+    #[test]
+    fn degenerate_dimension_collapses() {
+        let domain = Rect::new(vec![0.0, 0.0], vec![8.0, 0.0]).unwrap();
+        let ctx = PlanContext::new(OutlierParams::new(1.0, 3).unwrap(), 16, 0.01);
+        let plan = UniSpace.build_plan(&PointSet::new(2).unwrap(), &domain, &ctx);
+        assert_eq!(plan.num_partitions(), 4);
+    }
+}

@@ -1,0 +1,655 @@
+//! The end-to-end DOD pipeline (Figure 6).
+//!
+//! A run executes the two MapReduce jobs of the full-fledged system:
+//!
+//! 1. **Preprocessing** on a small random sample: partition-plan
+//!    generation (any [`PartitionStrategy`]), algorithm-plan selection
+//!    (Corollary 4.3 over the candidate set), and partition→reducer
+//!    allocation (multi-bin packing). Its wall time is the `Preprocess`
+//!    bar of Figure 10.
+//! 2. **Detection** over the full dataset: supporting-area routing at the
+//!    mappers (`Map` bar), shuffle, and per-partition detection at the
+//!    reducers (`Reduce` bar).
+//!
+//! The Domain baseline (no supporting areas) instead runs the two-job
+//! candidate/verification protocol of [`crate::two_job`].
+
+use crate::framework::{DodMapper, DodReducer, InputPoint};
+use crate::two_job::{
+    Candidate, CandidateIndex, CandidateMapper, CandidateReducer, VerifyMapper, VerifyReducer,
+};
+use dod_core::{CoreError, OutlierParams, PointId, PointSet};
+use dod_detect::cost::{AlgorithmKind, PAPER_CANDIDATES};
+use dod_partition::sample::DEFAULT_SAMPLE_RATE;
+use dod_partition::{
+    sample_points, AllocationSpec, Dmt, LocalCostEstimator, MultiTacticPlan, PartitionStrategy,
+    PlanContext,
+};
+use mapreduce::{run_job, BlockStore, ClusterConfig, JobError, JobMetrics};
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Errors from a pipeline run.
+#[derive(Debug)]
+pub enum DodError {
+    /// A MapReduce job failed.
+    Job(JobError),
+    /// Invalid geometry or parameters.
+    Core(CoreError),
+}
+
+impl std::fmt::Display for DodError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DodError::Job(e) => write!(f, "job failed: {e}"),
+            DodError::Core(e) => write!(f, "invalid input: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DodError {}
+
+impl From<JobError> for DodError {
+    fn from(e: JobError) -> Self {
+        DodError::Job(e)
+    }
+}
+
+impl From<CoreError> for DodError {
+    fn from(e: CoreError) -> Self {
+        DodError::Core(e)
+    }
+}
+
+/// How reducers pick their detection algorithm.
+#[derive(Debug, Clone)]
+pub enum DetectionMode {
+    /// One algorithm for every partition — the "monolithic" approach of
+    /// all prior work (Section I).
+    Fixed(AlgorithmKind),
+    /// Per-partition selection over a candidate set (Corollary 4.3).
+    MultiTactic(Vec<AlgorithmKind>),
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct DodConfig {
+    /// Outlier parameters (`r`, `k`).
+    pub params: OutlierParams,
+    /// Logical cluster topology.
+    pub cluster: ClusterConfig,
+    /// Number of reduce tasks.
+    pub num_reducers: usize,
+    /// Desired number of partitions `m` (≥ reducers for balance slack).
+    pub target_partitions: usize,
+    /// Sampling rate Υ of the preprocessing job.
+    pub sample_rate: f64,
+    /// Input items per HDFS-like block (map-task granularity).
+    pub block_size: usize,
+    /// Block replication factor (storage accounting only).
+    pub replication: usize,
+    /// Seed for sampling and randomized detectors.
+    pub seed: u64,
+    /// Partition→reducer allocation override. `None` uses the strategy's
+    /// paper-faithful default (round-robin for Domain/uniSpace,
+    /// cardinality-balanced for DDriven, cost-balanced for CDriven/DMT).
+    pub allocation: Option<AllocationSpec>,
+    /// Use the paper's per-partition average-density cost models
+    /// (Lemmas 4.1/4.2) instead of the default locality-aware estimator
+    /// (see `dod_partition::estimate`). Kept for the cost-model ablation.
+    pub paper_cost_model: bool,
+}
+
+impl DodConfig {
+    /// A reasonable default configuration for the given parameters:
+    /// 8-node cluster, 32 reducers, 128 target partitions, the paper's
+    /// 0.5% sampling rate.
+    pub fn new(params: OutlierParams) -> Self {
+        let cluster = ClusterConfig::default();
+        DodConfig {
+            params,
+            cluster,
+            num_reducers: cluster.reduce_lanes(),
+            target_partitions: cluster.reduce_lanes() * 4,
+            sample_rate: DEFAULT_SAMPLE_RATE,
+            block_size: 64 * 1024,
+            replication: 3,
+            seed: 0xD0D_5EED,
+            allocation: None,
+            paper_cost_model: false,
+        }
+    }
+}
+
+/// Stage breakdown of a run (the Figure 10 bars).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageBreakdown {
+    /// Preprocessing job wall time (sampling + plan generation).
+    pub preprocess: Duration,
+    /// Simulated map-stage makespan, summed over jobs.
+    pub map: Duration,
+    /// Simulated reduce-stage makespan, summed over jobs.
+    pub reduce: Duration,
+}
+
+impl StageBreakdown {
+    /// Simulated end-to-end execution time.
+    pub fn total(&self) -> Duration {
+        self.preprocess + self.map + self.reduce
+    }
+}
+
+/// Full diagnostics of a run.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Per-stage simulated times.
+    pub breakdown: StageBreakdown,
+    /// Metrics of every MapReduce job executed (1 normally, 2 for the
+    /// Domain baseline).
+    pub jobs: Vec<JobMetrics>,
+    /// Number of partitions in the plan.
+    pub num_partitions: usize,
+    /// How many partitions each algorithm was assigned to.
+    pub algorithm_histogram: Vec<(AlgorithmKind, usize)>,
+    /// Total bytes crossing all shuffles.
+    pub shuffle_bytes: u64,
+    /// Measured reduce time per partition of the detection job.
+    pub partition_times: Vec<(u32, Duration)>,
+    /// Predicted per-partition costs from the plan.
+    pub predicted_costs: Vec<f64>,
+}
+
+/// The result of a pipeline run.
+#[derive(Debug, Clone, Default)]
+pub struct DodOutcome {
+    /// Ids of all detected outliers, ascending.
+    pub outliers: Vec<PointId>,
+    /// Diagnostics.
+    pub report: RunReport,
+}
+
+/// The configured pipeline. Construct with [`DodRunner::builder`].
+pub struct DodRunner {
+    config: DodConfig,
+    strategy: Box<dyn PartitionStrategy + Send + Sync>,
+    mode: DetectionMode,
+}
+
+/// Builder for [`DodRunner`].
+pub struct DodRunnerBuilder {
+    config: Option<DodConfig>,
+    params: Option<OutlierParams>,
+    strategy: Box<dyn PartitionStrategy + Send + Sync>,
+    mode: DetectionMode,
+}
+
+impl Default for DodRunnerBuilder {
+    fn default() -> Self {
+        DodRunnerBuilder {
+            config: None,
+            params: None,
+            strategy: Box::new(Dmt::default()),
+            mode: DetectionMode::MultiTactic(PAPER_CANDIDATES.to_vec()),
+        }
+    }
+}
+
+impl DodRunnerBuilder {
+    /// Sets the outlier parameters (required unless a full config is
+    /// given).
+    pub fn params(mut self, params: OutlierParams) -> Self {
+        self.params = Some(params);
+        self
+    }
+
+    /// Replaces the whole configuration.
+    pub fn config(mut self, config: DodConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Sets the partitioning strategy (default: [`Dmt`]).
+    pub fn strategy(mut self, strategy: impl PartitionStrategy + Send + Sync + 'static) -> Self {
+        self.strategy = Box::new(strategy);
+        self
+    }
+
+    /// Uses one fixed detection algorithm everywhere.
+    pub fn fixed(mut self, kind: AlgorithmKind) -> Self {
+        self.mode = DetectionMode::Fixed(kind);
+        self
+    }
+
+    /// Uses per-partition algorithm selection over the paper's candidate
+    /// set (Cell-Based + Nested-Loop).
+    pub fn multi_tactic(mut self) -> Self {
+        self.mode = DetectionMode::MultiTactic(PAPER_CANDIDATES.to_vec());
+        self
+    }
+
+    /// Uses per-partition algorithm selection over a custom candidate set.
+    pub fn candidates(mut self, candidates: Vec<AlgorithmKind>) -> Self {
+        self.mode = DetectionMode::MultiTactic(candidates);
+        self
+    }
+
+    /// Finalizes the runner.
+    ///
+    /// # Panics
+    /// Panics if neither `params` nor a full `config` was provided.
+    pub fn build(self) -> DodRunner {
+        let config = match (self.config, self.params) {
+            (Some(c), _) => c,
+            (None, Some(p)) => DodConfig::new(p),
+            (None, None) => panic!("DodRunner::builder() needs .params(...) or .config(...)"),
+        };
+        DodRunner { config, strategy: self.strategy, mode: self.mode }
+    }
+}
+
+impl DodRunner {
+    /// Starts building a runner.
+    pub fn builder() -> DodRunnerBuilder {
+        DodRunnerBuilder::default()
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DodConfig {
+        &self.config
+    }
+
+    /// Detects all distance-threshold outliers in `data`.
+    ///
+    /// # Errors
+    /// Returns [`DodError`] if a MapReduce job exhausts its retries or the
+    /// input is dimensionally inconsistent.
+    pub fn run(&self, data: &PointSet) -> Result<DodOutcome, DodError> {
+        if data.is_empty() {
+            return Ok(DodOutcome::default());
+        }
+        let cfg = &self.config;
+
+        // ---- Preprocessing job (Figure 6, top). ----
+        let t0 = Instant::now();
+        let domain = data.bounding_rect()?;
+        let sample = sample_points(data, cfg.sample_rate, cfg.seed);
+        let ctx = PlanContext::new(cfg.params, cfg.target_partitions, cfg.sample_rate);
+        let plan = self.strategy.build_plan(&sample, &domain, &ctx);
+        let allocation = cfg.allocation.unwrap_or_else(|| self.strategy.default_allocation());
+        let mt = if cfg.paper_cost_model {
+            match &self.mode {
+                DetectionMode::Fixed(kind) => MultiTacticPlan::monolithic(
+                    plan,
+                    &sample,
+                    cfg.sample_rate,
+                    cfg.params,
+                    *kind,
+                    cfg.num_reducers,
+                    allocation,
+                ),
+                DetectionMode::MultiTactic(candidates) => MultiTacticPlan::build(
+                    plan,
+                    &sample,
+                    cfg.sample_rate,
+                    cfg.params,
+                    candidates,
+                    cfg.num_reducers,
+                    allocation,
+                ),
+            }
+        } else {
+            let (candidates, fixed): (Vec<AlgorithmKind>, Option<AlgorithmKind>) =
+                match &self.mode {
+                    DetectionMode::Fixed(kind) => (vec![*kind], Some(*kind)),
+                    DetectionMode::MultiTactic(c) => (c.clone(), None),
+                };
+            let estimator = LocalCostEstimator::new(
+                &domain,
+                &sample,
+                cfg.sample_rate,
+                cfg.params,
+                32,
+            );
+            let estimates = estimator.estimate(&plan, &sample, &candidates);
+            MultiTacticPlan::from_estimates(
+                plan,
+                &estimates,
+                fixed,
+                cfg.num_reducers,
+                allocation,
+            )
+        };
+        let router = Arc::new(mt.plan.router_with_metric(cfg.params.r, cfg.params.metric));
+        let preprocess = t0.elapsed();
+
+        // ---- Load into the block store. ----
+        let items: Vec<InputPoint> =
+            (0..data.len()).map(|i| (i as PointId, data.point(i).to_vec())).collect();
+        let store = BlockStore::from_items(items, cfg.block_size, cfg.replication);
+
+        // ---- Detection (single-job or two-job). ----
+        let detection = if self.strategy.uses_support_area() {
+            self.run_single_job(&store, &mt, router)?
+        } else {
+            self.run_two_job(&store, &mt)?
+        };
+
+        let mut histogram: Vec<(AlgorithmKind, usize)> = Vec::new();
+        for &alg in &mt.algorithms {
+            match histogram.iter_mut().find(|(a, _)| *a == alg) {
+                Some((_, n)) => *n += 1,
+                None => histogram.push((alg, 1)),
+            }
+        }
+        histogram.sort_by_key(|(a, _)| *a);
+
+        let (jobs, outliers, partition_times) = detection;
+        let breakdown = StageBreakdown {
+            preprocess,
+            map: jobs.iter().map(|j| j.map_makespan).sum(),
+            reduce: jobs.iter().map(|j| j.reduce_makespan).sum(),
+        };
+        let shuffle_bytes = jobs.iter().map(|j| j.shuffle_bytes).sum();
+        Ok(DodOutcome {
+            outliers,
+            report: RunReport {
+                breakdown,
+                jobs,
+                num_partitions: mt.num_partitions(),
+                algorithm_histogram: histogram,
+                shuffle_bytes,
+                partition_times,
+                predicted_costs: mt.predicted_costs.clone(),
+            },
+        })
+    }
+
+    /// The supporting-area single-job protocol (Section III).
+    fn run_single_job(
+        &self,
+        store: &BlockStore<InputPoint>,
+        mt: &MultiTacticPlan,
+        router: Arc<dod_partition::Router>,
+    ) -> Result<(Vec<JobMetrics>, Vec<PointId>, Vec<(u32, Duration)>), DodError> {
+        let cfg = &self.config;
+        let mapper = DodMapper::new(router);
+        let dim = mt.plan.domain().dim();
+        let reducer = DodReducer::new(cfg.params, dim, Arc::new(mt.algorithms.clone()));
+        let allocation = mt.allocation.clone();
+        let partitioner = move |k: &u32, _n: usize| allocation[*k as usize];
+        let out = run_job(&cfg.cluster, store, &mapper, &reducer, &partitioner, cfg.num_reducers)?;
+        let mut outliers = out.outputs;
+        outliers.sort_unstable();
+        let times = out.key_times;
+        Ok((vec![out.metrics], outliers, times))
+    }
+
+    /// The Domain baseline's two-job protocol (Section VI-A).
+    fn run_two_job(
+        &self,
+        store: &BlockStore<InputPoint>,
+        mt: &MultiTacticPlan,
+    ) -> Result<(Vec<JobMetrics>, Vec<PointId>, Vec<(u32, Duration)>), DodError> {
+        let cfg = &self.config;
+        let dim = mt.plan.domain().dim();
+
+        // Job 1: local detection, emitting candidates.
+        let mapper = CandidateMapper::new(Arc::new(mt.plan.clone()));
+        let reducer =
+            CandidateReducer::with_plan(cfg.params, dim, Arc::new(mt.algorithms.clone()));
+        let allocation = mt.allocation.clone();
+        let partitioner = move |k: &u32, _n: usize| allocation[*k as usize];
+        let job1 =
+            run_job(&cfg.cluster, store, &mapper, &reducer, &partitioner, cfg.num_reducers)?;
+        let candidates: Vec<Candidate> = job1.outputs;
+        let partition_times = job1.key_times.clone();
+
+        if candidates.is_empty() {
+            return Ok((vec![job1.metrics], Vec::new(), partition_times));
+        }
+
+        // Job 2: global verification of the candidates.
+        let index = Arc::new(CandidateIndex::build_with_metric(
+            candidates,
+            cfg.params.r,
+            cfg.params.metric,
+        ));
+        let verify_mapper = VerifyMapper::new(Arc::clone(&index));
+        let verify_reducer = VerifyReducer::new(cfg.params.k);
+        let hash_partitioner = |k: &u32, n: usize| (*k as usize) % n;
+        // Partial counts fold map-side (a Hadoop combiner), keeping the
+        // second job's shuffle tiny.
+        let job2 = mapreduce::run_job_with_combiner(
+            &cfg.cluster,
+            store,
+            &verify_mapper,
+            &mapreduce::SumCombiner::new(),
+            &verify_reducer,
+            &hash_partitioner,
+            cfg.num_reducers,
+        )?;
+        let cleared: HashSet<u32> = job2.outputs.into_iter().collect();
+        let mut outliers: Vec<PointId> = index
+            .candidates()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !cleared.contains(&(*i as u32)))
+            .map(|(_, c)| c.id)
+            .collect();
+        outliers.sort_unstable();
+        Ok((vec![job1.metrics, job2.metrics], outliers, partition_times))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dod_detect::{Detector, Reference};
+    use dod_partition::{CDriven, DDriven, Domain, UniSpace};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn clustered_data(seed: u64, n: usize) -> PointSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pts = PointSet::new(2).unwrap();
+        for _ in 0..n {
+            // Two clusters plus sparse noise.
+            let roll: f64 = rng.gen();
+            let (cx, cy, spread): (f64, f64, f64) = if roll < 0.45 {
+                (10.0, 10.0, 1.5)
+            } else if roll < 0.9 {
+                (40.0, 35.0, 2.5)
+            } else {
+                (25.0, 25.0, 25.0)
+            };
+            pts.push(&[
+                (cx + rng.gen_range(-spread..spread)).clamp(0.0, 50.0),
+                (cy + rng.gen_range(-spread..spread)).clamp(0.0, 50.0),
+            ])
+            .unwrap();
+        }
+        pts
+    }
+
+    fn reference_outliers(data: &PointSet, params: OutlierParams) -> Vec<PointId> {
+        Reference
+            .detect(&dod_detect::Partition::standalone(data.clone()), params)
+            .outliers
+    }
+
+    fn small_config(params: OutlierParams) -> DodConfig {
+        DodConfig {
+            sample_rate: 1.0,
+            block_size: 64,
+            num_reducers: 4,
+            target_partitions: 9,
+            ..DodConfig::new(params)
+        }
+    }
+
+    #[test]
+    fn dmt_pipeline_matches_reference() {
+        let data = clustered_data(1, 600);
+        let params = OutlierParams::new(1.5, 4).unwrap();
+        let runner = DodRunner::builder().config(small_config(params)).multi_tactic().build();
+        let outcome = runner.run(&data).unwrap();
+        assert_eq!(outcome.outliers, reference_outliers(&data, params));
+        assert!(outcome.report.num_partitions >= 1);
+        assert!(outcome.report.breakdown.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn every_strategy_is_exact() {
+        let data = clustered_data(2, 400);
+        let params = OutlierParams::new(2.0, 3).unwrap();
+        let expected = reference_outliers(&data, params);
+
+        let strategies: Vec<Box<dyn Fn() -> DodRunner>> = vec![
+            Box::new(move || {
+                DodRunner::builder()
+                    .config(small_config(params))
+                    .strategy(UniSpace)
+                    .fixed(AlgorithmKind::NestedLoop)
+                    .build()
+            }),
+            Box::new(move || {
+                DodRunner::builder()
+                    .config(small_config(params))
+                    .strategy(DDriven)
+                    .fixed(AlgorithmKind::CellBased)
+                    .build()
+            }),
+            Box::new(move || {
+                DodRunner::builder()
+                    .config(small_config(params))
+                    .strategy(CDriven::new(AlgorithmKind::NestedLoop))
+                    .multi_tactic()
+                    .build()
+            }),
+            Box::new(move || {
+                DodRunner::builder()
+                    .config(small_config(params))
+                    .strategy(Domain)
+                    .fixed(AlgorithmKind::NestedLoop)
+                    .build()
+            }),
+        ];
+        for (i, make) in strategies.iter().enumerate() {
+            let outcome = make().run(&data).unwrap();
+            assert_eq!(outcome.outliers, expected, "strategy {i}");
+        }
+    }
+
+    #[test]
+    fn domain_baseline_runs_two_jobs_when_candidates_exist() {
+        let data = clustered_data(3, 300);
+        let params = OutlierParams::new(1.0, 6).unwrap();
+        let runner = DodRunner::builder()
+            .config(small_config(params))
+            .strategy(Domain)
+            .fixed(AlgorithmKind::NestedLoop)
+            .build();
+        let outcome = runner.run(&data).unwrap();
+        assert_eq!(outcome.outliers, reference_outliers(&data, params));
+        // With a 3x3 grid over clustered data there are always edge
+        // candidates, so job 2 must have run.
+        assert_eq!(outcome.report.jobs.len(), 2);
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        let params = OutlierParams::new(1.0, 3).unwrap();
+        let runner = DodRunner::builder().params(params).build();
+        let outcome = runner.run(&PointSet::new(2).unwrap()).unwrap();
+        assert!(outcome.outliers.is_empty());
+        assert!(outcome.report.jobs.is_empty());
+    }
+
+    #[test]
+    fn single_point_is_outlier() {
+        let params = OutlierParams::new(1.0, 1).unwrap();
+        let mut data = PointSet::new(2).unwrap();
+        data.push(&[3.0, 4.0]).unwrap();
+        let runner = DodRunner::builder().config(small_config(params)).build();
+        let outcome = runner.run(&data).unwrap();
+        assert_eq!(outcome.outliers, vec![0]);
+    }
+
+    #[test]
+    fn report_accounts_every_partition() {
+        let data = clustered_data(4, 500);
+        let params = OutlierParams::new(1.5, 4).unwrap();
+        let runner = DodRunner::builder().config(small_config(params)).multi_tactic().build();
+        let outcome = runner.run(&data).unwrap();
+        let total_algs: usize =
+            outcome.report.algorithm_histogram.iter().map(|(_, n)| n).sum();
+        assert_eq!(total_algs, outcome.report.num_partitions);
+        assert_eq!(outcome.report.predicted_costs.len(), outcome.report.num_partitions);
+        assert!(outcome.report.shuffle_bytes > 0);
+    }
+
+    #[test]
+    fn multi_tactic_uses_multiple_algorithms_on_skewed_data() {
+        // Three density regimes: a dense blob (Lemma 4.2 case 1 ->
+        // Cell-Based), an intermediate-density block (case 3 ->
+        // Nested-Loop wins), and a sparse background (case 2 ->
+        // Cell-Based).
+        let mut data = PointSet::new(2).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..3000 {
+            data.push(&[rng.gen_range(0.0..3.0), rng.gen_range(0.0..3.0)]).unwrap();
+        }
+        for _ in 0..2000 {
+            // Density ~2 points per unit area: the Corollary 4.3 middle.
+            data.push(&[rng.gen_range(40.0..72.0), rng.gen_range(0.0..31.0)]).unwrap();
+        }
+        for _ in 0..300 {
+            data.push(&[rng.gen_range(3.0..100.0), rng.gen_range(31.0..100.0)]).unwrap();
+        }
+        let params = OutlierParams::new(1.0, 4).unwrap();
+        let config = DodConfig { target_partitions: 32, ..small_config(params) };
+        // The paper-variant candidate set: the full-scan Cell-Based pays
+        // Nested-Loop-like fallback costs, so the intermediate-density
+        // block genuinely favors Nested-Loop and the plan mixes.
+        let runner = DodRunner::builder()
+            .config(config)
+            .candidates(dod_detect::cost::PAPER_VARIANT_CANDIDATES.to_vec())
+            .build();
+        let outcome = runner.run(&data).unwrap();
+        assert_eq!(outcome.outliers, reference_outliers(&data, params));
+        assert!(
+            outcome.report.algorithm_histogram.len() >= 2,
+            "expected a mixed algorithm plan, got {:?}",
+            outcome.report.algorithm_histogram
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn builder_without_params_panics() {
+        let _ = DodRunner::builder().build();
+    }
+
+    #[test]
+    fn three_dimensional_pipeline_is_exact() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut data = PointSet::new(3).unwrap();
+        for _ in 0..300 {
+            data.push(&[
+                rng.gen_range(0.0..10.0),
+                rng.gen_range(0.0..10.0),
+                rng.gen_range(0.0..10.0),
+            ])
+            .unwrap();
+        }
+        let params = OutlierParams::new(1.5, 3).unwrap();
+        let runner = DodRunner::builder()
+            .config(small_config(params))
+            .strategy(UniSpace)
+            .multi_tactic()
+            .build();
+        let outcome = runner.run(&data).unwrap();
+        assert_eq!(outcome.outliers, reference_outliers(&data, params));
+    }
+}

@@ -1,0 +1,129 @@
+//! Logical cluster configuration.
+//!
+//! Mirrors the paper's experimental infrastructure: "one master node and 40
+//! slave nodes ... each node is configured to run up to 8 map and 8 reduce
+//! tasks concurrently" (Section VI-A). Tasks physically execute on a host
+//! thread pool; the logical topology determines how measured task
+//! durations are scheduled into stage makespans.
+
+/// Topology and execution policy of the simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Number of worker nodes.
+    pub nodes: usize,
+    /// Concurrent map tasks per node.
+    pub map_slots_per_node: usize,
+    /// Concurrent reduce tasks per node.
+    pub reduce_slots_per_node: usize,
+    /// How many times a failed (panicking) task is re-executed before the
+    /// job is failed, mirroring Hadoop's `mapreduce.map.maxattempts - 1`.
+    pub max_task_retries: usize,
+    /// Number of host threads running tasks. `0` means "use available
+    /// parallelism".
+    pub host_threads: usize,
+    /// Simulated per-node storage/network bandwidth in bytes per second;
+    /// `0` disables I/O simulation. When set, each map task is charged
+    /// reading its input block and each reduce task is charged fetching
+    /// its shuffle input, so multi-job protocols pay for re-reading the
+    /// data — the cost the DOD paper's single-pass design avoids. Tasks
+    /// still execute in memory; only the simulated makespans change.
+    pub io_bytes_per_sec: u64,
+}
+
+impl ClusterConfig {
+    /// A small default cluster: 8 nodes × 4 map / 4 reduce slots.
+    pub fn new(nodes: usize) -> Self {
+        ClusterConfig {
+            nodes: nodes.max(1),
+            map_slots_per_node: 4,
+            reduce_slots_per_node: 4,
+            max_task_retries: 3,
+            host_threads: 0,
+            io_bytes_per_sec: 0,
+        }
+    }
+
+    /// Enables simulated I/O at the given per-node bandwidth.
+    pub fn with_io_bandwidth(mut self, bytes_per_sec: u64) -> Self {
+        self.io_bytes_per_sec = bytes_per_sec;
+        self
+    }
+
+    /// Sets the per-node slot counts.
+    pub fn with_slots(mut self, map_slots: usize, reduce_slots: usize) -> Self {
+        self.map_slots_per_node = map_slots.max(1);
+        self.reduce_slots_per_node = reduce_slots.max(1);
+        self
+    }
+
+    /// Sets the retry budget.
+    pub fn with_retries(mut self, retries: usize) -> Self {
+        self.max_task_retries = retries;
+        self
+    }
+
+    /// Pins the host thread-pool size (useful for deterministic tests).
+    pub fn with_host_threads(mut self, threads: usize) -> Self {
+        self.host_threads = threads;
+        self
+    }
+
+    /// Total logical map lanes (`nodes × map slots`).
+    pub fn map_lanes(&self) -> usize {
+        self.nodes * self.map_slots_per_node
+    }
+
+    /// Total logical reduce lanes (`nodes × reduce slots`).
+    pub fn reduce_lanes(&self) -> usize {
+        self.nodes * self.reduce_slots_per_node
+    }
+
+    /// The physical thread count to use on this host.
+    pub fn effective_host_threads(&self) -> usize {
+        if self.host_threads > 0 {
+            self.host_threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        }
+    }
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig::new(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanes_multiply_nodes_and_slots() {
+        let c = ClusterConfig::new(10).with_slots(8, 8);
+        assert_eq!(c.map_lanes(), 80);
+        assert_eq!(c.reduce_lanes(), 80);
+    }
+
+    #[test]
+    fn zero_nodes_coerced_to_one() {
+        assert_eq!(ClusterConfig::new(0).nodes, 1);
+    }
+
+    #[test]
+    fn zero_slots_coerced() {
+        let c = ClusterConfig::new(2).with_slots(0, 0);
+        assert_eq!(c.map_lanes(), 2);
+        assert_eq!(c.reduce_lanes(), 2);
+    }
+
+    #[test]
+    fn host_threads_default_positive() {
+        assert!(ClusterConfig::default().effective_host_threads() >= 1);
+    }
+
+    #[test]
+    fn host_threads_override() {
+        assert_eq!(ClusterConfig::default().with_host_threads(3).effective_host_threads(), 3);
+    }
+}

@@ -1,0 +1,741 @@
+//! The MapReduce job executor.
+//!
+//! [`run_job`] executes one job: map tasks over the input blocks, an
+//! in-memory shuffle (partition → sort → group by key), then reduce tasks.
+//! Per-task wall times are measured and folded into stage makespans on the
+//! logical cluster topology (see [`crate::metrics`]). Panicking tasks are
+//! retried like Hadoop task attempts.
+
+use crate::blockstore::BlockStore;
+use crate::cluster::ClusterConfig;
+use crate::metrics::{makespan, JobMetrics};
+use crate::size::EstimateSize;
+use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// A map function: consumes one input item, emits zero or more key/value
+/// records.
+///
+/// Implementations must be deterministic and side-effect free: a failed
+/// task attempt is re-executed from scratch.
+pub trait Mapper: Send + Sync {
+    /// Input item type (one element of an input block).
+    type In: Send + Sync;
+    /// Intermediate key. Ordering defines the within-reducer group order.
+    type K: Ord + Clone + Send + EstimateSize;
+    /// Intermediate value.
+    type V: Send + EstimateSize;
+
+    /// Maps one item.
+    fn map(&self, item: &Self::In, emit: &mut dyn FnMut(Self::K, Self::V));
+}
+
+/// A reduce function: consumes one key group.
+pub trait Reducer: Send + Sync {
+    /// Intermediate key (matches the mapper's).
+    type K: Ord + Clone + Send;
+    /// Intermediate value (matches the mapper's).
+    type V: Send;
+    /// Output record type.
+    type Out: Send;
+
+    /// Reduces one `(key, values)` group.
+    fn reduce(&self, key: &Self::K, values: Vec<Self::V>, emit: &mut dyn FnMut(Self::Out));
+}
+
+/// Routes a key to one of `num_reducers` reduce tasks.
+pub type Partitioner<K> = dyn Fn(&K, usize) -> usize + Send + Sync;
+
+/// A map-side combiner: locally folds one key group before the shuffle,
+/// like Hadoop's combiner. Must be semantically idempotent with the
+/// reducer (the reducer still sees one group per key, now with
+/// pre-aggregated values).
+pub trait Combiner: Send + Sync {
+    /// Intermediate key (matches the mapper's).
+    type K: Ord;
+    /// Intermediate value (matches the mapper's).
+    type V;
+
+    /// Folds one locally-collected key group into (usually fewer) values.
+    fn combine(&self, key: &Self::K, values: Vec<Self::V>) -> Vec<Self::V>;
+}
+
+/// A combiner that sums numeric values — the classic word-count shape.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SumCombiner<K>(std::marker::PhantomData<K>);
+
+impl<K> SumCombiner<K> {
+    /// Creates the combiner.
+    pub fn new() -> Self {
+        SumCombiner(std::marker::PhantomData)
+    }
+}
+
+impl<K: Ord + Send + Sync> Combiner for SumCombiner<K> {
+    type K = K;
+    type V = u32;
+
+    fn combine(&self, _key: &K, values: Vec<u32>) -> Vec<u32> {
+        vec![values.into_iter().sum()]
+    }
+}
+
+/// Errors from a job execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// A task kept failing after exhausting its retry budget.
+    TaskFailed {
+        /// `"map"` or `"reduce"`.
+        stage: &'static str,
+        /// Index of the failing task.
+        task: usize,
+        /// Number of attempts made.
+        attempts: usize,
+    },
+    /// The job was configured with zero reducers but the mappers emitted
+    /// records.
+    NoReducers,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::TaskFailed { stage, task, attempts } => {
+                write!(f, "{stage} task {task} failed after {attempts} attempts")
+            }
+            JobError::NoReducers => write!(f, "job emitted records but has no reducers"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Result of a successful job.
+#[derive(Debug)]
+pub struct JobOutput<K, O> {
+    /// All reducer outputs, ordered by reducer index then key order.
+    pub outputs: Vec<O>,
+    /// Per-stage metrics.
+    pub metrics: JobMetrics,
+    /// Measured processing time of every key group, for per-partition cost
+    /// attribution (reducer order, then key order).
+    pub key_times: Vec<(K, Duration)>,
+}
+
+/// Sort-groups one map task's output by key and folds each group through
+/// the combiner.
+fn apply_combiner<C: Combiner>(combiner: &C, mut records: Vec<(C::K, C::V)>) -> Vec<(C::K, C::V)>
+where
+    C::K: Clone,
+{
+    records.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = Vec::with_capacity(records.len());
+    let mut iter = records.into_iter().peekable();
+    while let Some((key, first)) = iter.next() {
+        let mut values = vec![first];
+        while iter.peek().is_some_and(|(k, _)| *k == key) {
+            values.push(iter.next().expect("peeked").1);
+        }
+        for v in combiner.combine(&key, values) {
+            out.push((key.clone(), v));
+        }
+    }
+    out
+}
+
+/// Runs tasks from a shared queue on a bounded host thread pool, retrying
+/// panicking tasks. Returns per-task `(duration_of_successful_attempt,
+/// result)` or the index of a task that exhausted its retries.
+fn run_task_pool<T, F>(
+    num_tasks: usize,
+    threads: usize,
+    retries: usize,
+    retry_counter: &AtomicU64,
+    run: F,
+) -> Result<Vec<(Duration, T)>, usize>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let results: Mutex<Vec<Option<(Duration, T)>>> =
+        Mutex::new((0..num_tasks).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    let failed: Mutex<Option<usize>> = Mutex::new(None);
+
+    let threads = threads.max(1).min(num_tasks.max(1));
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                if failed.lock().is_some() {
+                    return;
+                }
+                let t = next.fetch_add(1, Ordering::Relaxed);
+                if t >= num_tasks {
+                    return;
+                }
+                let mut attempts = 0;
+                loop {
+                    attempts += 1;
+                    let start = Instant::now();
+                    match catch_unwind(AssertUnwindSafe(|| run(t))) {
+                        Ok(v) => {
+                            results.lock()[t] = Some((start.elapsed(), v));
+                            break;
+                        }
+                        Err(_) => {
+                            retry_counter.fetch_add(1, Ordering::Relaxed);
+                            if attempts > retries {
+                                *failed.lock() = Some(t);
+                                return;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+
+    if let Some(t) = *failed.lock() {
+        return Err(t);
+    }
+    Ok(results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("all tasks completed"))
+        .collect())
+}
+
+/// Executes one MapReduce job.
+///
+/// # Errors
+/// Returns [`JobError::TaskFailed`] when a task exhausts its retry budget
+/// and [`JobError::NoReducers`] when records were emitted but
+/// `num_reducers == 0`.
+pub fn run_job<M, R>(
+    cluster: &ClusterConfig,
+    input: &BlockStore<M::In>,
+    mapper: &M,
+    reducer: &R,
+    partitioner: &Partitioner<M::K>,
+    num_reducers: usize,
+) -> Result<JobOutput<M::K, R::Out>, JobError>
+where
+    M: Mapper,
+    M::In: EstimateSize,
+    M::K: Sync,
+    M::V: Clone + Sync,
+    R: Reducer<K = M::K, V = M::V>,
+{
+    run_job_inner(cluster, input, mapper, None::<&NoCombiner<M::K, M::V>>, reducer, partitioner, num_reducers)
+}
+
+/// [`run_job`] with a map-side combiner applied to each map task's output
+/// before the shuffle.
+///
+/// # Errors
+/// Same as [`run_job`].
+pub fn run_job_with_combiner<M, C, R>(
+    cluster: &ClusterConfig,
+    input: &BlockStore<M::In>,
+    mapper: &M,
+    combiner: &C,
+    reducer: &R,
+    partitioner: &Partitioner<M::K>,
+    num_reducers: usize,
+) -> Result<JobOutput<M::K, R::Out>, JobError>
+where
+    M: Mapper,
+    M::In: EstimateSize,
+    M::K: Sync,
+    M::V: Clone + Sync,
+    C: Combiner<K = M::K, V = M::V>,
+    R: Reducer<K = M::K, V = M::V>,
+{
+    run_job_inner(cluster, input, mapper, Some(combiner), reducer, partitioner, num_reducers)
+}
+
+/// Uninhabited-in-practice combiner used to monomorphize the no-combiner
+/// path of [`run_job`].
+struct NoCombiner<K, V>(std::marker::PhantomData<(K, V)>);
+
+impl<K: Ord + Send + Sync, V: Send + Sync> Combiner for NoCombiner<K, V> {
+    type K = K;
+    type V = V;
+    fn combine(&self, _key: &K, values: Vec<V>) -> Vec<V> {
+        values
+    }
+}
+
+fn run_job_inner<M, C, R>(
+    cluster: &ClusterConfig,
+    input: &BlockStore<M::In>,
+    mapper: &M,
+    combiner: Option<&C>,
+    reducer: &R,
+    partitioner: &Partitioner<M::K>,
+    num_reducers: usize,
+) -> Result<JobOutput<M::K, R::Out>, JobError>
+where
+    M: Mapper,
+    M::In: EstimateSize,
+    M::K: Sync,
+    M::V: Clone + Sync,
+    C: Combiner<K = M::K, V = M::V>,
+    R: Reducer<K = M::K, V = M::V>,
+{
+    let job_start = Instant::now();
+    let threads = cluster.effective_host_threads();
+    let retry_counter = AtomicU64::new(0);
+
+    // Simulated I/O charge per byte (zero when disabled).
+    let io_secs_per_byte = if cluster.io_bytes_per_sec > 0 {
+        1.0 / cluster.io_bytes_per_sec as f64
+    } else {
+        0.0
+    };
+    let io_charge = |bytes: u64| Duration::from_secs_f64(bytes as f64 * io_secs_per_byte);
+
+    // ---- Map stage: one task per input block. ----
+    let num_map_tasks = input.num_blocks();
+    let map_results = run_task_pool(
+        num_map_tasks,
+        threads,
+        cluster.max_task_retries,
+        &retry_counter,
+        |t| {
+            let block = input.block(t);
+            let mut out: Vec<(M::K, M::V)> = Vec::new();
+            for item in block.iter() {
+                mapper.map(item, &mut |k, v| out.push((k, v)));
+            }
+            if let Some(c) = combiner {
+                out = apply_combiner(c, out);
+            }
+            out
+        },
+    )
+    .map_err(|task| JobError::TaskFailed {
+        stage: "map",
+        task,
+        attempts: cluster.max_task_retries + 1,
+    })?;
+
+    // Charge each map task the simulated read of its input block.
+    let map_task_times: Vec<Duration> = map_results
+        .iter()
+        .enumerate()
+        .map(|(t, (d, _))| {
+            let block_bytes: u64 =
+                input.block(t).iter().map(|x| x.estimated_bytes() as u64).sum();
+            *d + io_charge(block_bytes)
+        })
+        .collect();
+
+    // ---- Shuffle: partition, then sort each reducer's records by key. ----
+    let mut shuffle_records = 0u64;
+    let mut shuffle_bytes = 0u64;
+    let mut reducer_bytes = vec![0u64; num_reducers];
+    let mut per_reducer: Vec<Vec<(M::K, M::V)>> = (0..num_reducers).map(|_| Vec::new()).collect();
+    for (_, records) in map_results {
+        for (k, v) in records {
+            if num_reducers == 0 {
+                return Err(JobError::NoReducers);
+            }
+            shuffle_records += 1;
+            let bytes = (k.estimated_bytes() + v.estimated_bytes()) as u64;
+            shuffle_bytes += bytes;
+            let r = partitioner(&k, num_reducers).min(num_reducers - 1);
+            reducer_bytes[r] += bytes;
+            per_reducer[r].push((k, v));
+        }
+    }
+    for bucket in &mut per_reducer {
+        bucket.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+
+    // ---- Reduce stage: one task per reducer. ----
+    // Buckets stay in place across task attempts (the in-memory analog of
+    // Hadoop's materialized shuffle output), so a retried reduce task
+    // re-reads its full input; values are cloned per group.
+    let reduce_results: Vec<(Duration, (Vec<R::Out>, Vec<(M::K, Duration)>))> = run_task_pool(
+        num_reducers,
+        threads,
+        cluster.max_task_retries,
+        &retry_counter,
+        |t| {
+            let records = &per_reducer[t];
+            let mut outputs = Vec::new();
+            let mut key_times = Vec::new();
+            let mut i = 0;
+            while i < records.len() {
+                let key = &records[i].0;
+                let mut j = i + 1;
+                while j < records.len() && records[j].0 == *key {
+                    j += 1;
+                }
+                let values: Vec<M::V> = records[i..j].iter().map(|(_, v)| v.clone()).collect();
+                let key_start = Instant::now();
+                reducer.reduce(key, values, &mut |o| outputs.push(o));
+                key_times.push((key.clone(), key_start.elapsed()));
+                i = j;
+            }
+            (outputs, key_times)
+        },
+    )
+    .map_err(|task| JobError::TaskFailed {
+        stage: "reduce",
+        task,
+        attempts: cluster.max_task_retries + 1,
+    })?;
+
+    // Charge each reduce task the simulated fetch of its shuffle input.
+    let reduce_task_times: Vec<Duration> = reduce_results
+        .iter()
+        .enumerate()
+        .map(|(t, (d, _))| *d + io_charge(reducer_bytes[t]))
+        .collect();
+    let mut outputs = Vec::new();
+    let mut key_times = Vec::new();
+    for (_, (outs, times)) in reduce_results {
+        outputs.extend(outs);
+        key_times.extend(times);
+    }
+
+    let placements: Vec<Vec<usize>> =
+        (0..num_map_tasks).map(|b| input.placement(b, cluster.nodes)).collect();
+    let map_schedule = crate::metrics::locality_makespan(
+        &map_task_times,
+        cluster.nodes,
+        cluster.map_slots_per_node,
+        &placements,
+    );
+    let metrics = JobMetrics {
+        map_makespan: map_schedule.makespan,
+        map_locality: map_schedule.local_fraction,
+        reduce_makespan: makespan(&reduce_task_times, cluster.reduce_lanes()),
+        map_task_times,
+        reduce_task_times,
+        shuffle_records,
+        shuffle_bytes,
+        host_wall: job_start.elapsed(),
+        task_retries: retry_counter.load(Ordering::Relaxed),
+    };
+    Ok(JobOutput { outputs, metrics, key_times })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    /// Classic word-count over integer "words".
+    struct CountMapper;
+    impl Mapper for CountMapper {
+        type In = u32;
+        type K = u32;
+        type V = u64;
+        fn map(&self, item: &u32, emit: &mut dyn FnMut(u32, u64)) {
+            emit(*item, 1);
+        }
+    }
+
+    struct SumReducer;
+    impl Reducer for SumReducer {
+        type K = u32;
+        type V = u64;
+        type Out = (u32, u64);
+        fn reduce(&self, key: &u32, values: Vec<u64>, emit: &mut dyn FnMut((u32, u64))) {
+            emit((*key, values.iter().sum()));
+        }
+    }
+
+    fn hash_partitioner(k: &u32, n: usize) -> usize {
+        (*k as usize) % n
+    }
+
+    #[test]
+    fn word_count_end_to_end() {
+        let items = vec![1u32, 2, 1, 3, 2, 1];
+        let store = BlockStore::from_items(items, 2, 1);
+        let cluster = ClusterConfig::new(2).with_host_threads(2);
+        let out = run_job(&cluster, &store, &CountMapper, &SumReducer, &hash_partitioner, 3)
+            .unwrap();
+        let mut counts = out.outputs;
+        counts.sort();
+        assert_eq!(counts, vec![(1, 3), (2, 2), (3, 1)]);
+        assert_eq!(out.metrics.shuffle_records, 6);
+        assert_eq!(out.metrics.shuffle_bytes, 6 * 12);
+        assert_eq!(out.metrics.map_task_times.len(), 3);
+        assert_eq!(out.metrics.reduce_task_times.len(), 3);
+        assert_eq!(out.metrics.task_retries, 0);
+    }
+
+    #[test]
+    fn empty_input_runs() {
+        let store: BlockStore<u32> = BlockStore::from_items(vec![], 4, 1);
+        let cluster = ClusterConfig::new(1);
+        let out = run_job(&cluster, &store, &CountMapper, &SumReducer, &hash_partitioner, 2)
+            .unwrap();
+        assert!(out.outputs.is_empty());
+        assert_eq!(out.metrics.shuffle_records, 0);
+    }
+
+    #[test]
+    fn key_times_cover_every_group() {
+        let store = BlockStore::from_items(vec![5u32, 5, 7, 9], 2, 1);
+        let out = run_job(
+            &ClusterConfig::new(1),
+            &store,
+            &CountMapper,
+            &SumReducer,
+            &hash_partitioner,
+            2,
+        )
+        .unwrap();
+        let mut keys: Vec<u32> = out.key_times.iter().map(|(k, _)| *k).collect();
+        keys.sort();
+        assert_eq!(keys, vec![5, 7, 9]);
+    }
+
+    #[test]
+    fn single_reducer_receives_everything_sorted() {
+        struct EchoReducer;
+        impl Reducer for EchoReducer {
+            type K = u32;
+            type V = u64;
+            type Out = u32;
+            fn reduce(&self, key: &u32, _v: Vec<u64>, emit: &mut dyn FnMut(u32)) {
+                emit(*key);
+            }
+        }
+        let store = BlockStore::from_items(vec![9u32, 3, 7, 1], 1, 1);
+        let out = run_job(
+            &ClusterConfig::new(1),
+            &store,
+            &CountMapper,
+            &EchoReducer,
+            &hash_partitioner,
+            1,
+        )
+        .unwrap();
+        assert_eq!(out.outputs, vec![1, 3, 7, 9]);
+    }
+
+    /// Mapper that panics once on a chosen item, then succeeds — exercises
+    /// the retry path.
+    struct FlakyMapper {
+        tripped: AtomicBool,
+    }
+    impl Mapper for FlakyMapper {
+        type In = u32;
+        type K = u32;
+        type V = u64;
+        fn map(&self, item: &u32, emit: &mut dyn FnMut(u32, u64)) {
+            if *item == 13 && !self.tripped.swap(true, Ordering::SeqCst) {
+                panic!("injected failure");
+            }
+            emit(*item, 1);
+        }
+    }
+
+    #[test]
+    fn injected_failure_is_retried() {
+        let store = BlockStore::from_items(vec![13u32, 1, 2], 1, 1);
+        let cluster = ClusterConfig::new(1).with_retries(2).with_host_threads(1);
+        let out = run_job(
+            &cluster,
+            &store,
+            &FlakyMapper { tripped: AtomicBool::new(false) },
+            &SumReducer,
+            &hash_partitioner,
+            2,
+        )
+        .unwrap();
+        assert_eq!(out.metrics.task_retries, 1);
+        let mut counts = out.outputs;
+        counts.sort();
+        assert_eq!(counts, vec![(1, 1), (2, 1), (13, 1)]);
+    }
+
+    /// Mapper that always panics on one item — the job must fail cleanly.
+    struct BrokenMapper;
+    impl Mapper for BrokenMapper {
+        type In = u32;
+        type K = u32;
+        type V = u64;
+        fn map(&self, item: &u32, _emit: &mut dyn FnMut(u32, u64)) {
+            if *item == 13 {
+                panic!("always broken");
+            }
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_fail_the_job() {
+        let store = BlockStore::from_items(vec![13u32], 1, 1);
+        let cluster = ClusterConfig::new(1).with_retries(1).with_host_threads(1);
+        let err = run_job(&cluster, &store, &BrokenMapper, &SumReducer, &hash_partitioner, 1)
+            .unwrap_err();
+        assert_eq!(err, JobError::TaskFailed { stage: "map", task: 0, attempts: 2 });
+    }
+
+    /// Reducer that panics on its first invocation for key 5 — verifies
+    /// that a retried reduce task still sees its full input.
+    struct FlakyReducer {
+        tripped: AtomicBool,
+    }
+    impl Reducer for FlakyReducer {
+        type K = u32;
+        type V = u64;
+        type Out = (u32, u64);
+        fn reduce(&self, key: &u32, values: Vec<u64>, emit: &mut dyn FnMut((u32, u64))) {
+            if *key == 5 && !self.tripped.swap(true, Ordering::SeqCst) {
+                panic!("injected reduce failure");
+            }
+            emit((*key, values.iter().sum()));
+        }
+    }
+
+    #[test]
+    fn reduce_retry_does_not_lose_input() {
+        let store = BlockStore::from_items(vec![5u32, 5, 6, 7], 2, 1);
+        let cluster = ClusterConfig::new(1).with_retries(2).with_host_threads(1);
+        let out = run_job(
+            &cluster,
+            &store,
+            &CountMapper,
+            &FlakyReducer { tripped: AtomicBool::new(false) },
+            &|_k, _n| 0usize,
+            1,
+        )
+        .unwrap();
+        assert_eq!(out.metrics.task_retries, 1);
+        let mut counts = out.outputs;
+        counts.sort();
+        assert_eq!(counts, vec![(5, 2), (6, 1), (7, 1)]);
+    }
+
+    #[test]
+    fn io_charging_inflates_simulated_makespans_only() {
+        let items: Vec<u32> = (0..100).collect();
+        let store = BlockStore::from_items(items, 10, 1);
+        let cluster = ClusterConfig::new(2);
+        let plain =
+            run_job(&cluster, &store, &CountMapper, &SumReducer, &hash_partitioner, 2).unwrap();
+        // 10 blocks x 10 items x 4 bytes at 400 B/s = 100 ms simulated
+        // read per block; shuffle records are 12 bytes each.
+        let slow_io = cluster.with_io_bandwidth(400);
+        let charged =
+            run_job(&slow_io, &store, &CountMapper, &SumReducer, &hash_partitioner, 2).unwrap();
+        let mut a = plain.outputs;
+        let mut b = charged.outputs;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "results unchanged");
+        // Map stage: 10 tasks x 100ms over 8 lanes -> >= 200ms.
+        assert!(charged.metrics.map_makespan >= Duration::from_millis(200));
+        assert!(charged.metrics.map_makespan > plain.metrics.map_makespan * 10);
+        assert!(charged.metrics.reduce_makespan > plain.metrics.reduce_makespan);
+        // Real execution stays fast: charging is simulation-only.
+        assert!(charged.metrics.host_wall < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn partitioner_out_of_range_is_clamped() {
+        let bad_partitioner = |_k: &u32, _n: usize| 999usize;
+        let store = BlockStore::from_items(vec![1u32, 2], 1, 1);
+        let out = run_job(
+            &ClusterConfig::new(1),
+            &store,
+            &CountMapper,
+            &SumReducer,
+            &bad_partitioner,
+            2,
+        )
+        .unwrap();
+        assert_eq!(out.outputs.len(), 2);
+    }
+
+    #[test]
+    fn combiner_reduces_shuffle_volume_same_result() {
+        let items: Vec<u32> = (0..300).map(|i| i % 5).collect();
+        let store = BlockStore::from_items(items, 50, 1);
+        let cluster = ClusterConfig::new(2);
+        struct CountMapper32;
+        impl Mapper for CountMapper32 {
+            type In = u32;
+            type K = u32;
+            type V = u32;
+            fn map(&self, item: &u32, emit: &mut dyn FnMut(u32, u32)) {
+                emit(*item, 1);
+            }
+        }
+        struct SumReducer32;
+        impl Reducer for SumReducer32 {
+            type K = u32;
+            type V = u32;
+            type Out = (u32, u32);
+            fn reduce(&self, key: &u32, values: Vec<u32>, emit: &mut dyn FnMut((u32, u32))) {
+                emit((*key, values.iter().sum()));
+            }
+        }
+        let plain = run_job(&cluster, &store, &CountMapper32, &SumReducer32, &hash_partitioner32, 3)
+            .unwrap();
+        let combined = run_job_with_combiner(
+            &cluster,
+            &store,
+            &CountMapper32,
+            &SumCombiner::new(),
+            &SumReducer32,
+            &hash_partitioner32,
+            3,
+        )
+        .unwrap();
+        let mut a = plain.outputs;
+        let mut b = combined.outputs;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        // 6 map tasks × 5 keys = 30 records instead of 300.
+        assert_eq!(plain.metrics.shuffle_records, 300);
+        assert_eq!(combined.metrics.shuffle_records, 30);
+        assert!(combined.metrics.shuffle_bytes < plain.metrics.shuffle_bytes);
+    }
+
+    fn hash_partitioner32(k: &u32, n: usize) -> usize {
+        (*k as usize) % n
+    }
+
+    #[test]
+    fn makespans_reflect_lanes() {
+        let store = BlockStore::from_items((0..64u32).collect(), 1, 1);
+        let wide = ClusterConfig::new(64).with_slots(1, 1);
+        let narrow = ClusterConfig::new(1).with_slots(1, 1);
+        let w = run_job(&wide, &store, &CountMapper, &SumReducer, &hash_partitioner, 4).unwrap();
+        let n = run_job(&narrow, &store, &CountMapper, &SumReducer, &hash_partitioner, 4).unwrap();
+        // One lane serializes all 64 map tasks; 64 lanes don't.
+        assert!(n.metrics.map_makespan >= w.metrics.map_makespan);
+    }
+
+    #[test]
+    fn many_threads_and_blocks_deterministic_outputs() {
+        let items: Vec<u32> = (0..500).map(|i| i % 17).collect();
+        let store = BlockStore::from_items(items, 7, 1);
+        let cluster = ClusterConfig::new(4).with_host_threads(8);
+        let mut last: Option<Vec<(u32, u64)>> = None;
+        for _ in 0..3 {
+            let out =
+                run_job(&cluster, &store, &CountMapper, &SumReducer, &hash_partitioner, 5)
+                    .unwrap();
+            let mut counts = out.outputs;
+            counts.sort();
+            if let Some(prev) = &last {
+                assert_eq!(prev, &counts);
+            }
+            last = Some(counts);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Per-stage timing and the makespan scheduler.
+//!
+//! The paper reports "the breakdown of the execution time for the key
+//! stages of the MapReduce workflow including preprocessing, partitioning
+//! (map), and processing (reduce) time" (Section VI-A). [`JobMetrics`]
+//! captures those series; [`makespan`] converts measured per-task
+//! durations into the end-to-end stage time a cluster of `lanes` parallel
+//! slots would exhibit (greedy list scheduling, the same policy a Hadoop
+//! scheduler applies to a task queue).
+
+use std::collections::BinaryHeap;
+use std::time::Duration;
+
+/// Greedy list-scheduling makespan: assigns each task, in order, to the
+/// currently least-loaded of `lanes` parallel lanes and returns the
+/// maximum lane load.
+///
+/// With `lanes == 1` this degenerates to the sum; with `lanes >=
+/// durations.len()` to the maximum.
+pub fn makespan(durations: &[Duration], lanes: usize) -> Duration {
+    let lanes = lanes.max(1);
+    if durations.is_empty() {
+        return Duration::ZERO;
+    }
+    // Min-heap over lane loads (std BinaryHeap is a max-heap, store
+    // negated via Reverse).
+    use std::cmp::Reverse;
+    let mut heap: BinaryHeap<Reverse<Duration>> = (0..lanes).map(|_| Reverse(Duration::ZERO)).collect();
+    for &d in durations {
+        let Reverse(load) = heap.pop().expect("heap has `lanes` entries");
+        heap.push(Reverse(load + d));
+    }
+    heap.into_iter().map(|Reverse(d)| d).max().unwrap_or(Duration::ZERO)
+}
+
+/// Result of a locality-aware schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalitySchedule {
+    /// Maximum lane load.
+    pub makespan: Duration,
+    /// Fraction of tasks placed on a node holding one of their replicas.
+    pub local_fraction: f64,
+}
+
+/// Greedy list scheduling of map tasks onto `nodes × slots_per_node`
+/// lanes, preferring — among the least-loaded lanes — one on a node that
+/// holds a replica of the task's block (`placements[task]`), like a
+/// Hadoop scheduler honoring data locality. Returns the makespan and the
+/// achieved locality fraction.
+pub fn locality_makespan(
+    durations: &[Duration],
+    nodes: usize,
+    slots_per_node: usize,
+    placements: &[Vec<usize>],
+) -> LocalitySchedule {
+    let nodes = nodes.max(1);
+    let slots = slots_per_node.max(1);
+    if durations.is_empty() {
+        return LocalitySchedule { makespan: Duration::ZERO, local_fraction: 1.0 };
+    }
+    debug_assert_eq!(durations.len(), placements.len());
+    let mut lane_load = vec![Duration::ZERO; nodes * slots];
+    let mut local = 0usize;
+    for (t, &d) in durations.iter().enumerate() {
+        let min_load = *lane_load.iter().min().expect("lanes >= 1");
+        // Among minimally-loaded lanes, prefer one on a replica node.
+        let replicas = &placements[t];
+        let chosen = (0..lane_load.len())
+            .filter(|&l| lane_load[l] == min_load)
+            .min_by_key(|&l| {
+                let node = l / slots;
+                (!replicas.contains(&node), l)
+            })
+            .expect("at least one minimal lane");
+        if replicas.contains(&(chosen / slots)) {
+            local += 1;
+        }
+        lane_load[chosen] += d;
+    }
+    LocalitySchedule {
+        makespan: lane_load.into_iter().max().unwrap_or(Duration::ZERO),
+        local_fraction: local as f64 / durations.len() as f64,
+    }
+}
+
+/// Timing and volume metrics of one MapReduce job execution.
+#[derive(Debug, Clone, Default)]
+pub struct JobMetrics {
+    /// Measured wall time of each map task.
+    pub map_task_times: Vec<Duration>,
+    /// Measured wall time of each reduce task (one per reducer lane used).
+    pub reduce_task_times: Vec<Duration>,
+    /// Number of key/value records crossing the shuffle.
+    pub shuffle_records: u64,
+    /// Estimated bytes crossing the shuffle.
+    pub shuffle_bytes: u64,
+    /// Simulated end-to-end map-stage time on the logical cluster.
+    pub map_makespan: Duration,
+    /// Simulated end-to-end reduce-stage time on the logical cluster.
+    pub reduce_makespan: Duration,
+    /// Host wall time actually spent executing the whole job.
+    pub host_wall: Duration,
+    /// Number of task attempts that failed and were retried.
+    pub task_retries: u64,
+    /// Fraction of map tasks scheduled data-locally (on a node holding a
+    /// replica of their input block).
+    pub map_locality: f64,
+}
+
+impl JobMetrics {
+    /// Simulated end-to-end job time: map stage followed by reduce stage
+    /// (shuffle overlaps with both in real Hadoop; we fold its cost into
+    /// the reduce tasks that consume the data).
+    pub fn simulated_total(&self) -> Duration {
+        self.map_makespan + self.reduce_makespan
+    }
+
+    /// Sum of all task times — the "total compute" the cluster performed.
+    pub fn total_task_time(&self) -> Duration {
+        self.map_task_times.iter().chain(self.reduce_task_times.iter()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn empty_makespan_is_zero() {
+        assert_eq!(makespan(&[], 4), Duration::ZERO);
+    }
+
+    #[test]
+    fn single_lane_is_sum() {
+        assert_eq!(makespan(&[ms(1), ms(2), ms(3)], 1), ms(6));
+    }
+
+    #[test]
+    fn many_lanes_is_max() {
+        assert_eq!(makespan(&[ms(1), ms(2), ms(3)], 10), ms(3));
+    }
+
+    #[test]
+    fn greedy_balances() {
+        // Tasks 4,3,3 on 2 lanes: 4 | 3+3 -> makespan 6.
+        assert_eq!(makespan(&[ms(4), ms(3), ms(3)], 2), ms(6));
+    }
+
+    #[test]
+    fn zero_lanes_coerced() {
+        assert_eq!(makespan(&[ms(5)], 0), ms(5));
+    }
+
+    #[test]
+    fn imbalanced_tasks_dominate() {
+        // One huge task dominates regardless of lane count.
+        assert_eq!(makespan(&[ms(100), ms(1), ms(1)], 8), ms(100));
+    }
+
+    #[test]
+    fn locality_empty() {
+        let s = locality_makespan(&[], 4, 2, &[]);
+        assert_eq!(s.makespan, Duration::ZERO);
+        assert_eq!(s.local_fraction, 1.0);
+    }
+
+    #[test]
+    fn locality_prefers_replica_nodes() {
+        // 4 equal tasks on 4 nodes x 1 slot; every task has a replica on
+        // its own node index -> perfect locality.
+        let d = vec![ms(1); 4];
+        let placements: Vec<Vec<usize>> = (0..4).map(|b| vec![b]).collect();
+        let s = locality_makespan(&d, 4, 1, &placements);
+        assert_eq!(s.local_fraction, 1.0);
+        assert_eq!(s.makespan, ms(1));
+    }
+
+    #[test]
+    fn locality_falls_back_to_least_loaded() {
+        // All replicas on node 0, but 2 nodes: half the tasks must run
+        // remotely to balance load.
+        let d = vec![ms(1); 4];
+        let placements: Vec<Vec<usize>> = (0..4).map(|_| vec![0]).collect();
+        let s = locality_makespan(&d, 2, 1, &placements);
+        assert_eq!(s.makespan, ms(2));
+        assert_eq!(s.local_fraction, 0.5);
+    }
+
+    #[test]
+    fn locality_makespan_matches_plain_when_uniform() {
+        let d = vec![ms(3), ms(1), ms(2), ms(2)];
+        let placements: Vec<Vec<usize>> = (0..4).map(|b| vec![b % 2]).collect();
+        let s = locality_makespan(&d, 2, 1, &placements);
+        assert_eq!(s.makespan, makespan(&d, 2));
+    }
+
+    #[test]
+    fn metrics_totals() {
+        let m = JobMetrics {
+            map_task_times: vec![ms(2), ms(3)],
+            reduce_task_times: vec![ms(5)],
+            map_makespan: ms(3),
+            reduce_makespan: ms(5),
+            ..Default::default()
+        };
+        assert_eq!(m.simulated_total(), ms(8));
+        assert_eq!(m.total_task_time(), ms(10));
+    }
+}

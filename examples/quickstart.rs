@@ -1,0 +1,54 @@
+//! Quickstart: detect distance-threshold outliers with the default
+//! multi-tactic pipeline.
+//!
+//! ```sh
+//! cargo run --release -p dod --example quickstart
+//! ```
+
+use dod::prelude::*;
+
+fn main() {
+    // A toy dataset: two tight clusters and three isolated points.
+    let mut points: Vec<(f64, f64)> = Vec::new();
+    for i in 0..50 {
+        let t = i as f64 * 0.1;
+        points.push((10.0 + t.sin(), 10.0 + t.cos())); // cluster A
+        points.push((30.0 + t.cos(), 30.0 + t.sin())); // cluster B
+    }
+    points.push((0.5, 39.0)); // anomalies
+    points.push((39.0, 0.5));
+    points.push((20.0, 20.0));
+    let data = PointSet::from_xy(&points);
+
+    // A point is an outlier if it has fewer than k = 4 neighbors within
+    // distance r = 2.5.
+    let params = OutlierParams::new(2.5, 4).expect("valid parameters");
+
+    // The default runner: DMT partitioning + per-partition algorithm
+    // selection over {Cell-Based, Nested-Loop}, on a simulated 8-node
+    // cluster. For a dataset this small we sample at 100%.
+    let config = DodConfig { sample_rate: 1.0, block_size: 32, ..DodConfig::new(params) };
+    let runner = DodRunner::builder().config(config).multi_tactic().build();
+
+    let outcome = runner.run(&data).expect("pipeline runs");
+
+    println!("dataset: {} points, params: r = {}, k = {}", data.len(), params.r, params.k);
+    println!("outliers found: {:?}", outcome.outliers);
+    for &id in &outcome.outliers {
+        let p = data.point(id as usize);
+        println!("  point {id} at ({:.1}, {:.1})", p[0], p[1]);
+    }
+    println!(
+        "plan: {} partitions, algorithms: {:?}",
+        outcome.report.num_partitions, outcome.report.algorithm_histogram
+    );
+    println!(
+        "simulated stage times: preprocess {:?}, map {:?}, reduce {:?}",
+        outcome.report.breakdown.preprocess,
+        outcome.report.breakdown.map,
+        outcome.report.breakdown.reduce
+    );
+
+    assert_eq!(outcome.outliers, vec![100, 101, 102]);
+    println!("ok: the three planted anomalies were found");
+}

@@ -1,0 +1,49 @@
+//! Shared helpers for the cross-crate integration tests.
+//!
+//! The tests themselves live in `tests/tests/`; this library provides the
+//! dataset builders and the reference oracle they all compare against.
+
+use dod_core::{OutlierParams, PointId, PointSet};
+use dod_detect::{Detector, Partition, Reference};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Ground-truth outliers via the brute-force oracle.
+pub fn reference_outliers(data: &PointSet, params: OutlierParams) -> Vec<PointId> {
+    Reference.detect(&Partition::standalone(data.clone()), params).outliers
+}
+
+/// A mixed-density 2-d dataset: dense blob, moderate cluster, sparse
+/// background — the shape that exercises every branch of the
+/// multi-tactic machinery.
+pub fn mixed_density(seed: u64, n: usize) -> PointSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = PointSet::new(2).expect("dim 2");
+    for _ in 0..n {
+        let roll: f64 = rng.gen();
+        let p = if roll < 0.4 {
+            [rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)]
+        } else if roll < 0.8 {
+            [rng.gen_range(20.0..44.0), rng.gen_range(10.0..34.0)]
+        } else {
+            [rng.gen_range(0.0..60.0), rng.gen_range(0.0..60.0)]
+        };
+        data.push(&p).expect("dim 2");
+    }
+    data
+}
+
+/// A dataset of `n` points uniform over a `side × side` square in `dim`
+/// dimensions.
+pub fn uniform_nd(seed: u64, n: usize, dim: usize, side: f64) -> PointSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = PointSet::new(dim).expect("dim >= 1");
+    let mut buf = vec![0.0; dim];
+    for _ in 0..n {
+        for b in buf.iter_mut() {
+            *b = rng.gen_range(0.0..side);
+        }
+        data.push(&buf).expect("same dim");
+    }
+    data
+}

@@ -1,0 +1,111 @@
+//! End-to-end runs over every synthetic dataset generator — the full
+//! dod-data → dod-partition → mapreduce → dod-detect stack.
+
+use dod::prelude::*;
+use dod_core::Rect;
+use dod_data::hierarchy::{hierarchy_dataset, HierarchyLevel};
+use dod_data::region::{region_dataset, Region};
+use dod_data::{distort, tiger_analog};
+use dod_integration::reference_outliers;
+
+fn config(params: OutlierParams) -> DodConfig {
+    DodConfig {
+        sample_rate: 0.25,
+        block_size: 512,
+        num_reducers: 6,
+        target_partitions: 24,
+        ..DodConfig::new(params)
+    }
+}
+
+#[test]
+fn all_regions_run_exactly() {
+    let params = OutlierParams::new(0.8, 4).unwrap();
+    for region in Region::ALL {
+        let (data, _) = region_dataset(region, 2_500, 31);
+        let runner = DodRunner::builder().config(config(params)).multi_tactic().build();
+        let outcome = runner.run(&data).unwrap();
+        assert_eq!(
+            outcome.outliers,
+            reference_outliers(&data, params),
+            "region {}",
+            region.abbrev()
+        );
+    }
+}
+
+#[test]
+fn hierarchy_levels_run_exactly() {
+    let params = OutlierParams::new(0.8, 4).unwrap();
+    for level in [HierarchyLevel::Massachusetts, HierarchyLevel::NewEngland] {
+        let (data, _) = hierarchy_dataset(level, 1_200, 32);
+        let runner = DodRunner::builder().config(config(params)).multi_tactic().build();
+        let outcome = runner.run(&data).unwrap();
+        assert_eq!(
+            outcome.outliers,
+            reference_outliers(&data, params),
+            "level {}",
+            level.abbrev()
+        );
+    }
+}
+
+#[test]
+fn distorted_dataset_runs_exactly() {
+    let params = OutlierParams::new(0.8, 4).unwrap();
+    let (base, domain) = hierarchy_dataset(HierarchyLevel::Massachusetts, 800, 33);
+    let data = distort(&base, &domain, 3, 0.3, 34);
+    assert_eq!(data.len(), base.len() * 4);
+    let runner = DodRunner::builder().config(config(params)).multi_tactic().build();
+    let outcome = runner.run(&data).unwrap();
+    assert_eq!(outcome.outliers, reference_outliers(&data, params));
+}
+
+#[test]
+fn distortion_rescues_most_outliers() {
+    // Replication with small jitter gives every original point 3 close
+    // companions, so the distorted dataset has far fewer outliers (per
+    // count threshold k <= 3) than the base.
+    let params = OutlierParams::new(0.8, 3).unwrap();
+    let (base, domain) = hierarchy_dataset(HierarchyLevel::Massachusetts, 1_000, 35);
+    let data = distort(&base, &domain, 3, 0.2, 36);
+    let base_outliers = reference_outliers(&base, params).len();
+    let distorted_outliers = reference_outliers(&data, params).len();
+    assert!(
+        distorted_outliers < base_outliers.max(1),
+        "base {base_outliers}, distorted {distorted_outliers}"
+    );
+}
+
+#[test]
+fn tiger_analog_runs_exactly() {
+    let params = OutlierParams::new(0.5, 4).unwrap();
+    let domain = Rect::new(vec![0.0, 0.0], vec![80.0, 80.0]).unwrap();
+    let data = tiger_analog(&domain, 4_000, 25, 37);
+    let runner = DodRunner::builder()
+        .config(config(params))
+        .strategy(CDriven::new(AlgorithmKind::NestedLoop))
+        .multi_tactic()
+        .build();
+    let outcome = runner.run(&data).unwrap();
+    assert_eq!(outcome.outliers, reference_outliers(&data, params));
+    // Road data has off-road noise: some outliers must exist.
+    assert!(!outcome.outliers.is_empty());
+}
+
+#[test]
+fn csv_round_trip_through_pipeline() {
+    let params = OutlierParams::new(0.8, 4).unwrap();
+    let (data, _) = region_dataset(Region::Massachusetts, 1_000, 38);
+    let mut path = std::env::temp_dir();
+    path.push(format!("dod-integration-{}.csv", std::process::id()));
+    dod_data::io::write_csv(&path, &data).unwrap();
+    let reloaded = dod_data::io::read_csv(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(reloaded, data);
+    let runner = DodRunner::builder().config(config(params)).multi_tactic().build();
+    assert_eq!(
+        runner.run(&reloaded).unwrap().outliers,
+        runner.run(&data).unwrap().outliers
+    );
+}

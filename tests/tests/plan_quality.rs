@@ -1,0 +1,182 @@
+//! Qualitative properties of the plans the preprocessing job emits —
+//! the Section IV/V claims, checked end-to-end.
+
+use dod::prelude::*;
+use dod_core::Rect;
+use dod_detect::cost::{AlgorithmKind as Kind, CostModel, PAPER_CANDIDATES};
+use dod_integration::mixed_density;
+use dod_partition::packing::assignment_makespan;
+use dod_partition::AllocationSpec;
+use dod_partition::{sample_points, MultiTacticPlan, PlanContext};
+
+fn ctx(params: OutlierParams, m: usize) -> PlanContext {
+    PlanContext::new(params, m, 1.0)
+}
+
+/// Three-regime dataset in one domain: dense blob, intermediate block,
+/// empty space.
+fn three_regimes() -> PointSet {
+    let mut data = PointSet::new(2).unwrap();
+    let mut t = 0u64;
+    let mut next = || {
+        // Cheap deterministic pseudo-random in [0, 1).
+        t = t.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (t >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for _ in 0..3000 {
+        let (x, y) = (next() * 3.0, next() * 3.0);
+        data.push(&[x, y]).unwrap();
+    }
+    for _ in 0..2000 {
+        let (x, y) = (40.0 + next() * 32.0, next() * 31.0);
+        data.push(&[x, y]).unwrap();
+    }
+    for _ in 0..300 {
+        let (x, y) = (3.0 + next() * 97.0, 31.0 + next() * 69.0);
+        data.push(&[x, y]).unwrap();
+    }
+    data
+}
+
+#[test]
+fn corollary_4_3_assigns_different_algorithms_per_regime() {
+    let data = three_regimes();
+    let params = OutlierParams::new(1.0, 4).unwrap();
+    let domain = data.bounding_rect().unwrap();
+    let sample = sample_points(&data, 1.0, 1);
+    let plan = Dmt::default().build_plan(&sample, &domain, &ctx(params, 32));
+    let mt = MultiTacticPlan::build(
+        plan,
+        &sample,
+        1.0,
+        params,
+        PAPER_CANDIDATES,
+        8,
+        AllocationSpec::cost(),
+    );
+    // The dense blob must get Cell-Based, the intermediate block
+    // Nested-Loop.
+    let dense_pid = mt.plan.locate(&[1.5, 1.5]) as usize;
+    let mid_pid = mt.plan.locate(&[56.0, 15.0]) as usize;
+    assert_eq!(mt.algorithms[dense_pid], Kind::CellBased, "dense regime");
+    assert_eq!(mt.algorithms[mid_pid], Kind::NestedLoop, "intermediate regime");
+}
+
+#[test]
+fn cdriven_balances_predicted_cost_better_than_ddriven() {
+    let data = mixed_density(7, 6000);
+    let params = OutlierParams::new(0.8, 4).unwrap();
+    let domain = data.bounding_rect().unwrap();
+    let sample = sample_points(&data, 1.0, 2);
+    let context = ctx(params, 24);
+
+    let model = CostModel::new(params, 2);
+    let predicted = |plan: &dod_partition::PartitionPlan| -> Vec<f64> {
+        plan.count_sample(&sample)
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| model.cost(Kind::NestedLoop, c as usize, plan.rect(i).volume()))
+            .collect()
+    };
+
+    let c_plan = CDriven::new(Kind::NestedLoop).build_plan(&sample, &domain, &context);
+    let d_plan = DDriven.build_plan(&sample, &domain, &context);
+    let ident_c: Vec<usize> = (0..c_plan.num_partitions()).collect();
+    let ident_d: Vec<usize> = (0..d_plan.num_partitions()).collect();
+    let c_max = assignment_makespan(&predicted(&c_plan), c_plan.num_partitions(), &ident_c);
+    let d_max = assignment_makespan(&predicted(&d_plan), d_plan.num_partitions(), &ident_d);
+    assert!(
+        c_max <= d_max * 1.10,
+        "CDriven max-partition cost {c_max} should not exceed DDriven's {d_max}"
+    );
+}
+
+#[test]
+fn cost_allocation_beats_round_robin_on_skewed_plans() {
+    // Weights with heavy skew: LPT-refined packing must produce a lower
+    // or equal makespan than round-robin for the same partitions.
+    let data = three_regimes();
+    let params = OutlierParams::new(1.0, 4).unwrap();
+    let domain = data.bounding_rect().unwrap();
+    let sample = sample_points(&data, 1.0, 3);
+    let plan = Dmt::default().build_plan(&sample, &domain, &ctx(params, 32));
+    let build = |policy| {
+        MultiTacticPlan::build(
+            plan.clone(),
+            &sample,
+            1.0,
+            params,
+            PAPER_CANDIDATES,
+            4,
+            policy,
+        )
+    };
+    let rr = build(AllocationSpec::round_robin());
+    let lpt = build(AllocationSpec::cost());
+    let rr_ms = assignment_makespan(&rr.predicted_costs, 4, &rr.allocation);
+    let lpt_ms = assignment_makespan(&lpt.predicted_costs, 4, &lpt.allocation);
+    assert!(lpt_ms <= rr_ms + 1e-9, "LPT {lpt_ms} vs round-robin {rr_ms}");
+}
+
+#[test]
+fn every_plan_covers_the_whole_domain() {
+    let data = mixed_density(11, 2000);
+    let params = OutlierParams::new(1.0, 4).unwrap();
+    let domain = data.bounding_rect().unwrap();
+    let sample = sample_points(&data, 0.5, 4);
+    let context = ctx(params, 16);
+    let strategies: Vec<Box<dyn PartitionStrategy>> = vec![
+        Box::new(Domain),
+        Box::new(UniSpace),
+        Box::new(DDriven),
+        Box::new(CDriven::new(Kind::NestedLoop)),
+        Box::new(Dmt::default()),
+    ];
+    for strategy in strategies {
+        let plan = strategy.build_plan(&sample, &domain, &context);
+        // Volume conservation.
+        let total: f64 = plan.rects().iter().map(Rect::volume).sum();
+        assert!(
+            (total - domain.volume()).abs() < domain.volume() * 1e-9,
+            "{}: rect volumes {total} != domain {}",
+            strategy.name(),
+            domain.volume()
+        );
+        // Every data point locates into a rect that contains it.
+        for p in data.iter() {
+            let pid = plan.locate(p) as usize;
+            assert!(
+                plan.rect(pid).contains_closed(p),
+                "{}: point misrouted",
+                strategy.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn support_replication_factor_is_modest() {
+    // The supporting-area overhead (Definition 3.3) must stay a small
+    // multiple of the input for reasonable r.
+    let data = mixed_density(15, 4000);
+    let params = OutlierParams::new(0.8, 4).unwrap();
+    let config = DodConfig {
+        sample_rate: 0.5,
+        block_size: 256,
+        num_reducers: 8,
+        target_partitions: 32,
+        ..DodConfig::new(params)
+    };
+    let runner = DodRunner::builder().config(config).multi_tactic().build();
+    let outcome = runner.run(&data).unwrap();
+    let records = outcome.report.jobs[0].shuffle_records;
+    assert!(records >= data.len() as u64, "at least one core record per point");
+    // DSHC plans can produce bucket-wide strips, so replication above 1x
+    // is expected; it must stay a small constant (the paper's single-pass
+    // claim rests on this).
+    assert!(
+        records <= 3 * data.len() as u64,
+        "support replication {}x exceeds 3x",
+        records as f64 / data.len() as f64
+    );
+}
