@@ -1,0 +1,291 @@
+//! Offline drop-in shim for the subset of `proptest` 1 this workspace
+//! uses (see `compat/README.md`): the `proptest!` test macro over range /
+//! tuple / `collection::vec` strategies, `ProptestConfig::with_cases`,
+//! and the `prop_assert*` macros.
+//!
+//! This is a plain randomized-case runner: every generated `#[test]`
+//! draws `cases` independent inputs from a seed derived from the test's
+//! module path and name. There is no shrinking and no failure
+//! persistence; a panic message includes the case index, which together
+//! with the (deterministic) naming-derived seed reproduces the input.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::ops::{Range, RangeInclusive};
+
+/// The per-test RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Drives one property's cases; constructed by the `proptest!` expansion.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    base_seed: u64,
+}
+
+impl TestRunner {
+    /// Creates a runner whose case seeds derive deterministically from
+    /// `name` (normally `module_path!()::test_name`).
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner {
+            config,
+            base_seed: h,
+        }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// The RNG for one case.
+    pub fn rng_for(&self, case: u32) -> TestRng {
+        StdRng::seed_from_u64(self.base_seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: a fixed size or a half-open
+    /// range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange(Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange(r)
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` values.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vectors whose length is drawn from `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.0.start + 1 >= self.size.0.end {
+                self.size.0.start
+            } else {
+                rand::Rng::gen_range(rng, self.size.0.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The property-test macro: each `#[test] fn name(arg in strategy, ...)`
+/// becomes a plain `#[test]` running `cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        #[test]
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let runner = $crate::TestRunner::new(
+                config,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __proptest_case in 0..runner.cases() {
+                let mut __proptest_rng = runner.rng_for(__proptest_case);
+                $(let $arg =
+                    $crate::Strategy::generate(&($strat), &mut __proptest_rng);)+
+                let run = || -> () { $body };
+                if let Err(panic) = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(run),
+                ) {
+                    eprintln!(
+                        "proptest case {}/{} of {} failed",
+                        __proptest_case + 1,
+                        runner.cases(),
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// The import surface test modules use.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ranges_stay_in_bounds(
+            x in -5.0f64..5.0,
+            n in 1usize..10,
+            pair in (0u32..3, 0.0f64..=1.0),
+        ) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+            prop_assert!(pair.0 < 3);
+            prop_assert!((0.0..=1.0).contains(&pair.1));
+        }
+
+        #[test]
+        fn vec_lengths_respect_spec(
+            v in crate::collection::vec(0.0f64..1.0, 2..5),
+            fixed in crate::collection::vec(0u64..10, 3),
+            nested in crate::collection::vec(crate::collection::vec(0i32..4, 2), 1..4),
+        ) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert_eq!(fixed.len(), 3);
+            prop_assert!((1..4).contains(&nested.len()));
+            for inner in &nested {
+                prop_assert_eq!(inner.len(), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn runner_seeds_are_name_dependent() {
+        let a = super::TestRunner::new(ProptestConfig::with_cases(4), "mod::a");
+        let b = super::TestRunner::new(ProptestConfig::with_cases(4), "mod::b");
+        use rand::Rng;
+        assert_ne!(a.rng_for(0).gen::<u64>(), b.rng_for(0).gen::<u64>());
+        // Same name, same case -> same stream.
+        let a2 = super::TestRunner::new(ProptestConfig::with_cases(4), "mod::a");
+        assert_eq!(a.rng_for(1).gen::<u64>(), a2.rng_for(1).gen::<u64>());
+    }
+}

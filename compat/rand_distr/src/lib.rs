@@ -1,0 +1,116 @@
+//! Offline drop-in shim for the subset of `rand_distr` 0.4 this
+//! workspace uses: the [`Distribution`] trait and the [`Normal`]
+//! distribution (Box–Muller sampling). See `compat/README.md`.
+
+use rand::Rng;
+
+/// A sampling distribution over `T`.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: Rng>(&self, rng: &mut R) -> T;
+}
+
+/// Errors constructing a [`Normal`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// The mean was not finite.
+    MeanTooSmall,
+    /// The standard deviation was negative or not finite.
+    BadVariance,
+}
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NormalError::MeanTooSmall => write!(f, "mean is not finite"),
+            NormalError::BadVariance => write!(f, "standard deviation is negative or not finite"),
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// The normal distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates the distribution.
+    ///
+    /// # Errors
+    /// Rejects non-finite means and negative or non-finite deviations
+    /// (matching upstream `rand_distr`; `std_dev == 0` is allowed and
+    /// degenerates to the constant `mean`).
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if !mean.is_finite() {
+            return Err(NormalError::MeanTooSmall);
+        }
+        if !(std_dev.is_finite() && std_dev >= 0.0) {
+            return Err(NormalError::BadVariance);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+
+    /// The configured mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The configured standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; the paired second variate is discarded to keep the
+        // distribution stateless.
+        let mut u1: f64 = rng.gen();
+        while u1 <= f64::MIN_POSITIVE {
+            u1 = rng.gen();
+        }
+        let u2: f64 = rng.gen();
+        let mag = (-2.0 * u1.ln()).sqrt();
+        self.mean + self.std_dev * mag * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+        assert!(Normal::new(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn moments_are_approximately_right() {
+        let normal = Normal::new(3.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn zero_deviation_is_constant() {
+        let normal = Normal::new(5.0, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(normal.sample(&mut rng), 5.0);
+        }
+    }
+}

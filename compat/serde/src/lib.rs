@@ -1,0 +1,15 @@
+//! Offline drop-in shim for the `serde` surface this workspace uses:
+//! the `Serialize` / `Deserialize` derives as compile-time annotations.
+//! See `compat/README.md`.
+//!
+//! The derive macros expand to nothing, so the marker traits below are
+//! intentionally never implemented — no code path serializes through
+//! serde in this workspace.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (never implemented here).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (never implemented here).
+pub trait Deserialize<'de>: Sized {}

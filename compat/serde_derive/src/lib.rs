@@ -1,0 +1,22 @@
+//! No-op derive macros backing the offline `serde` shim.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` (plus inert
+//! `#[serde(...)]` field attributes) purely as annotations; nothing
+//! serializes through serde at runtime. These derives accept the same
+//! syntax and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and `#[serde(...)]` attributes; expands
+/// to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and `#[serde(...)]` attributes;
+/// expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

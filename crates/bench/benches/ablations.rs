@@ -6,10 +6,10 @@ use bench::scale::Scale;
 use bench::setup::{build_runner, experiment_config, ModeChoice, StrategyChoice};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dod::prelude::*;
-use dod_partition::AllocationSpec;
 use dod_data::hierarchy::{hierarchy_dataset, HierarchyLevel};
 use dod_data::uniform::uniform_with_density_measure;
 use dod_detect::{CellBased, Detector, Partition};
+use dod_partition::AllocationSpec;
 use std::time::Duration;
 
 fn bench_packing(c: &mut Criterion) {
@@ -18,7 +18,9 @@ fn bench_packing(c: &mut Criterion) {
     let (data, _) = hierarchy_dataset(HierarchyLevel::NewEngland, scale.hierarchy_base, 131);
 
     let mut group = c.benchmark_group("ablation_packing");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_secs(2));
     for (name, spec) in [
         ("round_robin", AllocationSpec::round_robin()),
@@ -26,7 +28,10 @@ fn bench_packing(c: &mut Criterion) {
         ("lpt_cost", AllocationSpec::cost()),
     ] {
         group.bench_function(name, |b| {
-            let config = DodConfig { allocation: Some(spec), ..experiment_config(params) };
+            let config = DodConfig {
+                allocation: Some(spec),
+                ..experiment_config(params)
+            };
             let runner = build_runner(StrategyChoice::Dmt, ModeChoice::MultiTactic, config);
             b.iter(|| runner.run(&data).unwrap())
         });
@@ -40,11 +45,16 @@ fn bench_sampling(c: &mut Criterion) {
     let (data, _) = hierarchy_dataset(HierarchyLevel::NewEngland, scale.hierarchy_base, 121);
 
     let mut group = c.benchmark_group("ablation_sampling_rate");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_secs(2));
     for rate in [0.005, 0.02, 0.08] {
         group.bench_with_input(BenchmarkId::from_parameter(rate), &rate, |b, &rate| {
-            let config = DodConfig { sample_rate: rate, ..experiment_config(params) };
+            let config = DodConfig {
+                sample_rate: rate,
+                ..experiment_config(params)
+            };
             let runner = build_runner(StrategyChoice::Dmt, ModeChoice::MultiTactic, config);
             b.iter(|| runner.run(&data).unwrap())
         });
@@ -58,17 +68,23 @@ fn bench_dshc_resolution(c: &mut Criterion) {
     let (data, _) = hierarchy_dataset(HierarchyLevel::NewEngland, scale.hierarchy_base, 141);
 
     let mut group = c.benchmark_group("ablation_dshc_buckets");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_secs(2));
     for buckets in [8usize, 16, 32, 64] {
-        group.bench_with_input(BenchmarkId::from_parameter(buckets), &buckets, |b, &buckets| {
-            let runner = DodRunner::builder()
-                .config(experiment_config(params))
-                .strategy(Dmt::new(buckets))
-                .multi_tactic()
-                .build();
-            b.iter(|| runner.run(&data).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(buckets),
+            &buckets,
+            |b, &buckets| {
+                let runner = DodRunner::builder()
+                    .config(experiment_config(params))
+                    .strategy(Dmt::new(buckets))
+                    .multi_tactic()
+                    .build();
+                b.iter(|| runner.run(&data).unwrap())
+            },
+        );
     }
     group.finish();
 }
@@ -80,16 +96,28 @@ fn bench_block_scan(c: &mut Criterion) {
     let partition = Partition::standalone(data);
 
     let mut group = c.benchmark_group("ablation_cell_based_fallback");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_secs(2));
     group.bench_function("paper_full_scan", |b| {
         b.iter(|| CellBased::default().detect(&partition, params))
     });
     group.bench_function("block_restricted", |b| {
-        b.iter(|| CellBased::default().block_restricted().detect(&partition, params))
+        b.iter(|| {
+            CellBased::default()
+                .block_restricted()
+                .detect(&partition, params)
+        })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_packing, bench_sampling, bench_dshc_resolution, bench_block_scan);
+criterion_group!(
+    benches,
+    bench_packing,
+    bench_sampling,
+    bench_dshc_resolution,
+    bench_block_scan
+);
 criterion_main!(benches);

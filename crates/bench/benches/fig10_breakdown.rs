@@ -19,12 +19,26 @@ fn bench_fig10(c: &mut Criterion) {
         hierarchy_dataset(HierarchyLevel::UnitedStates, scale.distort_base / 16, 101);
     let distorted = distort(&base, &domain, 3, 0.3, 102);
     let mut group = c.benchmark_group("fig10a_distorted");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_secs(2));
     for (name, strategy, mode) in [
-        ("domain_cell_based", StrategyChoice::Domain, ModeChoice::CellBased),
-        ("unispace_cell_based", StrategyChoice::UniSpace, ModeChoice::CellBased),
-        ("ddriven_cell_based", StrategyChoice::DDriven, ModeChoice::CellBased),
+        (
+            "domain_cell_based",
+            StrategyChoice::Domain,
+            ModeChoice::CellBased,
+        ),
+        (
+            "unispace_cell_based",
+            StrategyChoice::UniSpace,
+            ModeChoice::CellBased,
+        ),
+        (
+            "ddriven_cell_based",
+            StrategyChoice::DDriven,
+            ModeChoice::CellBased,
+        ),
         ("dmt", StrategyChoice::Dmt, ModeChoice::MultiTactic),
     ] {
         group.bench_function(name, |b| {
@@ -39,11 +53,21 @@ fn bench_fig10(c: &mut Criterion) {
     let tiger_domain = Rect::new(vec![0.0, 0.0], vec![200.0, 200.0]).unwrap();
     let tiger = tiger_analog(&tiger_domain, scale.tiger_n, 60, 103);
     let mut group = c.benchmark_group("fig10b_tiger");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_secs(2));
     for (name, strategy, mode) in [
-        ("cdriven_nested_loop", StrategyChoice::CDriven, ModeChoice::NestedLoop),
-        ("cdriven_cell_based", StrategyChoice::CDriven, ModeChoice::CellBased),
+        (
+            "cdriven_nested_loop",
+            StrategyChoice::CDriven,
+            ModeChoice::NestedLoop,
+        ),
+        (
+            "cdriven_cell_based",
+            StrategyChoice::CDriven,
+            ModeChoice::CellBased,
+        ),
         ("dmt", StrategyChoice::Dmt, ModeChoice::MultiTactic),
     ] {
         group.bench_function(name, |b| {

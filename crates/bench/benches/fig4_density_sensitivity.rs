@@ -16,7 +16,9 @@ fn bench_fig4(c: &mut Criterion) {
     let dense = Partition::standalone(dense);
 
     let mut group = c.benchmark_group("fig4_density_sensitivity");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(2));
     group.bench_function("nested_loop/D-Sparse", |b| {
         b.iter(|| NestedLoop::default().detect(&sparse, params))

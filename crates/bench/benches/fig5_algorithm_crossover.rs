@@ -13,10 +13,13 @@ fn bench_fig5(c: &mut Criterion) {
     let params = OutlierParams::new(5.0, 4).unwrap();
 
     let mut group = c.benchmark_group("fig5_algorithm_crossover");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(2));
     for (i, measure) in [0.1, 3.0, 30.0].into_iter().enumerate() {
-        let (data, _) = uniform_with_density_measure(scale.fig45_n, params.r, measure, 51 + i as u64);
+        let (data, _) =
+            uniform_with_density_measure(scale.fig45_n, params.r, measure, 51 + i as u64);
         let partition = Partition::standalone(data);
         group.bench_with_input(
             BenchmarkId::new("cell_based", measure),

@@ -13,9 +13,14 @@ fn bench_fig7(c: &mut Criterion) {
     let scale = Scale::small();
     let params = OutlierParams::new(0.8, 4).unwrap();
 
-    for (panel, mode) in [("a_nested_loop", ModeChoice::NestedLoop), ("b_cell_based", ModeChoice::CellBased)] {
+    for (panel, mode) in [
+        ("a_nested_loop", ModeChoice::NestedLoop),
+        ("b_cell_based", ModeChoice::CellBased),
+    ] {
         let mut group = c.benchmark_group(format!("fig7{panel}"));
-        group.sample_size(10).warm_up_time(Duration::from_millis(300));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(300));
         group.measurement_time(Duration::from_secs(2));
         for region in Region::ALL {
             let (data, _) = region_dataset(region, scale.region_n, 71);

@@ -13,7 +13,9 @@ fn bench_fig8(c: &mut Criterion) {
     let params = OutlierParams::new(0.8, 4).unwrap();
 
     let mut group = c.benchmark_group("fig8_partitioning_scalability");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_secs(2));
     for level in HierarchyLevel::ALL {
         let (data, _) = hierarchy_dataset(level, scale.hierarchy_base, 81);

@@ -10,7 +10,11 @@ use dod_data::region::{region_dataset, Region};
 use std::time::Duration;
 
 const METHODS: [(&str, StrategyChoice, ModeChoice); 3] = [
-    ("nested_loop", StrategyChoice::CDriven, ModeChoice::NestedLoop),
+    (
+        "nested_loop",
+        StrategyChoice::CDriven,
+        ModeChoice::NestedLoop,
+    ),
     ("cell_based", StrategyChoice::CDriven, ModeChoice::CellBased),
     ("dmt", StrategyChoice::Dmt, ModeChoice::MultiTactic),
 ];
@@ -20,37 +24,33 @@ fn bench_fig9(c: &mut Criterion) {
     let params = OutlierParams::new(0.8, 4).unwrap();
 
     let mut group = c.benchmark_group("fig9a_distributions");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_secs(2));
     for region in Region::ALL {
         let (data, _) = region_dataset(region, scale.region_n, 91);
         for (name, strategy, mode) in METHODS {
-            group.bench_with_input(
-                BenchmarkId::new(name, region.abbrev()),
-                &data,
-                |b, data| {
-                    let runner = build_runner(strategy, mode, experiment_config(params));
-                    b.iter(|| runner.run(data).unwrap())
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, region.abbrev()), &data, |b, data| {
+                let runner = build_runner(strategy, mode, experiment_config(params));
+                b.iter(|| runner.run(data).unwrap())
+            });
         }
     }
     group.finish();
 
     let mut group = c.benchmark_group("fig9b_scalability");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_secs(2));
     for level in HierarchyLevel::ALL {
         let (data, _) = hierarchy_dataset(level, scale.hierarchy_base, 92);
         for (name, strategy, mode) in METHODS {
-            group.bench_with_input(
-                BenchmarkId::new(name, level.abbrev()),
-                &data,
-                |b, data| {
-                    let runner = build_runner(strategy, mode, experiment_config(params));
-                    b.iter(|| runner.run(data).unwrap())
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, level.abbrev()), &data, |b, data| {
+                let runner = build_runner(strategy, mode, experiment_config(params));
+                b.iter(|| runner.run(data).unwrap())
+            });
         }
     }
     group.finish();

@@ -4,18 +4,29 @@
 //! cost balance, and the reduce makespan.
 //!
 //! ```sh
-//! cargo run --release -p bench --bin diag -- [region|hierarchy|tiger]
+//! cargo run --release -p bench --bin diag -- [region|hierarchy|tiger] \
+//!     [--trace <path>] [--profile]
 //! ```
 
 use bench::scale::Scale;
 use bench::setup::{build_runner, experiment_config, ModeChoice, StrategyChoice};
+use bench::trace;
 use dod::prelude::*;
 use dod_data::hierarchy::{hierarchy_dataset, HierarchyLevel};
 use dod_data::region::{region_dataset, Region};
 use dod_data::tiger_analog;
+use dod_obs::Value;
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "region".into());
+    let (args, session) = match trace::from_args(std::env::args().skip(1).collect()) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let obs = session.obs();
+    let which = args.first().cloned().unwrap_or_else(|| "region".into());
     let scale = Scale::paper();
     let (data, params) = match which.as_str() {
         "hierarchy" => {
@@ -24,14 +35,22 @@ fn main() {
         }
         "tiger" => {
             let domain = dod_core::Rect::new(vec![0.0, 0.0], vec![200.0, 200.0]).unwrap();
-            (tiger_analog(&domain, scale.tiger_n, 60, 103), OutlierParams::new(0.4, 4).unwrap())
+            (
+                tiger_analog(&domain, scale.tiger_n, 60, 103),
+                OutlierParams::new(0.4, 4).unwrap(),
+            )
         }
         _ => {
             let (d, _) = region_dataset(Region::Ohio, scale.region_n, 71);
             (d, OutlierParams::new(1.8, 4).unwrap())
         }
     };
-    println!("dataset: {which}, {} points, r={}, k={}", data.len(), params.r, params.k);
+    println!(
+        "dataset: {which}, {} points, r={}, k={}",
+        data.len(),
+        params.r,
+        params.k
+    );
     println!(
         "{:<22} {:>5} {:>8} {:>10} {:>10} {:>10} {:>10} {:>12}",
         "config", "parts", "repl", "pre(ms)", "map(ms)", "red(ms)", "tot(ms)", "algs"
@@ -43,9 +62,30 @@ fn main() {
         StrategyChoice::CDriven,
         StrategyChoice::Dmt,
     ] {
-        for mode in [ModeChoice::NestedLoop, ModeChoice::CellBased, ModeChoice::MultiTactic] {
-            let runner = build_runner(strategy, mode, experiment_config(params));
+        for mode in [
+            ModeChoice::NestedLoop,
+            ModeChoice::CellBased,
+            ModeChoice::MultiTactic,
+        ] {
+            let config = DodConfig {
+                obs: obs.clone(),
+                ..experiment_config(params)
+            };
+            let runner = build_runner(strategy, mode, config);
+            let scope = obs
+                .scope("bench.config")
+                .with_label("strategy", strategy.label())
+                .with_label("mode", mode.label());
             let o = runner.run(&data).unwrap();
+            drop(scope);
+            obs.counter(
+                "bench.outliers",
+                o.outliers.len() as u64,
+                &[
+                    ("strategy", Value::from(strategy.label())),
+                    ("mode", Value::from(mode.label())),
+                ],
+            );
             let repl = o.report.jobs[0].shuffle_records as f64 / data.len() as f64;
             let algs: Vec<String> = o
                 .report
@@ -67,4 +107,5 @@ fn main() {
             );
         }
     }
+    session.finish();
 }

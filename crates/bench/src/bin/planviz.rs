@@ -2,11 +2,13 @@
 //! — the visual counterpart of `diag`.
 //!
 //! ```sh
-//! cargo run --release -p bench --bin planviz -- [region|hierarchy|tiger] [out_dir]
+//! cargo run --release -p bench --bin planviz -- [region|hierarchy|tiger] [out_dir] \
+//!     [--trace <path>] [--profile]
 //! ```
 
 use bench::scale::Scale;
 use bench::svg::write_plan_svg;
+use bench::trace;
 use dod::prelude::*;
 use dod_core::Rect;
 use dod_data::hierarchy::{hierarchy_dataset, HierarchyLevel};
@@ -16,8 +18,11 @@ use dod_detect::cost::PAPER_CANDIDATES;
 use dod_partition::{sample_points, LocalCostEstimator, PlanContext};
 
 fn main() -> std::io::Result<()> {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "region".into());
-    let out_dir = std::env::args().nth(2).unwrap_or_else(|| ".".into());
+    let (args, session) = trace::from_args(std::env::args().skip(1).collect())
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+    let obs = session.obs();
+    let which = args.first().cloned().unwrap_or_else(|| "region".into());
+    let out_dir = args.get(1).cloned().unwrap_or_else(|| ".".into());
     let scale = Scale::small();
     let (data, params) = match which.as_str() {
         "hierarchy" => {
@@ -26,7 +31,10 @@ fn main() -> std::io::Result<()> {
         }
         "tiger" => {
             let domain = Rect::new(vec![0.0, 0.0], vec![200.0, 200.0]).unwrap();
-            (tiger_analog(&domain, scale.tiger_n, 60, 103), OutlierParams::new(0.4, 4).unwrap())
+            (
+                tiger_analog(&domain, scale.tiger_n, 60, 103),
+                OutlierParams::new(0.4, 4).unwrap(),
+            )
         }
         _ => {
             let (d, _) = region_dataset(Region::Massachusetts, scale.region_n, 71);
@@ -47,9 +55,11 @@ fn main() -> std::io::Result<()> {
         ("dmt", Box::new(Dmt::default())),
     ];
     for (name, strategy) in strategies {
+        let mut scope = obs.scope("planviz.plan").with_label("strategy", name);
         let plan = strategy.build_plan(&sample, &domain, &ctx);
         let estimates = estimator.estimate(&plan, &sample, PAPER_CANDIDATES);
         let algorithms: Vec<_> = estimates.iter().map(|e| e.best().0).collect();
+        scope.add_label("partitions", plan.num_partitions() as u64);
         let path = std::path::Path::new(&out_dir).join(format!("plan_{which}_{name}.svg"));
         write_plan_svg(&path, &plan, Some(&sample), Some(&algorithms))?;
         println!(
@@ -59,5 +69,6 @@ fn main() -> std::io::Result<()> {
             path.display()
         );
     }
+    session.finish();
     Ok(())
 }

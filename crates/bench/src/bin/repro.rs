@@ -7,10 +7,12 @@
 //! ```
 //!
 //! Experiments: fig4, fig5, fig7, fig8, fig9, fig10, ablations.
+//! Add `--trace <path>` / `--profile` to capture per-experiment spans.
 
 use bench::experiments::{self, StageRow};
 use bench::scale::Scale;
 use bench::setup::ModeChoice;
+use bench::trace;
 use std::time::Duration;
 
 fn fmt(d: Duration) -> String {
@@ -62,8 +64,11 @@ fn run_fig5(scale: &Scale) {
         "density", "Cell-Based", "CB-full-scan", "Nested-Loop"
     );
     for r in &rows {
-        let winner =
-            if r.cell_based_full < r.nested_loop { "Cell-Based" } else { "Nested-Loop" };
+        let winner = if r.cell_based_full < r.nested_loop {
+            "Cell-Based"
+        } else {
+            "Nested-Loop"
+        };
         println!(
             "{:<10} {} {} {}   {winner}",
             r.density_measure,
@@ -166,12 +171,24 @@ fn run_fig10(scale: &Scale) {
 fn run_ablations(scale: &Scale) {
     section("Ablation: cost model prediction vs measured partition time");
     let cm = experiments::ablation_cost_model(scale);
-    println!("{} partitions; Pearson correlation(predicted cost, measured reduce time):", cm.partitions);
-    println!("  locality-aware estimator (default): {:.3}", cm.local_correlation);
-    println!("  paper Lemma 4.1/4.2 model:          {:.3}", cm.paper_correlation);
+    println!(
+        "{} partitions; Pearson correlation(predicted cost, measured reduce time):",
+        cm.partitions
+    );
+    println!(
+        "  locality-aware estimator (default): {:.3}",
+        cm.local_correlation
+    );
+    println!(
+        "  paper Lemma 4.1/4.2 model:          {:.3}",
+        cm.paper_correlation
+    );
 
     section("Ablation: sampling rate Y (result set must be invariant)");
-    println!("{:<8} {:>14} {:>14} {:>9}", "rate", "preprocess", "total", "outliers");
+    println!(
+        "{:<8} {:>14} {:>14} {:>9}",
+        "rate", "preprocess", "total", "outliers"
+    );
     for r in experiments::ablation_sampling(scale) {
         println!(
             "{:<8} {} {} {:>9}",
@@ -189,7 +206,10 @@ fn run_ablations(scale: &Scale) {
     }
 
     section("Ablation: Cell-Based fallback scan (paper full-scan vs block-restricted)");
-    println!("{:<10} {:>14} {:>18}", "density", "full scan", "block-restricted");
+    println!(
+        "{:<10} {:>14} {:>18}",
+        "density", "full scan", "block-restricted"
+    );
     for r in experiments::ablation_block_scan(scale) {
         println!(
             "{:<10} {} {:>18}",
@@ -201,35 +221,49 @@ fn run_ablations(scale: &Scale) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (args, session) = match trace::from_args(std::env::args().skip(1).collect()) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let obs = session.obs();
     let small = args.iter().any(|a| a == "--small");
-    let scale = if small { Scale::small() } else { Scale::paper() };
-    let wanted: Vec<&str> =
-        args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let scale = if small {
+        Scale::small()
+    } else {
+        Scale::paper()
+    };
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
     let all = wanted.is_empty();
     let want = |name: &str| all || wanted.contains(&name);
 
-    println!("DOD reproduction harness (scale: {})", if small { "small" } else { "paper" });
+    println!(
+        "DOD reproduction harness (scale: {})",
+        if small { "small" } else { "paper" }
+    );
 
-    if want("fig4") {
-        run_fig4(&scale);
+    type Experiment = (&'static str, fn(&Scale));
+    let experiments: [Experiment; 7] = [
+        ("fig4", run_fig4),
+        ("fig5", run_fig5),
+        ("fig7", run_fig7),
+        ("fig8", run_fig8),
+        ("fig9", run_fig9),
+        ("fig10", run_fig10),
+        ("ablations", run_ablations),
+    ];
+    for (name, run) in experiments {
+        if want(name) {
+            let scope = obs.scope("bench.experiment").with_label("experiment", name);
+            run(&scale);
+            drop(scope);
+        }
     }
-    if want("fig5") {
-        run_fig5(&scale);
-    }
-    if want("fig7") {
-        run_fig7(&scale);
-    }
-    if want("fig8") {
-        run_fig8(&scale);
-    }
-    if want("fig9") {
-        run_fig9(&scale);
-    }
-    if want("fig10") {
-        run_fig10(&scale);
-    }
-    if want("ablations") {
-        run_ablations(&scale);
-    }
+    session.finish();
 }

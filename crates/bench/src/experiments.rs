@@ -95,7 +95,11 @@ pub fn fig4(scale: &Scale) -> Vec<Fig4Row> {
         let partition = Partition::standalone(data);
         let start = Instant::now();
         let det = NestedLoop::default().detect(&partition, params);
-        rows.push(Fig4Row { dataset: name, time: start.elapsed(), evals: det.stats.distance_evaluations });
+        rows.push(Fig4Row {
+            dataset: name,
+            time: start.elapsed(),
+            evals: det.stats.distance_evaluations,
+        });
     }
     rows
 }
@@ -132,12 +136,19 @@ pub fn fig5(scale: &Scale) -> Vec<Fig5Row> {
         let _ = CellBased::default().detect(&partition, params);
         let cell_based = t0.elapsed();
         let t1 = Instant::now();
-        let _ = CellBased::default().full_scan_fallback().detect(&partition, params);
+        let _ = CellBased::default()
+            .full_scan_fallback()
+            .detect(&partition, params);
         let cell_based_full = t1.elapsed();
         let t2 = Instant::now();
         let _ = NestedLoop::default().detect(&partition, params);
         let nested_loop = t2.elapsed();
-        rows.push(Fig5Row { density_measure: m, cell_based, cell_based_full, nested_loop });
+        rows.push(Fig5Row {
+            density_measure: m,
+            cell_based,
+            cell_based_full,
+            nested_loop,
+        });
     }
     rows
 }
@@ -178,7 +189,10 @@ pub fn fig7(scale: &Scale, mode: ModeChoice) -> Vec<Fig7Row> {
                 (label, t, ratio)
             })
             .collect();
-        rows.push(Fig7Row { region: region.abbrev(), strategies });
+        rows.push(Fig7Row {
+            region: region.abbrev(),
+            strategies,
+        });
     }
     rows
 }
@@ -210,7 +224,11 @@ pub fn fig8(scale: &Scale, mode: ModeChoice) -> Vec<Fig8Row> {
             let row = run_pipeline(strategy.label(), strategy, mode, params, &data);
             strategies.push((strategy.label(), row.total()));
         }
-        rows.push(Fig8Row { level: level.abbrev(), n: data.len(), strategies });
+        rows.push(Fig8Row {
+            level: level.abbrev(),
+            n: data.len(),
+            strategies,
+        });
     }
     rows
 }
@@ -235,16 +253,28 @@ pub struct Fig9Row {
 fn fig9_methods(params: OutlierParams, data: &PointSet, label: String, n: usize) -> Fig9Row {
     let mut methods = Vec::new();
     for (name, strategy, mode) in [
-        ("Nested-Loop", StrategyChoice::CDriven, ModeChoice::NestedLoop),
+        (
+            "Nested-Loop",
+            StrategyChoice::CDriven,
+            ModeChoice::NestedLoop,
+        ),
         ("Cell-Based", StrategyChoice::CDriven, ModeChoice::CellBased),
         ("DMT", StrategyChoice::Dmt, ModeChoice::MultiTactic),
-        ("Cell-Based*", StrategyChoice::CDriven, ModeChoice::CellBasedOpt),
+        (
+            "Cell-Based*",
+            StrategyChoice::CDriven,
+            ModeChoice::CellBasedOpt,
+        ),
         ("DMT*", StrategyChoice::Dmt, ModeChoice::MultiTacticOpt),
     ] {
         let row = run_pipeline(name, strategy, mode, params, data);
         methods.push((name, row.total()));
     }
-    Fig9Row { dataset: label, n, methods }
+    Fig9Row {
+        dataset: label,
+        n,
+        methods,
+    }
 }
 
 /// Figure 9(a): detection methods across the four region distributions.
@@ -280,13 +310,38 @@ pub fn fig9_scalability(scale: &Scale) -> Vec<Fig9Row> {
 /// average detector on this dense data) versus DMT.
 pub fn fig10a(scale: &Scale) -> Vec<StageRow> {
     let params = OutlierParams::new(1.0, 4).expect("valid parameters");
-    let (base, domain) = hierarchy_dataset(HierarchyLevel::UnitedStates, scale.distort_base / 16, 101);
+    let (base, domain) =
+        hierarchy_dataset(HierarchyLevel::UnitedStates, scale.distort_base / 16, 101);
     let data = distort(&base, &domain, 3, 0.3, 102);
     vec![
-        run_pipeline("Domain + Cell-Based", StrategyChoice::Domain, ModeChoice::CellBased, params, &data),
-        run_pipeline("uniSpace + Cell-Based", StrategyChoice::UniSpace, ModeChoice::CellBased, params, &data),
-        run_pipeline("DDriven + Cell-Based", StrategyChoice::DDriven, ModeChoice::CellBased, params, &data),
-        run_pipeline("DMT", StrategyChoice::Dmt, ModeChoice::MultiTactic, params, &data),
+        run_pipeline(
+            "Domain + Cell-Based",
+            StrategyChoice::Domain,
+            ModeChoice::CellBased,
+            params,
+            &data,
+        ),
+        run_pipeline(
+            "uniSpace + Cell-Based",
+            StrategyChoice::UniSpace,
+            ModeChoice::CellBased,
+            params,
+            &data,
+        ),
+        run_pipeline(
+            "DDriven + Cell-Based",
+            StrategyChoice::DDriven,
+            ModeChoice::CellBased,
+            params,
+            &data,
+        ),
+        run_pipeline(
+            "DMT",
+            StrategyChoice::Dmt,
+            ModeChoice::MultiTactic,
+            params,
+            &data,
+        ),
     ]
 }
 
@@ -297,9 +352,27 @@ pub fn fig10b(scale: &Scale) -> Vec<StageRow> {
     let domain = Rect::new(vec![0.0, 0.0], vec![200.0, 200.0]).expect("static bounds");
     let data = tiger_analog(&domain, scale.tiger_n, 60, 103);
     vec![
-        run_pipeline("CDriven + Nested-Loop", StrategyChoice::CDriven, ModeChoice::NestedLoop, params, &data),
-        run_pipeline("CDriven + Cell-Based", StrategyChoice::CDriven, ModeChoice::CellBased, params, &data),
-        run_pipeline("DMT", StrategyChoice::Dmt, ModeChoice::MultiTactic, params, &data),
+        run_pipeline(
+            "CDriven + Nested-Loop",
+            StrategyChoice::CDriven,
+            ModeChoice::NestedLoop,
+            params,
+            &data,
+        ),
+        run_pipeline(
+            "CDriven + Cell-Based",
+            StrategyChoice::CDriven,
+            ModeChoice::CellBased,
+            params,
+            &data,
+        ),
+        run_pipeline(
+            "DMT",
+            StrategyChoice::Dmt,
+            ModeChoice::MultiTactic,
+            params,
+            &data,
+        ),
     ]
 }
 
@@ -345,7 +418,11 @@ pub fn ablation_cost_model(scale: &Scale) -> CostModelAblation {
     };
     let (partitions, local_correlation) = run(false);
     let (_, paper_correlation) = run(true);
-    CostModelAblation { partitions, local_correlation, paper_correlation }
+    CostModelAblation {
+        partitions,
+        local_correlation,
+        paper_correlation,
+    }
 }
 
 fn pearson(a: &[f64], b: &[f64]) -> f64 {
@@ -391,8 +468,10 @@ pub fn ablation_sampling(scale: &Scale) -> Vec<SamplingRow> {
     [0.002, 0.005, 0.02, 0.08, 0.32]
         .into_iter()
         .map(|rate| {
-            let config =
-                DodConfig { sample_rate: rate, ..experiment_config(params) };
+            let config = DodConfig {
+                sample_rate: rate,
+                ..experiment_config(params)
+            };
             let runner = build_runner(StrategyChoice::Dmt, ModeChoice::MultiTactic, config);
             let outcome = runner.run(&data).expect("pipeline runs");
             SamplingRow {
@@ -426,10 +505,16 @@ pub fn ablation_packing(scale: &Scale) -> Vec<PackingRow> {
     ]
     .into_iter()
     .map(|(name, spec)| {
-        let config = DodConfig { allocation: Some(spec), ..experiment_config(params) };
+        let config = DodConfig {
+            allocation: Some(spec),
+            ..experiment_config(params)
+        };
         let runner = build_runner(StrategyChoice::Dmt, ModeChoice::MultiTactic, config);
         let outcome = runner.run(&data).expect("pipeline runs");
-        PackingRow { policy: name, reduce: outcome.report.breakdown.reduce }
+        PackingRow {
+            policy: name,
+            reduce: outcome.report.breakdown.reduce,
+        }
     })
     .collect()
 }
@@ -458,12 +543,18 @@ pub fn ablation_block_scan(scale: &Scale) -> Vec<BlockScanRow> {
                 uniform_with_density_measure(scale.fig45_n, params.r, m, 141 + i as u64);
             let partition = Partition::standalone(data);
             let t0 = Instant::now();
-            let _ = CellBased::default().full_scan_fallback().detect(&partition, params);
+            let _ = CellBased::default()
+                .full_scan_fallback()
+                .detect(&partition, params);
             let full_scan = t0.elapsed();
             let t1 = Instant::now();
             let _ = CellBased::default().detect(&partition, params);
             let block_restricted = t1.elapsed();
-            BlockScanRow { density_measure: m, full_scan, block_restricted }
+            BlockScanRow {
+                density_measure: m,
+                full_scan,
+                block_restricted,
+            }
         })
         .collect()
 }
@@ -526,25 +617,41 @@ mod tests {
     fn fig10_breakdowns_agree_on_outliers() {
         let a = fig10a(&tiny());
         assert_eq!(a.len(), 4);
-        assert!(a.windows(2).all(|w| w[0].outliers == w[1].outliers), "{a:?}");
+        assert!(
+            a.windows(2).all(|w| w[0].outliers == w[1].outliers),
+            "{a:?}"
+        );
         let b = fig10b(&tiny());
         assert_eq!(b.len(), 3);
-        assert!(b.windows(2).all(|w| w[0].outliers == w[1].outliers), "{b:?}");
+        assert!(
+            b.windows(2).all(|w| w[0].outliers == w[1].outliers),
+            "{b:?}"
+        );
     }
 
     #[test]
     fn cost_model_correlates() {
         // Needs partitions with measurable work, so run above tiny scale.
-        let scale = Scale { hierarchy_base: 2_500, ..tiny() };
+        let scale = Scale {
+            hierarchy_base: 2_500,
+            ..tiny()
+        };
         let r = ablation_cost_model(&scale);
         assert!(r.partitions > 1);
-        assert!(r.local_correlation > 0.0, "local correlation {}", r.local_correlation);
+        assert!(
+            r.local_correlation > 0.0,
+            "local correlation {}",
+            r.local_correlation
+        );
     }
 
     #[test]
     fn sampling_rate_never_changes_the_answer() {
         let rows = ablation_sampling(&tiny());
-        assert!(rows.windows(2).all(|w| w[0].outliers == w[1].outliers), "{rows:?}");
+        assert!(
+            rows.windows(2).all(|w| w[0].outliers == w[1].outliers),
+            "{rows:?}"
+        );
     }
 
     #[test]

@@ -12,8 +12,9 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod experiments;
-pub mod svg;
 pub mod scale;
 pub mod setup;
+pub mod svg;
+pub mod trace;
 
 pub use scale::Scale;

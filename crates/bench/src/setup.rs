@@ -94,7 +94,9 @@ impl ModeChoice {
 /// pay a representative price for re-reading the input.
 pub fn experiment_config(params: OutlierParams) -> DodConfig {
     DodConfig {
-        cluster: ClusterConfig::new(8).with_slots(2, 2).with_io_bandwidth(32 * 1024 * 1024),
+        cluster: ClusterConfig::new(8)
+            .with_slots(2, 2)
+            .with_io_bandwidth(32 * 1024 * 1024),
         num_reducers: 16,
         target_partitions: 64,
         sample_rate: 0.02,
@@ -105,11 +107,7 @@ pub fn experiment_config(params: OutlierParams) -> DodConfig {
 
 /// Builds the pipeline runner for one (strategy, mode) cell of an
 /// experiment grid.
-pub fn build_runner(
-    strategy: StrategyChoice,
-    mode: ModeChoice,
-    config: DodConfig,
-) -> DodRunner {
+pub fn build_runner(strategy: StrategyChoice, mode: ModeChoice, config: DodConfig) -> DodRunner {
     let builder = DodRunner::builder().config(config);
     let builder = match (strategy, mode) {
         (StrategyChoice::Domain, _) => builder.strategy(Domain),
@@ -128,7 +126,9 @@ pub fn build_runner(
         ModeChoice::NestedLoop => builder.fixed(AlgorithmKind::NestedLoop).build(),
         ModeChoice::CellBased => builder.fixed(AlgorithmKind::CellBasedFullScan).build(),
         ModeChoice::CellBasedOpt => builder.fixed(AlgorithmKind::CellBased).build(),
-        ModeChoice::MultiTactic => builder.candidates(PAPER_VARIANT_CANDIDATES.to_vec()).build(),
+        ModeChoice::MultiTactic => builder
+            .candidates(PAPER_VARIANT_CANDIDATES.to_vec())
+            .build(),
         ModeChoice::MultiTacticOpt => builder.candidates(PAPER_CANDIDATES.to_vec()).build(),
     }
 }

@@ -144,8 +144,9 @@ mod tests {
 
     #[test]
     fn dshc_plan_renders() {
-        let pts: Vec<(f64, f64)> =
-            (0..200).map(|i| ((i % 20) as f64 * 0.1, (i / 20) as f64 * 0.1)).collect();
+        let pts: Vec<(f64, f64)> = (0..200)
+            .map(|i| ((i % 20) as f64 * 0.1, (i / 20) as f64 * 0.1))
+            .collect();
         let sample = PointSet::from_xy(&pts);
         let ctx = PlanContext::new(OutlierParams::new(0.5, 4).unwrap(), 16, 1.0);
         let plan = Dmt::default().build_plan(&sample, &domain(), &ctx);

@@ -1,0 +1,130 @@
+//! Shared `--trace` / `--profile` wiring for the bench binaries.
+//!
+//! Every binary reports progress through [`dod_obs`] events instead of
+//! ad-hoc prints: pass `--trace <path>` to capture the run as JSONL, or
+//! `--profile` to append an aggregated summary after the (stable) table
+//! output. With neither flag the handle is [`Obs::null`] and costs
+//! nothing.
+
+use dod_obs::{FanoutRecorder, JsonlRecorder, MemoryRecorder, Obs, Recorder};
+use std::sync::Arc;
+
+/// The observability session of one binary invocation.
+pub struct ObsSession {
+    obs: Obs,
+    memory: Option<Arc<MemoryRecorder>>,
+    trace_path: Option<String>,
+}
+
+/// Splits `--trace <path>` / `--profile` out of `args`, returning the
+/// remaining arguments and the configured session.
+pub fn from_args(args: Vec<String>) -> Result<(Vec<String>, ObsSession), String> {
+    let mut rest = Vec::new();
+    let mut trace_path = None;
+    let mut profile = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace" => {
+                trace_path = Some(
+                    it.next()
+                        .ok_or_else(|| "--trace needs a value".to_string())?,
+                );
+            }
+            "--profile" => profile = true,
+            _ => rest.push(arg),
+        }
+    }
+
+    let memory = profile.then(|| Arc::new(MemoryRecorder::new()));
+    let jsonl = match &trace_path {
+        Some(path) => {
+            Some(JsonlRecorder::create(path).map_err(|e| format!("creating {path}: {e}"))?)
+        }
+        None => None,
+    };
+    let obs = match (jsonl, &memory) {
+        (None, None) => Obs::null(),
+        (Some(j), None) => Obs::new(Arc::new(j)),
+        (None, Some(m)) => Obs::new(Arc::clone(m) as Arc<dyn Recorder>),
+        (Some(j), Some(m)) => Obs::new(Arc::new(FanoutRecorder::new(vec![
+            Box::new(j),
+            Box::new(Arc::clone(m)),
+        ]))),
+    };
+    Ok((
+        rest,
+        ObsSession {
+            obs,
+            memory,
+            trace_path,
+        },
+    ))
+}
+
+impl ObsSession {
+    /// The handle binaries thread into runners and scopes.
+    pub fn obs(&self) -> Obs {
+        self.obs.clone()
+    }
+
+    /// Flushes sinks and appends the `--profile` summary / `--trace`
+    /// notice *after* the stable table output.
+    pub fn finish(self) {
+        self.obs.flush();
+        if let Some(mem) = &self.memory {
+            println!("\n-- profile --");
+            print!("{}", dod_obs::render::render_summary(&mem.events()));
+        }
+        if let Some(path) = &self.trace_path {
+            println!("trace written to {path}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn plain_args_pass_through_disabled() {
+        let (rest, session) = from_args(v(&["region", "--small"])).unwrap();
+        assert_eq!(rest, v(&["region", "--small"]));
+        assert!(!session.obs().enabled());
+        session.finish();
+    }
+
+    #[test]
+    fn profile_enables_memory_sink() {
+        let (rest, session) = from_args(v(&["--profile", "tiger"])).unwrap();
+        assert_eq!(rest, v(&["tiger"]));
+        let obs = session.obs();
+        assert!(obs.enabled());
+        obs.counter("c", 2, &[]);
+        assert_eq!(session.memory.as_ref().unwrap().counter_total("c"), 2);
+    }
+
+    #[test]
+    fn dangling_trace_value_is_an_error() {
+        assert!(from_args(v(&["--trace"])).is_err());
+    }
+
+    #[test]
+    fn trace_writes_jsonl() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("bench-trace-test-{}.jsonl", std::process::id()));
+        let s = path.to_string_lossy().into_owned();
+        let (rest, session) = from_args(v(&["--trace", &s])).unwrap();
+        assert!(rest.is_empty());
+        session.obs().mark("m", &[]);
+        session.finish();
+        let events = dod_obs::replay::read_jsonl(&path).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "m");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -49,6 +49,10 @@ pub struct Args {
     pub output: Option<String>,
     /// Print the per-stage report.
     pub report: bool,
+    /// Optional JSONL trace file: one structured event per line.
+    pub trace: Option<String>,
+    /// Print the aggregated event summary after the run.
+    pub profile: bool,
 }
 
 /// Usage string printed on `--help` or bad arguments.
@@ -73,6 +77,8 @@ OPTIONS:
     --sample-rate <float>   preprocessing sampling rate                [0.005]
     --output <path>         write outlier rows (id,coords...) as CSV
     --report                print the per-stage execution report
+    --trace <path>          write structured events (spans, counters) as JSONL
+    --profile               print an aggregated event summary after the run
     --help                  show this help
 ";
 
@@ -104,24 +110,31 @@ pub fn parse(args: &[String]) -> Result<Args, ArgError> {
     let mut metric = Metric::Euclidean;
     let mut output = None;
     let mut report = false;
+    let mut trace = None;
+    let mut profile = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| -> Result<&String, ArgError> {
-            it.next().ok_or_else(|| ArgError::Invalid(format!("{name} needs a value")))
+            it.next()
+                .ok_or_else(|| ArgError::Invalid(format!("{name} needs a value")))
         };
         match arg.as_str() {
             "--help" | "-h" => return Err(ArgError::Help),
             "--input" => input = Some(value("--input")?.clone()),
             "--r" => {
-                r = Some(value("--r")?.parse::<f64>().map_err(|e| {
-                    ArgError::Invalid(format!("--r: {e}"))
-                })?)
+                r = Some(
+                    value("--r")?
+                        .parse::<f64>()
+                        .map_err(|e| ArgError::Invalid(format!("--r: {e}")))?,
+                )
             }
             "--k" => {
-                k = Some(value("--k")?.parse::<usize>().map_err(|e| {
-                    ArgError::Invalid(format!("--k: {e}"))
-                })?)
+                k = Some(
+                    value("--k")?
+                        .parse::<usize>()
+                        .map_err(|e| ArgError::Invalid(format!("--k: {e}")))?,
+                )
             }
             "--strategy" => {
                 strategy = match value("--strategy")?.as_str() {
@@ -130,9 +143,7 @@ pub fn parse(args: &[String]) -> Result<Args, ArgError> {
                     "ddriven" => StrategyArg::DDriven,
                     "cdriven" => StrategyArg::CDriven,
                     "dmt" => StrategyArg::Dmt,
-                    other => {
-                        return Err(ArgError::Invalid(format!("unknown strategy {other:?}")))
-                    }
+                    other => return Err(ArgError::Invalid(format!("unknown strategy {other:?}"))),
                 }
             }
             "--mode" => {
@@ -146,19 +157,19 @@ pub fn parse(args: &[String]) -> Result<Args, ArgError> {
                 }
             }
             "--reducers" => {
-                reducers = value("--reducers")?.parse().map_err(|e| {
-                    ArgError::Invalid(format!("--reducers: {e}"))
-                })?
+                reducers = value("--reducers")?
+                    .parse()
+                    .map_err(|e| ArgError::Invalid(format!("--reducers: {e}")))?
             }
             "--partitions" => {
-                partitions = value("--partitions")?.parse().map_err(|e| {
-                    ArgError::Invalid(format!("--partitions: {e}"))
-                })?
+                partitions = value("--partitions")?
+                    .parse()
+                    .map_err(|e| ArgError::Invalid(format!("--partitions: {e}")))?
             }
             "--sample-rate" => {
-                sample_rate = value("--sample-rate")?.parse().map_err(|e| {
-                    ArgError::Invalid(format!("--sample-rate: {e}"))
-                })?
+                sample_rate = value("--sample-rate")?
+                    .parse()
+                    .map_err(|e| ArgError::Invalid(format!("--sample-rate: {e}")))?
             }
             "--metric" => {
                 metric = match value("--metric")?.as_str() {
@@ -170,6 +181,8 @@ pub fn parse(args: &[String]) -> Result<Args, ArgError> {
             }
             "--output" => output = Some(value("--output")?.clone()),
             "--report" => report = true,
+            "--trace" => trace = Some(value("--trace")?.clone()),
+            "--profile" => profile = true,
             other => return Err(ArgError::Invalid(format!("unknown argument {other:?}"))),
         }
     }
@@ -194,6 +207,8 @@ pub fn parse(args: &[String]) -> Result<Args, ArgError> {
         sample_rate,
         output,
         report,
+        trace,
+        profile,
     })
 }
 
@@ -219,9 +234,25 @@ mod tests {
     #[test]
     fn full_arguments() {
         let a = parse(&v(&[
-            "--input", "x.csv", "--r", "2", "--k", "3", "--strategy", "cdriven", "--mode",
-            "cb", "--reducers", "8", "--partitions", "32", "--sample-rate", "0.05",
-            "--output", "out.csv", "--report",
+            "--input",
+            "x.csv",
+            "--r",
+            "2",
+            "--k",
+            "3",
+            "--strategy",
+            "cdriven",
+            "--mode",
+            "cb",
+            "--reducers",
+            "8",
+            "--partitions",
+            "32",
+            "--sample-rate",
+            "0.05",
+            "--output",
+            "out.csv",
+            "--report",
         ]))
         .unwrap();
         assert_eq!(a.strategy, StrategyArg::CDriven);
@@ -241,9 +272,18 @@ mod tests {
 
     #[test]
     fn missing_required() {
-        assert!(matches!(parse(&v(&["--r", "1", "--k", "2"])), Err(ArgError::Invalid(_))));
-        assert!(matches!(parse(&v(&["--input", "x", "--k", "2"])), Err(ArgError::Invalid(_))));
-        assert!(matches!(parse(&v(&["--input", "x", "--r", "1"])), Err(ArgError::Invalid(_))));
+        assert!(matches!(
+            parse(&v(&["--r", "1", "--k", "2"])),
+            Err(ArgError::Invalid(_))
+        ));
+        assert!(matches!(
+            parse(&v(&["--input", "x", "--k", "2"])),
+            Err(ArgError::Invalid(_))
+        ));
+        assert!(matches!(
+            parse(&v(&["--input", "x", "--r", "1"])),
+            Err(ArgError::Invalid(_))
+        ));
     }
 
     #[test]
@@ -261,11 +301,29 @@ mod tests {
             Err(ArgError::Invalid(_))
         ));
         assert!(matches!(
-            parse(&v(&["--input", "x", "--r", "1", "--k", "2", "--strategy", "magic"])),
+            parse(&v(&[
+                "--input",
+                "x",
+                "--r",
+                "1",
+                "--k",
+                "2",
+                "--strategy",
+                "magic"
+            ])),
             Err(ArgError::Invalid(_))
         ));
         assert!(matches!(
-            parse(&v(&["--input", "x", "--r", "1", "--k", "2", "--sample-rate", "0"])),
+            parse(&v(&[
+                "--input",
+                "x",
+                "--r",
+                "1",
+                "--k",
+                "2",
+                "--sample-rate",
+                "0"
+            ])),
             Err(ArgError::Invalid(_))
         ));
         assert!(matches!(
@@ -275,11 +333,41 @@ mod tests {
     }
 
     #[test]
+    fn trace_and_profile_arguments() {
+        let a = parse(&v(&["--input", "x", "--r", "1", "--k", "2"])).unwrap();
+        assert_eq!(a.trace, None);
+        assert!(!a.profile);
+        let a = parse(&v(&[
+            "--input",
+            "x",
+            "--r",
+            "1",
+            "--k",
+            "2",
+            "--trace",
+            "run.jsonl",
+            "--profile",
+        ]))
+        .unwrap();
+        assert_eq!(a.trace.as_deref(), Some("run.jsonl"));
+        assert!(a.profile);
+        assert!(matches!(
+            parse(&v(&["--input", "x", "--r", "1", "--k", "2", "--trace"])),
+            Err(ArgError::Invalid(_))
+        ));
+    }
+
+    #[test]
     fn metric_argument() {
-        let a = parse(&v(&["--input", "x", "--r", "1", "--k", "2", "--metric", "l1"])).unwrap();
+        let a = parse(&v(&[
+            "--input", "x", "--r", "1", "--k", "2", "--metric", "l1",
+        ]))
+        .unwrap();
         assert_eq!(a.params.metric, Metric::Manhattan);
         assert!(matches!(
-            parse(&v(&["--input", "x", "--r", "1", "--k", "2", "--metric", "cosine"])),
+            parse(&v(&[
+                "--input", "x", "--r", "1", "--k", "2", "--metric", "cosine"
+            ])),
             Err(ArgError::Invalid(_))
         ));
     }

@@ -7,16 +7,42 @@
 
 mod args;
 
-use args::{Args, ArgError, ModeArg, StrategyArg, USAGE};
+use args::{ArgError, Args, ModeArg, StrategyArg, USAGE};
 use dod::prelude::*;
+use dod_obs::{FanoutRecorder, JsonlRecorder, MemoryRecorder, Obs};
 use std::io::Write;
 use std::process::ExitCode;
+use std::sync::Arc;
 
-fn build_runner(args: &Args) -> DodRunner {
+/// Builds the observability handle requested by `--trace` / `--profile`.
+/// Returns the memory recorder too when `--profile` asks for the
+/// post-run summary.
+fn build_obs(args: &Args) -> Result<(Obs, Option<Arc<MemoryRecorder>>), String> {
+    let memory = args.profile.then(|| Arc::new(MemoryRecorder::new()));
+    let jsonl = match &args.trace {
+        Some(path) => {
+            Some(JsonlRecorder::create(path).map_err(|e| format!("creating {path}: {e}"))?)
+        }
+        None => None,
+    };
+    let obs = match (jsonl, &memory) {
+        (None, None) => Obs::null(),
+        (Some(j), None) => Obs::new(Arc::new(j)),
+        (None, Some(m)) => Obs::new(Arc::clone(m) as Arc<dyn dod_obs::Recorder>),
+        (Some(j), Some(m)) => Obs::new(Arc::new(FanoutRecorder::new(vec![
+            Box::new(j),
+            Box::new(Arc::clone(m)),
+        ]))),
+    };
+    Ok((obs, memory))
+}
+
+fn build_runner(args: &Args, obs: Obs) -> DodRunner {
     let config = DodConfig {
         num_reducers: args.reducers,
         target_partitions: args.partitions,
         sample_rate: args.sample_rate,
+        obs,
         ..DodConfig::new(args.params)
     };
     let builder = DodRunner::builder().config(config);
@@ -43,7 +69,8 @@ fn run(args: &Args) -> Result<(), String> {
         println!("0 points, 0 outliers");
         return Ok(());
     }
-    let runner = build_runner(args);
+    let (obs, memory) = build_obs(args)?;
+    let runner = build_runner(args, obs);
     let outcome = runner.run(&data).map_err(|e| e.to_string())?;
 
     println!(
@@ -92,7 +119,37 @@ fn run(args: &Args) -> Result<(), String> {
         println!("reduce makespan:   {:?}", r.breakdown.reduce);
         println!("simulated total:   {:?}", r.breakdown.total());
     }
+
+    if let Some(mem) = &memory {
+        println!("\n-- profile --");
+        print!("{}", dod_obs::render::render_summary(&mem.events()));
+    }
+    if let Some(path) = &args.trace {
+        println!("trace written to {path}");
+    }
     Ok(())
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&raw) {
+        Ok(args) => match run(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(ArgError::Help) => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Err(ArgError::Invalid(msg)) => {
+            eprintln!("error: {msg}\n");
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 #[cfg(test)]
@@ -115,7 +172,7 @@ mod tests {
         a.reducers = 7;
         a.partitions = 21;
         a.sample_rate = 0.25;
-        let runner = build_runner(&a);
+        let runner = build_runner(&a, Obs::null());
         assert_eq!(runner.config().num_reducers, 7);
         assert_eq!(runner.config().target_partitions, 21);
         assert_eq!(runner.config().sample_rate, 0.25);
@@ -147,7 +204,7 @@ mod tests {
                 a.strategy = strategy;
                 a.mode = mode;
                 a.sample_rate = 1.0;
-                let runner = build_runner(&a);
+                let runner = build_runner(&a, Obs::null());
                 let outcome = runner.run(&data).unwrap();
                 assert!(
                     outcome.outliers.contains(&50),
@@ -178,32 +235,37 @@ mod tests {
     }
 
     #[test]
+    fn trace_flag_writes_replayable_jsonl() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("dod-cli-trace-in-{}.csv", std::process::id()));
+        let data = PointSet::from_xy(&[(0.0, 0.0), (0.1, 0.1), (0.2, 0.0), (50.0, 50.0)]);
+        dod_data::io::write_csv(&path, &data).unwrap();
+        let mut trace_path = std::env::temp_dir();
+        trace_path.push(format!("dod-cli-trace-{}.jsonl", std::process::id()));
+        let mut a = base_args();
+        a.input = path.to_string_lossy().into_owned();
+        a.trace = Some(trace_path.to_string_lossy().into_owned());
+        a.profile = true;
+        a.params = OutlierParams::new(1.0, 1).unwrap();
+        a.sample_rate = 1.0;
+        run(&a).unwrap();
+        let events = dod_obs::replay::read_jsonl(&trace_path).unwrap();
+        let stages: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "dod.stage")
+            .filter_map(|e| e.label("stage").and_then(dod_obs::Value::as_str))
+            .collect();
+        assert_eq!(stages, vec!["preprocess", "map", "reduce"]);
+        assert!(events.iter().any(|e| e.name == "mapreduce.task"));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&trace_path).ok();
+    }
+
+    #[test]
     fn missing_input_is_reported() {
         let mut a = base_args();
         a.input = "/definitely/not/here.csv".into();
         let err = run(&a).unwrap_err();
         assert!(err.contains("reading"), "{err}");
-    }
-}
-
-fn main() -> ExitCode {
-    let raw: Vec<String> = std::env::args().skip(1).collect();
-    match args::parse(&raw) {
-        Ok(args) => match run(&args) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::FAILURE
-            }
-        },
-        Err(ArgError::Help) => {
-            print!("{USAGE}");
-            ExitCode::SUCCESS
-        }
-        Err(ArgError::Invalid(msg)) => {
-            eprintln!("error: {msg}\n");
-            eprint!("{USAGE}");
-            ExitCode::FAILURE
-        }
     }
 }

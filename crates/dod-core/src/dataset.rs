@@ -33,7 +33,10 @@ impl PointSet {
                 reason: "dimensionality must be at least 1".into(),
             });
         }
-        Ok(PointSet { dim, coords: Vec::new() })
+        Ok(PointSet {
+            dim,
+            coords: Vec::new(),
+        })
     }
 
     /// Creates an empty point set with capacity for `n` points.
@@ -58,7 +61,7 @@ impl PointSet {
                 reason: "dimensionality must be at least 1".into(),
             });
         }
-        if coords.len() % dim != 0 {
+        if !coords.len().is_multiple_of(dim) {
             return Err(CoreError::InvalidParameter {
                 name: "coords",
                 reason: format!("length {} is not a multiple of dim {dim}", coords.len()),
@@ -108,7 +111,10 @@ impl PointSet {
     /// Returns an error on dimensionality mismatch.
     pub fn push(&mut self, coords: &[f64]) -> Result<PointId, CoreError> {
         if coords.len() != self.dim {
-            return Err(CoreError::DimensionMismatch { expected: self.dim, actual: coords.len() });
+            return Err(CoreError::DimensionMismatch {
+                expected: self.dim,
+                actual: coords.len(),
+            });
         }
         let id = self.len() as PointId;
         self.coords.extend_from_slice(coords);
@@ -146,7 +152,10 @@ impl PointSet {
     /// # Panics
     /// Panics if any id is out of range.
     pub fn gather(&self, ids: &[PointId]) -> PointSet {
-        let mut out = PointSet { dim: self.dim, coords: Vec::with_capacity(ids.len() * self.dim) };
+        let mut out = PointSet {
+            dim: self.dim,
+            coords: Vec::with_capacity(ids.len() * self.dim),
+        };
         for &id in ids {
             out.coords.extend_from_slice(self.point(id as usize));
         }
@@ -159,7 +168,10 @@ impl PointSet {
     /// Returns an error on dimensionality mismatch.
     pub fn extend_from(&mut self, other: &PointSet) -> Result<(), CoreError> {
         if other.dim != self.dim {
-            return Err(CoreError::DimensionMismatch { expected: self.dim, actual: other.dim });
+            return Err(CoreError::DimensionMismatch {
+                expected: self.dim,
+                actual: other.dim,
+            });
         }
         self.coords.extend_from_slice(&other.coords);
         Ok(())

@@ -45,19 +45,28 @@ mod tests {
 
     #[test]
     fn display_dimension_mismatch() {
-        let e = CoreError::DimensionMismatch { expected: 2, actual: 3 };
+        let e = CoreError::DimensionMismatch {
+            expected: 2,
+            actual: 3,
+        };
         assert_eq!(e.to_string(), "dimension mismatch: expected 2, got 3");
     }
 
     #[test]
     fn display_invalid_parameter() {
-        let e = CoreError::InvalidParameter { name: "r", reason: "must be positive".into() };
+        let e = CoreError::InvalidParameter {
+            name: "r",
+            reason: "must be positive".into(),
+        };
         assert_eq!(e.to_string(), "invalid parameter `r`: must be positive");
     }
 
     #[test]
     fn display_empty() {
-        assert_eq!(CoreError::Empty("dataset").to_string(), "empty input: dataset");
+        assert_eq!(
+            CoreError::Empty("dataset").to_string(),
+            "empty input: dataset"
+        );
     }
 
     #[test]

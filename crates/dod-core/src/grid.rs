@@ -55,7 +55,11 @@ impl GridSpec {
         let widths = (0..domain.dim())
             .map(|i| domain.extent(i) / cells_per_dim[i] as f64)
             .collect();
-        Ok(GridSpec { domain, cells_per_dim, widths })
+        Ok(GridSpec {
+            domain,
+            cells_per_dim,
+            widths,
+        })
     }
 
     /// Creates a uniform grid with the same cell count in every dimension.
@@ -394,7 +398,8 @@ mod tests {
     #[test]
     fn for_cell_based_side_length() {
         let domain = Rect::new(vec![0.0, 0.0], vec![100.0, 100.0]).unwrap();
-        let g = GridSpec::for_cell_based(&domain, 10.0, crate::metric::Metric::Euclidean, 4096).unwrap();
+        let g = GridSpec::for_cell_based(&domain, 10.0, crate::metric::Metric::Euclidean, 4096)
+            .unwrap();
         // side = r / (2 sqrt(2)) ≈ 3.5355 -> ceil(100 / 3.5355) = 29 cells
         assert_eq!(g.cells_in_dim(0), 29);
         // Any two points in one cell are within r.
@@ -405,14 +410,20 @@ mod tests {
     #[test]
     fn for_cell_based_rejects_bad_r() {
         let domain = Rect::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
-        assert!(GridSpec::for_cell_based(&domain, 0.0, crate::metric::Metric::Euclidean, 4096).is_err());
-        assert!(GridSpec::for_cell_based(&domain, -1.0, crate::metric::Metric::Euclidean, 4096).is_err());
+        assert!(
+            GridSpec::for_cell_based(&domain, 0.0, crate::metric::Metric::Euclidean, 4096).is_err()
+        );
+        assert!(
+            GridSpec::for_cell_based(&domain, -1.0, crate::metric::Metric::Euclidean, 4096)
+                .is_err()
+        );
     }
 
     #[test]
     fn for_cell_based_respects_cap() {
         let domain = Rect::new(vec![0.0, 0.0], vec![1e9, 1e9]).unwrap();
-        let g = GridSpec::for_cell_based(&domain, 1.0, crate::metric::Metric::Euclidean, 64).unwrap();
+        let g =
+            GridSpec::for_cell_based(&domain, 1.0, crate::metric::Metric::Euclidean, 64).unwrap();
         assert_eq!(g.cells_in_dim(0), 64);
     }
 

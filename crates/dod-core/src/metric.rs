@@ -29,9 +29,11 @@ impl Metric {
         match self {
             Metric::Euclidean => crate::point::dist(a, b),
             Metric::Manhattan => a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum(),
-            Metric::Chebyshev => {
-                a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
-            }
+            Metric::Chebyshev => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0, f64::max),
         }
     }
 
@@ -155,12 +157,17 @@ mod tests {
             assert_eq!(m.min_dist_to_rect(&lo, &hi, &[0.5, 0.5]), 0.0);
         }
         // Corner-diagonal point (2, 2): gaps (1, 1).
-        assert!((Metric::Euclidean.min_dist_to_rect(&lo, &hi, &[2.0, 2.0])
-            - 2f64.sqrt())
-        .abs()
-            < 1e-12);
-        assert_eq!(Metric::Manhattan.min_dist_to_rect(&lo, &hi, &[2.0, 2.0]), 2.0);
-        assert_eq!(Metric::Chebyshev.min_dist_to_rect(&lo, &hi, &[2.0, 2.0]), 1.0);
+        assert!(
+            (Metric::Euclidean.min_dist_to_rect(&lo, &hi, &[2.0, 2.0]) - 2f64.sqrt()).abs() < 1e-12
+        );
+        assert_eq!(
+            Metric::Manhattan.min_dist_to_rect(&lo, &hi, &[2.0, 2.0]),
+            2.0
+        );
+        assert_eq!(
+            Metric::Chebyshev.min_dist_to_rect(&lo, &hi, &[2.0, 2.0]),
+            1.0
+        );
     }
 
     #[test]
@@ -192,8 +199,7 @@ mod tests {
         assert_eq!(Metric::Chebyshev.ball_volume(2, r), 16.0);
         // 3-d Euclidean: 4/3 π r³.
         assert!(
-            (Metric::Euclidean.ball_volume(3, 1.0) - 4.0 / 3.0 * std::f64::consts::PI).abs()
-                < 1e-9
+            (Metric::Euclidean.ball_volume(3, 1.0) - 4.0 / 3.0 * std::f64::consts::PI).abs() < 1e-9
         );
         // 1-d: all metrics give 2r.
         for m in METRICS {

@@ -40,7 +40,11 @@ impl OutlierParams {
                 reason: "must be at least 1".into(),
             });
         }
-        Ok(OutlierParams { r, k, metric: Metric::Euclidean })
+        Ok(OutlierParams {
+            r,
+            k,
+            metric: Metric::Euclidean,
+        })
     }
 
     /// Switches the distance metric.

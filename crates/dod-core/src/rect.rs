@@ -26,7 +26,10 @@ impl Rect {
     /// contain non-finite values, or `min[i] > max[i]` for some dimension.
     pub fn new(min: Vec<f64>, max: Vec<f64>) -> Result<Self, CoreError> {
         if min.len() != max.len() {
-            return Err(CoreError::DimensionMismatch { expected: min.len(), actual: max.len() });
+            return Err(CoreError::DimensionMismatch {
+                expected: min.len(),
+                actual: max.len(),
+            });
         }
         if min.is_empty() {
             return Err(CoreError::Empty("rect bounds"));
@@ -96,13 +99,21 @@ impl Rect {
     ///
     /// Degenerate rects (zero extent in some dimension) have volume 0.
     pub fn volume(&self) -> f64 {
-        self.min.iter().zip(&self.max).map(|(lo, hi)| hi - lo).product()
+        self.min
+            .iter()
+            .zip(&self.max)
+            .map(|(lo, hi)| hi - lo)
+            .product()
     }
 
     /// Half-open membership test: `min[i] <= x[i] < max[i]` for all `i`.
     pub fn contains(&self, x: &[f64]) -> bool {
         debug_assert_eq!(x.len(), self.dim());
-        self.min.iter().zip(&self.max).zip(x).all(|((lo, hi), v)| *lo <= *v && *v < *hi)
+        self.min
+            .iter()
+            .zip(&self.max)
+            .zip(x)
+            .all(|((lo, hi), v)| *lo <= *v && *v < *hi)
     }
 
     /// Membership where dimensions listed in `closed_above` also accept
@@ -121,7 +132,11 @@ impl Rect {
     /// Closed membership test: `min[i] <= x[i] <= max[i]` for all `i`.
     pub fn contains_closed(&self, x: &[f64]) -> bool {
         debug_assert_eq!(x.len(), self.dim());
-        self.min.iter().zip(&self.max).zip(x).all(|((lo, hi), v)| *lo <= *v && *v <= *hi)
+        self.min
+            .iter()
+            .zip(&self.max)
+            .zip(x)
+            .all(|((lo, hi), v)| *lo <= *v && *v <= *hi)
     }
 
     /// The rectangle grown by `r` on every side (the Definition 3.3
@@ -141,8 +156,7 @@ impl Rect {
     pub fn min_dist_sq(&self, x: &[f64]) -> f64 {
         debug_assert_eq!(x.len(), self.dim());
         let mut acc = 0.0;
-        for i in 0..self.dim() {
-            let v = x[i];
+        for (i, &v) in x.iter().enumerate() {
             let d = if v < self.min[i] {
                 self.min[i] - v
             } else if v > self.max[i] {
@@ -184,8 +198,18 @@ impl Rect {
     pub fn union(&self, other: &Rect) -> Rect {
         debug_assert_eq!(self.dim(), other.dim());
         Rect {
-            min: self.min.iter().zip(&other.min).map(|(a, b)| a.min(*b)).collect(),
-            max: self.max.iter().zip(&other.max).map(|(a, b)| a.max(*b)).collect(),
+            min: self
+                .min
+                .iter()
+                .zip(&other.min)
+                .map(|(a, b)| a.min(*b))
+                .collect(),
+            max: self
+                .max
+                .iter()
+                .zip(&other.max)
+                .map(|(a, b)| a.max(*b))
+                .collect(),
         }
     }
 
@@ -206,14 +230,24 @@ impl Rect {
         let mut hi_min = self.min.clone();
         hi_min[d] = at;
         (
-            Rect { min: self.min.clone(), max: lo_max },
-            Rect { min: hi_min, max: self.max.clone() },
+            Rect {
+                min: self.min.clone(),
+                max: lo_max,
+            },
+            Rect {
+                min: hi_min,
+                max: self.max.clone(),
+            },
         )
     }
 
     /// Center point of the rectangle.
     pub fn center(&self) -> Vec<f64> {
-        self.min.iter().zip(&self.max).map(|(lo, hi)| 0.5 * (lo + hi)).collect()
+        self.min
+            .iter()
+            .zip(&self.max)
+            .map(|(lo, hi)| 0.5 * (lo + hi))
+            .collect()
     }
 }
 

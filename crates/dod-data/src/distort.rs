@@ -18,14 +18,17 @@ pub fn distort(data: &PointSet, domain: &Rect, copies: usize, jitter: f64, seed:
     assert_eq!(data.dim(), domain.dim(), "domain dimensionality mismatch");
     let mut rng = StdRng::seed_from_u64(seed);
     let dim = data.dim();
-    let mut out =
-        PointSet::with_capacity(dim, data.len() * (copies + 1)).expect("dim >= 1");
+    let mut out = PointSet::with_capacity(dim, data.len() * (copies + 1)).expect("dim >= 1");
     let mut buf = vec![0.0f64; dim];
     for p in data.iter() {
         out.push(p).expect("same dim");
         for _ in 0..copies {
             for (i, b) in buf.iter_mut().enumerate() {
-                let delta = if jitter > 0.0 { rng.gen_range(-jitter..jitter) } else { 0.0 };
+                let delta = if jitter > 0.0 {
+                    rng.gen_range(-jitter..jitter)
+                } else {
+                    0.0
+                };
                 *b = (p[i] + delta).clamp(domain.min()[i], domain.max()[i]);
             }
             out.push(&buf).expect("same dim");
@@ -88,7 +91,10 @@ mod tests {
     #[test]
     fn deterministic_by_seed() {
         let data = PointSet::from_xy(&[(1.0, 2.0), (3.0, 4.0)]);
-        assert_eq!(distort(&data, &domain(), 3, 0.2, 7), distort(&data, &domain(), 3, 0.2, 7));
+        assert_eq!(
+            distort(&data, &domain(), 3, 0.2, 7),
+            distort(&data, &domain(), 3, 0.2, 7)
+        );
     }
 
     #[test]

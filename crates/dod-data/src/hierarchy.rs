@@ -82,26 +82,25 @@ pub fn hierarchy_dataset(level: HierarchyLevel, base_n: usize, seed: u64) -> (Po
     let side_blocks = level.blocks_per_side();
     let domain = Rect::new(
         vec![0.0, 0.0],
-        vec![BLOCK_SIDE * side_blocks as f64, BLOCK_SIDE * side_blocks as f64],
+        vec![
+            BLOCK_SIDE * side_blocks as f64,
+            BLOCK_SIDE * side_blocks as f64,
+        ],
     )
     .expect("static bounds");
     let mut out = PointSet::with_capacity(2, base_n * level.num_blocks()).expect("dim 2");
     for by in 0..side_blocks {
         for bx in 0..side_blocks {
             let block_idx = by * side_blocks + bx;
-            let (side, cities, spread, background) =
-                BLOCK_RECIPES[block_idx % BLOCK_RECIPES.len()];
+            let (side, cities, spread, background) = BLOCK_RECIPES[block_idx % BLOCK_RECIPES.len()];
             // Center the occupied footprint inside the block.
             let margin = 0.5 * (BLOCK_SIDE - side);
             let origin = [
                 bx as f64 * BLOCK_SIDE + margin,
                 by as f64 * BLOCK_SIDE + margin,
             ];
-            let footprint = Rect::new(
-                origin.to_vec(),
-                origin.iter().map(|o| o + side).collect(),
-            )
-            .expect("finite footprint");
+            let footprint = Rect::new(origin.to_vec(), origin.iter().map(|o| o + side).collect())
+                .expect("finite footprint");
             let mixture = GaussianMixture::random_cities(
                 footprint,
                 cities,

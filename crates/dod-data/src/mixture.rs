@@ -38,11 +38,7 @@ impl GaussianMixture {
     /// # Panics
     /// Panics if a component's dimensionality disagrees with the domain's
     /// or all weights are zero while `background_fraction < 1`.
-    pub fn new(
-        domain: Rect,
-        components: Vec<MixtureComponent>,
-        background_fraction: f64,
-    ) -> Self {
+    pub fn new(domain: Rect, components: Vec<MixtureComponent>, background_fraction: f64) -> Self {
         let total_weight: f64 = components.iter().map(|c| c.weight).sum();
         for c in &components {
             assert_eq!(c.center.len(), domain.dim(), "component dim mismatch");
@@ -53,7 +49,11 @@ impl GaussianMixture {
             total_weight > 0.0 || background_fraction >= 1.0 || components.is_empty(),
             "zero-weight mixture"
         );
-        GaussianMixture { domain, components, background_fraction }
+        GaussianMixture {
+            domain,
+            components,
+            background_fraction,
+        }
     }
 
     /// The domain points are clipped into.
@@ -227,7 +227,11 @@ mod tests {
     fn component_dim_mismatch_panics() {
         GaussianMixture::new(
             domain(),
-            vec![MixtureComponent { center: vec![1.0], std_dev: vec![1.0], weight: 1.0 }],
+            vec![MixtureComponent {
+                center: vec![1.0],
+                std_dev: vec![1.0],
+                weight: 1.0,
+            }],
             0.0,
         );
     }

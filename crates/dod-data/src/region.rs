@@ -25,8 +25,12 @@ pub enum Region {
 
 impl Region {
     /// All four regions in the order the paper's figures list them.
-    pub const ALL: [Region; 4] =
-        [Region::Ohio, Region::Massachusetts, Region::California, Region::NewYork];
+    pub const ALL: [Region; 4] = [
+        Region::Ohio,
+        Region::Massachusetts,
+        Region::California,
+        Region::NewYork,
+    ];
 
     /// Display abbreviation used in the figures (OH / MA / CA / NY).
     pub fn abbrev(&self) -> &'static str {
@@ -61,11 +65,8 @@ impl Region {
     /// The region's generator over a domain anchored at `origin`.
     pub fn mixture_at(&self, origin: &[f64], seed: u64) -> GaussianMixture {
         let side = self.domain_side();
-        let domain = Rect::new(
-            origin.to_vec(),
-            origin.iter().map(|o| o + side).collect(),
-        )
-        .expect("finite origin");
+        let domain = Rect::new(origin.to_vec(), origin.iter().map(|o| o + side).collect())
+            .expect("finite origin");
         let (cities, spread, background) = self.recipe();
         GaussianMixture::random_cities(domain, cities, spread, background, seed)
     }

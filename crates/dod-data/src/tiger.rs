@@ -64,10 +64,8 @@ pub fn tiger_analog(domain: &Rect, n: usize, roads: usize, seed: u64) -> PointSe
         let (a, b, _) = chosen;
         let noise_x: f64 = lateral.sample(&mut rng);
         let noise_y: f64 = lateral.sample(&mut rng);
-        let x = (a[0] + u * (b[0] - a[0]) + noise_x)
-            .clamp(domain.min()[0], domain.max()[0]);
-        let y = (a[1] + u * (b[1] - a[1]) + noise_y)
-            .clamp(domain.min()[1], domain.max()[1]);
+        let x = (a[0] + u * (b[0] - a[0]) + noise_x).clamp(domain.min()[0], domain.max()[0]);
+        let y = (a[1] + u * (b[1] - a[1]) + noise_y).clamp(domain.min()[1], domain.max()[1]);
         out.push(&[x, y]).expect("dim 2");
     }
     out
@@ -92,8 +90,14 @@ mod tests {
 
     #[test]
     fn deterministic_by_seed() {
-        assert_eq!(tiger_analog(&domain(), 500, 10, 2), tiger_analog(&domain(), 500, 10, 2));
-        assert_ne!(tiger_analog(&domain(), 500, 10, 2), tiger_analog(&domain(), 500, 10, 3));
+        assert_eq!(
+            tiger_analog(&domain(), 500, 10, 2),
+            tiger_analog(&domain(), 500, 10, 2)
+        );
+        assert_ne!(
+            tiger_analog(&domain(), 500, 10, 2),
+            tiger_analog(&domain(), 500, 10, 3)
+        );
     }
 
     #[test]
@@ -107,7 +111,10 @@ mod tests {
             occupied.insert(grid.cell_of(p));
         }
         let frac = occupied.len() as f64 / grid.num_cells() as f64;
-        assert!(frac < 0.5, "occupied fraction {frac} too high for linear features");
+        assert!(
+            frac < 0.5,
+            "occupied fraction {frac} too high for linear features"
+        );
     }
 
     #[test]

@@ -35,16 +35,21 @@ pub fn uniform_in(domain: &Rect, n: usize, seed: u64) -> PointSet {
 /// The Figure 4 / Figure 5 experiment pair: `(D-Sparse, D-Dense)`, each of
 /// `n` points; densities differ by exactly 4x.
 pub fn sparse_dense_pair(n: usize, seed: u64) -> (PointSet, PointSet) {
-    let sparse_domain =
-        Rect::new(vec![0.0, 0.0], D_SPARSE_DOMAIN.to_vec()).expect("static bounds");
+    let sparse_domain = Rect::new(vec![0.0, 0.0], D_SPARSE_DOMAIN.to_vec()).expect("static bounds");
     let dense_domain = Rect::new(vec![0.0, 0.0], D_DENSE_DOMAIN.to_vec()).expect("static bounds");
-    (uniform_in(&sparse_domain, n, seed), uniform_in(&dense_domain, n, seed.wrapping_add(1)))
+    (
+        uniform_in(&sparse_domain, n, seed),
+        uniform_in(&dense_domain, n, seed.wrapping_add(1)),
+    )
 }
 
 /// A uniform dataset whose Figure 5 "density measure" (`n·πr²/A`) equals
 /// `measure`, by sizing a square domain accordingly.
 pub fn uniform_with_density_measure(n: usize, r: f64, measure: f64, seed: u64) -> (PointSet, Rect) {
-    assert!(measure > 0.0 && r > 0.0 && n > 0, "positive inputs required");
+    assert!(
+        measure > 0.0 && r > 0.0 && n > 0,
+        "positive inputs required"
+    );
     let area = n as f64 * std::f64::consts::PI * r * r / measure;
     let side = area.sqrt();
     let domain = Rect::new(vec![0.0, 0.0], vec![side, side]).expect("finite bounds");
@@ -86,8 +91,14 @@ mod tests {
     fn sparse_dense_pair_has_4x_density_ratio() {
         let (sparse, dense) = sparse_dense_pair(10_000, 1);
         assert_eq!(sparse.len(), dense.len());
-        let ds = density(sparse.len(), &Rect::new(vec![0.0, 0.0], vec![200.0, 200.0]).unwrap());
-        let dd = density(dense.len(), &Rect::new(vec![0.0, 0.0], vec![100.0, 100.0]).unwrap());
+        let ds = density(
+            sparse.len(),
+            &Rect::new(vec![0.0, 0.0], vec![200.0, 200.0]).unwrap(),
+        );
+        let dd = density(
+            dense.len(),
+            &Rect::new(vec![0.0, 0.0], vec![100.0, 100.0]).unwrap(),
+        );
         assert!((dd / ds - 4.0).abs() < 1e-12);
     }
 

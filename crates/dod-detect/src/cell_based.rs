@@ -105,8 +105,10 @@ impl Detector for CellBased {
             let cell = grid.cell_of(partition.point(idx));
             buckets.entry(cell).or_default().points.push(idx as u32);
         }
-        let mut stats =
-            DetectionStats { index_operations: total as u64, ..Default::default() };
+        let mut stats = DetectionStats {
+            index_operations: total as u64,
+            ..Default::default()
+        };
 
         // Soundness guard for the inlier rule: every pair within the
         // 3^d block around C (one point inside C) must be within r —
@@ -145,8 +147,12 @@ impl Detector for CellBased {
         let mut outliers = Vec::new();
         for &cid in &cell_ids {
             let bucket = &buckets[&cid];
-            let core_in_cell: Vec<u32> =
-                bucket.points.iter().copied().filter(|&i| (i as usize) < n_core).collect();
+            let core_in_cell: Vec<u32> = bucket
+                .points
+                .iter()
+                .copied()
+                .filter(|&i| (i as usize) < n_core)
+                .collect();
             if core_in_cell.is_empty() {
                 continue; // pure support cell: nothing to classify
             }
@@ -184,7 +190,9 @@ impl Detector for CellBased {
                 let mut is_outlier = true;
                 if self.block_restricted {
                     'scan: for &ccid in &candidate_cells {
-                        let Some(cb) = buckets.get(&ccid) else { continue };
+                        let Some(cb) = buckets.get(&ccid) else {
+                            continue;
+                        };
                         for &j in &cb.points {
                             if j == i {
                                 continue;
@@ -276,11 +284,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut core = PointSet::new(2).unwrap();
         for _ in 0..n_core {
-            core.push(&[rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)]).unwrap();
+            core.push(&[rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)])
+                .unwrap();
         }
         let mut support = PointSet::new(2).unwrap();
         for _ in 0..n_support {
-            support.push(&[rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)]).unwrap();
+            support
+                .push(&[rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)])
+                .unwrap();
         }
         let ids = (0..n_core as u64).collect();
         Partition::new(core, ids, support).unwrap()
@@ -352,8 +363,10 @@ mod tests {
 
     #[test]
     fn empty_partition() {
-        let det = CellBased::default()
-            .detect(&Partition::standalone(PointSet::new(2).unwrap()), params(1.0, 1));
+        let det = CellBased::default().detect(
+            &Partition::standalone(PointSet::new(2).unwrap()),
+            params(1.0, 1),
+        );
         assert!(det.outliers.is_empty());
     }
 

@@ -56,9 +56,7 @@ impl AlgorithmKind {
         match self {
             AlgorithmKind::NestedLoop => Box::new(NestedLoop::default()),
             AlgorithmKind::CellBased => Box::new(CellBased::default()),
-            AlgorithmKind::CellBasedFullScan => {
-                Box::new(CellBased::default().full_scan_fallback())
-            }
+            AlgorithmKind::CellBasedFullScan => Box::new(CellBased::default().full_scan_fallback()),
             AlgorithmKind::IndexBased => Box::new(IndexBased::default()),
             AlgorithmKind::PivotBased => Box::new(PivotBased::default()),
             AlgorithmKind::Reference => Box::new(Reference),
@@ -89,8 +87,12 @@ pub fn ball_volume(d: usize, r: f64) -> f64 {
 /// `Γ(x+1) = x·Γ(x)` with bases `Γ(1/2) = √π`, `Γ(1) = 1`.
 fn gamma_half_integer(m: usize) -> f64 {
     debug_assert!(m >= 1);
-    let mut x = if m % 2 == 0 { 1.0 } else { 0.5 };
-    let mut acc = if m % 2 == 0 { 1.0 } else { std::f64::consts::PI.sqrt() };
+    let mut x = if m.is_multiple_of(2) { 1.0 } else { 0.5 };
+    let mut acc = if m.is_multiple_of(2) {
+        1.0
+    } else {
+        std::f64::consts::PI.sqrt()
+    };
     while 2.0 * x < m as f64 {
         acc *= x;
         x += 1.0;
@@ -109,7 +111,11 @@ pub struct CostModel {
 impl CostModel {
     /// Creates a model for datasets of dimensionality `dim`.
     pub fn new(params: OutlierParams, dim: usize) -> Self {
-        CostModel { params, dim, ball: params.metric.ball_volume(dim, params.r) }
+        CostModel {
+            params,
+            dim,
+            ball: params.metric.ball_volume(dim, params.r),
+        }
     }
 
     /// The outlier parameters the model was built for.
@@ -155,7 +161,11 @@ impl CostModel {
         // generally (2m+1)^d with m = ceil(r/side)) neighborhoods.
         let side = self.params.metric.cell_side_for(self.params.r, self.dim);
         let cell_vol = side.powi(self.dim as i32);
-        let rho = if volume <= 0.0 { f64::INFINITY } else { n as f64 / volume };
+        let rho = if volume <= 0.0 {
+            f64::INFINITY
+        } else {
+            n as f64 / volume
+        };
         let k = self.params.k as f64;
         let inlier_block = 3f64.powi(self.dim as i32) * cell_vol;
         if inlier_block * rho >= k {
@@ -286,7 +296,7 @@ mod tests {
         let m = model(5.0, 4, 2);
         let n = 10_000;
         let volume = 1_000_000.0; // μ = π·25/1e6 ≈ 7.85e-5; k/μ ≈ 50930 > n
-        // per-point capped at n
+                                  // per-point capped at n
         assert_eq!(m.nested_loop(n, volume), (n * n) as f64);
         // Larger μ: uncapped regime matches |D|·A(D)·k/A(p).
         let volume = 10_000.0;
@@ -384,8 +394,12 @@ mod tests {
     fn choose_respects_candidate_order_on_tie() {
         let m = model(1.0, 3, 2);
         // n = 0 makes every cost 0 -> first candidate wins.
-        let (alg, cost) =
-            choose_algorithm(&m, &[AlgorithmKind::NestedLoop, AlgorithmKind::CellBased], 0, 1.0);
+        let (alg, cost) = choose_algorithm(
+            &m,
+            &[AlgorithmKind::NestedLoop, AlgorithmKind::CellBased],
+            0,
+            1.0,
+        );
         assert_eq!(alg, AlgorithmKind::NestedLoop);
         assert_eq!(cost, 0.0);
     }
@@ -410,7 +424,10 @@ mod tests {
         }
         // The full-scan variant shares the cell-based detector name but
         // has a distinct kind name.
-        assert_eq!(AlgorithmKind::CellBasedFullScan.detector().name(), "cell-based");
+        assert_eq!(
+            AlgorithmKind::CellBasedFullScan.detector().name(),
+            "cell-based"
+        );
         assert_eq!(AlgorithmKind::CellBasedFullScan.name(), "cell-based-full");
     }
 

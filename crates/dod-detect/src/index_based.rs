@@ -23,7 +23,9 @@ impl IndexBased {
     /// Creates a detector with the given kd-tree leaf size (0 is coerced
     /// to the default of 16).
     pub fn new(leaf_size: usize) -> Self {
-        IndexBased { leaf_size: if leaf_size == 0 { 16 } else { leaf_size } }
+        IndexBased {
+            leaf_size: if leaf_size == 0 { 16 } else { leaf_size },
+        }
     }
 }
 
@@ -63,7 +65,9 @@ impl<'a> KdTree<'a> {
     ) -> Node {
         *ops += idx.len() as u64;
         if idx.len() <= leaf_size {
-            return Node::Leaf { points: idx.to_vec() };
+            return Node::Leaf {
+                points: idx.to_vec(),
+            };
         }
         let dim = depth % partition.dim();
         let mid = idx.len() / 2;
@@ -86,22 +90,40 @@ impl<'a> KdTree<'a> {
             split_dim: dim,
             split_val,
             left: Box::new(Self::build_node(partition, left, leaf_size, depth + 1, ops)),
-            right: Box::new(Self::build_node(partition, right, leaf_size, depth + 1, ops)),
+            right: Box::new(Self::build_node(
+                partition,
+                right,
+                leaf_size,
+                depth + 1,
+                ops,
+            )),
         }
     }
 
     /// Counts neighbors of point `qi` (unified index) within `r`, stopping
-    /// early once `k` are found. Returns `(count_capped_at_k, evals)`.
+    /// early once `k` are found. Returns `(count_capped_at_k, evals,
+    /// nodes_visited)`.
     ///
     /// The splitting-plane prune `|q[dim] − split| > r` is valid for
     /// every `Lp` metric: a single-coordinate difference lower-bounds the
     /// distance.
-    fn count_neighbors(&self, qi: usize, r: f64, k: usize, metric: Metric) -> (usize, u64) {
+    fn count_neighbors(&self, qi: usize, r: f64, k: usize, metric: Metric) -> (usize, u64, u64) {
         let q = self.partition.point(qi);
         let mut count = 0usize;
         let mut evals = 0u64;
-        self.visit(&self.root, q, qi, r, metric, k, &mut count, &mut evals);
-        (count, evals)
+        let mut visits = 0u64;
+        self.visit(
+            &self.root,
+            q,
+            qi,
+            r,
+            metric,
+            k,
+            &mut count,
+            &mut evals,
+            &mut visits,
+        );
+        (count, evals, visits)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -115,10 +137,12 @@ impl<'a> KdTree<'a> {
         k: usize,
         count: &mut usize,
         evals: &mut u64,
+        visits: &mut u64,
     ) {
         if *count >= k {
             return;
         }
+        *visits += 1;
         match node {
             Node::Leaf { points } => {
                 for &j in points {
@@ -134,13 +158,22 @@ impl<'a> KdTree<'a> {
                     }
                 }
             }
-            Node::Inner { split_dim, split_val, left, right } => {
+            Node::Inner {
+                split_dim,
+                split_val,
+                left,
+                right,
+            } => {
                 let delta = q[*split_dim] - split_val;
                 // Visit the side containing q first for faster termination.
-                let (near, far) = if delta < 0.0 { (left, right) } else { (right, left) };
-                self.visit(near, q, qi, r, metric, k, count, evals);
+                let (near, far) = if delta < 0.0 {
+                    (left, right)
+                } else {
+                    (right, left)
+                };
+                self.visit(near, q, qi, r, metric, k, count, evals, visits);
                 if *count < k && delta.abs() <= r {
-                    self.visit(far, q, qi, r, metric, k, count, evals);
+                    self.visit(far, q, qi, r, metric, k, count, evals, visits);
                 }
             }
         }
@@ -157,15 +190,25 @@ impl Detector for IndexBased {
         if n_core == 0 {
             return Detection::default();
         }
-        let leaf = if self.leaf_size == 0 { 16 } else { self.leaf_size };
+        let leaf = if self.leaf_size == 0 {
+            16
+        } else {
+            self.leaf_size
+        };
         let (tree, build_ops) = KdTree::build(partition, leaf);
-        let mut stats = DetectionStats { index_operations: build_ops, ..Default::default() };
+        let mut stats = DetectionStats {
+            index_operations: build_ops,
+            ..Default::default()
+        };
         let mut outliers = Vec::new();
         for i in 0..n_core {
-            let (count, evals) = tree.count_neighbors(i, params.r, params.k, params.metric);
+            let (count, evals, visits) = tree.count_neighbors(i, params.r, params.k, params.metric);
             stats.distance_evaluations += evals;
+            stats.node_visits += visits;
             if count < params.k {
                 outliers.push(partition.core_id(i));
+            } else {
+                stats.early_terminations += 1;
             }
         }
         outliers.sort_unstable();
@@ -190,11 +233,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut core = PointSet::new(2).unwrap();
         for _ in 0..n_core {
-            core.push(&[rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)]).unwrap();
+            core.push(&[rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)])
+                .unwrap();
         }
         let mut support = PointSet::new(2).unwrap();
         for _ in 0..n_support {
-            support.push(&[rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)]).unwrap();
+            support
+                .push(&[rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)])
+                .unwrap();
         }
         let ids = (0..n_core as u64).collect();
         Partition::new(core, ids, support).unwrap()
@@ -241,8 +287,10 @@ mod tests {
 
     #[test]
     fn empty_partition() {
-        let det = IndexBased::default()
-            .detect(&Partition::standalone(PointSet::new(2).unwrap()), params(1.0, 1));
+        let det = IndexBased::default().detect(
+            &Partition::standalone(PointSet::new(2).unwrap()),
+            params(1.0, 1),
+        );
         assert!(det.outliers.is_empty());
     }
 

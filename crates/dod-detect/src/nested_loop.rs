@@ -58,6 +58,7 @@ impl Detector for NestedLoop {
         let mut order: Vec<u32> = (0..total as u32).collect();
         order.shuffle(&mut rng);
 
+        let mut early_terminations = 0u64;
         for i in 0..n {
             let p = partition.core().point(i);
             let start = rng.gen_range(0..total);
@@ -73,6 +74,7 @@ impl Detector for NestedLoop {
                     neighbors += 1;
                     if neighbors >= params.k {
                         is_outlier = false;
+                        early_terminations += 1;
                         break;
                     }
                 }
@@ -84,7 +86,11 @@ impl Detector for NestedLoop {
         outliers.sort_unstable();
         Detection {
             outliers,
-            stats: DetectionStats { distance_evaluations: evals, ..Default::default() },
+            stats: DetectionStats {
+                distance_evaluations: evals,
+                early_terminations,
+                ..Default::default()
+            },
         }
     }
 }
@@ -106,11 +112,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut core = PointSet::new(2).unwrap();
         for _ in 0..n_core {
-            core.push(&[rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)]).unwrap();
+            core.push(&[rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)])
+                .unwrap();
         }
         let mut support = PointSet::new(2).unwrap();
         for _ in 0..n_support {
-            support.push(&[rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)]).unwrap();
+            support
+                .push(&[rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)])
+                .unwrap();
         }
         let ids = (0..n_core as u64).collect();
         Partition::new(core, ids, support).unwrap()
@@ -145,8 +154,10 @@ mod tests {
 
     #[test]
     fn empty_partition() {
-        let det = NestedLoop::default()
-            .detect(&Partition::standalone(PointSet::new(2).unwrap()), params(1.0, 1));
+        let det = NestedLoop::default().detect(
+            &Partition::standalone(PointSet::new(2).unwrap()),
+            params(1.0, 1),
+        );
         assert!(det.outliers.is_empty());
     }
 

@@ -41,7 +41,11 @@ impl Partition {
                 actual: support.dim(),
             });
         }
-        Ok(Partition { core, core_ids, support })
+        Ok(Partition {
+            core,
+            core_ids,
+            support,
+        })
     }
 
     /// A partition whose core ids are simply `0..core.len()` and with no
@@ -49,7 +53,11 @@ impl Partition {
     pub fn standalone(core: PointSet) -> Self {
         let ids = (0..core.len() as PointId).collect();
         let support = PointSet::new(core.dim()).expect("dim >= 1");
-        Partition { core, core_ids: ids, support }
+        Partition {
+            core,
+            core_ids: ids,
+            support,
+        }
     }
 
     /// Dimensionality of the partition's points.

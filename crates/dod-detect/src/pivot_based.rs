@@ -36,7 +36,10 @@ pub struct PivotBased {
 impl PivotBased {
     /// Creates a detector with an explicit pivot count (0 = automatic).
     pub fn new(pivots: usize) -> Self {
-        PivotBased { pivots, seed: 0xD0D_0003 }
+        PivotBased {
+            pivots,
+            seed: 0xD0D_0003,
+        }
     }
 }
 
@@ -75,7 +78,10 @@ impl Detector for PivotBased {
         ids.shuffle(&mut rng);
         let mut lists: Vec<PivotList> = ids[..num_pivots]
             .iter()
-            .map(|&i| PivotList { pivot: partition.point(i as usize).to_vec(), entries: Vec::new() })
+            .map(|&i| PivotList {
+                pivot: partition.point(i as usize).to_vec(),
+                entries: Vec::new(),
+            })
             .collect();
 
         let metric = params.metric;
@@ -100,7 +106,8 @@ impl Detector for PivotBased {
             lists[v as usize].entries.push((d, i as u32));
         }
         for list in &mut lists {
-            list.entries.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+            list.entries
+                .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
         }
 
         // ---- Count neighbors per core point. ----
@@ -154,11 +161,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut core = PointSet::new(2).unwrap();
         for _ in 0..n_core {
-            core.push(&[rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)]).unwrap();
+            core.push(&[rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)])
+                .unwrap();
         }
         let mut support = PointSet::new(2).unwrap();
         for _ in 0..n_support {
-            support.push(&[rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)]).unwrap();
+            support
+                .push(&[rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)])
+                .unwrap();
         }
         let ids = (0..n_core as u64).collect();
         Partition::new(core, ids, support).unwrap()
@@ -203,8 +213,10 @@ mod tests {
 
     #[test]
     fn empty_partition() {
-        let det = PivotBased::default()
-            .detect(&Partition::standalone(PointSet::new(2).unwrap()), params(1.0, 1));
+        let det = PivotBased::default().detect(
+            &Partition::standalone(PointSet::new(2).unwrap()),
+            params(1.0, 1),
+        );
         assert!(det.outliers.is_empty());
     }
 

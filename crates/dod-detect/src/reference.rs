@@ -45,7 +45,10 @@ impl Detector for Reference {
         outliers.sort_unstable();
         Detection {
             outliers,
-            stats: DetectionStats { distance_evaluations: evals, ..Default::default() },
+            stats: DetectionStats {
+                distance_evaluations: evals,
+                ..Default::default()
+            },
         }
     }
 }

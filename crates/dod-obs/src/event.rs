@@ -1,0 +1,240 @@
+//! The event model: one [`Event`] per emitted fact.
+
+use std::borrow::Cow;
+use std::fmt;
+
+/// A label value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A string label (e.g. algorithm name, node id).
+    Str(Cow<'static, str>),
+    /// An unsigned integer label (e.g. partition index).
+    U64(u64),
+    /// A signed integer label.
+    I64(i64),
+    /// A floating-point label (e.g. a rate or fraction).
+    F64(f64),
+}
+
+impl Value {
+    /// The value as `u64`, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, converting integer variants.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::U64(v) => Some(v as f64),
+            Value::I64(v) => Some(v as f64),
+            Value::F64(v) => Some(v),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// The value as `&str`, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{s}"),
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<&'static str> for Value {
+    fn from(s: &'static str) -> Self {
+        Value::Str(Cow::Borrowed(s))
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Cow::Owned(s))
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+/// What kind of measurement an event carries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A completed timed scope, in nanoseconds of wall time.
+    Span {
+        /// Wall-clock duration of the scope in nanoseconds.
+        nanos: u64,
+    },
+    /// A monotonic counter increment.
+    Counter {
+        /// Amount added to the counter.
+        delta: u64,
+    },
+    /// One sample of a distribution (histogram-style).
+    Observe {
+        /// The sampled value.
+        value: f64,
+    },
+    /// A point event with no measurement, only labels.
+    Mark,
+}
+
+impl EventKind {
+    /// Short tag used in serialized form: `span`/`counter`/`observe`/`mark`.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EventKind::Span { .. } => "span",
+            EventKind::Counter { .. } => "counter",
+            EventKind::Observe { .. } => "observe",
+            EventKind::Mark => "mark",
+        }
+    }
+}
+
+/// One structured event: a dotted name, a measurement, and labels.
+///
+/// Names are dotted paths (`mapreduce.task`, `detect.distance_evals`)
+/// listed in DESIGN.md §Observability. Labels carry the dimensions a
+/// query will group by (stage, task index, partition, algorithm, ...).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Dotted event name, e.g. `dod.phase`.
+    pub name: Cow<'static, str>,
+    /// The measurement.
+    pub kind: EventKind,
+    /// Label key/value pairs, in emission order.
+    pub labels: Vec<(Cow<'static, str>, Value)>,
+}
+
+impl Event {
+    /// Creates an event with no labels.
+    pub fn new(name: impl Into<Cow<'static, str>>, kind: EventKind) -> Self {
+        Event {
+            name: name.into(),
+            kind,
+            labels: Vec::new(),
+        }
+    }
+
+    /// Adds a label (builder style).
+    #[must_use]
+    pub fn with_label(
+        mut self,
+        key: impl Into<Cow<'static, str>>,
+        value: impl Into<Value>,
+    ) -> Self {
+        self.labels.push((key.into(), value.into()));
+        self
+    }
+
+    /// Looks up a label by key.
+    pub fn label(&self, key: &str) -> Option<&Value> {
+        self.labels.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// The span duration in nanoseconds, if this is a span.
+    pub fn span_nanos(&self) -> Option<u64> {
+        match self.kind {
+            EventKind::Span { nanos } => Some(nanos),
+            _ => None,
+        }
+    }
+
+    /// The counter delta, if this is a counter.
+    pub fn counter_delta(&self) -> Option<u64> {
+        match self.kind {
+            EventKind::Counter { delta } => Some(delta),
+            _ => None,
+        }
+    }
+
+    /// The observed sample, if this is an observation.
+    pub fn observed(&self) -> Option<f64> {
+        match self.kind {
+            EventKind::Observe { value } => Some(value),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_lookup_in_order() {
+        let e = Event::new("x", EventKind::Mark)
+            .with_label("a", 1u64)
+            .with_label("b", "two")
+            .with_label("a", 3u64);
+        assert_eq!(e.label("a"), Some(&Value::U64(1)));
+        assert_eq!(e.label("b").and_then(Value::as_str), Some("two"));
+        assert_eq!(e.label("missing"), None);
+    }
+
+    #[test]
+    fn kind_accessors() {
+        assert_eq!(
+            Event::new("s", EventKind::Span { nanos: 7 }).span_nanos(),
+            Some(7)
+        );
+        assert_eq!(
+            Event::new("c", EventKind::Counter { delta: 3 }).counter_delta(),
+            Some(3)
+        );
+        assert_eq!(
+            Event::new("o", EventKind::Observe { value: 1.5 }).observed(),
+            Some(1.5)
+        );
+        assert_eq!(Event::new("m", EventKind::Mark).span_nanos(), None);
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from(3usize).as_u64(), Some(3));
+        assert_eq!(Value::from(2.5f64).as_f64(), Some(2.5));
+        assert_eq!(Value::from(-4i64).as_f64(), Some(-4.0));
+        assert_eq!(Value::from("s").as_str(), Some("s"));
+        assert_eq!(Value::from("s").as_f64(), None);
+    }
+}

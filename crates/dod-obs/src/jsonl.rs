@@ -1,0 +1,166 @@
+//! JSON Lines recorder: one event per line, hand-rolled (no serde).
+//!
+//! Line format (stable, consumed by [`crate::replay`]):
+//!
+//! ```json
+//! {"name":"mapreduce.task","kind":"span","nanos":12345,"labels":{"stage":"map","task":0}}
+//! {"name":"detect.distance_evals","kind":"counter","delta":99,"labels":{"partition":2}}
+//! {"name":"mapreduce.shuffle.bytes","kind":"observe","value":4096.0,"labels":{}}
+//! {"name":"dod.plan.partition","kind":"mark","labels":{"algorithm":"cell_based"}}
+//! ```
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::event::{Event, EventKind, Value};
+use crate::recorder::Recorder;
+
+/// Writes each event as one JSON object per line.
+pub struct JsonlRecorder {
+    writer: Mutex<BufWriter<Box<dyn Write + Send>>>,
+}
+
+impl JsonlRecorder {
+    /// Creates (truncating) the file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlRecorder::from_writer(Box::new(file)))
+    }
+
+    /// Wraps an arbitrary writer (tests use `Vec<u8>` via a cursor).
+    pub fn from_writer(writer: Box<dyn Write + Send>) -> Self {
+        JsonlRecorder {
+            writer: Mutex::new(BufWriter::new(writer)),
+        }
+    }
+
+    fn write_event(out: &mut impl Write, event: &Event) -> io::Result<()> {
+        out.write_all(b"{\"name\":")?;
+        write_json_string(out, &event.name)?;
+        match event.kind {
+            EventKind::Span { nanos } => write!(out, ",\"kind\":\"span\",\"nanos\":{nanos}")?,
+            EventKind::Counter { delta } => write!(out, ",\"kind\":\"counter\",\"delta\":{delta}")?,
+            EventKind::Observe { value } => {
+                out.write_all(b",\"kind\":\"observe\",\"value\":")?;
+                write_json_f64(out, value)?;
+            }
+            EventKind::Mark => out.write_all(b",\"kind\":\"mark\"")?,
+        }
+        out.write_all(b",\"labels\":{")?;
+        for (i, (key, value)) in event.labels.iter().enumerate() {
+            if i > 0 {
+                out.write_all(b",")?;
+            }
+            write_json_string(out, key)?;
+            out.write_all(b":")?;
+            match value {
+                Value::Str(s) => write_json_string(out, s)?,
+                Value::U64(v) => write!(out, "{v}")?,
+                Value::I64(v) => write!(out, "{v}")?,
+                Value::F64(v) => write_json_f64(out, *v)?,
+            }
+        }
+        out.write_all(b"}}\n")
+    }
+}
+
+impl Recorder for JsonlRecorder {
+    fn record(&self, event: Event) {
+        let mut writer = self.writer.lock().expect("lock not poisoned");
+        // Ignore I/O errors at emit time; a broken trace file must not
+        // take down the pipeline run it observes.
+        let _ = Self::write_event(&mut *writer, &event);
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("lock not poisoned").flush();
+    }
+}
+
+impl Drop for JsonlRecorder {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Writes `s` as a JSON string literal with escaping.
+fn write_json_string(out: &mut impl Write, s: &str) -> io::Result<()> {
+    out.write_all(b"\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_all(b"\\\"")?,
+            '\\' => out.write_all(b"\\\\")?,
+            '\n' => out.write_all(b"\\n")?,
+            '\r' => out.write_all(b"\\r")?,
+            '\t' => out.write_all(b"\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => write!(out, "{c}")?,
+        }
+    }
+    out.write_all(b"\"")
+}
+
+/// Writes an `f64` so it round-trips through the replay parser
+/// (always with a decimal point or exponent; non-finite as null).
+fn write_json_f64(out: &mut impl Write, v: f64) -> io::Result<()> {
+    if !v.is_finite() {
+        return out.write_all(b"null");
+    }
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        out.write_all(s.as_bytes())
+    } else {
+        write!(out, "{s}.0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    /// Shared byte sink so the test can inspect what was written.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<StdMutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn emits_one_escaped_json_object_per_line() {
+        let buf = SharedBuf::default();
+        let rec = JsonlRecorder::from_writer(Box::new(buf.clone()));
+        rec.record(
+            Event::new("a.b", EventKind::Span { nanos: 5 })
+                .with_label("stage", "map")
+                .with_label("task", 1u64),
+        );
+        rec.record(Event::new("quote\"d", EventKind::Mark).with_label("f", 0.5f64));
+        rec.record(Event::new("int_float", EventKind::Observe { value: 3.0 }));
+        rec.flush();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            r#"{"name":"a.b","kind":"span","nanos":5,"labels":{"stage":"map","task":1}}"#
+        );
+        assert_eq!(
+            lines[1],
+            r#"{"name":"quote\"d","kind":"mark","labels":{"f":0.5}}"#
+        );
+        assert_eq!(
+            lines[2],
+            r#"{"name":"int_float","kind":"observe","value":3.0,"labels":{}}"#
+        );
+    }
+}

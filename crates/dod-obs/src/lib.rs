@@ -1,0 +1,43 @@
+//! Structured tracing and metrics for the DOD system (`dod-obs`).
+//!
+//! Every layer of the pipeline — the MapReduce substrate, the detectors,
+//! the DOD pipeline itself, and the CLI/bench front-ends — reports what
+//! it does as typed [`Event`]s through an [`Obs`] handle:
+//!
+//! * **spans** — timed scopes ([`ObsScope`], RAII) or externally measured
+//!   durations ([`Obs::record_duration`]): per-task wall times, pipeline
+//!   phases;
+//! * **counters** — monotonic increments ([`Obs::counter`]): distance
+//!   evaluations, shuffle records, retries;
+//! * **observations** — histogram samples ([`Obs::observe`]): per-reducer
+//!   shuffle bytes, simulated makespans;
+//! * **marks** — point events ([`Obs::mark`]): plan decisions, locality
+//!   outcomes.
+//!
+//! Events flow into a pluggable [`Recorder`]. Three sinks ship:
+//!
+//! * the disabled default (`Obs::null()`): every emit method is an
+//!   `#[inline]` check of an `Option` that is `None` — no allocation, no
+//!   locking, no I/O;
+//! * [`MemoryRecorder`]: buffers events for queries from tests and
+//!   benches;
+//! * [`JsonlRecorder`]: one JSON object per line, consumable by external
+//!   tools and replayable via [`replay`].
+//!
+//! The event taxonomy used by the workspace is documented in
+//! `DESIGN.md` (§Observability); [`render::render_summary`] folds any
+//! event stream into the human-readable table behind `dod --profile`.
+
+mod event;
+mod jsonl;
+mod memory;
+mod obs;
+mod recorder;
+pub mod render;
+pub mod replay;
+
+pub use event::{Event, EventKind, Value};
+pub use jsonl::JsonlRecorder;
+pub use memory::MemoryRecorder;
+pub use obs::{Obs, ObsScope};
+pub use recorder::{FanoutRecorder, NullRecorder, Recorder};

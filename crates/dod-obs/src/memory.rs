@@ -1,0 +1,104 @@
+//! In-memory recorder, queryable from tests and benches.
+
+use std::sync::Mutex;
+
+use crate::event::Event;
+use crate::recorder::Recorder;
+
+/// Buffers every event in emission order.
+///
+/// Query helpers cover the common assertions: total of a counter,
+/// span durations by name, events filtered by name.
+#[derive(Debug, Default)]
+pub struct MemoryRecorder {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemoryRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        MemoryRecorder::default()
+    }
+
+    /// A snapshot of all events recorded so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("lock not poisoned").clone()
+    }
+
+    /// All events with exactly the given name.
+    pub fn events_named(&self, name: &str) -> Vec<Event> {
+        self.events
+            .lock()
+            .expect("lock not poisoned")
+            .iter()
+            .filter(|e| e.name == name)
+            .cloned()
+            .collect()
+    }
+
+    /// Sum of all counter deltas emitted under `name`.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.events
+            .lock()
+            .expect("lock not poisoned")
+            .iter()
+            .filter(|e| e.name == name)
+            .filter_map(Event::counter_delta)
+            .sum()
+    }
+
+    /// Durations (nanoseconds) of all spans emitted under `name`.
+    pub fn span_nanos(&self, name: &str) -> Vec<u64> {
+        self.events
+            .lock()
+            .expect("lock not poisoned")
+            .iter()
+            .filter(|e| e.name == name)
+            .filter_map(Event::span_nanos)
+            .collect()
+    }
+
+    /// All histogram samples emitted under `name`.
+    pub fn observations(&self, name: &str) -> Vec<f64> {
+        self.events
+            .lock()
+            .expect("lock not poisoned")
+            .iter()
+            .filter(|e| e.name == name)
+            .filter_map(Event::observed)
+            .collect()
+    }
+
+    /// Discards all recorded events.
+    pub fn clear(&self) {
+        self.events.lock().expect("lock not poisoned").clear();
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn record(&self, event: Event) {
+        self.events.lock().expect("lock not poisoned").push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    #[test]
+    fn query_helpers() {
+        let mem = MemoryRecorder::new();
+        mem.record(Event::new("c", EventKind::Counter { delta: 2 }));
+        mem.record(Event::new("c", EventKind::Counter { delta: 3 }));
+        mem.record(Event::new("s", EventKind::Span { nanos: 10 }));
+        mem.record(Event::new("o", EventKind::Observe { value: 0.5 }));
+        assert_eq!(mem.counter_total("c"), 5);
+        assert_eq!(mem.span_nanos("s"), vec![10]);
+        assert_eq!(mem.observations("o"), vec![0.5]);
+        assert_eq!(mem.events_named("c").len(), 2);
+        assert_eq!(mem.events().len(), 4);
+        mem.clear();
+        assert!(mem.events().is_empty());
+    }
+}

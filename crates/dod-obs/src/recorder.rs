@@ -1,0 +1,97 @@
+//! The [`Recorder`] sink trait and trivial implementations.
+
+use crate::event::Event;
+use std::sync::Arc;
+
+/// A sink for [`Event`]s.
+///
+/// Recorders must be cheap and thread-safe: `record` is called from
+/// worker threads inside the MapReduce task pool. Implementations
+/// should not block for long (the `JsonlRecorder` buffers internally).
+pub trait Recorder: Send + Sync {
+    /// Accepts one event.
+    fn record(&self, event: Event);
+
+    /// Flushes any buffered output. Default: no-op.
+    fn flush(&self) {}
+}
+
+/// Shared recorders forward transparently, so an `Arc<MemoryRecorder>`
+/// can be both a fanout sink and queried afterwards.
+impl<R: Recorder + ?Sized> Recorder for Arc<R> {
+    fn record(&self, event: Event) {
+        (**self).record(event);
+    }
+
+    fn flush(&self) {
+        (**self).flush();
+    }
+}
+
+/// A recorder that drops every event.
+///
+/// [`crate::Obs::null`] avoids even constructing events, so this type
+/// only matters when a `dyn Recorder` is structurally required (e.g.
+/// as one arm of a configuration switch).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn record(&self, _event: Event) {}
+}
+
+/// Broadcasts each event to every inner recorder, in order.
+pub struct FanoutRecorder {
+    sinks: Vec<Box<dyn Recorder>>,
+}
+
+impl FanoutRecorder {
+    /// Creates a fanout over the given sinks.
+    pub fn new(sinks: Vec<Box<dyn Recorder>>) -> Self {
+        FanoutRecorder { sinks }
+    }
+}
+
+impl Recorder for FanoutRecorder {
+    fn record(&self, event: Event) {
+        if let Some((last, head)) = self.sinks.split_last() {
+            for sink in head {
+                sink.record(event.clone());
+            }
+            last.record(event);
+        }
+    }
+
+    fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::memory::MemoryRecorder;
+    use std::sync::Arc;
+
+    #[test]
+    fn fanout_reaches_all_sinks() {
+        let a = Arc::new(MemoryRecorder::new());
+        let b = Arc::new(MemoryRecorder::new());
+        struct Fwd(Arc<MemoryRecorder>);
+        impl Recorder for Fwd {
+            fn record(&self, event: Event) {
+                self.0.record(event);
+            }
+        }
+        let fan = FanoutRecorder::new(vec![
+            Box::new(Fwd(Arc::clone(&a))),
+            Box::new(Fwd(Arc::clone(&b))),
+        ]);
+        fan.record(Event::new("e", EventKind::Mark));
+        assert_eq!(a.events().len(), 1);
+        assert_eq!(b.events().len(), 1);
+    }
+}

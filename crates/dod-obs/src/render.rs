@@ -1,0 +1,143 @@
+//! Folds an event stream into the human-readable `--profile` table.
+
+use std::collections::BTreeMap;
+
+use crate::event::Event;
+
+#[derive(Default)]
+struct SpanAgg {
+    count: u64,
+    total_nanos: u64,
+    max_nanos: u64,
+}
+
+#[derive(Default)]
+struct ObserveAgg {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+/// Renders a deterministic summary of `events`, grouped by event name
+/// and sorted alphabetically within each section. Returns a multi-line
+/// string ending in a newline (empty string for an empty stream).
+pub fn render_summary(events: &[Event]) -> String {
+    let mut spans: BTreeMap<&str, SpanAgg> = BTreeMap::new();
+    let mut counters: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut observes: BTreeMap<&str, ObserveAgg> = BTreeMap::new();
+    let mut marks: BTreeMap<&str, u64> = BTreeMap::new();
+
+    for event in events {
+        match event.kind {
+            crate::EventKind::Span { nanos } => {
+                let agg = spans.entry(&event.name).or_default();
+                agg.count += 1;
+                agg.total_nanos += nanos;
+                agg.max_nanos = agg.max_nanos.max(nanos);
+            }
+            crate::EventKind::Counter { delta } => {
+                *counters.entry(&event.name).or_default() += delta;
+            }
+            crate::EventKind::Observe { value } => {
+                let agg = observes.entry(&event.name).or_default();
+                if agg.count == 0 {
+                    agg.min = value;
+                    agg.max = value;
+                } else {
+                    agg.min = agg.min.min(value);
+                    agg.max = agg.max.max(value);
+                }
+                agg.count += 1;
+                agg.sum += value;
+            }
+            crate::EventKind::Mark => *marks.entry(&event.name).or_default() += 1,
+        }
+    }
+
+    let mut out = String::new();
+    if !spans.is_empty() {
+        out.push_str("spans:\n");
+        out.push_str(&format!(
+            "  {:<34} {:>8} {:>12} {:>12} {:>12}\n",
+            "name", "count", "total ms", "mean ms", "max ms"
+        ));
+        for (name, agg) in &spans {
+            let total_ms = agg.total_nanos as f64 / 1e6;
+            let mean_ms = total_ms / agg.count as f64;
+            out.push_str(&format!(
+                "  {:<34} {:>8} {:>12.3} {:>12.3} {:>12.3}\n",
+                name,
+                agg.count,
+                total_ms,
+                mean_ms,
+                agg.max_nanos as f64 / 1e6,
+            ));
+        }
+    }
+    if !counters.is_empty() {
+        out.push_str("counters:\n");
+        out.push_str(&format!("  {:<34} {:>14}\n", "name", "total"));
+        for (name, total) in &counters {
+            out.push_str(&format!("  {:<34} {:>14}\n", name, total));
+        }
+    }
+    if !observes.is_empty() {
+        out.push_str("observations:\n");
+        out.push_str(&format!(
+            "  {:<34} {:>8} {:>12} {:>12} {:>12}\n",
+            "name", "count", "mean", "min", "max"
+        ));
+        for (name, agg) in &observes {
+            out.push_str(&format!(
+                "  {:<34} {:>8} {:>12.3} {:>12.3} {:>12.3}\n",
+                name,
+                agg.count,
+                agg.sum / agg.count as f64,
+                agg.min,
+                agg.max,
+            ));
+        }
+    }
+    if !marks.is_empty() {
+        out.push_str("marks:\n");
+        out.push_str(&format!("  {:<34} {:>8}\n", "name", "count"));
+        for (name, count) in &marks {
+            out.push_str(&format!("  {:<34} {:>8}\n", name, count));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Event, EventKind};
+
+    #[test]
+    fn aggregates_by_kind_and_name() {
+        let events = vec![
+            Event::new("b.span", EventKind::Span { nanos: 1_000_000 }),
+            Event::new("b.span", EventKind::Span { nanos: 3_000_000 }),
+            Event::new("a.count", EventKind::Counter { delta: 2 }),
+            Event::new("a.count", EventKind::Counter { delta: 5 }),
+            Event::new("c.obs", EventKind::Observe { value: 1.0 }),
+            Event::new("c.obs", EventKind::Observe { value: 3.0 }),
+            Event::new("d.mark", EventKind::Mark),
+        ];
+        let text = render_summary(&events);
+        assert!(text.contains("spans:"), "{text}");
+        assert!(text.contains("b.span"), "{text}");
+        // total 4ms, mean 2ms, max 3ms
+        assert!(text.contains("4.000"), "{text}");
+        assert!(text.contains("counters:"), "{text}");
+        assert!(text.contains('7'), "{text}");
+        assert!(text.contains("observations:"), "{text}");
+        assert!(text.contains("marks:"), "{text}");
+    }
+
+    #[test]
+    fn empty_stream_renders_empty() {
+        assert_eq!(render_summary(&[]), "");
+    }
+}

@@ -1,0 +1,363 @@
+//! Replays a JSONL trace back into [`Event`]s.
+//!
+//! The parser accepts the exact format written by
+//! [`crate::JsonlRecorder`] (flat objects, one nesting level for
+//! `labels`) — it is not a general JSON parser, but it tolerates
+//! arbitrary key order and insignificant whitespace so hand-edited or
+//! externally produced traces also load.
+
+use std::borrow::Cow;
+use std::fs;
+use std::path::Path;
+
+use crate::event::{Event, EventKind, Value};
+
+/// A parse failure, with the offending line (1-based) when known.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayError {
+    /// 1-based line number, 0 when not tied to a line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line > 0 {
+            write!(f, "trace line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "trace: {}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// Parses a whole JSONL document (blank lines ignored).
+pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, ReplayError> {
+    let mut events = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let event = parse_line(line).map_err(|message| ReplayError {
+            line: idx + 1,
+            message,
+        })?;
+        events.push(event);
+    }
+    Ok(events)
+}
+
+/// Reads and parses a trace file.
+pub fn read_jsonl(path: impl AsRef<Path>) -> Result<Vec<Event>, ReplayError> {
+    let text = fs::read_to_string(path.as_ref()).map_err(|e| ReplayError {
+        line: 0,
+        message: format!("cannot read {}: {e}", path.as_ref().display()),
+    })?;
+    parse_jsonl(&text)
+}
+
+/// Parses one JSONL line into an event.
+pub fn parse_line(line: &str) -> Result<Event, String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut name: Option<String> = None;
+    let mut kind_tag: Option<String> = None;
+    let mut nanos: Option<u64> = None;
+    let mut delta: Option<u64> = None;
+    let mut value: Option<f64> = None;
+    let mut labels: Vec<(Cow<'static, str>, Value)> = Vec::new();
+    loop {
+        p.skip_ws();
+        if p.eat(b'}') {
+            break;
+        }
+        let key = p.parse_string()?;
+        p.skip_ws();
+        p.expect(b':')?;
+        p.skip_ws();
+        match key.as_str() {
+            "name" => name = Some(p.parse_string()?),
+            "kind" => kind_tag = Some(p.parse_string()?),
+            "nanos" => nanos = Some(p.parse_number()?.as_u64()?),
+            "delta" => delta = Some(p.parse_number()?.as_u64()?),
+            "value" => value = Some(p.parse_number()?.as_f64()),
+            "labels" => {
+                p.expect(b'{')?;
+                loop {
+                    p.skip_ws();
+                    if p.eat(b'}') {
+                        break;
+                    }
+                    let label_key = p.parse_string()?;
+                    p.skip_ws();
+                    p.expect(b':')?;
+                    p.skip_ws();
+                    let label_value = p.parse_value()?;
+                    labels.push((Cow::Owned(label_key), label_value));
+                    p.skip_ws();
+                    if !p.eat(b',') {
+                        p.skip_ws();
+                        p.expect(b'}')?;
+                        break;
+                    }
+                }
+            }
+            other => return Err(format!("unknown key {other:?}")),
+        }
+        p.skip_ws();
+        if !p.eat(b',') {
+            p.skip_ws();
+            p.expect(b'}')?;
+            break;
+        }
+    }
+    let name = name.ok_or("missing \"name\"")?;
+    let kind = match kind_tag.as_deref() {
+        Some("span") => EventKind::Span {
+            nanos: nanos.ok_or("span missing \"nanos\"")?,
+        },
+        Some("counter") => EventKind::Counter {
+            delta: delta.ok_or("counter missing \"delta\"")?,
+        },
+        Some("observe") => EventKind::Observe {
+            value: value.ok_or("observe missing \"value\"")?,
+        },
+        Some("mark") => EventKind::Mark,
+        Some(other) => return Err(format!("unknown kind {other:?}")),
+        None => return Err("missing \"kind\"".to_string()),
+    };
+    Ok(Event {
+        name: Cow::Owned(name),
+        kind,
+        labels,
+    })
+}
+
+/// A parsed JSON number, kept in whichever representation was written.
+enum Number {
+    Unsigned(u64),
+    Signed(i64),
+    Float(f64),
+}
+
+impl Number {
+    fn as_u64(&self) -> Result<u64, String> {
+        match *self {
+            Number::Unsigned(v) => Ok(v),
+            Number::Signed(v) if v >= 0 => Ok(v as u64),
+            _ => Err("expected a non-negative integer".to_string()),
+        }
+    }
+
+    fn as_f64(&self) -> f64 {
+        match *self {
+            Number::Unsigned(v) => v as f64,
+            Number::Signed(v) => v as f64,
+            Number::Float(v) => v,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {} (found {:?})",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char),
+            ))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let rest = &self.bytes[self.pos..];
+            let Some(&b) = rest.first() else {
+                return Err("unterminated string".to_string());
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    let esc = *rest.get(1).ok_or("dangling escape")?;
+                    self.pos += 2;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                        }
+                        other => return Err(format!("unknown escape \\{}", other as char)),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 code point.
+                    let s = std::str::from_utf8(rest).map_err(|_| "invalid UTF-8")?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Number, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9') | Some(b'.') | Some(b'e') | Some(b'E') | Some(b'+') | Some(b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| "invalid number")?;
+        if text.is_empty() {
+            return Err(format!("expected a number at byte {start}"));
+        }
+        if !text.contains(['.', 'e', 'E']) {
+            if let Some(stripped) = text.strip_prefix('-') {
+                if stripped.parse::<i64>().is_ok() {
+                    return Ok(Number::Signed(text.parse().map_err(|_| "bad integer")?));
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Number::Unsigned(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Number::Float)
+            .map_err(|_| format!("bad number {text:?}"))
+    }
+
+    fn parse_value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(Cow::Owned(self.parse_string()?))),
+            Some(b'n') => {
+                // `null` only appears for non-finite floats we refused to write.
+                if self.bytes[self.pos..].starts_with(b"null") {
+                    self.pos += 4;
+                    Ok(Value::F64(f64::NAN))
+                } else {
+                    Err("unexpected token".to_string())
+                }
+            }
+            _ => Ok(match self.parse_number()? {
+                Number::Unsigned(v) => Value::U64(v),
+                Number::Signed(v) => Value::I64(v),
+                Number::Float(v) => Value::F64(v),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_each_kind() {
+        let text = concat!(
+            "{\"name\":\"s\",\"kind\":\"span\",\"nanos\":12,\"labels\":{\"stage\":\"map\"}}\n",
+            "{\"name\":\"c\",\"kind\":\"counter\",\"delta\":3,\"labels\":{\"p\":7}}\n",
+            "{\"name\":\"o\",\"kind\":\"observe\",\"value\":2.5,\"labels\":{}}\n",
+            "\n",
+            "{\"name\":\"m\",\"kind\":\"mark\",\"labels\":{\"neg\":-4,\"rate\":0.5}}\n",
+        );
+        let events = parse_jsonl(text).unwrap();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].span_nanos(), Some(12));
+        assert_eq!(
+            events[0].label("stage").and_then(Value::as_str),
+            Some("map")
+        );
+        assert_eq!(events[1].counter_delta(), Some(3));
+        assert_eq!(events[1].label("p"), Some(&Value::U64(7)));
+        assert_eq!(events[2].observed(), Some(2.5));
+        assert_eq!(events[3].kind, EventKind::Mark);
+        assert_eq!(events[3].label("neg"), Some(&Value::I64(-4)));
+        assert_eq!(events[3].label("rate"), Some(&Value::F64(0.5)));
+    }
+
+    #[test]
+    fn tolerates_whitespace_and_reordered_keys() {
+        let line = r#" { "labels": { "a": 1 } , "kind": "span", "nanos": 9, "name": "x" } "#;
+        let e = parse_line(line.trim()).unwrap();
+        assert_eq!(e.name, "x");
+        assert_eq!(e.span_nanos(), Some(9));
+        assert_eq!(e.label("a"), Some(&Value::U64(1)));
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let line = r#"{"name":"q\"uote\n","kind":"mark","labels":{"k":"tab\there é"}}"#;
+        let e = parse_line(line).unwrap();
+        assert_eq!(e.name, "q\"uote\n");
+        assert_eq!(e.label("k").and_then(Value::as_str), Some("tab\there é"));
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let err = parse_jsonl("{\"name\":\"ok\",\"kind\":\"mark\",\"labels\":{}}\nnot json\n")
+            .unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn rejects_missing_fields() {
+        assert!(parse_line(r#"{"kind":"mark","labels":{}}"#).is_err());
+        assert!(parse_line(r#"{"name":"x","labels":{}}"#).is_err());
+        assert!(parse_line(r#"{"name":"x","kind":"span","labels":{}}"#).is_err());
+    }
+}

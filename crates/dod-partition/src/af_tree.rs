@@ -34,12 +34,14 @@ enum Node {
 impl Node {
     fn bounds(&self) -> Option<IntRect> {
         match self {
-            Node::Leaf(entries) => {
-                entries.iter().map(|(_, r)| r.clone()).reduce(|a, b| a.union(&b))
-            }
-            Node::Inner(children) => {
-                children.iter().map(|(r, _)| r.clone()).reduce(|a, b| a.union(&b))
-            }
+            Node::Leaf(entries) => entries
+                .iter()
+                .map(|(_, r)| r.clone())
+                .reduce(|a, b| a.union(&b)),
+            Node::Inner(children) => children
+                .iter()
+                .map(|(r, _)| r.clone())
+                .reduce(|a, b| a.union(&b)),
         }
     }
 }
@@ -47,7 +49,11 @@ impl Node {
 impl AfTree {
     /// Creates an empty tree with the given node capacity (minimum 4).
     pub fn new(max_entries: usize) -> Self {
-        AfTree { root: Node::Leaf(Vec::new()), max_entries: max_entries.max(4), len: 0 }
+        AfTree {
+            root: Node::Leaf(Vec::new()),
+            max_entries: max_entries.max(4),
+            len: 0,
+        }
     }
 
     /// Number of entries.
@@ -344,7 +350,9 @@ mod tests {
             assert!(t.remove(x, &unit(x % 6, x / 6)), "remove {x}");
         }
         assert!(t.is_empty());
-        assert!(t.search_intersecting(&IntRect::new(vec![0, 0], vec![9, 9])).is_empty());
+        assert!(t
+            .search_intersecting(&IntRect::new(vec![0, 0], vec![9, 9]))
+            .is_empty());
     }
 
     #[test]
@@ -365,9 +373,15 @@ mod tests {
         t.insert(1, IntRect::new(vec![4, 0], vec![7, 3]));
         t.insert(2, IntRect::new(vec![0, 4], vec![7, 7]));
         // Probe overlapping only cluster 1.
-        assert_eq!(t.search_intersecting(&IntRect::new(vec![5, 1], vec![6, 2])), vec![1]);
+        assert_eq!(
+            t.search_intersecting(&IntRect::new(vec![5, 1], vec![6, 2])),
+            vec![1]
+        );
         // Probe at the seam finds both (inclusive intersection).
-        assert_eq!(t.search_intersecting(&IntRect::new(vec![3, 0], vec![4, 0])), vec![0, 1]);
+        assert_eq!(
+            t.search_intersecting(&IntRect::new(vec![3, 0], vec![4, 0])),
+            vec![0, 1]
+        );
     }
 
     #[test]

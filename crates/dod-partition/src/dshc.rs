@@ -64,14 +64,26 @@ impl DshcConfig {
     /// density: `tdiff = factor × total_count / domain_volume`.
     pub fn relative(grid: &MiniBucketGrid, factor: f64, max_points: u64) -> Self {
         let volume = grid.grid().domain().volume();
-        let mean = if volume > 0.0 { grid.total_count() as f64 / volume } else { 0.0 };
-        DshcConfig { tdiff: mean * factor, max_points, tree_fanout: 8 }
+        let mean = if volume > 0.0 {
+            grid.total_count() as f64 / volume
+        } else {
+            0.0
+        };
+        DshcConfig {
+            tdiff: mean * factor,
+            max_points,
+            tree_fanout: 8,
+        }
     }
 }
 
 impl Default for DshcConfig {
     fn default() -> Self {
-        DshcConfig { tdiff: f64::INFINITY, max_points: u64::MAX, tree_fanout: 8 }
+        DshcConfig {
+            tdiff: f64::INFINITY,
+            max_points: u64::MAX,
+            tree_fanout: 8,
+        }
     }
 }
 
@@ -91,8 +103,10 @@ impl Dshc {
         let mut next_id: u32 = 0;
 
         for (coords, count) in grid.iter_buckets() {
-            let bucket =
-                Cluster { rect: IntRect::unit(&coords), count: count as u64 };
+            let bucket = Cluster {
+                rect: IntRect::unit(&coords),
+                count: count as u64,
+            };
 
             // Search operation: overlapping-or-adjacent clusters.
             let probe = bucket.rect.grown_by_one(&limits);
@@ -176,7 +190,7 @@ fn best_merge_candidate(
         }
         // Criterion 1: density similarity.
         let diff = (cand.density(grid) - target_density).abs();
-        if !(diff < config.tdiff) {
+        if diff.partial_cmp(&config.tdiff) != Some(std::cmp::Ordering::Less) {
             continue;
         }
         // Criterion 3: cardinality cap.
@@ -206,7 +220,12 @@ mod tests {
         assert_eq!(total, grid.num_buckets() as u64, "cell count covers grid");
         for (i, a) in clusters.iter().enumerate() {
             for b in &clusters[i + 1..] {
-                assert!(!a.rect.intersects(&b.rect), "{:?} overlaps {:?}", a.rect, b.rect);
+                assert!(
+                    !a.rect.intersects(&b.rect),
+                    "{:?} overlaps {:?}",
+                    a.rect,
+                    b.rect
+                );
             }
         }
         let count: u64 = clusters.iter().map(|c| c.count).sum();
@@ -224,8 +243,9 @@ mod tests {
 
     #[test]
     fn unbounded_config_merges_everything() {
-        let pts: Vec<(f64, f64)> =
-            (0..50).map(|i| (0.1 + (i % 8) as f64, 0.1 + (i / 8) as f64)).collect();
+        let pts: Vec<(f64, f64)> = (0..50)
+            .map(|i| (0.1 + (i % 8) as f64, 0.1 + (i / 8) as f64))
+            .collect();
         let grid = grid_from(&pts, 8);
         let clusters = Dshc::cluster(&grid, &DshcConfig::default());
         assert_exact_cover(&grid, &clusters);
@@ -244,14 +264,18 @@ mod tests {
             }
         }
         let grid = grid_from(&pts, 8);
-        let config = DshcConfig { tdiff: 1.0, max_points: u64::MAX, tree_fanout: 8 };
+        let config = DshcConfig {
+            tdiff: 1.0,
+            max_points: u64::MAX,
+            tree_fanout: 8,
+        };
         let clusters = Dshc::cluster(&grid, &config);
         assert_exact_cover(&grid, &clusters);
         // Dense and empty halves cannot merge (Δdensity = 16 >= 1).
         assert!(clusters.len() >= 2);
         for c in &clusters {
             let d = c.density(&grid);
-            assert!(d < 1.0 || d > 15.0, "mixed-density cluster: {d}");
+            assert!(!(1.0..=15.0).contains(&d), "mixed-density cluster: {d}");
         }
     }
 
@@ -265,7 +289,11 @@ mod tests {
             .collect();
         let grid = grid_from(&pts, 8);
         // Every bucket holds 4 samples; cap at 32 -> clusters of <= 8 buckets.
-        let config = DshcConfig { tdiff: f64::INFINITY, max_points: 32, tree_fanout: 8 };
+        let config = DshcConfig {
+            tdiff: f64::INFINITY,
+            max_points: 32,
+            tree_fanout: 8,
+        };
         let clusters = Dshc::cluster(&grid, &config);
         assert_exact_cover(&grid, &clusters);
         for c in &clusters {
@@ -290,18 +318,25 @@ mod tests {
             }
         }
         let grid = grid_from(&pts, 8);
-        let config = DshcConfig { tdiff: 4.0, max_points: u64::MAX, tree_fanout: 8 };
+        let config = DshcConfig {
+            tdiff: 4.0,
+            max_points: u64::MAX,
+            tree_fanout: 8,
+        };
         let clusters = Dshc::cluster(&grid, &config);
         assert_exact_cover(&grid, &clusters);
         let dense: Vec<&Cluster> = clusters.iter().filter(|c| c.density(&grid) > 4.0).collect();
-        assert!(dense.len() >= 2, "L-shape needs >= 2 rectangles, got {}", dense.len());
+        assert!(
+            dense.len() >= 2,
+            "L-shape needs >= 2 rectangles, got {}",
+            dense.len()
+        );
     }
 
     #[test]
     fn single_bucket_grid() {
         let domain = Rect::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
-        let grid =
-            MiniBucketGrid::build(&domain, 1, &PointSet::from_xy(&[(0.5, 0.5)])).unwrap();
+        let grid = MiniBucketGrid::build(&domain, 1, &PointSet::from_xy(&[(0.5, 0.5)])).unwrap();
         let clusters = Dshc::cluster(&grid, &DshcConfig::default());
         assert_eq!(clusters.len(), 1);
         assert_eq!(clusters[0].count, 1);
@@ -309,7 +344,9 @@ mod tests {
 
     #[test]
     fn relative_config_scales_with_mean_density() {
-        let pts: Vec<(f64, f64)> = (0..640).map(|i| ((i % 80) as f64 * 0.1, (i / 80) as f64)).collect();
+        let pts: Vec<(f64, f64)> = (0..640)
+            .map(|i| ((i % 80) as f64 * 0.1, (i / 80) as f64))
+            .collect();
         let grid = grid_from(&pts, 8);
         let c = DshcConfig::relative(&grid, 0.5, 1000);
         // mean density = 640/64 = 10 per unit²; tdiff = 5.
@@ -319,10 +356,15 @@ mod tests {
 
     #[test]
     fn deterministic_output() {
-        let pts: Vec<(f64, f64)> =
-            (0..200).map(|i| ((i * 7 % 80) as f64 * 0.1, (i * 13 % 80) as f64 * 0.1)).collect();
+        let pts: Vec<(f64, f64)> = (0..200)
+            .map(|i| ((i * 7 % 80) as f64 * 0.1, (i * 13 % 80) as f64 * 0.1))
+            .collect();
         let grid = grid_from(&pts, 8);
-        let config = DshcConfig { tdiff: 2.0, max_points: 64, tree_fanout: 8 };
+        let config = DshcConfig {
+            tdiff: 2.0,
+            max_points: 64,
+            tree_fanout: 8,
+        };
         let a = Dshc::cluster(&grid, &config);
         let b = Dshc::cluster(&grid, &config);
         assert_eq!(a, b);

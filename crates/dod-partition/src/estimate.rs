@@ -81,7 +81,11 @@ impl LocalCostEstimator {
         let per_dim = buckets_per_dim.clamp(1, cap.max(1));
         let buckets = MiniBucketGrid::build(domain, per_dim, sample)
             .expect("sample and domain dimensions agree");
-        let scale = if sample_rate > 0.0 { 1.0 / sample_rate } else { 1.0 };
+        let scale = if sample_rate > 0.0 {
+            1.0 / sample_rate
+        } else {
+            1.0
+        };
         LocalCostEstimator {
             buckets,
             params,
@@ -116,7 +120,10 @@ impl LocalCostEstimator {
                 let costs = candidates
                     .iter()
                     .map(|&kind| {
-                        (kind, self.subset_cost(sample, idxs, kind, plan.rect(pid).volume()))
+                        (
+                            kind,
+                            self.subset_cost(sample, idxs, kind, plan.rect(pid).volume()),
+                        )
                     })
                     .collect();
                 PartitionEstimate { n_est, costs }
@@ -138,16 +145,10 @@ impl LocalCostEstimator {
         let c = match kind {
             AlgorithmKind::NestedLoop => self.nested_loop_cost(sample, idxs, n_est),
             AlgorithmKind::CellBased => self.cell_based_cost(sample, idxs, n_est),
-            AlgorithmKind::CellBasedFullScan => {
-                self.cell_based_full_cost(sample, idxs, n_est)
-            }
+            AlgorithmKind::CellBasedFullScan => self.cell_based_full_cost(sample, idxs, n_est),
             // Index/pivot/reference: partition-level heuristics from the
             // paper-style model.
-            other => CostModel::new(self.params, sample.dim()).cost(
-                other,
-                n_est as usize,
-                volume,
-            ),
+            other => CostModel::new(self.params, sample.dim()).cost(other, n_est as usize, volume),
         };
         c + PARTITION_OVERHEAD_OPS
     }
@@ -202,7 +203,10 @@ impl LocalCostEstimator {
     /// densities; real counts fluctuate).
     fn unpruned_probability(&self, rho: f64, dim: f64) -> f64 {
         let k = self.params.k;
-        let side = self.params.metric.cell_side_for(self.params.r, dim as usize);
+        let side = self
+            .params
+            .metric
+            .cell_side_for(self.params.r, dim as usize);
         let cell_vol = side.powf(dim);
         let inlier_block = 3f64.powf(dim) * cell_vol;
         let m_radius = (self.params.r / side).ceil();
@@ -224,7 +228,10 @@ impl LocalCostEstimator {
             return 0.0;
         }
         let dim = sample.dim() as f64;
-        let side = self.params.metric.cell_side_for(self.params.r, sample.dim());
+        let side = self
+            .params
+            .metric
+            .cell_side_for(self.params.r, sample.dim());
         let cell_vol = side.powf(dim);
         let m_radius = (self.params.r / side).ceil();
         let candidate_block = (2.0 * m_radius + 1.0).powf(dim) * cell_vol;
@@ -274,10 +281,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut s = PointSet::new(2).unwrap();
         for _ in 0..4000 {
-            s.push(&[rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)]).unwrap();
+            s.push(&[rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)])
+                .unwrap();
         }
         for _ in 0..500 {
-            s.push(&[rng.gen_range(4.0..40.0), rng.gen_range(0.0..40.0)]).unwrap();
+            s.push(&[rng.gen_range(4.0..40.0), rng.gen_range(0.0..40.0)])
+                .unwrap();
         }
         (s, Rect::new(vec![0.0, 0.0], vec![40.0, 40.0]).unwrap())
     }
@@ -338,7 +347,22 @@ mod tests {
 
     #[test]
     fn empty_partition_costs_only_overhead() {
-        let (sample, domain) = skewed_sample(4);
+        // Background starts at x=5 — aligned with the 8x8 grid's 5-wide
+        // cells — so the top-left corner cell [0,5)x[35,40) is empty by
+        // construction, not merely with high probability.
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut sample = PointSet::new(2).unwrap();
+        for _ in 0..4000 {
+            sample
+                .push(&[rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)])
+                .unwrap();
+        }
+        for _ in 0..500 {
+            sample
+                .push(&[rng.gen_range(5.0..40.0), rng.gen_range(0.0..40.0)])
+                .unwrap();
+        }
+        let domain = Rect::new(vec![0.0, 0.0], vec![40.0, 40.0]).unwrap();
         let est = LocalCostEstimator::new(&domain, &sample, 1.0, params(1.0, 4), 32);
         let plan = PartitionPlan::from_grid(GridSpec::uniform(domain.clone(), 8).unwrap());
         let out = est.estimate(
@@ -346,8 +370,6 @@ mod tests {
             &sample,
             &[AlgorithmKind::NestedLoop, AlgorithmKind::CellBased],
         );
-        // Top-left corner is empty: the blob stops at y=4, the
-        // background starts at x=4.
         let empty = &out[plan.locate(&[0.5, 39.5]) as usize];
         assert_eq!(empty.n_est, 0.0);
         for (_, c) in &empty.costs {
@@ -405,12 +427,15 @@ mod tests {
         }
         let domain = Rect::new(vec![5.0, 5.0], vec![5.0, 5.0]).unwrap();
         let est = LocalCostEstimator::new(&domain, &sample, 1.0, params(1.0, 4), 32);
-        let plan =
-            PartitionPlan::from_grid(GridSpec::uniform(domain, 1).unwrap());
+        let plan = PartitionPlan::from_grid(GridSpec::uniform(domain, 1).unwrap());
         let out = est.estimate(
             &plan,
             &sample,
-            &[AlgorithmKind::NestedLoop, AlgorithmKind::CellBased, AlgorithmKind::CellBasedFullScan],
+            &[
+                AlgorithmKind::NestedLoop,
+                AlgorithmKind::CellBased,
+                AlgorithmKind::CellBasedFullScan,
+            ],
         );
         for e in &out {
             for (kind, c) in &e.costs {
@@ -423,7 +448,10 @@ mod tests {
     fn best_and_cost_of() {
         let e = PartitionEstimate {
             n_est: 10.0,
-            costs: vec![(AlgorithmKind::NestedLoop, 5.0), (AlgorithmKind::CellBased, 3.0)],
+            costs: vec![
+                (AlgorithmKind::NestedLoop, 5.0),
+                (AlgorithmKind::CellBased, 3.0),
+            ],
         };
         assert_eq!(e.best(), (AlgorithmKind::CellBased, 3.0));
         assert_eq!(e.cost_of(AlgorithmKind::NestedLoop), 5.0);

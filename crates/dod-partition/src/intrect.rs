@@ -31,7 +31,10 @@ impl IntRect {
 
     /// The unit box covering a single bucket index.
     pub fn unit(idx: &[u32]) -> Self {
-        IntRect { lo: idx.to_vec(), hi: idx.to_vec() }
+        IntRect {
+            lo: idx.to_vec(),
+            hi: idx.to_vec(),
+        }
     }
 
     /// Dimensionality.
@@ -51,7 +54,11 @@ impl IntRect {
 
     /// Number of buckets covered (product of per-dimension spans).
     pub fn cells(&self) -> u64 {
-        self.lo.iter().zip(&self.hi).map(|(l, h)| (h - l + 1) as u64).product()
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(l, h)| (h - l + 1) as u64)
+            .product()
     }
 
     /// Whether the boxes overlap (inclusive).
@@ -110,8 +117,18 @@ impl IntRect {
     pub fn union(&self, other: &IntRect) -> IntRect {
         debug_assert_eq!(self.dim(), other.dim());
         IntRect {
-            lo: self.lo.iter().zip(&other.lo).map(|(a, b)| *a.min(b)).collect(),
-            hi: self.hi.iter().zip(&other.hi).map(|(a, b)| *a.max(b)).collect(),
+            lo: self
+                .lo
+                .iter()
+                .zip(&other.lo)
+                .map(|(a, b)| *a.min(b))
+                .collect(),
+            hi: self
+                .hi
+                .iter()
+                .zip(&other.hi)
+                .map(|(a, b)| *a.max(b))
+                .collect(),
         }
     }
 

@@ -36,7 +36,13 @@ impl MiniBucketGrid {
             });
         }
         let per_dim: Vec<usize> = (0..domain.dim())
-            .map(|i| if domain.extent(i) == 0.0 { 1 } else { buckets_per_dim })
+            .map(|i| {
+                if domain.extent(i) == 0.0 {
+                    1
+                } else {
+                    buckets_per_dim
+                }
+            })
             .collect();
         let grid = GridSpec::new(domain.clone(), per_dim)?;
         let mut counts = vec![0u32; grid.num_cells()];
@@ -101,9 +107,7 @@ impl MiniBucketGrid {
                 i -= 1;
                 if cursor[i] < rect.hi()[i] {
                     cursor[i] += 1;
-                    for j in i + 1..d {
-                        cursor[j] = rect.lo()[j];
-                    }
+                    cursor[(i + 1)..d].copy_from_slice(&rect.lo()[(i + 1)..d]);
                     break;
                 }
             }
@@ -138,8 +142,12 @@ impl MiniBucketGrid {
     /// — the single scan DSHC consumes.
     pub fn iter_buckets(&self) -> impl Iterator<Item = (Vec<u32>, u32)> + '_ {
         (0..self.num_buckets()).map(move |id| {
-            let coords: Vec<u32> =
-                self.grid.delinearize(id).into_iter().map(|v| v as u32).collect();
+            let coords: Vec<u32> = self
+                .grid
+                .delinearize(id)
+                .into_iter()
+                .map(|v| v as u32)
+                .collect();
             (coords, self.counts[id])
         })
     }
@@ -159,7 +167,11 @@ impl MiniBucketGrid {
     pub fn density_of(&self, rect: &IntRect) -> f64 {
         let vol = rect.cells() as f64 * self.bucket_volume();
         if vol == 0.0 {
-            return if self.count_in(rect) == 0 { 0.0 } else { f64::INFINITY };
+            return if self.count_in(rect) == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            };
         }
         self.count_in(rect) as f64 / vol
     }

@@ -35,17 +35,26 @@ pub struct AllocationSpec {
 impl AllocationSpec {
     /// Hash-style round-robin (the Domain / uniSpace baselines).
     pub fn round_robin() -> Self {
-        AllocationSpec { policy: AllocationPolicy::RoundRobin, weight: BalanceWeight::Cardinality }
+        AllocationSpec {
+            policy: AllocationPolicy::RoundRobin,
+            weight: BalanceWeight::Cardinality,
+        }
     }
 
     /// Cardinality-balanced LPT (the DDriven baseline).
     pub fn cardinality() -> Self {
-        AllocationSpec { policy: AllocationPolicy::LptRefined, weight: BalanceWeight::Cardinality }
+        AllocationSpec {
+            policy: AllocationPolicy::LptRefined,
+            weight: BalanceWeight::Cardinality,
+        }
     }
 
     /// Cost-balanced LPT (CDriven and DMT).
     pub fn cost() -> Self {
-        AllocationSpec { policy: AllocationPolicy::LptRefined, weight: BalanceWeight::Cost }
+        AllocationSpec {
+            policy: AllocationPolicy::LptRefined,
+            weight: BalanceWeight::Cost,
+        }
     }
 }
 
@@ -90,13 +99,18 @@ pub fn bin_loads(weights: &[f64], bins: usize, assignment: &[usize]) -> Vec<f64>
 
 /// The makespan (maximum bin load) of an assignment.
 pub fn assignment_makespan(weights: &[f64], bins: usize, assignment: &[usize]) -> f64 {
-    bin_loads(weights, bins, assignment).into_iter().fold(0.0, f64::max)
+    bin_loads(weights, bins, assignment)
+        .into_iter()
+        .fold(0.0, f64::max)
 }
 
 fn lpt(weights: &[f64], bins: usize) -> Vec<usize> {
     let mut order: Vec<usize> = (0..weights.len()).collect();
     order.sort_by(|&a, &b| {
-        weights[b].partial_cmp(&weights[a]).expect("finite weights").then(a.cmp(&b))
+        weights[b]
+            .partial_cmp(&weights[a])
+            .expect("finite weights")
+            .then(a.cmp(&b))
     });
     let mut loads = vec![0.0f64; bins];
     let mut assign = vec![0usize; weights.len()];
@@ -136,12 +150,12 @@ fn refine(weights: &[f64], bins: usize, assign: &mut [usize]) {
             if assign[i] != hot {
                 continue;
             }
-            for b in 0..bins {
+            for (b, &load) in loads.iter().enumerate().take(bins) {
                 if b == hot {
                     continue;
                 }
                 let new_src = hot_load - weights[i];
-                let new_dst = loads[b] + weights[i];
+                let new_dst = load + weights[i];
                 if new_src.max(new_dst) < threshold {
                     assign[i] = b;
                     improved = true;
@@ -211,8 +225,7 @@ mod tests {
         // LPT: 3->a, 3->b, 2->a, 2->b, 2->a/b -> makespan 7. Optimal 6.
         let w = [3.0, 3.0, 2.0, 2.0, 2.0];
         let lpt_ms = assignment_makespan(&w, 2, &allocate(&w, 2, AllocationPolicy::Lpt));
-        let ref_ms =
-            assignment_makespan(&w, 2, &allocate(&w, 2, AllocationPolicy::LptRefined));
+        let ref_ms = assignment_makespan(&w, 2, &allocate(&w, 2, AllocationPolicy::LptRefined));
         assert_eq!(lpt_ms, 7.0);
         assert_eq!(ref_ms, 6.0);
     }
@@ -220,9 +233,11 @@ mod tests {
     #[test]
     fn single_bin_gets_everything() {
         let w = [1.0, 2.0, 3.0];
-        for policy in
-            [AllocationPolicy::RoundRobin, AllocationPolicy::Lpt, AllocationPolicy::LptRefined]
-        {
+        for policy in [
+            AllocationPolicy::RoundRobin,
+            AllocationPolicy::Lpt,
+            AllocationPolicy::LptRefined,
+        ] {
             let a = allocate(&w, 1, policy);
             assert!(a.iter().all(|&b| b == 0));
         }

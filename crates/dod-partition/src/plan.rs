@@ -71,8 +71,17 @@ impl SplitTree {
         loop {
             match &self.nodes[node] {
                 SplitNode::Leaf(pid) => return *pid,
-                SplitNode::Split { dim, at, left, right } => {
-                    node = if x[*dim] < *at { *left as usize } else { *right as usize };
+                SplitNode::Split {
+                    dim,
+                    at,
+                    left,
+                    right,
+                } => {
+                    node = if x[*dim] < *at {
+                        *left as usize
+                    } else {
+                        *right as usize
+                    };
                 }
             }
         }
@@ -91,7 +100,11 @@ impl PartitionPlan {
     /// A plan whose partitions are exactly the cells of `grid`.
     pub fn from_grid(grid: GridSpec) -> Self {
         let rects = (0..grid.num_cells()).map(|i| grid.cell_rect(i)).collect();
-        PartitionPlan { domain: grid.domain().clone(), rects, locator: Locator::Grid(grid) }
+        PartitionPlan {
+            domain: grid.domain().clone(),
+            rects,
+            locator: Locator::Grid(grid),
+        }
     }
 
     /// A plan built from DSHC clusters over a mini-bucket grid.
@@ -110,8 +123,7 @@ impl PartitionPlan {
             rects.push(buckets.to_real_rect(&cluster.rect));
             // Paint every bucket of the cluster.
             let d = grid.dim();
-            let mut cursor: Vec<usize> =
-                cluster.rect.lo().iter().map(|&v| v as usize).collect();
+            let mut cursor: Vec<usize> = cluster.rect.lo().iter().map(|&v| v as usize).collect();
             let hi: Vec<usize> = cluster.rect.hi().iter().map(|&v| v as usize).collect();
             loop {
                 let cell = grid.linearize(&cursor);
@@ -128,8 +140,8 @@ impl PartitionPlan {
                     i -= 1;
                     if cursor[i] < hi[i] {
                         cursor[i] += 1;
-                        for j in i + 1..d {
-                            cursor[j] = cluster.rect.lo()[j] as usize;
+                        for (j, c) in cursor.iter_mut().enumerate().take(d).skip(i + 1) {
+                            *c = cluster.rect.lo()[j] as usize;
                         }
                         done = false;
                         break;
@@ -156,7 +168,11 @@ impl PartitionPlan {
     /// A plan defined by a split tree and the per-partition rectangles
     /// (index-aligned with the tree's leaf partition ids).
     pub fn from_split_tree(domain: Rect, tree: SplitTree, rects: Vec<Rect>) -> Self {
-        PartitionPlan { domain, rects, locator: Locator::Tree(tree) }
+        PartitionPlan {
+            domain,
+            rects,
+            locator: Locator::Tree(tree),
+        }
     }
 
     /// The domain covered by the plan.
@@ -240,10 +256,15 @@ impl Router {
         let target = (plan.num_partitions() * 4).clamp(1, 65_536);
         let per_dim = ((target as f64).powf(1.0 / dim as f64).ceil() as usize).clamp(1, 64);
         let counts: Vec<usize> = (0..dim)
-            .map(|i| if plan.domain().extent(i) == 0.0 { 1 } else { per_dim })
+            .map(|i| {
+                if plan.domain().extent(i) == 0.0 {
+                    1
+                } else {
+                    per_dim
+                }
+            })
             .collect();
-        let coarse =
-            GridSpec::new(plan.domain().clone(), counts).expect("valid coarse grid");
+        let coarse = GridSpec::new(plan.domain().clone(), counts).expect("valid coarse grid");
         let mut candidates: Vec<Vec<u32>> = vec![Vec::new(); coarse.num_cells()];
         for (pid, rect) in plan.rects().iter().enumerate() {
             let grown = rect.expanded(r);
@@ -251,7 +272,13 @@ impl Router {
                 candidates[cell].push(pid as u32);
             }
         }
-        Router { plan: plan.clone(), r, metric, coarse, candidates }
+        Router {
+            plan: plan.clone(),
+            r,
+            metric,
+            coarse,
+            candidates,
+        }
     }
 
     /// The distance threshold the router was built for.
@@ -310,7 +337,11 @@ impl MultiTacticPlan {
     ) -> Self {
         let model = CostModel::new(params, plan.domain().dim());
         let counts = plan.count_sample(sample);
-        let scale = if sample_rate > 0.0 { 1.0 / sample_rate } else { 1.0 };
+        let scale = if sample_rate > 0.0 {
+            1.0 / sample_rate
+        } else {
+            1.0
+        };
         let mut algorithms = Vec::with_capacity(plan.num_partitions());
         let mut costs = Vec::with_capacity(plan.num_partitions());
         let mut estimated = Vec::with_capacity(plan.num_partitions());
@@ -327,7 +358,13 @@ impl MultiTacticPlan {
             BalanceWeight::Cardinality => &estimated,
         };
         let allocation = allocate(weights, num_reducers, spec.policy);
-        MultiTacticPlan { plan, algorithms, allocation, predicted_costs: costs, estimated_counts: estimated }
+        MultiTacticPlan {
+            plan,
+            algorithms,
+            allocation,
+            predicted_costs: costs,
+            estimated_counts: estimated,
+        }
     }
 
     /// Builds the multi-tactic plan from precomputed per-partition
@@ -343,7 +380,11 @@ impl MultiTacticPlan {
         num_reducers: usize,
         spec: AllocationSpec,
     ) -> Self {
-        assert_eq!(estimates.len(), plan.num_partitions(), "one estimate per partition");
+        assert_eq!(
+            estimates.len(),
+            plan.num_partitions(),
+            "one estimate per partition"
+        );
         let mut algorithms = Vec::with_capacity(estimates.len());
         let mut costs = Vec::with_capacity(estimates.len());
         let mut counts = Vec::with_capacity(estimates.len());
@@ -382,8 +423,15 @@ impl MultiTacticPlan {
         num_reducers: usize,
         spec: AllocationSpec,
     ) -> Self {
-        let mut mt =
-            MultiTacticPlan::build(plan, sample, sample_rate, params, &[kind], num_reducers, spec);
+        let mut mt = MultiTacticPlan::build(
+            plan,
+            sample,
+            sample_rate,
+            params,
+            &[kind],
+            num_reducers,
+            spec,
+        );
         // `build` with a single candidate already fixes the algorithm;
         // keep the invariant explicit.
         debug_assert!(mt.algorithms.iter().all(|&a| a == kind));
@@ -411,7 +459,11 @@ pub struct PlanContext {
 impl PlanContext {
     /// Creates a context.
     pub fn new(params: OutlierParams, target_partitions: usize, sample_rate: f64) -> Self {
-        PlanContext { params, target_partitions: target_partitions.max(1), sample_rate }
+        PlanContext {
+            params,
+            target_partitions: target_partitions.max(1),
+            sample_rate,
+        }
     }
 }
 
@@ -442,7 +494,12 @@ mod tests {
     fn split_tree_locates_half_open() {
         // Split at x=4: left is [0,4), right is [4,8].
         let tree = SplitTree::new(vec![
-            SplitNode::Split { dim: 0, at: 4.0, left: 1, right: 2 },
+            SplitNode::Split {
+                dim: 0,
+                at: 4.0,
+                left: 1,
+                right: 2,
+            },
             SplitNode::Leaf(0),
             SplitNode::Leaf(1),
         ]);
@@ -519,9 +576,7 @@ mod tests {
             let core = plan.locate(&x);
             assert_eq!(routing.core, core);
             let mut expected: Vec<u32> = (0..plan.num_partitions() as u32)
-                .filter(|&pid| {
-                    pid != core && plan.rect(pid as usize).min_dist_sq(&x) <= r * r
-                })
+                .filter(|&pid| pid != core && plan.rect(pid as usize).min_dist_sq(&x) <= r * r)
                 .collect();
             expected.sort_unstable();
             assert_eq!(routing.support, expected);
@@ -569,7 +624,10 @@ mod tests {
             2,
             AllocationSpec::round_robin(),
         );
-        assert!(mt.algorithms.iter().all(|&a| a == AlgorithmKind::NestedLoop));
+        assert!(mt
+            .algorithms
+            .iter()
+            .all(|&a| a == AlgorithmKind::NestedLoop));
         assert_eq!(mt.allocation, vec![0, 1, 0, 1]);
     }
 

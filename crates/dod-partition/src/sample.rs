@@ -43,7 +43,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut s = PointSet::new(2).unwrap();
         for _ in 0..n {
-            s.push(&[rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)]).unwrap();
+            s.push(&[rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)])
+                .unwrap();
         }
         s
     }
@@ -105,7 +106,8 @@ mod tests {
         let mut data = PointSet::new(2).unwrap();
         let mut rng = StdRng::seed_from_u64(6);
         for _ in 0..20_000 {
-            data.push(&[rng.gen_range(0.0..50.0), rng.gen_range(0.0..100.0)]).unwrap();
+            data.push(&[rng.gen_range(0.0..50.0), rng.gen_range(0.0..100.0)])
+                .unwrap();
         }
         let s = sample_points(&data, 0.01, 9);
         for p in s.iter() {

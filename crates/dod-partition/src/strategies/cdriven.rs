@@ -33,7 +33,9 @@ impl CDriven {
 
 impl Default for CDriven {
     fn default() -> Self {
-        CDriven { kind: AlgorithmKind::NestedLoop }
+        CDriven {
+            kind: AlgorithmKind::NestedLoop,
+        }
     }
 }
 
@@ -44,8 +46,7 @@ impl PartitionStrategy for CDriven {
 
     fn build_plan(&self, sample: &PointSet, domain: &Rect, ctx: &PlanContext) -> PartitionPlan {
         let kind = self.kind;
-        let estimator =
-            LocalCostEstimator::new(domain, sample, ctx.sample_rate, ctx.params, 32);
+        let estimator = LocalCostEstimator::new(domain, sample, ctx.sample_rate, ctx.params, 32);
         splitter::recursive_split(sample, domain, ctx.target_partitions, &move |idxs, rect| {
             estimator.subset_cost(sample, idxs, kind, rect.volume())
         })
@@ -65,10 +66,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut s = PointSet::new(2).unwrap();
         for _ in 0..800 {
-            s.push(&[rng.gen_range(0.0..2.0), rng.gen_range(0.0..2.0)]).unwrap();
+            s.push(&[rng.gen_range(0.0..2.0), rng.gen_range(0.0..2.0)])
+                .unwrap();
         }
         for _ in 0..200 {
-            s.push(&[rng.gen_range(2.0..20.0), rng.gen_range(0.0..20.0)]).unwrap();
+            s.push(&[rng.gen_range(2.0..20.0), rng.gen_range(0.0..20.0)])
+                .unwrap();
         }
         s
     }

@@ -20,7 +20,9 @@ impl PartitionStrategy for DDriven {
     }
 
     fn build_plan(&self, sample: &PointSet, domain: &Rect, ctx: &PlanContext) -> PartitionPlan {
-        splitter::recursive_split(sample, domain, ctx.target_partitions, &|idxs, _| idxs.len() as f64)
+        splitter::recursive_split(sample, domain, ctx.target_partitions, &|idxs, _| {
+            idxs.len() as f64
+        })
     }
 
     fn default_allocation(&self) -> crate::packing::AllocationSpec {
@@ -41,10 +43,14 @@ mod tests {
         let mut sample = PointSet::new(2).unwrap();
         // 90% of the mass in the lower-left 10% of the domain.
         for _ in 0..900 {
-            sample.push(&[rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]).unwrap();
+            sample
+                .push(&[rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
+                .unwrap();
         }
         for _ in 0..100 {
-            sample.push(&[rng.gen_range(1.0..10.0), rng.gen_range(1.0..10.0)]).unwrap();
+            sample
+                .push(&[rng.gen_range(1.0..10.0), rng.gen_range(1.0..10.0)])
+                .unwrap();
         }
         let domain = Rect::new(vec![0.0, 0.0], vec![10.0, 10.0]).unwrap();
         let ctx = PlanContext::new(OutlierParams::new(1.0, 3).unwrap(), 8, 1.0);
@@ -52,7 +58,12 @@ mod tests {
         assert_eq!(plan.num_partitions(), 8);
         let counts = plan.count_sample(&sample);
         let max = *counts.iter().max().unwrap();
-        let min = counts.iter().filter(|&&c| c > 0).min().copied().unwrap_or(0);
+        let min = counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .min()
+            .copied()
+            .unwrap_or(0);
         assert!(max <= 300, "max {max}");
         assert!(max <= min * 10, "imbalance: max {max}, min {min}");
     }

@@ -37,13 +37,20 @@ pub struct Dmt {
 impl Dmt {
     /// Creates a DMT strategy with the given mini-bucket resolution.
     pub fn new(buckets_per_dim: usize) -> Self {
-        Dmt { buckets_per_dim, ..Dmt::default() }
+        Dmt {
+            buckets_per_dim,
+            ..Dmt::default()
+        }
     }
 }
 
 impl Default for Dmt {
     fn default() -> Self {
-        Dmt { buckets_per_dim: 32, tdiff_factor: 1.0, max_fraction_per_partition: 0.02 }
+        Dmt {
+            buckets_per_dim: 32,
+            tdiff_factor: 1.0,
+            max_fraction_per_partition: 0.02,
+        }
     }
 }
 
@@ -64,7 +71,9 @@ impl PartitionStrategy for Dmt {
         let max_sample_points = if self.max_fraction_per_partition >= 1.0 {
             u64::MAX
         } else {
-            ((sample.len() as f64) * self.max_fraction_per_partition).ceil().max(32.0) as u64
+            ((sample.len() as f64) * self.max_fraction_per_partition)
+                .ceil()
+                .max(32.0) as u64
         };
         let config = DshcConfig {
             tree_fanout: 8,
@@ -92,10 +101,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(12);
         let mut sample = PointSet::new(2).unwrap();
         for _ in 0..500 {
-            sample.push(&[rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)]).unwrap();
+            sample
+                .push(&[rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)])
+                .unwrap();
         }
         for _ in 0..50 {
-            sample.push(&[rng.gen_range(4.0..16.0), rng.gen_range(0.0..16.0)]).unwrap();
+            sample
+                .push(&[rng.gen_range(4.0..16.0), rng.gen_range(0.0..16.0)])
+                .unwrap();
         }
         let domain = Rect::new(vec![0.0, 0.0], vec![16.0, 16.0]).unwrap();
         let plan = Dmt::default().build_plan(&sample, &domain, &ctx());

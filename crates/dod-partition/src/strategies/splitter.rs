@@ -145,7 +145,10 @@ fn split_coordinate(sample: &PointSet, idxs: &[u32], rect: &Rect, dim: usize) ->
     if idxs.len() < 2 {
         return Some(mid);
     }
-    let mut coords: Vec<f64> = idxs.iter().map(|&i| sample.point(i as usize)[dim]).collect();
+    let mut coords: Vec<f64> = idxs
+        .iter()
+        .map(|&i| sample.point(i as usize)[dim])
+        .collect();
     coords.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let median = coords[coords.len() / 2];
     if median > lo && median < hi {
@@ -169,7 +172,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut s = PointSet::new(2).unwrap();
         for _ in 0..n {
-            s.push(&[rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)]).unwrap();
+            s.push(&[rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)])
+                .unwrap();
         }
         s
     }
@@ -195,9 +199,7 @@ mod tests {
                 if a.intersects(b) {
                     // Touching faces are allowed; overlapping volume isn't.
                     let overlap: f64 = (0..2)
-                        .map(|d| {
-                            (a.max()[d].min(b.max()[d]) - a.min()[d].max(b.min()[d])).max(0.0)
-                        })
+                        .map(|d| (a.max()[d].min(b.max()[d]) - a.min()[d].max(b.min()[d])).max(0.0))
                         .product();
                     assert!(overlap < 1e-9, "partitions {i} and {j} overlap");
                 }
@@ -223,10 +225,12 @@ mod tests {
         let mut s = PointSet::new(2).unwrap();
         let mut rng = StdRng::seed_from_u64(4);
         for _ in 0..900 {
-            s.push(&[rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]).unwrap();
+            s.push(&[rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
+                .unwrap();
         }
         for _ in 0..100 {
-            s.push(&[rng.gen_range(1.0..10.0), rng.gen_range(0.0..10.0)]).unwrap();
+            s.push(&[rng.gen_range(1.0..10.0), rng.gen_range(0.0..10.0)])
+                .unwrap();
         }
         let plan = recursive_split(&s, &domain(), 10, &|idxs, _| idxs.len() as f64);
         let counts = plan.count_sample(&s);

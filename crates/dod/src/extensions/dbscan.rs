@@ -72,11 +72,7 @@ impl EstimateSize for LabelRecord {
 /// Returns, per unified index: `(local cluster or None, is_core_point)`.
 ///
 /// Grid-accelerated: ε-range queries scan only the neighboring cells.
-pub fn dbscan_local(
-    points: &PointSet,
-    eps: f64,
-    min_pts: usize,
-) -> (Vec<Option<u32>>, Vec<bool>) {
+pub fn dbscan_local(points: &PointSet, eps: f64, min_pts: usize) -> (Vec<Option<u32>>, Vec<bool>) {
     dbscan_local_metric(points, eps, min_pts, dod_core::Metric::Euclidean)
 }
 
@@ -107,7 +103,10 @@ pub fn dbscan_local_metric(
     let grid = GridSpec::new(bounds, cells).expect("valid grid");
     let mut buckets: HashMap<usize, Vec<u32>> = HashMap::new();
     for i in 0..n {
-        buckets.entry(grid.cell_of(points.point(i))).or_default().push(i as u32);
+        buckets
+            .entry(grid.cell_of(points.point(i)))
+            .or_default()
+            .push(i as u32);
     }
     let radius: usize = (0..points.dim())
         .map(|i| {
@@ -138,9 +137,9 @@ pub fn dbscan_local_metric(
     };
 
     // Mark core points.
-    for i in 0..n {
+    for (i, core) in is_core.iter_mut().enumerate().take(n) {
         if neighbors_of(i).len() >= min_pts {
-            is_core[i] = true;
+            *core = true;
         }
     }
     // Expand clusters from core points (BFS over core connectivity).
@@ -179,7 +178,12 @@ pub struct DbscanReducer {
 impl DbscanReducer {
     /// Creates the reducer.
     pub fn new(eps: f64, min_pts: usize, dim: usize, metric: dod_core::Metric) -> Self {
-        DbscanReducer { eps, min_pts, dim, metric }
+        DbscanReducer {
+            eps,
+            min_pts,
+            dim,
+            metric,
+        }
     }
 }
 
@@ -193,8 +197,7 @@ impl Reducer for DbscanReducer {
         for v in &values {
             points.push(&v.coords).expect("same dim");
         }
-        let (cluster, is_core) =
-            dbscan_local_metric(&points, self.eps, self.min_pts, self.metric);
+        let (cluster, is_core) = dbscan_local_metric(&points, self.eps, self.min_pts, self.metric);
         for (i, v) in values.iter().enumerate() {
             let authoritative = !v.support;
             let local = cluster[i].map(|c| (*key, c));
@@ -229,7 +232,9 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n as u32).collect() }
+        UnionFind {
+            parent: (0..n as u32).collect(),
+        }
     }
     fn find(&mut self, x: u32) -> u32 {
         let mut root = x;
@@ -277,14 +282,21 @@ pub fn dbscan(
     let plan = strategy.build_plan(&sample, &domain, &ctx);
     let router = Arc::new(plan.router_with_metric(eps, config.params.metric));
 
-    let items: Vec<InputPoint> =
-        (0..data.len()).map(|i| (i as PointId, data.point(i).to_vec())).collect();
+    let items: Vec<InputPoint> = (0..data.len())
+        .map(|i| (i as PointId, data.point(i).to_vec()))
+        .collect();
     let store = BlockStore::from_items(items, config.block_size, config.replication);
     let mapper = DodMapper::new(router);
     let reducer = DbscanReducer::new(eps, min_pts, domain.dim(), config.params.metric);
     let partitioner = |k: &u32, n: usize| (*k as usize) % n;
-    let out =
-        run_job(&config.cluster, &store, &mapper, &reducer, &partitioner, config.num_reducers)?;
+    let out = run_job(
+        &config.cluster,
+        &store,
+        &mapper,
+        &reducer,
+        &partitioner,
+        config.num_reducers,
+    )?;
 
     // ---- Global merge (driver side). ----
     // Intern local cluster labels.
@@ -348,7 +360,11 @@ pub fn dbscan(
         }
     }
     let num_clusters = global_of_root.len();
-    Ok(DbscanOutcome { labels, num_clusters, metrics: out.metrics })
+    Ok(DbscanOutcome {
+        labels,
+        num_clusters,
+        metrics: out.metrics,
+    })
 }
 
 /// Centralized reference DBSCAN, for tests.
@@ -409,10 +425,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let mut data = PointSet::new(2).unwrap();
         for _ in 0..200 {
-            data.push(&[rng.gen_range(0.0..2.0), rng.gen_range(0.0..2.0)]).unwrap();
+            data.push(&[rng.gen_range(0.0..2.0), rng.gen_range(0.0..2.0)])
+                .unwrap();
         }
         for _ in 0..200 {
-            data.push(&[rng.gen_range(8.0..10.0), rng.gen_range(8.0..10.0)]).unwrap();
+            data.push(&[rng.gen_range(8.0..10.0), rng.gen_range(8.0..10.0)])
+                .unwrap();
         }
         data.push(&[5.0, 5.0]).unwrap(); // lone noise point
         data
@@ -469,7 +487,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let mut data = PointSet::new(2).unwrap();
         for _ in 0..600 {
-            data.push(&[rng.gen_range(0.0..12.0), rng.gen_range(0.0..12.0)]).unwrap();
+            data.push(&[rng.gen_range(0.0..12.0), rng.gen_range(0.0..12.0)])
+                .unwrap();
         }
         let (expected, n_ref) = dbscan_reference(&data, eps, min_pts);
         let (_, is_core) = dbscan_local(&data, eps, min_pts);
@@ -477,10 +496,10 @@ mod tests {
         assert_eq!(out.num_clusters, n_ref);
 
         // Noise sets identical.
-        for i in 0..data.len() {
+        for (i, exp) in expected.iter().enumerate() {
             assert_eq!(
                 out.labels[i] == Label::Noise,
-                expected[i] == Label::Noise,
+                *exp == Label::Noise,
                 "noise mismatch at {i}"
             );
         }
@@ -494,8 +513,16 @@ mod tests {
             let (Label::Cluster(ca), Label::Cluster(cb)) = (out.labels[i], expected[i]) else {
                 panic!("core point {i} not clustered");
             };
-            assert_eq!(*fwd.entry(ca).or_insert(cb), cb, "core cluster split at {i}");
-            assert_eq!(*bwd.entry(cb).or_insert(ca), ca, "core cluster merge at {i}");
+            assert_eq!(
+                *fwd.entry(ca).or_insert(cb),
+                cb,
+                "core cluster split at {i}"
+            );
+            assert_eq!(
+                *bwd.entry(cb).or_insert(ca),
+                ca,
+                "core cluster merge at {i}"
+            );
         }
         // Border points: assigned cluster must contain a core point
         // within eps.

@@ -68,7 +68,9 @@ impl LociConfig {
     }
 
     fn radii(&self) -> Vec<f64> {
-        (0..self.levels.max(1)).map(|j| self.r_max / 2f64.powi(j as i32)).collect()
+        (0..self.levels.max(1))
+            .map(|j| self.r_max / 2f64.powi(j as i32))
+            .collect()
     }
 }
 
@@ -97,7 +99,10 @@ impl<'a> RangeCounter<'a> {
         let grid = GridSpec::new(bounds, cells).expect("valid grid");
         let mut buckets: std::collections::HashMap<usize, Vec<u32>> = Default::default();
         for i in 0..points.len() {
-            buckets.entry(grid.cell_of(points.point(i))).or_default().push(i as u32);
+            buckets
+                .entry(grid.cell_of(points.point(i)))
+                .or_default()
+                .push(i as u32);
         }
         let radius_cells = (0..points.dim())
             .map(|i| {
@@ -110,7 +115,13 @@ impl<'a> RangeCounter<'a> {
             })
             .max()
             .unwrap_or(1);
-        RangeCounter { points, grid, buckets, radius_cells, metric }
+        RangeCounter {
+            points,
+            grid,
+            buckets,
+            radius_cells,
+            metric,
+        }
     }
 
     /// Indices within `r` of point `i`, **including `i` itself** (LOCI's
@@ -146,8 +157,9 @@ pub fn loci_local(points: &PointSet, cfg: &LociConfig) -> Vec<bool> {
         // Counting neighborhoods n(·, αr) for every point, then sampling
         // statistics over N(·, r).
         let counter_small = RangeCounter::build(points, alpha_r, cfg.metric);
-        let counts: Vec<f64> =
-            (0..n).map(|i| counter_small.neighbors_within(i, alpha_r).len() as f64).collect();
+        let counts: Vec<f64> = (0..n)
+            .map(|i| counter_small.neighbors_within(i, alpha_r).len() as f64)
+            .collect();
         let counter_big = RangeCounter::build(points, r, cfg.metric);
         for i in 0..n {
             if flagged[i] {
@@ -235,7 +247,10 @@ pub fn loci(
     strategy: &dyn PartitionStrategy,
 ) -> Result<LociOutcome, DodError> {
     if data.is_empty() {
-        return Ok(LociOutcome { outliers: Vec::new(), metrics: JobMetrics::default() });
+        return Ok(LociOutcome {
+            outliers: Vec::new(),
+            metrics: JobMetrics::default(),
+        });
     }
     let domain = data.bounding_rect()?;
     let sample = sample_points(data, config.sample_rate, config.seed);
@@ -244,17 +259,27 @@ pub fn loci(
     // The wider supporting radius is what makes LOCI exact per partition.
     let router = Arc::new(plan.router_with_metric(cfg.support_radius(), cfg.metric));
 
-    let items: Vec<InputPoint> =
-        (0..data.len()).map(|i| (i as PointId, data.point(i).to_vec())).collect();
+    let items: Vec<InputPoint> = (0..data.len())
+        .map(|i| (i as PointId, data.point(i).to_vec()))
+        .collect();
     let store = BlockStore::from_items(items, config.block_size, config.replication);
     let mapper = DodMapper::new(router);
     let reducer = LociReducer::new(*cfg, domain.dim());
     let partitioner = |k: &u32, n: usize| (*k as usize) % n;
-    let out =
-        run_job(&config.cluster, &store, &mapper, &reducer, &partitioner, config.num_reducers)?;
+    let out = run_job(
+        &config.cluster,
+        &store,
+        &mapper,
+        &reducer,
+        &partitioner,
+        config.num_reducers,
+    )?;
     let mut outliers = out.outputs;
     outliers.sort_unstable();
-    Ok(LociOutcome { outliers, metrics: out.metrics })
+    Ok(LociOutcome {
+        outliers,
+        metrics: out.metrics,
+    })
 }
 
 #[cfg(test)]
@@ -279,7 +304,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut data = PointSet::new(2).unwrap();
         for _ in 0..n {
-            data.push(&[rng.gen_range(0.0..20.0), rng.gen_range(0.0..20.0)]).unwrap();
+            data.push(&[rng.gen_range(0.0..20.0), rng.gen_range(0.0..20.0)])
+                .unwrap();
         }
         // A tight micro-cluster: locally FAR denser than its surroundings
         // — the pattern LOCI exists to catch.
@@ -298,14 +324,22 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mut data = PointSet::new(2).unwrap();
         for _ in 0..800 {
-            data.push(&[rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)]).unwrap();
+            data.push(&[rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)])
+                .unwrap();
         }
-        let cfg = LociConfig { n_min: 10, ..LociConfig::new(2.0) };
+        let cfg = LociConfig {
+            n_min: 10,
+            ..LociConfig::new(2.0)
+        };
         let flags = loci_local(&data, &cfg);
         let flagged = flags.iter().filter(|&&f| f).count();
         // 3-sigma threshold: a small false-positive rate is expected, but
         // uniform data must not light up wholesale.
-        assert!(flagged < data.len() / 20, "{flagged} of {} flagged", data.len());
+        assert!(
+            flagged < data.len() / 20,
+            "{flagged} of {} flagged",
+            data.len()
+        );
     }
 
     #[test]
@@ -316,18 +350,27 @@ mod tests {
         // are the high-count points. Either way LOCI must flag something
         // around the anomaly while uniform regions stay quiet.
         let (data, _) = uniform_with_planted(4, 900);
-        let cfg = LociConfig { n_min: 10, ..LociConfig::new(2.0) };
+        let cfg = LociConfig {
+            n_min: 10,
+            ..LociConfig::new(2.0)
+        };
         let flags = loci_local(&data, &cfg);
         let near_anomaly = (0..data.len()).filter(|&i| {
             flags[i] && dod_core::Metric::Euclidean.dist(data.point(i), &[10.0, 10.0]) < 4.0
         });
-        assert!(near_anomaly.count() > 0, "no flags near the planted micro-cluster");
+        assert!(
+            near_anomaly.count() > 0,
+            "no flags near the planted micro-cluster"
+        );
     }
 
     #[test]
     fn distributed_matches_centralized_exactly() {
         let (data, _) = uniform_with_planted(5, 700);
-        let cfg = LociConfig { n_min: 10, ..LociConfig::new(2.0) };
+        let cfg = LociConfig {
+            n_min: 10,
+            ..LociConfig::new(2.0)
+        };
         let expected: Vec<u64> = loci_local(&data, &cfg)
             .into_iter()
             .enumerate()
@@ -343,7 +386,13 @@ mod tests {
     #[test]
     fn empty_input() {
         let cfg = LociConfig::new(1.0);
-        let out = loci(&PointSet::new(2).unwrap(), &cfg, &dod_config(1.0), &UniSpace).unwrap();
+        let out = loci(
+            &PointSet::new(2).unwrap(),
+            &cfg,
+            &dod_config(1.0),
+            &UniSpace,
+        )
+        .unwrap();
         assert!(out.outliers.is_empty());
     }
 
@@ -358,7 +407,10 @@ mod tests {
     fn n_min_gates_small_neighborhoods() {
         // With n_min larger than the dataset nothing can be flagged.
         let (data, _) = uniform_with_planted(6, 100);
-        let cfg = LociConfig { n_min: 10_000, ..LociConfig::new(2.0) };
+        let cfg = LociConfig {
+            n_min: 10_000,
+            ..LociConfig::new(2.0)
+        };
         assert!(loci_local(&data, &cfg).iter().all(|&f| !f));
     }
 }

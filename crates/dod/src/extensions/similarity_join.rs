@@ -30,11 +30,7 @@ impl JoinReducer {
         JoinReducer { r, dim, metric }
     }
 
-    fn join_partition(
-        &self,
-        values: &[TaggedPoint],
-        emit: &mut dyn FnMut((PointId, PointId)),
-    ) {
+    fn join_partition(&self, values: &[TaggedPoint], emit: &mut dyn FnMut((PointId, PointId))) {
         if values.len() < 2 {
             return;
         }
@@ -80,8 +76,12 @@ impl JoinReducer {
                 if ncid < cid {
                     continue; // each cell pair handled once
                 }
-                let Some(cell_pts) = buckets.get(&cid) else { continue };
-                let Some(other_pts) = buckets.get(&ncid) else { continue };
+                let Some(cell_pts) = buckets.get(&cid) else {
+                    continue;
+                };
+                let Some(other_pts) = buckets.get(&ncid) else {
+                    continue;
+                };
                 for (ai, &a) in cell_pts.iter().enumerate() {
                     let start = if ncid == cid { ai + 1 } else { 0 };
                     for &b in &other_pts[start..] {
@@ -89,8 +89,7 @@ impl JoinReducer {
                         if va.id == vb.id {
                             continue; // same point seen as core+support
                         }
-                        let (lo, hi) =
-                            if va.id < vb.id { (va, vb) } else { (vb, va) };
+                        let (lo, hi) = if va.id < vb.id { (va, vb) } else { (vb, va) };
                         // Dedup rule: the smaller id must be core here.
                         if lo.support {
                             continue;
@@ -140,7 +139,10 @@ pub fn similarity_join(
     strategy: &dyn PartitionStrategy,
 ) -> Result<JoinOutcome, DodError> {
     if data.is_empty() {
-        return Ok(JoinOutcome { pairs: Vec::new(), metrics: JobMetrics::default() });
+        return Ok(JoinOutcome {
+            pairs: Vec::new(),
+            metrics: JobMetrics::default(),
+        });
     }
     let domain = data.bounding_rect()?;
     let sample = sample_points(data, config.sample_rate, config.seed);
@@ -148,17 +150,28 @@ pub fn similarity_join(
     let plan = strategy.build_plan(&sample, &domain, &ctx);
     let router = Arc::new(plan.router_with_metric(config.params.r, config.params.metric));
 
-    let items: Vec<InputPoint> =
-        (0..data.len()).map(|i| (i as PointId, data.point(i).to_vec())).collect();
+    let items: Vec<InputPoint> = (0..data.len())
+        .map(|i| (i as PointId, data.point(i).to_vec()))
+        .collect();
     let store = BlockStore::from_items(items, config.block_size, config.replication);
     let mapper = DodMapper::new(router);
     let reducer = JoinReducer::new(config.params.r, domain.dim(), config.params.metric);
     let partitioner = |k: &u32, n: usize| (*k as usize) % n;
-    let out = run_job(&config.cluster, &store, &mapper, &reducer, &partitioner, config.num_reducers)?;
+    let out = run_job(
+        &config.cluster,
+        &store,
+        &mapper,
+        &reducer,
+        &partitioner,
+        config.num_reducers,
+    )?;
     let mut pairs = out.outputs;
     pairs.sort_unstable();
     debug_assert!(pairs.windows(2).all(|w| w[0] != w[1]), "pair emitted twice");
-    Ok(JoinOutcome { pairs, metrics: out.metrics })
+    Ok(JoinOutcome {
+        pairs,
+        metrics: out.metrics,
+    })
 }
 
 /// Brute-force reference join, for tests and small data.
@@ -205,7 +218,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut data = PointSet::new(2).unwrap();
         for _ in 0..n {
-            data.push(&[rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)]).unwrap();
+            data.push(&[rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)])
+                .unwrap();
         }
         data
     }
@@ -246,10 +260,16 @@ mod tests {
     #[test]
     fn empty_and_single() {
         let empty = PointSet::new(2).unwrap();
-        assert!(similarity_join(&empty, &config(1.0), &UniSpace).unwrap().pairs.is_empty());
+        assert!(similarity_join(&empty, &config(1.0), &UniSpace)
+            .unwrap()
+            .pairs
+            .is_empty());
         let mut one = PointSet::new(2).unwrap();
         one.push(&[1.0, 1.0]).unwrap();
-        assert!(similarity_join(&one, &config(1.0), &UniSpace).unwrap().pairs.is_empty());
+        assert!(similarity_join(&one, &config(1.0), &UniSpace)
+            .unwrap()
+            .pairs
+            .is_empty());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use dod_core::{OutlierParams, PointId, PointSet};
 use dod_detect::cost::AlgorithmKind;
 use dod_detect::{Detection, Partition};
+use dod_obs::Obs;
 use dod_partition::Router;
 use mapreduce::{EstimateSize, Mapper, Reducer};
 use std::sync::Arc;
@@ -58,9 +59,23 @@ impl Mapper for DodMapper {
     fn map(&self, item: &InputPoint, emit: &mut dyn FnMut(u32, TaggedPoint)) {
         let (id, coords) = item;
         let routing = self.router.route(coords);
-        emit(routing.core, TaggedPoint { support: false, id: *id, coords: coords.clone() });
+        emit(
+            routing.core,
+            TaggedPoint {
+                support: false,
+                id: *id,
+                coords: coords.clone(),
+            },
+        );
         for pid in routing.support {
-            emit(pid, TaggedPoint { support: true, id: *id, coords: coords.clone() });
+            emit(
+                pid,
+                TaggedPoint {
+                    support: true,
+                    id: *id,
+                    coords: coords.clone(),
+                },
+            );
         }
     }
 }
@@ -71,12 +86,35 @@ pub struct DodReducer {
     params: OutlierParams,
     dim: usize,
     algorithms: Arc<Vec<AlgorithmKind>>,
+    obs: Obs,
 }
 
 impl DodReducer {
     /// Creates the reducer from the algorithm plan.
     pub fn new(params: OutlierParams, dim: usize, algorithms: Arc<Vec<AlgorithmKind>>) -> Self {
-        DodReducer { params, dim, algorithms }
+        DodReducer {
+            params,
+            dim,
+            algorithms,
+            obs: Obs::null(),
+        }
+    }
+
+    /// Attaches an observability handle: every [`Self::detect`] call then
+    /// emits its per-partition `detect.*` work counters through it.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The algorithm the plan assigns to `partition_id` (out-of-plan ids
+    /// fall back to Nested-Loop).
+    pub fn algorithm_for(&self, partition_id: u32) -> AlgorithmKind {
+        self.algorithms
+            .get(partition_id as usize)
+            .copied()
+            .unwrap_or(AlgorithmKind::NestedLoop)
     }
 
     /// Materializes a [`Partition`] from the shuffled records of one
@@ -96,14 +134,15 @@ impl DodReducer {
         Partition::new(core, core_ids, support).expect("consistent construction")
     }
 
-    /// Runs the assigned detector on one materialized partition.
+    /// Runs the assigned detector on one materialized partition, emitting
+    /// its work counters when an observability handle is attached.
     pub fn detect(&self, partition_id: u32, partition: &Partition) -> Detection {
-        let kind = self
-            .algorithms
-            .get(partition_id as usize)
-            .copied()
-            .unwrap_or(AlgorithmKind::NestedLoop);
-        kind.detector().detect(partition, self.params)
+        let kind = self.algorithm_for(partition_id);
+        let detection = kind.detector().detect(partition, self.params);
+        detection
+            .stats
+            .record_to(&self.obs, partition_id as usize, kind.name());
+        detection
     }
 }
 
@@ -163,8 +202,16 @@ mod tests {
             Arc::new(vec![AlgorithmKind::Reference]),
         );
         let values = vec![
-            TaggedPoint { support: false, id: 3, coords: vec![0.0, 0.0] },
-            TaggedPoint { support: true, id: 9, coords: vec![0.5, 0.0] },
+            TaggedPoint {
+                support: false,
+                id: 3,
+                coords: vec![0.0, 0.0],
+            },
+            TaggedPoint {
+                support: true,
+                id: 9,
+                coords: vec![0.5, 0.0],
+            },
         ];
         let partition = reducer.build_partition(values);
         assert_eq!(partition.core().len(), 1);
@@ -186,8 +233,16 @@ mod tests {
         reducer.reduce(
             &0,
             vec![
-                TaggedPoint { support: false, id: 1, coords: vec![0.0, 0.0] },
-                TaggedPoint { support: true, id: 2, coords: vec![9.0, 9.0] },
+                TaggedPoint {
+                    support: false,
+                    id: 1,
+                    coords: vec![0.0, 0.0],
+                },
+                TaggedPoint {
+                    support: true,
+                    id: 2,
+                    coords: vec![9.0, 9.0],
+                },
             ],
             &mut |o| out.push(o),
         );
@@ -198,8 +253,7 @@ mod tests {
 
     #[test]
     fn unknown_partition_falls_back_to_nested_loop() {
-        let reducer =
-            DodReducer::new(OutlierParams::new(1.0, 1).unwrap(), 2, Arc::new(vec![]));
+        let reducer = DodReducer::new(OutlierParams::new(1.0, 1).unwrap(), 2, Arc::new(vec![]));
         let partition = reducer.build_partition(vec![TaggedPoint {
             support: false,
             id: 0,
@@ -211,7 +265,11 @@ mod tests {
 
     #[test]
     fn tagged_point_size_estimate() {
-        let t = TaggedPoint { support: true, id: 1, coords: vec![0.0, 0.0] };
+        let t = TaggedPoint {
+            support: true,
+            id: 1,
+            coords: vec![0.0, 0.0],
+        };
         assert_eq!(t.estimated_bytes(), 1 + 8 + 16);
     }
 }

@@ -20,14 +20,19 @@ use crate::two_job::{
 };
 use dod_core::{CoreError, OutlierParams, PointId, PointSet};
 use dod_detect::cost::{AlgorithmKind, PAPER_CANDIDATES};
+use dod_obs::{Obs, Value};
 use dod_partition::sample::DEFAULT_SAMPLE_RATE;
 use dod_partition::{
     sample_points, AllocationSpec, Dmt, LocalCostEstimator, MultiTacticPlan, PartitionStrategy,
     PlanContext,
 };
-use mapreduce::{run_job, BlockStore, ClusterConfig, JobError, JobMetrics};
+use mapreduce::{run_job_obs, BlockStore, ClusterConfig, JobError, JobMetrics};
 use std::collections::HashSet;
 use std::sync::Arc;
+
+/// Per-job metrics, sorted outlier ids, and per-partition reduce times
+/// returned by one detection protocol run.
+type JobOutputs = (Vec<JobMetrics>, Vec<PointId>, Vec<(u32, Duration)>);
 use std::time::{Duration, Instant};
 
 /// Errors from a pipeline run.
@@ -99,6 +104,10 @@ pub struct DodConfig {
     /// (Lemmas 4.1/4.2) instead of the default locality-aware estimator
     /// (see `dod_partition::estimate`). Kept for the cost-model ablation.
     pub paper_cost_model: bool,
+    /// Observability sink for the run: stage spans, plan decisions,
+    /// MapReduce task spans, and per-partition detector counters flow
+    /// through it. Defaults to the disabled handle (zero overhead).
+    pub obs: Obs,
 }
 
 impl DodConfig {
@@ -118,12 +127,13 @@ impl DodConfig {
             seed: 0xD0D_5EED,
             allocation: None,
             paper_cost_model: false,
+            obs: Obs::null(),
         }
     }
 }
 
 /// Stage breakdown of a run (the Figure 10 bars).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageBreakdown {
     /// Preprocessing job wall time (sampling + plan generation).
     pub preprocess: Duration,
@@ -137,6 +147,31 @@ impl StageBreakdown {
     /// Simulated end-to-end execution time.
     pub fn total(&self) -> Duration {
         self.preprocess + self.map + self.reduce
+    }
+
+    /// Reconstructs the breakdown from an event stream (e.g. a replayed
+    /// `--trace` JSONL file): sums the `dod.stage` spans by their `stage`
+    /// label. A trace of a run replays to exactly the breakdown that run
+    /// reported, because the pipeline emits those spans from the same
+    /// `Duration` values.
+    pub fn from_events(events: &[dod_obs::Event]) -> StageBreakdown {
+        let mut breakdown = StageBreakdown::default();
+        for event in events {
+            if event.name != "dod.stage" {
+                continue;
+            }
+            let Some(nanos) = event.span_nanos() else {
+                continue;
+            };
+            let d = Duration::from_nanos(nanos);
+            match event.label("stage").and_then(Value::as_str) {
+                Some("preprocess") => breakdown.preprocess += d,
+                Some("map") => breakdown.map += d,
+                Some("reduce") => breakdown.reduce += d,
+                _ => {}
+            }
+        }
+        breakdown
     }
 }
 
@@ -244,7 +279,11 @@ impl DodRunnerBuilder {
             (None, Some(p)) => DodConfig::new(p),
             (None, None) => panic!("DodRunner::builder() needs .params(...) or .config(...)"),
         };
-        DodRunner { config, strategy: self.strategy, mode: self.mode }
+        DodRunner {
+            config,
+            strategy: self.strategy,
+            mode: self.mode,
+        }
     }
 }
 
@@ -276,7 +315,9 @@ impl DodRunner {
         let sample = sample_points(data, cfg.sample_rate, cfg.seed);
         let ctx = PlanContext::new(cfg.params, cfg.target_partitions, cfg.sample_rate);
         let plan = self.strategy.build_plan(&sample, &domain, &ctx);
-        let allocation = cfg.allocation.unwrap_or_else(|| self.strategy.default_allocation());
+        let allocation = cfg
+            .allocation
+            .unwrap_or_else(|| self.strategy.default_allocation());
         let mt = if cfg.paper_cost_model {
             match &self.mode {
                 DetectionMode::Fixed(kind) => MultiTacticPlan::monolithic(
@@ -299,33 +340,45 @@ impl DodRunner {
                 ),
             }
         } else {
-            let (candidates, fixed): (Vec<AlgorithmKind>, Option<AlgorithmKind>) =
-                match &self.mode {
-                    DetectionMode::Fixed(kind) => (vec![*kind], Some(*kind)),
-                    DetectionMode::MultiTactic(c) => (c.clone(), None),
-                };
-            let estimator = LocalCostEstimator::new(
-                &domain,
-                &sample,
-                cfg.sample_rate,
-                cfg.params,
-                32,
-            );
+            let (candidates, fixed): (Vec<AlgorithmKind>, Option<AlgorithmKind>) = match &self.mode
+            {
+                DetectionMode::Fixed(kind) => (vec![*kind], Some(*kind)),
+                DetectionMode::MultiTactic(c) => (c.clone(), None),
+            };
+            let estimator =
+                LocalCostEstimator::new(&domain, &sample, cfg.sample_rate, cfg.params, 32);
             let estimates = estimator.estimate(&plan, &sample, &candidates);
-            MultiTacticPlan::from_estimates(
-                plan,
-                &estimates,
-                fixed,
-                cfg.num_reducers,
-                allocation,
-            )
+            MultiTacticPlan::from_estimates(plan, &estimates, fixed, cfg.num_reducers, allocation)
         };
         let router = Arc::new(mt.plan.router_with_metric(cfg.params.r, cfg.params.metric));
         let preprocess = t0.elapsed();
+        if cfg.obs.enabled() {
+            // One mark per partition documents the DMT plan decision
+            // (Corollary 4.3: the cheapest candidate per partition).
+            for (pid, &alg) in mt.algorithms.iter().enumerate() {
+                let mut labels = vec![
+                    ("partition", Value::from(pid)),
+                    ("algorithm", Value::from(alg.name())),
+                ];
+                if let Some(&cost) = mt.predicted_costs.get(pid) {
+                    labels.push(("predicted_cost", Value::from(cost)));
+                }
+                cfg.obs.mark("dod.plan.partition", &labels);
+            }
+            cfg.obs.mark(
+                "dod.plan",
+                &[
+                    ("num_partitions", Value::from(mt.num_partitions())),
+                    ("num_reducers", Value::from(cfg.num_reducers)),
+                    ("sample_size", Value::from(sample.len())),
+                ],
+            );
+        }
 
         // ---- Load into the block store. ----
-        let items: Vec<InputPoint> =
-            (0..data.len()).map(|i| (i as PointId, data.point(i).to_vec())).collect();
+        let items: Vec<InputPoint> = (0..data.len())
+            .map(|i| (i as PointId, data.point(i).to_vec()))
+            .collect();
         let store = BlockStore::from_items(items, cfg.block_size, cfg.replication);
 
         // ---- Detection (single-job or two-job). ----
@@ -350,6 +403,22 @@ impl DodRunner {
             map: jobs.iter().map(|j| j.map_makespan).sum(),
             reduce: jobs.iter().map(|j| j.reduce_makespan).sum(),
         };
+        // The Figure 10 bars, one span each, carrying the exact durations
+        // of the StageBreakdown so a JSONL trace replays to the same
+        // numbers (see `breakdown_from_events`).
+        cfg.obs.record_duration(
+            "dod.stage",
+            breakdown.preprocess,
+            &[("stage", Value::from("preprocess"))],
+        );
+        cfg.obs
+            .record_duration("dod.stage", breakdown.map, &[("stage", Value::from("map"))]);
+        cfg.obs.record_duration(
+            "dod.stage",
+            breakdown.reduce,
+            &[("stage", Value::from("reduce"))],
+        );
+        cfg.obs.flush();
         let shuffle_bytes = jobs.iter().map(|j| j.shuffle_bytes).sum();
         Ok(DodOutcome {
             outliers,
@@ -371,14 +440,23 @@ impl DodRunner {
         store: &BlockStore<InputPoint>,
         mt: &MultiTacticPlan,
         router: Arc<dod_partition::Router>,
-    ) -> Result<(Vec<JobMetrics>, Vec<PointId>, Vec<(u32, Duration)>), DodError> {
+    ) -> Result<JobOutputs, DodError> {
         let cfg = &self.config;
         let mapper = DodMapper::new(router);
         let dim = mt.plan.domain().dim();
-        let reducer = DodReducer::new(cfg.params, dim, Arc::new(mt.algorithms.clone()));
+        let reducer = DodReducer::new(cfg.params, dim, Arc::new(mt.algorithms.clone()))
+            .with_obs(cfg.obs.clone());
         let allocation = mt.allocation.clone();
         let partitioner = move |k: &u32, _n: usize| allocation[*k as usize];
-        let out = run_job(&cfg.cluster, store, &mapper, &reducer, &partitioner, cfg.num_reducers)?;
+        let out = run_job_obs(
+            &cfg.cluster,
+            store,
+            &mapper,
+            &reducer,
+            &partitioner,
+            cfg.num_reducers,
+            &cfg.obs,
+        )?;
         let mut outliers = out.outputs;
         outliers.sort_unstable();
         let times = out.key_times;
@@ -390,18 +468,25 @@ impl DodRunner {
         &self,
         store: &BlockStore<InputPoint>,
         mt: &MultiTacticPlan,
-    ) -> Result<(Vec<JobMetrics>, Vec<PointId>, Vec<(u32, Duration)>), DodError> {
+    ) -> Result<JobOutputs, DodError> {
         let cfg = &self.config;
         let dim = mt.plan.domain().dim();
 
         // Job 1: local detection, emitting candidates.
         let mapper = CandidateMapper::new(Arc::new(mt.plan.clone()));
-        let reducer =
-            CandidateReducer::with_plan(cfg.params, dim, Arc::new(mt.algorithms.clone()));
+        let reducer = CandidateReducer::with_plan(cfg.params, dim, Arc::new(mt.algorithms.clone()))
+            .with_obs(cfg.obs.clone());
         let allocation = mt.allocation.clone();
         let partitioner = move |k: &u32, _n: usize| allocation[*k as usize];
-        let job1 =
-            run_job(&cfg.cluster, store, &mapper, &reducer, &partitioner, cfg.num_reducers)?;
+        let job1 = run_job_obs(
+            &cfg.cluster,
+            store,
+            &mapper,
+            &reducer,
+            &partitioner,
+            cfg.num_reducers,
+            &cfg.obs,
+        )?;
         let candidates: Vec<Candidate> = job1.outputs;
         let partition_times = job1.key_times.clone();
 
@@ -420,7 +505,7 @@ impl DodRunner {
         let hash_partitioner = |k: &u32, n: usize| (*k as usize) % n;
         // Partial counts fold map-side (a Hadoop combiner), keeping the
         // second job's shuffle tiny.
-        let job2 = mapreduce::run_job_with_combiner(
+        let job2 = mapreduce::run_job_with_combiner_obs(
             &cfg.cluster,
             store,
             &verify_mapper,
@@ -428,6 +513,7 @@ impl DodRunner {
             &verify_reducer,
             &hash_partitioner,
             cfg.num_reducers,
+            &cfg.obs,
         )?;
         let cleared: HashSet<u32> = job2.outputs.into_iter().collect();
         let mut outliers: Vec<PointId> = index
@@ -492,7 +578,10 @@ mod tests {
     fn dmt_pipeline_matches_reference() {
         let data = clustered_data(1, 600);
         let params = OutlierParams::new(1.5, 4).unwrap();
-        let runner = DodRunner::builder().config(small_config(params)).multi_tactic().build();
+        let runner = DodRunner::builder()
+            .config(small_config(params))
+            .multi_tactic()
+            .build();
         let outcome = runner.run(&data).unwrap();
         assert_eq!(outcome.outliers, reference_outliers(&data, params));
         assert!(outcome.report.num_partitions >= 1);
@@ -580,12 +669,22 @@ mod tests {
     fn report_accounts_every_partition() {
         let data = clustered_data(4, 500);
         let params = OutlierParams::new(1.5, 4).unwrap();
-        let runner = DodRunner::builder().config(small_config(params)).multi_tactic().build();
+        let runner = DodRunner::builder()
+            .config(small_config(params))
+            .multi_tactic()
+            .build();
         let outcome = runner.run(&data).unwrap();
-        let total_algs: usize =
-            outcome.report.algorithm_histogram.iter().map(|(_, n)| n).sum();
+        let total_algs: usize = outcome
+            .report
+            .algorithm_histogram
+            .iter()
+            .map(|(_, n)| n)
+            .sum();
         assert_eq!(total_algs, outcome.report.num_partitions);
-        assert_eq!(outcome.report.predicted_costs.len(), outcome.report.num_partitions);
+        assert_eq!(
+            outcome.report.predicted_costs.len(),
+            outcome.report.num_partitions
+        );
         assert!(outcome.report.shuffle_bytes > 0);
     }
 
@@ -598,17 +697,23 @@ mod tests {
         let mut data = PointSet::new(2).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..3000 {
-            data.push(&[rng.gen_range(0.0..3.0), rng.gen_range(0.0..3.0)]).unwrap();
+            data.push(&[rng.gen_range(0.0..3.0), rng.gen_range(0.0..3.0)])
+                .unwrap();
         }
         for _ in 0..2000 {
             // Density ~2 points per unit area: the Corollary 4.3 middle.
-            data.push(&[rng.gen_range(40.0..72.0), rng.gen_range(0.0..31.0)]).unwrap();
+            data.push(&[rng.gen_range(40.0..72.0), rng.gen_range(0.0..31.0)])
+                .unwrap();
         }
         for _ in 0..300 {
-            data.push(&[rng.gen_range(3.0..100.0), rng.gen_range(31.0..100.0)]).unwrap();
+            data.push(&[rng.gen_range(3.0..100.0), rng.gen_range(31.0..100.0)])
+                .unwrap();
         }
         let params = OutlierParams::new(1.0, 4).unwrap();
-        let config = DodConfig { target_partitions: 32, ..small_config(params) };
+        let config = DodConfig {
+            target_partitions: 32,
+            ..small_config(params)
+        };
         // The paper-variant candidate set: the full-scan Cell-Based pays
         // Nested-Loop-like fallback costs, so the intermediate-density
         // block genuinely favors Nested-Loop and the plan mixes.

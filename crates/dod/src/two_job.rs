@@ -60,7 +60,11 @@ impl Mapper for CandidateMapper {
         let (id, coords) = item;
         emit(
             self.plan.locate(coords),
-            TaggedPoint { support: false, id: *id, coords: coords.clone() },
+            TaggedPoint {
+                support: false,
+                id: *id,
+                coords: coords.clone(),
+            },
         );
     }
 }
@@ -85,7 +89,17 @@ impl CandidateReducer {
         dim: usize,
         algorithms: Arc<Vec<AlgorithmKind>>,
     ) -> Self {
-        CandidateReducer { inner: DodReducer::new(params, dim, algorithms), dim }
+        CandidateReducer {
+            inner: DodReducer::new(params, dim, algorithms),
+            dim,
+        }
+    }
+
+    /// Attaches an observability handle (see [`DodReducer::with_obs`]).
+    #[must_use]
+    pub fn with_obs(mut self, obs: dod_obs::Obs) -> Self {
+        self.inner = self.inner.with_obs(obs);
+        self
     }
 }
 
@@ -95,8 +109,14 @@ impl Reducer for CandidateReducer {
     type Out = Candidate;
 
     fn reduce(&self, key: &u32, values: Vec<TaggedPoint>, emit: &mut dyn FnMut(Candidate)) {
-        debug_assert!(values.iter().all(|v| !v.support), "job 1 has no support records");
-        debug_assert_eq!(self.dim, values.first().map_or(self.dim, |v| v.coords.len()));
+        debug_assert!(
+            values.iter().all(|v| !v.support),
+            "job 1 has no support records"
+        );
+        debug_assert_eq!(
+            self.dim,
+            values.first().map_or(self.dim, |v| v.coords.len())
+        );
         let partition = self.inner.build_partition(values);
         let detection = self.inner.detect(*key, &partition);
         // Emit coordinates along with ids so job 2 can count neighbors.
@@ -105,7 +125,10 @@ impl Reducer for CandidateReducer {
             by_id.insert(id, partition.core().point(i));
         }
         for id in detection.outliers {
-            emit(Candidate { id, coords: by_id[&id].to_vec() });
+            emit(Candidate {
+                id,
+                coords: by_id[&id].to_vec(),
+            });
         }
     }
 }
@@ -127,13 +150,15 @@ impl CandidateIndex {
     }
 
     /// Builds the index for an arbitrary metric.
-    pub fn build_with_metric(
-        candidates: Vec<Candidate>,
-        r: f64,
-        metric: dod_core::Metric,
-    ) -> Self {
+    pub fn build_with_metric(candidates: Vec<Candidate>, r: f64, metric: dod_core::Metric) -> Self {
         if candidates.is_empty() {
-            return CandidateIndex { candidates, grid: None, buckets: Vec::new(), r, metric };
+            return CandidateIndex {
+                candidates,
+                grid: None,
+                buckets: Vec::new(),
+                r,
+                metric,
+            };
         }
         let dim = candidates[0].coords.len();
         let bounds = Rect::bounding(candidates.iter().map(|c| c.coords.as_slice()), dim)
@@ -153,7 +178,13 @@ impl CandidateIndex {
         for (i, c) in candidates.iter().enumerate() {
             buckets[grid.cell_of(&c.coords)].push(i as u32);
         }
-        CandidateIndex { candidates, grid: Some(grid), buckets, r, metric }
+        CandidateIndex {
+            candidates,
+            grid: Some(grid),
+            buckets,
+            r,
+            metric,
+        }
     }
 
     /// Number of indexed candidates.
@@ -174,7 +205,9 @@ impl CandidateIndex {
     /// Indices of candidates within `r` of `x`, excluding the candidate
     /// with id `exclude_id` (the point itself).
     pub fn neighbors_of(&self, x: &[f64], exclude_id: PointId) -> Vec<u32> {
-        let Some(grid) = &self.grid else { return Vec::new() };
+        let Some(grid) = &self.grid else {
+            return Vec::new();
+        };
         let ball = Rect::new(
             x.iter().map(|v| v - self.r).collect(),
             x.iter().map(|v| v + self.r).collect(),
@@ -255,8 +288,14 @@ mod tests {
     #[test]
     fn candidate_index_finds_neighbors() {
         let cands = vec![
-            Candidate { id: 0, coords: vec![0.0, 0.0] },
-            Candidate { id: 1, coords: vec![5.0, 5.0] },
+            Candidate {
+                id: 0,
+                coords: vec![0.0, 0.0],
+            },
+            Candidate {
+                id: 1,
+                coords: vec![5.0, 5.0],
+            },
         ];
         let idx = CandidateIndex::build(cands, 1.0);
         assert_eq!(idx.len(), 2);
@@ -266,7 +305,10 @@ mod tests {
 
     #[test]
     fn candidate_index_excludes_self() {
-        let cands = vec![Candidate { id: 7, coords: vec![1.0, 1.0] }];
+        let cands = vec![Candidate {
+            id: 7,
+            coords: vec![1.0, 1.0],
+        }];
         let idx = CandidateIndex::build(cands, 1.0);
         assert!(idx.neighbors_of(&[1.0, 1.0], 7).is_empty());
         assert_eq!(idx.neighbors_of(&[1.0, 1.0], 8), vec![0]);
@@ -292,7 +334,10 @@ mod tests {
     #[test]
     fn verify_mapper_emits_counts() {
         let idx = Arc::new(CandidateIndex::build(
-            vec![Candidate { id: 0, coords: vec![0.0, 0.0] }],
+            vec![Candidate {
+                id: 0,
+                coords: vec![0.0, 0.0],
+            }],
             1.0,
         ));
         let mapper = VerifyMapper::new(idx);
@@ -306,8 +351,12 @@ mod tests {
 
     #[test]
     fn degenerate_candidates_all_identical() {
-        let cands: Vec<Candidate> =
-            (0..5).map(|i| Candidate { id: i, coords: vec![2.0, 2.0] }).collect();
+        let cands: Vec<Candidate> = (0..5)
+            .map(|i| Candidate {
+                id: i,
+                coords: vec![2.0, 2.0],
+            })
+            .collect();
         let idx = CandidateIndex::build(cands, 0.5);
         // A probe at the same spot sees all 5 except the excluded id.
         assert_eq!(idx.neighbors_of(&[2.0, 2.0], 3).len(), 4);

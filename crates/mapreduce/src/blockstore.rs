@@ -34,7 +34,10 @@ impl<T> BlockStore<T> {
         if !current.is_empty() {
             blocks.push(Arc::new(current));
         }
-        BlockStore { blocks, replication: replication.max(1) }
+        BlockStore {
+            blocks,
+            replication: replication.max(1),
+        }
     }
 
     /// Builds a store from pre-formed blocks.
@@ -145,7 +148,10 @@ mod tests {
         let s = BlockStore::from_blocks(vec![vec![1], vec![2, 3]], 3);
         assert_eq!(s.num_blocks(), 2);
         assert_eq!(s.replication(), 3);
-        let all: Vec<i32> = s.blocks().flat_map(|b| b.iter().copied().collect::<Vec<_>>()).collect();
+        let all: Vec<i32> = s
+            .blocks()
+            .flat_map(|b| b.iter().copied().collect::<Vec<_>>())
+            .collect();
         assert_eq!(all, vec![1, 2, 3]);
     }
 }

@@ -83,7 +83,9 @@ impl ClusterConfig {
         if self.host_threads > 0 {
             self.host_threads
         } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
         }
     }
 }
@@ -124,6 +126,11 @@ mod tests {
 
     #[test]
     fn host_threads_override() {
-        assert_eq!(ClusterConfig::default().with_host_threads(3).effective_host_threads(), 3);
+        assert_eq!(
+            ClusterConfig::default()
+                .with_host_threads(3)
+                .effective_host_threads(),
+            3
+        );
     }
 }

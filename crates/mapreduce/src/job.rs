@@ -10,9 +10,10 @@ use crate::blockstore::BlockStore;
 use crate::cluster::ClusterConfig;
 use crate::metrics::{makespan, JobMetrics};
 use crate::size::EstimateSize;
-use parking_lot::Mutex;
+use dod_obs::{Obs, Value};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// A map function: consumes one input item, emits zero or more key/value
@@ -102,7 +103,11 @@ pub enum JobError {
 impl std::fmt::Display for JobError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            JobError::TaskFailed { stage, task, attempts } => {
+            JobError::TaskFailed {
+                stage,
+                task,
+                attempts,
+            } => {
                 write!(f, "{stage} task {task} failed after {attempts} attempts")
             }
             JobError::NoReducers => write!(f, "job emitted records but has no reducers"),
@@ -149,6 +154,8 @@ where
 /// panicking tasks. Returns per-task `(duration_of_successful_attempt,
 /// result)` or the index of a task that exhausted its retries.
 fn run_task_pool<T, F>(
+    stage: &'static str,
+    obs: &Obs,
     num_tasks: usize,
     threads: usize,
     retries: usize,
@@ -165,10 +172,10 @@ where
     let failed: Mutex<Option<usize>> = Mutex::new(None);
 
     let threads = threads.max(1).min(num_tasks.max(1));
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
-                if failed.lock().is_some() {
+            scope.spawn(|| loop {
+                if failed.lock().expect("lock not poisoned").is_some() {
                     return;
                 }
                 let t = next.fetch_add(1, Ordering::Relaxed);
@@ -181,13 +188,19 @@ where
                     let start = Instant::now();
                     match catch_unwind(AssertUnwindSafe(|| run(t))) {
                         Ok(v) => {
-                            results.lock()[t] = Some((start.elapsed(), v));
+                            results.lock().expect("lock not poisoned")[t] =
+                                Some((start.elapsed(), v));
                             break;
                         }
                         Err(_) => {
                             retry_counter.fetch_add(1, Ordering::Relaxed);
+                            obs.counter(
+                                "mapreduce.task.retry",
+                                1,
+                                &[("stage", Value::from(stage)), ("task", Value::from(t))],
+                            );
                             if attempts > retries {
-                                *failed.lock() = Some(t);
+                                *failed.lock().expect("lock not poisoned") = Some(t);
                                 return;
                             }
                         }
@@ -195,14 +208,14 @@ where
                 }
             });
         }
-    })
-    .expect("worker threads do not panic");
+    });
 
-    if let Some(t) = *failed.lock() {
+    if let Some(t) = *failed.lock().expect("lock not poisoned") {
         return Err(t);
     }
     Ok(results
         .into_inner()
+        .expect("lock not poisoned")
         .into_iter()
         .map(|r| r.expect("all tasks completed"))
         .collect())
@@ -229,7 +242,50 @@ where
     M::V: Clone + Sync,
     R: Reducer<K = M::K, V = M::V>,
 {
-    run_job_inner(cluster, input, mapper, None::<&NoCombiner<M::K, M::V>>, reducer, partitioner, num_reducers)
+    run_job_obs(
+        cluster,
+        input,
+        mapper,
+        reducer,
+        partitioner,
+        num_reducers,
+        &Obs::null(),
+    )
+}
+
+/// [`run_job`] with structured observability: per-task spans, retry
+/// counters, shuffle volume counters/histograms, and the locality
+/// outcome are emitted through `obs` (see DESIGN.md §Observability).
+///
+/// # Errors
+/// Same as [`run_job`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_job_obs<M, R>(
+    cluster: &ClusterConfig,
+    input: &BlockStore<M::In>,
+    mapper: &M,
+    reducer: &R,
+    partitioner: &Partitioner<M::K>,
+    num_reducers: usize,
+    obs: &Obs,
+) -> Result<JobOutput<M::K, R::Out>, JobError>
+where
+    M: Mapper,
+    M::In: EstimateSize,
+    M::K: Sync,
+    M::V: Clone + Sync,
+    R: Reducer<K = M::K, V = M::V>,
+{
+    run_job_inner(
+        cluster,
+        input,
+        mapper,
+        None::<&NoCombiner<M::K, M::V>>,
+        reducer,
+        partitioner,
+        num_reducers,
+        obs,
+    )
 }
 
 /// [`run_job`] with a map-side combiner applied to each map task's output
@@ -254,7 +310,52 @@ where
     C: Combiner<K = M::K, V = M::V>,
     R: Reducer<K = M::K, V = M::V>,
 {
-    run_job_inner(cluster, input, mapper, Some(combiner), reducer, partitioner, num_reducers)
+    run_job_with_combiner_obs(
+        cluster,
+        input,
+        mapper,
+        combiner,
+        reducer,
+        partitioner,
+        num_reducers,
+        &Obs::null(),
+    )
+}
+
+/// [`run_job_with_combiner`] with structured observability (see
+/// [`run_job_obs`]).
+///
+/// # Errors
+/// Same as [`run_job`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_job_with_combiner_obs<M, C, R>(
+    cluster: &ClusterConfig,
+    input: &BlockStore<M::In>,
+    mapper: &M,
+    combiner: &C,
+    reducer: &R,
+    partitioner: &Partitioner<M::K>,
+    num_reducers: usize,
+    obs: &Obs,
+) -> Result<JobOutput<M::K, R::Out>, JobError>
+where
+    M: Mapper,
+    M::In: EstimateSize,
+    M::K: Sync,
+    M::V: Clone + Sync,
+    C: Combiner<K = M::K, V = M::V>,
+    R: Reducer<K = M::K, V = M::V>,
+{
+    run_job_inner(
+        cluster,
+        input,
+        mapper,
+        Some(combiner),
+        reducer,
+        partitioner,
+        num_reducers,
+        obs,
+    )
 }
 
 /// Uninhabited-in-practice combiner used to monomorphize the no-combiner
@@ -269,6 +370,7 @@ impl<K: Ord + Send + Sync, V: Send + Sync> Combiner for NoCombiner<K, V> {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_job_inner<M, C, R>(
     cluster: &ClusterConfig,
     input: &BlockStore<M::In>,
@@ -277,6 +379,7 @@ fn run_job_inner<M, C, R>(
     reducer: &R,
     partitioner: &Partitioner<M::K>,
     num_reducers: usize,
+    obs: &Obs,
 ) -> Result<JobOutput<M::K, R::Out>, JobError>
 where
     M: Mapper,
@@ -300,7 +403,10 @@ where
 
     // ---- Map stage: one task per input block. ----
     let num_map_tasks = input.num_blocks();
+    let map_stage = obs.scope("mapreduce.stage").with_label("stage", "map");
     let map_results = run_task_pool(
+        "map",
+        obs,
         num_map_tasks,
         threads,
         cluster.max_task_retries,
@@ -328,13 +434,25 @@ where
         .iter()
         .enumerate()
         .map(|(t, (d, _))| {
-            let block_bytes: u64 =
-                input.block(t).iter().map(|x| x.estimated_bytes() as u64).sum();
+            let block_bytes: u64 = input
+                .block(t)
+                .iter()
+                .map(|x| x.estimated_bytes() as u64)
+                .sum();
             *d + io_charge(block_bytes)
         })
         .collect();
+    drop(map_stage);
+    for (t, d) in map_task_times.iter().enumerate() {
+        obs.record_duration(
+            "mapreduce.task",
+            *d,
+            &[("stage", Value::from("map")), ("task", Value::from(t))],
+        );
+    }
 
     // ---- Shuffle: partition, then sort each reducer's records by key. ----
+    let shuffle_stage = obs.scope("mapreduce.stage").with_label("stage", "shuffle");
     let mut shuffle_records = 0u64;
     let mut shuffle_bytes = 0u64;
     let mut reducer_bytes = vec![0u64; num_reducers];
@@ -355,12 +473,33 @@ where
     for bucket in &mut per_reducer {
         bucket.sort_by(|a, b| a.0.cmp(&b.0));
     }
+    drop(shuffle_stage);
+    obs.counter("mapreduce.shuffle.records", shuffle_records, &[]);
+    obs.counter("mapreduce.shuffle.bytes", shuffle_bytes, &[]);
+    if obs.enabled() {
+        for (r, bytes) in reducer_bytes.iter().enumerate() {
+            obs.observe(
+                "mapreduce.shuffle.reducer_bytes",
+                *bytes as f64,
+                &[("reducer", Value::from(r))],
+            );
+            obs.observe(
+                "mapreduce.shuffle.reducer_records",
+                per_reducer[r].len() as f64,
+                &[("reducer", Value::from(r))],
+            );
+        }
+    }
 
     // ---- Reduce stage: one task per reducer. ----
     // Buckets stay in place across task attempts (the in-memory analog of
     // Hadoop's materialized shuffle output), so a retried reduce task
     // re-reads its full input; values are cloned per group.
-    let reduce_results: Vec<(Duration, (Vec<R::Out>, Vec<(M::K, Duration)>))> = run_task_pool(
+    let reduce_stage = obs.scope("mapreduce.stage").with_label("stage", "reduce");
+    type ReduceResult<O, K> = (Duration, (Vec<O>, Vec<(K, Duration)>));
+    let reduce_results: Vec<ReduceResult<R::Out, M::K>> = run_task_pool(
+        "reduce",
+        obs,
         num_reducers,
         threads,
         cluster.max_task_retries,
@@ -397,6 +536,14 @@ where
         .enumerate()
         .map(|(t, (d, _))| *d + io_charge(reducer_bytes[t]))
         .collect();
+    drop(reduce_stage);
+    for (t, d) in reduce_task_times.iter().enumerate() {
+        obs.record_duration(
+            "mapreduce.task",
+            *d,
+            &[("stage", Value::from("reduce")), ("task", Value::from(t))],
+        );
+    }
     let mut outputs = Vec::new();
     let mut key_times = Vec::new();
     for (_, (outs, times)) in reduce_results {
@@ -404,13 +551,22 @@ where
         key_times.extend(times);
     }
 
-    let placements: Vec<Vec<usize>> =
-        (0..num_map_tasks).map(|b| input.placement(b, cluster.nodes)).collect();
+    let placements: Vec<Vec<usize>> = (0..num_map_tasks)
+        .map(|b| input.placement(b, cluster.nodes))
+        .collect();
     let map_schedule = crate::metrics::locality_makespan(
         &map_task_times,
         cluster.nodes,
         cluster.map_slots_per_node,
         &placements,
+    );
+    obs.mark(
+        "mapreduce.locality",
+        &[
+            ("stage", Value::from("map")),
+            ("local_fraction", Value::from(map_schedule.local_fraction)),
+            ("nodes", Value::from(cluster.nodes)),
+        ],
     );
     let metrics = JobMetrics {
         map_makespan: map_schedule.makespan,
@@ -423,7 +579,11 @@ where
         host_wall: job_start.elapsed(),
         task_retries: retry_counter.load(Ordering::Relaxed),
     };
-    Ok(JobOutput { outputs, metrics, key_times })
+    Ok(JobOutput {
+        outputs,
+        metrics,
+        key_times,
+    })
 }
 
 #[cfg(test)]
@@ -461,8 +621,15 @@ mod tests {
         let items = vec![1u32, 2, 1, 3, 2, 1];
         let store = BlockStore::from_items(items, 2, 1);
         let cluster = ClusterConfig::new(2).with_host_threads(2);
-        let out = run_job(&cluster, &store, &CountMapper, &SumReducer, &hash_partitioner, 3)
-            .unwrap();
+        let out = run_job(
+            &cluster,
+            &store,
+            &CountMapper,
+            &SumReducer,
+            &hash_partitioner,
+            3,
+        )
+        .unwrap();
         let mut counts = out.outputs;
         counts.sort();
         assert_eq!(counts, vec![(1, 3), (2, 2), (3, 1)]);
@@ -477,8 +644,15 @@ mod tests {
     fn empty_input_runs() {
         let store: BlockStore<u32> = BlockStore::from_items(vec![], 4, 1);
         let cluster = ClusterConfig::new(1);
-        let out = run_job(&cluster, &store, &CountMapper, &SumReducer, &hash_partitioner, 2)
-            .unwrap();
+        let out = run_job(
+            &cluster,
+            &store,
+            &CountMapper,
+            &SumReducer,
+            &hash_partitioner,
+            2,
+        )
+        .unwrap();
         assert!(out.outputs.is_empty());
         assert_eq!(out.metrics.shuffle_records, 0);
     }
@@ -548,7 +722,9 @@ mod tests {
         let out = run_job(
             &cluster,
             &store,
-            &FlakyMapper { tripped: AtomicBool::new(false) },
+            &FlakyMapper {
+                tripped: AtomicBool::new(false),
+            },
             &SumReducer,
             &hash_partitioner,
             2,
@@ -577,9 +753,23 @@ mod tests {
     fn exhausted_retries_fail_the_job() {
         let store = BlockStore::from_items(vec![13u32], 1, 1);
         let cluster = ClusterConfig::new(1).with_retries(1).with_host_threads(1);
-        let err = run_job(&cluster, &store, &BrokenMapper, &SumReducer, &hash_partitioner, 1)
-            .unwrap_err();
-        assert_eq!(err, JobError::TaskFailed { stage: "map", task: 0, attempts: 2 });
+        let err = run_job(
+            &cluster,
+            &store,
+            &BrokenMapper,
+            &SumReducer,
+            &hash_partitioner,
+            1,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            JobError::TaskFailed {
+                stage: "map",
+                task: 0,
+                attempts: 2
+            }
+        );
     }
 
     /// Reducer that panics on its first invocation for key 5 — verifies
@@ -607,7 +797,9 @@ mod tests {
             &cluster,
             &store,
             &CountMapper,
-            &FlakyReducer { tripped: AtomicBool::new(false) },
+            &FlakyReducer {
+                tripped: AtomicBool::new(false),
+            },
             &|_k, _n| 0usize,
             1,
         )
@@ -623,13 +815,27 @@ mod tests {
         let items: Vec<u32> = (0..100).collect();
         let store = BlockStore::from_items(items, 10, 1);
         let cluster = ClusterConfig::new(2);
-        let plain =
-            run_job(&cluster, &store, &CountMapper, &SumReducer, &hash_partitioner, 2).unwrap();
+        let plain = run_job(
+            &cluster,
+            &store,
+            &CountMapper,
+            &SumReducer,
+            &hash_partitioner,
+            2,
+        )
+        .unwrap();
         // 10 blocks x 10 items x 4 bytes at 400 B/s = 100 ms simulated
         // read per block; shuffle records are 12 bytes each.
         let slow_io = cluster.with_io_bandwidth(400);
-        let charged =
-            run_job(&slow_io, &store, &CountMapper, &SumReducer, &hash_partitioner, 2).unwrap();
+        let charged = run_job(
+            &slow_io,
+            &store,
+            &CountMapper,
+            &SumReducer,
+            &hash_partitioner,
+            2,
+        )
+        .unwrap();
         let mut a = plain.outputs;
         let mut b = charged.outputs;
         a.sort();
@@ -682,8 +888,15 @@ mod tests {
                 emit((*key, values.iter().sum()));
             }
         }
-        let plain = run_job(&cluster, &store, &CountMapper32, &SumReducer32, &hash_partitioner32, 3)
-            .unwrap();
+        let plain = run_job(
+            &cluster,
+            &store,
+            &CountMapper32,
+            &SumReducer32,
+            &hash_partitioner32,
+            3,
+        )
+        .unwrap();
         let combined = run_job_with_combiner(
             &cluster,
             &store,
@@ -711,13 +924,124 @@ mod tests {
 
     #[test]
     fn makespans_reflect_lanes() {
+        // Charge simulated I/O (4 bytes at 400 B/s = 10 ms per block) so
+        // per-task durations dwarf real-scheduler jitter: the comparison
+        // below is then deterministic, not a race between wall clocks.
         let store = BlockStore::from_items((0..64u32).collect(), 1, 1);
-        let wide = ClusterConfig::new(64).with_slots(1, 1);
-        let narrow = ClusterConfig::new(1).with_slots(1, 1);
-        let w = run_job(&wide, &store, &CountMapper, &SumReducer, &hash_partitioner, 4).unwrap();
-        let n = run_job(&narrow, &store, &CountMapper, &SumReducer, &hash_partitioner, 4).unwrap();
+        let wide = ClusterConfig::new(64)
+            .with_slots(1, 1)
+            .with_io_bandwidth(400);
+        let narrow = ClusterConfig::new(1)
+            .with_slots(1, 1)
+            .with_io_bandwidth(400);
+        let w = run_job(
+            &wide,
+            &store,
+            &CountMapper,
+            &SumReducer,
+            &hash_partitioner,
+            4,
+        )
+        .unwrap();
+        let n = run_job(
+            &narrow,
+            &store,
+            &CountMapper,
+            &SumReducer,
+            &hash_partitioner,
+            4,
+        )
+        .unwrap();
         // One lane serializes all 64 map tasks; 64 lanes don't.
         assert!(n.metrics.map_makespan >= w.metrics.map_makespan);
+        assert!(n.metrics.map_makespan >= Duration::from_millis(640));
+    }
+
+    #[test]
+    fn obs_sees_every_task_and_shuffle_volume() {
+        use std::sync::Arc;
+        let mem = Arc::new(dod_obs::MemoryRecorder::new());
+        let obs = Obs::new(mem.clone());
+        let items = vec![1u32, 2, 1, 3, 2, 1];
+        let store = BlockStore::from_items(items, 2, 1);
+        let out = run_job_obs(
+            &ClusterConfig::new(2),
+            &store,
+            &CountMapper,
+            &SumReducer,
+            &hash_partitioner,
+            3,
+            &obs,
+        )
+        .unwrap();
+        // One span per map task and per reduce task.
+        let tasks = mem.events_named("mapreduce.task");
+        let map_spans: Vec<_> = tasks
+            .iter()
+            .filter(|e| e.label("stage").and_then(Value::as_str) == Some("map"))
+            .collect();
+        let reduce_spans: Vec<_> = tasks
+            .iter()
+            .filter(|e| e.label("stage").and_then(Value::as_str) == Some("reduce"))
+            .collect();
+        assert_eq!(map_spans.len(), out.metrics.map_task_times.len());
+        assert_eq!(reduce_spans.len(), out.metrics.reduce_task_times.len());
+        // Task spans carry the same (charged) durations as the metrics.
+        for (t, e) in map_spans.iter().enumerate() {
+            assert_eq!(e.label("task").and_then(Value::as_u64), Some(t as u64));
+            assert_eq!(
+                e.span_nanos(),
+                Some(out.metrics.map_task_times[t].as_nanos() as u64)
+            );
+        }
+        // All three stages emitted a stage span.
+        let stages: Vec<_> = mem
+            .events_named("mapreduce.stage")
+            .iter()
+            .filter_map(|e| e.label("stage").and_then(Value::as_str).map(str::to_owned))
+            .collect();
+        assert_eq!(stages, vec!["map", "shuffle", "reduce"]);
+        // Shuffle volume counters match the metrics.
+        assert_eq!(
+            mem.counter_total("mapreduce.shuffle.records"),
+            out.metrics.shuffle_records
+        );
+        assert_eq!(
+            mem.counter_total("mapreduce.shuffle.bytes"),
+            out.metrics.shuffle_bytes
+        );
+        // Per-reducer histograms sum to the totals.
+        let per_reducer: f64 = mem
+            .observations("mapreduce.shuffle.reducer_bytes")
+            .iter()
+            .sum();
+        assert_eq!(per_reducer as u64, out.metrics.shuffle_bytes);
+        assert_eq!(mem.events_named("mapreduce.locality").len(), 1);
+    }
+
+    #[test]
+    fn obs_counts_retries() {
+        use std::sync::Arc;
+        let mem = Arc::new(dod_obs::MemoryRecorder::new());
+        let obs = Obs::new(mem.clone());
+        let store = BlockStore::from_items(vec![5u32, 5, 6, 7], 2, 1);
+        let cluster = ClusterConfig::new(1).with_retries(2).with_host_threads(1);
+        let out = run_job_obs(
+            &cluster,
+            &store,
+            &CountMapper,
+            &FlakyReducer {
+                tripped: AtomicBool::new(false),
+            },
+            &|_k, _n| 0usize,
+            1,
+            &obs,
+        )
+        .unwrap();
+        assert_eq!(out.metrics.task_retries, 1);
+        assert_eq!(mem.counter_total("mapreduce.task.retry"), 1);
+        let retry = &mem.events_named("mapreduce.task.retry")[0];
+        assert_eq!(retry.label("stage").and_then(Value::as_str), Some("reduce"));
     }
 
     #[test]
@@ -727,9 +1051,15 @@ mod tests {
         let cluster = ClusterConfig::new(4).with_host_threads(8);
         let mut last: Option<Vec<(u32, u64)>> = None;
         for _ in 0..3 {
-            let out =
-                run_job(&cluster, &store, &CountMapper, &SumReducer, &hash_partitioner, 5)
-                    .unwrap();
+            let out = run_job(
+                &cluster,
+                &store,
+                &CountMapper,
+                &SumReducer,
+                &hash_partitioner,
+                5,
+            )
+            .unwrap();
             let mut counts = out.outputs;
             counts.sort();
             if let Some(prev) = &last {

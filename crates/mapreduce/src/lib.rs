@@ -74,8 +74,8 @@ pub mod size;
 pub use blockstore::BlockStore;
 pub use cluster::ClusterConfig;
 pub use job::{
-    run_job, run_job_with_combiner, Combiner, JobError, JobOutput, Mapper, Partitioner, Reducer,
-    SumCombiner,
+    run_job, run_job_obs, run_job_with_combiner, run_job_with_combiner_obs, Combiner, JobError,
+    JobOutput, Mapper, Partitioner, Reducer, SumCombiner,
 };
 pub use metrics::{makespan, JobMetrics};
 pub use size::EstimateSize;

@@ -25,12 +25,16 @@ pub fn makespan(durations: &[Duration], lanes: usize) -> Duration {
     // Min-heap over lane loads (std BinaryHeap is a max-heap, store
     // negated via Reverse).
     use std::cmp::Reverse;
-    let mut heap: BinaryHeap<Reverse<Duration>> = (0..lanes).map(|_| Reverse(Duration::ZERO)).collect();
+    let mut heap: BinaryHeap<Reverse<Duration>> =
+        (0..lanes).map(|_| Reverse(Duration::ZERO)).collect();
     for &d in durations {
         let Reverse(load) = heap.pop().expect("heap has `lanes` entries");
         heap.push(Reverse(load + d));
     }
-    heap.into_iter().map(|Reverse(d)| d).max().unwrap_or(Duration::ZERO)
+    heap.into_iter()
+        .map(|Reverse(d)| d)
+        .max()
+        .unwrap_or(Duration::ZERO)
 }
 
 /// Result of a locality-aware schedule.
@@ -56,7 +60,10 @@ pub fn locality_makespan(
     let nodes = nodes.max(1);
     let slots = slots_per_node.max(1);
     if durations.is_empty() {
-        return LocalitySchedule { makespan: Duration::ZERO, local_fraction: 1.0 };
+        return LocalitySchedule {
+            makespan: Duration::ZERO,
+            local_fraction: 1.0,
+        };
     }
     debug_assert_eq!(durations.len(), placements.len());
     let mut lane_load = vec![Duration::ZERO; nodes * slots];
@@ -117,7 +124,10 @@ impl JobMetrics {
 
     /// Sum of all task times — the "total compute" the cluster performed.
     pub fn total_task_time(&self) -> Duration {
-        self.map_task_times.iter().chain(self.reduce_task_times.iter()).sum()
+        self.map_task_times
+            .iter()
+            .chain(self.reduce_task_times.iter())
+            .sum()
     }
 }
 
@@ -188,6 +198,52 @@ mod tests {
         let s = locality_makespan(&d, 2, 1, &placements);
         assert_eq!(s.makespan, ms(2));
         assert_eq!(s.local_fraction, 0.5);
+    }
+
+    #[test]
+    fn locality_multiple_replicas_prefer_any_replica_node() {
+        // Tie-break among equally-loaded lanes must pick a replica node
+        // even when it is not the lowest lane index: the single task has
+        // replicas on nodes 1 and 2 only.
+        let s = locality_makespan(&[ms(2)], 3, 1, &[vec![1, 2]]);
+        assert_eq!(s.local_fraction, 1.0);
+        assert_eq!(s.makespan, ms(2));
+
+        // With replicas everywhere, every placement is local and the
+        // schedule balances exactly like the plain makespan.
+        let d = vec![ms(1); 4];
+        let placements: Vec<Vec<usize>> = (0..4).map(|_| vec![0, 1]).collect();
+        let s = locality_makespan(&d, 2, 1, &placements);
+        assert_eq!(s.local_fraction, 1.0);
+        assert_eq!(s.makespan, ms(2));
+    }
+
+    #[test]
+    fn locality_slots_share_their_node() {
+        // 2 nodes x 2 slots; all four blocks replicate on node 1 only.
+        // Both of node 1's slots count as local, then load balancing
+        // forces the remaining two tasks onto node 0 remotely.
+        let d = vec![ms(1); 4];
+        let placements: Vec<Vec<usize>> = (0..4).map(|_| vec![1]).collect();
+        let s = locality_makespan(&d, 2, 2, &placements);
+        assert_eq!(s.local_fraction, 0.5);
+        assert_eq!(s.makespan, ms(1));
+    }
+
+    #[test]
+    fn locality_empty_placement_rows_are_never_local() {
+        // Blocks with no recorded replica can never be scheduled locally.
+        let d = vec![ms(2); 2];
+        let s = locality_makespan(&d, 2, 1, &[vec![], vec![]]);
+        assert_eq!(s.local_fraction, 0.0);
+        assert_eq!(s.makespan, ms(2));
+
+        // Mixed rows: the empty row occupies the idle lane, which then
+        // denies task 2 its replica node — greedy stays load-first.
+        let d = vec![ms(2), ms(1), ms(1)];
+        let s = locality_makespan(&d, 2, 1, &[vec![1], vec![], vec![1]]);
+        assert_eq!(s.local_fraction, 1.0 / 3.0);
+        assert_eq!(s.makespan, ms(2));
     }
 
     #[test]

@@ -37,7 +37,10 @@ impl EstimateSize for &str {
 
 impl<T: EstimateSize> EstimateSize for Vec<T> {
     fn estimated_bytes(&self) -> usize {
-        8 + self.iter().map(EstimateSize::estimated_bytes).sum::<usize>()
+        8 + self
+            .iter()
+            .map(EstimateSize::estimated_bytes)
+            .sum::<usize>()
     }
 }
 

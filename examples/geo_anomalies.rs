@@ -33,8 +33,11 @@ fn main() {
     let mut planted = Vec::new();
     let mut cell = 0;
     while planted.len() < 5 && cell < grid.num_cells() {
-        let block: u32 =
-            grid.neighborhood(cell, 1, true).iter().map(|&c| counts[c]).sum();
+        let block: u32 = grid
+            .neighborhood(cell, 1, true)
+            .iter()
+            .map(|&c| counts[c])
+            .sum();
         if block < 3 {
             let center = grid.cell_rect(cell).center();
             planted.push((center[0], center[1]));
@@ -44,7 +47,11 @@ fn main() {
             cell += 1;
         }
     }
-    assert_eq!(planted.len(), 5, "the MA analog always has empty countryside");
+    assert_eq!(
+        planted.len(),
+        5,
+        "the MA analog always has empty countryside"
+    );
 
     // The MA analog has ~0.8 background buildings per unit²; at r = 0.5 a
     // typical rural building sees under one neighbor, so k = 3 isolates
@@ -71,17 +78,30 @@ fn main() {
         domain.extent(0),
         domain.extent(1)
     );
-    println!("outliers: {} points with fewer than {} neighbors within {}", outcome.outliers.len(), params.k, params.r);
-    let found_planted =
-        planted_ids.iter().filter(|id| outcome.outliers.contains(id)).count();
-    println!("planted anomalies recovered: {found_planted}/{}", planted.len());
+    println!(
+        "outliers: {} points with fewer than {} neighbors within {}",
+        outcome.outliers.len(),
+        params.k,
+        params.r
+    );
+    let found_planted = planted_ids
+        .iter()
+        .filter(|id| outcome.outliers.contains(id))
+        .count();
+    println!(
+        "planted anomalies recovered: {found_planted}/{}",
+        planted.len()
+    );
 
     println!("\n-- plan --");
     println!("partitions: {}", outcome.report.num_partitions);
     for (alg, count) in &outcome.report.algorithm_histogram {
         println!("  {:<12} assigned to {count} partitions", alg.name());
     }
-    println!("shuffle volume: {:.1} MiB", outcome.report.shuffle_bytes as f64 / (1024.0 * 1024.0));
+    println!(
+        "shuffle volume: {:.1} MiB",
+        outcome.report.shuffle_bytes as f64 / (1024.0 * 1024.0)
+    );
 
     println!("\n-- simulated cluster stages --");
     let b = outcome.report.breakdown;
@@ -92,8 +112,16 @@ fn main() {
 
     // The most- and least-loaded partitions, to show cost balance.
     if let (Some(max), Some(min)) = (
-        outcome.report.partition_times.iter().max_by_key(|(_, d)| *d),
-        outcome.report.partition_times.iter().min_by_key(|(_, d)| *d),
+        outcome
+            .report
+            .partition_times
+            .iter()
+            .max_by_key(|(_, d)| *d),
+        outcome
+            .report
+            .partition_times
+            .iter()
+            .min_by_key(|(_, d)| *d),
     ) {
         println!(
             "\npartition reduce times: max {:?} (partition {}), min {:?} (partition {})",
@@ -101,5 +129,8 @@ fn main() {
         );
     }
 
-    assert!(found_planted == planted.len(), "all planted anomalies must be found");
+    assert!(
+        found_planted == planted.len(),
+        "all planted anomalies must be found"
+    );
 }

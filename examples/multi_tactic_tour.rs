@@ -52,34 +52,44 @@ fn main() {
 
     println!("== partitioning strategies (fixed Nested-Loop at reducers) ==");
     let mk = |c: &DodConfig| DodRunner::builder().config(c.clone());
-    let mut results = Vec::new();
-    results.push(run_once(
-        "Domain (two jobs)",
-        &data,
-        params,
-        mk(&config).strategy(Domain).fixed(AlgorithmKind::NestedLoop).build(),
-    ));
-    results.push(run_once(
-        "uniSpace",
-        &data,
-        params,
-        mk(&config).strategy(UniSpace).fixed(AlgorithmKind::NestedLoop).build(),
-    ));
-    results.push(run_once(
-        "DDriven",
-        &data,
-        params,
-        mk(&config).strategy(DDriven).fixed(AlgorithmKind::NestedLoop).build(),
-    ));
-    results.push(run_once(
-        "CDriven",
-        &data,
-        params,
-        mk(&config)
-            .strategy(CDriven::new(AlgorithmKind::NestedLoop))
-            .fixed(AlgorithmKind::NestedLoop)
-            .build(),
-    ));
+    let mut results = vec![
+        run_once(
+            "Domain (two jobs)",
+            &data,
+            params,
+            mk(&config)
+                .strategy(Domain)
+                .fixed(AlgorithmKind::NestedLoop)
+                .build(),
+        ),
+        run_once(
+            "uniSpace",
+            &data,
+            params,
+            mk(&config)
+                .strategy(UniSpace)
+                .fixed(AlgorithmKind::NestedLoop)
+                .build(),
+        ),
+        run_once(
+            "DDriven",
+            &data,
+            params,
+            mk(&config)
+                .strategy(DDriven)
+                .fixed(AlgorithmKind::NestedLoop)
+                .build(),
+        ),
+        run_once(
+            "CDriven",
+            &data,
+            params,
+            mk(&config)
+                .strategy(CDriven::new(AlgorithmKind::NestedLoop))
+                .fixed(AlgorithmKind::NestedLoop)
+                .build(),
+        ),
+    ];
 
     println!("\n== detection modes (CDriven partitioning) ==");
     results.push(run_once(
@@ -114,5 +124,9 @@ fn main() {
         results.iter().all(|(_, n, _)| *n == first),
         "all configurations must find the same outliers"
     );
-    println!("\nok: all {} configurations found the same {} outliers", results.len(), first);
+    println!(
+        "\nok: all {} configurations found the same {} outliers",
+        results.len(),
+        first
+    );
 }

@@ -38,9 +38,18 @@ fn synthesize(n: usize, seed: u64) -> Vec<Flow> {
         flows.push(Flow { label, feature });
     }
     // Attacks: far from every benign profile.
-    flows.push(Flow { label: "ATTACK exfiltration", feature: [8.5, 1.0, 2.0] });
-    flows.push(Flow { label: "ATTACK port-scan", feature: [1.0, 0.5, 0.5] });
-    flows.push(Flow { label: "ATTACK c2-beacon", feature: [0.5, 6.0, 6.5] });
+    flows.push(Flow {
+        label: "ATTACK exfiltration",
+        feature: [8.5, 1.0, 2.0],
+    });
+    flows.push(Flow {
+        label: "ATTACK port-scan",
+        feature: [1.0, 0.5, 0.5],
+    });
+    flows.push(Flow {
+        label: "ATTACK c2-beacon",
+        feature: [0.5, 6.0, 6.5],
+    });
     flows
 }
 
@@ -69,7 +78,11 @@ fn main() {
 
     let outcome = runner.run(&data).expect("pipeline runs");
 
-    println!("{} flows analyzed, {} flagged as anomalous", flows.len(), outcome.outliers.len());
+    println!(
+        "{} flows analyzed, {} flagged as anomalous",
+        flows.len(),
+        outcome.outliers.len()
+    );
     for &id in &outcome.outliers {
         let f = &flows[id as usize];
         println!(

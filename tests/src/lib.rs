@@ -10,7 +10,9 @@ use rand::{Rng, SeedableRng};
 
 /// Ground-truth outliers via the brute-force oracle.
 pub fn reference_outliers(data: &PointSet, params: OutlierParams) -> Vec<PointId> {
-    Reference.detect(&Partition::standalone(data.clone()), params).outliers
+    Reference
+        .detect(&Partition::standalone(data.clone()), params)
+        .outliers
 }
 
 /// A mixed-density 2-d dataset: dense blob, moderate cluster, sparse

@@ -16,20 +16,25 @@ fn test_config(params: OutlierParams) -> DodConfig {
     }
 }
 
+type Apply = Box<dyn Fn(dod::DodRunnerBuilder) -> dod::DodRunnerBuilder>;
+
 fn all_runners(params: OutlierParams) -> Vec<(String, DodRunner)> {
     let mut runners = Vec::new();
-    let modes: Vec<(&str, Box<dyn Fn(dod::DodRunnerBuilder) -> dod::DodRunnerBuilder>)> = vec![
+    let modes: Vec<(&str, Apply)> = vec![
         ("nl", Box::new(|b| b.fixed(AlgorithmKind::NestedLoop))),
         ("cb", Box::new(|b| b.fixed(AlgorithmKind::CellBased))),
         ("ib", Box::new(|b| b.fixed(AlgorithmKind::IndexBased))),
         ("mt", Box::new(|b| b.multi_tactic())),
     ];
     for (mode_name, apply_mode) in &modes {
-        let strategies: Vec<(&str, Box<dyn Fn(dod::DodRunnerBuilder) -> dod::DodRunnerBuilder>)> = vec![
+        let strategies: Vec<(&str, Apply)> = vec![
             ("domain", Box::new(|b| b.strategy(Domain))),
             ("unispace", Box::new(|b| b.strategy(UniSpace))),
             ("ddriven", Box::new(|b| b.strategy(DDriven))),
-            ("cdriven", Box::new(|b| b.strategy(CDriven::new(AlgorithmKind::NestedLoop)))),
+            (
+                "cdriven",
+                Box::new(|b| b.strategy(CDriven::new(AlgorithmKind::NestedLoop))),
+            ),
             ("dmt", Box::new(|b| b.strategy(Dmt::default()))),
         ];
         for (strat_name, apply_strat) in strategies {
@@ -68,7 +73,10 @@ fn full_matrix_matches_reference_in_three_dimensions() {
 fn repeated_runs_are_deterministic() {
     let data = mixed_density(3, 500);
     let params = OutlierParams::new(1.0, 3).unwrap();
-    let runner = DodRunner::builder().config(test_config(params)).multi_tactic().build();
+    let runner = DodRunner::builder()
+        .config(test_config(params))
+        .multi_tactic()
+        .build();
     let first = runner.run(&data).unwrap().outliers;
     for _ in 0..3 {
         assert_eq!(runner.run(&data).unwrap().outliers, first);

@@ -23,7 +23,10 @@ fn all_regions_run_exactly() {
     let params = OutlierParams::new(0.8, 4).unwrap();
     for region in Region::ALL {
         let (data, _) = region_dataset(region, 2_500, 31);
-        let runner = DodRunner::builder().config(config(params)).multi_tactic().build();
+        let runner = DodRunner::builder()
+            .config(config(params))
+            .multi_tactic()
+            .build();
         let outcome = runner.run(&data).unwrap();
         assert_eq!(
             outcome.outliers,
@@ -39,7 +42,10 @@ fn hierarchy_levels_run_exactly() {
     let params = OutlierParams::new(0.8, 4).unwrap();
     for level in [HierarchyLevel::Massachusetts, HierarchyLevel::NewEngland] {
         let (data, _) = hierarchy_dataset(level, 1_200, 32);
-        let runner = DodRunner::builder().config(config(params)).multi_tactic().build();
+        let runner = DodRunner::builder()
+            .config(config(params))
+            .multi_tactic()
+            .build();
         let outcome = runner.run(&data).unwrap();
         assert_eq!(
             outcome.outliers,
@@ -56,7 +62,10 @@ fn distorted_dataset_runs_exactly() {
     let (base, domain) = hierarchy_dataset(HierarchyLevel::Massachusetts, 800, 33);
     let data = distort(&base, &domain, 3, 0.3, 34);
     assert_eq!(data.len(), base.len() * 4);
-    let runner = DodRunner::builder().config(config(params)).multi_tactic().build();
+    let runner = DodRunner::builder()
+        .config(config(params))
+        .multi_tactic()
+        .build();
     let outcome = runner.run(&data).unwrap();
     assert_eq!(outcome.outliers, reference_outliers(&data, params));
 }
@@ -103,7 +112,10 @@ fn csv_round_trip_through_pipeline() {
     let reloaded = dod_data::io::read_csv(&path).unwrap();
     std::fs::remove_file(&path).ok();
     assert_eq!(reloaded, data);
-    let runner = DodRunner::builder().config(config(params)).multi_tactic().build();
+    let runner = DodRunner::builder()
+        .config(config(params))
+        .multi_tactic()
+        .build();
     assert_eq!(
         runner.run(&reloaded).unwrap().outliers,
         runner.run(&data).unwrap().outliers

@@ -55,8 +55,12 @@ fn metrics_produce_genuinely_different_answers() {
     let partition = Partition::standalone(data);
     let r = 1.2;
     // L∞ distance is 1.0 <= 1.2: neighbors. L1 distance is 2.0 > 1.2.
-    let cheb = OutlierParams::new(r, 1).unwrap().with_metric(Metric::Chebyshev);
-    let manh = OutlierParams::new(r, 1).unwrap().with_metric(Metric::Manhattan);
+    let cheb = OutlierParams::new(r, 1)
+        .unwrap()
+        .with_metric(Metric::Chebyshev);
+    let manh = OutlierParams::new(r, 1)
+        .unwrap()
+        .with_metric(Metric::Manhattan);
     assert!(Reference.detect(&partition, cheb).outliers.is_empty());
     assert_eq!(Reference.detect(&partition, manh).outliers, vec![0, 1]);
 }
@@ -66,12 +70,16 @@ fn pipeline_is_exact_under_every_metric_and_strategy() {
     let data = mixed_density(32, 500);
     for metric in METRICS {
         let params = OutlierParams::new(1.1, 3).unwrap().with_metric(metric);
-        let expected =
-            Reference.detect(&Partition::standalone(data.clone()), params).outliers;
+        let expected = Reference
+            .detect(&Partition::standalone(data.clone()), params)
+            .outliers;
         for (name, runner) in [
             (
                 "dmt",
-                DodRunner::builder().config(config(params)).multi_tactic().build(),
+                DodRunner::builder()
+                    .config(config(params))
+                    .multi_tactic()
+                    .build(),
             ),
             (
                 "unispace+cb",
@@ -107,9 +115,16 @@ fn pipeline_is_exact_under_every_metric_and_strategy() {
 #[test]
 fn three_dimensional_chebyshev_pipeline() {
     let data = uniform_nd(33, 300, 3, 10.0);
-    let params = OutlierParams::new(1.0, 3).unwrap().with_metric(Metric::Chebyshev);
-    let expected = Reference.detect(&Partition::standalone(data.clone()), params).outliers;
-    let runner = DodRunner::builder().config(config(params)).multi_tactic().build();
+    let params = OutlierParams::new(1.0, 3)
+        .unwrap()
+        .with_metric(Metric::Chebyshev);
+    let expected = Reference
+        .detect(&Partition::standalone(data.clone()), params)
+        .outliers;
+    let runner = DodRunner::builder()
+        .config(config(params))
+        .multi_tactic()
+        .build();
     assert_eq!(runner.run(&data).unwrap().outliers, expected);
 }
 
@@ -136,10 +151,10 @@ fn dbscan_exact_under_every_metric() {
         let out = dbscan(&data, &config(params), &UniSpace).unwrap();
         // Noise set must match the centralized run exactly.
         let (reference_clusters, _) = dbscan_local_metric(&data, 0.8, 4, metric);
-        for i in 0..data.len() {
+        for (i, reference) in reference_clusters.iter().enumerate() {
             assert_eq!(
                 out.labels[i] == Label::Noise,
-                reference_clusters[i].is_none(),
+                reference.is_none(),
                 "noise mismatch at {i} under {metric:?}"
             );
         }

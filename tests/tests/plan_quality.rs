@@ -20,7 +20,9 @@ fn three_regimes() -> PointSet {
     let mut t = 0u64;
     let mut next = || {
         // Cheap deterministic pseudo-random in [0, 1).
-        t = t.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        t = t
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (t >> 11) as f64 / (1u64 << 53) as f64
     };
     for _ in 0..3000 {
@@ -59,7 +61,11 @@ fn corollary_4_3_assigns_different_algorithms_per_regime() {
     let dense_pid = mt.plan.locate(&[1.5, 1.5]) as usize;
     let mid_pid = mt.plan.locate(&[56.0, 15.0]) as usize;
     assert_eq!(mt.algorithms[dense_pid], Kind::CellBased, "dense regime");
-    assert_eq!(mt.algorithms[mid_pid], Kind::NestedLoop, "intermediate regime");
+    assert_eq!(
+        mt.algorithms[mid_pid],
+        Kind::NestedLoop,
+        "intermediate regime"
+    );
 }
 
 #[test]
@@ -115,7 +121,10 @@ fn cost_allocation_beats_round_robin_on_skewed_plans() {
     let lpt = build(AllocationSpec::cost());
     let rr_ms = assignment_makespan(&rr.predicted_costs, 4, &rr.allocation);
     let lpt_ms = assignment_makespan(&lpt.predicted_costs, 4, &lpt.allocation);
-    assert!(lpt_ms <= rr_ms + 1e-9, "LPT {lpt_ms} vs round-robin {rr_ms}");
+    assert!(
+        lpt_ms <= rr_ms + 1e-9,
+        "LPT {lpt_ms} vs round-robin {rr_ms}"
+    );
 }
 
 #[test]
@@ -170,7 +179,10 @@ fn support_replication_factor_is_modest() {
     let runner = DodRunner::builder().config(config).multi_tactic().build();
     let outcome = runner.run(&data).unwrap();
     let records = outcome.report.jobs[0].shuffle_records;
-    assert!(records >= data.len() as u64, "at least one core record per point");
+    assert!(
+        records >= data.len() as u64,
+        "at least one core record per point"
+    );
     // DSHC plans can produce bucket-wide strips, so replication above 1x
     // is expected; it must stay a small constant (the paper's single-pass
     // claim rests on this).

@@ -14,7 +14,13 @@ fn config(params: OutlierParams) -> DodConfig {
 }
 
 fn run_dmt(data: &PointSet, params: OutlierParams) -> Vec<u64> {
-    DodRunner::builder().config(config(params)).multi_tactic().build().run(data).unwrap().outliers
+    DodRunner::builder()
+        .config(config(params))
+        .multi_tactic()
+        .build()
+        .run(data)
+        .unwrap()
+        .outliers
 }
 
 #[test]
@@ -88,9 +94,21 @@ fn grid_aligned_points_on_partition_boundaries() {
     let data = PointSet::from_xy(&pts);
     let expected = reference_outliers(&data, params);
     for strategy_run in [
-        DodRunner::builder().config(config(params)).strategy(UniSpace).multi_tactic().build(),
-        DodRunner::builder().config(config(params)).strategy(Domain).fixed(AlgorithmKind::NestedLoop).build(),
-        DodRunner::builder().config(config(params)).strategy(Dmt::default()).multi_tactic().build(),
+        DodRunner::builder()
+            .config(config(params))
+            .strategy(UniSpace)
+            .multi_tactic()
+            .build(),
+        DodRunner::builder()
+            .config(config(params))
+            .strategy(Domain)
+            .fixed(AlgorithmKind::NestedLoop)
+            .build(),
+        DodRunner::builder()
+            .config(config(params))
+            .strategy(Dmt::default())
+            .multi_tactic()
+            .build(),
     ] {
         assert_eq!(strategy_run.run(&data).unwrap().outliers, expected);
     }
@@ -122,16 +140,29 @@ fn tiny_sample_rate_still_exact() {
     // degenerate but the answer must not change.
     let params = OutlierParams::new(1.2, 4).unwrap();
     let data = dod_integration::mixed_density(12, 500);
-    let cfg = DodConfig { sample_rate: 0.001, ..config(params) };
+    let cfg = DodConfig {
+        sample_rate: 0.001,
+        ..config(params)
+    };
     let runner = DodRunner::builder().config(cfg).multi_tactic().build();
-    assert_eq!(runner.run(&data).unwrap().outliers, reference_outliers(&data, params));
+    assert_eq!(
+        runner.run(&data).unwrap().outliers,
+        reference_outliers(&data, params)
+    );
 }
 
 #[test]
 fn more_reducers_than_partitions() {
     let params = OutlierParams::new(1.2, 4).unwrap();
     let data = dod_integration::mixed_density(13, 300);
-    let cfg = DodConfig { num_reducers: 64, target_partitions: 4, ..config(params) };
+    let cfg = DodConfig {
+        num_reducers: 64,
+        target_partitions: 4,
+        ..config(params)
+    };
     let runner = DodRunner::builder().config(cfg).multi_tactic().build();
-    assert_eq!(runner.run(&data).unwrap().outliers, reference_outliers(&data, params));
+    assert_eq!(
+        runner.run(&data).unwrap().outliers,
+        reference_outliers(&data, params)
+    );
 }
