@@ -127,7 +127,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: a fixed size or a half-open
+    /// Length specification for [`vec()`]: a fixed size or a half-open
     /// range.
     #[derive(Debug, Clone)]
     pub struct SizeRange(Range<usize>);

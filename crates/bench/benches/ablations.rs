@@ -28,10 +28,11 @@ fn bench_packing(c: &mut Criterion) {
         ("lpt_cost", AllocationSpec::cost()),
     ] {
         group.bench_function(name, |b| {
-            let config = DodConfig {
-                allocation: Some(spec),
-                ..experiment_config(params)
-            };
+            let config = experiment_config(params)
+                .to_builder()
+                .allocation(spec)
+                .build()
+                .expect("valid configuration");
             let runner = build_runner(StrategyChoice::Dmt, ModeChoice::MultiTactic, config);
             b.iter(|| runner.run(&data).unwrap())
         });
@@ -51,10 +52,11 @@ fn bench_sampling(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     for rate in [0.005, 0.02, 0.08] {
         group.bench_with_input(BenchmarkId::from_parameter(rate), &rate, |b, &rate| {
-            let config = DodConfig {
-                sample_rate: rate,
-                ..experiment_config(params)
-            };
+            let config = experiment_config(params)
+                .to_builder()
+                .sample_rate(rate)
+                .build()
+                .expect("valid configuration");
             let runner = build_runner(StrategyChoice::Dmt, ModeChoice::MultiTactic, config);
             b.iter(|| runner.run(&data).unwrap())
         });

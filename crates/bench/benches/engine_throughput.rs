@@ -1,0 +1,102 @@
+//! Resident engine vs. one-shot pipeline throughput.
+//!
+//! The resident engine pays for preprocessing (sampling, planning,
+//! algorithm selection) and per-partition index construction **once**;
+//! every micro-batch request afterwards only queries the resident
+//! state. The one-shot pipeline pays for everything on every request.
+//! This bench quantifies that gap two ways:
+//!
+//! * `score_batch`: classify a 64-point micro-batch against the
+//!   resident dataset, vs. re-running the full pipeline on the dataset
+//!   plus the batch and diffing the outlier ids;
+//! * `detect_all`: the resident full-detection path (plan and indexes
+//!   reused), vs. the one-shot `DodRunner::run`.
+
+use bench::setup::{build_runner, experiment_config, ModeChoice, StrategyChoice};
+use criterion::{criterion_group, criterion_main, Criterion};
+use dod::prelude::*;
+use dod_data::hierarchy::{hierarchy_dataset, HierarchyLevel};
+use dod_engine::Engine;
+use std::time::Duration;
+
+const BATCH: usize = 64;
+
+fn query_batch(data: &PointSet) -> Vec<Vec<f64>> {
+    // Micro-batch of queries spread over the data: existing points
+    // nudged off-grid, so scoring does real neighbor counting.
+    (0..BATCH)
+        .map(|i| {
+            let p = data.point((i * 97) % data.len());
+            p.iter().map(|v| v + 0.01).collect()
+        })
+        .collect()
+}
+
+fn bench_score_batch(c: &mut Criterion) {
+    let params = OutlierParams::new(0.8, 4).unwrap();
+    let (data, _) = hierarchy_dataset(HierarchyLevel::NewEngland, 4_000, 151);
+    let batch = query_batch(&data);
+
+    let mut group = c.benchmark_group("engine_score_batch");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+
+    group.bench_function("resident", |b| {
+        let config = experiment_config(params);
+        let runner = build_runner(StrategyChoice::Dmt, ModeChoice::MultiTactic, config);
+        let engine = Engine::builder(runner).workers(2).build(&data).unwrap();
+        b.iter(|| engine.score_batch(batch.clone()).unwrap().wait().unwrap())
+    });
+
+    group.bench_function("one_shot_rebuild", |b| {
+        // The pre-engine way to score a micro-batch: append the queries
+        // to the dataset, re-run the whole pipeline (preprocess + plan +
+        // index build + detection), and look up the queries' ids.
+        b.iter(|| {
+            let config = experiment_config(params);
+            let runner = build_runner(StrategyChoice::Dmt, ModeChoice::MultiTactic, config);
+            let mut extended = data.clone();
+            for q in &batch {
+                extended.push(q).unwrap();
+            }
+            let outcome = runner.run(&extended).unwrap();
+            let first_query = data.len() as u64;
+            outcome
+                .outliers
+                .iter()
+                .filter(|&&id| id >= first_query)
+                .count()
+        })
+    });
+    group.finish();
+}
+
+fn bench_detect_all(c: &mut Criterion) {
+    let params = OutlierParams::new(0.8, 4).unwrap();
+    let (data, _) = hierarchy_dataset(HierarchyLevel::NewEngland, 4_000, 151);
+
+    let mut group = c.benchmark_group("engine_detect_all");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+
+    group.bench_function("resident", |b| {
+        let config = experiment_config(params);
+        let runner = build_runner(StrategyChoice::Dmt, ModeChoice::MultiTactic, config);
+        let engine = Engine::builder(runner).workers(2).build(&data).unwrap();
+        b.iter(|| engine.detect_all().unwrap().wait().unwrap())
+    });
+
+    group.bench_function("one_shot", |b| {
+        let config = experiment_config(params);
+        let runner = build_runner(StrategyChoice::Dmt, ModeChoice::MultiTactic, config);
+        b.iter(|| runner.run(&data).unwrap().outliers)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_score_batch, bench_detect_all);
+criterion_main!(benches);

@@ -67,10 +67,11 @@ fn main() {
             ModeChoice::CellBased,
             ModeChoice::MultiTactic,
         ] {
-            let config = DodConfig {
-                obs: obs.clone(),
-                ..experiment_config(params)
-            };
+            let config = experiment_config(params)
+                .to_builder()
+                .obs(obs.clone())
+                .build()
+                .expect("valid configuration");
             let runner = build_runner(strategy, mode, config);
             let scope = obs
                 .scope("bench.config")

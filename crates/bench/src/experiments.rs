@@ -402,11 +402,12 @@ pub fn ablation_cost_model(scale: &Scale) -> CostModelAblation {
     let (data, _) = hierarchy_dataset(HierarchyLevel::NewEngland, scale.hierarchy_base, 111);
     // Validation wants accurate cardinality estimates, so sample densely.
     let run = |paper: bool| {
-        let config = DodConfig {
-            sample_rate: 0.2,
-            paper_cost_model: paper,
-            ..experiment_config(params)
-        };
+        let config = experiment_config(params)
+            .to_builder()
+            .sample_rate(0.2)
+            .paper_cost_model(paper)
+            .build()
+            .expect("valid configuration");
         let runner = build_runner(StrategyChoice::CDriven, ModeChoice::NestedLoop, config);
         let outcome = runner.run(&data).expect("pipeline runs");
         let predicted = outcome.report.predicted_costs.clone();
@@ -468,10 +469,11 @@ pub fn ablation_sampling(scale: &Scale) -> Vec<SamplingRow> {
     [0.002, 0.005, 0.02, 0.08, 0.32]
         .into_iter()
         .map(|rate| {
-            let config = DodConfig {
-                sample_rate: rate,
-                ..experiment_config(params)
-            };
+            let config = experiment_config(params)
+                .to_builder()
+                .sample_rate(rate)
+                .build()
+                .expect("valid configuration");
             let runner = build_runner(StrategyChoice::Dmt, ModeChoice::MultiTactic, config);
             let outcome = runner.run(&data).expect("pipeline runs");
             SamplingRow {
@@ -505,10 +507,11 @@ pub fn ablation_packing(scale: &Scale) -> Vec<PackingRow> {
     ]
     .into_iter()
     .map(|(name, spec)| {
-        let config = DodConfig {
-            allocation: Some(spec),
-            ..experiment_config(params)
-        };
+        let config = experiment_config(params)
+            .to_builder()
+            .allocation(spec)
+            .build()
+            .expect("valid configuration");
         let runner = build_runner(StrategyChoice::Dmt, ModeChoice::MultiTactic, config);
         let outcome = runner.run(&data).expect("pipeline runs");
         PackingRow {

@@ -93,16 +93,18 @@ impl ModeChoice {
 /// down from the paper's, so multi-job protocols (the Domain baseline)
 /// pay a representative price for re-reading the input.
 pub fn experiment_config(params: OutlierParams) -> DodConfig {
-    DodConfig {
-        cluster: ClusterConfig::new(8)
-            .with_slots(2, 2)
-            .with_io_bandwidth(32 * 1024 * 1024),
-        num_reducers: 16,
-        target_partitions: 64,
-        sample_rate: 0.02,
-        block_size: 8 * 1024,
-        ..DodConfig::new(params)
-    }
+    DodConfig::builder(params)
+        .cluster(
+            ClusterConfig::new(8)
+                .with_slots(2, 2)
+                .with_io_bandwidth(32 * 1024 * 1024),
+        )
+        .num_reducers(16)
+        .target_partitions(64)
+        .sample_rate(0.02)
+        .block_size(8 * 1024)
+        .build()
+        .expect("valid experiment configuration")
 }
 
 /// Builds the pipeline runner for one (strategy, mode) cell of an

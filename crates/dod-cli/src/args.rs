@@ -55,15 +55,52 @@ pub struct Args {
     pub profile: bool,
 }
 
+/// Parsed `serve` subcommand: the base pipeline arguments plus the
+/// engine's serving knobs.
+#[derive(Debug, Clone)]
+pub struct ServeArgs {
+    /// Base pipeline arguments (input, params, strategy, …).
+    pub run: Args,
+    /// Worker threads serving engine requests.
+    pub workers: usize,
+    /// Bound of the engine's submission queue.
+    pub queue: usize,
+    /// Default per-request deadline in milliseconds (none = unbounded).
+    pub deadline_ms: Option<u64>,
+}
+
+/// A parsed invocation.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// One-shot detection over a CSV file (the default).
+    Run(Args),
+    /// Resident engine serving JSONL requests over stdin.
+    Serve(ServeArgs),
+}
+
 /// Usage string printed on `--help` or bad arguments.
 pub const USAGE: &str = "\
 dod — exact distance-based outlier detection over CSV files
 
 USAGE:
     dod --input <points.csv> --r <radius> --k <count> [options]
+    dod serve --input <points.csv> --r <radius> --k <count> [options]
 
 A point is an outlier iff it has fewer than k neighbors within distance r.
 Rows of the CSV are comma-separated coordinates (any dimensionality).
+
+`dod serve` loads the CSV into a resident engine (preprocessing and
+index construction run once) and then answers JSONL requests from stdin,
+one JSON object per line, e.g.:
+
+    {\"op\": \"score\", \"points\": [[0.1, 0.2], [5.0, 5.0]]}
+    {\"op\": \"detect\"}
+    {\"op\": \"drift\"}   {\"op\": \"refresh\"}   {\"op\": \"stats\"}   {\"op\": \"quit\"}
+
+SERVE OPTIONS:
+    --workers <int>         engine worker threads                         [2]
+    --queue <int>           submission-queue bound (excess rejected)     [64]
+    --deadline-ms <int>     default per-request deadline          [unbounded]
 
 OPTIONS:
     --input <path>          input CSV (required)
@@ -95,6 +132,58 @@ impl From<CoreError> for ArgError {
     fn from(e: CoreError) -> Self {
         ArgError::Invalid(e.to_string())
     }
+}
+
+/// Parses the full command line (without the program name): a leading
+/// `serve` selects the resident-engine loop, anything else is the
+/// one-shot run.
+pub fn parse_command(args: &[String]) -> Result<Command, ArgError> {
+    if args.first().map(String::as_str) != Some("serve") {
+        return parse(args).map(Command::Run);
+    }
+    let mut workers = 2usize;
+    let mut queue = 64usize;
+    let mut deadline_ms = None;
+    let mut rest = Vec::new();
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, ArgError> {
+            it.next()
+                .ok_or_else(|| ArgError::Invalid(format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--workers" => {
+                workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| ArgError::Invalid(format!("--workers: {e}")))?
+            }
+            "--queue" => {
+                queue = value("--queue")?
+                    .parse()
+                    .map_err(|e| ArgError::Invalid(format!("--queue: {e}")))?
+            }
+            "--deadline-ms" => {
+                deadline_ms = Some(
+                    value("--deadline-ms")?
+                        .parse::<u64>()
+                        .map_err(|e| ArgError::Invalid(format!("--deadline-ms: {e}")))?,
+                )
+            }
+            _ => rest.push(arg.clone()),
+        }
+    }
+    if workers == 0 {
+        return Err(ArgError::Invalid("--workers must be at least 1".into()));
+    }
+    if queue == 0 {
+        return Err(ArgError::Invalid("--queue must be at least 1".into()));
+    }
+    Ok(Command::Serve(ServeArgs {
+        run: parse(&rest)?,
+        workers,
+        queue,
+        deadline_ms,
+    }))
 }
 
 /// Parses the argument list (without the program name).
@@ -367,6 +456,79 @@ mod tests {
         assert!(matches!(
             parse(&v(&[
                 "--input", "x", "--r", "1", "--k", "2", "--metric", "cosine"
+            ])),
+            Err(ArgError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn serve_subcommand() {
+        let cmd = parse_command(&v(&[
+            "serve",
+            "--input",
+            "x.csv",
+            "--r",
+            "0.5",
+            "--k",
+            "4",
+            "--workers",
+            "3",
+            "--queue",
+            "7",
+            "--deadline-ms",
+            "250",
+        ]))
+        .unwrap();
+        let Command::Serve(serve) = cmd else {
+            panic!("expected serve command");
+        };
+        assert_eq!(serve.run.input, "x.csv");
+        assert_eq!(serve.workers, 3);
+        assert_eq!(serve.queue, 7);
+        assert_eq!(serve.deadline_ms, Some(250));
+    }
+
+    #[test]
+    fn serve_defaults_and_validation() {
+        let cmd =
+            parse_command(&v(&["serve", "--input", "x.csv", "--r", "1", "--k", "2"])).unwrap();
+        let Command::Serve(serve) = cmd else {
+            panic!("expected serve command");
+        };
+        assert_eq!(serve.workers, 2);
+        assert_eq!(serve.queue, 64);
+        assert_eq!(serve.deadline_ms, None);
+        assert!(matches!(
+            parse_command(&v(&[
+                "serve",
+                "--input",
+                "x",
+                "--r",
+                "1",
+                "--k",
+                "2",
+                "--workers",
+                "0"
+            ])),
+            Err(ArgError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn non_serve_first_argument_is_a_run() {
+        let cmd = parse_command(&v(&["--input", "x.csv", "--r", "1", "--k", "2"])).unwrap();
+        assert!(matches!(cmd, Command::Run(_)));
+        // Serve-only flags are rejected outside `serve`.
+        assert!(matches!(
+            parse_command(&v(&[
+                "--input",
+                "x",
+                "--r",
+                "1",
+                "--k",
+                "2",
+                "--workers",
+                "2"
             ])),
             Err(ArgError::Invalid(_))
         ));

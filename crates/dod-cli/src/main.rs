@@ -3,11 +3,13 @@
 //!
 //! ```sh
 //! dod --input points.csv --r 0.5 --k 4 --report
+//! dod serve --input points.csv --r 0.5 --k 4   # resident engine, JSONL
 //! ```
 
 mod args;
+mod serve;
 
-use args::{ArgError, Args, ModeArg, StrategyArg, USAGE};
+use args::{ArgError, Args, Command, ModeArg, StrategyArg, USAGE};
 use dod::prelude::*;
 use dod_obs::{FanoutRecorder, JsonlRecorder, MemoryRecorder, Obs};
 use std::io::Write;
@@ -37,14 +39,14 @@ fn build_obs(args: &Args) -> Result<(Obs, Option<Arc<MemoryRecorder>>), String> 
     Ok((obs, memory))
 }
 
-fn build_runner(args: &Args, obs: Obs) -> DodRunner {
-    let config = DodConfig {
-        num_reducers: args.reducers,
-        target_partitions: args.partitions,
-        sample_rate: args.sample_rate,
-        obs,
-        ..DodConfig::new(args.params)
-    };
+fn build_runner(args: &Args, obs: Obs) -> Result<DodRunner, String> {
+    let config = DodConfig::builder(args.params)
+        .num_reducers(args.reducers)
+        .target_partitions(args.partitions)
+        .sample_rate(args.sample_rate)
+        .obs(obs)
+        .build()
+        .map_err(|e| e.to_string())?;
     let builder = DodRunner::builder().config(config);
     let builder = match args.strategy {
         StrategyArg::Domain => builder.strategy(Domain),
@@ -56,10 +58,10 @@ fn build_runner(args: &Args, obs: Obs) -> DodRunner {
         })),
         StrategyArg::Dmt => builder.strategy(Dmt::default()),
     };
-    match args.mode {
+    Ok(match args.mode {
         ModeArg::MultiTactic => builder.multi_tactic().build(),
         ModeArg::Fixed(kind) => builder.fixed(kind).build(),
-    }
+    })
 }
 
 fn run(args: &Args) -> Result<(), String> {
@@ -70,7 +72,7 @@ fn run(args: &Args) -> Result<(), String> {
         return Ok(());
     }
     let (obs, memory) = build_obs(args)?;
-    let runner = build_runner(args, obs);
+    let runner = build_runner(args, obs)?;
     let outcome = runner.run(&data).map_err(|e| e.to_string())?;
 
     println!(
@@ -132,14 +134,20 @@ fn run(args: &Args) -> Result<(), String> {
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    match args::parse(&raw) {
-        Ok(args) => match run(&args) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::FAILURE
+    match args::parse_command(&raw) {
+        Ok(cmd) => {
+            let result = match &cmd {
+                Command::Run(args) => run(args),
+                Command::Serve(args) => serve::serve(args),
+            };
+            match result {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
             }
-        },
+        }
         Err(ArgError::Help) => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -172,7 +180,7 @@ mod tests {
         a.reducers = 7;
         a.partitions = 21;
         a.sample_rate = 0.25;
-        let runner = build_runner(&a, Obs::null());
+        let runner = build_runner(&a, Obs::null()).unwrap();
         assert_eq!(runner.config().num_reducers, 7);
         assert_eq!(runner.config().target_partitions, 21);
         assert_eq!(runner.config().sample_rate, 0.25);
@@ -204,7 +212,7 @@ mod tests {
                 a.strategy = strategy;
                 a.mode = mode;
                 a.sample_rate = 1.0;
-                let runner = build_runner(&a, Obs::null());
+                let runner = build_runner(&a, Obs::null()).unwrap();
                 let outcome = runner.run(&data).unwrap();
                 assert!(
                     outcome.outliers.contains(&50),

@@ -1,0 +1,502 @@
+//! The `dod serve` loop: a resident engine answering JSONL requests.
+//!
+//! One JSON object per input line, one JSON object per response line:
+//!
+//! ```text
+//! > {"op": "score", "points": [[0.1, 0.2], [5.0, 5.0]]}
+//! < {"ok":true,"op":"score","results":[{"neighbors":4,"outlier":false}, …]}
+//! > {"op": "detect"}
+//! < {"ok":true,"op":"detect","outliers":[3,17]}
+//! > {"op": "drift"} | {"op": "refresh"} | {"op": "stats"} | {"op": "quit"}
+//! ```
+//!
+//! Failures answer `{"ok":false,"error":"…"}` and keep the loop alive;
+//! `quit` or end-of-input ends it. The JSON parser below is hand-rolled
+//! (like the writer in `dod-obs`): the workspace builds offline, and the
+//! request grammar is tiny.
+
+use std::io::{BufRead, Write};
+use std::time::Duration;
+
+use dod_engine::{Engine, EngineError};
+
+use crate::args::ServeArgs;
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader.
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value (no number distinction, no duplicate-key check —
+/// exactly enough for the request grammar above).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+pub fn parse_json(s: &str) -> Result<Json, String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing characters at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let Json::Str(key) = parse_value(b, pos)? else {
+                    return Err(format!("object key must be a string at byte {pos}"));
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                pairs.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b't') => parse_literal(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(b, pos, "null", Json::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_literal(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    *pos += 1; // opening quote
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("invalid \\u escape {hex:?}"))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("invalid escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one full UTF-8 scalar.
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().expect("non-empty by match");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Request dispatch.
+// ---------------------------------------------------------------------
+
+fn error_line(msg: &str) -> String {
+    format!(
+        "{{\"ok\":false,\"error\":\"{}\"}}",
+        msg.replace('\\', "\\\\").replace('"', "\\\"")
+    )
+}
+
+fn engine_error_name(e: &EngineError) -> String {
+    match e {
+        EngineError::Overloaded => "overloaded".into(),
+        EngineError::DeadlineExceeded => "deadline exceeded".into(),
+        other => other.to_string(),
+    }
+}
+
+/// Answers one parsed request. `Ok(None)` means `quit`.
+fn dispatch(engine: &Engine, request: &Json) -> Result<Option<String>, String> {
+    let op = match request.get("op") {
+        Some(Json::Str(op)) => op.as_str(),
+        _ => return Err("request needs a string \"op\" field".into()),
+    };
+    match op {
+        "score" => {
+            let Some(Json::Arr(rows)) = request.get("points") else {
+                return Err("\"score\" needs a \"points\" array".into());
+            };
+            let mut points = Vec::with_capacity(rows.len());
+            for row in rows {
+                let Json::Arr(coords) = row else {
+                    return Err("each point must be an array of numbers".into());
+                };
+                let mut point = Vec::with_capacity(coords.len());
+                for c in coords {
+                    let Json::Num(v) = c else {
+                        return Err("each coordinate must be a number".into());
+                    };
+                    point.push(*v);
+                }
+                points.push(point);
+            }
+            let scores = engine
+                .score_batch(points)
+                .map_err(|e| engine_error_name(&e))?
+                .wait()
+                .map_err(|e| engine_error_name(&e))?;
+            let results: Vec<String> = scores
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{{\"neighbors\":{},\"outlier\":{}}}",
+                        s.neighbors, s.outlier
+                    )
+                })
+                .collect();
+            Ok(Some(format!(
+                "{{\"ok\":true,\"op\":\"score\",\"results\":[{}]}}",
+                results.join(",")
+            )))
+        }
+        "detect" => {
+            let outliers = engine
+                .detect_all()
+                .map_err(|e| engine_error_name(&e))?
+                .wait()
+                .map_err(|e| engine_error_name(&e))?;
+            let ids: Vec<String> = outliers.iter().map(u64::to_string).collect();
+            Ok(Some(format!(
+                "{{\"ok\":true,\"op\":\"detect\",\"outliers\":[{}]}}",
+                ids.join(",")
+            )))
+        }
+        "drift" => Ok(Some(format!(
+            "{{\"ok\":true,\"op\":\"drift\",\"drift\":{},\"epoch\":{}}}",
+            engine.drift(),
+            engine.epoch()
+        ))),
+        "refresh" => {
+            let epoch = engine.refresh_plan().map_err(|e| engine_error_name(&e))?;
+            Ok(Some(format!(
+                "{{\"ok\":true,\"op\":\"refresh\",\"epoch\":{epoch}}}"
+            )))
+        }
+        "stats" => Ok(Some(format!(
+            "{{\"ok\":true,\"op\":\"stats\",\"partitions\":{},\"epoch\":{},\"queue_depth\":{}}}",
+            engine.num_partitions(),
+            engine.epoch(),
+            engine.queue_depth()
+        ))),
+        "quit" => Ok(None),
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+/// Runs the serve loop over arbitrary input/output streams (stdin and
+/// stdout in production, buffers in tests).
+pub fn serve_streams(
+    args: &ServeArgs,
+    engine: &Engine,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> Result<(), String> {
+    let _ = args;
+    for line in input.lines() {
+        let line = line.map_err(|e| format!("reading request: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = parse_json(&line)
+            .map_err(|e| format!("bad request: {e}"))
+            .and_then(|request| dispatch(engine, &request));
+        match response {
+            Ok(Some(answer)) => {
+                writeln!(output, "{answer}").map_err(|e| e.to_string())?;
+            }
+            Ok(None) => {
+                writeln!(output, "{{\"ok\":true,\"op\":\"quit\"}}").map_err(|e| e.to_string())?;
+                break;
+            }
+            Err(msg) => {
+                writeln!(output, "{}", error_line(&msg)).map_err(|e| e.to_string())?;
+            }
+        }
+        output.flush().map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+/// Builds the engine for a parsed `serve` invocation and runs the loop
+/// over stdin/stdout.
+pub fn serve(args: &ServeArgs) -> Result<(), String> {
+    let data = dod_data::io::read_csv(std::path::Path::new(&args.run.input))
+        .map_err(|e| format!("reading {}: {e}", args.run.input))?;
+    let (obs, _memory) = crate::build_obs(&args.run)?;
+    let runner = crate::build_runner(&args.run, obs)?;
+    let mut builder = Engine::builder(runner)
+        .workers(args.workers)
+        .queue_capacity(args.queue);
+    if let Some(ms) = args.deadline_ms {
+        builder = builder.default_deadline(Duration::from_millis(ms));
+    }
+    let engine = builder.build(&data).map_err(|e| e.to_string())?;
+    eprintln!(
+        "serving {} points ({}-d) across {} partitions; one JSON request per line",
+        data.len(),
+        data.dim(),
+        engine.num_partitions()
+    );
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    serve_streams(args, &engine, stdin.lock(), stdout.lock())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::{parse_command, Command};
+    use dod_core::PointSet;
+
+    #[test]
+    fn json_parser_round_trips_the_request_grammar() {
+        let v = parse_json(r#"{"op": "score", "points": [[0.5, -1e2], [3, 4.25]]}"#).unwrap();
+        assert_eq!(v.get("op"), Some(&Json::Str("score".into())));
+        let Some(Json::Arr(points)) = v.get("points") else {
+            panic!("points array");
+        };
+        assert_eq!(
+            points[0],
+            Json::Arr(vec![Json::Num(0.5), Json::Num(-100.0)])
+        );
+        assert_eq!(points[1], Json::Arr(vec![Json::Num(3.0), Json::Num(4.25)]));
+    }
+
+    #[test]
+    fn json_parser_handles_escapes_and_rejects_garbage() {
+        assert_eq!(
+            parse_json(r#""a\"b\\cA""#).unwrap(),
+            Json::Str("a\"b\\cA".into())
+        );
+        assert_eq!(
+            parse_json("{\"a\": [true, false, null]}").unwrap().get("a"),
+            Some(&Json::Arr(vec![
+                Json::Bool(true),
+                Json::Bool(false),
+                Json::Null
+            ]))
+        );
+        assert!(parse_json("{\"a\": }").is_err());
+        assert!(parse_json("[1, 2").is_err());
+        assert!(parse_json("{} trailing").is_err());
+        assert!(parse_json("").is_err());
+    }
+
+    fn serve_args(input: &str) -> ServeArgs {
+        let cmd = parse_command(
+            &[
+                "serve",
+                "--input",
+                input,
+                "--r",
+                "0.75",
+                "--k",
+                "4",
+                "--sample-rate",
+                "1.0",
+                "--workers",
+                "1",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        match cmd {
+            Command::Serve(s) => s,
+            Command::Run(_) => panic!("expected serve"),
+        }
+    }
+
+    fn session(requests: &str) -> Vec<String> {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "dod-serve-test-{}-{:?}.csv",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let mut pts: Vec<(f64, f64)> = (0..40)
+            .map(|i| ((i % 8) as f64 * 0.2, (i / 8) as f64 * 0.2))
+            .collect();
+        pts.push((50.0, 50.0));
+        dod_data::io::write_csv(&path, &PointSet::from_xy(&pts)).unwrap();
+        let args = serve_args(&path.to_string_lossy());
+
+        let data = dod_data::io::read_csv(&path).unwrap();
+        let runner = crate::build_runner(&args.run, dod_obs::Obs::null()).unwrap();
+        let engine = Engine::builder(runner)
+            .workers(args.workers)
+            .queue_capacity(args.queue)
+            .build(&data)
+            .unwrap();
+        let mut out = Vec::new();
+        serve_streams(&args, &engine, requests.as_bytes(), &mut out).unwrap();
+        std::fs::remove_file(&path).ok();
+        String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect()
+    }
+
+    #[test]
+    fn full_session_over_buffers() {
+        let responses = session(concat!(
+            "{\"op\": \"stats\"}\n",
+            "\n", // blank lines are skipped
+            "{\"op\": \"score\", \"points\": [[0.7, 0.7], [200.0, 0.0]]}\n",
+            "{\"op\": \"detect\"}\n",
+            "{\"op\": \"drift\"}\n",
+            "{\"op\": \"refresh\"}\n",
+            "{\"op\": \"quit\"}\n",
+            "{\"op\": \"detect\"}\n", // after quit: never answered
+        ));
+        assert_eq!(responses.len(), 6);
+        assert!(responses[0].contains("\"op\":\"stats\""));
+        assert_eq!(
+            responses[1],
+            "{\"ok\":true,\"op\":\"score\",\"results\":[\
+             {\"neighbors\":4,\"outlier\":false},{\"neighbors\":0,\"outlier\":true}]}"
+        );
+        // Point 40 is the isolated corner point.
+        assert_eq!(
+            responses[2],
+            "{\"ok\":true,\"op\":\"detect\",\"outliers\":[40]}"
+        );
+        assert!(responses[3].contains("\"drift\":"));
+        assert_eq!(responses[4], "{\"ok\":true,\"op\":\"refresh\",\"epoch\":1}");
+        assert_eq!(responses[5], "{\"ok\":true,\"op\":\"quit\"}");
+    }
+
+    #[test]
+    fn bad_requests_answer_errors_and_keep_serving() {
+        let responses = session(concat!(
+            "not json at all\n",
+            "{\"op\": \"launch\"}\n",
+            "{\"op\": \"score\"}\n",
+            "{\"op\": \"score\", \"points\": [[\"a\"]]}\n",
+            "{\"op\": \"detect\"}\n",
+        ));
+        assert_eq!(responses.len(), 5);
+        for bad in &responses[..4] {
+            assert!(bad.starts_with("{\"ok\":false,\"error\":"), "{bad}");
+        }
+        assert!(responses[4].contains("\"outliers\":[40]"));
+    }
+}

@@ -25,11 +25,101 @@
 
 use crate::detector::{Detection, DetectionStats, Detector};
 use crate::partition::Partition;
-use dod_core::{GridSpec, OutlierParams};
+use dod_core::{GridSpec, OutlierParams, Rect};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+
+/// The build-phase product of the Cell-Based detector: the grid plus the
+/// hash of every point into its non-empty cell.
+///
+/// Splitting the one-shot detector into an index build and a query phase
+/// lets a resident engine (see the `dod-engine` crate) pay the hashing
+/// cost once and then answer many requests — both full re-detections
+/// ([`CellBased::detect_with_index`]) and per-point neighbor counts for
+/// incoming query points ([`CellIndex::count_core_neighbors`]).
+#[derive(Debug, Clone)]
+pub struct CellIndex {
+    grid: GridSpec,
+    buckets: HashMap<usize, Bucket>,
+    build_ops: u64,
+}
+
+impl CellIndex {
+    /// Hashes every point of `partition` (core and support) into grid
+    /// cells of side `r / (2√d)` (capped at `max_cells_per_dim`).
+    ///
+    /// Returns `None` for a partition with no points at all — there is
+    /// no bounding rectangle to build a grid over.
+    pub fn build(
+        partition: &Partition,
+        params: OutlierParams,
+        max_cells_per_dim: usize,
+    ) -> Option<CellIndex> {
+        if partition.total_len() == 0 {
+            return None;
+        }
+        let bounds = partition.bounding_rect().expect("non-empty partition");
+        let grid = GridSpec::for_cell_based(&bounds, params.r, params.metric, max_cells_per_dim)
+            .expect("validated params");
+        let mut buckets: HashMap<usize, Bucket> = HashMap::new();
+        for idx in 0..partition.total_len() {
+            let cell = grid.cell_of(partition.point(idx));
+            buckets.entry(cell).or_default().points.push(idx as u32);
+        }
+        Some(CellIndex {
+            grid,
+            buckets,
+            build_ops: partition.total_len() as u64,
+        })
+    }
+
+    /// Number of points hashed during the build (the `index_operations`
+    /// the one-shot detector would have charged).
+    pub fn build_ops(&self) -> u64 {
+        self.build_ops
+    }
+
+    /// Counts the **core** points of `partition` within distance `r` of an
+    /// arbitrary query point `q` (which need not belong to the partition),
+    /// stopping early once `cap` neighbors are found.
+    ///
+    /// Only cells intersecting the `[q − r, q + r]` box are visited; that
+    /// box contains every possible neighbor under any supported `Lp`
+    /// metric because a single-coordinate difference lower-bounds the
+    /// distance.
+    pub fn count_core_neighbors(
+        &self,
+        partition: &Partition,
+        q: &[f64],
+        params: OutlierParams,
+        cap: usize,
+    ) -> usize {
+        if cap == 0 {
+            return 0;
+        }
+        let n_core = partition.core().len();
+        let lo: Vec<f64> = q.iter().map(|&v| v - params.r).collect();
+        let hi: Vec<f64> = q.iter().map(|&v| v + params.r).collect();
+        let query = Rect::new(lo, hi).expect("r > 0 makes a valid box");
+        let mut count = 0usize;
+        for cell in self.grid.cells_intersecting(&query) {
+            let Some(bucket) = self.buckets.get(&cell) else {
+                continue;
+            };
+            for &j in &bucket.points {
+                if (j as usize) < n_core && params.neighbors(q, partition.point(j as usize)) {
+                    count += 1;
+                    if count >= cap {
+                        return count;
+                    }
+                }
+            }
+        }
+        count
+    }
+}
 
 /// Grid-pruning detector.
 #[derive(Debug, Clone, Copy)]
@@ -46,6 +136,9 @@ pub struct CellBased {
 }
 
 impl CellBased {
+    /// Per-dimension cell cap used by [`CellBased::default`].
+    pub const DEFAULT_MAX_CELLS_PER_DIM: usize = 1024;
+
     /// Creates a detector with the given per-dimension cell cap.
     pub fn new(max_cells_per_dim: usize) -> Self {
         CellBased {
@@ -71,13 +164,13 @@ impl CellBased {
 
 impl Default for CellBased {
     fn default() -> Self {
-        CellBased::new(1024)
+        CellBased::new(CellBased::DEFAULT_MAX_CELLS_PER_DIM)
     }
 }
 
 /// Points of one non-empty grid cell, as indices into the partition's
 /// unified core-then-support ordering.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct Bucket {
     points: Vec<u32>,
 }
@@ -88,25 +181,38 @@ impl Detector for CellBased {
     }
 
     fn detect(&self, partition: &Partition, params: OutlierParams) -> Detection {
+        if partition.core().is_empty() {
+            return Detection::default();
+        }
+        let index = CellIndex::build(partition, params, self.max_cells_per_dim)
+            .expect("core is non-empty, so the partition has points");
+        self.detect_with_index(partition, params, &index)
+    }
+}
+
+impl CellBased {
+    /// The query phase of the detector: classifies every core point of
+    /// `partition` against a prebuilt [`CellIndex`].
+    ///
+    /// `index` must have been built from the same partition with the same
+    /// parameters and cell cap; the outlier set is then exactly the one
+    /// the one-shot [`Detector::detect`] returns.
+    pub fn detect_with_index(
+        &self,
+        partition: &Partition,
+        params: OutlierParams,
+        index: &CellIndex,
+    ) -> Detection {
         let n_core = partition.core().len();
         let total = partition.total_len();
         if n_core == 0 {
             return Detection::default();
         }
         let dim = partition.dim();
-        let bounds = partition.bounding_rect().expect("non-empty partition");
-        let grid =
-            GridSpec::for_cell_based(&bounds, params.r, params.metric, self.max_cells_per_dim)
-                .expect("validated params");
-
-        // Phase 1: hash all points into non-empty cell buckets.
-        let mut buckets: HashMap<usize, Bucket> = HashMap::new();
-        for idx in 0..total {
-            let cell = grid.cell_of(partition.point(idx));
-            buckets.entry(cell).or_default().points.push(idx as u32);
-        }
+        let grid = &index.grid;
+        let buckets = &index.buckets;
         let mut stats = DetectionStats {
-            index_operations: total as u64,
+            index_operations: index.build_ops,
             ..Default::default()
         };
 
@@ -160,7 +266,7 @@ impl Detector for CellBased {
 
             // Inlier rule over the 3^d block.
             if inlier_rule_valid {
-                let w1: usize = block_cells(&grid, &idx, &vec![1; dim])
+                let w1: usize = block_cells(grid, &idx, &vec![1; dim])
                     .into_iter()
                     .map(count_of)
                     .sum();
@@ -171,7 +277,7 @@ impl Detector for CellBased {
             }
 
             // Exact candidate block (outlier rule + per-point fallback).
-            let candidate_cells = block_cells(&grid, &idx, &radii);
+            let candidate_cells = block_cells(grid, &idx, &radii);
             let w2: usize = candidate_cells.iter().copied().map(count_of).sum();
             if w2 <= params.k {
                 // Even counting itself, no point in C can reach k neighbors.

@@ -43,7 +43,7 @@ pub enum AlgorithmKind {
     CellBasedFullScan,
     /// kd-tree range counting (extension).
     IndexBased,
-    /// Pivot-index counting, DOLPHIN-style (extension; paper ref. [4]).
+    /// Pivot-index counting, DOLPHIN-style (extension; paper ref. \[4\]).
     PivotBased,
     /// Brute-force oracle (testing only; never selected by cost).
     Reference,

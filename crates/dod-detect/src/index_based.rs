@@ -1,7 +1,7 @@
 //! A kd-tree index-based detector.
 //!
 //! The third class of centralized detection algorithms the paper cites
-//! (index-based solutions such as DOLPHIN [4]). A balanced kd-tree is
+//! (index-based solutions such as DOLPHIN \[4\]). A balanced kd-tree is
 //! built over core and support points; each core point then runs a range
 //! count with early termination at `k` neighbors. Included as an extension
 //! to the paper's two-candidate set `A = {Nested-Loop, Cell-Based}` — its
@@ -29,6 +29,7 @@ impl IndexBased {
     }
 }
 
+#[derive(Debug, Clone)]
 enum Node {
     Leaf {
         /// Indices (unified core-then-support) of the points in the leaf.
@@ -42,18 +43,162 @@ enum Node {
     },
 }
 
-struct KdTree<'a> {
-    partition: &'a Partition,
+/// The build-phase product of the Index-Based detector: a balanced
+/// kd-tree over a partition's core and support points.
+///
+/// The tree stores point *indices* only, so it can outlive the build call
+/// and serve many queries against the same partition — full
+/// re-detections ([`IndexBased::detect_with_index`]) as well as neighbor
+/// counts for external query points
+/// ([`KdIndex::count_core_neighbors`]) from a resident engine.
+#[derive(Debug, Clone)]
+pub struct KdIndex {
     root: Node,
+    build_ops: u64,
 }
 
-impl<'a> KdTree<'a> {
-    fn build(partition: &'a Partition, leaf_size: usize) -> (Self, u64) {
+impl KdIndex {
+    /// Builds the tree over every point of `partition` with the given
+    /// leaf size (0 is coerced to 16).
+    pub fn build(partition: &Partition, leaf_size: usize) -> KdIndex {
+        let leaf_size = if leaf_size == 0 { 16 } else { leaf_size };
         let total = partition.total_len();
         let mut idx: Vec<u32> = (0..total as u32).collect();
         let mut ops = 0u64;
         let root = Self::build_node(partition, &mut idx, leaf_size, 0, &mut ops);
-        (KdTree { partition, root }, ops)
+        KdIndex {
+            root,
+            build_ops: ops,
+        }
+    }
+
+    /// Number of index operations charged during the build.
+    pub fn build_ops(&self) -> u64 {
+        self.build_ops
+    }
+
+    /// Counts the **core** points of `partition` within distance `r` of an
+    /// arbitrary query point `q` (not necessarily part of the partition),
+    /// stopping early once `cap` neighbors are found.
+    pub fn count_core_neighbors(
+        &self,
+        partition: &Partition,
+        q: &[f64],
+        params: OutlierParams,
+        cap: usize,
+    ) -> usize {
+        let mut count = 0usize;
+        let mut evals = 0u64;
+        let mut visits = 0u64;
+        self.visit(
+            partition,
+            &self.root,
+            &Query {
+                coords: q,
+                skip: None,
+                core_only: true,
+                r: params.r,
+                metric: params.metric,
+                cap,
+            },
+            &mut count,
+            &mut evals,
+            &mut visits,
+        );
+        count
+    }
+
+    /// Counts neighbors of resident point `qi` (unified index) within `r`,
+    /// stopping early once `k` are found. Returns `(count_capped_at_k,
+    /// evals, nodes_visited)`.
+    fn count_neighbors(
+        &self,
+        partition: &Partition,
+        qi: usize,
+        r: f64,
+        k: usize,
+        metric: Metric,
+    ) -> (usize, u64, u64) {
+        let mut count = 0usize;
+        let mut evals = 0u64;
+        let mut visits = 0u64;
+        self.visit(
+            partition,
+            &self.root,
+            &Query {
+                coords: partition.point(qi),
+                skip: Some(qi),
+                core_only: false,
+                r,
+                metric,
+                cap: k,
+            },
+            &mut count,
+            &mut evals,
+            &mut visits,
+        );
+        (count, evals, visits)
+    }
+
+    /// Recursive range-count with early termination at `query.cap`.
+    ///
+    /// The splitting-plane prune `|q[dim] − split| > r` is valid for
+    /// every `Lp` metric: a single-coordinate difference lower-bounds the
+    /// distance.
+    fn visit(
+        &self,
+        partition: &Partition,
+        node: &Node,
+        query: &Query<'_>,
+        count: &mut usize,
+        evals: &mut u64,
+        visits: &mut u64,
+    ) {
+        if *count >= query.cap {
+            return;
+        }
+        *visits += 1;
+        match node {
+            Node::Leaf { points } => {
+                let n_core = partition.core().len();
+                for &j in points {
+                    if query.skip == Some(j as usize) {
+                        continue;
+                    }
+                    if query.core_only && j as usize >= n_core {
+                        continue;
+                    }
+                    *evals += 1;
+                    if query
+                        .metric
+                        .within(query.coords, partition.point(j as usize), query.r)
+                    {
+                        *count += 1;
+                        if *count >= query.cap {
+                            return;
+                        }
+                    }
+                }
+            }
+            Node::Inner {
+                split_dim,
+                split_val,
+                left,
+                right,
+            } => {
+                let delta = query.coords[*split_dim] - split_val;
+                // Visit the side containing q first for faster termination.
+                let (near, far) = if delta < 0.0 {
+                    (left, right)
+                } else {
+                    (right, left)
+                };
+                self.visit(partition, near, query, count, evals, visits);
+                if *count < query.cap && delta.abs() <= query.r {
+                    self.visit(partition, far, query, count, evals, visits);
+                }
+            }
+        }
     }
 
     fn build_node(
@@ -99,85 +244,23 @@ impl<'a> KdTree<'a> {
             )),
         }
     }
+}
 
-    /// Counts neighbors of point `qi` (unified index) within `r`, stopping
-    /// early once `k` are found. Returns `(count_capped_at_k, evals,
-    /// nodes_visited)`.
-    ///
-    /// The splitting-plane prune `|q[dim] − split| > r` is valid for
-    /// every `Lp` metric: a single-coordinate difference lower-bounds the
-    /// distance.
-    fn count_neighbors(&self, qi: usize, r: f64, k: usize, metric: Metric) -> (usize, u64, u64) {
-        let q = self.partition.point(qi);
-        let mut count = 0usize;
-        let mut evals = 0u64;
-        let mut visits = 0u64;
-        self.visit(
-            &self.root,
-            q,
-            qi,
-            r,
-            metric,
-            k,
-            &mut count,
-            &mut evals,
-            &mut visits,
-        );
-        (count, evals, visits)
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn visit(
-        &self,
-        node: &Node,
-        q: &[f64],
-        qi: usize,
-        r: f64,
-        metric: Metric,
-        k: usize,
-        count: &mut usize,
-        evals: &mut u64,
-        visits: &mut u64,
-    ) {
-        if *count >= k {
-            return;
-        }
-        *visits += 1;
-        match node {
-            Node::Leaf { points } => {
-                for &j in points {
-                    if j as usize == qi {
-                        continue;
-                    }
-                    *evals += 1;
-                    if metric.within(q, self.partition.point(j as usize), r) {
-                        *count += 1;
-                        if *count >= k {
-                            return;
-                        }
-                    }
-                }
-            }
-            Node::Inner {
-                split_dim,
-                split_val,
-                left,
-                right,
-            } => {
-                let delta = q[*split_dim] - split_val;
-                // Visit the side containing q first for faster termination.
-                let (near, far) = if delta < 0.0 {
-                    (left, right)
-                } else {
-                    (right, left)
-                };
-                self.visit(near, q, qi, r, metric, k, count, evals, visits);
-                if *count < k && delta.abs() <= r {
-                    self.visit(far, q, qi, r, metric, k, count, evals, visits);
-                }
-            }
-        }
-    }
+/// One range-count request against a [`KdIndex`].
+struct Query<'a> {
+    /// Query coordinates.
+    coords: &'a [f64],
+    /// Unified index of the query point itself (excluded from its own
+    /// neighbor count), or `None` for external query points.
+    skip: Option<usize>,
+    /// Whether only core points count as neighbors.
+    core_only: bool,
+    /// Distance threshold.
+    r: f64,
+    /// Metric to evaluate distances under.
+    metric: Metric,
+    /// Early-termination cap on the count.
+    cap: usize,
 }
 
 impl Detector for IndexBased {
@@ -186,23 +269,39 @@ impl Detector for IndexBased {
     }
 
     fn detect(&self, partition: &Partition, params: OutlierParams) -> Detection {
+        if partition.core().is_empty() {
+            return Detection::default();
+        }
+        let index = KdIndex::build(partition, self.leaf_size);
+        self.detect_with_index(partition, params, &index)
+    }
+}
+
+impl IndexBased {
+    /// The query phase of the detector: classifies every core point of
+    /// `partition` against a prebuilt [`KdIndex`].
+    ///
+    /// `index` must have been built over the same partition; the outlier
+    /// set is then exactly the one the one-shot [`Detector::detect`]
+    /// returns.
+    pub fn detect_with_index(
+        &self,
+        partition: &Partition,
+        params: OutlierParams,
+        index: &KdIndex,
+    ) -> Detection {
         let n_core = partition.core().len();
         if n_core == 0 {
             return Detection::default();
         }
-        let leaf = if self.leaf_size == 0 {
-            16
-        } else {
-            self.leaf_size
-        };
-        let (tree, build_ops) = KdTree::build(partition, leaf);
         let mut stats = DetectionStats {
-            index_operations: build_ops,
+            index_operations: index.build_ops,
             ..Default::default()
         };
         let mut outliers = Vec::new();
         for i in 0..n_core {
-            let (count, evals, visits) = tree.count_neighbors(i, params.r, params.k, params.metric);
+            let (count, evals, visits) =
+                index.count_neighbors(partition, i, params.r, params.k, params.metric);
             stats.distance_evaluations += evals;
             stats.node_visits += visits;
             if count < params.k {

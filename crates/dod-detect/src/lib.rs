@@ -10,7 +10,7 @@
 //! * [`IndexBased`] — a kd-tree range-counting detector (an extension to
 //!   the evaluation's two-candidate set),
 //! * [`PivotBased`] — a DOLPHIN-style pivot-index detector (the third
-//!   class of centralized algorithms the paper cites, reference [4]),
+//!   class of centralized algorithms the paper cites, reference \[4\]),
 //! * [`Reference`] — a straightforward exact detector used as the
 //!   correctness oracle in tests,
 //!
@@ -41,12 +41,14 @@ pub mod nested_loop;
 pub mod partition;
 pub mod pivot_based;
 pub mod reference;
+pub mod state;
 
-pub use cell_based::CellBased;
+pub use cell_based::{CellBased, CellIndex};
 pub use cost::{choose_algorithm, AlgorithmKind, CostModel};
 pub use detector::{Detection, DetectionStats, Detector};
-pub use index_based::IndexBased;
+pub use index_based::{IndexBased, KdIndex};
 pub use nested_loop::NestedLoop;
 pub use partition::Partition;
 pub use pivot_based::PivotBased;
 pub use reference::Reference;
+pub use state::PartitionState;

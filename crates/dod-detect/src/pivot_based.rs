@@ -1,7 +1,7 @@
-//! A pivot-based detector (the DOLPHIN class, paper reference [4]).
+//! A pivot-based detector (the DOLPHIN class, paper reference \[4\]).
 //!
 //! The paper's related work singles out pivot-based indexing as the third
-//! notable class of centralized algorithms ("[4] improved upon these
+//! notable class of centralized algorithms ("\[4\] improved upon these
 //! prior results by introducing the pivot-based index technique") while
 //! noting its global index does not distribute. Inside one partition,
 //! however, it is a perfectly good candidate, so this implementation

@@ -1,0 +1,255 @@
+//! Resident per-partition detector state.
+//!
+//! The one-shot detectors in this crate interleave their *build* phase
+//! (hashing points into a grid, building a kd-tree) with their *query*
+//! phase (classifying every core point). A resident engine wants to pay
+//! the build once and answer many requests against it; [`PartitionState`]
+//! is that split made explicit. It owns the partition (shared via `Arc`
+//! so worker threads can hold it without copying points) plus whichever
+//! acceleration structure the planned [`AlgorithmKind`] uses, and serves
+//! two queries:
+//!
+//! * [`PartitionState::detect`] — re-classify every core point, returning
+//!   exactly what the one-shot [`crate::Detector::detect`] would, and
+//! * [`PartitionState::count_core_neighbors`] — count resident **core**
+//!   points within `r` of an arbitrary external query point, the
+//!   primitive a `score_batch` request reduces to. Core sets partition
+//!   the dataset (Lemma 3.1 replicates only *support* copies), so
+//!   summing this count across partitions never double-counts.
+
+use std::sync::Arc;
+
+use dod_core::OutlierParams;
+
+use crate::cell_based::{CellBased, CellIndex};
+use crate::cost::AlgorithmKind;
+use crate::detector::Detection;
+use crate::index_based::{IndexBased, KdIndex};
+use crate::partition::Partition;
+
+/// The acceleration structure resident for one partition, matching the
+/// algorithm the multi-tactic plan assigned to it.
+#[derive(Debug, Clone)]
+enum StateIndex {
+    /// Grid buckets for the cell-based detectors.
+    Cells(CellIndex),
+    /// kd-tree for the index-based detector.
+    Tree(KdIndex),
+    /// No auxiliary structure: queries scan the point set directly.
+    Scan,
+}
+
+/// Built detector state for one partition: the points, the planned
+/// algorithm, and its prebuilt index.
+#[derive(Debug, Clone)]
+pub struct PartitionState {
+    partition: Arc<Partition>,
+    params: OutlierParams,
+    kind: AlgorithmKind,
+    index: StateIndex,
+}
+
+impl PartitionState {
+    /// Runs the build phase of `kind` over `partition`.
+    ///
+    /// Algorithms without an index structure (nested-loop, pivot-based,
+    /// reference) get a scan-backed state; their [`PartitionState::detect`]
+    /// simply runs the one-shot detector, which is already dominated by
+    /// its query phase.
+    pub fn build(kind: AlgorithmKind, partition: Arc<Partition>, params: OutlierParams) -> Self {
+        let index = if partition.total_len() == 0 {
+            StateIndex::Scan
+        } else {
+            match kind {
+                AlgorithmKind::CellBased | AlgorithmKind::CellBasedFullScan => {
+                    match CellIndex::build(&partition, params, CellBased::DEFAULT_MAX_CELLS_PER_DIM)
+                    {
+                        Some(cells) => StateIndex::Cells(cells),
+                        None => StateIndex::Scan,
+                    }
+                }
+                AlgorithmKind::IndexBased => StateIndex::Tree(KdIndex::build(&partition, 0)),
+                AlgorithmKind::NestedLoop
+                | AlgorithmKind::PivotBased
+                | AlgorithmKind::Reference => StateIndex::Scan,
+            }
+        };
+        PartitionState {
+            partition,
+            params,
+            kind,
+            index,
+        }
+    }
+
+    /// The resident partition.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// The outlier parameters the state was built for.
+    pub fn params(&self) -> OutlierParams {
+        self.params
+    }
+
+    /// The algorithm the plan assigned to this partition.
+    pub fn kind(&self) -> AlgorithmKind {
+        self.kind
+    }
+
+    /// Number of resident core points.
+    pub fn core_len(&self) -> usize {
+        self.partition.core().len()
+    }
+
+    /// Classifies every core point of the resident partition.
+    ///
+    /// Returns exactly the [`Detection`] the one-shot
+    /// [`crate::Detector::detect`] of [`PartitionState::kind`] produces for the
+    /// same partition and parameters — every detector in the candidate
+    /// set is exact, and the index-backed paths reuse the prebuilt
+    /// structure rather than rebuilding it.
+    pub fn detect(&self) -> Detection {
+        if self.partition.core().is_empty() {
+            return Detection::default();
+        }
+        match &self.index {
+            StateIndex::Cells(cells) => {
+                let detector = match self.kind {
+                    AlgorithmKind::CellBasedFullScan => CellBased::default().full_scan_fallback(),
+                    _ => CellBased::default(),
+                };
+                detector.detect_with_index(&self.partition, self.params, cells)
+            }
+            StateIndex::Tree(tree) => {
+                IndexBased::default().detect_with_index(&self.partition, self.params, tree)
+            }
+            StateIndex::Scan => self.kind.detector().detect(&self.partition, self.params),
+        }
+    }
+
+    /// Counts resident **core** points within distance `r` of `q`,
+    /// stopping early once `cap` neighbors are found.
+    ///
+    /// `q` need not belong to the partition — this is the primitive for
+    /// scoring external query points against the resident dataset.
+    pub fn count_core_neighbors(&self, q: &[f64], cap: usize) -> usize {
+        match &self.index {
+            StateIndex::Cells(cells) => {
+                cells.count_core_neighbors(&self.partition, q, self.params, cap)
+            }
+            StateIndex::Tree(tree) => {
+                tree.count_core_neighbors(&self.partition, q, self.params, cap)
+            }
+            StateIndex::Scan => {
+                if cap == 0 {
+                    return 0;
+                }
+                let mut count = 0usize;
+                for p in self.partition.core().iter() {
+                    if self.params.neighbors(q, p) {
+                        count += 1;
+                        if count >= cap {
+                            break;
+                        }
+                    }
+                }
+                count
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dod_core::PointSet;
+
+    fn sample_partition() -> Arc<Partition> {
+        // Three clustered core points, one isolated core point, one
+        // support point near the cluster.
+        let core = PointSet::from_xy(&[(0.0, 0.0), (0.2, 0.1), (0.1, 0.2), (9.0, 9.0)]);
+        let support = PointSet::from_xy(&[(0.3, 0.3)]);
+        Arc::new(Partition::new(core, vec![10, 11, 12, 13], support).unwrap())
+    }
+
+    const ALL_KINDS: [AlgorithmKind; 6] = [
+        AlgorithmKind::NestedLoop,
+        AlgorithmKind::CellBased,
+        AlgorithmKind::CellBasedFullScan,
+        AlgorithmKind::IndexBased,
+        AlgorithmKind::PivotBased,
+        AlgorithmKind::Reference,
+    ];
+
+    #[test]
+    fn detect_matches_one_shot_for_every_kind() {
+        let partition = sample_partition();
+        let params = OutlierParams::new(1.0, 2).unwrap();
+        for kind in ALL_KINDS {
+            let one_shot = kind.detector().detect(&partition, params);
+            let state = PartitionState::build(kind, Arc::clone(&partition), params);
+            assert_eq!(
+                state.detect().outliers,
+                one_shot.outliers,
+                "kind {}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn count_core_neighbors_agrees_with_linear_scan() {
+        let partition = sample_partition();
+        let params = OutlierParams::new(1.0, 2).unwrap();
+        let queries: [&[f64]; 4] = [
+            &[0.1, 0.1],
+            &[9.0, 9.0],
+            &[-50.0, -50.0], // far outside the partition's bounding box
+            &[4.5, 4.5],
+        ];
+        for kind in ALL_KINDS {
+            let state = PartitionState::build(kind, Arc::clone(&partition), params);
+            for q in queries {
+                let expected = partition
+                    .core()
+                    .iter()
+                    .filter(|p| params.neighbors(q, p))
+                    .count();
+                assert_eq!(
+                    state.count_core_neighbors(q, usize::MAX),
+                    expected,
+                    "kind {} query {q:?}",
+                    kind.name()
+                );
+                // The cap is honored.
+                if expected > 1 {
+                    assert_eq!(state.count_core_neighbors(q, 1), 1, "kind {}", kind.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_partition_is_harmless() {
+        let partition = Arc::new(Partition::standalone(PointSet::new(2).unwrap()));
+        let params = OutlierParams::new(1.0, 2).unwrap();
+        for kind in ALL_KINDS {
+            let state = PartitionState::build(kind, Arc::clone(&partition), params);
+            assert!(state.detect().outliers.is_empty());
+            assert_eq!(state.count_core_neighbors(&[0.0, 0.0], 5), 0);
+        }
+    }
+
+    #[test]
+    fn support_points_never_counted_for_external_queries() {
+        // The support point at (0.3, 0.3) is within r of the cluster but
+        // must not contribute to external scores.
+        let partition = sample_partition();
+        let params = OutlierParams::new(0.05, 2).unwrap();
+        for kind in ALL_KINDS {
+            let state = PartitionState::build(kind, Arc::clone(&partition), params);
+            assert_eq!(state.count_core_neighbors(&[0.3, 0.3], usize::MAX), 0);
+        }
+    }
+}

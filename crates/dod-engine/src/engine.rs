@@ -1,0 +1,595 @@
+//! The resident engine: build once, serve many.
+
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use dod::{DodConfig, DodRunner};
+use dod_core::{PointId, PointSet};
+use dod_detect::{Partition, PartitionState};
+use dod_obs::{names, Obs, Value};
+use dod_partition::MultiTacticPlan;
+
+use crate::error::EngineError;
+use crate::worker::{Job, Pending, WorkerPool};
+
+/// Default bound of the submission queue.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
+
+/// Default drift threshold of [`Engine::refresh_if_drifted`].
+pub const DEFAULT_DRIFT_THRESHOLD: f64 = 0.25;
+
+/// The verdict for one scored query point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScorePoint {
+    /// Number of resident points within distance `r` of the query,
+    /// counted only until it reaches `k` (the exact total is irrelevant
+    /// to the outlier decision, so counting stops early).
+    pub neighbors: usize,
+    /// `true` iff `neighbors < k`: the query point would be a
+    /// distance-threshold outlier with respect to the resident dataset.
+    pub outlier: bool,
+}
+
+/// The materialized serving state of one plan epoch.
+struct ResidentPlan {
+    mt: MultiTacticPlan,
+    states: Vec<Arc<PartitionState>>,
+}
+
+/// One immutable epoch of resident state; requests clone the `Arc` and
+/// serve from it even while a refresh swaps in a successor.
+struct Resident {
+    epoch: u64,
+    /// `None` for an empty dataset (nothing to plan over).
+    plan: Option<ResidentPlan>,
+}
+
+struct Shared {
+    runner: DodRunner,
+    data: PointSet,
+    dim: usize,
+    resident: RwLock<Arc<Resident>>,
+    /// Observed per-partition mass: core counts at materialization time
+    /// plus one unit per scored query point located in the partition.
+    /// Reset on every refresh.
+    observed: Mutex<Vec<f64>>,
+    /// Serializes refreshes so concurrent drift probes cannot replan the
+    /// same epoch twice.
+    refresh: Mutex<()>,
+    obs: Obs,
+}
+
+impl Shared {
+    /// Preprocesses and materializes per-partition detector state for
+    /// the whole dataset: one routing pass (Definition 3.3) assigns each
+    /// point as core to exactly one partition and as support to every
+    /// partition whose rectangle it is within `r` of, then each
+    /// partition gets the plan's chosen algorithm's index built once.
+    ///
+    /// Returns the plan (or `None` for an empty dataset) and the
+    /// per-partition core counts that seed the observed distribution.
+    fn materialize(
+        runner: &DodRunner,
+        data: &PointSet,
+    ) -> Result<(Option<ResidentPlan>, Vec<f64>), EngineError> {
+        if data.is_empty() {
+            return Ok((None, Vec::new()));
+        }
+        let pre = runner.preprocess(data)?;
+        let n_parts = pre.mt.num_partitions();
+        let dim = data.dim();
+        let new_set = || PointSet::new(dim).expect("dataset dimension is valid");
+        let mut cores: Vec<PointSet> = (0..n_parts).map(|_| new_set()).collect();
+        let mut core_ids: Vec<Vec<PointId>> = vec![Vec::new(); n_parts];
+        let mut supports: Vec<PointSet> = (0..n_parts).map(|_| new_set()).collect();
+        for i in 0..data.len() {
+            let p = data.point(i);
+            let routing = pre.router.route(p);
+            cores[routing.core as usize]
+                .push(p)
+                .expect("same dimension");
+            core_ids[routing.core as usize].push(i as PointId);
+            for &pid in &routing.support {
+                supports[pid as usize].push(p).expect("same dimension");
+            }
+        }
+        let params = runner.config().params;
+        let mut states = Vec::with_capacity(n_parts);
+        let mut counts = Vec::with_capacity(n_parts);
+        for ((core, ids), support) in cores.into_iter().zip(core_ids).zip(supports) {
+            counts.push(core.len() as f64);
+            let pid = states.len();
+            let partition =
+                Partition::new(core, ids, support).expect("routing is dimension-consistent");
+            states.push(Arc::new(PartitionState::build(
+                pre.mt.algorithms[pid],
+                Arc::new(partition),
+                params,
+            )));
+        }
+        Ok((Some(ResidentPlan { mt: pre.mt, states }), counts))
+    }
+
+    /// Scores a batch against the resident state (the `score` op).
+    fn score(
+        &self,
+        points: &[Vec<f64>],
+        deadline: Option<Instant>,
+    ) -> Result<Vec<ScorePoint>, EngineError> {
+        let resident = Arc::clone(&self.resident.read().expect("resident lock"));
+        let params = self.runner.config().params;
+        let (r, k, metric) = (params.r, params.k, params.metric);
+        let mut out = Vec::with_capacity(points.len());
+        let mut traffic = vec![0u64; resident.plan.as_ref().map_or(0, |p| p.mt.num_partitions())];
+        for q in points {
+            if let Some(d) = deadline {
+                if Instant::now() > d {
+                    return Err(EngineError::DeadlineExceeded);
+                }
+            }
+            if q.len() != self.dim {
+                return Err(EngineError::Dimension {
+                    expected: self.dim,
+                    got: q.len(),
+                });
+            }
+            let Some(plan) = &resident.plan else {
+                // Empty resident dataset: zero neighbors, always outlier.
+                out.push(ScorePoint {
+                    neighbors: 0,
+                    outlier: true,
+                });
+                continue;
+            };
+            traffic[plan.mt.plan.locate(q) as usize] += 1;
+            let mut neighbors = 0usize;
+            for (pid, state) in plan.states.iter().enumerate() {
+                if neighbors >= k {
+                    break;
+                }
+                if state.core_len() == 0 {
+                    continue;
+                }
+                // Core sets partition the dataset (Lemma 3.1 replicates
+                // only support copies), so partitions whose rectangle is
+                // farther than `r` cannot contribute core neighbors.
+                let rect = plan.mt.plan.rect(pid);
+                if metric.min_dist_to_rect(rect.min(), rect.max(), q) > r {
+                    continue;
+                }
+                neighbors += state.count_core_neighbors(q, k - neighbors);
+            }
+            out.push(ScorePoint {
+                neighbors,
+                outlier: neighbors < k,
+            });
+        }
+        if traffic.iter().any(|&t| t > 0) {
+            let mut observed = self.observed.lock().expect("observed lock");
+            // A refresh may have shrunk the vector concurrently; the
+            // stale remainder of this batch is attributed best-effort.
+            for (pid, &t) in traffic.iter().enumerate() {
+                if let Some(slot) = observed.get_mut(pid) {
+                    *slot += t as f64;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Runs full detection over every resident partition (the `detect`
+    /// op). Returns the ascending ids of all outliers — exactly the
+    /// one-shot pipeline's answer for the same configuration and data.
+    fn detect_all(&self, deadline: Option<Instant>) -> Result<Vec<PointId>, EngineError> {
+        let resident = Arc::clone(&self.resident.read().expect("resident lock"));
+        let Some(plan) = &resident.plan else {
+            return Ok(Vec::new());
+        };
+        let mut outliers = Vec::new();
+        for state in &plan.states {
+            if let Some(d) = deadline {
+                if Instant::now() > d {
+                    return Err(EngineError::DeadlineExceeded);
+                }
+            }
+            outliers.extend(state.detect().outliers);
+        }
+        // Core sets are disjoint, so this is a sort of unique ids.
+        outliers.sort_unstable();
+        Ok(outliers)
+    }
+}
+
+/// Builder for [`Engine`]. Construct with [`Engine::builder`].
+pub struct EngineBuilder {
+    runner: DodRunner,
+    workers: usize,
+    queue_capacity: usize,
+    default_deadline: Option<Duration>,
+    drift_threshold: f64,
+}
+
+impl EngineBuilder {
+    /// Number of worker threads serving requests (default 2, min 1).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Bound of the submission queue (default
+    /// [`DEFAULT_QUEUE_CAPACITY`], min 1). Submissions beyond the bound
+    /// are rejected with [`EngineError::Overloaded`].
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.queue_capacity = n.max(1);
+        self
+    }
+
+    /// Deadline applied to every request that doesn't carry its own
+    /// (default: none). Measured from submission; a request past its
+    /// deadline fails with [`EngineError::DeadlineExceeded`].
+    pub fn default_deadline(mut self, d: Duration) -> Self {
+        self.default_deadline = Some(d);
+        self
+    }
+
+    /// Drift threshold of [`Engine::refresh_if_drifted`] (default
+    /// [`DEFAULT_DRIFT_THRESHOLD`]): total-variation distance in
+    /// `[0, 1]` between the plan's predicted and the observed
+    /// per-partition distribution above which the plan is rebuilt.
+    pub fn drift_threshold(mut self, t: f64) -> Self {
+        self.drift_threshold = t;
+        self
+    }
+
+    /// Runs preprocessing once over `data`, materializes per-partition
+    /// detector state, and starts the worker pool.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::Pipeline`] if preprocessing fails (e.g.
+    /// dimensionally inconsistent input).
+    pub fn build(self, data: &PointSet) -> Result<Engine, EngineError> {
+        let data = data.clone();
+        let obs = self.runner.config().obs.clone();
+        let (plan, counts) = Shared::materialize(&self.runner, &data)?;
+        let dim = data.dim();
+        let shared = Arc::new(Shared {
+            runner: self.runner,
+            data,
+            dim,
+            resident: RwLock::new(Arc::new(Resident { epoch: 0, plan })),
+            observed: Mutex::new(counts),
+            refresh: Mutex::new(()),
+            obs,
+        });
+        Ok(Engine {
+            shared,
+            pool: WorkerPool::new(self.workers, self.queue_capacity),
+            default_deadline: self.default_deadline,
+            drift_threshold: self.drift_threshold,
+        })
+    }
+}
+
+/// A resident detection engine.
+///
+/// Preprocessing (sampling, partition planning, per-partition algorithm
+/// selection) and detector-state materialization run **once**, at
+/// [`EngineBuilder::build`]; every subsequent request is served from the
+/// resident [`PartitionState`]s on a bounded worker pool:
+///
+/// * [`Engine::score_batch`] — classify external query points against
+///   the resident dataset;
+/// * [`Engine::detect_all`] — the full outlier set of the resident
+///   dataset, identical to the one-shot pipeline's answer;
+/// * [`Engine::refresh_plan`] / [`Engine::refresh_if_drifted`] — rebuild
+///   the plan when the observed per-partition distribution has drifted
+///   from the plan's predictions.
+///
+/// Submission is non-blocking: when the bounded queue is full, requests
+/// are rejected with [`EngineError::Overloaded`] instead of queueing
+/// without bound. Each request may carry a deadline.
+pub struct Engine {
+    shared: Arc<Shared>,
+    pool: WorkerPool,
+    default_deadline: Option<Duration>,
+    drift_threshold: f64,
+}
+
+impl Engine {
+    /// Starts building an engine around a configured pipeline runner.
+    pub fn builder(runner: DodRunner) -> EngineBuilder {
+        EngineBuilder {
+            runner,
+            workers: 2,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            default_deadline: None,
+            drift_threshold: DEFAULT_DRIFT_THRESHOLD,
+        }
+    }
+
+    /// The underlying pipeline configuration.
+    pub fn config(&self) -> &DodConfig {
+        self.shared.runner.config()
+    }
+
+    /// Current plan epoch (0 until the first refresh).
+    pub fn epoch(&self) -> u64 {
+        self.shared.resident.read().expect("resident lock").epoch
+    }
+
+    /// Number of partitions in the resident plan (0 for an empty
+    /// dataset).
+    pub fn num_partitions(&self) -> usize {
+        self.shared
+            .resident
+            .read()
+            .expect("resident lock")
+            .plan
+            .as_ref()
+            .map_or(0, |p| p.mt.num_partitions())
+    }
+
+    /// Requests currently queued (submitted, not yet picked up).
+    pub fn queue_depth(&self) -> usize {
+        self.pool.queue_depth()
+    }
+
+    /// Scores a batch of query points against the resident dataset with
+    /// the engine's default deadline: for each point, whether it would
+    /// be a distance-threshold outlier (fewer than `k` resident points
+    /// within `r`).
+    ///
+    /// Returns immediately with a [`Pending`] handle, or with
+    /// [`EngineError::Overloaded`] when the submission queue is full.
+    pub fn score_batch(
+        &self,
+        points: Vec<Vec<f64>>,
+    ) -> Result<Pending<Vec<ScorePoint>>, EngineError> {
+        self.score_batch_inner(points, self.default_deadline)
+    }
+
+    /// [`Engine::score_batch`] with an explicit per-request deadline.
+    pub fn score_batch_within(
+        &self,
+        points: Vec<Vec<f64>>,
+        deadline: Duration,
+    ) -> Result<Pending<Vec<ScorePoint>>, EngineError> {
+        self.score_batch_inner(points, Some(deadline))
+    }
+
+    fn score_batch_inner(
+        &self,
+        points: Vec<Vec<f64>>,
+        deadline: Option<Duration>,
+    ) -> Result<Pending<Vec<ScorePoint>>, EngineError> {
+        let items = points.len();
+        self.submit("score", items, deadline, move |shared, d| {
+            shared.score(&points, d)
+        })
+    }
+
+    /// Detects all outliers of the resident dataset with the engine's
+    /// default deadline. The answer (ascending ids) is exactly the
+    /// one-shot pipeline's outlier set for the same configuration,
+    /// strategy, and data.
+    pub fn detect_all(&self) -> Result<Pending<Vec<PointId>>, EngineError> {
+        self.detect_all_inner(self.default_deadline)
+    }
+
+    /// [`Engine::detect_all`] with an explicit per-request deadline.
+    pub fn detect_all_within(
+        &self,
+        deadline: Duration,
+    ) -> Result<Pending<Vec<PointId>>, EngineError> {
+        self.detect_all_inner(Some(deadline))
+    }
+
+    fn detect_all_inner(
+        &self,
+        deadline: Option<Duration>,
+    ) -> Result<Pending<Vec<PointId>>, EngineError> {
+        let items = self.shared.data.len();
+        self.submit("detect", items, deadline, move |shared, d| {
+            shared.detect_all(d)
+        })
+    }
+
+    fn submit<T: Send + 'static>(
+        &self,
+        op: &'static str,
+        items: usize,
+        deadline: Option<Duration>,
+        f: impl FnOnce(&Shared, Option<Instant>) -> Result<T, EngineError> + Send + 'static,
+    ) -> Result<Pending<T>, EngineError> {
+        let deadline_at = deadline.map(|d| Instant::now() + d);
+        let shared = Arc::clone(&self.shared);
+        let (tx, pending) = Pending::channel();
+        let job: Job = Box::new(move || {
+            let obs = shared.obs.clone();
+            if deadline_at.is_some_and(|d| Instant::now() > d) {
+                obs.counter(names::ENGINE_DEADLINE_MISSES, 1, &[("op", Value::from(op))]);
+                let _ = tx.send(Err(EngineError::DeadlineExceeded));
+                return;
+            }
+            let epoch = shared.resident.read().expect("resident lock").epoch;
+            let t0 = Instant::now();
+            let result = f(&shared, deadline_at);
+            match &result {
+                Ok(_) => {
+                    // Served entirely from resident state — no rebuild.
+                    obs.counter(names::ENGINE_CACHE_HITS, 1, &[("op", Value::from(op))]);
+                    obs.record_duration(
+                        names::ENGINE_REQUEST,
+                        t0.elapsed(),
+                        &[
+                            ("op", Value::from(op)),
+                            ("items", Value::from(items)),
+                            ("epoch", Value::from(epoch)),
+                        ],
+                    );
+                }
+                Err(EngineError::DeadlineExceeded) => {
+                    obs.counter(names::ENGINE_DEADLINE_MISSES, 1, &[("op", Value::from(op))]);
+                }
+                Err(_) => {}
+            }
+            let _ = tx.send(result);
+        });
+        match self.pool.try_submit(job) {
+            Ok(depth) => {
+                self.shared
+                    .obs
+                    .observe(names::ENGINE_QUEUE_DEPTH, depth as f64, &[]);
+                Ok(pending)
+            }
+            Err(e) => {
+                if matches!(e, EngineError::Overloaded) {
+                    self.shared
+                        .obs
+                        .counter(names::ENGINE_REJECTED, 1, &[("op", Value::from(op))]);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Total-variation distance in `[0, 1]` between the resident plan's
+    /// predicted per-partition distribution and the observed one (core
+    /// counts plus scored query traffic). 0.0 for an empty dataset.
+    pub fn drift(&self) -> f64 {
+        let resident = Arc::clone(&self.shared.resident.read().expect("resident lock"));
+        let Some(plan) = &resident.plan else {
+            return 0.0;
+        };
+        let observed = self.shared.observed.lock().expect("observed lock");
+        if observed.iter().sum::<f64>() <= 0.0 {
+            return 0.0;
+        }
+        plan.mt.drift_against(&observed)
+    }
+
+    /// Rebuilds the plan unconditionally: re-samples with a reseeded
+    /// configuration (base seed + new epoch), re-plans, re-materializes
+    /// every partition's detector state, and atomically swaps the new
+    /// epoch in. In-flight requests finish against the epoch they
+    /// started on. Returns the new epoch.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::Pipeline`] if re-planning fails; the
+    /// previous resident state stays live in that case.
+    pub fn refresh_plan(&self) -> Result<u64, EngineError> {
+        self.refresh_inner(None)
+    }
+
+    /// Probes drift and rebuilds the plan iff it exceeds the engine's
+    /// drift threshold. Returns the new epoch when a refresh ran.
+    pub fn refresh_if_drifted(&self) -> Result<Option<u64>, EngineError> {
+        let drift = self.drift();
+        let refresh = drift > self.drift_threshold;
+        self.shared.obs.mark(
+            names::ENGINE_DRIFT,
+            &[
+                ("drift", Value::from(drift)),
+                ("threshold", Value::from(self.drift_threshold)),
+                ("refreshed", Value::from(u64::from(refresh))),
+            ],
+        );
+        if refresh {
+            self.refresh_inner(Some(drift)).map(Some)
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn refresh_inner(&self, drift: Option<f64>) -> Result<u64, EngineError> {
+        let shared = &self.shared;
+        // Serialize refreshes; requests keep serving from the old epoch
+        // (behind its own Arc) until the swap below.
+        let _serial = shared.refresh.lock().expect("refresh lock");
+        let t0 = Instant::now();
+        let epoch = shared.resident.read().expect("resident lock").epoch + 1;
+        let base = shared.runner.config();
+        let cfg = base
+            .to_builder()
+            .seed(base.seed.wrapping_add(epoch))
+            .build()
+            .map_err(dod::Error::from)?;
+        let (plan, counts) = Shared::materialize(&shared.runner.with_config(cfg), &shared.data)?;
+        {
+            let mut w = shared.resident.write().expect("resident lock");
+            *w = Arc::new(Resident { epoch, plan });
+        }
+        *shared.observed.lock().expect("observed lock") = counts;
+        let mut labels = vec![("epoch", Value::from(epoch))];
+        if let Some(d) = drift {
+            labels.push(("drift", Value::from(d)));
+        }
+        shared
+            .obs
+            .record_duration(names::ENGINE_REFRESH, t0.elapsed(), &labels);
+        Ok(epoch)
+    }
+
+    /// Parks every worker thread until the returned guard is dropped.
+    ///
+    /// Deterministic-test hook: with all workers parked, submissions
+    /// queue up (and overflow into [`EngineError::Overloaded`]) without
+    /// any timing dependence. Returns after all workers are parked.
+    ///
+    /// Do not call while a previous [`PauseGuard`] is still alive — the
+    /// second call's blocker jobs would wait forever behind the parked
+    /// workers.
+    pub fn pause(&self) -> PauseGuard {
+        let workers = self.pool.workers();
+        let gate = Arc::new(Gate {
+            released: Mutex::new(false),
+            cv: Condvar::new(),
+        });
+        let (entered_tx, entered_rx) = mpsc::channel();
+        for _ in 0..workers {
+            let gate = Arc::clone(&gate);
+            let entered_tx = entered_tx.clone();
+            self.pool
+                .submit_blocking(Box::new(move || {
+                    let _ = entered_tx.send(());
+                    gate.park();
+                }))
+                .expect("engine owns a live pool");
+        }
+        for _ in 0..workers {
+            entered_rx.recv().expect("parked worker signals entry");
+        }
+        PauseGuard { gate }
+    }
+}
+
+struct Gate {
+    released: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn park(&self) {
+        let mut released = self.released.lock().expect("gate lock");
+        while !*released {
+            released = self.cv.wait(released).expect("gate lock");
+        }
+    }
+
+    fn open(&self) {
+        *self.released.lock().expect("gate lock") = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Guard returned by [`Engine::pause`]; dropping it releases the parked
+/// workers, which then drain the queue.
+pub struct PauseGuard {
+    gate: Arc<Gate>,
+}
+
+impl Drop for PauseGuard {
+    fn drop(&mut self) {
+        self.gate.open();
+    }
+}

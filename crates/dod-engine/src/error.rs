@@ -1,0 +1,91 @@
+//! The engine's error surface.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Everything that can go wrong while building or querying an [`Engine`].
+///
+/// [`Engine`]: crate::Engine
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// The bounded submission queue was full; the request was rejected
+    /// without being enqueued. Back off and retry.
+    Overloaded,
+    /// The request's deadline passed before a worker could finish (or
+    /// start) it.
+    DeadlineExceeded,
+    /// The engine's worker pool is gone — the engine was dropped while
+    /// the request was in flight.
+    Terminated,
+    /// A query point's dimensionality does not match the resident
+    /// dataset's.
+    Dimension {
+        /// Dimensionality of the resident dataset.
+        expected: usize,
+        /// Dimensionality of the offending query point.
+        got: usize,
+    },
+    /// Preprocessing (sampling, planning, or re-planning) failed in the
+    /// underlying pipeline.
+    Pipeline(dod::Error),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Overloaded => {
+                write!(f, "engine overloaded: submission queue is full")
+            }
+            EngineError::DeadlineExceeded => write!(f, "request deadline exceeded"),
+            EngineError::Terminated => write!(f, "engine terminated while request was in flight"),
+            EngineError::Dimension { expected, got } => write!(
+                f,
+                "query point has dimension {got}, resident dataset has dimension {expected}"
+            ),
+            EngineError::Pipeline(_) => write!(f, "pipeline preprocessing failed"),
+        }
+    }
+}
+
+impl StdError for EngineError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            EngineError::Pipeline(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dod::Error> for EngineError {
+    fn from(e: dod::Error) -> Self {
+        EngineError::Pipeline(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(EngineError::Overloaded.to_string().contains("queue"));
+        assert!(EngineError::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
+        let e = EngineError::Dimension {
+            expected: 2,
+            got: 3,
+        };
+        assert!(e.to_string().contains('2') && e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn pipeline_errors_chain_their_source() {
+        let inner: dod::Error = dod::ConfigError::NoReducers.into();
+        let e = EngineError::from(inner);
+        assert!(e.source().is_some());
+        // Two hops: EngineError -> dod::Error -> ConfigError.
+        assert!(e.source().unwrap().source().is_some());
+    }
+}

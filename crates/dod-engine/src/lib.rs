@@ -1,0 +1,227 @@
+//! Resident detection engine over the DOD pipeline (`dod-engine`).
+//!
+//! The batch pipeline ([`dod::DodRunner::run`]) pays for preprocessing —
+//! sampling, partition planning, per-partition algorithm selection — and
+//! index construction on **every** invocation. This crate makes that
+//! work resident: an [`Engine`] runs preprocessing once, materializes
+//! each partition's detector state ([`dod_detect::PartitionState`] — the
+//! same build/query split the batch reducers use), and then serves
+//! micro-batch requests against that state:
+//!
+//! * [`Engine::score_batch`] classifies external query points (is each
+//!   one a distance-threshold outlier with respect to the resident
+//!   dataset?), pruning partitions whose rectangle is farther than `r`
+//!   and stopping each count at `k`;
+//! * [`Engine::detect_all`] returns the resident dataset's full outlier
+//!   set — bit-for-bit the one-shot pipeline's answer for the same
+//!   configuration, strategy, and data, because both paths run the same
+//!   exact detectors over the same supporting-area routing;
+//! * [`Engine::refresh_plan`] re-samples and re-plans (a new *epoch*)
+//!   when [`Engine::drift`] — the total-variation distance between the
+//!   plan's predicted per-partition distribution and the observed one —
+//!   exceeds a threshold ([`Engine::refresh_if_drifted`]).
+//!
+//! Requests run on a bounded worker pool behind a bounded submission
+//! queue: when the queue is full, [`EngineError::Overloaded`] is
+//! returned immediately instead of queueing without bound, and each
+//! request may carry a deadline ([`EngineError::DeadlineExceeded`]).
+//!
+//! ```
+//! use dod::{DodConfig, DodRunner};
+//! use dod_core::{OutlierParams, PointSet};
+//! use dod_engine::Engine;
+//!
+//! let mut data = PointSet::from_xy(&[(0.0, 0.0), (0.1, 0.0), (0.0, 0.1)]);
+//! data.push(&[9.0, 9.0]).unwrap(); // isolated
+//! let params = OutlierParams::new(0.5, 2).unwrap();
+//! let config = DodConfig::builder(params).sample_rate(1.0).build().unwrap();
+//! let runner = DodRunner::builder().config(config).multi_tactic().build();
+//!
+//! let engine = Engine::builder(runner).workers(2).build(&data).unwrap();
+//! // The resident outlier set, identical to the one-shot pipeline's.
+//! let outliers = engine.detect_all().unwrap().wait().unwrap();
+//! assert_eq!(outliers, vec![3]);
+//! // Micro-batch scoring of external points against the same state.
+//! let scores = engine
+//!     .score_batch(vec![vec![0.05, 0.05], vec![-7.0, 8.0]])
+//!     .unwrap()
+//!     .wait()
+//!     .unwrap();
+//! assert!(!scores[0].outlier);
+//! assert!(scores[1].outlier);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod engine;
+mod error;
+mod worker;
+
+pub use engine::{
+    Engine, EngineBuilder, PauseGuard, ScorePoint, DEFAULT_DRIFT_THRESHOLD, DEFAULT_QUEUE_CAPACITY,
+};
+pub use error::EngineError;
+pub use worker::Pending;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dod::{DodConfig, DodRunner};
+    use dod_core::{OutlierParams, PointSet};
+
+    fn runner(params: OutlierParams) -> DodRunner {
+        let config = DodConfig::builder(params)
+            .sample_rate(1.0)
+            .num_reducers(3)
+            .target_partitions(8)
+            .build()
+            .unwrap();
+        DodRunner::builder().config(config).multi_tactic().build()
+    }
+
+    fn cluster_with_outlier() -> (PointSet, OutlierParams) {
+        let mut pts: Vec<(f64, f64)> = (0..40)
+            .map(|i| ((i % 8) as f64 * 0.2, (i / 8) as f64 * 0.2))
+            .collect();
+        pts.push((50.0, 50.0));
+        (
+            PointSet::from_xy(&pts),
+            OutlierParams::new(0.75, 4).unwrap(),
+        )
+    }
+
+    #[test]
+    fn detect_all_matches_one_shot_pipeline() {
+        let (data, params) = cluster_with_outlier();
+        let expected = runner(params).run(&data).unwrap().outliers;
+        let engine = Engine::builder(runner(params)).build(&data).unwrap();
+        assert_eq!(engine.detect_all().unwrap().wait().unwrap(), expected);
+        assert_eq!(expected, vec![40]);
+    }
+
+    #[test]
+    fn scoring_counts_resident_neighbors() {
+        let (data, params) = cluster_with_outlier();
+        let engine = Engine::builder(runner(params)).build(&data).unwrap();
+        let scores = engine
+            .score_batch(vec![
+                vec![0.7, 0.7],   // inside the cluster
+                vec![200.0, 0.0], // far away from everything
+            ])
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(!scores[0].outlier);
+        assert_eq!(scores[0].neighbors, params.k); // counting stopped at k
+        assert!(scores[1].outlier);
+        assert_eq!(scores[1].neighbors, 0);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let (data, params) = cluster_with_outlier();
+        let engine = Engine::builder(runner(params)).build(&data).unwrap();
+        let err = engine
+            .score_batch(vec![vec![1.0, 2.0, 3.0]])
+            .unwrap()
+            .wait()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Dimension {
+                expected: 2,
+                got: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn empty_dataset_serves_trivial_answers() {
+        let params = OutlierParams::new(1.0, 2).unwrap();
+        let engine = Engine::builder(runner(params))
+            .build(&PointSet::new(2).unwrap())
+            .unwrap();
+        assert_eq!(engine.num_partitions(), 0);
+        assert!(engine.detect_all().unwrap().wait().unwrap().is_empty());
+        let scores = engine
+            .score_batch(vec![vec![0.0, 0.0]])
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(scores[0].outlier);
+        assert_eq!(engine.drift(), 0.0);
+    }
+
+    #[test]
+    fn refresh_bumps_epoch_and_preserves_answers() {
+        let (data, params) = cluster_with_outlier();
+        let engine = Engine::builder(runner(params)).build(&data).unwrap();
+        let before = engine.detect_all().unwrap().wait().unwrap();
+        assert_eq!(engine.epoch(), 0);
+        let epoch = engine.refresh_plan().unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(engine.epoch(), 1);
+        // A reseeded plan partitions differently but must answer exactly
+        // the same (the detectors are exact under any plan).
+        assert_eq!(engine.detect_all().unwrap().wait().unwrap(), before);
+    }
+
+    #[test]
+    fn skewed_query_traffic_raises_drift_and_triggers_refresh() {
+        let (data, params) = cluster_with_outlier();
+        let engine = Engine::builder(runner(params))
+            .drift_threshold(0.3)
+            .build(&data)
+            .unwrap();
+        assert!(engine.drift() < 0.3, "fresh plan should not be drifted");
+        assert_eq!(engine.refresh_if_drifted().unwrap(), None);
+        // Hammer one corner of the domain with queries: the observed
+        // distribution concentrates in one partition.
+        let batch: Vec<Vec<f64>> = (0..2000).map(|_| vec![50.0, 50.0]).collect();
+        engine.score_batch(batch).unwrap().wait().unwrap();
+        assert!(engine.drift() > 0.3, "drift = {}", engine.drift());
+        let refreshed = engine.refresh_if_drifted().unwrap();
+        assert_eq!(refreshed, Some(1));
+        // The refresh resets the observed distribution.
+        assert!(engine.drift() < 0.3);
+    }
+
+    #[test]
+    fn expired_deadline_is_reported() {
+        let (data, params) = cluster_with_outlier();
+        let engine = Engine::builder(runner(params))
+            .workers(1)
+            .build(&data)
+            .unwrap();
+        // A zero deadline has always expired by the time a worker picks
+        // the request up.
+        let err = engine
+            .detect_all_within(std::time::Duration::ZERO)
+            .unwrap()
+            .wait()
+            .unwrap_err();
+        assert!(matches!(err, EngineError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn paused_engine_rejects_when_queue_overflows() {
+        let (data, params) = cluster_with_outlier();
+        let engine = Engine::builder(runner(params))
+            .workers(1)
+            .queue_capacity(1)
+            .build(&data)
+            .unwrap();
+        let guard = engine.pause();
+        // One request fits in the queue...
+        let queued = engine.detect_all().unwrap();
+        // ...the next must bounce, deterministically.
+        assert!(matches!(
+            engine.detect_all().unwrap_err(),
+            EngineError::Overloaded
+        ));
+        assert_eq!(engine.queue_depth(), 1);
+        drop(guard);
+        assert!(queued.wait().is_ok());
+    }
+}

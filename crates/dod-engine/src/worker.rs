@@ -1,0 +1,225 @@
+//! The engine's bounded worker pool.
+//!
+//! A fixed number of OS threads drain a bounded [`sync_channel`] of
+//! boxed jobs. Submission never blocks: [`WorkerPool::try_submit`]
+//! enqueues or fails immediately when the queue is full, which is what
+//! lets the engine reject with `Overloaded` instead of building an
+//! unbounded backlog.
+//!
+//! [`sync_channel`]: std::sync::mpsc::sync_channel
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{self, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::error::EngineError;
+
+/// A unit of work executed on a pool thread.
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Fixed-size thread pool with a bounded submission queue.
+pub(crate) struct WorkerPool {
+    tx: Option<mpsc::SyncSender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+    depth: Arc<AtomicUsize>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads sharing one queue of `queue_capacity`
+    /// slots. Both are clamped to at least 1.
+    pub(crate) fn new(workers: usize, queue_capacity: usize) -> WorkerPool {
+        let (tx, rx) = mpsc::sync_channel::<Job>(queue_capacity.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let depth = Arc::new(AtomicUsize::new(0));
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let depth = Arc::clone(&depth);
+                std::thread::Builder::new()
+                    .name(format!("dod-engine-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the receiver lock only for the dequeue so
+                        // other workers can pick up jobs while this one
+                        // runs.
+                        let job = match rx.lock().expect("worker queue poisoned").recv() {
+                            Ok(job) => job,
+                            Err(_) => return, // engine dropped
+                        };
+                        depth.fetch_sub(1, Ordering::AcqRel);
+                        job();
+                    })
+                    .expect("spawn engine worker")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            handles,
+            depth,
+        }
+    }
+
+    /// Enqueues a job, or rejects immediately with
+    /// [`EngineError::Overloaded`] when the queue is full. Returns the
+    /// queue depth right after the enqueue.
+    pub(crate) fn try_submit(&self, job: Job) -> Result<usize, EngineError> {
+        // Increment before the send so a dequeue on a worker thread
+        // always pairs with an earlier increment of the same job.
+        let depth = self.depth.fetch_add(1, Ordering::AcqRel) + 1;
+        let tx = self.tx.as_ref().expect("pool alive while engine exists");
+        match tx.try_send(job) {
+            Ok(()) => Ok(depth),
+            Err(TrySendError::Full(_)) => {
+                self.depth.fetch_sub(1, Ordering::AcqRel);
+                Err(EngineError::Overloaded)
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.depth.fetch_sub(1, Ordering::AcqRel);
+                Err(EngineError::Terminated)
+            }
+        }
+    }
+
+    /// Enqueues a job, blocking until a queue slot frees up. Only the
+    /// pause gate uses this: its blocker jobs must reach every worker
+    /// even when the queue is momentarily full.
+    pub(crate) fn submit_blocking(&self, job: Job) -> Result<(), EngineError> {
+        self.depth.fetch_add(1, Ordering::AcqRel);
+        let tx = self.tx.as_ref().expect("pool alive while engine exists");
+        match tx.send(job) {
+            Ok(()) => Ok(()),
+            Err(_) => {
+                self.depth.fetch_sub(1, Ordering::AcqRel);
+                Err(EngineError::Terminated)
+            }
+        }
+    }
+
+    /// Jobs currently queued (submitted, not yet picked up by a worker).
+    pub(crate) fn queue_depth(&self) -> usize {
+        self.depth.load(Ordering::Acquire)
+    }
+
+    /// Number of worker threads.
+    pub(crate) fn workers(&self) -> usize {
+        self.handles.len()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel wakes every worker out of `recv`; queued
+        // jobs still drain before the threads exit.
+        drop(self.tx.take());
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A handle to the result of a submitted request.
+///
+/// The worker fulfills the handle exactly once; [`Pending::wait`] blocks
+/// until then. If the engine is dropped before the request runs, `wait`
+/// returns [`EngineError::Terminated`].
+#[derive(Debug)]
+pub struct Pending<T> {
+    rx: mpsc::Receiver<Result<T, EngineError>>,
+}
+
+impl<T> Pending<T> {
+    /// Creates a pending/fulfiller pair.
+    pub(crate) fn channel() -> (mpsc::SyncSender<Result<T, EngineError>>, Pending<T>) {
+        // Capacity 1: the worker's single `send` never blocks even if
+        // the caller dropped the `Pending` without waiting.
+        let (tx, rx) = mpsc::sync_channel(1);
+        (tx, Pending { rx })
+    }
+
+    /// Blocks until the request completes and returns its result.
+    pub fn wait(self) -> Result<T, EngineError> {
+        self.rx.recv().unwrap_or(Err(EngineError::Terminated))
+    }
+
+    /// Returns the result if the request already completed, `None` if it
+    /// is still in flight.
+    pub fn poll(&self) -> Option<Result<T, EngineError>> {
+        match self.rx.try_recv() {
+            Ok(r) => Some(r),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(EngineError::Terminated)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_submitted_jobs() {
+        let pool = WorkerPool::new(2, 8);
+        let hits = Arc::new(AtomicU32::new(0));
+        let (done_tx, done_rx) = mpsc::channel();
+        for _ in 0..8 {
+            let hits = Arc::clone(&hits);
+            let done_tx = done_tx.clone();
+            pool.try_submit(Box::new(move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+                done_tx.send(()).unwrap();
+            }))
+            .unwrap();
+        }
+        for _ in 0..8 {
+            done_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_overloaded() {
+        let pool = WorkerPool::new(1, 1);
+        // Occupy the single worker...
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        let (entered_tx, entered_rx) = mpsc::channel();
+        pool.try_submit(Box::new(move || {
+            entered_tx.send(()).unwrap();
+            let _ = block_rx.recv();
+        }))
+        .unwrap();
+        entered_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        // ...fill the one queue slot...
+        pool.try_submit(Box::new(|| {})).unwrap();
+        // ...and the next submission must bounce.
+        assert!(matches!(
+            pool.try_submit(Box::new(|| {})),
+            Err(EngineError::Overloaded)
+        ));
+        assert_eq!(pool.queue_depth(), 1);
+        drop(block_tx);
+    }
+
+    #[test]
+    fn drop_drains_queued_jobs() {
+        let hits = Arc::new(AtomicU32::new(0));
+        let pool = WorkerPool::new(1, 16);
+        for _ in 0..10 {
+            let hits = Arc::clone(&hits);
+            pool.try_submit(Box::new(move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+            }))
+            .unwrap();
+        }
+        drop(pool);
+        assert_eq!(hits.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn pending_resolves_to_terminated_if_fulfiller_vanishes() {
+        let (tx, pending) = Pending::<u32>::channel();
+        drop(tx);
+        assert!(matches!(pending.wait(), Err(EngineError::Terminated)));
+    }
+}

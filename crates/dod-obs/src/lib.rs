@@ -31,6 +31,7 @@
 mod event;
 mod jsonl;
 mod memory;
+pub mod names;
 mod obs;
 mod recorder;
 pub mod render;

@@ -1,0 +1,36 @@
+//! Well-known event names of the resident engine.
+//!
+//! The batch pipeline writes its event names inline at the emit sites
+//! (`"dod.stage"`, `"dod.plan"`, `"mapreduce.task"`, …) because each
+//! name has exactly one producer. The engine's names are shared between
+//! the engine crate (producer) and dashboards/tests (consumers polling
+//! queue depth or request spans), so they live here as constants both
+//! sides can reference.
+
+/// Span: one engine request, from dequeue to completion. Labels: `op`
+/// (`"score"` or `"detect"`), `items` (points scored), `epoch`.
+pub const ENGINE_REQUEST: &str = "engine.request";
+
+/// Observation: submission-queue depth sampled at each enqueue attempt.
+pub const ENGINE_QUEUE_DEPTH: &str = "engine.queue_depth";
+
+/// Counter: requests rejected with `Overloaded` because the bounded
+/// submission queue was full.
+pub const ENGINE_REJECTED: &str = "engine.rejected";
+
+/// Counter: requests that missed their deadline and returned
+/// `DeadlineExceeded`.
+pub const ENGINE_DEADLINE_MISSES: &str = "engine.deadline_misses";
+
+/// Counter: requests answered entirely from resident partition state
+/// (no rebuild) — the engine's cache hits.
+pub const ENGINE_CACHE_HITS: &str = "engine.cache_hits";
+
+/// Span: one full plan refresh (re-sample, re-plan, re-materialize).
+/// Labels: `epoch` (the new epoch), `drift` (the observed drift that
+/// triggered it, when drift-triggered).
+pub const ENGINE_REFRESH: &str = "engine.refresh";
+
+/// Mark: a drift probe. Labels: `drift` (total-variation distance in
+/// `[0, 1]`), `threshold`, `refreshed` (whether a refresh was triggered).
+pub const ENGINE_DRIFT: &str = "engine.drift";

@@ -4,7 +4,7 @@
 //! which a set of N numbers needs to be divided into K subsets, such that
 //! the sums within each subset are as similar as possible. This problem is
 //! known to be NP-Complete. ... In DOD, we adopt the polynomial-time
-//! algorithm proposed in [25]." We implement the standard polynomial
+//! algorithm proposed in \[25\]." We implement the standard polynomial
 //! scheme — Longest-Processing-Time-first list scheduling — plus a local
 //! pairwise-improvement pass, and the naive policies the non-cost-aware
 //! baselines use.

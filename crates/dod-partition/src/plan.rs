@@ -443,6 +443,54 @@ impl MultiTacticPlan {
     pub fn num_partitions(&self) -> usize {
         self.plan.num_partitions()
     }
+
+    /// How far the observed per-partition point counts have drifted from
+    /// the plan's predictions ([`MultiTacticPlan::estimated_counts`]).
+    ///
+    /// Returns [`distribution_drift`] between the two, in `[0, 1]`: `0`
+    /// when the observed mass lands exactly as predicted, approaching `1`
+    /// when it concentrates where the plan expected none. A resident
+    /// engine re-plans when this exceeds its drift threshold — the plan's
+    /// cost balancing (and hence its algorithm choices) was fitted to the
+    /// predicted distribution, not the drifted one.
+    ///
+    /// `observed` is indexed by partition id; missing trailing entries
+    /// count as zero, surplus entries (points that fit no partition) are
+    /// ignored.
+    pub fn drift_against(&self, observed: &[f64]) -> f64 {
+        let m = self.estimated_counts.len();
+        distribution_drift(&self.estimated_counts, &observed[..observed.len().min(m)])
+    }
+}
+
+/// Total-variation distance between two non-negative weight vectors,
+/// each normalized to a probability distribution: `½ Σ |p_i − q_i|`,
+/// in `[0, 1]`.
+///
+/// Shorter vectors are implicitly zero-padded; if either vector has no
+/// mass at all, the drift is `0` when both are empty and `1` otherwise
+/// (all mass moved somewhere unaccounted for).
+pub fn distribution_drift(predicted: &[f64], observed: &[f64]) -> f64 {
+    let sum = |v: &[f64]| -> f64 { v.iter().filter(|x| x.is_finite() && **x > 0.0).sum() };
+    let p_total = sum(predicted);
+    let q_total = sum(observed);
+    match (p_total > 0.0, q_total > 0.0) {
+        (false, false) => return 0.0,
+        (true, true) => {}
+        _ => return 1.0,
+    }
+    let len = predicted.len().max(observed.len());
+    let mass = |v: &[f64], i: usize| -> f64 {
+        v.get(i)
+            .copied()
+            .filter(|x| x.is_finite() && *x > 0.0)
+            .unwrap_or(0.0)
+    };
+    let mut tv = 0.0;
+    for i in 0..len {
+        tv += (mass(predicted, i) / p_total - mass(observed, i) / q_total).abs();
+    }
+    tv / 2.0
 }
 
 /// Shared inputs every partitioning strategy receives.
@@ -644,5 +692,59 @@ mod tests {
         let counts = plan.count_sample(&sample);
         assert_eq!(counts.iter().sum::<u64>(), 3);
         assert_eq!(counts[plan.locate(&[1.0, 1.0]) as usize], 2);
+    }
+
+    #[test]
+    fn drift_of_identical_distributions_is_zero() {
+        assert_eq!(distribution_drift(&[1.0, 3.0], &[1.0, 3.0]), 0.0);
+        // Scale invariance: only the shape matters.
+        assert!(distribution_drift(&[1.0, 3.0], &[10.0, 30.0]).abs() < 1e-12);
+        assert_eq!(distribution_drift(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn drift_of_disjoint_distributions_is_one() {
+        assert!((distribution_drift(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-12);
+        // All mass vanished (or appeared from nowhere).
+        assert_eq!(distribution_drift(&[1.0], &[]), 1.0);
+        assert_eq!(distribution_drift(&[0.0], &[2.0]), 1.0);
+    }
+
+    #[test]
+    fn drift_is_monotone_in_moved_mass() {
+        let base = [5.0, 5.0];
+        let small = distribution_drift(&base, &[6.0, 4.0]);
+        let large = distribution_drift(&base, &[9.0, 1.0]);
+        assert!(0.0 < small && small < large && large < 1.0);
+        // A quarter of the mass moved: TV distance is exactly 0.2.
+        assert!((small - 0.1).abs() < 1e-12);
+        assert!((large - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drift_ignores_non_finite_and_negative_mass() {
+        let d = distribution_drift(&[f64::NAN, 1.0], &[-3.0, 1.0]);
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn plan_drift_against_observed_counts() {
+        let plan = PartitionPlan::from_grid(GridSpec::uniform(domain(), 2).unwrap());
+        let sample = PointSet::from_xy(&[(1.0, 1.0), (6.0, 1.0), (1.0, 6.0), (6.0, 6.0)]);
+        let mt = MultiTacticPlan::build(
+            plan,
+            &sample,
+            1.0,
+            params(),
+            &[AlgorithmKind::NestedLoop],
+            2,
+            AllocationSpec::round_robin(),
+        );
+        // Observed exactly as estimated: no drift.
+        assert!(mt.drift_against(&mt.estimated_counts).abs() < 1e-12);
+        // Everything landed in one partition: strong drift.
+        let mut skewed = vec![0.0; mt.num_partitions()];
+        skewed[0] = 100.0;
+        assert!(mt.drift_against(&skewed) > 0.5);
     }
 }

@@ -21,7 +21,7 @@ pub const MAX_TOTAL_BUCKETS: usize = 65_536;
 #[derive(Debug, Clone, Copy)]
 pub struct Dmt {
     /// Mini buckets per dimension (Section V-A stage 1). Clamped so the
-    /// total bucket count stays below [`MAX_TOTAL_BUCKETS`].
+    /// total bucket count stays below `MAX_TOTAL_BUCKETS`.
     pub buckets_per_dim: usize,
     /// `Tdiff` as a fraction of the dataset's mean density
     /// (Definition 5.2, criterion 1).

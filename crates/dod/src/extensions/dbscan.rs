@@ -1,5 +1,5 @@
 //! Distributed density-based clustering (DBSCAN) on the DOD framework —
-//! the MR-DBSCAN task of the paper's reference [16], included to
+//! the MR-DBSCAN task of the paper's reference \[16\], included to
 //! substantiate the framework-generality claim of Section III-B.
 //!
 //! DBSCAN(ε, minPts): a point is a **core point** iff it has at least
@@ -394,13 +394,13 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn config(eps: f64, min_pts: usize) -> DodConfig {
-        DodConfig {
-            sample_rate: 1.0,
-            block_size: 64,
-            num_reducers: 4,
-            target_partitions: 9,
-            ..DodConfig::new(OutlierParams::new(eps, min_pts).unwrap())
-        }
+        DodConfig::builder(OutlierParams::new(eps, min_pts).unwrap())
+            .sample_rate(1.0)
+            .block_size(64)
+            .num_reducers(4)
+            .target_partitions(9)
+            .build()
+            .unwrap()
     }
 
     /// Two labelings are equivalent if they induce the same partition of

@@ -1,6 +1,6 @@
 //! Distributed LOCI outlier detection on the DOD framework — the second
 //! mining task Section III-B names as adaptable ("density-based
-//! clustering [16] and LOCI outlier detection [22]").
+//! clustering \[16\] and LOCI outlier detection \[22\]").
 //!
 //! LOCI (Papadimitriou et al., ICDE 2003), bounded-radius variant: for a
 //! geometric ladder of radii `r ∈ {r_max, r_max/2, ...}` define
@@ -291,13 +291,13 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn dod_config(r: f64) -> DodConfig {
-        DodConfig {
-            sample_rate: 1.0,
-            block_size: 128,
-            num_reducers: 4,
-            target_partitions: 9,
-            ..DodConfig::new(OutlierParams::new(r, 1).unwrap())
-        }
+        DodConfig::builder(OutlierParams::new(r, 1).unwrap())
+            .sample_rate(1.0)
+            .block_size(128)
+            .num_reducers(4)
+            .target_partitions(9)
+            .build()
+            .unwrap()
     }
 
     fn uniform_with_planted(seed: u64, n: usize) -> (PointSet, Vec<u64>) {

@@ -5,11 +5,11 @@
 //! substantiate the claim:
 //!
 //! * [`similarity_join`] — exact distance self-join (all pairs within
-//!   `r`), the workload of the paper's related-work comparison [14];
+//!   `r`), the workload of the paper's related-work comparison \[14\];
 //! * [`dbscan`] — distributed density-based clustering (the MR-DBSCAN
-//!   task of reference [16]): local DBSCAN per partition plus a global
+//!   task of reference \[16\]): local DBSCAN per partition plus a global
 //!   cluster-merge step;
-//! * [`loci`] — distributed LOCI outlier detection (reference [22]),
+//! * [`loci`] — distributed LOCI outlier detection (reference \[22\]),
 //!   exact thanks to a widened `(1+α)·r_max` supporting radius.
 
 pub mod dbscan;

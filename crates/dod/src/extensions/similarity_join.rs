@@ -205,13 +205,13 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn config(r: f64) -> DodConfig {
-        DodConfig {
-            sample_rate: 1.0,
-            block_size: 64,
-            num_reducers: 4,
-            target_partitions: 9,
-            ..DodConfig::new(OutlierParams::new(r, 1).unwrap())
-        }
+        DodConfig::builder(OutlierParams::new(r, 1).unwrap())
+            .sample_rate(1.0)
+            .block_size(64)
+            .num_reducers(4)
+            .target_partitions(9)
+            .build()
+            .unwrap()
     }
 
     fn random_data(seed: u64, n: usize, extent: f64) -> PointSet {

@@ -9,7 +9,7 @@
 
 use dod_core::{OutlierParams, PointId, PointSet};
 use dod_detect::cost::AlgorithmKind;
-use dod_detect::{Detection, Partition};
+use dod_detect::{Detection, Partition, PartitionState};
 use dod_obs::Obs;
 use dod_partition::Router;
 use mapreduce::{EstimateSize, Mapper, Reducer};
@@ -136,9 +136,14 @@ impl DodReducer {
 
     /// Runs the assigned detector on one materialized partition, emitting
     /// its work counters when an observability handle is attached.
-    pub fn detect(&self, partition_id: u32, partition: &Partition) -> Detection {
+    ///
+    /// The detection goes through [`PartitionState`] — the same build +
+    /// query split the resident engine serves requests from — so the
+    /// batch pipeline and the engine share one detection code path.
+    pub fn detect(&self, partition_id: u32, partition: Arc<Partition>) -> Detection {
         let kind = self.algorithm_for(partition_id);
-        let detection = kind.detector().detect(partition, self.params);
+        let state = PartitionState::build(kind, partition, self.params);
+        let detection = state.detect();
         detection
             .stats
             .record_to(&self.obs, partition_id as usize, kind.name());
@@ -152,8 +157,8 @@ impl Reducer for DodReducer {
     type Out = PointId;
 
     fn reduce(&self, key: &u32, values: Vec<TaggedPoint>, emit: &mut dyn FnMut(PointId)) {
-        let partition = self.build_partition(values);
-        let detection = self.detect(*key, &partition);
+        let partition = Arc::new(self.build_partition(values));
+        let detection = self.detect(*key, partition);
         for id in detection.outliers {
             emit(id);
         }
@@ -213,12 +218,12 @@ mod tests {
                 coords: vec![0.5, 0.0],
             },
         ];
-        let partition = reducer.build_partition(values);
+        let partition = Arc::new(reducer.build_partition(values));
         assert_eq!(partition.core().len(), 1);
         assert_eq!(partition.support().len(), 1);
         assert_eq!(partition.core_id(0), 3);
         // The support point rescues the core point from outlier status.
-        let det = reducer.detect(0, &partition);
+        let det = reducer.detect(0, partition);
         assert!(det.outliers.is_empty());
     }
 
@@ -254,12 +259,12 @@ mod tests {
     #[test]
     fn unknown_partition_falls_back_to_nested_loop() {
         let reducer = DodReducer::new(OutlierParams::new(1.0, 1).unwrap(), 2, Arc::new(vec![]));
-        let partition = reducer.build_partition(vec![TaggedPoint {
+        let partition = Arc::new(reducer.build_partition(vec![TaggedPoint {
             support: false,
             id: 0,
             coords: vec![1.0, 1.0],
-        }]);
-        let det = reducer.detect(99, &partition);
+        }]));
+        let det = reducer.detect(99, partition);
         assert_eq!(det.outliers, vec![0]);
     }
 

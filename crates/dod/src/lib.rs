@@ -35,20 +35,29 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod config;
 pub mod extensions;
 pub mod framework;
 pub mod pipeline;
 pub mod two_job;
 
+pub use config::{ConfigError, DodConfig, DodConfigBuilder};
 pub use framework::TaggedPoint;
 pub use pipeline::{
-    DetectionMode, DodConfig, DodError, DodOutcome, DodRunner, DodRunnerBuilder, RunReport,
+    DetectionMode, DodError, DodOutcome, DodRunner, DodRunnerBuilder, Preprocessed, RunReport,
     StageBreakdown,
 };
 
+/// The crate's single error surface: every fallible public operation
+/// reports a [`pipeline::DodError`], with the underlying configuration,
+/// geometry, or MapReduce failure reachable via
+/// [`std::error::Error::source`].
+pub use pipeline::DodError as Error;
+
 /// Convenient re-exports for typical callers.
 pub mod prelude {
-    pub use crate::pipeline::{DetectionMode, DodConfig, DodOutcome, DodRunner, RunReport};
+    pub use crate::config::{ConfigError, DodConfig, DodConfigBuilder};
+    pub use crate::pipeline::{DetectionMode, DodOutcome, DodRunner, RunReport};
     pub use dod_core::{OutlierParams, PointSet};
     pub use dod_detect::cost::AlgorithmKind;
     pub use dod_partition::{

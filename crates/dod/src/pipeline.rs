@@ -14,19 +14,19 @@
 //! The Domain baseline (no supporting areas) instead runs the two-job
 //! candidate/verification protocol of [`crate::two_job`].
 
+pub use crate::config::{ConfigError, DodConfig};
+
 use crate::framework::{DodMapper, DodReducer, InputPoint};
 use crate::two_job::{
     Candidate, CandidateIndex, CandidateMapper, CandidateReducer, VerifyMapper, VerifyReducer,
 };
 use dod_core::{CoreError, OutlierParams, PointId, PointSet};
 use dod_detect::cost::{AlgorithmKind, PAPER_CANDIDATES};
-use dod_obs::{Obs, Value};
-use dod_partition::sample::DEFAULT_SAMPLE_RATE;
+use dod_obs::Value;
 use dod_partition::{
-    sample_points, AllocationSpec, Dmt, LocalCostEstimator, MultiTacticPlan, PartitionStrategy,
-    PlanContext,
+    sample_points, Dmt, LocalCostEstimator, MultiTacticPlan, PartitionStrategy, PlanContext, Router,
 };
-use mapreduce::{run_job_obs, BlockStore, ClusterConfig, JobError, JobMetrics};
+use mapreduce::{run_job_obs, BlockStore, JobError, JobMetrics};
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -36,12 +36,22 @@ type JobOutputs = (Vec<JobMetrics>, Vec<PointId>, Vec<(u32, Duration)>);
 use std::time::{Duration, Instant};
 
 /// Errors from a pipeline run.
+///
+/// This is the single error surface of the crate (re-exported as
+/// [`crate::Error`]): configuration validation, geometry/parameter
+/// checks, and MapReduce execution failures all arrive here, with the
+/// underlying error reachable through [`std::error::Error::source`].
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum DodError {
-    /// A MapReduce job failed.
+    /// A MapReduce job failed (task retries exhausted, or records were
+    /// emitted to a job with no reducers).
     Job(JobError),
-    /// Invalid geometry or parameters.
+    /// Invalid geometry or parameters (dimension mismatch, empty input
+    /// where points are required, out-of-range parameter).
     Core(CoreError),
+    /// A configuration failed [`DodConfig::builder`] validation.
+    Config(ConfigError),
 }
 
 impl std::fmt::Display for DodError {
@@ -49,11 +59,20 @@ impl std::fmt::Display for DodError {
         match self {
             DodError::Job(e) => write!(f, "job failed: {e}"),
             DodError::Core(e) => write!(f, "invalid input: {e}"),
+            DodError::Config(e) => write!(f, "invalid configuration: {e}"),
         }
     }
 }
 
-impl std::error::Error for DodError {}
+impl std::error::Error for DodError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DodError::Job(e) => Some(e),
+            DodError::Core(e) => Some(e),
+            DodError::Config(e) => Some(e),
+        }
+    }
+}
 
 impl From<JobError> for DodError {
     fn from(e: JobError) -> Self {
@@ -67,6 +86,12 @@ impl From<CoreError> for DodError {
     }
 }
 
+impl From<ConfigError> for DodError {
+    fn from(e: ConfigError) -> Self {
+        DodError::Config(e)
+    }
+}
+
 /// How reducers pick their detection algorithm.
 #[derive(Debug, Clone)]
 pub enum DetectionMode {
@@ -75,61 +100,6 @@ pub enum DetectionMode {
     Fixed(AlgorithmKind),
     /// Per-partition selection over a candidate set (Corollary 4.3).
     MultiTactic(Vec<AlgorithmKind>),
-}
-
-/// Pipeline configuration.
-#[derive(Debug, Clone)]
-pub struct DodConfig {
-    /// Outlier parameters (`r`, `k`).
-    pub params: OutlierParams,
-    /// Logical cluster topology.
-    pub cluster: ClusterConfig,
-    /// Number of reduce tasks.
-    pub num_reducers: usize,
-    /// Desired number of partitions `m` (≥ reducers for balance slack).
-    pub target_partitions: usize,
-    /// Sampling rate Υ of the preprocessing job.
-    pub sample_rate: f64,
-    /// Input items per HDFS-like block (map-task granularity).
-    pub block_size: usize,
-    /// Block replication factor (storage accounting only).
-    pub replication: usize,
-    /// Seed for sampling and randomized detectors.
-    pub seed: u64,
-    /// Partition→reducer allocation override. `None` uses the strategy's
-    /// paper-faithful default (round-robin for Domain/uniSpace,
-    /// cardinality-balanced for DDriven, cost-balanced for CDriven/DMT).
-    pub allocation: Option<AllocationSpec>,
-    /// Use the paper's per-partition average-density cost models
-    /// (Lemmas 4.1/4.2) instead of the default locality-aware estimator
-    /// (see `dod_partition::estimate`). Kept for the cost-model ablation.
-    pub paper_cost_model: bool,
-    /// Observability sink for the run: stage spans, plan decisions,
-    /// MapReduce task spans, and per-partition detector counters flow
-    /// through it. Defaults to the disabled handle (zero overhead).
-    pub obs: Obs,
-}
-
-impl DodConfig {
-    /// A reasonable default configuration for the given parameters:
-    /// 8-node cluster, 32 reducers, 128 target partitions, the paper's
-    /// 0.5% sampling rate.
-    pub fn new(params: OutlierParams) -> Self {
-        let cluster = ClusterConfig::default();
-        DodConfig {
-            params,
-            cluster,
-            num_reducers: cluster.reduce_lanes(),
-            target_partitions: cluster.reduce_lanes() * 4,
-            sample_rate: DEFAULT_SAMPLE_RATE,
-            block_size: 64 * 1024,
-            replication: 3,
-            seed: 0xD0D_5EED,
-            allocation: None,
-            paper_cost_model: false,
-            obs: Obs::null(),
-        }
-    }
 }
 
 /// Stage breakdown of a run (the Figure 10 bars).
@@ -205,9 +175,15 @@ pub struct DodOutcome {
 }
 
 /// The configured pipeline. Construct with [`DodRunner::builder`].
+///
+/// Cloning is cheap (the strategy is shared behind an [`Arc`]); a clone
+/// runs against the same strategy and a copy of the configuration. The
+/// resident engine relies on this to re-plan with a reseeded config via
+/// [`DodRunner::with_config`].
+#[derive(Clone)]
 pub struct DodRunner {
     config: DodConfig,
-    strategy: Box<dyn PartitionStrategy + Send + Sync>,
+    strategy: Arc<dyn PartitionStrategy + Send + Sync>,
     mode: DetectionMode,
 }
 
@@ -215,7 +191,7 @@ pub struct DodRunner {
 pub struct DodRunnerBuilder {
     config: Option<DodConfig>,
     params: Option<OutlierParams>,
-    strategy: Box<dyn PartitionStrategy + Send + Sync>,
+    strategy: Arc<dyn PartitionStrategy + Send + Sync>,
     mode: DetectionMode,
 }
 
@@ -224,7 +200,7 @@ impl Default for DodRunnerBuilder {
         DodRunnerBuilder {
             config: None,
             params: None,
-            strategy: Box::new(Dmt::default()),
+            strategy: Arc::new(Dmt::default()),
             mode: DetectionMode::MultiTactic(PAPER_CANDIDATES.to_vec()),
         }
     }
@@ -246,7 +222,7 @@ impl DodRunnerBuilder {
 
     /// Sets the partitioning strategy (default: [`Dmt`]).
     pub fn strategy(mut self, strategy: impl PartitionStrategy + Send + Sync + 'static) -> Self {
-        self.strategy = Box::new(strategy);
+        self.strategy = Arc::new(strategy);
         self
     }
 
@@ -287,6 +263,21 @@ impl DodRunnerBuilder {
     }
 }
 
+/// Output of the preprocessing job: everything the detection phase (or a
+/// resident engine) needs to route points and detect, plus timing.
+#[derive(Debug, Clone)]
+pub struct Preprocessed {
+    /// The multi-tactic plan: partitions, per-partition algorithms,
+    /// reducer allocation, and predicted costs.
+    pub mt: MultiTacticPlan,
+    /// Supporting-area routing structure over the plan's partitions.
+    pub router: Arc<Router>,
+    /// Number of points in the preprocessing sample.
+    pub sample_size: usize,
+    /// Wall time of the preprocessing job.
+    pub elapsed: Duration,
+}
+
 impl DodRunner {
     /// Starts building a runner.
     pub fn builder() -> DodRunnerBuilder {
@@ -298,18 +289,28 @@ impl DodRunner {
         &self.config
     }
 
-    /// Detects all distance-threshold outliers in `data`.
+    /// A runner with the same strategy and detection mode but a different
+    /// configuration — e.g. the same pipeline reseeded for a plan refresh.
+    pub fn with_config(&self, config: DodConfig) -> DodRunner {
+        DodRunner {
+            config,
+            strategy: Arc::clone(&self.strategy),
+            mode: self.mode.clone(),
+        }
+    }
+
+    /// Runs the preprocessing job alone (Figure 6, top): sampling,
+    /// partition-plan generation, per-partition algorithm selection, and
+    /// reducer allocation.
+    ///
+    /// [`DodRunner::run`] calls this internally; a resident engine calls
+    /// it once and serves many requests against the returned plan.
     ///
     /// # Errors
-    /// Returns [`DodError`] if a MapReduce job exhausts its retries or the
-    /// input is dimensionally inconsistent.
-    pub fn run(&self, data: &PointSet) -> Result<DodOutcome, DodError> {
-        if data.is_empty() {
-            return Ok(DodOutcome::default());
-        }
+    /// Returns [`DodError::Core`] if the input is dimensionally
+    /// inconsistent or empty where points are required.
+    pub fn preprocess(&self, data: &PointSet) -> Result<Preprocessed, DodError> {
         let cfg = &self.config;
-
-        // ---- Preprocessing job (Figure 6, top). ----
         let t0 = Instant::now();
         let domain = data.bounding_rect()?;
         let sample = sample_points(data, cfg.sample_rate, cfg.seed);
@@ -351,7 +352,7 @@ impl DodRunner {
             MultiTacticPlan::from_estimates(plan, &estimates, fixed, cfg.num_reducers, allocation)
         };
         let router = Arc::new(mt.plan.router_with_metric(cfg.params.r, cfg.params.metric));
-        let preprocess = t0.elapsed();
+        let elapsed = t0.elapsed();
         if cfg.obs.enabled() {
             // One mark per partition documents the DMT plan decision
             // (Corollary 4.3: the cheapest candidate per partition).
@@ -374,6 +375,32 @@ impl DodRunner {
                 ],
             );
         }
+        Ok(Preprocessed {
+            mt,
+            router,
+            sample_size: sample.len(),
+            elapsed,
+        })
+    }
+
+    /// Detects all distance-threshold outliers in `data`.
+    ///
+    /// # Errors
+    /// Returns [`DodError`] if a MapReduce job exhausts its retries or the
+    /// input is dimensionally inconsistent.
+    pub fn run(&self, data: &PointSet) -> Result<DodOutcome, DodError> {
+        if data.is_empty() {
+            return Ok(DodOutcome::default());
+        }
+        let cfg = &self.config;
+
+        // ---- Preprocessing job (Figure 6, top). ----
+        let Preprocessed {
+            mt,
+            router,
+            elapsed: preprocess,
+            ..
+        } = self.preprocess(data)?;
 
         // ---- Load into the block store. ----
         let items: Vec<InputPoint> = (0..data.len())
@@ -565,13 +592,13 @@ mod tests {
     }
 
     fn small_config(params: OutlierParams) -> DodConfig {
-        DodConfig {
-            sample_rate: 1.0,
-            block_size: 64,
-            num_reducers: 4,
-            target_partitions: 9,
-            ..DodConfig::new(params)
-        }
+        DodConfig::builder(params)
+            .sample_rate(1.0)
+            .block_size(64)
+            .num_reducers(4)
+            .target_partitions(9)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -710,10 +737,11 @@ mod tests {
                 .unwrap();
         }
         let params = OutlierParams::new(1.0, 4).unwrap();
-        let config = DodConfig {
-            target_partitions: 32,
-            ..small_config(params)
-        };
+        let config = small_config(params)
+            .to_builder()
+            .target_partitions(32)
+            .build()
+            .unwrap();
         // The paper-variant candidate set: the full-scan Cell-Based pays
         // Nested-Loop-like fallback costs, so the intermediate-density
         // block genuinely favors Nested-Loop and the plan mixes.

@@ -117,8 +117,8 @@ impl Reducer for CandidateReducer {
             self.dim,
             values.first().map_or(self.dim, |v| v.coords.len())
         );
-        let partition = self.inner.build_partition(values);
-        let detection = self.inner.detect(*key, &partition);
+        let partition = std::sync::Arc::new(self.inner.build_partition(values));
+        let detection = self.inner.detect(*key, std::sync::Arc::clone(&partition));
         // Emit coordinates along with ids so job 2 can count neighbors.
         let mut by_id: std::collections::HashMap<PointId, &[f64]> = Default::default();
         for (i, &id) in partition.core_ids().iter().enumerate() {

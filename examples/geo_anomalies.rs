@@ -57,13 +57,13 @@ fn main() {
     // typical rural building sees under one neighbor, so k = 3 isolates
     // the truly remote ones.
     let params = OutlierParams::new(0.5, 3).expect("valid parameters");
-    let config = DodConfig {
-        sample_rate: 0.05, // 5% sample: small dataset, want a stable plan
-        num_reducers: 16,
-        target_partitions: 64,
-        block_size: 4096,
-        ..DodConfig::new(params)
-    };
+    let config = DodConfig::builder(params)
+        .sample_rate(0.05) // 5% sample: small dataset, want a stable plan
+        .num_reducers(16)
+        .target_partitions(64)
+        .block_size(4096)
+        .build()
+        .expect("valid configuration");
     let runner = DodRunner::builder()
         .config(config)
         .strategy(CDriven::new(AlgorithmKind::NestedLoop))

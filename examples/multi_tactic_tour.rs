@@ -35,13 +35,13 @@ fn main() {
     // The New England analog: 4 region blocks of very different density.
     let (data, _domain) = hierarchy_dataset(HierarchyLevel::NewEngland, 15_000, 21);
     let params = OutlierParams::new(0.8, 4).expect("valid parameters");
-    let config = DodConfig {
-        sample_rate: 0.05,
-        num_reducers: 16,
-        target_partitions: 64,
-        block_size: 4096,
-        ..DodConfig::new(params)
-    };
+    let config = DodConfig::builder(params)
+        .sample_rate(0.05)
+        .num_reducers(16)
+        .target_partitions(64)
+        .block_size(4096)
+        .build()
+        .expect("valid configuration");
 
     println!(
         "dataset: New England analog, {} points; r = {}, k = {}\n",

@@ -63,13 +63,13 @@ fn main() {
     // Behavioral distance 0.5 in log-space; a normal flow has hundreds of
     // near-identical peers.
     let params = OutlierParams::new(0.5, 10).expect("valid parameters");
-    let config = DodConfig {
-        sample_rate: 0.05,
-        num_reducers: 8,
-        target_partitions: 27,
-        block_size: 4096,
-        ..DodConfig::new(params)
-    };
+    let config = DodConfig::builder(params)
+        .sample_rate(0.05)
+        .num_reducers(8)
+        .target_partitions(27)
+        .block_size(4096)
+        .build()
+        .expect("valid configuration");
     let runner = DodRunner::builder()
         .config(config)
         .strategy(UniSpace) // feature space is roughly axis-aligned

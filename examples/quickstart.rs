@@ -27,11 +27,11 @@ fn main() {
     // The default runner: DMT partitioning + per-partition algorithm
     // selection over {Cell-Based, Nested-Loop}, on a simulated 8-node
     // cluster. For a dataset this small we sample at 100%.
-    let config = DodConfig {
-        sample_rate: 1.0,
-        block_size: 32,
-        ..DodConfig::new(params)
-    };
+    let config = DodConfig::builder(params)
+        .sample_rate(1.0)
+        .block_size(32)
+        .build()
+        .expect("valid configuration");
     let runner = DodRunner::builder().config(config).multi_tactic().build();
 
     let outcome = runner.run(&data).expect("pipeline runs");

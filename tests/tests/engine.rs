@@ -1,0 +1,231 @@
+//! Resident engine vs. one-shot pipeline: the equivalence anchor.
+//!
+//! `Engine::detect_all()` must return exactly the one-shot pipeline's
+//! outlier set for the same configuration, strategy, and data — both
+//! paths run the same exact detectors, so any divergence is a routing
+//! or state-materialization bug. Plus: scoring against the brute-force
+//! reference, and the engine's deterministic backpressure contract.
+
+use dod::prelude::*;
+use dod_core::Metric;
+use dod_engine::{Engine, EngineError};
+use dod_integration::{mixed_density, reference_outliers, uniform_nd};
+
+fn config(params: OutlierParams) -> DodConfig {
+    DodConfig::builder(params)
+        .sample_rate(1.0)
+        .block_size(32)
+        .num_reducers(3)
+        .target_partitions(8)
+        .build()
+        .unwrap()
+}
+
+fn engine_for(runner: DodRunner, data: &PointSet) -> Engine {
+    Engine::builder(runner).workers(2).build(data).unwrap()
+}
+
+type RunnerFactory = fn(DodConfig) -> DodRunner;
+
+/// Every strategy × both generators: the engine's `detect_all` answers
+/// exactly what the one-shot pipeline answers (which itself matches the
+/// brute-force reference).
+#[test]
+fn detect_all_equals_one_shot_for_every_strategy() {
+    let params = OutlierParams::new(1.2, 4).unwrap();
+    for data in [mixed_density(21, 400), uniform_nd(22, 300, 3, 6.0)] {
+        let expected = reference_outliers(&data, params);
+        let builders: Vec<(&str, RunnerFactory)> = vec![
+            ("domain", |c| {
+                // Domain runs the two-job protocol in the pipeline; the
+                // engine serves the same plan via supporting areas.
+                DodRunner::builder()
+                    .config(c)
+                    .strategy(Domain)
+                    .fixed(AlgorithmKind::NestedLoop)
+                    .build()
+            }),
+            ("unispace", |c| {
+                DodRunner::builder()
+                    .config(c)
+                    .strategy(UniSpace)
+                    .multi_tactic()
+                    .build()
+            }),
+            ("ddriven", |c| {
+                DodRunner::builder()
+                    .config(c)
+                    .strategy(DDriven)
+                    .multi_tactic()
+                    .build()
+            }),
+            ("cdriven", |c| {
+                DodRunner::builder()
+                    .config(c)
+                    .strategy(CDriven::new(AlgorithmKind::NestedLoop))
+                    .multi_tactic()
+                    .build()
+            }),
+            ("dmt", |c| {
+                DodRunner::builder()
+                    .config(c)
+                    .strategy(Dmt::default())
+                    .multi_tactic()
+                    .build()
+            }),
+        ];
+        for (name, make) in builders {
+            let one_shot = make(config(params)).run(&data).unwrap().outliers;
+            assert_eq!(one_shot, expected, "{name}: pipeline vs reference");
+            let engine = engine_for(make(config(params)), &data);
+            let resident = engine.detect_all().unwrap().wait().unwrap();
+            assert_eq!(resident, one_shot, "{name}: engine vs pipeline");
+        }
+    }
+}
+
+/// The equivalence holds for fixed single-algorithm modes too — each
+/// detector kind materializes a different resident index (grid, kd-tree,
+/// or plain scan).
+#[test]
+fn detect_all_equals_one_shot_for_every_fixed_algorithm() {
+    let params = OutlierParams::new(1.0, 3).unwrap();
+    let data = mixed_density(23, 350);
+    let expected = reference_outliers(&data, params);
+    for kind in [
+        AlgorithmKind::NestedLoop,
+        AlgorithmKind::CellBased,
+        AlgorithmKind::CellBasedFullScan,
+        AlgorithmKind::IndexBased,
+        AlgorithmKind::PivotBased,
+        AlgorithmKind::Reference,
+    ] {
+        let make = || {
+            DodRunner::builder()
+                .config(config(params))
+                .fixed(kind)
+                .build()
+        };
+        assert_eq!(make().run(&data).unwrap().outliers, expected, "{kind:?}");
+        let engine = engine_for(make(), &data);
+        assert_eq!(
+            engine.detect_all().unwrap().wait().unwrap(),
+            expected,
+            "{kind:?} via engine"
+        );
+    }
+}
+
+/// Equivalence survives a non-Euclidean metric (the `[q−r, q+r]`
+/// pruning boxes and rectangle min-distances must agree with it).
+#[test]
+fn detect_all_equals_one_shot_under_manhattan_metric() {
+    let params = OutlierParams::new(1.5, 4)
+        .unwrap()
+        .with_metric(Metric::Manhattan);
+    let data = mixed_density(29, 300);
+    let expected = reference_outliers(&data, params);
+    let make = || {
+        DodRunner::builder()
+            .config(config(params))
+            .multi_tactic()
+            .build()
+    };
+    assert_eq!(make().run(&data).unwrap().outliers, expected);
+    let engine = engine_for(make(), &data);
+    assert_eq!(engine.detect_all().unwrap().wait().unwrap(), expected);
+}
+
+/// Scoring the dataset's own points (nudged by zero) against the
+/// resident state agrees with brute force over the whole dataset.
+#[test]
+fn score_batch_matches_brute_force_neighbor_counts() {
+    let params = OutlierParams::new(1.2, 4).unwrap();
+    let data = mixed_density(31, 250);
+    let engine = engine_for(
+        DodRunner::builder()
+            .config(config(params))
+            .multi_tactic()
+            .build(),
+        &data,
+    );
+    // Query points off the dataset: midpoints and far-out probes.
+    let queries: Vec<Vec<f64>> = (0..50)
+        .map(|i| {
+            let a = data.point(i * 3);
+            let b = data.point(i * 5 + 1);
+            vec![(a[0] + b[0]) / 2.0 + 0.003, (a[1] + b[1]) / 2.0 - 0.007]
+        })
+        .chain([vec![1e4, -1e4]])
+        .collect();
+    let scores = engine.score_batch(queries.clone()).unwrap().wait().unwrap();
+    for (q, s) in queries.iter().zip(&scores) {
+        let brute = (0..data.len())
+            .filter(|&i| params.metric.within(q, data.point(i), params.r))
+            .count();
+        assert_eq!(
+            s.outlier,
+            brute < params.k,
+            "query {q:?}: engine {s:?} vs brute count {brute}"
+        );
+        // Neighbor counts agree up to the early-stop cap at k.
+        assert_eq!(s.neighbors, brute.min(params.k), "query {q:?}");
+    }
+}
+
+/// `refresh_plan` re-plans with a new seed; the outlier set must be
+/// unchanged (exactness is plan-independent), and the epoch advances.
+#[test]
+fn refresh_preserves_the_outlier_set() {
+    let params = OutlierParams::new(1.2, 4).unwrap();
+    let data = mixed_density(37, 400);
+    let engine = engine_for(
+        DodRunner::builder()
+            .config(config(params))
+            .multi_tactic()
+            .build(),
+        &data,
+    );
+    let before = engine.detect_all().unwrap().wait().unwrap();
+    assert_eq!(before, reference_outliers(&data, params));
+    for expected_epoch in 1..=3 {
+        assert_eq!(engine.refresh_plan().unwrap(), expected_epoch);
+        assert_eq!(engine.detect_all().unwrap().wait().unwrap(), before);
+    }
+}
+
+/// Deterministic backpressure: with one parked worker and a one-slot
+/// queue, the first submission queues and the second is rejected with
+/// `Overloaded` — no timing dependence, no sleeps.
+#[test]
+fn backpressure_rejects_deterministically() {
+    let params = OutlierParams::new(1.2, 4).unwrap();
+    let data = mixed_density(41, 200);
+    let engine = Engine::builder(
+        DodRunner::builder()
+            .config(config(params))
+            .multi_tactic()
+            .build(),
+    )
+    .workers(1)
+    .queue_capacity(1)
+    .build(&data)
+    .unwrap();
+
+    let paused = engine.pause();
+    let queued = engine.detect_all().expect("one request fits the queue");
+    for _ in 0..3 {
+        assert!(
+            matches!(engine.detect_all(), Err(EngineError::Overloaded)),
+            "queue is full; submission must bounce"
+        );
+    }
+    assert_eq!(engine.queue_depth(), 1);
+
+    // Releasing the workers drains the queue and the engine recovers.
+    drop(paused);
+    let outliers = queued.wait().unwrap();
+    assert_eq!(outliers, reference_outliers(&data, params));
+    let again = engine.detect_all().unwrap().wait().unwrap();
+    assert_eq!(again, outliers);
+}

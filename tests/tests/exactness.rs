@@ -7,13 +7,13 @@ use dod_integration::{mixed_density, reference_outliers, uniform_nd};
 use proptest::prelude::*;
 
 fn test_config(params: OutlierParams) -> DodConfig {
-    DodConfig {
-        sample_rate: 1.0,
-        block_size: 128,
-        num_reducers: 5,
-        target_partitions: 12,
-        ..DodConfig::new(params)
-    }
+    DodConfig::builder(params)
+        .sample_rate(1.0)
+        .block_size(128)
+        .num_reducers(5)
+        .target_partitions(12)
+        .build()
+        .unwrap()
 }
 
 type Apply = Box<dyn Fn(dod::DodRunnerBuilder) -> dod::DodRunnerBuilder>;
@@ -97,11 +97,13 @@ proptest! {
         let data = mixed_density(seed, n);
         let params = OutlierParams::new(r, k).unwrap();
         let expected = reference_outliers(&data, params);
-        let config = DodConfig {
-            num_reducers: reducers,
-            target_partitions: partitions,
-            ..test_config(params)
-        };
+        // Direct field mutation (possible because the fields stay `pub`)
+        // deliberately bypasses builder validation: the proptest ranges
+        // include degenerate reducer/partition combinations the builder
+        // rejects, and exactness must hold even for those.
+        let mut config = test_config(params);
+        config.num_reducers = reducers;
+        config.target_partitions = partitions;
         // DMT multi-tactic, the full system.
         let runner = DodRunner::builder().config(config.clone()).multi_tactic().build();
         prop_assert_eq!(&runner.run(&data).unwrap().outliers, &expected);

@@ -9,13 +9,13 @@ use dod_data::{distort, tiger_analog};
 use dod_integration::reference_outliers;
 
 fn config(params: OutlierParams) -> DodConfig {
-    DodConfig {
-        sample_rate: 0.25,
-        block_size: 512,
-        num_reducers: 6,
-        target_partitions: 24,
-        ..DodConfig::new(params)
-    }
+    DodConfig::builder(params)
+        .sample_rate(0.25)
+        .block_size(512)
+        .num_reducers(6)
+        .target_partitions(24)
+        .build()
+        .unwrap()
 }
 
 #[test]

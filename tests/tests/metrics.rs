@@ -12,13 +12,13 @@ use dod_integration::{mixed_density, uniform_nd};
 const METRICS: [Metric; 3] = [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev];
 
 fn config(params: OutlierParams) -> DodConfig {
-    DodConfig {
-        sample_rate: 1.0,
-        block_size: 128,
-        num_reducers: 4,
-        target_partitions: 12,
-        ..DodConfig::new(params)
-    }
+    DodConfig::builder(params)
+        .sample_rate(1.0)
+        .block_size(128)
+        .num_reducers(4)
+        .target_partitions(12)
+        .build()
+        .unwrap()
 }
 
 #[test]

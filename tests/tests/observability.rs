@@ -121,13 +121,13 @@ fn jsonl_trace_replays_the_figure_10_breakdown() {
     let mut path = std::env::temp_dir();
     path.push(format!("dod-fig10-replay-{}.jsonl", std::process::id()));
     let recorder = JsonlRecorder::create(&path).unwrap();
-    let config = DodConfig {
-        num_reducers: 4,
-        target_partitions: 16,
-        sample_rate: 0.2,
-        obs: Obs::new(Arc::new(recorder)),
-        ..DodConfig::new(OutlierParams::new(1.8, 4).unwrap())
-    };
+    let config = DodConfig::builder(OutlierParams::new(1.8, 4).unwrap())
+        .num_reducers(4)
+        .target_partitions(16)
+        .sample_rate(0.2)
+        .obs(Obs::new(Arc::new(recorder)))
+        .build()
+        .unwrap();
     let runner = DodRunner::builder()
         .config(config)
         .strategy(Dmt::default())

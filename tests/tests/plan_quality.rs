@@ -169,13 +169,13 @@ fn support_replication_factor_is_modest() {
     // multiple of the input for reasonable r.
     let data = mixed_density(15, 4000);
     let params = OutlierParams::new(0.8, 4).unwrap();
-    let config = DodConfig {
-        sample_rate: 0.5,
-        block_size: 256,
-        num_reducers: 8,
-        target_partitions: 32,
-        ..DodConfig::new(params)
-    };
+    let config = DodConfig::builder(params)
+        .sample_rate(0.5)
+        .block_size(256)
+        .num_reducers(8)
+        .target_partitions(32)
+        .build()
+        .unwrap();
     let runner = DodRunner::builder().config(config).multi_tactic().build();
     let outcome = runner.run(&data).unwrap();
     let records = outcome.report.jobs[0].shuffle_records;

@@ -4,13 +4,13 @@ use dod::prelude::*;
 use dod_integration::reference_outliers;
 
 fn config(params: OutlierParams) -> DodConfig {
-    DodConfig {
-        sample_rate: 1.0,
-        block_size: 32,
-        num_reducers: 3,
-        target_partitions: 8,
-        ..DodConfig::new(params)
-    }
+    DodConfig::builder(params)
+        .sample_rate(1.0)
+        .block_size(32)
+        .num_reducers(3)
+        .target_partitions(8)
+        .build()
+        .unwrap()
 }
 
 fn run_dmt(data: &PointSet, params: OutlierParams) -> Vec<u64> {
@@ -140,10 +140,11 @@ fn tiny_sample_rate_still_exact() {
     // degenerate but the answer must not change.
     let params = OutlierParams::new(1.2, 4).unwrap();
     let data = dod_integration::mixed_density(12, 500);
-    let cfg = DodConfig {
-        sample_rate: 0.001,
-        ..config(params)
-    };
+    let cfg = config(params)
+        .to_builder()
+        .sample_rate(0.001)
+        .build()
+        .unwrap();
     let runner = DodRunner::builder().config(cfg).multi_tactic().build();
     assert_eq!(
         runner.run(&data).unwrap().outliers,
@@ -155,11 +156,12 @@ fn tiny_sample_rate_still_exact() {
 fn more_reducers_than_partitions() {
     let params = OutlierParams::new(1.2, 4).unwrap();
     let data = dod_integration::mixed_density(13, 300);
-    let cfg = DodConfig {
-        num_reducers: 64,
-        target_partitions: 4,
-        ..config(params)
-    };
+    // Deliberately degenerate (more reducers than partitions): built by
+    // mutating the `pub` fields because `DodConfig::builder` rejects the
+    // combination, yet the pipeline must still answer exactly.
+    let mut cfg = config(params);
+    cfg.num_reducers = 64;
+    cfg.target_partitions = 4;
     let runner = DodRunner::builder().config(cfg).multi_tactic().build();
     assert_eq!(
         runner.run(&data).unwrap().outliers,
