@@ -1,0 +1,54 @@
+//! Criterion microbench for the kernel layer: tiled neighbor counting
+//! (`NeighborPredicate::count_within_tile`) against the scalar per-pair
+//! baseline it replaced, at the dimensions the monomorphized kernels
+//! cover plus the generic fallback.
+
+use bench::kernels::{kernel_tile_scan, scalar_pair_scan, MicroFixture, MICRO_POINTS};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dod_core::{Metric, NeighborPredicate};
+use std::time::Duration;
+
+fn bench_pair_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_pair_throughput");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+
+    for dim in [1usize, 2, 3, 4, 8] {
+        let metric = Metric::Euclidean;
+        let r = 4.0 * (dim as f64).sqrt();
+        let fx = MicroFixture::new(11 + dim as u64, MICRO_POINTS, dim);
+        let pred = NeighborPredicate::with_metric(metric, r);
+        group.bench_function(format!("scalar_euclid_d{dim}"), |b| {
+            b.iter(|| scalar_pair_scan(metric, r, black_box(&fx.query), &fx.data, &fx.order))
+        });
+        group.bench_function(format!("kernel_euclid_d{dim}"), |b| {
+            b.iter(|| kernel_tile_scan(&pred, black_box(&fx.query), &fx.tile))
+        });
+    }
+
+    for (metric, tag) in [
+        (Metric::Manhattan, "manhattan"),
+        (Metric::Chebyshev, "chebyshev"),
+    ] {
+        let dim = 3usize;
+        let r = match metric {
+            Metric::Manhattan => 4.0 * dim as f64,
+            _ => 4.0,
+        };
+        let fx = MicroFixture::new(11 + dim as u64, MICRO_POINTS, dim);
+        let pred = NeighborPredicate::with_metric(metric, r);
+        group.bench_function(format!("scalar_{tag}_d{dim}"), |b| {
+            b.iter(|| scalar_pair_scan(metric, r, black_box(&fx.query), &fx.data, &fx.order))
+        });
+        group.bench_function(format!("kernel_{tag}_d{dim}"), |b| {
+            b.iter(|| kernel_tile_scan(&pred, black_box(&fx.query), &fx.tile))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pair_throughput);
+criterion_main!(benches);

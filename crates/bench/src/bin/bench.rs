@@ -1,0 +1,62 @@
+//! Targeted benchmark subcommands (distinct from the figure-reproducing
+//! `repro` binary).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin bench -- kernels          # table
+//! cargo run --release -p bench --bin bench -- kernels --json   # + BENCH_kernels.json
+//! cargo run --release -p bench --bin bench -- kernels --json out.json
+//! ```
+
+use bench::kernels;
+use std::process::ExitCode;
+
+fn run_kernels(args: &[String]) -> ExitCode {
+    let mut json_path: Option<String> = None;
+    let mut quick = false;
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => {
+                let next = it.peek().filter(|a| !a.starts_with("--"));
+                json_path = Some(match next {
+                    Some(_) => it.next().unwrap().clone(),
+                    None => "BENCH_kernels.json".to_string(),
+                });
+            }
+            "--quick" => quick = true,
+            other => {
+                eprintln!("unknown kernels flag: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let min_time_s = if quick { 0.05 } else { 0.4 };
+    let rows = kernels::run_all(min_time_s);
+    println!(
+        "{:<22} {:>16} {:>16} {:>9}",
+        "bench", "kernel pairs/s", "scalar pairs/s", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<22} {:>16.3e} {:>16.3e} {:>8.2}x",
+            r.name, r.pairs_per_sec, r.baseline_pairs_per_sec, r.speedup
+        );
+    }
+    if let Some(path) = json_path {
+        std::fs::write(&path, kernels::to_json(&rows)).expect("write json");
+        println!("\nwrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("kernels") => run_kernels(&args[1..]),
+        _ => {
+            eprintln!("usage: bench kernels [--json [path]] [--quick]");
+            ExitCode::FAILURE
+        }
+    }
+}

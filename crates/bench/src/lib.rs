@@ -12,6 +12,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod experiments;
+pub mod kernels;
 pub mod scale;
 pub mod setup;
 pub mod svg;

@@ -18,6 +18,7 @@ pub mod dataset;
 pub mod density;
 pub mod error;
 pub mod grid;
+pub mod kernel;
 pub mod metric;
 pub mod params;
 pub mod point;
@@ -27,6 +28,7 @@ pub mod support;
 pub use dataset::{PointId, PointSet};
 pub use error::CoreError;
 pub use grid::{CellId, GridSpec};
+pub use kernel::{NeighborPredicate, TileOutcome};
 pub use metric::Metric;
 pub use params::OutlierParams;
 pub use point::{dist, dist_sq, Point};

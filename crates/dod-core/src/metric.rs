@@ -47,11 +47,15 @@ impl Metric {
         }
     }
 
-    /// Distance from `x` to the closest point of an axis-aligned box
-    /// given the per-dimension bounds (0 when inside). The exact
-    /// predicate behind supporting-area routing under this metric.
+    /// Distance from `x` to the closest point of the axis-aligned box
+    /// `[min, max]`. For all three metrics a point lying inside the box
+    /// (or on its boundary) has distance exactly `0`: every per-dimension
+    /// gap is zero, and sums, sums of squares, and maxima of zeros are
+    /// all zero. The exact predicate behind supporting-area routing under
+    /// this metric.
     pub fn min_dist_to_rect(&self, min: &[f64], max: &[f64], x: &[f64]) -> f64 {
         debug_assert_eq!(min.len(), x.len());
+        debug_assert_eq!(min.len(), max.len());
         let gaps = (0..x.len()).map(|i| {
             if x[i] < min[i] {
                 min[i] - x[i]

@@ -60,9 +60,21 @@ impl OutlierParams {
     }
 
     /// The Definition 2.1 neighbor predicate under the configured metric.
+    ///
+    /// Convenient at API boundaries; hot loops should instead build a
+    /// [`crate::kernel::NeighborPredicate`] once via
+    /// [`OutlierParams::predicate`] so `r²` and the metric dispatch are
+    /// not re-derived per pair.
     #[inline]
     pub fn neighbors(&self, a: &[f64], b: &[f64]) -> bool {
         self.metric.within(a, b, self.r)
+    }
+
+    /// Builds the once-per-call hot-loop form of the neighbor predicate
+    /// (precomputed `r²`, metric dispatch resolved up front).
+    #[inline]
+    pub fn predicate(&self) -> crate::kernel::NeighborPredicate {
+        crate::kernel::NeighborPredicate::new(*self)
     }
 }
 

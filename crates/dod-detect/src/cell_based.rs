@@ -25,6 +25,7 @@
 
 use crate::detector::{Detection, DetectionStats, Detector};
 use crate::partition::Partition;
+use crate::scan::{count_tile_excluding, PermutedScan};
 use dod_core::{GridSpec, OutlierParams, Rect};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -63,10 +64,19 @@ impl CellIndex {
         let bounds = partition.bounding_rect().expect("non-empty partition");
         let grid = GridSpec::for_cell_based(&bounds, params.r, params.metric, max_cells_per_dim)
             .expect("validated params");
+        let n_core = partition.core().len();
         let mut buckets: HashMap<usize, Bucket> = HashMap::new();
         for idx in 0..partition.total_len() {
-            let cell = grid.cell_of(partition.point(idx));
-            buckets.entry(cell).or_default().points.push(idx as u32);
+            let p = partition.point(idx);
+            let bucket = buckets.entry(grid.cell_of(p)).or_default();
+            // Indices arrive ascending, so every bucket holds its core
+            // points as a prefix and its `points` list stays sorted —
+            // the invariants the tile scans below rely on.
+            bucket.points.push(idx as u32);
+            bucket.coords.extend_from_slice(p);
+            if idx < n_core {
+                bucket.n_core += 1;
+            }
         }
         Some(CellIndex {
             grid,
@@ -99,7 +109,9 @@ impl CellIndex {
         if cap == 0 {
             return 0;
         }
-        let n_core = partition.core().len();
+        debug_assert_eq!(q.len(), partition.dim());
+        let dim = q.len();
+        let pred = params.predicate();
         let lo: Vec<f64> = q.iter().map(|&v| v - params.r).collect();
         let hi: Vec<f64> = q.iter().map(|&v| v + params.r).collect();
         let query = Rect::new(lo, hi).expect("r > 0 makes a valid box");
@@ -108,13 +120,11 @@ impl CellIndex {
             let Some(bucket) = self.buckets.get(&cell) else {
                 continue;
             };
-            for &j in &bucket.points {
-                if (j as usize) < n_core && params.neighbors(q, partition.point(j as usize)) {
-                    count += 1;
-                    if count >= cap {
-                        return count;
-                    }
-                }
+            // Core points are the bucket's gathered-coordinate prefix.
+            let tile = &bucket.coords[..bucket.n_core * dim];
+            count += pred.count_within_tile(q, tile, cap - count).found;
+            if count >= cap {
+                return count;
             }
         }
         count
@@ -168,11 +178,16 @@ impl Default for CellBased {
     }
 }
 
-/// Points of one non-empty grid cell, as indices into the partition's
-/// unified core-then-support ordering.
+/// Points of one non-empty grid cell: their indices into the partition's
+/// unified core-then-support ordering plus their coordinates gathered
+/// into a contiguous columnar tile for the kernel scans. Both lists are
+/// index-aligned and in ascending unified order, so core points form a
+/// prefix of length `n_core`.
 #[derive(Debug, Clone, Default)]
 struct Bucket {
     points: Vec<u32>,
+    coords: Vec<f64>,
+    n_core: usize,
 }
 
 impl Detector for CellBased {
@@ -242,13 +257,17 @@ impl CellBased {
 
         let count_of = |cid: usize| buckets.get(&cid).map_or(0usize, |b| b.points.len());
 
-        // Randomized scan order for the paper-faithful full fallback.
+        // Randomized scan order for the paper-faithful full fallback,
+        // gathered into a contiguous buffer for the tile kernels.
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut full_order: Vec<u32> = Vec::new();
-        if !self.block_restricted {
-            full_order = (0..total as u32).collect();
+        let full_scan = if self.block_restricted {
+            None
+        } else {
+            let mut full_order: Vec<u32> = (0..total as u32).collect();
             full_order.shuffle(&mut rng);
-        }
+            Some(PermutedScan::new(partition, &full_order))
+        };
+        let pred = params.predicate();
 
         let mut outliers = Vec::new();
         for &cid in &cell_ids {
@@ -289,50 +308,46 @@ impl CellBased {
             }
 
             // Fallback: evaluate each surviving core point individually,
-            // nested-loop style with early termination.
+            // nested-loop style with early termination, feeding the
+            // candidate cells' gathered tiles to the kernels.
             for &i in &core_in_cell {
                 let p = partition.core().point(i as usize);
                 let mut neighbors = 0usize;
-                let mut is_outlier = true;
-                if self.block_restricted {
-                    'scan: for &ccid in &candidate_cells {
-                        let Some(cb) = buckets.get(&ccid) else {
-                            continue;
-                        };
-                        for &j in &cb.points {
-                            if j == i {
-                                continue;
-                            }
-                            stats.distance_evaluations += 1;
-                            if params.neighbors(p, partition.point(j as usize)) {
-                                neighbors += 1;
-                                if neighbors >= params.k {
-                                    is_outlier = false;
-                                    break 'scan;
-                                }
-                            }
-                        }
-                    }
-                } else {
+                if let Some(full) = &full_scan {
                     // Paper-faithful: random-order scan over the whole
                     // partition (Lemma 4.2 case 3 models this as Cost_NL).
                     let start = rng.gen_range(0..total);
-                    for step in 0..total {
-                        let j = full_order[(start + step) % total] as usize;
-                        if j == i as usize {
+                    let (found, scanned) = full.count_cycle(&pred, p, start, i as usize, params.k);
+                    stats.distance_evaluations += scanned;
+                    neighbors = found;
+                } else {
+                    for &ccid in &candidate_cells {
+                        if neighbors >= params.k {
+                            break;
+                        }
+                        let Some(cb) = buckets.get(&ccid) else {
                             continue;
-                        }
-                        stats.distance_evaluations += 1;
-                        if params.neighbors(p, partition.point(j)) {
-                            neighbors += 1;
-                            if neighbors >= params.k {
-                                is_outlier = false;
-                                break;
-                            }
-                        }
+                        };
+                        // The point itself lives in its own cell's bucket;
+                        // `points` is sorted, so locate it by binary search.
+                        let skip = if ccid == cid {
+                            cb.points.binary_search(&i).ok()
+                        } else {
+                            None
+                        };
+                        let (found, scanned) = count_tile_excluding(
+                            &pred,
+                            p,
+                            &cb.coords,
+                            dim,
+                            skip,
+                            params.k - neighbors,
+                        );
+                        stats.distance_evaluations += scanned;
+                        neighbors += found;
                     }
                 }
-                if is_outlier {
+                if neighbors < params.k {
                     outliers.push(partition.core_id(i as usize));
                 }
             }

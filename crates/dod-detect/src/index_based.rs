@@ -10,7 +10,8 @@
 
 use crate::detector::{Detection, DetectionStats, Detector};
 use crate::partition::Partition;
-use dod_core::{Metric, OutlierParams};
+use crate::scan::count_tile_excluding;
+use dod_core::{Metric, NeighborPredicate, OutlierParams};
 
 /// kd-tree range-counting detector.
 #[derive(Debug, Clone, Copy, Default)]
@@ -32,8 +33,15 @@ impl IndexBased {
 #[derive(Debug, Clone)]
 enum Node {
     Leaf {
-        /// Indices (unified core-then-support) of the points in the leaf.
+        /// Indices (unified core-then-support) of the points in the
+        /// leaf, ascending — so core points form a prefix of length
+        /// `n_core` and self-exclusion is a binary search.
         points: Vec<u32>,
+        /// The leaf's coordinates gathered into a contiguous columnar
+        /// tile, index-aligned with `points`, for the kernel scans.
+        coords: Vec<f64>,
+        /// Number of leading core points.
+        n_core: usize,
     },
     Inner {
         split_dim: usize,
@@ -87,18 +95,17 @@ impl KdIndex {
         params: OutlierParams,
         cap: usize,
     ) -> usize {
+        debug_assert_eq!(q.len(), partition.dim());
         let mut count = 0usize;
         let mut evals = 0u64;
         let mut visits = 0u64;
         self.visit(
-            partition,
             &self.root,
             &Query {
                 coords: q,
                 skip: None,
                 core_only: true,
-                r: params.r,
-                metric: params.metric,
+                pred: params.predicate(),
                 cap,
             },
             &mut count,
@@ -123,14 +130,12 @@ impl KdIndex {
         let mut evals = 0u64;
         let mut visits = 0u64;
         self.visit(
-            partition,
             &self.root,
             &Query {
                 coords: partition.point(qi),
                 skip: Some(qi),
                 core_only: false,
-                r,
-                metric,
+                pred: NeighborPredicate::with_metric(metric, r),
                 cap: k,
             },
             &mut count,
@@ -147,7 +152,6 @@ impl KdIndex {
     /// distance.
     fn visit(
         &self,
-        partition: &Partition,
         node: &Node,
         query: &Query<'_>,
         count: &mut usize,
@@ -159,26 +163,32 @@ impl KdIndex {
         }
         *visits += 1;
         match node {
-            Node::Leaf { points } => {
-                let n_core = partition.core().len();
-                for &j in points {
-                    if query.skip == Some(j as usize) {
-                        continue;
-                    }
-                    if query.core_only && j as usize >= n_core {
-                        continue;
-                    }
-                    *evals += 1;
-                    if query
-                        .metric
-                        .within(query.coords, partition.point(j as usize), query.r)
-                    {
-                        *count += 1;
-                        if *count >= query.cap {
-                            return;
-                        }
-                    }
-                }
+            Node::Leaf {
+                points,
+                coords,
+                n_core,
+            } => {
+                let dim = query.coords.len();
+                // Core points are the leaf's prefix, so a core-only
+                // range count is just a shorter tile.
+                let limit = if query.core_only {
+                    *n_core
+                } else {
+                    points.len()
+                };
+                let skip = query
+                    .skip
+                    .and_then(|s| points[..limit].binary_search(&(s as u32)).ok());
+                let (found, scanned) = count_tile_excluding(
+                    &query.pred,
+                    query.coords,
+                    &coords[..limit * dim],
+                    dim,
+                    skip,
+                    query.cap - *count,
+                );
+                *evals += scanned;
+                *count += found;
             }
             Node::Inner {
                 split_dim,
@@ -193,11 +203,30 @@ impl KdIndex {
                 } else {
                     (right, left)
                 };
-                self.visit(partition, near, query, count, evals, visits);
-                if *count < query.cap && delta.abs() <= query.r {
-                    self.visit(partition, far, query, count, evals, visits);
+                self.visit(near, query, count, evals, visits);
+                if *count < query.cap && delta.abs() <= query.pred.r() {
+                    self.visit(far, query, count, evals, visits);
                 }
             }
+        }
+    }
+
+    /// Builds a leaf: points sorted ascending (core prefix first) with
+    /// their coordinates gathered into a contiguous tile.
+    fn make_leaf(partition: &Partition, idx: &[u32]) -> Node {
+        let dim = partition.dim();
+        let total_core = partition.core().len();
+        let mut points = idx.to_vec();
+        points.sort_unstable();
+        let n_core = points.partition_point(|&j| (j as usize) < total_core);
+        let mut coords = Vec::with_capacity(points.len() * dim);
+        for &j in &points {
+            coords.extend_from_slice(partition.point(j as usize));
+        }
+        Node::Leaf {
+            points,
+            coords,
+            n_core,
         }
     }
 
@@ -210,9 +239,7 @@ impl KdIndex {
     ) -> Node {
         *ops += idx.len() as u64;
         if idx.len() <= leaf_size {
-            return Node::Leaf {
-                points: idx.to_vec(),
-            };
+            return Self::make_leaf(partition, idx);
         }
         let dim = depth % partition.dim();
         let mid = idx.len() / 2;
@@ -229,7 +256,7 @@ impl KdIndex {
             let mut all = Vec::with_capacity(left.len() + right.len());
             all.extend_from_slice(left);
             all.extend_from_slice(right);
-            return Node::Leaf { points: all };
+            return Self::make_leaf(partition, &all);
         }
         Node::Inner {
             split_dim: dim,
@@ -255,10 +282,8 @@ struct Query<'a> {
     skip: Option<usize>,
     /// Whether only core points count as neighbors.
     core_only: bool,
-    /// Distance threshold.
-    r: f64,
-    /// Metric to evaluate distances under.
-    metric: Metric,
+    /// The neighbor predicate, built once per query.
+    pred: NeighborPredicate,
     /// Early-termination cap on the count.
     cap: usize,
 }

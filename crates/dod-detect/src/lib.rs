@@ -41,6 +41,7 @@ pub mod nested_loop;
 pub mod partition;
 pub mod pivot_based;
 pub mod reference;
+mod scan;
 pub mod state;
 
 pub use cell_based::{CellBased, CellIndex};

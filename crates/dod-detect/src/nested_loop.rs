@@ -14,6 +14,7 @@
 
 use crate::detector::{Detection, DetectionStats, Detector};
 use crate::partition::Partition;
+use crate::scan::PermutedScan;
 use dod_core::OutlierParams;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -58,28 +59,22 @@ impl Detector for NestedLoop {
         let mut order: Vec<u32> = (0..total as u32).collect();
         order.shuffle(&mut rng);
 
+        // Gather the permutation into a contiguous columnar buffer once,
+        // so every per-point scan feeds the tile kernels instead of doing
+        // a bounds-checked random access per candidate. Scan order and
+        // early-exit positions are identical to the scalar pair loop.
+        let scan = PermutedScan::new(partition, &order);
+        let pred = params.predicate();
+
         let mut early_terminations = 0u64;
         for i in 0..n {
             let p = partition.core().point(i);
             let start = rng.gen_range(0..total);
-            let mut neighbors = 0usize;
-            let mut is_outlier = true;
-            for step in 0..total {
-                let j = order[(start + step) % total] as usize;
-                if j == i {
-                    continue;
-                }
-                evals += 1;
-                if params.neighbors(p, partition.point(j)) {
-                    neighbors += 1;
-                    if neighbors >= params.k {
-                        is_outlier = false;
-                        early_terminations += 1;
-                        break;
-                    }
-                }
-            }
-            if is_outlier {
+            let (found, scanned) = scan.count_cycle(&pred, p, start, i, params.k);
+            evals += scanned;
+            if found >= params.k {
+                early_terminations += 1;
+            } else {
                 outliers.push(partition.core_id(i));
             }
         }

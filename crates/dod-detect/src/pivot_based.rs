@@ -20,6 +20,7 @@
 
 use crate::detector::{Detection, DetectionStats, Detector};
 use crate::partition::Partition;
+use crate::scan::count_tile_excluding;
 use dod_core::OutlierParams;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -49,10 +50,13 @@ impl Default for PivotBased {
     }
 }
 
-/// The per-pivot sorted list: `(distance to pivot, unified point index)`.
+/// The per-pivot sorted list: `(distance to pivot, unified point index)`
+/// plus the member coordinates gathered in sorted order, so any
+/// triangle-inequality window `[dq − r, dq + r]` is one contiguous tile.
 struct PivotList {
     pivot: Vec<f64>,
     entries: Vec<(f64, u32)>,
+    coords: Vec<f64>,
 }
 
 impl Detector for PivotBased {
@@ -81,6 +85,7 @@ impl Detector for PivotBased {
             .map(|&i| PivotList {
                 pivot: partition.point(i as usize).to_vec(),
                 entries: Vec::new(),
+                coords: Vec::new(),
             })
             .collect();
 
@@ -105,36 +110,54 @@ impl Detector for PivotBased {
         for (i, &(v, d)) in assignment.iter().enumerate() {
             lists[v as usize].entries.push((d, i as u32));
         }
-        for list in &mut lists {
+        // Sort each list by pivot distance, gather its members'
+        // coordinates in that order, and remember where every point
+        // landed so its own window scan can exclude it.
+        let dim = partition.dim();
+        let mut pos_of: Vec<(u32, u32)> = vec![(0, 0); total];
+        for (li, list) in lists.iter_mut().enumerate() {
             list.entries
                 .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+            list.coords.reserve(list.entries.len() * dim);
+            for (pos, &(_, j)) in list.entries.iter().enumerate() {
+                list.coords.extend_from_slice(partition.point(j as usize));
+                pos_of[j as usize] = (li as u32, pos as u32);
+            }
         }
 
         // ---- Count neighbors per core point. ----
+        let pred = params.predicate();
         let mut outliers = Vec::new();
-        for i in 0..n_core {
+        for (i, &(self_list, self_pos)) in pos_of.iter().enumerate().take(n_core) {
             let q = partition.core().point(i);
             let mut neighbors = 0usize;
-            'pivots: for list in &lists {
+            for (li, list) in lists.iter().enumerate() {
+                if neighbors >= params.k {
+                    break;
+                }
                 let dq = metric.dist(q, &list.pivot);
                 stats.index_operations += 1;
-                // Window [dq - r, dq + r] in the sorted entry list.
+                // Window [dq - r, dq + r] in the sorted entry list — one
+                // contiguous tile of the gathered coordinates.
                 let lo = list.entries.partition_point(|(d, _)| *d < dq - params.r);
-                for &(dj, j) in &list.entries[lo..] {
-                    if dj > dq + params.r {
-                        break; // sorted: nothing further can qualify
-                    }
-                    if j as usize == i {
-                        continue;
-                    }
-                    stats.distance_evaluations += 1;
-                    if params.neighbors(q, partition.point(j as usize)) {
-                        neighbors += 1;
-                        if neighbors >= params.k {
-                            break 'pivots;
-                        }
-                    }
+                let hi = list.entries.partition_point(|(d, _)| *d <= dq + params.r);
+                if lo >= hi {
+                    continue;
                 }
+                let skip = (self_list as usize == li)
+                    .then_some(self_pos as usize)
+                    .filter(|&p| p >= lo && p < hi)
+                    .map(|p| p - lo);
+                let (found, scanned) = count_tile_excluding(
+                    &pred,
+                    q,
+                    &list.coords[lo * dim..hi * dim],
+                    dim,
+                    skip,
+                    params.k - neighbors,
+                );
+                stats.distance_evaluations += scanned;
+                neighbors += found;
             }
             if neighbors < params.k {
                 outliers.push(partition.core_id(i));

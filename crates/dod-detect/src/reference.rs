@@ -4,6 +4,12 @@
 //! and support points with a full O(n·m) scan (early-terminated at `k`).
 //! It exists so every other detector — and the whole distributed pipeline —
 //! can be property-tested for exactness against it.
+//!
+//! The scan runs on the kernel layer: a point's candidates in unified
+//! core-then-support order are exactly three contiguous columnar tiles
+//! (core before the point, core after it, support), so no per-candidate
+//! indexing happens at all. Scan order, early-exit positions, and work
+//! counters are identical to a one-pair-at-a-time loop.
 
 use crate::detector::{Detection, DetectionStats, Detector};
 use crate::partition::Partition;
@@ -20,23 +26,28 @@ impl Detector for Reference {
 
     fn detect(&self, partition: &Partition, params: OutlierParams) -> Detection {
         let n = partition.core().len();
-        let total = partition.total_len();
+        let dim = partition.dim();
         let mut outliers = Vec::new();
         let mut evals = 0u64;
+        let pred = params.predicate();
+        let core_flat = partition.core().as_flat();
+        let support_flat = partition.support().as_flat();
         for i in 0..n {
             let p = partition.core().point(i);
             let mut neighbors = 0usize;
-            for j in 0..total {
-                if j == i {
-                    continue; // a point is not its own neighbor
+            // The unified scan skipping the point itself is three
+            // contiguous tiles; a point is not its own neighbor.
+            for tile in [
+                &core_flat[..i * dim],
+                &core_flat[(i + 1) * dim..],
+                support_flat,
+            ] {
+                if neighbors >= params.k {
+                    break;
                 }
-                evals += 1;
-                if params.neighbors(p, partition.point(j)) {
-                    neighbors += 1;
-                    if neighbors >= params.k {
-                        break;
-                    }
-                }
+                let out = pred.count_within_tile(p, tile, params.k - neighbors);
+                evals += out.scanned as u64;
+                neighbors += out.found;
             }
             if neighbors < params.k {
                 outliers.push(partition.core_id(i));

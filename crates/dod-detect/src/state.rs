@@ -19,7 +19,7 @@
 
 use std::sync::Arc;
 
-use dod_core::OutlierParams;
+use dod_core::{NeighborPredicate, OutlierParams};
 
 use crate::cell_based::{CellBased, CellIndex};
 use crate::cost::AlgorithmKind;
@@ -45,6 +45,9 @@ enum StateIndex {
 pub struct PartitionState {
     partition: Arc<Partition>,
     params: OutlierParams,
+    /// The hot-loop neighbor predicate, derived from `params` once at
+    /// build time and reused by every resident query.
+    pred: NeighborPredicate,
     kind: AlgorithmKind,
     index: StateIndex,
 }
@@ -77,6 +80,7 @@ impl PartitionState {
         PartitionState {
             partition,
             params,
+            pred: params.predicate(),
             kind,
             index,
         }
@@ -142,19 +146,11 @@ impl PartitionState {
                 tree.count_core_neighbors(&self.partition, q, self.params, cap)
             }
             StateIndex::Scan => {
-                if cap == 0 {
-                    return 0;
-                }
-                let mut count = 0usize;
-                for p in self.partition.core().iter() {
-                    if self.params.neighbors(q, p) {
-                        count += 1;
-                        if count >= cap {
-                            break;
-                        }
-                    }
-                }
-                count
+                // The core point set is already one contiguous columnar
+                // tile — scan it directly with the resident predicate.
+                self.pred
+                    .count_within_tile(q, self.partition.core().as_flat(), cap)
+                    .found
             }
         }
     }

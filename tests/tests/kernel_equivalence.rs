@@ -1,0 +1,300 @@
+//! Kernel-layer equivalence: the tiled neighbor-counting kernels must be
+//! observationally identical to a scalar `Metric::within` loop — same
+//! counts, same early-exit positions, and therefore the same outlier
+//! sets from every detector. Covers all three metrics, dimensions 1–8,
+//! tile sizes 1..64, k-boundary hit patterns, and duplicated points.
+
+use dod_core::{Metric, NeighborPredicate, OutlierParams, PointId, PointSet};
+use dod_detect::{CellBased, Detector, IndexBased, NestedLoop, Partition, PivotBased, Reference};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const METRICS: [Metric; 3] = [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev];
+
+/// The scalar oracle the kernels must reproduce: walk the tile point by
+/// point with `Metric::within`, stopping as soon as `need` neighbors are
+/// found. Returns `(found, scanned)`.
+fn scalar_scan(
+    metric: Metric,
+    r: f64,
+    q: &[f64],
+    tile: &[f64],
+    dim: usize,
+    need: usize,
+) -> (usize, usize) {
+    let mut found = 0;
+    let mut scanned = 0;
+    for p in tile.chunks(dim) {
+        if found >= need {
+            break;
+        }
+        scanned += 1;
+        if metric.within(q, p, r) {
+            found += 1;
+        }
+    }
+    (found, scanned)
+}
+
+/// Brute-force Definition 2.1 outliers of a partition's core under an
+/// arbitrary metric, written directly against `Metric::within` so the
+/// detectors' kernelized paths are compared with code that never touches
+/// the kernel layer.
+fn scalar_outliers(partition: &Partition, params: OutlierParams) -> Vec<PointId> {
+    let total = partition.total_len();
+    let mut outliers = Vec::new();
+    for i in 0..partition.core().len() {
+        let q = partition.core().point(i);
+        let mut neighbors = 0;
+        for j in 0..total {
+            if j == i {
+                continue;
+            }
+            if params.metric.within(q, partition.point(j), params.r) {
+                neighbors += 1;
+                if neighbors >= params.k {
+                    break;
+                }
+            }
+        }
+        if neighbors < params.k {
+            outliers.push(partition.core_id(i));
+        }
+    }
+    outliers
+}
+
+fn random_tile(seed: u64, points: usize, dim: usize, side: f64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..points * dim)
+        .map(|_| rng.gen_range(0.0..side))
+        .collect()
+}
+
+fn random_partition(
+    seed: u64,
+    n_core: usize,
+    n_support: usize,
+    dim: usize,
+    side: f64,
+) -> Partition {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut push_n = |n: usize| {
+        let mut set = PointSet::new(dim).expect("dim >= 1");
+        let mut buf = vec![0.0; dim];
+        for _ in 0..n {
+            for b in buf.iter_mut() {
+                *b = rng.gen_range(0.0..side);
+            }
+            set.push(&buf).expect("same dim");
+        }
+        set
+    };
+    let core = push_n(n_core);
+    let support = push_n(n_support);
+    let ids = (0..n_core as u64).collect();
+    Partition::new(core, ids, support).expect("valid partition")
+}
+
+/// Detectors exercised at dimension `dim`. The cell-based pair is
+/// limited to low dimensions: its candidate block enumerates
+/// `(2·radius+1)^d` cells, which is intractable (not incorrect) in high
+/// `d` — a grid limitation that predates the kernel layer.
+fn detectors(dim: usize) -> Vec<(&'static str, Box<dyn Detector>)> {
+    let mut v: Vec<(&'static str, Box<dyn Detector>)> = vec![
+        ("nested-loop", Box::new(NestedLoop::default())),
+        ("index-based", Box::new(IndexBased::default())),
+        ("pivot-based", Box::new(PivotBased::default())),
+        ("reference", Box::new(Reference)),
+    ];
+    if dim <= 3 {
+        v.push(("cell-based", Box::new(CellBased::default())));
+        v.push((
+            "cell-based-fallback",
+            Box::new(CellBased::default().full_scan_fallback()),
+        ));
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    // Core tentpole guarantee: `count_within_tile` is indistinguishable
+    // from the scalar scan for every metric, dimension, and tile size.
+    #[test]
+    fn tile_counts_match_scalar(
+        seed in 0u64..10_000,
+        metric_idx in 0usize..3,
+        dim in 1usize..9,
+        points in 1usize..64,
+        r in 0.1f64..4.0,
+        need in 0usize..10,
+    ) {
+        let metric = METRICS[metric_idx];
+        let tile = random_tile(seed, points, dim, 3.0);
+        let q = random_tile(seed.wrapping_add(1), 1, dim, 3.0);
+        let pred = NeighborPredicate::with_metric(metric, r);
+        let out = pred.count_within_tile(&q, &tile, need);
+        let (found, scanned) = scalar_scan(metric, r, &q, &tile, dim, need);
+        prop_assert_eq!(out.found, found, "{} dim {} points {}", metric.name(), dim, points);
+        prop_assert_eq!(out.scanned, scanned, "{} dim {} points {}", metric.name(), dim, points);
+        prop_assert_eq!(out.reached(need), found >= need);
+    }
+
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Detector outlier sets survive the kernel rewrite across metrics
+    // and dimensions, with support points in the mix.
+    #[test]
+    fn detector_outlier_sets_match_scalar_oracle(
+        seed in 0u64..1000,
+        metric_idx in 0usize..3,
+        dim in 1usize..9,
+        n_core in 0usize..50,
+        n_support in 0usize..15,
+        r in 0.3f64..3.0,
+        k in 1usize..6,
+    ) {
+        let metric = METRICS[metric_idx];
+        let partition = random_partition(seed, n_core, n_support, dim, 6.0);
+        let params = OutlierParams::new(r, k).unwrap().with_metric(metric);
+        let expected = scalar_outliers(&partition, params);
+        for (name, det) in detectors(dim) {
+            let got = det.detect(&partition, params).outliers;
+            prop_assert_eq!(
+                &got, &expected,
+                "{} under {} in dim {}", name, metric.name(), dim
+            );
+        }
+    }
+}
+
+/// k-boundary coverage: tiles engineered so the hit count lands exactly
+/// on, just below, and just above `need`, with the crossing hit placed at
+/// every position of a cache block (including the block edges).
+#[test]
+fn k_boundary_early_exit_positions() {
+    for metric in METRICS {
+        for dim in [1usize, 3, 5] {
+            // 70 points span two-plus cache blocks of 32.
+            for hit_pos in [0usize, 1, 30, 31, 32, 33, 63, 64, 69] {
+                let mut tile = vec![50.0; 70 * dim];
+                // Hits at `hit_pos` and everything after it.
+                for p in hit_pos..70 {
+                    for d in 0..dim {
+                        tile[p * dim + d] = 0.01;
+                    }
+                }
+                let q = vec![0.0; dim];
+                let pred = NeighborPredicate::with_metric(metric, 1.0);
+                let total_hits = 70 - hit_pos;
+                for need in [
+                    1usize,
+                    2,
+                    total_hits.saturating_sub(1).max(1),
+                    total_hits,
+                    total_hits + 1,
+                ] {
+                    let out = pred.count_within_tile(&q, &tile, need);
+                    let (found, scanned) = scalar_scan(metric, 1.0, &q, &tile, dim, need);
+                    assert_eq!(
+                        (out.found, out.scanned),
+                        (found, scanned),
+                        "{} dim {dim} hit_pos {hit_pos} need {need}",
+                        metric.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Duplicate-point coverage: every point identical, so the k-th neighbor
+/// is found after exactly k scans — for the tile kernel and for every
+/// detector (no duplicated point can ever be an outlier for k < n).
+#[test]
+fn duplicate_points_are_exact() {
+    for metric in METRICS {
+        for dim in 1usize..=8 {
+            let tile: Vec<f64> = vec![1.5; 40 * dim];
+            let q = vec![1.5; dim];
+            let pred = NeighborPredicate::with_metric(metric, 0.5);
+            for need in [1usize, 7, 40, 41] {
+                let out = pred.count_within_tile(&q, &tile, need);
+                assert_eq!(out.found, need.min(40), "{} dim {dim}", metric.name());
+                assert_eq!(out.scanned, need.min(40), "{} dim {dim}", metric.name());
+            }
+            let mut set = PointSet::new(dim).unwrap();
+            for _ in 0..40 {
+                set.push(&vec![1.5; dim]).unwrap();
+            }
+            let partition = Partition::standalone(set);
+            let params = OutlierParams::new(0.5, 4).unwrap().with_metric(metric);
+            for (name, det) in detectors(dim) {
+                assert!(
+                    det.detect(&partition, params).outliers.is_empty(),
+                    "{name} under {} in dim {dim}",
+                    metric.name()
+                );
+            }
+        }
+    }
+}
+
+/// Satellite audit: no detector hot loop bypasses the predicate. The
+/// non-test portion of every dod-detect source file must route distance
+/// predicates through `NeighborPredicate` — never `Metric::within` or
+/// `OutlierParams::neighbors` directly.
+#[test]
+fn hot_paths_use_the_kernel_predicate() {
+    let sources: [(&str, &str); 7] = [
+        (
+            "nested_loop.rs",
+            include_str!("../../crates/dod-detect/src/nested_loop.rs"),
+        ),
+        (
+            "cell_based.rs",
+            include_str!("../../crates/dod-detect/src/cell_based.rs"),
+        ),
+        (
+            "index_based.rs",
+            include_str!("../../crates/dod-detect/src/index_based.rs"),
+        ),
+        (
+            "reference.rs",
+            include_str!("../../crates/dod-detect/src/reference.rs"),
+        ),
+        (
+            "pivot_based.rs",
+            include_str!("../../crates/dod-detect/src/pivot_based.rs"),
+        ),
+        (
+            "state.rs",
+            include_str!("../../crates/dod-detect/src/state.rs"),
+        ),
+        (
+            "scan.rs",
+            include_str!("../../crates/dod-detect/src/scan.rs"),
+        ),
+    ];
+    for (name, source) in sources {
+        let hot = source.split("#[cfg(test)]").next().unwrap();
+        for forbidden in [".within(", ".neighbors("] {
+            // `pred.within(` is the predicate's own (precomputed) entry
+            // point and is allowed; raw metric/params calls are not.
+            let violations: Vec<&str> = hot
+                .lines()
+                .filter(|l| l.contains(forbidden) && !l.contains("pred.within("))
+                .collect();
+            assert!(
+                violations.is_empty(),
+                "{name}: hot path bypasses NeighborPredicate via `{forbidden}`: {violations:?}"
+            );
+        }
+    }
+}
