@@ -7,7 +7,7 @@
 //! cargo run --release -p bench --bin bench -- kernels --json out.json
 //! ```
 
-use bench::kernels;
+use bench::{kernels, pipeline};
 use std::process::ExitCode;
 
 fn run_kernels(args: &[String]) -> ExitCode {
@@ -50,12 +50,85 @@ fn run_kernels(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn run_pipeline(args: &[String]) -> ExitCode {
+    let mut json_path: Option<String> = None;
+    let mut quick = false;
+    let mut chaos_seed = 1u64;
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => {
+                let next = it.peek().filter(|a| !a.starts_with("--"));
+                json_path = Some(match next {
+                    Some(_) => it.next().unwrap().clone(),
+                    None => "BENCH_pipeline.json".to_string(),
+                });
+            }
+            "--quick" => quick = true,
+            "--chaos-seed" => {
+                let Some(value) = it.next() else {
+                    eprintln!("--chaos-seed needs a value");
+                    return ExitCode::FAILURE;
+                };
+                chaos_seed = match value.parse() {
+                    Ok(seed) => seed,
+                    Err(e) => {
+                        eprintln!("--chaos-seed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            other => {
+                eprintln!("unknown pipeline flag: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let rows = pipeline::run_all(quick, chaos_seed);
+    println!(
+        "{:<8} {:>10} {:>9} {:>8} {:>11} {:>9} {:>12} {:>12} {:>11}",
+        "bench",
+        "wall ms",
+        "outliers",
+        "retries",
+        "speculative",
+        "spec won",
+        "blacklisted",
+        "block errors",
+        "backoff ms"
+    );
+    for r in &rows {
+        println!(
+            "{:<8} {:>10.2} {:>9} {:>8} {:>11} {:>9} {:>12} {:>12} {:>11.2}",
+            r.name,
+            r.wall_ms,
+            r.outliers,
+            r.task_retries,
+            r.speculative_launched,
+            r.speculative_won,
+            r.nodes_blacklisted,
+            r.block_read_errors,
+            r.backoff_ms
+        );
+    }
+    if let Some(path) = json_path {
+        std::fs::write(&path, pipeline::to_json(&rows, chaos_seed)).expect("write json");
+        println!("\nwrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("kernels") => run_kernels(&args[1..]),
+        Some("pipeline") => run_pipeline(&args[1..]),
         _ => {
-            eprintln!("usage: bench kernels [--json [path]] [--quick]");
+            eprintln!(
+                "usage: bench kernels  [--json [path]] [--quick]\n       \
+                 bench pipeline [--json [path]] [--quick] [--chaos-seed <int>]"
+            );
             ExitCode::FAILURE
         }
     }

@@ -13,6 +13,7 @@
 
 pub mod experiments;
 pub mod kernels;
+pub mod pipeline;
 pub mod scale;
 pub mod setup;
 pub mod svg;

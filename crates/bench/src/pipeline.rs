@@ -1,0 +1,213 @@
+//! `bench pipeline`: end-to-end pipeline wall-clock with the fault
+//! machinery disabled vs. under a seeded chaos plan.
+//!
+//! Two rows per run: `plain` (no fault plan — the recovery scheduler is
+//! armed but never fires, so this is the overhead-tracking baseline) and
+//! `chaos` (a [`FaultPlan::chaos`] seed injecting panics, stragglers,
+//! block-read errors and one lost node). Each row carries the robustness
+//! counters from the job metrics so `BENCH_pipeline.json` files track
+//! recovery activity and its cost over time.
+
+use std::time::{Duration, Instant};
+
+use dod::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One measured pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineBenchRow {
+    /// Row label: `plain` or `chaos`.
+    pub name: &'static str,
+    /// Best-of-reps wall-clock for one full `DodRunner::run`.
+    pub wall_ms: f64,
+    /// Outliers found (identical across rows when chaos recovers).
+    pub outliers: usize,
+    /// Primary attempts re-queued after a failure.
+    pub task_retries: u64,
+    /// Speculative attempts launched against stragglers.
+    pub speculative_launched: u64,
+    /// Speculative attempts that beat their primary.
+    pub speculative_won: u64,
+    /// Nodes blacklisted after repeated failures.
+    pub nodes_blacklisted: u64,
+    /// Transient block-read errors injected and absorbed.
+    pub block_read_errors: u64,
+    /// Total backoff sleep across all retries.
+    pub backoff_ms: f64,
+}
+
+/// Mixed-density 2-d dataset: a dense blob, a moderate cluster, and
+/// sparse background producing a handful of genuine outliers.
+fn dataset(seed: u64, n: usize) -> PointSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = PointSet::new(2).expect("dim 2");
+    for _ in 0..n {
+        let roll: f64 = rng.gen();
+        let p = if roll < 0.45 {
+            [rng.gen_range(0.0..5.0), rng.gen_range(0.0..5.0)]
+        } else if roll < 0.9 {
+            [rng.gen_range(20.0..44.0), rng.gen_range(10.0..34.0)]
+        } else {
+            [rng.gen_range(0.0..60.0), rng.gen_range(0.0..60.0)]
+        };
+        data.push(&p).expect("dim 2");
+    }
+    data
+}
+
+/// The benchmark cluster: recovery knobs armed in both rows so `plain`
+/// measures the cost of the machinery itself, not a stripped scheduler.
+fn cluster(fault: Option<FaultPlan>) -> ClusterConfig {
+    let base = ClusterConfig::new(8)
+        .with_slots(2, 2)
+        .with_retries(6)
+        .with_backoff_ms(1)
+        .with_speculation(5, 200);
+    match fault {
+        Some(plan) => base.with_fault(plan),
+        None => base,
+    }
+}
+
+fn run_once(
+    name: &'static str,
+    data: &PointSet,
+    reps: usize,
+    fault: Option<FaultPlan>,
+) -> PipelineBenchRow {
+    let params = OutlierParams::new(1.2, 4).expect("valid parameters");
+    let config = DodConfig::builder(params)
+        .cluster(cluster(fault))
+        .num_reducers(16)
+        .target_partitions(64)
+        .sample_rate(0.05)
+        .build()
+        .expect("valid pipeline bench configuration");
+    let runner = DodRunner::builder()
+        .config(config)
+        .strategy(Dmt::default())
+        .multi_tactic()
+        .build();
+    let mut best = Duration::MAX;
+    let mut outcome = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let out = runner.run(data).expect("pipeline bench run must succeed");
+        best = best.min(start.elapsed());
+        outcome = Some(out);
+    }
+    let outcome = outcome.expect("at least one rep");
+    let mut row = PipelineBenchRow {
+        name,
+        wall_ms: best.as_secs_f64() * 1e3,
+        outliers: outcome.outliers.len(),
+        task_retries: 0,
+        speculative_launched: 0,
+        speculative_won: 0,
+        nodes_blacklisted: 0,
+        block_read_errors: 0,
+        backoff_ms: 0.0,
+    };
+    for j in &outcome.report.jobs {
+        row.task_retries += j.task_retries;
+        row.speculative_launched += j.speculative_launched;
+        row.speculative_won += j.speculative_won;
+        row.nodes_blacklisted += j.nodes_blacklisted;
+        row.block_read_errors += j.block_read_errors;
+        row.backoff_ms += j.backoff_total.as_secs_f64() * 1e3;
+    }
+    row
+}
+
+/// Runs the `plain` and `chaos` rows. `quick` shrinks the dataset and
+/// repetitions for CI; `chaos_seed` selects the fault plan.
+pub fn run_all(quick: bool, chaos_seed: u64) -> Vec<PipelineBenchRow> {
+    let (n, reps) = if quick { (4_000, 1) } else { (20_000, 3) };
+    let data = dataset(17, n);
+    vec![
+        run_once("plain", &data, reps, None),
+        run_once("chaos", &data, reps, Some(FaultPlan::chaos(chaos_seed))),
+    ]
+}
+
+/// Serializes rows to the `dod-bench-pipeline/v1` JSON schema.
+pub fn to_json(rows: &[PipelineBenchRow], chaos_seed: u64) -> String {
+    let mut out = format!(
+        "{{\n  \"schema\": \"dod-bench-pipeline/v1\",\n  \"chaos_seed\": {chaos_seed},\n  \"benches\": [\n"
+    );
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"outliers\": {}, \
+             \"task_retries\": {}, \"speculative_launched\": {}, \
+             \"speculative_won\": {}, \"nodes_blacklisted\": {}, \
+             \"block_read_errors\": {}, \"backoff_ms\": {:.3}}}{}\n",
+            r.name,
+            r.wall_ms,
+            r.outliers,
+            r.task_retries,
+            r.speculative_launched,
+            r.speculative_won,
+            r.nodes_blacklisted,
+            r.block_read_errors,
+            r.backoff_ms,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_row_is_quiet_and_chaos_row_is_active() {
+        let rows = run_all(true, 1);
+        assert_eq!(rows.len(), 2);
+        let plain = &rows[0];
+        let chaos = &rows[1];
+        assert_eq!(plain.name, "plain");
+        assert_eq!(chaos.name, "chaos");
+        // With no fault plan nothing retries, speculates, or backs off.
+        assert_eq!(plain.task_retries, 0);
+        assert_eq!(plain.block_read_errors, 0);
+        assert_eq!(plain.nodes_blacklisted, 0);
+        assert_eq!(plain.backoff_ms, 0.0);
+        // The chaos plan must both fire and be absorbed: same answer.
+        assert!(
+            chaos.task_retries + chaos.block_read_errors > 0,
+            "chaos row shows no fault activity"
+        );
+        assert_eq!(plain.outliers, chaos.outliers);
+    }
+
+    #[test]
+    fn json_carries_the_robustness_counters() {
+        let rows = vec![PipelineBenchRow {
+            name: "plain",
+            wall_ms: 12.5,
+            outliers: 3,
+            task_retries: 1,
+            speculative_launched: 2,
+            speculative_won: 1,
+            nodes_blacklisted: 0,
+            block_read_errors: 4,
+            backoff_ms: 0.75,
+        }];
+        let json = to_json(&rows, 99);
+        for needle in [
+            "dod-bench-pipeline/v1",
+            "\"chaos_seed\": 99",
+            "\"task_retries\": 1",
+            "\"speculative_launched\": 2",
+            "\"speculative_won\": 1",
+            "\"nodes_blacklisted\": 0",
+            "\"block_read_errors\": 4",
+            "\"backoff_ms\": 0.750",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+}

@@ -53,6 +53,11 @@ pub struct Args {
     pub trace: Option<String>,
     /// Print the aggregated event summary after the run.
     pub profile: bool,
+    /// Seed a deterministic chaos fault plan into the simulated cluster
+    /// (task panics, stragglers, transient block-read errors, one lost
+    /// node). The run must still produce the exact answer or fail with
+    /// a typed error.
+    pub chaos_seed: Option<u64>,
 }
 
 /// Parsed `serve` subcommand: the base pipeline arguments plus the
@@ -116,6 +121,10 @@ OPTIONS:
     --report                print the per-stage execution report
     --trace <path>          write structured events (spans, counters) as JSONL
     --profile               print an aggregated event summary after the run
+    --chaos-seed <int>      inject a seeded chaos fault plan (panics,
+                            stragglers, block-read errors, one lost node)
+                            into the simulated cluster; the answer must
+                            still be exact or fail with a typed error
     --help                  show this help
 ";
 
@@ -201,6 +210,7 @@ pub fn parse(args: &[String]) -> Result<Args, ArgError> {
     let mut report = false;
     let mut trace = None;
     let mut profile = false;
+    let mut chaos_seed = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -272,6 +282,13 @@ pub fn parse(args: &[String]) -> Result<Args, ArgError> {
             "--report" => report = true,
             "--trace" => trace = Some(value("--trace")?.clone()),
             "--profile" => profile = true,
+            "--chaos-seed" => {
+                chaos_seed = Some(
+                    value("--chaos-seed")?
+                        .parse::<u64>()
+                        .map_err(|e| ArgError::Invalid(format!("--chaos-seed: {e}")))?,
+                )
+            }
             other => return Err(ArgError::Invalid(format!("unknown argument {other:?}"))),
         }
     }
@@ -298,6 +315,7 @@ pub fn parse(args: &[String]) -> Result<Args, ArgError> {
         report,
         trace,
         profile,
+        chaos_seed,
     })
 }
 
@@ -442,6 +460,49 @@ mod tests {
         assert!(a.profile);
         assert!(matches!(
             parse(&v(&["--input", "x", "--r", "1", "--k", "2", "--trace"])),
+            Err(ArgError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn chaos_seed_argument() {
+        let a = parse(&v(&["--input", "x", "--r", "1", "--k", "2"])).unwrap();
+        assert_eq!(a.chaos_seed, None);
+        let a = parse(&v(&[
+            "--input",
+            "x",
+            "--r",
+            "1",
+            "--k",
+            "2",
+            "--chaos-seed",
+            "42",
+        ]))
+        .unwrap();
+        assert_eq!(a.chaos_seed, Some(42));
+        assert!(matches!(
+            parse(&v(&[
+                "--input",
+                "x",
+                "--r",
+                "1",
+                "--k",
+                "2",
+                "--chaos-seed",
+                "not-a-seed"
+            ])),
+            Err(ArgError::Invalid(_))
+        ));
+        assert!(matches!(
+            parse(&v(&[
+                "--input",
+                "x",
+                "--r",
+                "1",
+                "--k",
+                "2",
+                "--chaos-seed"
+            ])),
             Err(ArgError::Invalid(_))
         ));
     }

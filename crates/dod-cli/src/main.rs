@@ -40,13 +40,23 @@ fn build_obs(args: &Args) -> Result<(Obs, Option<Arc<MemoryRecorder>>), String> 
 }
 
 fn build_runner(args: &Args, obs: Obs) -> Result<DodRunner, String> {
-    let config = DodConfig::builder(args.params)
+    let mut builder = DodConfig::builder(args.params)
         .num_reducers(args.reducers)
         .target_partitions(args.partitions)
         .sample_rate(args.sample_rate)
-        .obs(obs)
-        .build()
-        .map_err(|e| e.to_string())?;
+        .obs(obs);
+    if let Some(seed) = args.chaos_seed {
+        // Deterministic fault injection: same seed, same faults. Extra
+        // retries keep chaos-rate plans recoverable so the run usually
+        // still produces the exact answer.
+        builder = builder.cluster(
+            ClusterConfig::default()
+                .with_retries(6)
+                .with_backoff_ms(1)
+                .with_fault(FaultPlan::chaos(seed)),
+        );
+    }
+    let config = builder.build().map_err(|e| e.to_string())?;
     let builder = DodRunner::builder().config(config);
     let builder = match args.strategy {
         StrategyArg::Domain => builder.strategy(Domain),
@@ -184,6 +194,44 @@ mod tests {
         assert_eq!(runner.config().num_reducers, 7);
         assert_eq!(runner.config().target_partitions, 21);
         assert_eq!(runner.config().sample_rate, 0.25);
+    }
+
+    #[test]
+    fn chaos_seed_arms_the_cluster_fault_plan() {
+        let mut a = base_args();
+        let runner = build_runner(&a, Obs::null()).unwrap();
+        assert!(runner.config().cluster.fault.is_none());
+        a.chaos_seed = Some(9);
+        let runner = build_runner(&a, Obs::null()).unwrap();
+        assert_eq!(
+            runner.config().cluster.fault,
+            Some(mapreduce::FaultPlan::chaos(9))
+        );
+    }
+
+    #[test]
+    fn chaos_run_still_finds_the_exact_outliers() {
+        let data = {
+            let mut d = PointSet::new(2).unwrap();
+            for i in 0..60 {
+                d.push(&[(i % 10) as f64, (i / 10) as f64]).unwrap();
+            }
+            d.push(&[100.0, 100.0]).unwrap();
+            d
+        };
+        let mut a = base_args();
+        a.sample_rate = 1.0;
+        a.params = OutlierParams::new(1.5, 3).unwrap();
+        let expected = build_runner(&a, Obs::null())
+            .unwrap()
+            .run(&data)
+            .unwrap()
+            .outliers;
+        a.chaos_seed = Some(5);
+        match build_runner(&a, Obs::null()).unwrap().run(&data) {
+            Ok(outcome) => assert_eq!(outcome.outliers, expected),
+            Err(e) => assert!(matches!(e, dod::Error::Job(_)), "unexpected error: {e}"),
+        }
     }
 
     #[test]

@@ -1,11 +1,14 @@
 //! The resident engine: build once, serve many.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use dod::{DodConfig, DodRunner};
 use dod_core::{PointId, PointSet};
 use dod_detect::{Partition, PartitionState};
+use dod_obs::sync::{lock_recover, read_recover, wait_recover, write_recover};
 use dod_obs::{names, Obs, Value};
 use dod_partition::MultiTacticPlan;
 
@@ -17,6 +20,41 @@ pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
 
 /// Default drift threshold of [`Engine::refresh_if_drifted`].
 pub const DEFAULT_DRIFT_THRESHOLD: f64 = 0.25;
+
+/// The verdict for one query point scored under a degraded-mode time
+/// budget ([`Engine::score_batch_degraded`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradedScore {
+    /// Resident neighbors counted before the budget ran out (complete,
+    /// i.e. counted until `k`, when `degraded` is `false`).
+    pub neighbors: usize,
+    /// The outlier verdict implied by `neighbors` — trustworthy only
+    /// when `degraded` is `false` (a partial count can only
+    /// under-count, so `outlier == false` stays definitive even
+    /// degraded; `outlier == true` may be a false positive).
+    pub outlier: bool,
+    /// `true` iff the budget expired before this point was fully scored.
+    pub degraded: bool,
+}
+
+/// A point-in-time health snapshot of a running engine
+/// ([`Engine::health`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineHealth {
+    /// Requests submitted but not yet picked up by a worker.
+    pub queue_depth: usize,
+    /// Requests currently executing on worker threads.
+    pub in_flight: usize,
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Total requests whose job panicked (each contained to its own
+    /// request; the workers survived).
+    pub panics: u64,
+    /// Current plan epoch.
+    pub epoch: u64,
+    /// Partitions in the resident plan (0 for an empty dataset).
+    pub partitions: usize,
+}
 
 /// The verdict for one scored query point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +95,10 @@ struct Shared {
     /// same epoch twice.
     refresh: Mutex<()>,
     obs: Obs,
+    /// Requests currently executing on worker threads.
+    in_flight: AtomicUsize,
+    /// Requests whose job panicked (contained to the request).
+    panics: AtomicU64,
 }
 
 impl Shared {
@@ -116,7 +158,7 @@ impl Shared {
         points: &[Vec<f64>],
         deadline: Option<Instant>,
     ) -> Result<Vec<ScorePoint>, EngineError> {
-        let resident = Arc::clone(&self.resident.read().expect("resident lock"));
+        let resident = Arc::clone(&read_recover(&self.resident));
         let params = self.runner.config().params;
         let (r, k, metric) = (params.r, params.k, params.metric);
         let mut out = Vec::with_capacity(points.len());
@@ -165,7 +207,7 @@ impl Shared {
             });
         }
         if traffic.iter().any(|&t| t > 0) {
-            let mut observed = self.observed.lock().expect("observed lock");
+            let mut observed = lock_recover(&self.observed);
             // A refresh may have shrunk the vector concurrently; the
             // stale remainder of this batch is attributed best-effort.
             for (pid, &t) in traffic.iter().enumerate() {
@@ -177,11 +219,72 @@ impl Shared {
         Ok(out)
     }
 
+    /// Degraded-mode scoring: like [`Shared::score`], but a blown time
+    /// budget marks results as degraded instead of failing the whole
+    /// batch. Once the budget expires, the point being scored keeps its
+    /// partial neighbor count and every remaining point is answered
+    /// immediately with zero work — the request always returns.
+    fn score_degraded(
+        &self,
+        points: &[Vec<f64>],
+        budget_at: Instant,
+    ) -> Result<Vec<DegradedScore>, EngineError> {
+        let resident = Arc::clone(&read_recover(&self.resident));
+        let params = self.runner.config().params;
+        let (r, k, metric) = (params.r, params.k, params.metric);
+        let mut out = Vec::with_capacity(points.len());
+        let mut over_budget = false;
+        for q in points {
+            if q.len() != self.dim {
+                return Err(EngineError::Dimension {
+                    expected: self.dim,
+                    got: q.len(),
+                });
+            }
+            let Some(plan) = &resident.plan else {
+                out.push(DegradedScore {
+                    neighbors: 0,
+                    outlier: true,
+                    degraded: false,
+                });
+                continue;
+            };
+            let mut neighbors = 0usize;
+            let mut degraded = over_budget;
+            if !degraded {
+                for (pid, state) in plan.states.iter().enumerate() {
+                    if Instant::now() > budget_at {
+                        over_budget = true;
+                        degraded = true;
+                        break;
+                    }
+                    if neighbors >= k {
+                        break;
+                    }
+                    if state.core_len() == 0 {
+                        continue;
+                    }
+                    let rect = plan.mt.plan.rect(pid);
+                    if metric.min_dist_to_rect(rect.min(), rect.max(), q) > r {
+                        continue;
+                    }
+                    neighbors += state.count_core_neighbors(q, k - neighbors);
+                }
+            }
+            out.push(DegradedScore {
+                neighbors,
+                outlier: neighbors < k,
+                degraded,
+            });
+        }
+        Ok(out)
+    }
+
     /// Runs full detection over every resident partition (the `detect`
     /// op). Returns the ascending ids of all outliers — exactly the
     /// one-shot pipeline's answer for the same configuration and data.
     fn detect_all(&self, deadline: Option<Instant>) -> Result<Vec<PointId>, EngineError> {
-        let resident = Arc::clone(&self.resident.read().expect("resident lock"));
+        let resident = Arc::clone(&read_recover(&self.resident));
         let Some(plan) = &resident.plan else {
             return Ok(Vec::new());
         };
@@ -260,6 +363,8 @@ impl EngineBuilder {
             observed: Mutex::new(counts),
             refresh: Mutex::new(()),
             obs,
+            in_flight: AtomicUsize::new(0),
+            panics: AtomicU64::new(0),
         });
         Ok(Engine {
             shared,
@@ -314,16 +419,13 @@ impl Engine {
 
     /// Current plan epoch (0 until the first refresh).
     pub fn epoch(&self) -> u64 {
-        self.shared.resident.read().expect("resident lock").epoch
+        read_recover(&self.shared.resident).epoch
     }
 
     /// Number of partitions in the resident plan (0 for an empty
     /// dataset).
     pub fn num_partitions(&self) -> usize {
-        self.shared
-            .resident
-            .read()
-            .expect("resident lock")
+        read_recover(&self.shared.resident)
             .plan
             .as_ref()
             .map_or(0, |p| p.mt.num_partitions())
@@ -332,6 +434,27 @@ impl Engine {
     /// Requests currently queued (submitted, not yet picked up).
     pub fn queue_depth(&self) -> usize {
         self.pool.queue_depth()
+    }
+
+    /// A point-in-time health snapshot: queue depth, in-flight requests,
+    /// contained panics, current epoch. Never blocks on request
+    /// processing (only the resident read lock, held momentarily).
+    pub fn health(&self) -> EngineHealth {
+        let (epoch, partitions) = {
+            let resident = read_recover(&self.shared.resident);
+            (
+                resident.epoch,
+                resident.plan.as_ref().map_or(0, |p| p.mt.num_partitions()),
+            )
+        };
+        EngineHealth {
+            queue_depth: self.pool.queue_depth(),
+            in_flight: self.shared.in_flight.load(Ordering::Acquire),
+            workers: self.pool.workers(),
+            panics: self.shared.panics.load(Ordering::Acquire),
+            epoch,
+            partitions,
+        }
     }
 
     /// Scores a batch of query points against the resident dataset with
@@ -365,6 +488,23 @@ impl Engine {
         let items = points.len();
         self.submit("score", items, deadline, move |shared, d| {
             shared.score(&points, d)
+        })
+    }
+
+    /// Scores a batch under a degraded-mode time budget: instead of
+    /// failing with [`EngineError::DeadlineExceeded`], a blown budget
+    /// returns partial per-point results flagged
+    /// [`DegradedScore::degraded`]. The budget clock starts at
+    /// submission, so time spent queued counts against it.
+    pub fn score_batch_degraded(
+        &self,
+        points: Vec<Vec<f64>>,
+        budget: Duration,
+    ) -> Result<Pending<Vec<DegradedScore>>, EngineError> {
+        let items = points.len();
+        let budget_at = Instant::now() + budget;
+        self.submit("score_degraded", items, None, move |shared, _| {
+            shared.score_degraded(&points, budget_at)
         })
     }
 
@@ -411,9 +551,27 @@ impl Engine {
                 let _ = tx.send(Err(EngineError::DeadlineExceeded));
                 return;
             }
-            let epoch = shared.resident.read().expect("resident lock").epoch;
+            let epoch = read_recover(&shared.resident).epoch;
             let t0 = Instant::now();
-            let result = f(&shared, deadline_at);
+            // Contain a panicking request to this request: the Pending
+            // resolves to `TaskPanicked` and the worker thread survives
+            // to serve the next request. The in-flight gauge covers
+            // exactly the execution (released before the result is
+            // sent, so a caller who just observed completion sees a
+            // consistent snapshot).
+            let result = {
+                let _in_flight = InFlightGuard::new(&shared.in_flight);
+                match catch_unwind(AssertUnwindSafe(|| f(&shared, deadline_at))) {
+                    Ok(result) => result,
+                    Err(payload) => {
+                        shared.panics.fetch_add(1, Ordering::AcqRel);
+                        obs.counter(names::ENGINE_PANICS, 1, &[("op", Value::from(op))]);
+                        Err(EngineError::TaskPanicked {
+                            message: panic_message(payload.as_ref()),
+                        })
+                    }
+                }
+            };
             match &result {
                 Ok(_) => {
                     // Served entirely from resident state — no rebuild.
@@ -453,15 +611,25 @@ impl Engine {
         }
     }
 
+    /// Submits a request whose job panics — the chaos hook used to
+    /// exercise panic containment end-to-end. Hidden from docs; tests
+    /// and the chaos suite are the only intended callers.
+    #[doc(hidden)]
+    pub fn inject_panic(&self) -> Result<Pending<()>, EngineError> {
+        self.submit("inject_panic", 0, None, |_, _| {
+            panic!("injected engine panic")
+        })
+    }
+
     /// Total-variation distance in `[0, 1]` between the resident plan's
     /// predicted per-partition distribution and the observed one (core
     /// counts plus scored query traffic). 0.0 for an empty dataset.
     pub fn drift(&self) -> f64 {
-        let resident = Arc::clone(&self.shared.resident.read().expect("resident lock"));
+        let resident = Arc::clone(&read_recover(&self.shared.resident));
         let Some(plan) = &resident.plan else {
             return 0.0;
         };
-        let observed = self.shared.observed.lock().expect("observed lock");
+        let observed = lock_recover(&self.shared.observed);
         if observed.iter().sum::<f64>() <= 0.0 {
             return 0.0;
         }
@@ -505,9 +673,9 @@ impl Engine {
         let shared = &self.shared;
         // Serialize refreshes; requests keep serving from the old epoch
         // (behind its own Arc) until the swap below.
-        let _serial = shared.refresh.lock().expect("refresh lock");
+        let _serial = lock_recover(&shared.refresh);
         let t0 = Instant::now();
-        let epoch = shared.resident.read().expect("resident lock").epoch + 1;
+        let epoch = read_recover(&shared.resident).epoch + 1;
         let base = shared.runner.config();
         let cfg = base
             .to_builder()
@@ -516,10 +684,10 @@ impl Engine {
             .map_err(dod::Error::from)?;
         let (plan, counts) = Shared::materialize(&shared.runner.with_config(cfg), &shared.data)?;
         {
-            let mut w = shared.resident.write().expect("resident lock");
+            let mut w = write_recover(&shared.resident);
             *w = Arc::new(Resident { epoch, plan });
         }
-        *shared.observed.lock().expect("observed lock") = counts;
+        *lock_recover(&shared.observed) = counts;
         let mut labels = vec![("epoch", Value::from(epoch))];
         if let Some(d) = drift {
             labels.push(("drift", Value::from(d)));
@@ -570,15 +738,42 @@ struct Gate {
 
 impl Gate {
     fn park(&self) {
-        let mut released = self.released.lock().expect("gate lock");
+        let mut released = lock_recover(&self.released);
         while !*released {
-            released = self.cv.wait(released).expect("gate lock");
+            released = wait_recover(&self.cv, released);
         }
     }
 
     fn open(&self) {
-        *self.released.lock().expect("gate lock") = true;
+        *lock_recover(&self.released) = true;
         self.cv.notify_all();
+    }
+}
+
+/// Decrements the in-flight gauge when the job ends, however it ends.
+struct InFlightGuard<'a>(&'a AtomicUsize);
+
+impl InFlightGuard<'_> {
+    fn new(gauge: &AtomicUsize) -> InFlightGuard<'_> {
+        gauge.fetch_add(1, Ordering::AcqRel);
+        InFlightGuard(gauge)
+    }
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 

@@ -26,6 +26,13 @@ pub enum EngineError {
         /// Dimensionality of the offending query point.
         got: usize,
     },
+    /// The request's job panicked on a worker thread. The panic was
+    /// contained: only this request failed, the worker survived, and the
+    /// engine keeps serving subsequent requests.
+    TaskPanicked {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
     /// Preprocessing (sampling, planning, or re-planning) failed in the
     /// underlying pipeline.
     Pipeline(dod::Error),
@@ -43,6 +50,9 @@ impl fmt::Display for EngineError {
                 f,
                 "query point has dimension {got}, resident dataset has dimension {expected}"
             ),
+            EngineError::TaskPanicked { message } => {
+                write!(f, "request panicked on worker thread: {message}")
+            }
             EngineError::Pipeline(_) => write!(f, "pipeline preprocessing failed"),
         }
     }
@@ -78,6 +88,11 @@ mod tests {
             got: 3,
         };
         assert!(e.to_string().contains('2') && e.to_string().contains('3'));
+        let p = EngineError::TaskPanicked {
+            message: "boom".into(),
+        };
+        assert!(p.to_string().contains("boom"));
+        assert!(p.to_string().contains("panicked"));
     }
 
     #[test]

@@ -26,6 +26,13 @@
 //! returned immediately instead of queueing without bound, and each
 //! request may carry a deadline ([`EngineError::DeadlineExceeded`]).
 //!
+//! The engine is hardened against misbehaving requests: a panicking job
+//! fails only its own request ([`EngineError::TaskPanicked`]) while the
+//! worker survives, [`Engine::health`] snapshots queue depth / in-flight
+//! requests / contained panics, and [`Engine::score_batch_degraded`]
+//! trades completeness for bounded latency by flagging partially-scored
+//! points instead of failing the batch.
+//!
 //! ```
 //! use dod::{DodConfig, DodRunner};
 //! use dod_core::{OutlierParams, PointSet};
@@ -59,7 +66,8 @@ mod error;
 mod worker;
 
 pub use engine::{
-    Engine, EngineBuilder, PauseGuard, ScorePoint, DEFAULT_DRIFT_THRESHOLD, DEFAULT_QUEUE_CAPACITY,
+    DegradedScore, Engine, EngineBuilder, EngineHealth, PauseGuard, ScorePoint,
+    DEFAULT_DRIFT_THRESHOLD, DEFAULT_QUEUE_CAPACITY,
 };
 pub use error::EngineError;
 pub use worker::Pending;
@@ -202,6 +210,96 @@ mod tests {
             .wait()
             .unwrap_err();
         assert!(matches!(err, EngineError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn panicking_request_fails_alone_and_engine_survives() {
+        let (data, params) = cluster_with_outlier();
+        let expected = runner(params).run(&data).unwrap().outliers;
+        let engine = Engine::builder(runner(params))
+            .workers(1) // one worker: it must survive the panic
+            .build(&data)
+            .unwrap();
+        let err = engine.inject_panic().unwrap().wait().unwrap_err();
+        match err {
+            EngineError::TaskPanicked { message } => {
+                assert!(message.contains("injected engine panic"))
+            }
+            other => panic!("expected TaskPanicked, got {other:?}"),
+        }
+        // The lone worker survived: both ops still serve correctly.
+        assert_eq!(engine.detect_all().unwrap().wait().unwrap(), expected);
+        let scores = engine
+            .score_batch(vec![vec![0.7, 0.7]])
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(!scores[0].outlier);
+        let health = engine.health();
+        assert_eq!(health.panics, 1);
+        assert_eq!(health.in_flight, 0);
+        assert_eq!(health.queue_depth, 0);
+    }
+
+    #[test]
+    fn health_snapshot_reflects_engine_state() {
+        let (data, params) = cluster_with_outlier();
+        let engine = Engine::builder(runner(params))
+            .workers(3)
+            .build(&data)
+            .unwrap();
+        let h = engine.health();
+        assert_eq!(h.workers, 3);
+        assert_eq!(h.epoch, 0);
+        assert_eq!(h.partitions, engine.num_partitions());
+        assert_eq!(h.panics, 0);
+        assert_eq!(h.in_flight, 0);
+        engine.refresh_plan().unwrap();
+        assert_eq!(engine.health().epoch, 1);
+    }
+
+    #[test]
+    fn degraded_scoring_with_generous_budget_matches_exact() {
+        let (data, params) = cluster_with_outlier();
+        let engine = Engine::builder(runner(params)).build(&data).unwrap();
+        let points = vec![vec![0.7, 0.7], vec![200.0, 0.0]];
+        let exact = engine.score_batch(points.clone()).unwrap().wait().unwrap();
+        let degraded = engine
+            .score_batch_degraded(points, std::time::Duration::from_secs(60))
+            .unwrap()
+            .wait()
+            .unwrap();
+        for (d, e) in degraded.iter().zip(&exact) {
+            assert!(!d.degraded);
+            assert_eq!(d.neighbors, e.neighbors);
+            assert_eq!(d.outlier, e.outlier);
+        }
+    }
+
+    #[test]
+    fn blown_budget_degrades_instead_of_failing() {
+        let (data, params) = cluster_with_outlier();
+        let engine = Engine::builder(runner(params)).build(&data).unwrap();
+        let points: Vec<Vec<f64>> = (0..512).map(|_| vec![0.7, 0.7]).collect();
+        // A zero budget has expired before the batch starts: every point
+        // must come back flagged, and the request must still succeed.
+        let out = engine
+            .score_batch_degraded(points, std::time::Duration::ZERO)
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(out.len(), 512);
+        assert!(out.iter().all(|s| s.degraded));
+        // Dimension errors remain hard errors even in degraded mode.
+        let err = engine
+            .score_batch_degraded(
+                vec![vec![1.0, 2.0, 3.0]],
+                std::time::Duration::from_secs(60),
+            )
+            .unwrap()
+            .wait()
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Dimension { .. }));
     }
 
     #[test]

@@ -8,10 +8,13 @@
 //!
 //! [`sync_channel`]: std::sync::mpsc::sync_channel
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{self, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+
+use dod_obs::sync::lock_recover;
 
 use crate::error::EngineError;
 
@@ -42,12 +45,17 @@ impl WorkerPool {
                         // Hold the receiver lock only for the dequeue so
                         // other workers can pick up jobs while this one
                         // runs.
-                        let job = match rx.lock().expect("worker queue poisoned").recv() {
+                        let job = match lock_recover(&rx).recv() {
                             Ok(job) => job,
                             Err(_) => return, // engine dropped
                         };
                         depth.fetch_sub(1, Ordering::AcqRel);
-                        job();
+                        // Jobs contain their own panics (resolving their
+                        // Pending to `TaskPanicked`); this second barrier
+                        // keeps the worker alive even if one doesn't, at
+                        // the cost of that request resolving to
+                        // `Terminated` instead.
+                        let _ = catch_unwind(AssertUnwindSafe(job));
                     })
                     .expect("spawn engine worker")
             })

@@ -16,6 +16,7 @@ use std::sync::Mutex;
 
 use crate::event::{Event, EventKind, Value};
 use crate::recorder::Recorder;
+use crate::sync::lock_recover;
 
 /// Writes each event as one JSON object per line.
 pub struct JsonlRecorder {
@@ -68,14 +69,14 @@ impl JsonlRecorder {
 
 impl Recorder for JsonlRecorder {
     fn record(&self, event: Event) {
-        let mut writer = self.writer.lock().expect("lock not poisoned");
+        let mut writer = lock_recover(&self.writer);
         // Ignore I/O errors at emit time; a broken trace file must not
         // take down the pipeline run it observes.
         let _ = Self::write_event(&mut *writer, &event);
     }
 
     fn flush(&self) {
-        let _ = self.writer.lock().expect("lock not poisoned").flush();
+        let _ = lock_recover(&self.writer).flush();
     }
 }
 

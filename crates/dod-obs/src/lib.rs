@@ -36,6 +36,7 @@ mod obs;
 mod recorder;
 pub mod render;
 pub mod replay;
+pub mod sync;
 
 pub use event::{Event, EventKind, Value};
 pub use jsonl::JsonlRecorder;

@@ -4,6 +4,7 @@ use std::sync::Mutex;
 
 use crate::event::Event;
 use crate::recorder::Recorder;
+use crate::sync::lock_recover;
 
 /// Buffers every event in emission order.
 ///
@@ -22,14 +23,12 @@ impl MemoryRecorder {
 
     /// A snapshot of all events recorded so far.
     pub fn events(&self) -> Vec<Event> {
-        self.events.lock().expect("lock not poisoned").clone()
+        lock_recover(&self.events).clone()
     }
 
     /// All events with exactly the given name.
     pub fn events_named(&self, name: &str) -> Vec<Event> {
-        self.events
-            .lock()
-            .expect("lock not poisoned")
+        lock_recover(&self.events)
             .iter()
             .filter(|e| e.name == name)
             .cloned()
@@ -38,9 +37,7 @@ impl MemoryRecorder {
 
     /// Sum of all counter deltas emitted under `name`.
     pub fn counter_total(&self, name: &str) -> u64 {
-        self.events
-            .lock()
-            .expect("lock not poisoned")
+        lock_recover(&self.events)
             .iter()
             .filter(|e| e.name == name)
             .filter_map(Event::counter_delta)
@@ -49,9 +46,7 @@ impl MemoryRecorder {
 
     /// Durations (nanoseconds) of all spans emitted under `name`.
     pub fn span_nanos(&self, name: &str) -> Vec<u64> {
-        self.events
-            .lock()
-            .expect("lock not poisoned")
+        lock_recover(&self.events)
             .iter()
             .filter(|e| e.name == name)
             .filter_map(Event::span_nanos)
@@ -60,9 +55,7 @@ impl MemoryRecorder {
 
     /// All histogram samples emitted under `name`.
     pub fn observations(&self, name: &str) -> Vec<f64> {
-        self.events
-            .lock()
-            .expect("lock not poisoned")
+        lock_recover(&self.events)
             .iter()
             .filter(|e| e.name == name)
             .filter_map(Event::observed)
@@ -71,13 +64,13 @@ impl MemoryRecorder {
 
     /// Discards all recorded events.
     pub fn clear(&self) {
-        self.events.lock().expect("lock not poisoned").clear();
+        lock_recover(&self.events).clear();
     }
 }
 
 impl Recorder for MemoryRecorder {
     fn record(&self, event: Event) {
-        self.events.lock().expect("lock not poisoned").push(event);
+        lock_recover(&self.events).push(event);
     }
 }
 

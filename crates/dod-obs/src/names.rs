@@ -34,3 +34,8 @@ pub const ENGINE_REFRESH: &str = "engine.refresh";
 /// Mark: a drift probe. Labels: `drift` (total-variation distance in
 /// `[0, 1]`), `threshold`, `refreshed` (whether a refresh was triggered).
 pub const ENGINE_DRIFT: &str = "engine.drift";
+
+/// Counter: requests whose job panicked on a worker thread; the panic
+/// was contained to the request (`TaskPanicked`) and the worker
+/// survived. Labels: `op`.
+pub const ENGINE_PANICS: &str = "engine.task_panics";

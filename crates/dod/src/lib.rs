@@ -63,5 +63,5 @@ pub mod prelude {
     pub use dod_partition::{
         AllocationPolicy, CDriven, DDriven, Dmt, Domain, PartitionStrategy, UniSpace,
     };
-    pub use mapreduce::ClusterConfig;
+    pub use mapreduce::{ClusterConfig, FaultPlan};
 }

@@ -9,6 +9,32 @@
 
 use std::sync::Arc;
 
+use crate::fault::{FaultPlan, TaskFault};
+
+/// A transient failure reading a block — the simulated equivalent of a
+/// flaky DataNode. The scheduler treats it like a task failure and
+/// retries the attempt, which draws a fresh (usually clean) decision
+/// from the fault plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockReadError {
+    /// Index of the block whose read failed.
+    pub block: usize,
+    /// The attempt number that drew the failure.
+    pub attempt: usize,
+}
+
+impl std::fmt::Display for BlockReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "transient read error on block {} (attempt {})",
+            self.block, self.attempt
+        )
+    }
+}
+
+impl std::error::Error for BlockReadError {}
+
 /// A dataset split into blocks of items.
 #[derive(Debug, Clone)]
 pub struct BlockStore<T> {
@@ -69,6 +95,27 @@ impl<T> BlockStore<T> {
     /// Panics if `i >= self.num_blocks()`.
     pub fn block(&self, i: usize) -> Arc<Vec<T>> {
         Arc::clone(&self.blocks[i])
+    }
+
+    /// Fallible read of block `i` under a fault plan: fails iff the
+    /// plan's decision for `("map", i, attempt)` is a
+    /// [`TaskFault::BlockRead`]. With `fault == None` this is exactly
+    /// [`BlockStore::block`].
+    ///
+    /// # Panics
+    /// Panics if `i >= self.num_blocks()`.
+    pub fn try_block(
+        &self,
+        i: usize,
+        fault: Option<&FaultPlan>,
+        attempt: usize,
+    ) -> Result<Arc<Vec<T>>, BlockReadError> {
+        if let Some(plan) = fault {
+            if plan.decide("map", i, attempt) == TaskFault::BlockRead {
+                return Err(BlockReadError { block: i, attempt });
+            }
+        }
+        Ok(self.block(i))
     }
 
     /// Iterator over shared block handles.
@@ -141,6 +188,31 @@ mod tests {
         let s = BlockStore::from_items(vec![1, 2], 1, 3);
         assert_eq!(s.placement(0, 1), vec![0]);
         assert_eq!(s.placement(1, 2).len(), 2);
+    }
+
+    #[test]
+    fn try_block_without_plan_always_succeeds() {
+        let s = BlockStore::from_items((0..6).collect(), 2, 1);
+        for b in 0..s.num_blocks() {
+            assert_eq!(*s.try_block(b, None, 0).unwrap(), *s.block(b));
+        }
+    }
+
+    #[test]
+    fn try_block_fails_transiently_under_full_rate_plan() {
+        let plan = FaultPlan::new(17).with_block_errors(1000);
+        let s = BlockStore::from_items((0..4).collect(), 1, 1);
+        let err = s.try_block(2, Some(&plan), 0).unwrap_err();
+        assert_eq!(
+            err,
+            BlockReadError {
+                block: 2,
+                attempt: 0
+            }
+        );
+        // At rate 0 the same call succeeds: only the plan decides.
+        let clean = FaultPlan::new(17);
+        assert!(s.try_block(2, Some(&clean), 0).is_ok());
     }
 
     #[test]

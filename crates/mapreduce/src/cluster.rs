@@ -6,6 +6,8 @@
 //! thread pool; the logical topology determines how measured task
 //! durations are scheduled into stage makespans.
 
+use crate::fault::FaultPlan;
+
 /// Topology and execution policy of the simulated cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ClusterConfig {
@@ -28,9 +30,34 @@ pub struct ClusterConfig {
     /// data — the cost the DOD paper's single-pass design avoids. Tasks
     /// still execute in memory; only the simulated makespans change.
     pub io_bytes_per_sec: u64,
+    /// Base of the exponential backoff slept between failed attempts of
+    /// the same task, in milliseconds: attempt `n` waits
+    /// `base × 2^(n-1)`, capped at [`ClusterConfig::MAX_BACKOFF_MS`].
+    /// `0` disables backoff.
+    pub retry_backoff_ms: u64,
+    /// Whether idle workers speculatively re-execute stragglers
+    /// (Hadoop's speculative execution: the first successful attempt
+    /// wins, the loser's output is discarded).
+    pub speculation: bool,
+    /// Minimum elapsed running time, in milliseconds, before a task is
+    /// eligible for speculative re-execution.
+    pub speculation_floor_ms: u64,
+    /// A running task is a straggler when its elapsed time exceeds this
+    /// percentage of the median completed-attempt duration (300 = 3×).
+    pub speculation_ratio_pct: u32,
+    /// Number of failed attempts attributed to one node before the node
+    /// is blacklisted (no further attempts placed on it). `0` disables
+    /// blacklisting.
+    pub blacklist_after: usize,
+    /// Deterministic fault-injection plan; `None` (the default) runs
+    /// fault-free.
+    pub fault: Option<FaultPlan>,
 }
 
 impl ClusterConfig {
+    /// Cap of the exponential retry backoff.
+    pub const MAX_BACKOFF_MS: u64 = 100;
+
     /// A small default cluster: 8 nodes × 4 map / 4 reduce slots.
     pub fn new(nodes: usize) -> Self {
         ClusterConfig {
@@ -40,6 +67,12 @@ impl ClusterConfig {
             max_task_retries: 3,
             host_threads: 0,
             io_bytes_per_sec: 0,
+            retry_backoff_ms: 2,
+            speculation: true,
+            speculation_floor_ms: 100,
+            speculation_ratio_pct: 300,
+            blacklist_after: 3,
+            fault: None,
         }
     }
 
@@ -65,6 +98,42 @@ impl ClusterConfig {
     /// Pins the host thread-pool size (useful for deterministic tests).
     pub fn with_host_threads(mut self, threads: usize) -> Self {
         self.host_threads = threads;
+        self
+    }
+
+    /// Sets the base of the exponential retry backoff (milliseconds);
+    /// `0` disables backoff.
+    pub fn with_backoff_ms(mut self, ms: u64) -> Self {
+        self.retry_backoff_ms = ms;
+        self
+    }
+
+    /// Enables speculative execution with the given eligibility floor
+    /// (milliseconds) and straggler ratio (percent of the median
+    /// completed-attempt duration).
+    pub fn with_speculation(mut self, floor_ms: u64, ratio_pct: u32) -> Self {
+        self.speculation = true;
+        self.speculation_floor_ms = floor_ms;
+        self.speculation_ratio_pct = ratio_pct.max(100);
+        self
+    }
+
+    /// Disables speculative execution.
+    pub fn without_speculation(mut self) -> Self {
+        self.speculation = false;
+        self
+    }
+
+    /// Sets the per-node failure count that triggers blacklisting; `0`
+    /// disables blacklisting.
+    pub fn with_blacklist_after(mut self, failures: usize) -> Self {
+        self.blacklist_after = failures;
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan.
+    pub fn with_fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
         self
     }
 

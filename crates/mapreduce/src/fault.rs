@@ -1,0 +1,284 @@
+//! Deterministic fault injection for the MapReduce substrate.
+//!
+//! The paper assumes a shared-nothing cluster where task attempts fail,
+//! nodes straggle or die, and storage reads flake — and the job must
+//! still produce the exact outlier set. [`FaultPlan`] is the chaos
+//! oracle's input: a seeded plan whose every decision is a **pure
+//! function of `(seed, stage, task, attempt)`** (or `(seed, block,
+//! attempt)` for storage faults). No wall clock, no global RNG state —
+//! the same plan replayed against the same job injects the same faults,
+//! so a chaos test can assert that the faulty run's output is
+//! bit-identical to the fault-free run's (or that the job failed with a
+//! typed error).
+//!
+//! Injected fault taxonomy:
+//!
+//! * **task panic** — the attempt aborts before running, like a task
+//!   JVM crash; the scheduler retries with backoff.
+//! * **straggler delay** — the attempt sleeps before running, like a
+//!   degraded node; the scheduler may speculatively re-execute it.
+//! * **transient block-read error** — a map attempt's input block read
+//!   fails, like a flaky DataNode; retried like a panic.
+//! * **node loss** — every attempt placed on a lost node fails, like a
+//!   dead machine; the scheduler re-places retries and eventually
+//!   blacklists the node.
+//!
+//! Probabilities are stored in per-mille (`0..=1000`) so the plan stays
+//! `Copy + Eq` and the fire/no-fire decision is exact integer
+//! arithmetic on the mixed hash.
+
+use std::time::Duration;
+
+/// What a fault plan injects into one task attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskFault {
+    /// Run the attempt normally.
+    None,
+    /// Abort the attempt as if the task panicked.
+    Panic,
+    /// Delay the attempt by the given amount, then run it normally.
+    Straggle(Duration),
+    /// Fail the attempt's input-block read (map stage only; reduce
+    /// attempts treat this decision as [`TaskFault::None`]).
+    BlockRead,
+}
+
+/// A deterministic, seeded fault-injection plan.
+///
+/// Every decision mixes the seed with the coordinates of the decision
+/// point (stage, task, attempt) — attempts of the same task draw
+/// independent decisions, so a transiently-injected fault clears on a
+/// later attempt and the scheduler's retry/speculation machinery can
+/// recover. Whether recovery succeeds before the retry budget runs out
+/// depends on the rates; both outcomes are legal for the chaos oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Base seed; all decisions derive from it.
+    pub seed: u64,
+    /// Per-mille probability that an attempt panics before running.
+    pub panic_per_mille: u32,
+    /// Per-mille probability that an attempt straggles.
+    pub straggle_per_mille: u32,
+    /// Upper bound of the injected straggler delay in milliseconds
+    /// (the actual delay is hash-scaled into `[ms/2, ms]`).
+    pub straggle_ms: u64,
+    /// Per-mille probability that a map attempt's block read fails.
+    pub block_error_per_mille: u32,
+    /// Bitmask of lost nodes: bit `n` set means every attempt placed on
+    /// logical node `n` fails until the scheduler blacklists it.
+    pub lost_nodes: u64,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults enabled; combine with
+    /// the `with_*` builders to choose the fault mix.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            panic_per_mille: 0,
+            straggle_per_mille: 0,
+            straggle_ms: 20,
+            block_error_per_mille: 0,
+            lost_nodes: 0,
+        }
+    }
+
+    /// The standard chaos preset: moderate rates of every fault kind
+    /// plus one lost node (among the first 8), all derived from `seed`.
+    /// Used by `--chaos-seed` and the chaos test suite.
+    pub fn chaos(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            panic_per_mille: 120,
+            straggle_per_mille: 80,
+            straggle_ms: 15,
+            block_error_per_mille: 80,
+            lost_nodes: 1 << (mix(seed, 0x6e6f6465 /* "node" */) % 8),
+        }
+    }
+
+    /// Sets the per-attempt panic probability (per-mille, clamped to
+    /// 1000).
+    pub fn with_panics(mut self, per_mille: u32) -> Self {
+        self.panic_per_mille = per_mille.min(1000);
+        self
+    }
+
+    /// Sets the per-attempt straggle probability (per-mille, clamped to
+    /// 1000) and the delay upper bound.
+    pub fn with_stragglers(mut self, per_mille: u32, max_delay: Duration) -> Self {
+        self.straggle_per_mille = per_mille.min(1000);
+        self.straggle_ms = max_delay.as_millis() as u64;
+        self
+    }
+
+    /// Sets the per-attempt transient block-read failure probability
+    /// (per-mille, clamped to 1000).
+    pub fn with_block_errors(mut self, per_mille: u32) -> Self {
+        self.block_error_per_mille = per_mille.min(1000);
+        self
+    }
+
+    /// Marks logical node `node` as lost (only nodes 0..64 can be
+    /// marked; higher indices are ignored).
+    pub fn with_lost_node(mut self, node: usize) -> Self {
+        if node < 64 {
+            self.lost_nodes |= 1 << node;
+        }
+        self
+    }
+
+    /// The injection decision for one task attempt — a pure function of
+    /// `(seed, stage, task, attempt)`. At most one fault fires per
+    /// attempt; panic is checked first, then block read (map only),
+    /// then straggle.
+    pub fn decide(&self, stage: &str, task: usize, attempt: usize) -> TaskFault {
+        let h = mix(
+            self.seed,
+            fnv1a(stage.as_bytes()) ^ ((task as u64) << 20) ^ attempt as u64,
+        );
+        // Three independent per-mille draws from disjoint hash-derived
+        // streams.
+        let draw = |salt: u64| mix(h, salt) % 1000;
+        if (draw(1) as u32) < self.panic_per_mille {
+            return TaskFault::Panic;
+        }
+        if stage == "map" && (draw(2) as u32) < self.block_error_per_mille {
+            return TaskFault::BlockRead;
+        }
+        if (draw(3) as u32) < self.straggle_per_mille {
+            let half = self.straggle_ms / 2;
+            let ms = half + mix(h, 4) % (half.max(1) + 1);
+            return TaskFault::Straggle(Duration::from_millis(ms));
+        }
+        TaskFault::None
+    }
+
+    /// Whether logical node `node` is lost under this plan.
+    pub fn node_lost(&self, node: usize) -> bool {
+        node < 64 && (self.lost_nodes >> node) & 1 == 1
+    }
+
+    /// Whether this plan injects any fault at all (a no-fault plan lets
+    /// the scheduler skip per-attempt decision hashing entirely).
+    pub fn is_active(&self) -> bool {
+        self.panic_per_mille > 0
+            || self.straggle_per_mille > 0
+            || self.block_error_per_mille > 0
+            || self.lost_nodes != 0
+    }
+}
+
+/// SplitMix64-style avalanche of `seed ^ salt`: cheap, stateless, and
+/// well-distributed — the decision stream for all fault draws.
+fn mix(seed: u64, salt: u64) -> u64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a byte string — stable stage-name hashing.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let plan = FaultPlan::chaos(42);
+        for stage in ["map", "reduce"] {
+            for task in 0..50 {
+                for attempt in 0..5 {
+                    assert_eq!(
+                        plan.decide(stage, task, attempt),
+                        plan.decide(stage, task, attempt)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn attempts_draw_independently() {
+        // A plan that panics sometimes must not panic on *every* attempt
+        // of a task it panics on once — otherwise nothing is transient.
+        let plan = FaultPlan::new(7).with_panics(300);
+        let mut cleared = 0;
+        for task in 0..100 {
+            if plan.decide("map", task, 0) == TaskFault::Panic
+                && plan.decide("map", task, 1) != TaskFault::Panic
+            {
+                cleared += 1;
+            }
+        }
+        assert!(cleared > 0, "no task's injected panic cleared on retry");
+    }
+
+    #[test]
+    fn rates_roughly_hold() {
+        let plan = FaultPlan::new(3).with_panics(250);
+        let panics = (0..2000)
+            .filter(|&t| plan.decide("reduce", t, 0) == TaskFault::Panic)
+            .count();
+        // 250‰ of 2000 = 500 expected; allow a wide deterministic band.
+        assert!((350..650).contains(&panics), "panics = {panics}");
+    }
+
+    #[test]
+    fn zero_rates_inject_nothing() {
+        let plan = FaultPlan::new(99);
+        assert!(!plan.is_active());
+        for task in 0..200 {
+            assert_eq!(plan.decide("map", task, 0), TaskFault::None);
+        }
+    }
+
+    #[test]
+    fn block_errors_only_hit_the_map_stage() {
+        let plan = FaultPlan::new(5).with_block_errors(1000);
+        assert_eq!(plan.decide("map", 0, 0), TaskFault::BlockRead);
+        assert_ne!(plan.decide("reduce", 0, 0), TaskFault::BlockRead);
+    }
+
+    #[test]
+    fn straggle_delay_is_bounded() {
+        let plan = FaultPlan::new(11).with_stragglers(1000, Duration::from_millis(40));
+        for task in 0..100 {
+            match plan.decide("reduce", task, 0) {
+                TaskFault::Straggle(d) => {
+                    assert!(d >= Duration::from_millis(20) && d <= Duration::from_millis(40))
+                }
+                other => panic!("expected straggle, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn node_loss_bitmask() {
+        let plan = FaultPlan::new(1).with_lost_node(3).with_lost_node(63);
+        assert!(plan.node_lost(3));
+        assert!(plan.node_lost(63));
+        assert!(!plan.node_lost(2));
+        assert!(!plan.node_lost(64)); // out of range: never lost
+        assert!(plan.is_active());
+    }
+
+    #[test]
+    fn chaos_preset_is_active_and_seed_sensitive() {
+        let a = FaultPlan::chaos(1);
+        let b = FaultPlan::chaos(2);
+        assert!(a.is_active() && b.is_active());
+        // Different seeds give different decision streams somewhere.
+        let differs = (0..100).any(|t| a.decide("map", t, 0) != b.decide("map", t, 0));
+        assert!(differs);
+    }
+}

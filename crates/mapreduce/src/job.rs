@@ -3,16 +3,23 @@
 //! [`run_job`] executes one job: map tasks over the input blocks, an
 //! in-memory shuffle (partition → sort → group by key), then reduce tasks.
 //! Per-task wall times are measured and folded into stage makespans on the
-//! logical cluster topology (see [`crate::metrics`]). Panicking tasks are
-//! retried like Hadoop task attempts.
+//! logical cluster topology (see [`crate::metrics`]).
+//!
+//! Failed attempts are retried like Hadoop task attempts, with
+//! exponential backoff; stragglers are speculatively re-executed by idle
+//! workers (first success wins); repeatedly-failing nodes are
+//! blacklisted. All of it can be exercised deterministically against a
+//! seeded [`crate::fault::FaultPlan`] via [`ClusterConfig::fault`].
 
-use crate::blockstore::BlockStore;
+use crate::blockstore::{BlockReadError, BlockStore};
 use crate::cluster::ClusterConfig;
+use crate::fault::TaskFault;
 use crate::metrics::{makespan, JobMetrics};
 use crate::size::EstimateSize;
+use dod_obs::sync::lock_recover;
 use dod_obs::{Obs, Value};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -150,58 +157,361 @@ where
     out
 }
 
-/// Runs tasks from a shared queue on a bounded host thread pool, retrying
-/// panicking tasks. Returns per-task `(duration_of_successful_attempt,
-/// result)` or the index of a task that exhausted its retries.
+/// Recovery counters shared by the map and reduce stages of one job,
+/// drained into [`JobMetrics`] at the end.
+#[derive(Default)]
+struct PoolCounters {
+    retries: AtomicU64,
+    speculative_launched: AtomicU64,
+    speculative_won: AtomicU64,
+    nodes_blacklisted: AtomicU64,
+    block_read_errors: AtomicU64,
+    backoff_nanos: AtomicU64,
+}
+
+/// Attempt number used for speculative re-executions. Primary attempts
+/// number `0, 1, 2, …` deterministically; giving speculative attempts a
+/// fixed out-of-band number keeps the primary retry sequence — and with
+/// it the fault plan's per-attempt decisions — independent of *when* a
+/// speculation happened to launch.
+const SPECULATIVE_ATTEMPT: usize = 1 << 16;
+
+/// How one task attempt failed.
+enum AttemptError {
+    /// The attempt was placed on a node the fault plan marks as lost.
+    NodeLost,
+    /// The attempt panicked (injected or real).
+    Panic,
+    /// The attempt's input-block read failed transiently.
+    BlockRead,
+}
+
+/// Per-task scheduler bookkeeping.
+#[derive(Clone, Copy, Default)]
+struct TaskState {
+    /// Primary attempts launched so far (also the next attempt number).
+    attempts: usize,
+    /// Primary attempts failed so far (counted against the retry budget).
+    failures: usize,
+    /// A primary attempt is currently executing.
+    running: bool,
+    /// Start of the currently-executing primary attempt.
+    started: Option<Instant>,
+    /// A speculative attempt has been launched (at most one per task).
+    speculated: bool,
+    /// A successful attempt has committed this task's result.
+    done: bool,
+}
+
+/// Shared scheduler state: task table plus node health.
+struct Sched {
+    tasks: Vec<TaskState>,
+    /// Next fresh task index to dispatch.
+    next: usize,
+    /// Durations of completed attempts, for the straggler median.
+    durations: Vec<Duration>,
+    node_failures: Vec<usize>,
+    node_blacklisted: Vec<bool>,
+    done_count: usize,
+    failed: Option<usize>,
+}
+
+impl Sched {
+    fn new(num_tasks: usize, nodes: usize) -> Self {
+        Sched {
+            tasks: vec![TaskState::default(); num_tasks],
+            next: 0,
+            durations: Vec::new(),
+            node_failures: vec![0; nodes],
+            node_blacklisted: vec![false; nodes],
+            done_count: 0,
+            failed: None,
+        }
+    }
+
+    /// Deterministic node placement for an attempt: round-robin by
+    /// `task + attempt` (so a retry lands on a different node),
+    /// skipping blacklisted nodes; if every node is blacklisted the raw
+    /// choice is used rather than wedging the job.
+    fn pick_node(&self, task: usize, attempt: usize) -> usize {
+        let nodes = self.node_blacklisted.len();
+        for off in 0..nodes {
+            let n = (task + attempt + off) % nodes;
+            if !self.node_blacklisted[n] {
+                return n;
+            }
+        }
+        (task + attempt) % nodes
+    }
+
+    /// A running, not-yet-speculated task whose elapsed time exceeds the
+    /// straggler threshold, if any.
+    fn straggler(&self, cluster: &ClusterConfig, now: Instant) -> Option<usize> {
+        if !cluster.speculation {
+            return None;
+        }
+        let mut threshold = Duration::from_millis(cluster.speculation_floor_ms);
+        if !self.durations.is_empty() {
+            let mut ds = self.durations.clone();
+            ds.sort();
+            let median = ds[ds.len() / 2];
+            threshold = threshold.max(median * cluster.speculation_ratio_pct / 100);
+        }
+        self.tasks.iter().position(|t| {
+            t.running
+                && !t.done
+                && !t.speculated
+                && t.started.is_some_and(|s| now.duration_since(s) > threshold)
+        })
+    }
+
+    /// Whether an idle worker may still find work later: a fresh task,
+    /// or (with speculation on) a task that might yet straggle.
+    fn may_have_work(&self, cluster: &ClusterConfig, num_tasks: usize) -> bool {
+        self.next < num_tasks
+            || (cluster.speculation && self.tasks.iter().any(|t| !t.done && !t.speculated))
+    }
+}
+
+/// Runs tasks from a shared queue on a bounded host thread pool with
+/// Hadoop-style recovery tactics:
+///
+/// * failed attempts (panics, injected faults, lost-node placements) are
+///   retried up to `cluster.max_task_retries` times with exponential
+///   backoff between attempts;
+/// * long-running attempts are speculatively re-executed by idle
+///   workers; the first successful attempt commits the result and the
+///   loser's output is discarded (the losing thread itself runs to
+///   completion — host threads cannot be killed);
+/// * nodes accumulating `cluster.blacklist_after` attempt failures are
+///   blacklisted and receive no further placements.
+///
+/// Returns per-task `(duration_of_winning_attempt, result)` or the index
+/// of a task that exhausted its retries.
 fn run_task_pool<T, F>(
     stage: &'static str,
     obs: &Obs,
     num_tasks: usize,
-    threads: usize,
-    retries: usize,
-    retry_counter: &AtomicU64,
+    cluster: &ClusterConfig,
+    counters: &PoolCounters,
     run: F,
 ) -> Result<Vec<(Duration, T)>, usize>
 where
     T: Send,
-    F: Fn(usize) -> T + Sync,
+    F: Fn(usize, usize) -> T + Sync,
 {
+    if num_tasks == 0 {
+        return Ok(Vec::new());
+    }
     let results: Mutex<Vec<Option<(Duration, T)>>> =
         Mutex::new((0..num_tasks).map(|_| None).collect());
-    let next = AtomicUsize::new(0);
-    let failed: Mutex<Option<usize>> = Mutex::new(None);
+    let sched = Mutex::new(Sched::new(num_tasks, cluster.nodes));
+    let retries = cluster.max_task_retries;
+    let fault = cluster.fault.filter(|p| p.is_active());
 
-    let threads = threads.max(1).min(num_tasks.max(1));
+    // Executes one attempt: applies the fault plan's decision for this
+    // (stage, task, attempt, node), then runs the closure under
+    // catch_unwind. The injected straggle sleep counts toward the
+    // attempt's duration — that is what makes a straggler look slow.
+    let execute =
+        |task: usize, attempt: usize, node: usize| -> Result<(Duration, T), AttemptError> {
+            let start = Instant::now();
+            if let Some(plan) = &fault {
+                if plan.node_lost(node) {
+                    return Err(AttemptError::NodeLost);
+                }
+                match plan.decide(stage, task, attempt) {
+                    TaskFault::Panic => return Err(AttemptError::Panic),
+                    TaskFault::Straggle(d) => std::thread::sleep(d),
+                    // BlockRead is injected at the blockstore read inside
+                    // the map closure, where the block index is known.
+                    TaskFault::None | TaskFault::BlockRead => {}
+                }
+            }
+            match catch_unwind(AssertUnwindSafe(|| run(task, attempt))) {
+                Ok(v) => Ok((start.elapsed(), v)),
+                Err(payload) => Err(if payload.downcast_ref::<BlockReadError>().is_some() {
+                    AttemptError::BlockRead
+                } else {
+                    AttemptError::Panic
+                }),
+            }
+        };
+
+    // Commits a successful attempt. First writer wins; a losing
+    // speculative (or primary) attempt's output is discarded.
+    let commit = |task: usize, spec: bool, dur: Duration, value: T| {
+        let mut won = false;
+        {
+            let mut s = lock_recover(&sched);
+            s.durations.push(dur);
+            if !spec {
+                s.tasks[task].running = false;
+            }
+            if !s.tasks[task].done {
+                s.tasks[task].done = true;
+                won = true;
+                s.done_count += 1;
+                lock_recover(&results)[task] = Some((dur, value));
+            }
+        }
+        if won && spec {
+            counters.speculative_won.fetch_add(1, Ordering::Relaxed);
+        }
+    };
+
+    // Books a failed attempt: attributes it to its node (blacklisting
+    // the node once it accumulates enough failures) and emits the retry
+    // telemetry. Returns whether the task is already done (a sibling
+    // attempt won while this one was failing).
+    let book_failure = |task: usize, spec: bool, node: usize, err: &AttemptError| -> bool {
+        counters.retries.fetch_add(1, Ordering::Relaxed);
+        if matches!(err, AttemptError::BlockRead) {
+            counters.block_read_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let (done, newly_blacklisted) = {
+            let mut s = lock_recover(&sched);
+            s.node_failures[node] += 1;
+            let newly = cluster.blacklist_after > 0
+                && !s.node_blacklisted[node]
+                && s.node_failures[node] >= cluster.blacklist_after;
+            if newly {
+                s.node_blacklisted[node] = true;
+            }
+            let st = &mut s.tasks[task];
+            if !spec {
+                st.running = false;
+            }
+            (st.done, newly)
+        };
+        if newly_blacklisted {
+            counters.nodes_blacklisted.fetch_add(1, Ordering::Relaxed);
+            obs.counter(
+                "mapreduce.node.blacklisted",
+                1,
+                &[("stage", Value::from(stage)), ("node", Value::from(node))],
+            );
+        }
+        obs.counter(
+            "mapreduce.task.retry",
+            1,
+            &[("stage", Value::from(stage)), ("task", Value::from(task))],
+        );
+        done
+    };
+
+    let threads = cluster.effective_host_threads().max(1).min(num_tasks);
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                if failed.lock().expect("lock not poisoned").is_some() {
-                    return;
-                }
-                let t = next.fetch_add(1, Ordering::Relaxed);
-                if t >= num_tasks {
-                    return;
-                }
-                let mut attempts = 0;
-                loop {
-                    attempts += 1;
-                    let start = Instant::now();
-                    match catch_unwind(AssertUnwindSafe(|| run(t))) {
-                        Ok(v) => {
-                            results.lock().expect("lock not poisoned")[t] =
-                                Some((start.elapsed(), v));
-                            break;
+            scope.spawn(|| {
+                'acquire: loop {
+                    // Acquire work under the scheduler lock: a fresh
+                    // task, a straggler to speculate on, or nothing yet.
+                    let (task, mut attempt, spec, mut node);
+                    {
+                        let mut s = lock_recover(&sched);
+                        // The job already failed or finished: stop.
+                        if s.failed.is_some() || s.done_count == num_tasks {
+                            return;
                         }
-                        Err(_) => {
-                            retry_counter.fetch_add(1, Ordering::Relaxed);
-                            obs.counter(
-                                "mapreduce.task.retry",
-                                1,
-                                &[("stage", Value::from(stage)), ("task", Value::from(t))],
-                            );
-                            if attempts > retries {
-                                *failed.lock().expect("lock not poisoned") = Some(t);
-                                return;
+                        if s.next < num_tasks {
+                            task = s.next;
+                            s.next += 1;
+                            attempt = s.tasks[task].attempts;
+                            spec = false;
+                            let st = &mut s.tasks[task];
+                            st.attempts += 1;
+                            st.running = true;
+                            st.started = Some(Instant::now());
+                            node = s.pick_node(task, attempt);
+                        } else if let Some(t) = s.straggler(cluster, Instant::now()) {
+                            task = t;
+                            attempt = SPECULATIVE_ATTEMPT;
+                            spec = true;
+                            s.tasks[task].speculated = true;
+                            node = s.pick_node(task, attempt);
+                        } else if !s.may_have_work(cluster, num_tasks) {
+                            return;
+                        } else {
+                            drop(s);
+                            std::thread::sleep(Duration::from_micros(200));
+                            continue 'acquire;
+                        }
+                    }
+                    if spec {
+                        counters
+                            .speculative_launched
+                            .fetch_add(1, Ordering::Relaxed);
+                        obs.counter(
+                            "mapreduce.task.speculative",
+                            1,
+                            &[("stage", Value::from(stage)), ("task", Value::from(task))],
+                        );
+                    }
+
+                    // Drive the attempt — and, for a primary, its retry
+                    // loop — to completion.
+                    loop {
+                        match execute(task, attempt, node) {
+                            Ok((dur, value)) => {
+                                commit(task, spec, dur, value);
+                                continue 'acquire;
+                            }
+                            Err(err) => {
+                                let done = book_failure(task, spec, node, &err);
+                                // A speculative loser never retries and
+                                // never fails the job; a primary whose
+                                // speculative sibling already won is
+                                // likewise finished.
+                                if spec || done {
+                                    continue 'acquire;
+                                }
+                                let failures = {
+                                    let mut s = lock_recover(&sched);
+                                    let st = &mut s.tasks[task];
+                                    st.failures += 1;
+                                    let failures = st.failures;
+                                    if failures > retries {
+                                        s.failed = Some(task);
+                                        return;
+                                    }
+                                    failures
+                                };
+                                // Exponential backoff before the retry.
+                                if cluster.retry_backoff_ms > 0 {
+                                    let ms = (cluster.retry_backoff_ms << (failures - 1).min(6))
+                                        .min(ClusterConfig::MAX_BACKOFF_MS);
+                                    let backoff = Duration::from_millis(ms);
+                                    std::thread::sleep(backoff);
+                                    counters
+                                        .backoff_nanos
+                                        .fetch_add(backoff.as_nanos() as u64, Ordering::Relaxed);
+                                    obs.observe(
+                                        "mapreduce.task.backoff",
+                                        backoff.as_secs_f64() * 1e3,
+                                        &[
+                                            ("stage", Value::from(stage)),
+                                            ("task", Value::from(task)),
+                                        ],
+                                    );
+                                }
+                                // Re-check before the retry: the job may
+                                // have failed elsewhere, or a speculative
+                                // sibling may have finished this task
+                                // during the backoff.
+                                let mut s = lock_recover(&sched);
+                                if s.failed.is_some() {
+                                    return;
+                                }
+                                if s.tasks[task].done {
+                                    continue 'acquire;
+                                }
+                                attempt = s.tasks[task].attempts;
+                                let st = &mut s.tasks[task];
+                                st.attempts += 1;
+                                st.running = true;
+                                st.started = Some(Instant::now());
+                                node = s.pick_node(task, attempt);
                             }
                         }
                     }
@@ -210,12 +520,12 @@ where
         }
     });
 
-    if let Some(t) = *failed.lock().expect("lock not poisoned") {
+    if let Some(t) = lock_recover(&sched).failed {
         return Err(t);
     }
     Ok(results
         .into_inner()
-        .expect("lock not poisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .into_iter()
         .map(|r| r.expect("all tasks completed"))
         .collect())
@@ -390,8 +700,7 @@ where
     R: Reducer<K = M::K, V = M::V>,
 {
     let job_start = Instant::now();
-    let threads = cluster.effective_host_threads();
-    let retry_counter = AtomicU64::new(0);
+    let counters = PoolCounters::default();
 
     // Simulated I/O charge per byte (zero when disabled).
     let io_secs_per_byte = if cluster.io_bytes_per_sec > 0 {
@@ -408,11 +717,16 @@ where
         "map",
         obs,
         num_map_tasks,
-        threads,
-        cluster.max_task_retries,
-        &retry_counter,
-        |t| {
-            let block = input.block(t);
+        cluster,
+        &counters,
+        |t, attempt| {
+            // A transiently-failing block read aborts the attempt; the
+            // pool books it as a task failure and retries, drawing a
+            // fresh (usually clean) read decision.
+            let block = match input.try_block(t, cluster.fault.as_ref(), attempt) {
+                Ok(block) => block,
+                Err(err) => std::panic::panic_any(err),
+            };
             let mut out: Vec<(M::K, M::V)> = Vec::new();
             for item in block.iter() {
                 mapper.map(item, &mut |k, v| out.push((k, v)));
@@ -501,10 +815,9 @@ where
         "reduce",
         obs,
         num_reducers,
-        threads,
-        cluster.max_task_retries,
-        &retry_counter,
-        |t| {
+        cluster,
+        &counters,
+        |t, _attempt| {
             let records = &per_reducer[t];
             let mut outputs = Vec::new();
             let mut key_times = Vec::new();
@@ -577,7 +890,12 @@ where
         shuffle_records,
         shuffle_bytes,
         host_wall: job_start.elapsed(),
-        task_retries: retry_counter.load(Ordering::Relaxed),
+        task_retries: counters.retries.load(Ordering::Relaxed),
+        speculative_launched: counters.speculative_launched.load(Ordering::Relaxed),
+        speculative_won: counters.speculative_won.load(Ordering::Relaxed),
+        nodes_blacklisted: counters.nodes_blacklisted.load(Ordering::Relaxed),
+        block_read_errors: counters.block_read_errors.load(Ordering::Relaxed),
+        backoff_total: Duration::from_nanos(counters.backoff_nanos.load(Ordering::Relaxed)),
     };
     Ok(JobOutput {
         outputs,
@@ -1042,6 +1360,198 @@ mod tests {
         assert_eq!(mem.counter_total("mapreduce.task.retry"), 1);
         let retry = &mem.events_named("mapreduce.task.retry")[0];
         assert_eq!(retry.label("stage").and_then(Value::as_str), Some("reduce"));
+    }
+
+    #[test]
+    fn retries_sleep_exponential_backoff() {
+        let store = BlockStore::from_items(vec![13u32, 1], 1, 1);
+        let cluster = ClusterConfig::new(1)
+            .with_retries(2)
+            .with_host_threads(1)
+            .with_backoff_ms(4);
+        let out = run_job(
+            &cluster,
+            &store,
+            &FlakyMapper {
+                tripped: AtomicBool::new(false),
+            },
+            &SumReducer,
+            &hash_partitioner,
+            1,
+        )
+        .unwrap();
+        assert_eq!(out.metrics.task_retries, 1);
+        // One failure -> one backoff of the 4 ms base.
+        assert!(out.metrics.backoff_total >= Duration::from_millis(4));
+        assert!(out.metrics.backoff_total < Duration::from_millis(100));
+    }
+
+    /// Mapper whose first invocation on item 13 sleeps long enough to be
+    /// flagged a straggler; re-executions are fast.
+    struct StragglerMapper {
+        tripped: AtomicBool,
+    }
+    impl Mapper for StragglerMapper {
+        type In = u32;
+        type K = u32;
+        type V = u64;
+        fn map(&self, item: &u32, emit: &mut dyn FnMut(u32, u64)) {
+            if *item == 13 && !self.tripped.swap(true, Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(250));
+            }
+            emit(*item, 1);
+        }
+    }
+
+    #[test]
+    fn straggler_is_speculatively_reexecuted() {
+        // Block 0 straggles on its first attempt only; with two workers
+        // the idle one must speculate and win long before the 250 ms
+        // primary finishes.
+        let store = BlockStore::from_items(vec![13u32, 1, 2, 3], 1, 1);
+        let cluster = ClusterConfig::new(2)
+            .with_host_threads(2)
+            .with_speculation(10, 100);
+        let out = run_job(
+            &cluster,
+            &store,
+            &StragglerMapper {
+                tripped: AtomicBool::new(false),
+            },
+            &SumReducer,
+            &hash_partitioner,
+            2,
+        )
+        .unwrap();
+        assert!(out.metrics.speculative_launched >= 1);
+        assert!(out.metrics.speculative_won >= 1);
+        let mut counts = out.outputs;
+        counts.sort();
+        assert_eq!(counts, vec![(1, 1), (2, 1), (3, 1), (13, 1)]);
+        // The winning attempt's duration, not the straggler's, is
+        // scheduled into the makespan.
+        assert!(out.metrics.map_task_times[0] < Duration::from_millis(250));
+    }
+
+    #[test]
+    fn lost_node_is_blacklisted_and_job_recovers() {
+        let plan = crate::fault::FaultPlan::new(0).with_lost_node(1);
+        let items: Vec<u32> = (0..32).collect();
+        let store = BlockStore::from_items(items, 2, 1);
+        let cluster = ClusterConfig::new(4)
+            .with_host_threads(4)
+            .with_backoff_ms(0)
+            .with_blacklist_after(2)
+            .with_fault(plan);
+        let out = run_job(
+            &cluster,
+            &store,
+            &CountMapper,
+            &SumReducer,
+            &hash_partitioner,
+            4,
+        )
+        .unwrap();
+        // Attempts landed on the lost node, failed, were re-placed, and
+        // the node was eventually blacklisted.
+        assert!(out.metrics.task_retries >= 2);
+        assert_eq!(out.metrics.nodes_blacklisted, 1);
+        assert_eq!(out.outputs.len(), 32);
+    }
+
+    #[test]
+    fn certain_block_read_errors_exhaust_retries() {
+        // Rate 1000‰: every map attempt's block read fails, so the job
+        // must fail with the typed error after the retry budget.
+        let plan = crate::fault::FaultPlan::new(9).with_block_errors(1000);
+        let store = BlockStore::from_items(vec![1u32, 2], 2, 1);
+        let cluster = ClusterConfig::new(2)
+            .with_retries(1)
+            .with_host_threads(1)
+            .with_backoff_ms(0)
+            .without_speculation()
+            .with_fault(plan);
+        let err = run_job(
+            &cluster,
+            &store,
+            &CountMapper,
+            &SumReducer,
+            &hash_partitioner,
+            1,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            JobError::TaskFailed {
+                stage: "map",
+                task: 0,
+                attempts: 2
+            }
+        );
+    }
+
+    #[test]
+    fn transient_block_read_errors_are_counted_and_recovered() {
+        // A moderate rate with a generous retry budget: some attempts
+        // fail their read, retries draw fresh decisions and succeed.
+        let plan = crate::fault::FaultPlan::new(4).with_block_errors(400);
+        let items: Vec<u32> = (0..64).collect();
+        let store = BlockStore::from_items(items, 2, 1);
+        let cluster = ClusterConfig::new(4)
+            .with_retries(8)
+            .with_backoff_ms(0)
+            .with_fault(plan);
+        let out = run_job(
+            &cluster,
+            &store,
+            &CountMapper,
+            &SumReducer,
+            &hash_partitioner,
+            4,
+        )
+        .unwrap();
+        assert!(out.metrics.block_read_errors > 0);
+        assert_eq!(out.metrics.block_read_errors, out.metrics.task_retries);
+        assert_eq!(out.outputs.len(), 64);
+    }
+
+    #[test]
+    fn chaos_panics_produce_identical_outputs_when_job_succeeds() {
+        let items: Vec<u32> = (0..200).map(|i| i % 23).collect();
+        let store = BlockStore::from_items(items, 5, 1);
+        let clean = run_job(
+            &ClusterConfig::new(4),
+            &store,
+            &CountMapper,
+            &SumReducer,
+            &hash_partitioner,
+            4,
+        )
+        .unwrap();
+        let mut expected = clean.outputs;
+        expected.sort();
+        for seed in 0..8u64 {
+            // Panic-only plans keep the outcome deterministic (node loss
+            // would couple it to cross-task timing via the blacklist).
+            let plan = crate::fault::FaultPlan::new(seed).with_panics(250);
+            let cluster = ClusterConfig::new(4)
+                .with_retries(6)
+                .with_backoff_ms(0)
+                .with_fault(plan);
+            let out = run_job(
+                &cluster,
+                &store,
+                &CountMapper,
+                &SumReducer,
+                &hash_partitioner,
+                4,
+            )
+            .unwrap();
+            assert!(out.metrics.task_retries > 0, "seed {seed} injected nothing");
+            let mut got = out.outputs;
+            got.sort();
+            assert_eq!(got, expected, "seed {seed} corrupted the output");
+        }
     }
 
     #[test]

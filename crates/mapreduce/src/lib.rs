@@ -14,8 +14,11 @@
 //!   ([`metrics::makespan`]) — reproducing cluster-scale behaviour shape
 //!   on one machine,
 //! * fault-tolerant execution: a panicking task is retried up to
-//!   [`ClusterConfig::max_task_retries`] times, like Hadoop's task
-//!   re-execution,
+//!   [`ClusterConfig::max_task_retries`] times with exponential backoff,
+//!   stragglers are speculatively re-executed (first successful attempt
+//!   wins), and repeatedly-failing nodes are blacklisted — Hadoop's
+//!   recovery tactics, all deterministic enough to chaos-test against a
+//!   seeded [`FaultPlan`] (see [`fault`]),
 //! * shuffle volume accounting via [`EstimateSize`], since minimizing
 //!   communication overhead is one of the paper's core claims for the
 //!   single-pass framework.
@@ -67,12 +70,14 @@
 
 pub mod blockstore;
 pub mod cluster;
+pub mod fault;
 pub mod job;
 pub mod metrics;
 pub mod size;
 
-pub use blockstore::BlockStore;
+pub use blockstore::{BlockReadError, BlockStore};
 pub use cluster::ClusterConfig;
+pub use fault::{FaultPlan, TaskFault};
 pub use job::{
     run_job, run_job_obs, run_job_with_combiner, run_job_with_combiner_obs, Combiner, JobError,
     JobOutput, Mapper, Partitioner, Reducer, SumCombiner,

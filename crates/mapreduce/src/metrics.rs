@@ -112,6 +112,17 @@ pub struct JobMetrics {
     /// Fraction of map tasks scheduled data-locally (on a node holding a
     /// replica of their input block).
     pub map_locality: f64,
+    /// Number of speculative attempts launched against stragglers.
+    pub speculative_launched: u64,
+    /// Number of speculative attempts whose result won (the original
+    /// attempt's output was discarded).
+    pub speculative_won: u64,
+    /// Number of nodes blacklisted for repeated attempt failures.
+    pub nodes_blacklisted: u64,
+    /// Number of transient input-block read failures encountered.
+    pub block_read_errors: u64,
+    /// Total time spent sleeping in retry backoff across all attempts.
+    pub backoff_total: Duration,
 }
 
 impl JobMetrics {
