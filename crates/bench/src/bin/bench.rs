@@ -7,7 +7,7 @@
 //! cargo run --release -p bench --bin bench -- kernels --json out.json
 //! ```
 
-use bench::{kernels, pipeline};
+use bench::{kernels, obs_overhead, pipeline};
 use std::process::ExitCode;
 
 fn run_kernels(args: &[String]) -> ExitCode {
@@ -119,15 +119,68 @@ fn run_pipeline(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn run_obs_overhead(args: &[String]) -> ExitCode {
+    let mut json_path: Option<String> = None;
+    let mut quick = false;
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => {
+                let next = it.peek().filter(|a| !a.starts_with("--"));
+                json_path = Some(match next {
+                    Some(_) => it.next().unwrap().clone(),
+                    None => "BENCH_obs_overhead.json".to_string(),
+                });
+            }
+            "--quick" => quick = true,
+            other => {
+                eprintln!("unknown obs-overhead flag: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let r = obs_overhead::run(quick);
+    println!(
+        "{:<12} {:>14} {:>14} {:>10} {:>8}",
+        "bench", "null med us", "telemetry us", "overhead", "budget"
+    );
+    println!(
+        "{:<12} {:>14.1} {:>14.1} {:>9.2}% {:>7.1}%",
+        "score_batch",
+        r.null_us,
+        r.telemetry_us,
+        r.overhead_pct,
+        bench::obs_overhead::OVERHEAD_BUDGET_PCT
+    );
+    if let Some(path) = json_path {
+        std::fs::write(&path, obs_overhead::to_json(&r, quick)).expect("write json");
+        println!("\nwrote {path}");
+    }
+    // Quick runs are smoke tests: too short to hold the budget to, so
+    // they report without enforcing.
+    if !quick && !r.within_budget {
+        eprintln!(
+            "telemetry overhead {:.2}% exceeds the {:.1}% budget",
+            r.overhead_pct,
+            bench::obs_overhead::OVERHEAD_BUDGET_PCT
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("kernels") => run_kernels(&args[1..]),
         Some("pipeline") => run_pipeline(&args[1..]),
+        Some("obs-overhead") => run_obs_overhead(&args[1..]),
         _ => {
             eprintln!(
                 "usage: bench kernels  [--json [path]] [--quick]\n       \
-                 bench pipeline [--json [path]] [--quick] [--chaos-seed <int>]"
+                 bench pipeline [--json [path]] [--quick] [--chaos-seed <int>]\n       \
+                 bench obs-overhead [--json [path]] [--quick]"
             );
             ExitCode::FAILURE
         }

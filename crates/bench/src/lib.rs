@@ -13,6 +13,7 @@
 
 pub mod experiments;
 pub mod kernels;
+pub mod obs_overhead;
 pub mod pipeline;
 pub mod scale;
 pub mod setup;

@@ -72,6 +72,19 @@ pub struct ServeArgs {
     pub queue: usize,
     /// Default per-request deadline in milliseconds (none = unbounded).
     pub deadline_ms: Option<u64>,
+    /// Optional TCP address (e.g. `127.0.0.1:9100`) serving Prometheus
+    /// `/metrics` and `/healthz` alongside the JSONL loop.
+    pub metrics_addr: Option<String>,
+}
+
+/// Parsed `obs` subcommand: offline analysis of a JSONL trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsArgs {
+    /// Path of the JSONL trace to analyze (from `--trace` or a flight
+    /// dump).
+    pub trace: String,
+    /// How many of the slowest requests to expand into span trees.
+    pub top: usize,
 }
 
 /// A parsed invocation.
@@ -81,6 +94,8 @@ pub enum Command {
     Run(Args),
     /// Resident engine serving JSONL requests over stdin.
     Serve(ServeArgs),
+    /// Offline trace analysis.
+    Obs(ObsArgs),
 }
 
 /// Usage string printed on `--help` or bad arguments.
@@ -90,6 +105,7 @@ dod — exact distance-based outlier detection over CSV files
 USAGE:
     dod --input <points.csv> --r <radius> --k <count> [options]
     dod serve --input <points.csv> --r <radius> --k <count> [options]
+    dod obs <trace.jsonl> [--top <int>]
 
 A point is an outlier iff it has fewer than k neighbors within distance r.
 Rows of the CSV are comma-separated coordinates (any dimensionality).
@@ -100,12 +116,22 @@ one JSON object per line, e.g.:
 
     {\"op\": \"score\", \"points\": [[0.1, 0.2], [5.0, 5.0]]}
     {\"op\": \"detect\"}
-    {\"op\": \"drift\"}   {\"op\": \"refresh\"}   {\"op\": \"stats\"}   {\"op\": \"quit\"}
+    {\"op\": \"drift\"}    {\"op\": \"refresh\"}   {\"op\": \"stats\"}
+    {\"op\": \"metrics\"}  {\"op\": \"quit\"}
+
+`dod obs` analyzes a JSONL trace offline: per-stage time breakdown,
+request latency percentiles, the top-k slowest requests as span trees,
+and a predicted-vs-actual cost audit per partition.
 
 SERVE OPTIONS:
     --workers <int>         engine worker threads                         [2]
     --queue <int>           submission-queue bound (excess rejected)     [64]
     --deadline-ms <int>     default per-request deadline          [unbounded]
+    --metrics-addr <addr>   serve Prometheus /metrics and /healthz over
+                            HTTP on this address (e.g. 127.0.0.1:9100)
+
+OBS OPTIONS:
+    --top <int>             slow requests to expand into span trees       [5]
 
 OPTIONS:
     --input <path>          input CSV (required)
@@ -147,12 +173,15 @@ impl From<CoreError> for ArgError {
 /// `serve` selects the resident-engine loop, anything else is the
 /// one-shot run.
 pub fn parse_command(args: &[String]) -> Result<Command, ArgError> {
-    if args.first().map(String::as_str) != Some("serve") {
-        return parse(args).map(Command::Run);
+    match args.first().map(String::as_str) {
+        Some("serve") => {}
+        Some("obs") => return parse_obs(&args[1..]).map(Command::Obs),
+        _ => return parse(args).map(Command::Run),
     }
     let mut workers = 2usize;
     let mut queue = 64usize;
     let mut deadline_ms = None;
+    let mut metrics_addr = None;
     let mut rest = Vec::new();
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
@@ -178,6 +207,7 @@ pub fn parse_command(args: &[String]) -> Result<Command, ArgError> {
                         .map_err(|e| ArgError::Invalid(format!("--deadline-ms: {e}")))?,
                 )
             }
+            "--metrics-addr" => metrics_addr = Some(value("--metrics-addr")?.clone()),
             _ => rest.push(arg.clone()),
         }
     }
@@ -192,7 +222,40 @@ pub fn parse_command(args: &[String]) -> Result<Command, ArgError> {
         workers,
         queue,
         deadline_ms,
+        metrics_addr,
     }))
+}
+
+/// Parses the `obs` subcommand: a positional trace path plus `--top`.
+fn parse_obs(args: &[String]) -> Result<ObsArgs, ArgError> {
+    let mut trace = None;
+    let mut top = 5usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Err(ArgError::Help),
+            "--top" => {
+                top = it
+                    .next()
+                    .ok_or_else(|| ArgError::Invalid("--top needs a value".into()))?
+                    .parse()
+                    .map_err(|e| ArgError::Invalid(format!("--top: {e}")))?
+            }
+            other if other.starts_with("--") => {
+                return Err(ArgError::Invalid(format!("unknown argument {other:?}")))
+            }
+            path => {
+                if trace.replace(path.to_string()).is_some() {
+                    return Err(ArgError::Invalid("obs takes exactly one trace path".into()));
+                }
+            }
+        }
+    }
+    let trace = trace.ok_or_else(|| ArgError::Invalid("obs needs a trace path".into()))?;
+    if top == 0 {
+        return Err(ArgError::Invalid("--top must be at least 1".into()));
+    }
+    Ok(ObsArgs { trace, top })
 }
 
 /// Parses the argument list (without the program name).
@@ -547,6 +610,82 @@ mod tests {
         assert_eq!(serve.workers, 3);
         assert_eq!(serve.queue, 7);
         assert_eq!(serve.deadline_ms, Some(250));
+        assert_eq!(serve.metrics_addr, None);
+    }
+
+    #[test]
+    fn serve_metrics_addr() {
+        let cmd = parse_command(&v(&[
+            "serve",
+            "--input",
+            "x.csv",
+            "--r",
+            "1",
+            "--k",
+            "2",
+            "--metrics-addr",
+            "127.0.0.1:9100",
+        ]))
+        .unwrap();
+        let Command::Serve(serve) = cmd else {
+            panic!("expected serve command");
+        };
+        assert_eq!(serve.metrics_addr.as_deref(), Some("127.0.0.1:9100"));
+        assert!(matches!(
+            parse_command(&v(&[
+                "serve",
+                "--input",
+                "x",
+                "--r",
+                "1",
+                "--k",
+                "2",
+                "--metrics-addr"
+            ])),
+            Err(ArgError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn obs_subcommand() {
+        let cmd = parse_command(&v(&["obs", "run.jsonl"])).unwrap();
+        let Command::Obs(obs) = cmd else {
+            panic!("expected obs command");
+        };
+        assert_eq!(
+            obs,
+            ObsArgs {
+                trace: "run.jsonl".into(),
+                top: 5
+            }
+        );
+
+        let cmd = parse_command(&v(&["obs", "run.jsonl", "--top", "3"])).unwrap();
+        let Command::Obs(obs) = cmd else {
+            panic!("expected obs command");
+        };
+        assert_eq!(obs.top, 3);
+
+        assert!(matches!(
+            parse_command(&v(&["obs"])),
+            Err(ArgError::Invalid(_))
+        ));
+        assert!(matches!(
+            parse_command(&v(&["obs", "a.jsonl", "b.jsonl"])),
+            Err(ArgError::Invalid(_))
+        ));
+        assert!(matches!(
+            parse_command(&v(&["obs", "a.jsonl", "--top", "0"])),
+            Err(ArgError::Invalid(_))
+        ));
+        assert!(matches!(
+            parse_command(&v(&["obs", "a.jsonl", "--bogus"])),
+            Err(ArgError::Invalid(_))
+        ));
+        assert!(matches!(
+            parse_command(&v(&["obs", "--help"])),
+            Err(ArgError::Help)
+        ));
     }
 
     #[test]

@@ -4,9 +4,11 @@
 //! ```sh
 //! dod --input points.csv --r 0.5 --k 4 --report
 //! dod serve --input points.csv --r 0.5 --k 4   # resident engine, JSONL
+//! dod obs run.jsonl                            # offline trace analysis
 //! ```
 
 mod args;
+mod obs_cmd;
 mod serve;
 
 use args::{ArgError, Args, Command, ModeArg, StrategyArg, USAGE};
@@ -149,6 +151,7 @@ fn main() -> ExitCode {
             let result = match &cmd {
                 Command::Run(args) => run(args),
                 Command::Serve(args) => serve::serve(args),
+                Command::Obs(args) => obs_cmd::run(args),
             };
             match result {
                 Ok(()) => ExitCode::SUCCESS,

@@ -1,24 +1,50 @@
 //! The `dod serve` loop: a resident engine answering JSONL requests.
 //!
-//! One JSON object per input line, one JSON object per response line:
+//! One JSON object per input line, one JSON object per response line.
+//! Response schemas, per op:
 //!
 //! ```text
 //! > {"op": "score", "points": [[0.1, 0.2], [5.0, 5.0]]}
 //! < {"ok":true,"op":"score","results":[{"neighbors":4,"outlier":false}, …]}
 //! > {"op": "detect"}
 //! < {"ok":true,"op":"detect","outliers":[3,17]}
-//! > {"op": "drift"} | {"op": "refresh"} | {"op": "stats"} | {"op": "quit"}
+//! > {"op": "drift"}
+//! < {"ok":true,"op":"drift","drift":0.12,"epoch":0}
+//! > {"op": "refresh"}
+//! < {"ok":true,"op":"refresh","epoch":1}
+//! > {"op": "stats"}
+//! < {"ok":true,"op":"stats","partitions":64,"epoch":0,"queue_depth":0,
+//!    "in_flight":0,"workers":2,"panics":0,"requests":17}
+//! > {"op": "metrics"}
+//! < {"ok":true,"op":"metrics","metrics":"# HELP dod_engine_request_seconds …"}
+//! > {"op": "quit"}
+//! < {"ok":true,"op":"quit"}
 //! ```
+//!
+//! `stats` is the full [`dod_engine::EngineHealth`] snapshot. `metrics`
+//! returns the Prometheus text-format exposition (the same document the
+//! optional `--metrics-addr` HTTP listener serves at `/metrics`) as one
+//! JSON-escaped string. Non-finite numbers (`NaN`, `±Inf`) serialize as
+//! `null` in every response — bare `NaN` is not valid JSON.
+//!
+//! With `--metrics-addr <host:port>` the server additionally answers
+//! plain HTTP on that address: `GET /metrics` returns the exposition
+//! document and `GET /healthz` returns the `stats` JSON body, both
+//! backed by the same engine.
 //!
 //! Failures answer `{"ok":false,"error":"…"}` and keep the loop alive;
 //! `quit` or end-of-input ends it. The JSON parser below is hand-rolled
 //! (like the writer in `dod-obs`): the workspace builds offline, and the
 //! request grammar is tiny.
 
-use std::io::{BufRead, Write};
+use std::io::{BufRead, Read, Write};
+use std::net::TcpListener;
+use std::sync::Arc;
 use std::time::Duration;
 
-use dod_engine::{Engine, EngineError};
+use dod_engine::{Engine, EngineError, EngineHealth};
+use dod_obs::prom::PromWriter;
+use dod_obs::{FanoutRecorder, MetricsRecorder, Obs, Recorder};
 
 use crate::args::ServeArgs;
 
@@ -206,11 +232,35 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
 // Request dispatch.
 // ---------------------------------------------------------------------
 
+/// Escapes a string for embedding in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes an `f64` as a JSON value: non-finite numbers (`NaN`,
+/// `±Inf`) become `null`, since bare `NaN` is not valid JSON.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
 fn error_line(msg: &str) -> String {
-    format!(
-        "{{\"ok\":false,\"error\":\"{}\"}}",
-        msg.replace('\\', "\\\\").replace('"', "\\\"")
-    )
+    format!("{{\"ok\":false,\"error\":\"{}\"}}", json_escape(msg))
 }
 
 fn engine_error_name(e: &EngineError) -> String {
@@ -221,8 +271,69 @@ fn engine_error_name(e: &EngineError) -> String {
     }
 }
 
+/// Everything a request handler needs: the engine plus the metrics
+/// aggregator scraped by the `metrics` op and the HTTP listener.
+#[derive(Clone)]
+pub struct ServeContext {
+    /// The resident engine.
+    pub engine: Arc<Engine>,
+    /// Aggregated counters and latency histograms across all requests.
+    pub metrics: Arc<MetricsRecorder>,
+}
+
+/// Renders the `stats` / `/healthz` JSON body from a health snapshot.
+fn health_json(h: &EngineHealth) -> String {
+    format!(
+        "{{\"ok\":true,\"op\":\"stats\",\"partitions\":{},\"epoch\":{},\"queue_depth\":{},\
+         \"in_flight\":{},\"workers\":{},\"panics\":{},\"requests\":{}}}",
+        h.partitions, h.epoch, h.queue_depth, h.in_flight, h.workers, h.panics, h.requests
+    )
+}
+
+/// Renders the full Prometheus exposition document: every aggregated
+/// series plus live engine-health gauges sampled at scrape time.
+pub fn render_metrics(ctx: &ServeContext) -> String {
+    let mut text = ctx.metrics.render_prometheus();
+    let h = ctx.engine.health();
+    let mut w = PromWriter::new();
+    w.gauge(
+        "dod_engine_partitions",
+        "Resident partitions.",
+        h.partitions as f64,
+    );
+    w.gauge("dod_engine_epoch", "Current plan epoch.", h.epoch as f64);
+    w.gauge(
+        "dod_engine_queue_depth_now",
+        "Queued requests at scrape time.",
+        h.queue_depth as f64,
+    );
+    w.gauge(
+        "dod_engine_in_flight_now",
+        "Requests being executed at scrape time.",
+        h.in_flight as f64,
+    );
+    w.gauge(
+        "dod_engine_workers",
+        "Engine worker threads.",
+        h.workers as f64,
+    );
+    w.gauge(
+        "dod_engine_panics",
+        "Contained request panics so far.",
+        h.panics as f64,
+    );
+    w.gauge(
+        "dod_engine_requests",
+        "Requests submitted so far.",
+        h.requests as f64,
+    );
+    text.push_str(&w.finish());
+    text
+}
+
 /// Answers one parsed request. `Ok(None)` means `quit`.
-fn dispatch(engine: &Engine, request: &Json) -> Result<Option<String>, String> {
+fn dispatch(ctx: &ServeContext, request: &Json) -> Result<Option<String>, String> {
+    let engine = &*ctx.engine;
     let op = match request.get("op") {
         Some(Json::Str(op)) => op.as_str(),
         _ => return Err("request needs a string \"op\" field".into()),
@@ -279,7 +390,7 @@ fn dispatch(engine: &Engine, request: &Json) -> Result<Option<String>, String> {
         }
         "drift" => Ok(Some(format!(
             "{{\"ok\":true,\"op\":\"drift\",\"drift\":{},\"epoch\":{}}}",
-            engine.drift(),
+            json_f64(engine.drift()),
             engine.epoch()
         ))),
         "refresh" => {
@@ -288,11 +399,10 @@ fn dispatch(engine: &Engine, request: &Json) -> Result<Option<String>, String> {
                 "{{\"ok\":true,\"op\":\"refresh\",\"epoch\":{epoch}}}"
             )))
         }
-        "stats" => Ok(Some(format!(
-            "{{\"ok\":true,\"op\":\"stats\",\"partitions\":{},\"epoch\":{},\"queue_depth\":{}}}",
-            engine.num_partitions(),
-            engine.epoch(),
-            engine.queue_depth()
+        "stats" => Ok(Some(health_json(&engine.health()))),
+        "metrics" => Ok(Some(format!(
+            "{{\"ok\":true,\"op\":\"metrics\",\"metrics\":\"{}\"}}",
+            json_escape(&render_metrics(ctx))
         ))),
         "quit" => Ok(None),
         other => Err(format!("unknown op {other:?}")),
@@ -303,7 +413,7 @@ fn dispatch(engine: &Engine, request: &Json) -> Result<Option<String>, String> {
 /// stdout in production, buffers in tests).
 pub fn serve_streams(
     args: &ServeArgs,
-    engine: &Engine,
+    ctx: &ServeContext,
     input: impl BufRead,
     mut output: impl Write,
 ) -> Result<(), String> {
@@ -315,7 +425,7 @@ pub fn serve_streams(
         }
         let response = parse_json(&line)
             .map_err(|e| format!("bad request: {e}"))
-            .and_then(|request| dispatch(engine, &request));
+            .and_then(|request| dispatch(ctx, &request));
         match response {
             Ok(Some(answer)) => {
                 writeln!(output, "{answer}").map_err(|e| e.to_string())?;
@@ -333,12 +443,83 @@ pub fn serve_streams(
     Ok(())
 }
 
+// ---------------------------------------------------------------------
+// HTTP exposition listener.
+// ---------------------------------------------------------------------
+
+/// Answers one HTTP connection: `GET /metrics` with the exposition
+/// document, `GET /healthz` with the health JSON, 404 otherwise. The
+/// protocol is deliberately minimal (HTTP/1.0, connection-per-request)
+/// — enough for `curl` and any Prometheus-compatible scraper.
+fn answer_http(ctx: &ServeContext, stream: &mut (impl Read + Write)) {
+    // Read until the header-terminating blank line (or a size cap) —
+    // the request may arrive split across several TCP segments.
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 512];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") && buf.len() < 4096 {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => return,
+        }
+    }
+    let request_line = std::str::from_utf8(&buf)
+        .ok()
+        .and_then(|s| s.lines().next())
+        .unwrap_or("");
+    let path = request_line.split_whitespace().nth(1).unwrap_or("");
+    let (status, content_type, body) = match path {
+        "/metrics" => ("200 OK", "text/plain; version=0.0.4", render_metrics(ctx)),
+        "/healthz" => (
+            "200 OK",
+            "application/json",
+            health_json(&ctx.engine.health()),
+        ),
+        _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.flush();
+}
+
+/// Binds `addr` and serves `/metrics` and `/healthz` from a detached
+/// thread for the lifetime of the process. Returns the bound address
+/// (useful when `addr` asks for port 0).
+pub fn spawn_metrics_listener(
+    addr: &str,
+    ctx: ServeContext,
+) -> Result<std::net::SocketAddr, String> {
+    let listener =
+        TcpListener::bind(addr).map_err(|e| format!("binding metrics address {addr}: {e}"))?;
+    let bound = listener.local_addr().map_err(|e| e.to_string())?;
+    std::thread::Builder::new()
+        .name("dod-metrics".into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { continue };
+                answer_http(&ctx, &mut stream);
+            }
+        })
+        .map_err(|e| format!("spawning metrics listener: {e}"))?;
+    Ok(bound)
+}
+
 /// Builds the engine for a parsed `serve` invocation and runs the loop
 /// over stdin/stdout.
 pub fn serve(args: &ServeArgs) -> Result<(), String> {
     let data = dod_data::io::read_csv(std::path::Path::new(&args.run.input))
         .map_err(|e| format!("reading {}: {e}", args.run.input))?;
-    let (obs, _memory) = crate::build_obs(&args.run)?;
+    let (user_obs, _memory) = crate::build_obs(&args.run)?;
+    // The metrics aggregator sees every event the user's sinks see.
+    let metrics = Arc::new(MetricsRecorder::new());
+    let mut sinks: Vec<Box<dyn Recorder>> = vec![Box::new(Arc::clone(&metrics))];
+    if let Some(user) = user_obs.recorder() {
+        sinks.push(Box::new(user));
+    }
+    let obs = Obs::new(Arc::new(FanoutRecorder::new(sinks)));
     let runner = crate::build_runner(&args.run, obs)?;
     let mut builder = Engine::builder(runner)
         .workers(args.workers)
@@ -353,9 +534,17 @@ pub fn serve(args: &ServeArgs) -> Result<(), String> {
         data.dim(),
         engine.num_partitions()
     );
+    let ctx = ServeContext {
+        engine: Arc::new(engine),
+        metrics,
+    };
+    if let Some(addr) = &args.metrics_addr {
+        let bound = spawn_metrics_listener(addr, ctx.clone())?;
+        eprintln!("metrics: http://{bound}/metrics  health: http://{bound}/healthz");
+    }
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
-    serve_streams(args, &engine, stdin.lock(), stdout.lock())
+    serve_streams(args, &ctx, stdin.lock(), stdout.lock())
 }
 
 #[cfg(test)]
@@ -420,11 +609,13 @@ mod tests {
         .unwrap();
         match cmd {
             Command::Serve(s) => s,
-            Command::Run(_) => panic!("expected serve"),
+            _ => panic!("expected serve"),
         }
     }
 
-    fn session(requests: &str) -> Vec<String> {
+    /// Builds a small resident engine (cluster + one isolated point)
+    /// plus the metrics context, over a temp CSV.
+    fn test_context() -> (ServeArgs, ServeContext, std::path::PathBuf) {
         let mut path = std::env::temp_dir();
         path.push(format!(
             "dod-serve-test-{}-{:?}.csv",
@@ -439,14 +630,25 @@ mod tests {
         let args = serve_args(&path.to_string_lossy());
 
         let data = dod_data::io::read_csv(&path).unwrap();
-        let runner = crate::build_runner(&args.run, dod_obs::Obs::null()).unwrap();
+        let metrics = Arc::new(MetricsRecorder::new());
+        let obs = Obs::new(Arc::clone(&metrics) as Arc<dyn Recorder>);
+        let runner = crate::build_runner(&args.run, obs).unwrap();
         let engine = Engine::builder(runner)
             .workers(args.workers)
             .queue_capacity(args.queue)
             .build(&data)
             .unwrap();
+        let ctx = ServeContext {
+            engine: Arc::new(engine),
+            metrics,
+        };
+        (args, ctx, path)
+    }
+
+    fn session(requests: &str) -> Vec<String> {
+        let (args, ctx, path) = test_context();
         let mut out = Vec::new();
-        serve_streams(&args, &engine, requests.as_bytes(), &mut out).unwrap();
+        serve_streams(&args, &ctx, requests.as_bytes(), &mut out).unwrap();
         std::fs::remove_file(&path).ok();
         String::from_utf8(out)
             .unwrap()
@@ -469,6 +671,18 @@ mod tests {
         ));
         assert_eq!(responses.len(), 6);
         assert!(responses[0].contains("\"op\":\"stats\""));
+        // The stats response is the full health snapshot.
+        for field in [
+            "\"partitions\":",
+            "\"epoch\":",
+            "\"queue_depth\":",
+            "\"in_flight\":",
+            "\"workers\":1",
+            "\"panics\":0",
+            "\"requests\":",
+        ] {
+            assert!(responses[0].contains(field), "{field} in {}", responses[0]);
+        }
         assert_eq!(
             responses[1],
             "{\"ok\":true,\"op\":\"score\",\"results\":[\
@@ -498,5 +712,82 @@ mod tests {
             assert!(bad.starts_with("{\"ok\":false,\"error\":"), "{bad}");
         }
         assert!(responses[4].contains("\"outliers\":[40]"));
+    }
+
+    /// Regression: non-finite f64s must serialize as `null`, never as
+    /// bare `NaN`/`inf` (which no JSON parser accepts back).
+    #[test]
+    fn non_finite_numbers_serialize_as_null() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(0.0), "0");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(f64::NEG_INFINITY), "null");
+        // The drift response stays parseable by our own reader either way.
+        let line = format!(
+            "{{\"ok\":true,\"op\":\"drift\",\"drift\":{},\"epoch\":0}}",
+            json_f64(f64::NAN)
+        );
+        assert_eq!(parse_json(&line).unwrap().get("drift"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn metrics_op_returns_prometheus_exposition() {
+        let responses = session(concat!(
+            "{\"op\": \"score\", \"points\": [[0.7, 0.7]]}\n",
+            "{\"op\": \"metrics\"}\n",
+        ));
+        assert_eq!(responses.len(), 2);
+        let v = parse_json(&responses[1]).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+        let Some(Json::Str(text)) = v.get("metrics") else {
+            panic!("metrics is a string: {}", responses[1]);
+        };
+        // The scored request shows up in the latency summary, and the
+        // health gauges are appended.
+        assert!(
+            text.contains("# TYPE dod_engine_request_seconds summary"),
+            "{text}"
+        );
+        assert!(text.contains("dod_engine_request_seconds_count{op=\"score\"} 1"));
+        assert!(text.contains("dod_engine_partitions "));
+        assert!(text.contains("dod_engine_workers 1"));
+    }
+
+    #[test]
+    fn http_listener_serves_metrics_and_healthz() {
+        let (_args, ctx, path) = test_context();
+        ctx.engine
+            .score_batch(vec![vec![0.7, 0.7]])
+            .unwrap()
+            .wait()
+            .unwrap();
+        let bound = spawn_metrics_listener("127.0.0.1:0", ctx.clone()).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        let get = |p: &str| -> String {
+            let mut s = std::net::TcpStream::connect(bound).unwrap();
+            s.write_all(format!("GET {p} HTTP/1.0\r\n\r\n").as_bytes())
+                .unwrap();
+            let mut out = String::new();
+            s.read_to_string(&mut out).unwrap();
+            out
+        };
+        let metrics = get("/metrics");
+        assert!(metrics.starts_with("HTTP/1.0 200 OK"), "{metrics}");
+        assert!(metrics.contains("text/plain; version=0.0.4"));
+        assert!(metrics.contains("dod_engine_request_seconds_count{op=\"score\"} 1"));
+        assert!(metrics.contains("dod_engine_queue_depth_now 0"));
+
+        let health = get("/healthz");
+        assert!(health.starts_with("HTTP/1.0 200 OK"), "{health}");
+        let body = health.split("\r\n\r\n").nth(1).unwrap();
+        let v = parse_json(body).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("workers"), Some(&Json::Num(1.0)));
+        assert!(matches!(v.get("requests"), Some(Json::Num(n)) if *n >= 1.0));
+
+        let missing = get("/nope");
+        assert!(missing.starts_with("HTTP/1.0 404"), "{missing}");
     }
 }

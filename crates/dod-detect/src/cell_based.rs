@@ -106,8 +106,22 @@ impl CellIndex {
         params: OutlierParams,
         cap: usize,
     ) -> usize {
+        self.count_core_neighbors_traced(partition, q, params, cap)
+            .0
+    }
+
+    /// [`CellIndex::count_core_neighbors`] that also returns the work
+    /// performed: the number of candidate points examined across all
+    /// visited buckets, directly chargeable to `distance_evaluations`.
+    pub fn count_core_neighbors_traced(
+        &self,
+        partition: &Partition,
+        q: &[f64],
+        params: OutlierParams,
+        cap: usize,
+    ) -> (usize, u64) {
         if cap == 0 {
-            return 0;
+            return (0, 0);
         }
         debug_assert_eq!(q.len(), partition.dim());
         let dim = q.len();
@@ -116,18 +130,21 @@ impl CellIndex {
         let hi: Vec<f64> = q.iter().map(|&v| v + params.r).collect();
         let query = Rect::new(lo, hi).expect("r > 0 makes a valid box");
         let mut count = 0usize;
+        let mut work = 0u64;
         for cell in self.grid.cells_intersecting(&query) {
             let Some(bucket) = self.buckets.get(&cell) else {
                 continue;
             };
             // Core points are the bucket's gathered-coordinate prefix.
             let tile = &bucket.coords[..bucket.n_core * dim];
-            count += pred.count_within_tile(q, tile, cap - count).found;
+            let outcome = pred.count_within_tile(q, tile, cap - count);
+            count += outcome.found;
+            work += outcome.scanned as u64;
             if count >= cap {
-                return count;
+                return (count, work);
             }
         }
-        count
+        (count, work)
     }
 }
 

@@ -95,6 +95,20 @@ impl KdIndex {
         params: OutlierParams,
         cap: usize,
     ) -> usize {
+        self.count_core_neighbors_traced(partition, q, params, cap)
+            .0
+    }
+
+    /// [`KdIndex::count_core_neighbors`] that also returns the work
+    /// performed: distance evaluations plus tree nodes visited — the
+    /// index-based analogue of points scanned.
+    pub fn count_core_neighbors_traced(
+        &self,
+        partition: &Partition,
+        q: &[f64],
+        params: OutlierParams,
+        cap: usize,
+    ) -> (usize, u64) {
         debug_assert_eq!(q.len(), partition.dim());
         let mut count = 0usize;
         let mut evals = 0u64;
@@ -112,7 +126,7 @@ impl KdIndex {
             &mut evals,
             &mut visits,
         );
-        count
+        (count, evals + visits)
     }
 
     /// Counts neighbors of resident point `qi` (unified index) within `r`,

@@ -138,19 +138,29 @@ impl PartitionState {
     /// `q` need not belong to the partition — this is the primitive for
     /// scoring external query points against the resident dataset.
     pub fn count_core_neighbors(&self, q: &[f64], cap: usize) -> usize {
+        self.count_core_neighbors_traced(q, cap).0
+    }
+
+    /// [`PartitionState::count_core_neighbors`] that also returns the
+    /// kernel work performed (candidate points examined, plus tree nodes
+    /// visited on the index-based path) — the per-request counterpart of
+    /// [`crate::DetectionStats::total_work`], feeding the engine's
+    /// per-partition work counters.
+    pub fn count_core_neighbors_traced(&self, q: &[f64], cap: usize) -> (usize, u64) {
         match &self.index {
             StateIndex::Cells(cells) => {
-                cells.count_core_neighbors(&self.partition, q, self.params, cap)
+                cells.count_core_neighbors_traced(&self.partition, q, self.params, cap)
             }
             StateIndex::Tree(tree) => {
-                tree.count_core_neighbors(&self.partition, q, self.params, cap)
+                tree.count_core_neighbors_traced(&self.partition, q, self.params, cap)
             }
             StateIndex::Scan => {
                 // The core point set is already one contiguous columnar
                 // tile — scan it directly with the resident predicate.
-                self.pred
-                    .count_within_tile(q, self.partition.core().as_flat(), cap)
-                    .found
+                let outcome = self
+                    .pred
+                    .count_within_tile(q, self.partition.core().as_flat(), cap);
+                (outcome.found, outcome.scanned as u64)
             }
         }
     }
@@ -223,6 +233,27 @@ mod tests {
                     assert_eq!(state.count_core_neighbors(q, 1), 1, "kind {}", kind.name());
                 }
             }
+        }
+    }
+
+    #[test]
+    fn traced_counts_match_and_report_positive_work() {
+        let partition = sample_partition();
+        let params = OutlierParams::new(1.0, 2).unwrap();
+        for kind in ALL_KINDS {
+            let state = PartitionState::build(kind, Arc::clone(&partition), params);
+            let (found, work) = state.count_core_neighbors_traced(&[0.1, 0.1], usize::MAX);
+            assert_eq!(found, state.count_core_neighbors(&[0.1, 0.1], usize::MAX));
+            assert!(
+                work >= found as u64,
+                "kind {}: work {work} < found {found}",
+                kind.name()
+            );
+            assert!(
+                work > 0,
+                "kind {}: query near the cluster does work",
+                kind.name()
+            );
         }
     }
 

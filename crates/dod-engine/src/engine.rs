@@ -1,5 +1,6 @@
 //! The resident engine: build once, serve many.
 
+use std::io::Write;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
@@ -9,7 +10,7 @@ use dod::{DodConfig, DodRunner};
 use dod_core::{PointId, PointSet};
 use dod_detect::{Partition, PartitionState};
 use dod_obs::sync::{lock_recover, read_recover, wait_recover, write_recover};
-use dod_obs::{names, Obs, Value};
+use dod_obs::{names, FanoutRecorder, FlightRecorder, Obs, Recorder, Value};
 use dod_partition::MultiTacticPlan;
 
 use crate::error::EngineError;
@@ -20,6 +21,12 @@ pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
 
 /// Default drift threshold of [`Engine::refresh_if_drifted`].
 pub const DEFAULT_DRIFT_THRESHOLD: f64 = 0.25;
+
+/// How many of a request's heaviest partitions get individual
+/// `engine.partition.work` counters; remaining work is rolled up per
+/// algorithm. Bounds per-request telemetry cost independently of how
+/// many partitions the plan holds.
+pub const PARTITION_WORK_TOP_K: usize = 16;
 
 /// The verdict for one query point scored under a degraded-mode time
 /// budget ([`Engine::score_batch_degraded`]).
@@ -54,7 +61,15 @@ pub struct EngineHealth {
     pub epoch: u64,
     /// Partitions in the resident plan (0 for an empty dataset).
     pub partitions: usize,
+    /// Total requests submitted since the engine was built (each minted
+    /// a [`RequestId`]).
+    pub requests: u64,
 }
+
+/// The id minted for one engine request, propagated as the `request`
+/// label on every event that request emits — the key `dod obs` groups
+/// span trees by. Ids start at 1 and are unique per engine instance.
+pub type RequestId = u64;
 
 /// The verdict for one scored query point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,11 +109,20 @@ struct Shared {
     /// Serializes refreshes so concurrent drift probes cannot replan the
     /// same epoch twice.
     refresh: Mutex<()>,
+    /// The engine's emitting handle: the user's recorder (if any) fanned
+    /// out with the always-on flight recorder.
     obs: Obs,
     /// Requests currently executing on worker threads.
     in_flight: AtomicUsize,
     /// Requests whose job panicked (contained to the request).
     panics: AtomicU64,
+    /// Monotonic [`RequestId`] mint; also the total-requests counter.
+    requests: AtomicU64,
+    /// Ring of recent events, dumped on panic/typed error/deadline
+    /// overrun. `None` only when built with `flight_capacity(0)`.
+    flight: Option<Arc<FlightRecorder>>,
+    /// Where flight dumps go (`None` = stderr at dump time).
+    flight_dump: Mutex<Option<Box<dyn Write + Send>>>,
 }
 
 impl Shared {
@@ -152,17 +176,118 @@ impl Shared {
         Ok((Some(ResidentPlan { mt: pre.mt, states }), counts))
     }
 
+    /// Dumps the flight-recorder ring (when one is armed) as JSONL to
+    /// the configured sink, stderr by default. Called on every request
+    /// failure that reached a worker: panic, deadline overrun, or typed
+    /// error.
+    fn dump_flight(&self, reason: &str, request: RequestId, op: &'static str) {
+        let Some(flight) = &self.flight else {
+            return;
+        };
+        let labels = [("request", Value::from(request)), ("op", Value::from(op))];
+        let mut sink = lock_recover(&self.flight_dump);
+        match sink.as_mut() {
+            Some(out) => {
+                let _ = flight.dump_jsonl(&mut **out, reason, &labels);
+            }
+            None => {
+                let mut err = std::io::stderr().lock();
+                let _ = flight.dump_jsonl(&mut err, reason, &labels);
+            }
+        }
+    }
+
+    /// Emits `engine.partition.work` counters for the kernel work a
+    /// request did, heaviest partitions first.
+    ///
+    /// Plans can hold hundreds of partitions, so per-request emission is
+    /// bounded by design: the [`PARTITION_WORK_TOP_K`] heaviest
+    /// partitions get individual counters (with a `partition` label),
+    /// and the remaining work folds into one rollup counter per
+    /// algorithm (a `partitions` label carries how many were folded).
+    /// Metrics aggregation loses nothing — numeric labels never key a
+    /// series — and traces keep the partitions worth looking at.
+    fn record_partition_work(
+        &self,
+        rid: RequestId,
+        op: &'static str,
+        plan: Option<&ResidentPlan>,
+        work: &[u64],
+    ) {
+        if !self.obs.enabled() {
+            return;
+        }
+        let Some(plan) = plan else { return };
+        let algorithm_of = |pid: usize| -> &'static str {
+            plan.mt.algorithms.get(pid).map_or("unknown", |a| a.name())
+        };
+        let mut active: Vec<(usize, u64)> = work
+            .iter()
+            .enumerate()
+            .filter(|&(_, &w)| w > 0)
+            .map(|(pid, &w)| (pid, w))
+            .collect();
+        if active.len() > PARTITION_WORK_TOP_K {
+            active.select_nth_unstable_by_key(PARTITION_WORK_TOP_K - 1, |&(_, w)| {
+                std::cmp::Reverse(w)
+            });
+        }
+        let detailed = active.len().min(PARTITION_WORK_TOP_K);
+        active[..detailed].sort_unstable_by_key(|&(_, w)| std::cmp::Reverse(w));
+        for &(pid, w) in &active[..detailed] {
+            self.obs.counter(
+                names::ENGINE_PARTITION_WORK,
+                w,
+                &[
+                    ("op", Value::from(op)),
+                    ("request", Value::from(rid)),
+                    ("partition", Value::from(pid)),
+                    ("algorithm", Value::from(algorithm_of(pid))),
+                ],
+            );
+        }
+        if detailed < active.len() {
+            // Fold the tail per algorithm; the algorithm set is tiny.
+            let mut rollup: Vec<(&'static str, u64, u64)> = Vec::new();
+            for &(pid, w) in &active[detailed..] {
+                let name = algorithm_of(pid);
+                match rollup.iter_mut().find(|(n, _, _)| *n == name) {
+                    Some((_, total, count)) => {
+                        *total += w;
+                        *count += 1;
+                    }
+                    None => rollup.push((name, w, 1)),
+                }
+            }
+            for (name, total, count) in rollup {
+                self.obs.counter(
+                    names::ENGINE_PARTITION_WORK,
+                    total,
+                    &[
+                        ("op", Value::from(op)),
+                        ("request", Value::from(rid)),
+                        ("partitions", Value::from(count)),
+                        ("algorithm", Value::from(name)),
+                    ],
+                );
+            }
+        }
+    }
+
     /// Scores a batch against the resident state (the `score` op).
     fn score(
         &self,
         points: &[Vec<f64>],
         deadline: Option<Instant>,
+        rid: RequestId,
     ) -> Result<Vec<ScorePoint>, EngineError> {
         let resident = Arc::clone(&read_recover(&self.resident));
         let params = self.runner.config().params;
         let (r, k, metric) = (params.r, params.k, params.metric);
         let mut out = Vec::with_capacity(points.len());
-        let mut traffic = vec![0u64; resident.plan.as_ref().map_or(0, |p| p.mt.num_partitions())];
+        let n_parts = resident.plan.as_ref().map_or(0, |p| p.mt.num_partitions());
+        let mut traffic = vec![0u64; n_parts];
+        let mut work = vec![0u64; n_parts];
         for q in points {
             if let Some(d) = deadline {
                 if Instant::now() > d {
@@ -199,13 +324,16 @@ impl Shared {
                 if metric.min_dist_to_rect(rect.min(), rect.max(), q) > r {
                     continue;
                 }
-                neighbors += state.count_core_neighbors(q, k - neighbors);
+                let (found, w) = state.count_core_neighbors_traced(q, k - neighbors);
+                neighbors += found;
+                work[pid] += w;
             }
             out.push(ScorePoint {
                 neighbors,
                 outlier: neighbors < k,
             });
         }
+        self.record_partition_work(rid, "score", resident.plan.as_ref(), &work);
         if traffic.iter().any(|&t| t > 0) {
             let mut observed = lock_recover(&self.observed);
             // A refresh may have shrunk the vector concurrently; the
@@ -228,11 +356,13 @@ impl Shared {
         &self,
         points: &[Vec<f64>],
         budget_at: Instant,
+        rid: RequestId,
     ) -> Result<Vec<DegradedScore>, EngineError> {
         let resident = Arc::clone(&read_recover(&self.resident));
         let params = self.runner.config().params;
         let (r, k, metric) = (params.r, params.k, params.metric);
         let mut out = Vec::with_capacity(points.len());
+        let mut work = vec![0u64; resident.plan.as_ref().map_or(0, |p| p.mt.num_partitions())];
         let mut over_budget = false;
         for q in points {
             if q.len() != self.dim {
@@ -268,7 +398,9 @@ impl Shared {
                     if metric.min_dist_to_rect(rect.min(), rect.max(), q) > r {
                         continue;
                     }
-                    neighbors += state.count_core_neighbors(q, k - neighbors);
+                    let (found, w) = state.count_core_neighbors_traced(q, k - neighbors);
+                    neighbors += found;
+                    work[pid] += w;
                 }
             }
             out.push(DegradedScore {
@@ -277,26 +409,38 @@ impl Shared {
                 degraded,
             });
         }
+        self.record_partition_work(rid, "score_degraded", resident.plan.as_ref(), &work);
         Ok(out)
     }
 
     /// Runs full detection over every resident partition (the `detect`
     /// op). Returns the ascending ids of all outliers — exactly the
     /// one-shot pipeline's answer for the same configuration and data.
-    fn detect_all(&self, deadline: Option<Instant>) -> Result<Vec<PointId>, EngineError> {
+    fn detect_all(
+        &self,
+        deadline: Option<Instant>,
+        rid: RequestId,
+    ) -> Result<Vec<PointId>, EngineError> {
         let resident = Arc::clone(&read_recover(&self.resident));
         let Some(plan) = &resident.plan else {
             return Ok(Vec::new());
         };
         let mut outliers = Vec::new();
-        for state in &plan.states {
+        let mut work = vec![0u64; plan.states.len()];
+        for (pid, state) in plan.states.iter().enumerate() {
             if let Some(d) = deadline {
                 if Instant::now() > d {
                     return Err(EngineError::DeadlineExceeded);
                 }
             }
-            outliers.extend(state.detect().outliers);
+            let detection = state.detect();
+            detection
+                .stats
+                .record_to(&self.obs, pid, state.kind().name());
+            work[pid] = detection.stats.total_work();
+            outliers.extend(detection.outliers);
         }
+        self.record_partition_work(rid, "detect", Some(plan), &work);
         // Core sets are disjoint, so this is a sort of unique ids.
         outliers.sort_unstable();
         Ok(outliers)
@@ -310,6 +454,8 @@ pub struct EngineBuilder {
     queue_capacity: usize,
     default_deadline: Option<Duration>,
     drift_threshold: f64,
+    flight_capacity: usize,
+    flight_dump: Option<Box<dyn Write + Send>>,
 }
 
 impl EngineBuilder {
@@ -344,6 +490,22 @@ impl EngineBuilder {
         self
     }
 
+    /// Capacity of the always-on flight recorder: the ring of recent
+    /// events dumped when a request panics, misses its deadline, or
+    /// fails with a typed error (default
+    /// [`dod_obs::DEFAULT_FLIGHT_CAPACITY`]). `0` disables it.
+    pub fn flight_capacity(mut self, n: usize) -> Self {
+        self.flight_capacity = n;
+        self
+    }
+
+    /// Where flight-recorder dumps are written (default: stderr). Tests
+    /// and embedders can capture dumps by supplying their own sink.
+    pub fn flight_dump(mut self, sink: Box<dyn Write + Send>) -> Self {
+        self.flight_dump = Some(sink);
+        self
+    }
+
     /// Runs preprocessing once over `data`, materializes per-partition
     /// detector state, and starts the worker pool.
     ///
@@ -352,7 +514,21 @@ impl EngineBuilder {
     /// dimensionally inconsistent input).
     pub fn build(self, data: &PointSet) -> Result<Engine, EngineError> {
         let data = data.clone();
-        let obs = self.runner.config().obs.clone();
+        let user_obs = self.runner.config().obs.clone();
+        // The flight recorder rides alongside whatever recorder the
+        // configuration supplied: every engine event reaches both.
+        let flight =
+            (self.flight_capacity > 0).then(|| Arc::new(FlightRecorder::new(self.flight_capacity)));
+        let obs = match &flight {
+            Some(flight) => {
+                let mut sinks: Vec<Box<dyn Recorder>> = vec![Box::new(Arc::clone(flight))];
+                if let Some(user) = user_obs.recorder() {
+                    sinks.push(Box::new(user));
+                }
+                Obs::new(Arc::new(FanoutRecorder::new(sinks)))
+            }
+            None => user_obs,
+        };
         let (plan, counts) = Shared::materialize(&self.runner, &data)?;
         let dim = data.dim();
         let shared = Arc::new(Shared {
@@ -365,6 +541,9 @@ impl EngineBuilder {
             obs,
             in_flight: AtomicUsize::new(0),
             panics: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            flight,
+            flight_dump: Mutex::new(self.flight_dump),
         });
         Ok(Engine {
             shared,
@@ -409,6 +588,8 @@ impl Engine {
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
             default_deadline: None,
             drift_threshold: DEFAULT_DRIFT_THRESHOLD,
+            flight_capacity: dod_obs::DEFAULT_FLIGHT_CAPACITY,
+            flight_dump: None,
         }
     }
 
@@ -454,7 +635,14 @@ impl Engine {
             panics: self.shared.panics.load(Ordering::Acquire),
             epoch,
             partitions,
+            requests: self.shared.requests.load(Ordering::Acquire),
         }
+    }
+
+    /// The engine's always-on flight recorder, when armed (it is by
+    /// default; disable with [`EngineBuilder::flight_capacity`]`(0)`).
+    pub fn flight_recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.shared.flight.as_ref()
     }
 
     /// Scores a batch of query points against the resident dataset with
@@ -486,8 +674,8 @@ impl Engine {
         deadline: Option<Duration>,
     ) -> Result<Pending<Vec<ScorePoint>>, EngineError> {
         let items = points.len();
-        self.submit("score", items, deadline, move |shared, d| {
-            shared.score(&points, d)
+        self.submit("score", items, deadline, move |shared, d, rid| {
+            shared.score(&points, d, rid)
         })
     }
 
@@ -503,8 +691,8 @@ impl Engine {
     ) -> Result<Pending<Vec<DegradedScore>>, EngineError> {
         let items = points.len();
         let budget_at = Instant::now() + budget;
-        self.submit("score_degraded", items, None, move |shared, _| {
-            shared.score_degraded(&points, budget_at)
+        self.submit("score_degraded", items, None, move |shared, _, rid| {
+            shared.score_degraded(&points, budget_at, rid)
         })
     }
 
@@ -529,8 +717,8 @@ impl Engine {
         deadline: Option<Duration>,
     ) -> Result<Pending<Vec<PointId>>, EngineError> {
         let items = self.shared.data.len();
-        self.submit("detect", items, deadline, move |shared, d| {
-            shared.detect_all(d)
+        self.submit("detect", items, deadline, move |shared, d, rid| {
+            shared.detect_all(d, rid)
         })
     }
 
@@ -539,57 +727,70 @@ impl Engine {
         op: &'static str,
         items: usize,
         deadline: Option<Duration>,
-        f: impl FnOnce(&Shared, Option<Instant>) -> Result<T, EngineError> + Send + 'static,
+        f: impl FnOnce(&Shared, Option<Instant>, RequestId) -> Result<T, EngineError> + Send + 'static,
     ) -> Result<Pending<T>, EngineError> {
         let deadline_at = deadline.map(|d| Instant::now() + d);
         let shared = Arc::clone(&self.shared);
+        // Mint the request id at submission so queued-but-unstarted
+        // requests are already attributable.
+        let rid = self.shared.requests.fetch_add(1, Ordering::AcqRel) + 1;
         let (tx, pending) = Pending::channel();
         let job: Job = Box::new(move || {
             let obs = shared.obs.clone();
-            if deadline_at.is_some_and(|d| Instant::now() > d) {
-                obs.counter(names::ENGINE_DEADLINE_MISSES, 1, &[("op", Value::from(op))]);
-                let _ = tx.send(Err(EngineError::DeadlineExceeded));
-                return;
-            }
             let epoch = read_recover(&shared.resident).epoch;
             let t0 = Instant::now();
-            // Contain a panicking request to this request: the Pending
-            // resolves to `TaskPanicked` and the worker thread survives
-            // to serve the next request. The in-flight gauge covers
-            // exactly the execution (released before the result is
-            // sent, so a caller who just observed completion sees a
-            // consistent snapshot).
-            let result = {
+            let result = if deadline_at.is_some_and(|d| Instant::now() > d) {
+                // Expired while queued: never executed.
+                Err(EngineError::DeadlineExceeded)
+            } else {
+                // Contain a panicking request to this request: the
+                // Pending resolves to `TaskPanicked` and the worker
+                // thread survives to serve the next request. The
+                // in-flight gauge covers exactly the execution (released
+                // before the result is sent, so a caller who just
+                // observed completion sees a consistent snapshot).
                 let _in_flight = InFlightGuard::new(&shared.in_flight);
-                match catch_unwind(AssertUnwindSafe(|| f(&shared, deadline_at))) {
+                match catch_unwind(AssertUnwindSafe(|| f(&shared, deadline_at, rid))) {
                     Ok(result) => result,
                     Err(payload) => {
                         shared.panics.fetch_add(1, Ordering::AcqRel);
-                        obs.counter(names::ENGINE_PANICS, 1, &[("op", Value::from(op))]);
+                        obs.counter(
+                            names::ENGINE_PANICS,
+                            1,
+                            &[("op", Value::from(op)), ("request", Value::from(rid))],
+                        );
                         Err(EngineError::TaskPanicked {
                             message: panic_message(payload.as_ref()),
                         })
                     }
                 }
             };
+            // The request span is emitted for failures too, tagged with
+            // the error kind, so the flight recorder's dump always
+            // contains the offending request's span.
+            let error = result.as_ref().err().map(error_reason);
+            let mut labels = vec![
+                ("op", Value::from(op)),
+                ("items", Value::from(items)),
+                ("epoch", Value::from(epoch)),
+                ("request", Value::from(rid)),
+            ];
+            if let Some(reason) = error {
+                labels.push(("error", Value::from(reason)));
+            }
+            obs.record_duration(names::ENGINE_REQUEST, t0.elapsed(), &labels);
             match &result {
                 Ok(_) => {
                     // Served entirely from resident state — no rebuild.
                     obs.counter(names::ENGINE_CACHE_HITS, 1, &[("op", Value::from(op))]);
-                    obs.record_duration(
-                        names::ENGINE_REQUEST,
-                        t0.elapsed(),
-                        &[
-                            ("op", Value::from(op)),
-                            ("items", Value::from(items)),
-                            ("epoch", Value::from(epoch)),
-                        ],
-                    );
                 }
                 Err(EngineError::DeadlineExceeded) => {
                     obs.counter(names::ENGINE_DEADLINE_MISSES, 1, &[("op", Value::from(op))]);
                 }
                 Err(_) => {}
+            }
+            if let Some(reason) = error {
+                shared.dump_flight(reason, rid, op);
             }
             let _ = tx.send(result);
         });
@@ -616,9 +817,12 @@ impl Engine {
     /// and the chaos suite are the only intended callers.
     #[doc(hidden)]
     pub fn inject_panic(&self) -> Result<Pending<()>, EngineError> {
-        self.submit("inject_panic", 0, None, |_, _| {
-            panic!("injected engine panic")
-        })
+        self.submit(
+            "inject_panic",
+            0,
+            None,
+            |_, _, _| -> Result<(), EngineError> { panic!("injected engine panic") },
+        )
     }
 
     /// Total-variation distance in `[0, 1]` between the resident plan's
@@ -763,6 +967,19 @@ impl InFlightGuard<'_> {
 impl Drop for InFlightGuard<'_> {
     fn drop(&mut self) {
         self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Short stable tag for an error, used as the `error` label on failed
+/// request spans and as the flight-dump `reason`.
+fn error_reason(e: &EngineError) -> &'static str {
+    match e {
+        EngineError::Overloaded => "overloaded",
+        EngineError::DeadlineExceeded => "deadline",
+        EngineError::Terminated => "terminated",
+        EngineError::Dimension { .. } => "dimension",
+        EngineError::TaskPanicked { .. } => "panic",
+        EngineError::Pipeline(_) => "pipeline",
     }
 }
 

@@ -33,6 +33,16 @@
 //! trades completeness for bounded latency by flagging partially-scored
 //! points instead of failing the batch.
 //!
+//! Every request is traced: submission mints a [`RequestId`], carried as
+//! the `request` label on the request's span and on the
+//! `engine.partition.work` counters measuring kernel work per partition.
+//! An always-on [`dod_obs::FlightRecorder`] keeps the most recent events
+//! in a bounded ring and dumps them as replayable JSONL (to stderr, or
+//! the [`EngineBuilder::flight_dump`] sink) whenever a request panics,
+//! misses its deadline, or fails with a typed error — the span of the
+//! offending request, tagged with an `error` label, is always part of
+//! the dump.
+//!
 //! ```
 //! use dod::{DodConfig, DodRunner};
 //! use dod_core::{OutlierParams, PointSet};
@@ -66,8 +76,8 @@ mod error;
 mod worker;
 
 pub use engine::{
-    DegradedScore, Engine, EngineBuilder, EngineHealth, PauseGuard, ScorePoint,
-    DEFAULT_DRIFT_THRESHOLD, DEFAULT_QUEUE_CAPACITY,
+    DegradedScore, Engine, EngineBuilder, EngineHealth, PauseGuard, RequestId, ScorePoint,
+    DEFAULT_DRIFT_THRESHOLD, DEFAULT_QUEUE_CAPACITY, PARTITION_WORK_TOP_K,
 };
 pub use error::EngineError;
 pub use worker::Pending;
@@ -300,6 +310,228 @@ mod tests {
             .wait()
             .unwrap_err();
         assert!(matches!(err, EngineError::Dimension { .. }));
+    }
+
+    /// A `Write` sink whose contents the test can inspect after the
+    /// engine dumps into it.
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl SharedBuf {
+        fn contents(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// Acceptance criterion: a forced panic produces a flight-recorder
+    /// dump that contains the offending request's span.
+    #[test]
+    fn panic_dumps_flight_ring_with_offending_request() {
+        use dod_obs::{names, EventKind};
+        let (data, params) = cluster_with_outlier();
+        let sink = SharedBuf::default();
+        let engine = Engine::builder(runner(params))
+            .workers(1)
+            .flight_dump(Box::new(sink.clone()))
+            .build(&data)
+            .unwrap();
+        // A healthy request first, so the ring holds unrelated history too.
+        engine
+            .score_batch(vec![vec![0.7, 0.7]])
+            .unwrap()
+            .wait()
+            .unwrap();
+        engine.inject_panic().unwrap().wait().unwrap_err();
+
+        let events = dod_obs::replay::parse_jsonl(&sink.contents()).unwrap();
+        let header = events
+            .iter()
+            .find(|e| e.name == names::ENGINE_FLIGHT_DUMP)
+            .expect("dump header mark present");
+        assert_eq!(
+            header.label("reason").and_then(|v| v.as_str()),
+            Some("panic")
+        );
+        let rid = header.label("request").and_then(|v| v.as_u64()).unwrap();
+        // The offending request's span is in the dump, tagged with the
+        // same request id and the error reason.
+        let span = events
+            .iter()
+            .find(|e| {
+                e.name == names::ENGINE_REQUEST
+                    && e.label("request").and_then(|v| v.as_u64()) == Some(rid)
+            })
+            .expect("offending request span present in dump");
+        assert!(matches!(span.kind, EventKind::Span { .. }));
+        assert_eq!(span.label("error").and_then(|v| v.as_str()), Some("panic"));
+        assert_eq!(
+            span.label("op").and_then(|v| v.as_str()),
+            Some("inject_panic")
+        );
+    }
+
+    /// Acceptance criterion: a deadline overrun also triggers a dump.
+    #[test]
+    fn deadline_overrun_dumps_flight_ring() {
+        use dod_obs::names;
+        let (data, params) = cluster_with_outlier();
+        let sink = SharedBuf::default();
+        let engine = Engine::builder(runner(params))
+            .workers(1)
+            .flight_dump(Box::new(sink.clone()))
+            .build(&data)
+            .unwrap();
+        let err = engine
+            .detect_all_within(std::time::Duration::ZERO)
+            .unwrap()
+            .wait()
+            .unwrap_err();
+        assert!(matches!(err, EngineError::DeadlineExceeded));
+        let events = dod_obs::replay::parse_jsonl(&sink.contents()).unwrap();
+        let header = events
+            .iter()
+            .find(|e| e.name == names::ENGINE_FLIGHT_DUMP)
+            .expect("dump header mark present");
+        assert_eq!(
+            header.label("reason").and_then(|v| v.as_str()),
+            Some("deadline")
+        );
+        assert_eq!(header.label("op").and_then(|v| v.as_str()), Some("detect"));
+    }
+
+    #[test]
+    fn requests_are_counted_and_flight_recorder_is_on_by_default() {
+        let (data, params) = cluster_with_outlier();
+        let engine = Engine::builder(runner(params)).build(&data).unwrap();
+        assert!(engine.flight_recorder().is_some());
+        assert_eq!(engine.health().requests, 0);
+        engine
+            .score_batch(vec![vec![0.7, 0.7]])
+            .unwrap()
+            .wait()
+            .unwrap();
+        engine.detect_all().unwrap().wait().unwrap();
+        assert_eq!(engine.health().requests, 2);
+        // flight_capacity(0) disables the recorder entirely.
+        let bare = Engine::builder(runner(params))
+            .flight_capacity(0)
+            .build(&data)
+            .unwrap();
+        assert!(bare.flight_recorder().is_none());
+    }
+
+    /// Request spans and per-partition work counters reach a user-supplied
+    /// recorder alongside the flight ring, tied together by request id.
+    #[test]
+    fn partition_work_counters_carry_request_ids() {
+        use dod_obs::{names, MemoryRecorder, Obs};
+        let (data, params) = cluster_with_outlier();
+        let memory = std::sync::Arc::new(MemoryRecorder::new());
+        let config = DodConfig::builder(params)
+            .sample_rate(1.0)
+            .num_reducers(3)
+            .target_partitions(8)
+            .obs(Obs::new(memory.clone()))
+            .build()
+            .unwrap();
+        let runner = DodRunner::builder().config(config).multi_tactic().build();
+        let engine = Engine::builder(runner).build(&data).unwrap();
+        engine
+            .score_batch(vec![vec![0.7, 0.7]])
+            .unwrap()
+            .wait()
+            .unwrap();
+        let events = memory.events();
+        let span = events
+            .iter()
+            .find(|e| e.name == names::ENGINE_REQUEST)
+            .expect("request span reaches the user recorder");
+        let rid = span.label("request").and_then(|v| v.as_u64()).unwrap();
+        assert!(rid > 0);
+        let work: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == names::ENGINE_PARTITION_WORK)
+            .collect();
+        assert!(
+            !work.is_empty(),
+            "scoring near the cluster does kernel work"
+        );
+        for w in &work {
+            assert_eq!(w.label("request").and_then(|v| v.as_u64()), Some(rid));
+            assert_eq!(w.label("op").and_then(|v| v.as_str()), Some("score"));
+            assert!(
+                w.label("partition").is_some() || w.label("partitions").is_some(),
+                "either a detailed partition counter or a rollup"
+            );
+            assert!(w.label("algorithm").is_some());
+        }
+    }
+
+    #[test]
+    fn partition_work_emission_is_bounded_per_request() {
+        use dod_obs::{names, MemoryRecorder, Obs};
+        // A broad uniform dataset so a scattered batch touches many
+        // more partitions than PARTITION_WORK_TOP_K.
+        let mut data = PointSet::new(2).unwrap();
+        for i in 0..4000u64 {
+            let x = (i % 63) as f64;
+            let y = ((i * 7) % 61) as f64;
+            data.push(&[x, y]).unwrap();
+        }
+        let params = OutlierParams::new(1.5, 3).unwrap();
+        let memory = std::sync::Arc::new(MemoryRecorder::new());
+        let config = DodConfig::builder(params)
+            .sample_rate(0.2)
+            .num_reducers(4)
+            .target_partitions(64)
+            .obs(Obs::new(memory.clone()))
+            .build()
+            .unwrap();
+        let runner = DodRunner::builder().config(config).multi_tactic().build();
+        let engine = Engine::builder(runner).build(&data).unwrap();
+        let queries: Vec<Vec<f64>> = (0..128)
+            .map(|i| vec![((i * 13) % 63) as f64, ((i * 17) % 61) as f64])
+            .collect();
+        engine.score_batch(queries).unwrap().wait().unwrap();
+        let events = memory.events();
+        let work: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == names::ENGINE_PARTITION_WORK)
+            .collect();
+        assert!(!work.is_empty(), "a scattered batch does kernel work");
+        let detailed = work
+            .iter()
+            .filter(|e| e.label("partition").is_some())
+            .count();
+        let rollups: Vec<_> = work
+            .iter()
+            .filter(|e| e.label("partitions").is_some())
+            .collect();
+        assert!(
+            detailed <= PARTITION_WORK_TOP_K,
+            "at most top-K detailed counters per request, got {detailed}"
+        );
+        // One rollup per algorithm at most, and the total stays small
+        // no matter how many partitions did work.
+        assert!(
+            work.len() <= PARTITION_WORK_TOP_K + 8,
+            "bounded emission, got {} events",
+            work.len()
+        );
+        for r in &rollups {
+            assert!(r.label("algorithm").is_some());
+            assert!(r.label("partitions").and_then(|v| v.as_u64()).unwrap_or(0) >= 1);
+        }
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! Always-on flight recorder: a bounded ring of recent events.
+//!
+//! Serving engines need the events *leading up to* a failure, not a
+//! full trace of everything since boot. The [`FlightRecorder`] keeps the
+//! last `capacity` events in a fixed ring and dumps them as JSONL when
+//! something goes wrong (panic, typed error, deadline overrun).
+//!
+//! The hot path never blocks: a writer claims a slot with one atomic
+//! `fetch_add` and then *tries* to take that slot's lock. If a slow
+//! reader (or a wrapped-around writer) holds it, the event is dropped
+//! and counted instead of stalling the request that emitted it —
+//! recording telemetry must never add latency to the work it observes.
+
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::event::{Event, EventKind, Value};
+use crate::jsonl::event_to_json;
+use crate::recorder::Recorder;
+
+/// Default ring capacity used by engines that don't configure one.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 256;
+
+/// A bounded, non-blocking ring buffer of recent [`Event`]s.
+pub struct FlightRecorder {
+    slots: Vec<Mutex<Option<(u64, Event)>>>,
+    head: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.slots.len())
+            .field("recorded", &self.head.load(Ordering::Relaxed))
+            .field("dropped", &self.dropped.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    /// A ring holding the last `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            head: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Events dropped because their slot was contended at write time.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// The retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let mut kept: Vec<(u64, Event)> = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            if let Ok(guard) = slot.try_lock() {
+                if let Some((seq, event)) = guard.as_ref() {
+                    kept.push((*seq, event.clone()));
+                }
+            }
+        }
+        kept.sort_unstable_by_key(|(seq, _)| *seq);
+        kept.into_iter().map(|(_, e)| e).collect()
+    }
+
+    /// Dumps the retained events as JSONL to `out`, preceded by a
+    /// header `mark` event (name [`crate::names::ENGINE_FLIGHT_DUMP`])
+    /// carrying `reason`, the supplied labels, and the drop count. The
+    /// output is replayable by [`crate::replay`].
+    pub fn dump_jsonl(
+        &self,
+        out: &mut dyn Write,
+        reason: &str,
+        labels: &[(&'static str, Value)],
+    ) -> io::Result<()> {
+        let mut header = Event::new(crate::names::ENGINE_FLIGHT_DUMP, EventKind::Mark)
+            .with_label("reason", reason.to_string())
+            .with_label("dropped", self.dropped());
+        for (k, v) in labels {
+            header = header.with_label(*k, v.clone());
+        }
+        writeln!(out, "{}", event_to_json(&header))?;
+        for event in self.snapshot() {
+            writeln!(out, "{}", event_to_json(&event))?;
+        }
+        out.flush()
+    }
+}
+
+impl Recorder for FlightRecorder {
+    fn record(&self, event: Event) {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+        match slot.try_lock() {
+            Ok(mut guard) => *guard = Some((seq, event)),
+            Err(_) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::parse_jsonl;
+
+    fn mark(i: u64) -> Event {
+        Event::new("e", EventKind::Mark).with_label("i", i)
+    }
+
+    #[test]
+    fn retains_only_the_most_recent_events_in_order() {
+        let flight = FlightRecorder::new(4);
+        for i in 0..10 {
+            flight.record(mark(i));
+        }
+        let kept: Vec<u64> = flight
+            .snapshot()
+            .iter()
+            .map(|e| e.label("i").and_then(Value::as_u64).unwrap())
+            .collect();
+        assert_eq!(kept, vec![6, 7, 8, 9]);
+        assert_eq!(flight.dropped(), 0);
+    }
+
+    #[test]
+    fn partial_ring_snapshots_cleanly() {
+        let flight = FlightRecorder::new(8);
+        flight.record(mark(0));
+        flight.record(mark(1));
+        assert_eq!(flight.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn dump_is_replayable_and_carries_the_reason() {
+        let flight = FlightRecorder::new(4);
+        flight.record(mark(1));
+        flight.record(mark(2));
+        let mut out = Vec::new();
+        flight
+            .dump_jsonl(&mut out, "panic", &[("request", Value::U64(7))])
+            .unwrap();
+        let events = parse_jsonl(std::str::from_utf8(&out).unwrap()).unwrap();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].name, crate::names::ENGINE_FLIGHT_DUMP);
+        assert_eq!(
+            events[0].label("reason").and_then(Value::as_str),
+            Some("panic")
+        );
+        assert_eq!(events[0].label("request").and_then(Value::as_u64), Some(7));
+        assert_eq!(events[1].label("i").and_then(Value::as_u64), Some(1));
+        assert_eq!(events[2].label("i").and_then(Value::as_u64), Some(2));
+    }
+
+    #[test]
+    fn concurrent_writers_never_block_or_lose_count() {
+        use std::sync::Arc;
+        let flight = Arc::new(FlightRecorder::new(16));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let flight = Arc::clone(&flight);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        flight.record(mark(t * 1_000 + i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Everything was either retained or explicitly dropped.
+        assert!(flight.snapshot().len() <= 16);
+        assert_eq!(flight.head.load(Ordering::Relaxed), 2_000);
+    }
+}

@@ -1,0 +1,316 @@
+//! Mergeable log-linear (HDR-style) histograms.
+//!
+//! Buckets are laid out log-linearly: each power-of-two octave of the
+//! positive reals is split into [`SUBBUCKETS`] equal-width subbuckets,
+//! indexed directly from the value's IEEE-754 exponent and the top
+//! mantissa bits — no search, no configuration. With 16 subbuckets per
+//! octave the relative quantile error is bounded by `1/32` (~3.1%),
+//! which is plenty for latency percentiles. Zero, negative, and
+//! non-finite samples land in a dedicated underflow bucket; values
+//! outside the covered exponent range saturate into the edge buckets
+//! while `min`/`max` keep the true extremes.
+//!
+//! The layout is fixed, so histograms recorded independently (one per
+//! worker, one per process) merge by bucket-wise addition — the property
+//! that makes percentiles aggregatable where raw p99s are not.
+
+/// Subbuckets per power-of-two octave (a power of two).
+pub const SUBBUCKETS: usize = 16;
+const SUB_BITS: u32 = SUBBUCKETS.trailing_zeros();
+
+/// Smallest covered binary exponent: values below `2^MIN_EXP` (~9e-13)
+/// saturate into the first bucket.
+const MIN_EXP: i32 = -40;
+
+/// Largest covered binary exponent: values at or above `2^(MAX_EXP+1)`
+/// (~1.8e19, beyond `u64::MAX`) saturate into the last bucket.
+const MAX_EXP: i32 = 63;
+
+const OCTAVES: usize = (MAX_EXP - MIN_EXP + 1) as usize;
+
+/// Total buckets: one underflow bucket (zero/negative/non-finite) plus
+/// the log-linear grid.
+const BUCKETS: usize = 1 + OCTAVES * SUBBUCKETS;
+
+/// A mergeable log-linear histogram of `f64` samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: f64) {
+        self.counts[bucket_index(value)] += 1;
+        self.count += 1;
+        if value.is_finite() {
+            self.sum += value;
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+    }
+
+    /// Adds every sample of `other` into `self` (bucket-wise; exact).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all finite samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest finite sample (NaN when empty).
+    pub fn min(&self) -> f64 {
+        if self.min.is_finite() {
+            self.min
+        } else {
+            f64::NAN
+        }
+    }
+
+    /// Largest finite sample (NaN when empty).
+    pub fn max(&self) -> f64 {
+        if self.max.is_finite() {
+            self.max
+        } else {
+            f64::NAN
+        }
+    }
+
+    /// Mean of all finite samples (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, estimated from the bucket
+    /// containing the `ceil(q·count)`-th sample and clamped into the
+    /// observed `[min, max]` range. NaN when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let mid = bucket_midpoint(i);
+                if self.min.is_finite() {
+                    return mid.clamp(self.min, self.max);
+                }
+                return mid;
+            }
+        }
+        self.max()
+    }
+
+    /// A point-in-time percentile snapshot.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            min: self.min(),
+            max: self.max(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
+        }
+    }
+}
+
+/// Percentile snapshot of a [`Histogram`] ([`Histogram::summary`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all finite samples.
+    pub sum: f64,
+    /// Smallest finite sample (NaN when empty).
+    pub min: f64,
+    /// Largest finite sample (NaN when empty).
+    pub max: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile.
+    pub p999: f64,
+}
+
+/// Maps a sample to its bucket, straight off the IEEE-754 bits.
+fn bucket_index(value: f64) -> usize {
+    if value.is_nan() || value <= 0.0 {
+        return 0; // zero, negative, NaN, -inf
+    }
+    if value.is_infinite() {
+        return BUCKETS - 1; // +inf saturates into the top bucket
+    }
+    let bits = value.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as i32 - 1023;
+    if exp < MIN_EXP {
+        return 1;
+    }
+    if exp > MAX_EXP {
+        return BUCKETS - 1;
+    }
+    let sub = ((bits >> (52 - SUB_BITS)) & (SUBBUCKETS as u64 - 1)) as usize;
+    1 + (exp - MIN_EXP) as usize * SUBBUCKETS + sub
+}
+
+/// Representative value (midpoint) of a bucket.
+fn bucket_midpoint(index: usize) -> f64 {
+    if index == 0 {
+        return 0.0;
+    }
+    let linear = index - 1;
+    let exp = MIN_EXP + (linear / SUBBUCKETS) as i32;
+    let sub = (linear % SUBBUCKETS) as f64;
+    let base = (exp as f64).exp2();
+    base * (1.0 + (sub + 0.5) / SUBBUCKETS as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_nan() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert!(h.quantile(0.5).is_nan());
+        assert!(h.min().is_nan());
+        assert!(h.mean().is_nan());
+        assert_eq!(h.summary().count, 0);
+    }
+
+    #[test]
+    fn quantiles_are_within_relative_error() {
+        let mut h = Histogram::new();
+        for i in 1..=10_000u64 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.count(), 10_000);
+        for (q, expected) in [(0.5, 5_000.0), (0.95, 9_500.0), (0.99, 9_900.0)] {
+            let got = h.quantile(q);
+            let rel = (got - expected).abs() / expected;
+            assert!(rel < 0.05, "q{q}: got {got}, expected ~{expected}");
+        }
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 10_000.0);
+        assert!((h.mean() - 5_000.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn quantiles_clamp_to_observed_range() {
+        let mut h = Histogram::new();
+        h.record(42.0);
+        for q in [0.0, 0.5, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), 42.0);
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for i in 0..1_000 {
+            let v = (i as f64) * 0.37 + 0.001;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.counts, whole.counts);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        for q in [0.5, 0.95, 0.99, 0.999] {
+            assert_eq!(a.quantile(q), whole.quantile(q));
+        }
+        // Sums differ only by floating-point addition order.
+        assert!((a.sum() - whole.sum()).abs() < 1e-6 * whole.sum().abs());
+    }
+
+    #[test]
+    fn pathological_samples_are_absorbed() {
+        let mut h = Histogram::new();
+        h.record(0.0);
+        h.record(-5.0);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        h.record(1e-300); // below MIN_EXP: saturates low
+        h.record(1e300); // above MAX_EXP: saturates high
+        h.record(1.0);
+        assert_eq!(h.count(), 8);
+        // Finite extremes only.
+        assert_eq!(h.min(), -5.0);
+        assert_eq!(h.max(), 1e300);
+        // Quantiles stay finite.
+        assert!(h.quantile(0.5).is_finite());
+    }
+
+    #[test]
+    fn nanosecond_scale_latencies_resolve() {
+        let mut h = Histogram::new();
+        // 1µs, 1ms, 1s in seconds.
+        for _ in 0..98 {
+            h.record(1e-6);
+        }
+        h.record(1e-3);
+        h.record(1.0);
+        let p50 = h.quantile(0.5);
+        assert!((p50 - 1e-6).abs() / 1e-6 < 0.05, "p50 = {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((p99 - 1e-3).abs() / 1e-3 < 0.05, "p99 = {p99}");
+    }
+}

@@ -86,6 +86,16 @@ impl Drop for JsonlRecorder {
     }
 }
 
+/// Serializes one event to its JSONL line (no trailing newline) — the
+/// exact format [`JsonlRecorder`] writes and [`crate::replay`] parses.
+/// Used by the flight recorder to dump its ring as replayable JSONL.
+pub fn event_to_json(event: &Event) -> String {
+    let mut buf = Vec::new();
+    JsonlRecorder::write_event(&mut buf, event).expect("writing to a Vec cannot fail");
+    buf.pop(); // trailing '\n'
+    String::from_utf8(buf).expect("writer emits valid UTF-8")
+}
+
 /// Writes `s` as a JSON string literal with escaping.
 fn write_json_string(out: &mut impl Write, s: &str) -> io::Result<()> {
     out.write_all(b"\"")?;
@@ -163,5 +173,33 @@ mod tests {
             lines[2],
             r#"{"name":"int_float","kind":"observe","value":3.0,"labels":{}}"#
         );
+    }
+
+    #[test]
+    fn non_finite_values_serialize_as_null_not_bare_nan() {
+        // Regression: `format!("{}", f64::NAN)` yields the bare token
+        // `NaN`, which is not JSON. Observe values and f64 labels must
+        // both degrade to `null` so every emitted line stays parseable.
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let line = event_to_json(
+                &Event::new("drift", EventKind::Observe { value: v }).with_label("ratio", v),
+            );
+            assert_eq!(
+                line,
+                r#"{"name":"drift","kind":"observe","value":null,"labels":{"ratio":null}}"#
+            );
+            crate::replay::parse_line(&line).expect("null round-trips through replay");
+        }
+    }
+
+    #[test]
+    fn event_to_json_matches_recorder_output() {
+        let event = Event::new("a.b", EventKind::Counter { delta: 9 }).with_label("p", 3u64);
+        let buf = SharedBuf::default();
+        let rec = JsonlRecorder::from_writer(Box::new(buf.clone()));
+        rec.record(event.clone());
+        rec.flush();
+        let written = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(written.trim_end(), event_to_json(&event));
     }
 }

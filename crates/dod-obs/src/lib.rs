@@ -14,7 +14,7 @@
 //! * **marks** — point events ([`Obs::mark`]): plan decisions, locality
 //!   outcomes.
 //!
-//! Events flow into a pluggable [`Recorder`]. Three sinks ship:
+//! Events flow into a pluggable [`Recorder`]. Shipped sinks:
 //!
 //! * the disabled default (`Obs::null()`): every emit method is an
 //!   `#[inline]` check of an `Option` that is `None` — no allocation, no
@@ -22,24 +22,36 @@
 //! * [`MemoryRecorder`]: buffers events for queries from tests and
 //!   benches;
 //! * [`JsonlRecorder`]: one JSON object per line, consumable by external
-//!   tools and replayable via [`replay`].
+//!   tools and replayable via [`replay`];
+//! * [`MetricsRecorder`]: serving-grade aggregation — counters plus
+//!   mergeable log-linear [`Histogram`]s with p50/p95/p99/p999
+//!   snapshots, renderable as a Prometheus text exposition ([`prom`]);
+//! * [`FlightRecorder`]: a bounded, non-blocking ring of the most
+//!   recent events, dumped as replayable JSONL when a request fails.
 //!
 //! The event taxonomy used by the workspace is documented in
 //! `DESIGN.md` (§Observability); [`render::render_summary`] folds any
 //! event stream into the human-readable table behind `dod --profile`.
 
 mod event;
+mod flight;
+mod hist;
 mod jsonl;
 mod memory;
+mod metrics;
 pub mod names;
 mod obs;
+pub mod prom;
 mod recorder;
 pub mod render;
 pub mod replay;
 pub mod sync;
 
 pub use event::{Event, EventKind, Value};
-pub use jsonl::JsonlRecorder;
+pub use flight::{FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
+pub use hist::{Histogram, HistogramSummary};
+pub use jsonl::{event_to_json, JsonlRecorder};
 pub use memory::MemoryRecorder;
+pub use metrics::{MetricsRecorder, MetricsSnapshot};
 pub use obs::{Obs, ObsScope};
 pub use recorder::{FanoutRecorder, NullRecorder, Recorder};

@@ -3,6 +3,7 @@
 use std::sync::Mutex;
 
 use crate::event::Event;
+use crate::hist::Histogram;
 use crate::recorder::Recorder;
 use crate::sync::lock_recover;
 
@@ -60,6 +61,26 @@ impl MemoryRecorder {
             .filter(|e| e.name == name)
             .filter_map(Event::observed)
             .collect()
+    }
+
+    /// All observations of `name` folded into a percentile [`Histogram`]
+    /// (empty histogram when none were recorded).
+    pub fn observation_histogram(&self, name: &str) -> Histogram {
+        let mut h = Histogram::new();
+        for v in self.observations(name) {
+            h.record(v);
+        }
+        h
+    }
+
+    /// All span durations of `name` folded into a [`Histogram`] of
+    /// nanoseconds (empty histogram when none were recorded).
+    pub fn span_histogram(&self, name: &str) -> Histogram {
+        let mut h = Histogram::new();
+        for nanos in self.span_nanos(name) {
+            h.record(nanos as f64);
+        }
+        h
     }
 
     /// Discards all recorded events.

@@ -1,0 +1,273 @@
+//! Live metrics aggregation: events in, counters and histograms out.
+//!
+//! Where [`crate::MemoryRecorder`] keeps every raw event (unbounded, for
+//! tests), the [`MetricsRecorder`] folds the stream into fixed-size
+//! aggregates a long-running server can hold forever:
+//!
+//! * counters and marks → per-series monotonic totals;
+//! * spans → a [`Histogram`] of durations **in seconds**;
+//! * observations → a [`Histogram`] of the raw sampled values.
+//!
+//! Series are keyed by the event name plus its **string-valued** labels
+//! only. Numeric labels (`request`, `items`, `partition`, `epoch`, …)
+//! are identifiers or measurements, not dimensions — folding them into
+//! the key would mint one series per request and grow without bound.
+
+use std::cmp::Ordering;
+use std::sync::Mutex;
+
+use crate::event::{Event, EventKind, Value};
+use crate::hist::{Histogram, HistogramSummary};
+use crate::recorder::Recorder;
+use crate::sync::lock_recover;
+
+/// One aggregated series identity: name plus sorted string labels.
+pub type SeriesKey = (String, Vec<(String, String)>);
+
+/// Series tables are `Vec`s kept sorted by key: the hot path probes
+/// them by binary search with a **borrowed** key (the event's name and
+/// a stack-allocated view of its string labels), so recording into an
+/// existing series allocates nothing. Inserts shift the tail, but the
+/// series set is tiny and fixed after warm-up.
+#[derive(Default)]
+struct MetricsState {
+    counters: Vec<(SeriesKey, u64)>,
+    spans: Vec<(SeriesKey, Histogram)>,
+    observes: Vec<(SeriesKey, Histogram)>,
+}
+
+/// A recorder that aggregates events into counters and histograms.
+#[derive(Default)]
+pub struct MetricsRecorder {
+    state: Mutex<MetricsState>,
+}
+
+/// A point-in-time copy of every aggregated series
+/// ([`MetricsRecorder::snapshot`]), sorted by series key.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter totals (counters and marks; a mark counts 1).
+    pub counters: Vec<(SeriesKey, u64)>,
+    /// Span duration summaries, in seconds.
+    pub spans: Vec<(SeriesKey, HistogramSummary)>,
+    /// Observation summaries, in the unit the caller observed.
+    pub observes: Vec<(SeriesKey, HistogramSummary)>,
+}
+
+/// Calls `f` with the event's string labels, sorted, without heap
+/// allocation for the common label counts (falls back to a `Vec` past
+/// eight string labels).
+fn with_sorted_string_labels<R>(event: &Event, f: impl FnOnce(&[(&str, &str)]) -> R) -> R {
+    let mut buf: [(&str, &str); 8] = [("", ""); 8];
+    let mut n = 0usize;
+    let mut overflow: Vec<(&str, &str)> = Vec::new();
+    for (k, v) in &event.labels {
+        if let Value::Str(s) = v {
+            let pair = (k.as_ref(), s.as_ref());
+            if n < buf.len() {
+                buf[n] = pair;
+                n += 1;
+            } else {
+                overflow.push(pair);
+            }
+        }
+    }
+    if overflow.is_empty() {
+        buf[..n].sort_unstable();
+        f(&buf[..n])
+    } else {
+        let mut all: Vec<(&str, &str)> = buf[..n].to_vec();
+        all.append(&mut overflow);
+        all.sort_unstable();
+        f(&all)
+    }
+}
+
+/// Orders a stored (owned) key against a borrowed probe, matching the
+/// natural `Ord` of [`SeriesKey`].
+fn cmp_key(stored: &SeriesKey, name: &str, labels: &[(&str, &str)]) -> Ordering {
+    stored.0.as_str().cmp(name).then_with(|| {
+        let mut i = 0;
+        loop {
+            match (stored.1.get(i), labels.get(i)) {
+                (None, None) => return Ordering::Equal,
+                (None, Some(_)) => return Ordering::Less,
+                (Some(_), None) => return Ordering::Greater,
+                (Some((ak, av)), Some((bk, bv))) => {
+                    let c = ak.as_str().cmp(bk).then_with(|| av.as_str().cmp(bv));
+                    if c != Ordering::Equal {
+                        return c;
+                    }
+                }
+            }
+            i += 1;
+        }
+    })
+}
+
+/// Finds or inserts the series for `(name, labels)` in a sorted table
+/// and applies `f` to its value. Only a miss allocates the owned key.
+fn update<T: Default>(
+    table: &mut Vec<(SeriesKey, T)>,
+    name: &str,
+    labels: &[(&str, &str)],
+    f: impl FnOnce(&mut T),
+) {
+    match table.binary_search_by(|(key, _)| cmp_key(key, name, labels)) {
+        Ok(i) => f(&mut table[i].1),
+        Err(i) => {
+            let key = (
+                name.to_string(),
+                labels
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+                    .collect(),
+            );
+            table.insert(i, (key, T::default()));
+            f(&mut table[i].1);
+        }
+    }
+}
+
+impl MetricsRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        MetricsRecorder::default()
+    }
+
+    /// Total of a counter series summed across all label combinations.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        lock_recover(&self.state)
+            .counters
+            .iter()
+            .filter(|((n, _), _)| n == name)
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// The span-duration histogram for `name` (seconds), merged across
+    /// all label combinations. `None` when no such span was recorded.
+    pub fn span_histogram(&self, name: &str) -> Option<Histogram> {
+        merged(&lock_recover(&self.state).spans, name)
+    }
+
+    /// The observation histogram for `name`, merged across all label
+    /// combinations. `None` when no such observation was recorded.
+    pub fn observe_histogram(&self, name: &str) -> Option<Histogram> {
+        merged(&lock_recover(&self.state).observes, name)
+    }
+
+    /// Copies out every aggregated series.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let state = lock_recover(&self.state);
+        MetricsSnapshot {
+            counters: state
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            spans: state
+                .spans
+                .iter()
+                .map(|(k, h)| (k.clone(), h.summary()))
+                .collect(),
+            observes: state
+                .observes
+                .iter()
+                .map(|(k, h)| (k.clone(), h.summary()))
+                .collect(),
+        }
+    }
+
+    /// Renders the full Prometheus text exposition of this recorder's
+    /// aggregates (see [`crate::prom`] for the format rules).
+    pub fn render_prometheus(&self) -> String {
+        crate::prom::render_snapshot(&self.snapshot())
+    }
+}
+
+fn merged(entries: &[(SeriesKey, Histogram)], name: &str) -> Option<Histogram> {
+    let mut out: Option<Histogram> = None;
+    for ((n, _), h) in entries {
+        if n == name {
+            out.get_or_insert_with(Histogram::new).merge(h);
+        }
+    }
+    out
+}
+
+impl Recorder for MetricsRecorder {
+    fn record(&self, event: Event) {
+        with_sorted_string_labels(&event, |labels| {
+            let name = event.name.as_ref();
+            let mut state = lock_recover(&self.state);
+            match event.kind {
+                EventKind::Counter { delta } => {
+                    update(&mut state.counters, name, labels, |total| *total += delta);
+                }
+                EventKind::Mark => {
+                    update(&mut state.counters, name, labels, |total| *total += 1);
+                }
+                EventKind::Span { nanos } => {
+                    update(&mut state.spans, name, labels, |h| {
+                        h.record(nanos as f64 / 1e9)
+                    });
+                }
+                EventKind::Observe { value } => {
+                    update(&mut state.observes, name, labels, |h| h.record(value));
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_by_name_and_string_labels_only() {
+        let m = MetricsRecorder::new();
+        // Numeric labels (request ids) must not split the series.
+        for rid in 0..100u64 {
+            m.record(
+                Event::new("engine.request", EventKind::Span { nanos: 1_000_000 })
+                    .with_label("op", "score")
+                    .with_label("request", rid),
+            );
+        }
+        m.record(
+            Event::new("engine.request", EventKind::Span { nanos: 2_000_000 })
+                .with_label("op", "detect"),
+        );
+        let snap = m.snapshot();
+        assert_eq!(snap.spans.len(), 2, "one series per op, not per request");
+        let h = m.span_histogram("engine.request").unwrap();
+        assert_eq!(h.count(), 101);
+        // Durations are in seconds.
+        assert!((h.max() - 0.002).abs() < 1e-4);
+    }
+
+    #[test]
+    fn counters_and_marks_accumulate() {
+        let m = MetricsRecorder::new();
+        m.record(Event::new("c", EventKind::Counter { delta: 3 }));
+        m.record(Event::new("c", EventKind::Counter { delta: 4 }));
+        m.record(Event::new("plan", EventKind::Mark));
+        m.record(Event::new("plan", EventKind::Mark));
+        assert_eq!(m.counter_total("c"), 7);
+        assert_eq!(m.counter_total("plan"), 2);
+        assert_eq!(m.counter_total("absent"), 0);
+    }
+
+    #[test]
+    fn observations_keep_their_unit() {
+        let m = MetricsRecorder::new();
+        m.record(Event::new("bytes", EventKind::Observe { value: 4096.0 }));
+        m.record(Event::new("bytes", EventKind::Observe { value: 8192.0 }));
+        let h = m.observe_histogram("bytes").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 12_288.0);
+        assert!(m.observe_histogram("missing").is_none());
+    }
+}

@@ -39,3 +39,20 @@ pub const ENGINE_DRIFT: &str = "engine.drift";
 /// was contained to the request (`TaskPanicked`) and the worker
 /// survived. Labels: `op`.
 pub const ENGINE_PANICS: &str = "engine.task_panics";
+
+/// Counter: measured kernel work (distance evaluations plus index
+/// operations) one request spent in one partition. Labels: `op`,
+/// `request`, `algorithm`, plus either `partition` (a detailed counter
+/// for one of the request's heaviest partitions) or `partitions` (a
+/// per-algorithm rollup of the remaining partitions — emission per
+/// request is bounded no matter how many partitions the plan holds).
+/// Zero-work partitions are skipped. The detailed counters are the
+/// measured side of the predicted-vs-actual cost audit (`dod obs`),
+/// against the `predicted_cost` label of `dod.plan.partition` marks.
+pub const ENGINE_PARTITION_WORK: &str = "engine.partition.work";
+
+/// Mark: header of a flight-recorder dump, preceding the dumped ring as
+/// JSONL. Labels: `reason` (`panic`, `deadline`, `dimension`, …),
+/// `dropped` (events lost to write contention), plus the offending
+/// request's `request` and `op` when known.
+pub const ENGINE_FLIGHT_DUMP: &str = "engine.flight.dump";

@@ -42,6 +42,13 @@ impl Obs {
         self.0.is_some()
     }
 
+    /// The attached recorder, if any — lets a layer compose its own
+    /// sinks (e.g. a flight recorder fanned out with the user's) around
+    /// whatever the configuration supplied.
+    pub fn recorder(&self) -> Option<Arc<dyn Recorder>> {
+        self.0.clone()
+    }
+
     /// Emits a fully formed event.
     #[inline]
     pub fn emit(&self, event: Event) {

@@ -87,7 +87,14 @@ pub fn parse_line(line: &str) -> Result<Event, String> {
             "kind" => kind_tag = Some(p.parse_string()?),
             "nanos" => nanos = Some(p.parse_number()?.as_u64()?),
             "delta" => delta = Some(p.parse_number()?.as_u64()?),
-            "value" => value = Some(p.parse_number()?.as_f64()),
+            // `null` is what the writer emits for non-finite samples.
+            "value" => {
+                value = Some(if p.eat_null() {
+                    f64::NAN
+                } else {
+                    p.parse_number()?.as_f64()
+                })
+            }
             "labels" => {
                 p.expect(b'{')?;
                 loop {
@@ -184,6 +191,15 @@ impl Parser<'_> {
     fn eat(&mut self, b: u8) -> bool {
         if self.peek() == Some(b) {
             self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_null(&mut self) -> bool {
+        if self.bytes[self.pos..].starts_with(b"null") {
+            self.pos += 4;
             true
         } else {
             false
@@ -352,6 +368,61 @@ mod tests {
         let err = parse_jsonl("{\"name\":\"ok\",\"kind\":\"mark\",\"labels\":{}}\nnot json\n")
             .unwrap_err();
         assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn histogram_events_round_trip_through_jsonl() {
+        use crate::jsonl::event_to_json;
+        use crate::memory::MemoryRecorder;
+        use crate::recorder::Recorder;
+
+        // Record a realistic mix of spans and observations…
+        let original = MemoryRecorder::new();
+        for i in 1..=200u64 {
+            original.record(
+                Event::new("engine.request", EventKind::Span { nanos: i * 17_000 })
+                    .with_label("op", "score")
+                    .with_label("request", i),
+            );
+            original.record(Event::new(
+                "engine.queue_depth",
+                EventKind::Observe {
+                    value: (i % 7) as f64,
+                },
+            ));
+        }
+        original.record(Event::new(
+            "engine.queue_depth",
+            EventKind::Observe { value: 0.125 },
+        ));
+
+        // …write them as JSONL, replay, and re-record into a fresh sink.
+        let text: String = original
+            .events()
+            .iter()
+            .map(|e| format!("{}\n", event_to_json(e)))
+            .collect();
+        let replayed = MemoryRecorder::new();
+        for event in parse_jsonl(&text).unwrap() {
+            replayed.record(event);
+        }
+
+        // The snapshots are identical, event for event…
+        assert_eq!(original.events(), replayed.events());
+        // …and so are the derived percentile summaries.
+        assert_eq!(
+            original.span_histogram("engine.request").summary(),
+            replayed.span_histogram("engine.request").summary(),
+        );
+        assert_eq!(
+            original
+                .observation_histogram("engine.queue_depth")
+                .summary(),
+            replayed
+                .observation_histogram("engine.queue_depth")
+                .summary(),
+        );
+        assert_eq!(original.span_histogram("engine.request").count(), 200);
     }
 
     #[test]
