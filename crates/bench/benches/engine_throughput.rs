@@ -16,7 +16,7 @@ use bench::setup::{build_runner, experiment_config, ModeChoice, StrategyChoice};
 use criterion::{criterion_group, criterion_main, Criterion};
 use dod::prelude::*;
 use dod_data::hierarchy::{hierarchy_dataset, HierarchyLevel};
-use dod_engine::Engine;
+use dod_engine::{Engine, Request};
 use std::time::Duration;
 
 const BATCH: usize = 64;
@@ -47,7 +47,15 @@ fn bench_score_batch(c: &mut Criterion) {
         let config = experiment_config(params);
         let runner = build_runner(StrategyChoice::Dmt, ModeChoice::MultiTactic, config);
         let engine = Engine::builder(runner).workers(2).build(&data).unwrap();
-        b.iter(|| engine.score_batch(batch.clone()).unwrap().wait().unwrap())
+        b.iter(|| {
+            engine
+                .submit(Request::Score {
+                    points: batch.clone(),
+                })
+                .unwrap()
+                .wait()
+                .unwrap()
+        })
     });
 
     group.bench_function("one_shot_rebuild", |b| {
@@ -87,7 +95,7 @@ fn bench_detect_all(c: &mut Criterion) {
         let config = experiment_config(params);
         let runner = build_runner(StrategyChoice::Dmt, ModeChoice::MultiTactic, config);
         let engine = Engine::builder(runner).workers(2).build(&data).unwrap();
-        b.iter(|| engine.detect_all().unwrap().wait().unwrap())
+        b.iter(|| engine.submit(Request::Detect).unwrap().wait().unwrap())
     });
 
     group.bench_function("one_shot", |b| {

@@ -7,7 +7,7 @@
 //! cargo run --release -p bench --bin bench -- kernels --json out.json
 //! ```
 
-use bench::{kernels, obs_overhead, pipeline};
+use bench::{ingest, kernels, obs_overhead, pipeline};
 use std::process::ExitCode;
 
 fn run_kernels(args: &[String]) -> ExitCode {
@@ -170,17 +170,72 @@ fn run_obs_overhead(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn run_ingest(args: &[String]) -> ExitCode {
+    let mut json_path: Option<String> = None;
+    let mut quick = false;
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => {
+                let next = it.peek().filter(|a| !a.starts_with("--"));
+                json_path = Some(match next {
+                    Some(_) => it.next().unwrap().clone(),
+                    None => "BENCH_ingest.json".to_string(),
+                });
+            }
+            "--quick" => quick = true,
+            other => {
+                eprintln!("unknown ingest flag: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let r = ingest::run(quick);
+    println!(
+        "{:<8} {:>13} {:>13} {:>13} {:>13} {:>7} {:>7}",
+        "bench", "inserts/s", "removes/s", "static us", "churn us", "ratio", "epochs"
+    );
+    println!(
+        "{:<8} {:>13.0} {:>13.0} {:>13.1} {:>13.1} {:>6.2}x {:>7}",
+        "ingest",
+        r.inserts_per_sec,
+        r.removes_per_sec,
+        r.static_score_us,
+        r.churn_score_us,
+        r.latency_ratio,
+        r.epochs
+    );
+    if let Some(path) = json_path {
+        std::fs::write(&path, ingest::to_json(&r, quick)).expect("write json");
+        println!("\nwrote {path}");
+    }
+    // Quick runs are smoke tests: too short to hold the budget to, so
+    // they report without enforcing.
+    if !quick && !r.within_budget {
+        eprintln!(
+            "score latency under churn is {:.2}x the static baseline (budget {:.1}x)",
+            r.latency_ratio,
+            bench::ingest::LATENCY_BUDGET_X
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("kernels") => run_kernels(&args[1..]),
         Some("pipeline") => run_pipeline(&args[1..]),
         Some("obs-overhead") => run_obs_overhead(&args[1..]),
+        Some("ingest") => run_ingest(&args[1..]),
         _ => {
             eprintln!(
                 "usage: bench kernels  [--json [path]] [--quick]\n       \
                  bench pipeline [--json [path]] [--quick] [--chaos-seed <int>]\n       \
-                 bench obs-overhead [--json [path]] [--quick]"
+                 bench obs-overhead [--json [path]] [--quick]\n       \
+                 bench ingest [--json [path]] [--quick]"
             );
             ExitCode::FAILURE
         }

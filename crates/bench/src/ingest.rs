@@ -1,0 +1,234 @@
+//! `bench ingest`: streaming-ingest throughput and score latency under
+//! churn.
+//!
+//! Two questions, one resident engine:
+//!
+//! * **inserts/sec** — how fast does [`dod_engine::Request::Insert`]
+//!   stream points into resident state? Batches alternate with
+//!   same-size removals of the oldest streamed ids, so the resident
+//!   size stays constant and the numbers describe steady-state churn,
+//!   not a growing dataset.
+//! * **score latency under churn** — the serving-quality question: the
+//!   median [`dod_engine::Request::Score`] latency measured *between*
+//!   the mutation batches, compared to the same batch on an identical
+//!   engine that never mutates. The documented acceptance bound is
+//!   [`LATENCY_BUDGET_X`] (within 2× of the static baseline); full runs
+//!   enforce it (non-zero exit on breach), `--quick` runs only report.
+//!
+//! Mutations and scores share one thread here on purpose: the engine
+//! serializes them on its ingest gate anyway, and interleaving them
+//! deterministically makes the medians reproducible.
+
+use std::time::Instant;
+
+use dod::prelude::*;
+use dod_engine::{Engine, Request};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Documented bound on churned score latency relative to the static
+/// baseline.
+pub const LATENCY_BUDGET_X: f64 = 2.0;
+
+/// The measured comparison.
+#[derive(Debug, Clone)]
+pub struct IngestResult {
+    /// Resident points in both engines.
+    pub points: usize,
+    /// Mutation rounds (one insert batch + one remove batch each).
+    pub rounds: usize,
+    /// Points per insert/remove batch.
+    pub batch_size: usize,
+    /// Sustained insert throughput, points per second.
+    pub inserts_per_sec: f64,
+    /// Sustained removal throughput, points per second.
+    pub removes_per_sec: f64,
+    /// Median score-batch latency on the never-mutated engine, µs.
+    pub static_score_us: f64,
+    /// Median score-batch latency interleaved with churn, µs.
+    pub churn_score_us: f64,
+    /// `churn_score_us / static_score_us`.
+    pub latency_ratio: f64,
+    /// Whether `latency_ratio` is within [`LATENCY_BUDGET_X`].
+    pub within_budget: bool,
+    /// Plan epochs swapped during the churn run (staleness or
+    /// out-of-domain fallbacks).
+    pub epochs: u64,
+}
+
+/// Mixed-density dataset matching the serving benchmarks.
+fn dataset(seed: u64, n: usize) -> PointSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = PointSet::new(2).expect("dim 2");
+    for _ in 0..n {
+        let roll: f64 = rng.gen();
+        let p = if roll < 0.45 {
+            [rng.gen_range(0.0..5.0), rng.gen_range(0.0..5.0)]
+        } else if roll < 0.9 {
+            [rng.gen_range(20.0..44.0), rng.gen_range(10.0..34.0)]
+        } else {
+            [rng.gen_range(0.0..60.0), rng.gen_range(0.0..60.0)]
+        };
+        data.push(&p).expect("dim 2");
+    }
+    data
+}
+
+fn build_engine(data: &PointSet) -> Engine {
+    let params = OutlierParams::new(1.2, 4).expect("valid parameters");
+    let config = DodConfig::builder(params)
+        .sample_rate(0.05)
+        .num_reducers(8)
+        .target_partitions(32)
+        .build()
+        .expect("valid config");
+    let runner = DodRunner::builder().config(config).multi_tactic().build();
+    Engine::builder(runner)
+        .workers(2)
+        .build(data)
+        .expect("engine builds")
+}
+
+fn score_us(engine: &Engine, queries: &[Vec<f64>]) -> f64 {
+    let t0 = Instant::now();
+    engine
+        .submit(Request::Score {
+            points: queries.to_vec(),
+        })
+        .expect("submit")
+        .wait()
+        .expect("score");
+    t0.elapsed().as_secs_f64() * 1e6
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    samples[samples.len() / 2]
+}
+
+/// Runs the comparison. `quick` shrinks the dataset and repetitions to
+/// smoke-test scale.
+pub fn run(quick: bool) -> IngestResult {
+    let (n, rounds, batch_size, queries_per_batch) = if quick {
+        (2_000, 20, 32, 64)
+    } else {
+        (20_000, 100, 64, 256)
+    };
+    let data = dataset(11, n);
+    let mut rng = StdRng::seed_from_u64(13);
+    let queries: Vec<Vec<f64>> = (0..queries_per_batch)
+        .map(|_| vec![rng.gen_range(0.0..60.0), rng.gen_range(0.0..60.0)])
+        .collect();
+
+    // Static baseline: same plan, never mutated.
+    let static_engine = build_engine(&data);
+    let mut static_samples = Vec::with_capacity(rounds);
+    score_us(&static_engine, &queries); // warm-up
+    for _ in 0..rounds {
+        static_samples.push(score_us(&static_engine, &queries));
+    }
+
+    // Churned engine: insert a batch, remove the oldest streamed batch,
+    // score in between. Resident size stays ~constant.
+    let churn_engine = build_engine(&data);
+    let mut pending: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
+    let mut churn_samples = Vec::with_capacity(rounds);
+    let mut insert_secs = 0.0;
+    let mut remove_secs = 0.0;
+    let mut inserted = 0usize;
+    let mut removed = 0usize;
+    score_us(&churn_engine, &queries); // warm-up
+    for _ in 0..rounds {
+        let points: Vec<Vec<f64>> = (0..batch_size)
+            .map(|_| vec![rng.gen_range(0.0..60.0), rng.gen_range(0.0..60.0)])
+            .collect();
+        let t0 = Instant::now();
+        let receipt = churn_engine
+            .submit(Request::Insert { points })
+            .expect("submit")
+            .wait()
+            .expect("insert")
+            .into_insert()
+            .expect("insert receipt");
+        insert_secs += t0.elapsed().as_secs_f64();
+        inserted += receipt.ids.len();
+        pending.extend(receipt.ids);
+
+        // Keep the resident size steady: evict one batch once two are
+        // in flight, so removals always target previously streamed ids.
+        if pending.len() > batch_size {
+            let ids: Vec<u64> = pending.drain(..batch_size).collect();
+            let t0 = Instant::now();
+            let receipt = churn_engine
+                .submit(Request::Remove { ids })
+                .expect("submit")
+                .wait()
+                .expect("remove")
+                .into_remove()
+                .expect("remove receipt");
+            remove_secs += t0.elapsed().as_secs_f64();
+            removed += receipt.removed;
+        }
+
+        churn_samples.push(score_us(&churn_engine, &queries));
+    }
+
+    let static_score_us = median(&mut static_samples);
+    let churn_score_us = median(&mut churn_samples);
+    let latency_ratio = churn_score_us / static_score_us;
+    IngestResult {
+        points: n,
+        rounds,
+        batch_size,
+        inserts_per_sec: inserted as f64 / insert_secs,
+        removes_per_sec: removed as f64 / remove_secs.max(f64::MIN_POSITIVE),
+        static_score_us,
+        churn_score_us,
+        latency_ratio,
+        within_budget: latency_ratio <= LATENCY_BUDGET_X,
+        epochs: churn_engine.epoch(),
+    }
+}
+
+/// Serializes a result as the `dod-bench-ingest/v1` JSON document.
+pub fn to_json(r: &IngestResult, quick: bool) -> String {
+    format!(
+        "{{\n  \"schema\": \"dod-bench-ingest/v1\",\n  \"budget_x\": {},\n  \
+         \"quick\": {},\n  \"points\": {},\n  \"rounds\": {},\n  \
+         \"batch_size\": {},\n  \"inserts_per_sec\": {:.1},\n  \
+         \"removes_per_sec\": {:.1},\n  \"static_score_us\": {:.3},\n  \
+         \"churn_score_us\": {:.3},\n  \"latency_ratio\": {:.3},\n  \
+         \"within_budget\": {},\n  \"epochs\": {}\n}}\n",
+        LATENCY_BUDGET_X,
+        quick,
+        r.points,
+        r.rounds,
+        r.batch_size,
+        r.inserts_per_sec,
+        r.removes_per_sec,
+        r.static_score_us,
+        r.churn_score_us,
+        r.latency_ratio,
+        r.within_budget,
+        r.epochs
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_measures_churn_and_serializes() {
+        let r = run(true);
+        assert!(r.inserts_per_sec > 0.0);
+        assert!(r.removes_per_sec > 0.0);
+        assert!(r.static_score_us > 0.0);
+        assert!(r.churn_score_us > 0.0);
+        assert!(r.latency_ratio.is_finite());
+        let json = to_json(&r, true);
+        assert!(json.contains("\"schema\": \"dod-bench-ingest/v1\""));
+        assert!(json.contains("\"budget_x\": 2"));
+        assert!(json.contains("\"quick\": true"));
+    }
+}

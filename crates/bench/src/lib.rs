@@ -12,6 +12,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod experiments;
+pub mod ingest;
 pub mod kernels;
 pub mod obs_overhead;
 pub mod pipeline;

@@ -26,7 +26,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use dod::prelude::*;
-use dod_engine::Engine;
+use dod_engine::{Engine, Request};
 use dod_obs::{MetricsRecorder, Obs, Recorder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -93,7 +93,9 @@ fn build_engine(data: &PointSet, obs: Obs, flight_capacity: usize) -> Engine {
 fn one_batch_us(engine: &Engine, queries: &[Vec<f64>]) -> f64 {
     let t0 = Instant::now();
     engine
-        .score_batch(queries.to_vec())
+        .submit(Request::Score {
+            points: queries.to_vec(),
+        })
         .expect("submit")
         .wait()
         .expect("score");

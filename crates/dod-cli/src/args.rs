@@ -75,6 +75,12 @@ pub struct ServeArgs {
     /// Optional TCP address (e.g. `127.0.0.1:9100`) serving Prometheus
     /// `/metrics` and `/healthz` alongside the JSONL loop.
     pub metrics_addr: Option<String>,
+    /// Sliding-window count bound: keep at most this many resident
+    /// points, expiring the oldest on each mutation op.
+    pub window_points: Option<usize>,
+    /// Sliding-window age bound in milliseconds: expire resident points
+    /// older than this on each mutation op.
+    pub window_age_ms: Option<u64>,
 }
 
 /// Parsed `obs` subcommand: offline analysis of a JSONL trace file.
@@ -112,10 +118,13 @@ Rows of the CSV are comma-separated coordinates (any dimensionality).
 
 `dod serve` loads the CSV into a resident engine (preprocessing and
 index construction run once) and then answers JSONL requests from stdin,
-one JSON object per line, e.g.:
+one JSON object per line (every response starts with \"v\":1), e.g.:
 
     {\"op\": \"score\", \"points\": [[0.1, 0.2], [5.0, 5.0]]}
     {\"op\": \"detect\"}
+    {\"op\": \"insert\", \"points\": [[0.3, 0.4]]}
+    {\"op\": \"remove\", \"ids\": [3, 17]}
+    {\"op\": \"window\", \"max_points\": 1000, \"max_age_ms\": 60000}
     {\"op\": \"drift\"}    {\"op\": \"refresh\"}   {\"op\": \"stats\"}
     {\"op\": \"metrics\"}  {\"op\": \"quit\"}
 
@@ -129,6 +138,10 @@ SERVE OPTIONS:
     --deadline-ms <int>     default per-request deadline          [unbounded]
     --metrics-addr <addr>   serve Prometheus /metrics and /healthz over
                             HTTP on this address (e.g. 127.0.0.1:9100)
+    --window-points <int>   sliding window: keep at most this many
+                            resident points, expiring the oldest
+    --window-age-ms <int>   sliding window: expire resident points older
+                            than this many milliseconds
 
 OBS OPTIONS:
     --top <int>             slow requests to expand into span trees       [5]
@@ -182,6 +195,8 @@ pub fn parse_command(args: &[String]) -> Result<Command, ArgError> {
     let mut queue = 64usize;
     let mut deadline_ms = None;
     let mut metrics_addr = None;
+    let mut window_points = None;
+    let mut window_age_ms = None;
     let mut rest = Vec::new();
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
@@ -208,6 +223,20 @@ pub fn parse_command(args: &[String]) -> Result<Command, ArgError> {
                 )
             }
             "--metrics-addr" => metrics_addr = Some(value("--metrics-addr")?.clone()),
+            "--window-points" => {
+                window_points = Some(
+                    value("--window-points")?
+                        .parse::<usize>()
+                        .map_err(|e| ArgError::Invalid(format!("--window-points: {e}")))?,
+                )
+            }
+            "--window-age-ms" => {
+                window_age_ms = Some(
+                    value("--window-age-ms")?
+                        .parse::<u64>()
+                        .map_err(|e| ArgError::Invalid(format!("--window-age-ms: {e}")))?,
+                )
+            }
             _ => rest.push(arg.clone()),
         }
     }
@@ -217,12 +246,19 @@ pub fn parse_command(args: &[String]) -> Result<Command, ArgError> {
     if queue == 0 {
         return Err(ArgError::Invalid("--queue must be at least 1".into()));
     }
+    if window_points == Some(0) {
+        return Err(ArgError::Invalid(
+            "--window-points must be at least 1".into(),
+        ));
+    }
     Ok(Command::Serve(ServeArgs {
         run: parse(&rest)?,
         workers,
         queue,
         deadline_ms,
         metrics_addr,
+        window_points,
+        window_age_ms,
     }))
 }
 
@@ -641,6 +677,66 @@ mod tests {
                 "--k",
                 "2",
                 "--metrics-addr"
+            ])),
+            Err(ArgError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn serve_window_flags() {
+        let cmd = parse_command(&v(&[
+            "serve",
+            "--input",
+            "x.csv",
+            "--r",
+            "1",
+            "--k",
+            "2",
+            "--window-points",
+            "1000",
+            "--window-age-ms",
+            "60000",
+        ]))
+        .unwrap();
+        let Command::Serve(serve) = cmd else {
+            panic!("expected serve command");
+        };
+        assert_eq!(serve.window_points, Some(1000));
+        assert_eq!(serve.window_age_ms, Some(60000));
+
+        let cmd =
+            parse_command(&v(&["serve", "--input", "x.csv", "--r", "1", "--k", "2"])).unwrap();
+        let Command::Serve(serve) = cmd else {
+            panic!("expected serve command");
+        };
+        assert_eq!(serve.window_points, None);
+        assert_eq!(serve.window_age_ms, None);
+
+        assert!(matches!(
+            parse_command(&v(&[
+                "serve",
+                "--input",
+                "x",
+                "--r",
+                "1",
+                "--k",
+                "2",
+                "--window-points",
+                "0"
+            ])),
+            Err(ArgError::Invalid(_))
+        ));
+        assert!(matches!(
+            parse_command(&v(&[
+                "serve",
+                "--input",
+                "x",
+                "--r",
+                "1",
+                "--k",
+                "2",
+                "--window-age-ms",
+                "soon"
             ])),
             Err(ArgError::Invalid(_))
         ));

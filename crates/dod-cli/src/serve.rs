@@ -1,25 +1,43 @@
 //! The `dod serve` loop: a resident engine answering JSONL requests.
 //!
 //! One JSON object per input line, one JSON object per response line.
-//! Response schemas, per op:
+//! Every response carries the protocol version as its **first key**
+//! (`"v":1`), so clients can dispatch on schema before reading anything
+//! else. Response schemas, per op:
 //!
 //! ```text
 //! > {"op": "score", "points": [[0.1, 0.2], [5.0, 5.0]]}
-//! < {"ok":true,"op":"score","results":[{"neighbors":4,"outlier":false}, …]}
+//! < {"v":1,"ok":true,"op":"score","results":[{"neighbors":4,"outlier":false}, …]}
 //! > {"op": "detect"}
-//! < {"ok":true,"op":"detect","outliers":[3,17]}
+//! < {"v":1,"ok":true,"op":"detect","outliers":[3,17]}
+//! > {"op": "insert", "points": [[0.3, 0.4]]}
+//! < {"v":1,"ok":true,"op":"insert","ids":[41],"expired":0,"refreshed":false,"resident":42}
+//! > {"op": "remove", "ids": [3, 99]}
+//! < {"v":1,"ok":true,"op":"remove","removed":1,"missing":1,"refreshed":false,"resident":41}
+//! > {"op": "window", "max_points": 1000}
+//! < {"v":1,"ok":true,"op":"window","max_points":1000,"max_age_ms":null,
+//!    "expired":0,"refreshed":false,"resident":41}
 //! > {"op": "drift"}
-//! < {"ok":true,"op":"drift","drift":0.12,"epoch":0}
+//! < {"v":1,"ok":true,"op":"drift","drift":0.12,"epoch":0}
 //! > {"op": "refresh"}
-//! < {"ok":true,"op":"refresh","epoch":1}
+//! < {"v":1,"ok":true,"op":"refresh","epoch":1}
 //! > {"op": "stats"}
-//! < {"ok":true,"op":"stats","partitions":64,"epoch":0,"queue_depth":0,
-//!    "in_flight":0,"workers":2,"panics":0,"requests":17}
+//! < {"v":1,"ok":true,"op":"stats","partitions":64,"epoch":0,"queue_depth":0,
+//!    "in_flight":0,"workers":2,"panics":0,"requests":17,"points":41,"churn":2}
 //! > {"op": "metrics"}
-//! < {"ok":true,"op":"metrics","metrics":"# HELP dod_engine_request_seconds …"}
+//! < {"v":1,"ok":true,"op":"metrics","metrics":"# HELP dod_engine_request_seconds …"}
 //! > {"op": "quit"}
-//! < {"ok":true,"op":"quit"}
+//! < {"v":1,"ok":true,"op":"quit"}
 //! ```
+//!
+//! `insert` streams points into the resident dataset (ids are assigned
+//! in order and returned); `remove` evicts by id; `window` configures
+//! or ticks the sliding window — with no bound fields it just enforces
+//! the current window, `max_points` / `max_age_ms` set a new bound
+//! (absent or `null` means unbounded on that axis), and `"clear": true`
+//! removes both. `expired` counts points the window evicted during the
+//! op, and `refreshed` reports whether the op fell back to a full
+//! epoch-swap rebuild (answers are exact either way).
 //!
 //! `stats` is the full [`dod_engine::EngineHealth`] snapshot. `metrics`
 //! returns the Prometheus text-format exposition (the same document the
@@ -32,17 +50,22 @@
 //! document and `GET /healthz` returns the `stats` JSON body, both
 //! backed by the same engine.
 //!
-//! Failures answer `{"ok":false,"error":"…"}` and keep the loop alive;
-//! `quit` or end-of-input ends it. The JSON parser below is hand-rolled
-//! (like the writer in `dod-obs`): the workspace builds offline, and the
-//! request grammar is tiny.
+//! Failures answer `{"v":1,"ok":false,"code":"…","error":"…"}` and keep
+//! the loop alive; `quit` or end-of-input ends it. `code` is stable and
+//! machine-readable: `bad_request`, `unknown_op`, `overloaded`,
+//! `deadline`, `dimension`, `panic`, `terminated`, or `pipeline`.
+//! `error` is human-readable prose and not part of the contract. The
+//! JSON parser below is hand-rolled (the workspace builds offline, and
+//! the request grammar is tiny); the writer side shares
+//! [`dod_obs::json`] with the trace recorder.
 
 use std::io::{BufRead, Read, Write};
 use std::net::TcpListener;
 use std::sync::Arc;
 use std::time::Duration;
 
-use dod_engine::{Engine, EngineError, EngineHealth};
+use dod_engine::{Engine, EngineError, EngineHealth, Request, Response, WindowConfig};
+use dod_obs::json;
 use dod_obs::prom::PromWriter;
 use dod_obs::{FanoutRecorder, MetricsRecorder, Obs, Recorder};
 
@@ -232,43 +255,44 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
 // Request dispatch.
 // ---------------------------------------------------------------------
 
-/// Escapes a string for embedding in a JSON document.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '\\' => out.push_str("\\\\"),
-            '"' => out.push_str("\\\""),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
+/// A failed request: a stable machine-readable `code` plus prose.
+struct ServeError {
+    code: &'static str,
+    msg: String,
+}
+
+impl ServeError {
+    fn bad(msg: impl Into<String>) -> Self {
+        ServeError {
+            code: "bad_request",
+            msg: msg.into(),
         }
     }
-    out
 }
 
-/// Serializes an `f64` as a JSON value: non-finite numbers (`NaN`,
-/// `±Inf`) become `null`, since bare `NaN` is not valid JSON.
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".to_string()
+/// Maps an engine error to its stable protocol code.
+fn engine_error(e: EngineError) -> ServeError {
+    let code = match &e {
+        EngineError::Overloaded => "overloaded",
+        EngineError::DeadlineExceeded => "deadline",
+        EngineError::Terminated => "terminated",
+        EngineError::Dimension { .. } => "dimension",
+        EngineError::TaskPanicked { .. } => "panic",
+        EngineError::Pipeline(_) => "pipeline",
+        _ => "engine",
+    };
+    ServeError {
+        code,
+        msg: e.to_string(),
     }
 }
 
-fn error_line(msg: &str) -> String {
-    format!("{{\"ok\":false,\"error\":\"{}\"}}", json_escape(msg))
-}
-
-fn engine_error_name(e: &EngineError) -> String {
-    match e {
-        EngineError::Overloaded => "overloaded".into(),
-        EngineError::DeadlineExceeded => "deadline exceeded".into(),
-        other => other.to_string(),
-    }
+fn error_line(e: &ServeError) -> String {
+    format!(
+        "{{\"v\":1,\"ok\":false,\"code\":\"{}\",\"error\":\"{}\"}}",
+        e.code,
+        json::escape(&e.msg)
+    )
 }
 
 /// Everything a request handler needs: the engine plus the metrics
@@ -284,9 +308,18 @@ pub struct ServeContext {
 /// Renders the `stats` / `/healthz` JSON body from a health snapshot.
 fn health_json(h: &EngineHealth) -> String {
     format!(
-        "{{\"ok\":true,\"op\":\"stats\",\"partitions\":{},\"epoch\":{},\"queue_depth\":{},\
-         \"in_flight\":{},\"workers\":{},\"panics\":{},\"requests\":{}}}",
-        h.partitions, h.epoch, h.queue_depth, h.in_flight, h.workers, h.panics, h.requests
+        "{{\"v\":1,\"ok\":true,\"op\":\"stats\",\"partitions\":{},\"epoch\":{},\
+         \"queue_depth\":{},\"in_flight\":{},\"workers\":{},\"panics\":{},\"requests\":{},\
+         \"points\":{},\"churn\":{}}}",
+        h.partitions,
+        h.epoch,
+        h.queue_depth,
+        h.in_flight,
+        h.workers,
+        h.panics,
+        h.requests,
+        h.points,
+        h.churn
     )
 }
 
@@ -327,41 +360,78 @@ pub fn render_metrics(ctx: &ServeContext) -> String {
         "Requests submitted so far.",
         h.requests as f64,
     );
+    w.gauge(
+        "dod_engine_points",
+        "Resident (alive) points.",
+        h.points as f64,
+    );
+    w.gauge(
+        "dod_engine_churn",
+        "Points inserted or removed since the last epoch swap.",
+        h.churn as f64,
+    );
     text.push_str(&w.finish());
     text
 }
 
+/// Extracts a `"points": [[…], …]` field as coordinate rows.
+fn parse_points(request: &Json, op: &str) -> Result<Vec<Vec<f64>>, ServeError> {
+    let Some(Json::Arr(rows)) = request.get("points") else {
+        return Err(ServeError::bad(format!(
+            "\"{op}\" needs a \"points\" array"
+        )));
+    };
+    let mut points = Vec::with_capacity(rows.len());
+    for row in rows {
+        let Json::Arr(coords) = row else {
+            return Err(ServeError::bad("each point must be an array of numbers"));
+        };
+        let mut point = Vec::with_capacity(coords.len());
+        for c in coords {
+            let Json::Num(v) = c else {
+                return Err(ServeError::bad("each coordinate must be a number"));
+            };
+            point.push(*v);
+        }
+        points.push(point);
+    }
+    Ok(points)
+}
+
+/// Extracts an optional non-negative integer field (absent or `null`
+/// both mean "not set").
+fn parse_count(request: &Json, key: &str) -> Result<Option<u64>, ServeError> {
+    match request.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Num(v)) if *v >= 0.0 && v.fract() == 0.0 => Ok(Some(*v as u64)),
+        Some(_) => Err(ServeError::bad(format!(
+            "\"{key}\" must be a non-negative integer"
+        ))),
+    }
+}
+
+/// Submits one engine request and waits for its response.
+fn run_request(engine: &Engine, req: Request) -> Result<Response, ServeError> {
+    engine
+        .submit(req)
+        .map_err(engine_error)?
+        .wait()
+        .map_err(engine_error)
+}
+
 /// Answers one parsed request. `Ok(None)` means `quit`.
-fn dispatch(ctx: &ServeContext, request: &Json) -> Result<Option<String>, String> {
+fn dispatch(ctx: &ServeContext, request: &Json) -> Result<Option<String>, ServeError> {
     let engine = &*ctx.engine;
     let op = match request.get("op") {
         Some(Json::Str(op)) => op.as_str(),
-        _ => return Err("request needs a string \"op\" field".into()),
+        _ => return Err(ServeError::bad("request needs a string \"op\" field")),
     };
     match op {
         "score" => {
-            let Some(Json::Arr(rows)) = request.get("points") else {
-                return Err("\"score\" needs a \"points\" array".into());
-            };
-            let mut points = Vec::with_capacity(rows.len());
-            for row in rows {
-                let Json::Arr(coords) = row else {
-                    return Err("each point must be an array of numbers".into());
-                };
-                let mut point = Vec::with_capacity(coords.len());
-                for c in coords {
-                    let Json::Num(v) = c else {
-                        return Err("each coordinate must be a number".into());
-                    };
-                    point.push(*v);
-                }
-                points.push(point);
-            }
-            let scores = engine
-                .score_batch(points)
-                .map_err(|e| engine_error_name(&e))?
-                .wait()
-                .map_err(|e| engine_error_name(&e))?;
+            let points = parse_points(request, "score")?;
+            let scores = run_request(engine, Request::Score { points })?
+                .into_score()
+                .expect("score request answers with scores");
             let results: Vec<String> = scores
                 .iter()
                 .map(|s| {
@@ -372,40 +442,107 @@ fn dispatch(ctx: &ServeContext, request: &Json) -> Result<Option<String>, String
                 })
                 .collect();
             Ok(Some(format!(
-                "{{\"ok\":true,\"op\":\"score\",\"results\":[{}]}}",
+                "{{\"v\":1,\"ok\":true,\"op\":\"score\",\"results\":[{}]}}",
                 results.join(",")
             )))
         }
         "detect" => {
-            let outliers = engine
-                .detect_all()
-                .map_err(|e| engine_error_name(&e))?
-                .wait()
-                .map_err(|e| engine_error_name(&e))?;
+            let outliers = run_request(engine, Request::Detect)?
+                .into_outliers()
+                .expect("detect request answers with outliers");
             let ids: Vec<String> = outliers.iter().map(u64::to_string).collect();
             Ok(Some(format!(
-                "{{\"ok\":true,\"op\":\"detect\",\"outliers\":[{}]}}",
+                "{{\"v\":1,\"ok\":true,\"op\":\"detect\",\"outliers\":[{}]}}",
                 ids.join(",")
             )))
         }
+        "insert" => {
+            let points = parse_points(request, "insert")?;
+            let receipt = run_request(engine, Request::Insert { points })?
+                .into_insert()
+                .expect("insert request answers with a receipt");
+            let ids: Vec<String> = receipt.ids.iter().map(u64::to_string).collect();
+            Ok(Some(format!(
+                "{{\"v\":1,\"ok\":true,\"op\":\"insert\",\"ids\":[{}],\"expired\":{},\
+                 \"refreshed\":{},\"resident\":{}}}",
+                ids.join(","),
+                receipt.expired,
+                receipt.refreshed,
+                receipt.resident
+            )))
+        }
+        "remove" => {
+            let Some(Json::Arr(raw)) = request.get("ids") else {
+                return Err(ServeError::bad("\"remove\" needs an \"ids\" array"));
+            };
+            let mut ids = Vec::with_capacity(raw.len());
+            for v in raw {
+                match v {
+                    Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => ids.push(*n as u64),
+                    _ => return Err(ServeError::bad("each id must be a non-negative integer")),
+                }
+            }
+            let receipt = run_request(engine, Request::Remove { ids })?
+                .into_remove()
+                .expect("remove request answers with a receipt");
+            Ok(Some(format!(
+                "{{\"v\":1,\"ok\":true,\"op\":\"remove\",\"removed\":{},\"missing\":{},\
+                 \"refreshed\":{},\"resident\":{}}}",
+                receipt.removed, receipt.missing, receipt.refreshed, receipt.resident
+            )))
+        }
+        "window" => {
+            let clear = matches!(request.get("clear"), Some(Json::Bool(true)));
+            let max_points = parse_count(request, "max_points")?;
+            let max_age_ms = parse_count(request, "max_age_ms")?;
+            let config = if clear {
+                Some(WindowConfig::default()) // unbounded = cleared
+            } else if max_points.is_some() || max_age_ms.is_some() {
+                Some(WindowConfig {
+                    max_points: max_points.map(|n| n as usize),
+                    max_age: max_age_ms.map(Duration::from_millis),
+                })
+            } else {
+                None // just a tick: enforce the current window
+            };
+            let status = run_request(engine, Request::Window { config })?
+                .into_window()
+                .expect("window request answers with a status");
+            let points = status
+                .window
+                .max_points
+                .map_or("null".to_string(), |n| n.to_string());
+            let age = status
+                .window
+                .max_age
+                .map_or("null".to_string(), |d| d.as_millis().to_string());
+            Ok(Some(format!(
+                "{{\"v\":1,\"ok\":true,\"op\":\"window\",\"max_points\":{},\"max_age_ms\":{},\
+                 \"expired\":{},\"refreshed\":{},\"resident\":{}}}",
+                points, age, status.expired, status.refreshed, status.resident
+            )))
+        }
         "drift" => Ok(Some(format!(
-            "{{\"ok\":true,\"op\":\"drift\",\"drift\":{},\"epoch\":{}}}",
-            json_f64(engine.drift()),
+            "{{\"v\":1,\"ok\":true,\"op\":\"drift\",\"drift\":{},\"epoch\":{}}}",
+            json::number(engine.drift()),
             engine.epoch()
         ))),
         "refresh" => {
-            let epoch = engine.refresh_plan().map_err(|e| engine_error_name(&e))?;
+            let epoch = engine.refresh_plan().map_err(engine_error)?;
             Ok(Some(format!(
-                "{{\"ok\":true,\"op\":\"refresh\",\"epoch\":{epoch}}}"
+                "{{\"v\":1,\"ok\":true,\"op\":\"refresh\",\"epoch\":{epoch}}}"
             )))
         }
         "stats" => Ok(Some(health_json(&engine.health()))),
         "metrics" => Ok(Some(format!(
-            "{{\"ok\":true,\"op\":\"metrics\",\"metrics\":\"{}\"}}",
-            json_escape(&render_metrics(ctx))
+            "{{\"v\":1,\"ok\":true,\"op\":\"metrics\",\"metrics\":\"{}\"}}",
+            json::escape(&render_metrics(ctx))
         ))),
         "quit" => Ok(None),
-        other => Err(format!("unknown op {other:?}")),
+        other => Err(ServeError {
+            code: "unknown_op",
+            msg: format!("unknown op {other:?}"),
+        }),
     }
 }
 
@@ -424,18 +561,19 @@ pub fn serve_streams(
             continue;
         }
         let response = parse_json(&line)
-            .map_err(|e| format!("bad request: {e}"))
+            .map_err(|e| ServeError::bad(format!("bad request: {e}")))
             .and_then(|request| dispatch(ctx, &request));
         match response {
             Ok(Some(answer)) => {
                 writeln!(output, "{answer}").map_err(|e| e.to_string())?;
             }
             Ok(None) => {
-                writeln!(output, "{{\"ok\":true,\"op\":\"quit\"}}").map_err(|e| e.to_string())?;
+                writeln!(output, "{{\"v\":1,\"ok\":true,\"op\":\"quit\"}}")
+                    .map_err(|e| e.to_string())?;
                 break;
             }
-            Err(msg) => {
-                writeln!(output, "{}", error_line(&msg)).map_err(|e| e.to_string())?;
+            Err(e) => {
+                writeln!(output, "{}", error_line(&e)).map_err(|e| e.to_string())?;
             }
         }
         output.flush().map_err(|e| e.to_string())?;
@@ -526,6 +664,12 @@ pub fn serve(args: &ServeArgs) -> Result<(), String> {
         .queue_capacity(args.queue);
     if let Some(ms) = args.deadline_ms {
         builder = builder.default_deadline(Duration::from_millis(ms));
+    }
+    if args.window_points.is_some() || args.window_age_ms.is_some() {
+        builder = builder.window(WindowConfig {
+            max_points: args.window_points,
+            max_age: args.window_age_ms.map(Duration::from_millis),
+        });
     }
     let engine = builder.build(&data).map_err(|e| e.to_string())?;
     eprintln!(
@@ -670,6 +814,10 @@ mod tests {
             "{\"op\": \"detect\"}\n", // after quit: never answered
         ));
         assert_eq!(responses.len(), 6);
+        // Protocol v1: every response leads with the version key.
+        for r in &responses {
+            assert!(r.starts_with("{\"v\":1,"), "{r}");
+        }
         assert!(responses[0].contains("\"op\":\"stats\""));
         // The stats response is the full health snapshot.
         for field in [
@@ -680,22 +828,78 @@ mod tests {
             "\"workers\":1",
             "\"panics\":0",
             "\"requests\":",
+            "\"points\":41",
+            "\"churn\":0",
         ] {
             assert!(responses[0].contains(field), "{field} in {}", responses[0]);
         }
         assert_eq!(
             responses[1],
-            "{\"ok\":true,\"op\":\"score\",\"results\":[\
+            "{\"v\":1,\"ok\":true,\"op\":\"score\",\"results\":[\
              {\"neighbors\":4,\"outlier\":false},{\"neighbors\":0,\"outlier\":true}]}"
         );
         // Point 40 is the isolated corner point.
         assert_eq!(
             responses[2],
-            "{\"ok\":true,\"op\":\"detect\",\"outliers\":[40]}"
+            "{\"v\":1,\"ok\":true,\"op\":\"detect\",\"outliers\":[40]}"
         );
         assert!(responses[3].contains("\"drift\":"));
-        assert_eq!(responses[4], "{\"ok\":true,\"op\":\"refresh\",\"epoch\":1}");
-        assert_eq!(responses[5], "{\"ok\":true,\"op\":\"quit\"}");
+        assert_eq!(
+            responses[4],
+            "{\"v\":1,\"ok\":true,\"op\":\"refresh\",\"epoch\":1}"
+        );
+        assert_eq!(responses[5], "{\"v\":1,\"ok\":true,\"op\":\"quit\"}");
+    }
+
+    /// A streaming session: insert a neighborhood around the isolated
+    /// point (absorbing the outlier), remove it again, and bound the
+    /// window — all through the JSONL protocol.
+    #[test]
+    fn streaming_session_over_buffers() {
+        let responses = session(concat!(
+            "{\"op\": \"detect\"}\n",
+            "{\"op\": \"insert\", \"points\": [[50.1, 50.0], [49.9, 50.0], \
+             [50.0, 50.1], [50.0, 49.9]]}\n",
+            "{\"op\": \"detect\"}\n",
+            "{\"op\": \"remove\", \"ids\": [41, 42, 43, 44, 999]}\n",
+            "{\"op\": \"detect\"}\n",
+            "{\"op\": \"window\", \"max_points\": 10}\n",
+            "{\"op\": \"window\", \"clear\": true}\n",
+            "{\"op\": \"stats\"}\n",
+        ));
+        assert_eq!(responses.len(), 8);
+        for r in &responses {
+            assert!(r.starts_with("{\"v\":1,\"ok\":true,"), "{r}");
+        }
+        assert!(responses[0].contains("\"outliers\":[40]"));
+        assert!(
+            responses[1].contains("\"ids\":[41,42,43,44]"),
+            "{}",
+            responses[1]
+        );
+        assert!(responses[1].contains("\"resident\":45"));
+        assert!(responses[2].contains("\"outliers\":[]"));
+        assert!(
+            responses[3].contains("\"removed\":4,\"missing\":1"),
+            "{}",
+            responses[3]
+        );
+        assert!(responses[3].contains("\"resident\":41"));
+        assert!(responses[4].contains("\"outliers\":[40]"));
+        // Tightening the window to 10 expires the 31 oldest points.
+        assert!(
+            responses[5].contains("\"max_points\":10,\"max_age_ms\":null,\"expired\":31"),
+            "{}",
+            responses[5]
+        );
+        assert!(responses[5].contains("\"resident\":10"));
+        // Clearing reports unbounded axes and expires nothing further.
+        assert!(
+            responses[6].contains("\"max_points\":null,\"max_age_ms\":null,\"expired\":0"),
+            "{}",
+            responses[6]
+        );
+        assert!(responses[7].contains("\"points\":10"));
     }
 
     #[test]
@@ -705,28 +909,49 @@ mod tests {
             "{\"op\": \"launch\"}\n",
             "{\"op\": \"score\"}\n",
             "{\"op\": \"score\", \"points\": [[\"a\"]]}\n",
+            "{\"op\": \"insert\"}\n",
+            "{\"op\": \"remove\", \"ids\": [-1]}\n",
+            "{\"op\": \"window\", \"max_points\": 1.5}\n",
             "{\"op\": \"detect\"}\n",
         ));
-        assert_eq!(responses.len(), 5);
-        for bad in &responses[..4] {
-            assert!(bad.starts_with("{\"ok\":false,\"error\":"), "{bad}");
+        assert_eq!(responses.len(), 8);
+        for bad in &responses[..7] {
+            assert!(bad.starts_with("{\"v\":1,\"ok\":false,\"code\":"), "{bad}");
         }
-        assert!(responses[4].contains("\"outliers\":[40]"));
+        // The codes are stable and machine-readable.
+        assert!(responses[0].contains("\"code\":\"bad_request\""));
+        assert!(responses[1].contains("\"code\":\"unknown_op\""));
+        for bad in &responses[2..7] {
+            assert!(bad.contains("\"code\":\"bad_request\""), "{bad}");
+        }
+        assert!(responses[7].contains("\"outliers\":[40]"));
+    }
+
+    /// A dimension mismatch surfaces the engine's typed error code.
+    #[test]
+    fn engine_errors_carry_their_code() {
+        let responses = session("{\"op\": \"score\", \"points\": [[1.0, 2.0, 3.0]]}\n");
+        assert_eq!(responses.len(), 1);
+        assert!(
+            responses[0].starts_with("{\"v\":1,\"ok\":false,\"code\":\"dimension\""),
+            "{}",
+            responses[0]
+        );
     }
 
     /// Regression: non-finite f64s must serialize as `null`, never as
     /// bare `NaN`/`inf` (which no JSON parser accepts back).
     #[test]
     fn non_finite_numbers_serialize_as_null() {
-        assert_eq!(json_f64(1.5), "1.5");
-        assert_eq!(json_f64(0.0), "0");
-        assert_eq!(json_f64(f64::NAN), "null");
-        assert_eq!(json_f64(f64::INFINITY), "null");
-        assert_eq!(json_f64(f64::NEG_INFINITY), "null");
+        assert_eq!(json::number(1.5), "1.5");
+        assert_eq!(json::number(0.0), "0");
+        assert_eq!(json::number(f64::NAN), "null");
+        assert_eq!(json::number(f64::INFINITY), "null");
+        assert_eq!(json::number(f64::NEG_INFINITY), "null");
         // The drift response stays parseable by our own reader either way.
         let line = format!(
-            "{{\"ok\":true,\"op\":\"drift\",\"drift\":{},\"epoch\":0}}",
-            json_f64(f64::NAN)
+            "{{\"v\":1,\"ok\":true,\"op\":\"drift\",\"drift\":{},\"epoch\":0}}",
+            json::number(f64::NAN)
         );
         assert_eq!(parse_json(&line).unwrap().get("drift"), Some(&Json::Null));
     }
@@ -739,6 +964,7 @@ mod tests {
         ));
         assert_eq!(responses.len(), 2);
         let v = parse_json(&responses[1]).unwrap();
+        assert_eq!(v.get("v"), Some(&Json::Num(1.0)));
         assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
         let Some(Json::Str(text)) = v.get("metrics") else {
             panic!("metrics is a string: {}", responses[1]);
@@ -752,13 +978,16 @@ mod tests {
         assert!(text.contains("dod_engine_request_seconds_count{op=\"score\"} 1"));
         assert!(text.contains("dod_engine_partitions "));
         assert!(text.contains("dod_engine_workers 1"));
+        assert!(text.contains("dod_engine_points 41"));
     }
 
     #[test]
     fn http_listener_serves_metrics_and_healthz() {
         let (_args, ctx, path) = test_context();
         ctx.engine
-            .score_batch(vec![vec![0.7, 0.7]])
+            .submit(Request::Score {
+                points: vec![vec![0.7, 0.7]],
+            })
             .unwrap()
             .wait()
             .unwrap();
@@ -783,9 +1012,11 @@ mod tests {
         assert!(health.starts_with("HTTP/1.0 200 OK"), "{health}");
         let body = health.split("\r\n\r\n").nth(1).unwrap();
         let v = parse_json(body).unwrap();
+        assert_eq!(v.get("v"), Some(&Json::Num(1.0)));
         assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
         assert_eq!(v.get("workers"), Some(&Json::Num(1.0)));
         assert!(matches!(v.get("requests"), Some(Json::Num(n)) if *n >= 1.0));
+        assert_eq!(v.get("points"), Some(&Json::Num(41.0)));
 
         let missing = get("/nope");
         assert!(missing.starts_with("HTTP/1.0 404"), "{missing}");

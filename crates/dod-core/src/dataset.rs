@@ -162,6 +162,24 @@ impl PointSet {
         out
     }
 
+    /// Removes point `i` in O(d) by moving the last point into its slot.
+    ///
+    /// The point previously at index `len() - 1` takes index `i`; all
+    /// other indices are unchanged. Callers tracking ids per index must
+    /// renumber that one moved point.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    pub fn swap_remove(&mut self, i: usize) {
+        let last = self.len() - 1;
+        assert!(i <= last, "swap_remove index {i} out of range {}", last + 1);
+        if i < last {
+            let (head, tail) = self.coords.split_at_mut(last * self.dim);
+            head[i * self.dim..(i + 1) * self.dim].copy_from_slice(&tail[..self.dim]);
+        }
+        self.coords.truncate(last * self.dim);
+    }
+
     /// Appends every point of `other`.
     ///
     /// # Errors
@@ -237,6 +255,20 @@ mod tests {
         assert_eq!(g.len(), 2);
         assert_eq!(g.point(0), &[2.0, 2.0]);
         assert_eq!(g.point(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn swap_remove_moves_last_into_slot() {
+        let mut s = PointSet::from_xy(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]);
+        s.swap_remove(0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.point(0), &[2.0, 2.0]);
+        assert_eq!(s.point(1), &[1.0, 1.0]);
+        s.swap_remove(1); // removing the last point moves nothing
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.point(0), &[2.0, 2.0]);
+        s.swap_remove(0);
+        assert!(s.is_empty());
     }
 
     #[test]

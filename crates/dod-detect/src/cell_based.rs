@@ -69,13 +69,16 @@ impl CellIndex {
         for idx in 0..partition.total_len() {
             let p = partition.point(idx);
             let bucket = buckets.entry(grid.cell_of(p)).or_default();
-            // Indices arrive ascending, so every bucket holds its core
-            // points as a prefix and its `points` list stays sorted —
-            // the invariants the tile scans below rely on.
-            bucket.points.push(idx as u32);
-            bucket.coords.extend_from_slice(p);
+            // Indices arrive ascending, so each sub-tile's index list is
+            // sorted at build time and the per-bucket scan order (core
+            // tile, then support tile) matches the unified
+            // core-then-support order the one-shot detector walks.
             if idx < n_core {
-                bucket.n_core += 1;
+                bucket.core.push(idx as u32);
+                bucket.core_coords.extend_from_slice(p);
+            } else {
+                bucket.support.push((idx - n_core) as u32);
+                bucket.support_coords.extend_from_slice(p);
             }
         }
         Some(CellIndex {
@@ -89,6 +92,89 @@ impl CellIndex {
     /// the one-shot detector would have charged).
     pub fn build_ops(&self) -> u64 {
         self.build_ops
+    }
+
+    /// Hashes a new core point (index `core_idx` in the partition's core
+    /// set) into its cell — the cell-count increment of an incremental
+    /// insert.
+    ///
+    /// Returns `false` when `p` lies outside the grid's domain: the grid
+    /// was sized over the bounding rectangle at build time, so a point
+    /// beyond it cannot be hashed and the caller must rebuild the index.
+    pub fn insert_core(&mut self, core_idx: u32, p: &[f64]) -> bool {
+        if !self.grid.domain().contains_closed(p) {
+            return false;
+        }
+        let bucket = self.buckets.entry(self.grid.cell_of(p)).or_default();
+        bucket.core.push(core_idx);
+        bucket.core_coords.extend_from_slice(p);
+        self.build_ops += 1;
+        true
+    }
+
+    /// Hashes a new support point (index `support_idx` in the
+    /// partition's support set) into its cell. Same domain contract as
+    /// [`CellIndex::insert_core`].
+    pub fn insert_support(&mut self, support_idx: u32, p: &[f64]) -> bool {
+        if !self.grid.domain().contains_closed(p) {
+            return false;
+        }
+        let bucket = self.buckets.entry(self.grid.cell_of(p)).or_default();
+        bucket.support.push(support_idx);
+        bucket.support_coords.extend_from_slice(p);
+        self.build_ops += 1;
+        true
+    }
+
+    /// Unhashes core point `core_idx`, located by its coordinates `p`
+    /// (which must be the coordinates it was inserted with).
+    pub fn remove_core(&mut self, core_idx: u32, p: &[f64]) {
+        let dim = self.grid.dim();
+        let cell = self.grid.cell_of(p);
+        if let Some(bucket) = self.buckets.get_mut(&cell) {
+            swap_remove_entry(&mut bucket.core, &mut bucket.core_coords, dim, core_idx);
+            if bucket.is_empty() {
+                self.buckets.remove(&cell);
+            }
+        }
+    }
+
+    /// Unhashes support point `support_idx`, located by its coordinates.
+    pub fn remove_support(&mut self, support_idx: u32, p: &[f64]) {
+        let dim = self.grid.dim();
+        let cell = self.grid.cell_of(p);
+        if let Some(bucket) = self.buckets.get_mut(&cell) {
+            swap_remove_entry(
+                &mut bucket.support,
+                &mut bucket.support_coords,
+                dim,
+                support_idx,
+            );
+            if bucket.is_empty() {
+                self.buckets.remove(&cell);
+            }
+        }
+    }
+
+    /// Rewrites the stored core index `from` to `to` (coordinates `p`
+    /// locate its cell) — the fix-up after a swap-remove moved the
+    /// partition's last core point into slot `to`.
+    pub fn renumber_core(&mut self, from: u32, to: u32, p: &[f64]) {
+        if let Some(bucket) = self.buckets.get_mut(&self.grid.cell_of(p)) {
+            if let Some(slot) = bucket.core.iter_mut().find(|x| **x == from) {
+                *slot = to;
+            }
+        }
+    }
+
+    /// Rewrites the stored support index `from` to `to` (coordinates `p`
+    /// locate its cell).
+    pub fn renumber_support(&mut self, from: u32, to: u32, p: &[f64]) {
+        if let Some(bucket) = self.buckets.get_mut(&self.grid.cell_of(p)) {
+            if let Some(slot) = bucket.support.iter_mut().find(|x| **x == from) {
+                *slot = to;
+            }
+        }
     }
 
     /// Counts the **core** points of `partition` within distance `r` of an
@@ -124,7 +210,6 @@ impl CellIndex {
             return (0, 0);
         }
         debug_assert_eq!(q.len(), partition.dim());
-        let dim = q.len();
         let pred = params.predicate();
         let lo: Vec<f64> = q.iter().map(|&v| v - params.r).collect();
         let hi: Vec<f64> = q.iter().map(|&v| v + params.r).collect();
@@ -135,8 +220,7 @@ impl CellIndex {
             let Some(bucket) = self.buckets.get(&cell) else {
                 continue;
             };
-            // Core points are the bucket's gathered-coordinate prefix.
-            let tile = &bucket.coords[..bucket.n_core * dim];
+            let tile: &[f64] = &bucket.core_coords;
             let outcome = pred.count_within_tile(q, tile, cap - count);
             count += outcome.found;
             work += outcome.scanned as u64;
@@ -195,16 +279,51 @@ impl Default for CellBased {
     }
 }
 
-/// Points of one non-empty grid cell: their indices into the partition's
-/// unified core-then-support ordering plus their coordinates gathered
-/// into a contiguous columnar tile for the kernel scans. Both lists are
-/// index-aligned and in ascending unified order, so core points form a
-/// prefix of length `n_core`.
+/// Points of one non-empty grid cell, split into core and support
+/// sub-tiles. Each side keeps its indices (into the partition's core or
+/// support set respectively) aligned with its coordinates gathered into
+/// a contiguous columnar tile for the kernel scans. The split — rather
+/// than one unified sorted list — is what makes the cell index
+/// incrementally maintainable: an insert appends to one sub-tile and a
+/// removal swap-removes one entry, neither disturbing the other side's
+/// indices.
 #[derive(Debug, Clone, Default)]
 struct Bucket {
-    points: Vec<u32>,
-    coords: Vec<f64>,
-    n_core: usize,
+    core: Vec<u32>,
+    core_coords: Vec<f64>,
+    support: Vec<u32>,
+    support_coords: Vec<f64>,
+}
+
+impl Bucket {
+    fn len(&self) -> usize {
+        self.core.len() + self.support.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.core.is_empty() && self.support.is_empty()
+    }
+}
+
+/// Swap-removes the entry holding index `target` from an index-aligned
+/// `(indices, coords)` sub-tile. Returns whether it was present.
+fn swap_remove_entry(
+    indices: &mut Vec<u32>,
+    coords: &mut Vec<f64>,
+    dim: usize,
+    target: u32,
+) -> bool {
+    let Some(pos) = indices.iter().position(|&x| x == target) else {
+        return false;
+    };
+    indices.swap_remove(pos);
+    let last = indices.len();
+    if pos < last {
+        let (head, tail) = coords.split_at_mut(last * dim);
+        head[pos * dim..(pos + 1) * dim].copy_from_slice(&tail[..dim]);
+    }
+    coords.truncate(last * dim);
+    true
 }
 
 impl Detector for CellBased {
@@ -272,7 +391,7 @@ impl CellBased {
         let mut cell_ids: Vec<usize> = buckets.keys().copied().collect();
         cell_ids.sort_unstable();
 
-        let count_of = |cid: usize| buckets.get(&cid).map_or(0usize, |b| b.points.len());
+        let count_of = |cid: usize| buckets.get(&cid).map_or(0usize, |b| b.len());
 
         // Randomized scan order for the paper-faithful full fallback,
         // gathered into a contiguous buffer for the tile kernels.
@@ -289,12 +408,7 @@ impl CellBased {
         let mut outliers = Vec::new();
         for &cid in &cell_ids {
             let bucket = &buckets[&cid];
-            let core_in_cell: Vec<u32> = bucket
-                .points
-                .iter()
-                .copied()
-                .filter(|&i| (i as usize) < n_core)
-                .collect();
+            let core_in_cell = &bucket.core;
             if core_in_cell.is_empty() {
                 continue; // pure support cell: nothing to classify
             }
@@ -318,7 +432,7 @@ impl CellBased {
             if w2 <= params.k {
                 // Even counting itself, no point in C can reach k neighbors.
                 stats.pruned_points += core_in_cell.len() as u64;
-                for &i in &core_in_cell {
+                for &i in core_in_cell {
                     outliers.push(partition.core_id(i as usize));
                 }
                 continue;
@@ -326,8 +440,10 @@ impl CellBased {
 
             // Fallback: evaluate each surviving core point individually,
             // nested-loop style with early termination, feeding the
-            // candidate cells' gathered tiles to the kernels.
-            for &i in &core_in_cell {
+            // candidate cells' gathered tiles to the kernels. Each
+            // bucket's core tile is scanned before its support tile —
+            // the unified core-then-support order of the one-shot path.
+            for &i in core_in_cell {
                 let p = partition.core().point(i as usize);
                 let mut neighbors = 0usize;
                 if let Some(full) = &full_scan {
@@ -345,19 +461,33 @@ impl CellBased {
                         let Some(cb) = buckets.get(&ccid) else {
                             continue;
                         };
-                        // The point itself lives in its own cell's bucket;
-                        // `points` is sorted, so locate it by binary search.
+                        // The point itself lives in its own cell's core
+                        // sub-tile; buckets are small, so a linear find
+                        // locates it.
                         let skip = if ccid == cid {
-                            cb.points.binary_search(&i).ok()
+                            cb.core.iter().position(|&x| x == i)
                         } else {
                             None
                         };
                         let (found, scanned) = count_tile_excluding(
                             &pred,
                             p,
-                            &cb.coords,
+                            &cb.core_coords,
                             dim,
                             skip,
+                            params.k - neighbors,
+                        );
+                        stats.distance_evaluations += scanned;
+                        neighbors += found;
+                        if neighbors >= params.k {
+                            break;
+                        }
+                        let (found, scanned) = count_tile_excluding(
+                            &pred,
+                            p,
+                            &cb.support_coords,
+                            dim,
+                            None,
                             params.k - neighbors,
                         );
                         stats.distance_evaluations += scanned;
@@ -565,6 +695,99 @@ mod tests {
             restricted.stats.distance_evaluations,
             full.stats.distance_evaluations
         );
+    }
+
+    #[test]
+    fn incremental_mutations_match_fresh_build() {
+        // Build an index over a prefix, splice the remaining points in
+        // via insert_core/insert_support, remove a few (with renumber
+        // fix-ups mirroring Partition::swap_remove_core), and check the
+        // detection and count answers against a fresh build of the same
+        // surviving partition.
+        let prm = params(1.0, 3);
+        let full = random_partition(7, 60, 20, 8.0);
+        let mut part = Partition::new(
+            full.core().gather(&(0..40u64).collect::<Vec<_>>()),
+            (0..40u64).collect(),
+            full.support().gather(&(0..10u64).collect::<Vec<_>>()),
+        )
+        .unwrap();
+        // Grid over the full bounding rect so incremental inserts stay
+        // in-domain (out-of-domain inserts return false and force a
+        // rebuild, exercised separately below).
+        let bounds = full.bounding_rect().unwrap();
+        let grid = GridSpec::for_cell_based(
+            &bounds,
+            prm.r,
+            prm.metric,
+            CellBased::DEFAULT_MAX_CELLS_PER_DIM,
+        )
+        .unwrap();
+        let mut index = CellIndex::build(&part, prm, CellBased::DEFAULT_MAX_CELLS_PER_DIM).unwrap();
+        index.grid = grid;
+        let rebuilt = {
+            // Rehash under the wider grid: build from the same partition.
+            let mut idx = CellIndex {
+                grid: index.grid.clone(),
+                buckets: HashMap::new(),
+                build_ops: 0,
+            };
+            for i in 0..part.core().len() {
+                assert!(idx.insert_core(i as u32, part.core().point(i)));
+            }
+            for i in 0..part.support().len() {
+                assert!(idx.insert_support(i as u32, part.support().point(i)));
+            }
+            idx
+        };
+        let mut index = rebuilt;
+        for i in 40..60 {
+            let p: Vec<f64> = full.core().point(i).to_vec();
+            let ci = part.push_core(&p, i as u64).unwrap();
+            assert!(index.insert_core(ci as u32, &p));
+        }
+        for i in 10..20 {
+            let p: Vec<f64> = full.support().point(i).to_vec();
+            let si = part.push_support(&p).unwrap();
+            assert!(index.insert_support(si as u32, &p));
+        }
+        // Remove some core and support points, fixing up the moved-last
+        // index exactly the way PartitionState does.
+        for &victim in &[3usize, 17, 44, 0] {
+            let p: Vec<f64> = part.core().point(victim).to_vec();
+            let last = part.core().len() - 1;
+            let moved: Option<Vec<f64>> = (victim < last).then(|| part.core().point(last).to_vec());
+            part.swap_remove_core(victim);
+            index.remove_core(victim as u32, &p);
+            if let Some(mp) = moved {
+                index.renumber_core(last as u32, victim as u32, &mp);
+            }
+        }
+        for &victim in &[5usize, 0] {
+            let p: Vec<f64> = part.support().point(victim).to_vec();
+            let last = part.support().len() - 1;
+            let moved: Option<Vec<f64>> =
+                (victim < last).then(|| part.support().point(last).to_vec());
+            part.swap_remove_support(victim);
+            index.remove_support(victim as u32, &p);
+            if let Some(mp) = moved {
+                index.renumber_support(last as u32, victim as u32, &mp);
+            }
+        }
+        let fresh = CellIndex::build(&part, prm, CellBased::DEFAULT_MAX_CELLS_PER_DIM).unwrap();
+        let via_mutations = CellBased::default().detect_with_index(&part, prm, &index);
+        let via_fresh = CellBased::default().detect_with_index(&part, prm, &fresh);
+        assert_eq!(via_mutations.outliers, via_fresh.outliers);
+        for q in [&[0.5, 0.5][..], &[4.0, 4.0], &[7.9, 0.1], &[-3.0, 2.0]] {
+            assert_eq!(
+                index.count_core_neighbors(&part, q, prm, usize::MAX),
+                fresh.count_core_neighbors(&part, q, prm, usize::MAX),
+                "query {q:?}"
+            );
+        }
+        // Out-of-domain insert is refused, signalling a rebuild.
+        assert!(!index.insert_core(999, &[1e6, 1e6]));
+        assert!(!index.insert_support(999, &[-1e6, 0.0]));
     }
 
     proptest! {

@@ -33,15 +33,20 @@ impl IndexBased {
 #[derive(Debug, Clone)]
 enum Node {
     Leaf {
-        /// Indices (unified core-then-support) of the points in the
-        /// leaf, ascending — so core points form a prefix of length
-        /// `n_core` and self-exclusion is a binary search.
-        points: Vec<u32>,
-        /// The leaf's coordinates gathered into a contiguous columnar
-        /// tile, index-aligned with `points`, for the kernel scans.
-        coords: Vec<f64>,
-        /// Number of leading core points.
-        n_core: usize,
+        /// Indices into the partition's **core** set, index-aligned with
+        /// `core_coords` (a contiguous columnar tile for the kernel
+        /// scans). Kept separate from the support side so the leaf
+        /// buffer can be spliced incrementally: an insert appends to one
+        /// sub-tile, a removal swap-removes one entry, and neither
+        /// disturbs the other side's indices.
+        core: Vec<u32>,
+        /// The leaf's core coordinates gathered into a contiguous tile.
+        core_coords: Vec<f64>,
+        /// Indices into the partition's **support** set.
+        support: Vec<u32>,
+        /// The leaf's support coordinates gathered into a contiguous
+        /// tile.
+        support_coords: Vec<f64>,
     },
     Inner {
         split_dim: usize,
@@ -49,6 +54,27 @@ enum Node {
         left: Box<Node>,
         right: Box<Node>,
     },
+}
+
+/// Swap-removes the entry holding index `target` from an index-aligned
+/// `(indices, coords)` leaf sub-tile. Returns whether it was present.
+fn swap_remove_entry(
+    indices: &mut Vec<u32>,
+    coords: &mut Vec<f64>,
+    dim: usize,
+    target: u32,
+) -> bool {
+    let Some(pos) = indices.iter().position(|&x| x == target) else {
+        return false;
+    };
+    indices.swap_remove(pos);
+    let last = indices.len();
+    if pos < last {
+        let (head, tail) = coords.split_at_mut(last * dim);
+        head[pos * dim..(pos + 1) * dim].copy_from_slice(&tail[..dim]);
+    }
+    coords.truncate(last * dim);
+    true
 }
 
 /// The build-phase product of the Index-Based detector: a balanced
@@ -83,6 +109,152 @@ impl KdIndex {
     /// Number of index operations charged during the build.
     pub fn build_ops(&self) -> u64 {
         self.build_ops
+    }
+
+    /// Splices a new core point (index `core_idx` in the partition's
+    /// core set) into the leaf buffer its coordinates descend to.
+    ///
+    /// The tree's balance is not restored — repeated inserts grow leaf
+    /// buffers, which stays exact but degrades query cost; callers
+    /// compact by rebuilding once enough mutations accumulate.
+    pub fn insert_core(&mut self, core_idx: u32, p: &[f64]) {
+        let Node::Leaf {
+            core, core_coords, ..
+        } = Self::leaf_for_mut(&mut self.root, p)
+        else {
+            unreachable!("leaf_for_mut returns a leaf")
+        };
+        core.push(core_idx);
+        core_coords.extend_from_slice(p);
+        self.build_ops += 1;
+    }
+
+    /// Splices a new support point (index `support_idx` in the
+    /// partition's support set) into its leaf buffer.
+    pub fn insert_support(&mut self, support_idx: u32, p: &[f64]) {
+        let Node::Leaf {
+            support,
+            support_coords,
+            ..
+        } = Self::leaf_for_mut(&mut self.root, p)
+        else {
+            unreachable!("leaf_for_mut returns a leaf")
+        };
+        support.push(support_idx);
+        support_coords.extend_from_slice(p);
+        self.build_ops += 1;
+    }
+
+    /// Removes core point `core_idx`, located by the coordinates it was
+    /// inserted with.
+    pub fn remove_core(&mut self, core_idx: u32, p: &[f64]) {
+        Self::remove_in(&mut self.root, p, p.len(), core_idx, true);
+    }
+
+    /// Removes support point `support_idx`, located by its coordinates.
+    pub fn remove_support(&mut self, support_idx: u32, p: &[f64]) {
+        Self::remove_in(&mut self.root, p, p.len(), support_idx, false);
+    }
+
+    /// Rewrites the stored core index `from` to `to` — the fix-up after
+    /// a swap-remove moved the partition's last core point into slot
+    /// `to`.
+    pub fn renumber_core(&mut self, from: u32, to: u32, p: &[f64]) {
+        Self::renumber_in(&mut self.root, p, from, to, true);
+    }
+
+    /// Rewrites the stored support index `from` to `to`.
+    pub fn renumber_support(&mut self, from: u32, to: u32, p: &[f64]) {
+        Self::renumber_in(&mut self.root, p, from, to, false);
+    }
+
+    /// The leaf `p` descends to under the build's split rule (`< split`
+    /// goes left, `>= split` goes right).
+    fn leaf_for_mut<'a>(node: &'a mut Node, p: &[f64]) -> &'a mut Node {
+        match node {
+            Node::Leaf { .. } => node,
+            Node::Inner {
+                split_dim,
+                split_val,
+                left,
+                right,
+            } => {
+                if p[*split_dim] < *split_val {
+                    Self::leaf_for_mut(left, p)
+                } else {
+                    Self::leaf_for_mut(right, p)
+                }
+            }
+        }
+    }
+
+    /// Descends to the leaf(s) that can hold `target` and swap-removes
+    /// it. A coordinate equal to a split value must search **both**
+    /// subtrees: the median build places equal values on either side.
+    fn remove_in(node: &mut Node, p: &[f64], dim: usize, target: u32, core_side: bool) -> bool {
+        match node {
+            Node::Leaf {
+                core,
+                core_coords,
+                support,
+                support_coords,
+            } => {
+                if core_side {
+                    swap_remove_entry(core, core_coords, dim, target)
+                } else {
+                    swap_remove_entry(support, support_coords, dim, target)
+                }
+            }
+            Node::Inner {
+                split_dim,
+                split_val,
+                left,
+                right,
+            } => {
+                let delta = p[*split_dim] - *split_val;
+                if delta < 0.0 {
+                    Self::remove_in(left, p, dim, target, core_side)
+                } else if delta > 0.0 {
+                    Self::remove_in(right, p, dim, target, core_side)
+                } else {
+                    Self::remove_in(right, p, dim, target, core_side)
+                        || Self::remove_in(left, p, dim, target, core_side)
+                }
+            }
+        }
+    }
+
+    /// Same descent as [`KdIndex::remove_in`], rewriting index `from`
+    /// to `to` in place.
+    fn renumber_in(node: &mut Node, p: &[f64], from: u32, to: u32, core_side: bool) -> bool {
+        match node {
+            Node::Leaf { core, support, .. } => {
+                let list = if core_side { core } else { support };
+                match list.iter_mut().find(|x| **x == from) {
+                    Some(slot) => {
+                        *slot = to;
+                        true
+                    }
+                    None => false,
+                }
+            }
+            Node::Inner {
+                split_dim,
+                split_val,
+                left,
+                right,
+            } => {
+                let delta = p[*split_dim] - *split_val;
+                if delta < 0.0 {
+                    Self::renumber_in(left, p, from, to, core_side)
+                } else if delta > 0.0 {
+                    Self::renumber_in(right, p, from, to, core_side)
+                } else {
+                    Self::renumber_in(right, p, from, to, core_side)
+                        || Self::renumber_in(left, p, from, to, core_side)
+                }
+            }
+        }
     }
 
     /// Counts the **core** points of `partition` within distance `r` of an
@@ -129,9 +301,9 @@ impl KdIndex {
         (count, evals + visits)
     }
 
-    /// Counts neighbors of resident point `qi` (unified index) within `r`,
-    /// stopping early once `k` are found. Returns `(count_capped_at_k,
-    /// evals, nodes_visited)`.
+    /// Counts neighbors of resident core point `qi` (core index) within
+    /// `r`, stopping early once `k` are found. Returns
+    /// `(count_capped_at_k, evals, nodes_visited)`.
     fn count_neighbors(
         &self,
         partition: &Partition,
@@ -178,31 +350,39 @@ impl KdIndex {
         *visits += 1;
         match node {
             Node::Leaf {
-                points,
-                coords,
-                n_core,
+                core,
+                core_coords,
+                support,
+                support_coords,
             } => {
                 let dim = query.coords.len();
-                // Core points are the leaf's prefix, so a core-only
-                // range count is just a shorter tile.
-                let limit = if query.core_only {
-                    *n_core
-                } else {
-                    points.len()
-                };
+                // The query point itself is always a core point, so only
+                // the core tile needs the self-exclusion check.
                 let skip = query
                     .skip
-                    .and_then(|s| points[..limit].binary_search(&(s as u32)).ok());
+                    .and_then(|s| core.iter().position(|&x| x == s as u32));
                 let (found, scanned) = count_tile_excluding(
                     &query.pred,
                     query.coords,
-                    &coords[..limit * dim],
+                    core_coords,
                     dim,
                     skip,
                     query.cap - *count,
                 );
                 *evals += scanned;
                 *count += found;
+                if !query.core_only && *count < query.cap && !support.is_empty() {
+                    let (found, scanned) = count_tile_excluding(
+                        &query.pred,
+                        query.coords,
+                        support_coords,
+                        dim,
+                        None,
+                        query.cap - *count,
+                    );
+                    *evals += scanned;
+                    *count += found;
+                }
             }
             Node::Inner {
                 split_dim,
@@ -225,22 +405,33 @@ impl KdIndex {
         }
     }
 
-    /// Builds a leaf: points sorted ascending (core prefix first) with
-    /// their coordinates gathered into a contiguous tile.
+    /// Builds a leaf: the unified indices are sorted ascending and split
+    /// into core and support sub-tiles (core indices come first in the
+    /// unified order), with coordinates gathered contiguously per side.
     fn make_leaf(partition: &Partition, idx: &[u32]) -> Node {
         let dim = partition.dim();
         let total_core = partition.core().len();
         let mut points = idx.to_vec();
         points.sort_unstable();
         let n_core = points.partition_point(|&j| (j as usize) < total_core);
-        let mut coords = Vec::with_capacity(points.len() * dim);
-        for &j in &points {
-            coords.extend_from_slice(partition.point(j as usize));
+        let core: Vec<u32> = points[..n_core].to_vec();
+        let mut core_coords = Vec::with_capacity(n_core * dim);
+        for &j in &core {
+            core_coords.extend_from_slice(partition.point(j as usize));
+        }
+        let support: Vec<u32> = points[n_core..]
+            .iter()
+            .map(|&j| j - total_core as u32)
+            .collect();
+        let mut support_coords = Vec::with_capacity(support.len() * dim);
+        for &j in &support {
+            support_coords.extend_from_slice(partition.support().point(j as usize));
         }
         Node::Leaf {
-            points,
-            coords,
-            n_core,
+            core,
+            core_coords,
+            support,
+            support_coords,
         }
     }
 
@@ -291,7 +482,7 @@ impl KdIndex {
 struct Query<'a> {
     /// Query coordinates.
     coords: &'a [f64],
-    /// Unified index of the query point itself (excluded from its own
+    /// **Core** index of the query point itself (excluded from its own
     /// neighbor count), or `None` for external query points.
     skip: Option<usize>,
     /// Whether only core points count as neighbors.
@@ -445,6 +636,66 @@ mod tests {
         let ib = IndexBased::default().detect(&p, prm);
         let rf = Reference.detect(&p, prm);
         assert_eq!(ib.outliers, rf.outliers);
+    }
+
+    #[test]
+    fn incremental_mutations_match_fresh_build() {
+        let full = random_partition(42, 60, 20, 8.0);
+        let prm = params(1.0, 4);
+
+        // Start from a prefix of the partition…
+        let mut part = Partition::new(
+            full.core().gather(&(0..40u64).collect::<Vec<_>>()),
+            (0..40u64).collect(),
+            full.support().gather(&(0..10u64).collect::<Vec<_>>()),
+        )
+        .unwrap();
+        let mut index = KdIndex::build(&part, 16);
+
+        // …splice in the remaining points…
+        for i in 40..60 {
+            let p = full.core().point(i).to_vec();
+            let ci = part.push_core(&p, i as u64).unwrap();
+            index.insert_core(ci as u32, &p);
+        }
+        for i in 10..20 {
+            let p = full.support().point(i).to_vec();
+            let si = part.push_support(&p).unwrap();
+            index.insert_support(si as u32, &p);
+        }
+
+        // …and remove a few, mirroring the swap-remove renumbering.
+        for victim in [3usize, 17, 44, 0] {
+            let p = part.core().point(victim).to_vec();
+            let last = part.core().len() - 1;
+            let moved = (victim < last).then(|| part.core().point(last).to_vec());
+            part.swap_remove_core(victim);
+            index.remove_core(victim as u32, &p);
+            if let Some(mp) = moved {
+                index.renumber_core(last as u32, victim as u32, &mp);
+            }
+        }
+        for victim in [5usize, 0] {
+            let p = part.support().point(victim).to_vec();
+            let last = part.support().len() - 1;
+            let moved = (victim < last).then(|| part.support().point(last).to_vec());
+            part.swap_remove_support(victim);
+            index.remove_support(victim as u32, &p);
+            if let Some(mp) = moved {
+                index.renumber_support(last as u32, victim as u32, &mp);
+            }
+        }
+
+        let fresh = KdIndex::build(&part, 16);
+        let det = IndexBased::default().detect_with_index(&part, prm, &index);
+        let fresh_det = IndexBased::default().detect_with_index(&part, prm, &fresh);
+        assert_eq!(det.outliers, fresh_det.outliers);
+        for q in [[0.5, 0.5], [4.0, 4.0], [7.5, 7.5]] {
+            assert_eq!(
+                index.count_core_neighbors(&part, &q, prm, usize::MAX),
+                fresh.count_core_neighbors(&part, &q, prm, usize::MAX),
+            );
+        }
     }
 
     proptest! {

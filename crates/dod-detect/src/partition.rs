@@ -109,6 +109,47 @@ impl Partition {
         let dim = self.dim();
         Rect::bounding(self.core.iter().chain(self.support.iter()), dim)
     }
+
+    /// Appends a core point with its stable global id, returning its
+    /// core index.
+    ///
+    /// # Errors
+    /// Returns an error on dimensionality mismatch.
+    pub fn push_core(&mut self, p: &[f64], id: PointId) -> Result<usize, CoreError> {
+        self.core.push(p)?;
+        self.core_ids.push(id);
+        Ok(self.core.len() - 1)
+    }
+
+    /// Removes core point `i` in O(d) by moving the last core point into
+    /// its slot (see [`PointSet::swap_remove`]), returning the removed
+    /// point's id. The point previously at core index `core().len()`
+    /// (after removal) now sits at index `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.core().len()`.
+    pub fn swap_remove_core(&mut self, i: usize) -> PointId {
+        self.core.swap_remove(i);
+        self.core_ids.swap_remove(i)
+    }
+
+    /// Appends a support point, returning its support index.
+    ///
+    /// # Errors
+    /// Returns an error on dimensionality mismatch.
+    pub fn push_support(&mut self, p: &[f64]) -> Result<usize, CoreError> {
+        self.support.push(p)?;
+        Ok(self.support.len() - 1)
+    }
+
+    /// Removes support point `i` in O(d) by moving the last support
+    /// point into its slot.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.support().len()`.
+    pub fn swap_remove_support(&mut self, i: usize) {
+        self.support.swap_remove(i);
+    }
 }
 
 #[cfg(test)]

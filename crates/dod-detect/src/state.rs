@@ -19,7 +19,7 @@
 
 use std::sync::Arc;
 
-use dod_core::{NeighborPredicate, OutlierParams};
+use dod_core::{CoreError, NeighborPredicate, OutlierParams, PointId};
 
 use crate::cell_based::{CellBased, CellIndex};
 use crate::cost::AlgorithmKind;
@@ -50,6 +50,11 @@ pub struct PartitionState {
     pred: NeighborPredicate,
     kind: AlgorithmKind,
     index: StateIndex,
+    /// Incremental mutations applied since the index was last built.
+    mutations: usize,
+    /// Partition size at the last index build — the baseline the
+    /// compaction threshold scales with.
+    built_total: usize,
 }
 
 impl PartitionState {
@@ -77,12 +82,145 @@ impl PartitionState {
                 | AlgorithmKind::Reference => StateIndex::Scan,
             }
         };
+        let built_total = partition.total_len();
         PartitionState {
             partition,
             params,
             pred: params.predicate(),
             kind,
             index,
+            mutations: 0,
+            built_total,
+        }
+    }
+
+    /// Inserts a new core point with its stable global id, splicing it
+    /// into the resident index so subsequent queries remain exact.
+    ///
+    /// If the point falls outside the built index's domain (cell grids
+    /// cover a fixed bounding box) the index is rebuilt in place.
+    ///
+    /// # Errors
+    /// Returns an error on dimensionality mismatch; the state is
+    /// unchanged in that case.
+    pub fn insert_core(&mut self, p: &[f64], id: PointId) -> Result<(), CoreError> {
+        let part = Arc::make_mut(&mut self.partition);
+        let ci = part.push_core(p, id)?;
+        let out_of_domain = match &mut self.index {
+            StateIndex::Cells(cells) => !cells.insert_core(ci as u32, p),
+            StateIndex::Tree(tree) => {
+                tree.insert_core(ci as u32, p);
+                false
+            }
+            StateIndex::Scan => false,
+        };
+        self.note_mutation(out_of_domain);
+        Ok(())
+    }
+
+    /// Inserts a replicated support point (support points carry no ids).
+    ///
+    /// # Errors
+    /// Returns an error on dimensionality mismatch.
+    pub fn insert_support(&mut self, p: &[f64]) -> Result<(), CoreError> {
+        let part = Arc::make_mut(&mut self.partition);
+        let si = part.push_support(p)?;
+        let out_of_domain = match &mut self.index {
+            StateIndex::Cells(cells) => !cells.insert_support(si as u32, p),
+            StateIndex::Tree(tree) => {
+                tree.insert_support(si as u32, p);
+                false
+            }
+            StateIndex::Scan => false,
+        };
+        self.note_mutation(out_of_domain);
+        Ok(())
+    }
+
+    /// Removes the core point with global id `id`, returning whether it
+    /// was resident. The index is patched in place (swap-remove plus a
+    /// renumber of the one moved entry).
+    pub fn remove_core(&mut self, id: PointId) -> bool {
+        let Some(victim) = self.partition.core_ids().iter().position(|&x| x == id) else {
+            return false;
+        };
+        let part = Arc::make_mut(&mut self.partition);
+        let p = part.core().point(victim).to_vec();
+        let last = part.core().len() - 1;
+        let moved = (victim < last).then(|| part.core().point(last).to_vec());
+        part.swap_remove_core(victim);
+        match &mut self.index {
+            StateIndex::Cells(cells) => {
+                cells.remove_core(victim as u32, &p);
+                if let Some(mp) = &moved {
+                    cells.renumber_core(last as u32, victim as u32, mp);
+                }
+            }
+            StateIndex::Tree(tree) => {
+                tree.remove_core(victim as u32, &p);
+                if let Some(mp) = &moved {
+                    tree.renumber_core(last as u32, victim as u32, mp);
+                }
+            }
+            StateIndex::Scan => {}
+        }
+        self.note_mutation(false);
+        true
+    }
+
+    /// Removes one support point with exactly these coordinates,
+    /// returning whether one was found. Duplicate support copies are
+    /// interchangeable for neighbor counting, so removing any one of
+    /// them is correct.
+    pub fn remove_support_matching(&mut self, p: &[f64]) -> bool {
+        let support = self.partition.support();
+        let Some(victim) = (0..support.len()).find(|&i| support.point(i) == p) else {
+            return false;
+        };
+        let part = Arc::make_mut(&mut self.partition);
+        let last = part.support().len() - 1;
+        let moved = (victim < last).then(|| part.support().point(last).to_vec());
+        part.swap_remove_support(victim);
+        match &mut self.index {
+            StateIndex::Cells(cells) => {
+                cells.remove_support(victim as u32, p);
+                if let Some(mp) = &moved {
+                    cells.renumber_support(last as u32, victim as u32, mp);
+                }
+            }
+            StateIndex::Tree(tree) => {
+                tree.remove_support(victim as u32, p);
+                if let Some(mp) = &moved {
+                    tree.renumber_support(last as u32, victim as u32, mp);
+                }
+            }
+            StateIndex::Scan => {}
+        }
+        self.note_mutation(false);
+        true
+    }
+
+    /// Mutations applied since the index was last (re)built.
+    pub fn pending_mutations(&self) -> usize {
+        self.mutations
+    }
+
+    /// Rebuilds the resident index from the current partition contents,
+    /// resetting the mutation counter.
+    pub fn rebuild(&mut self) {
+        *self = PartitionState::build(self.kind, Arc::clone(&self.partition), self.params);
+    }
+
+    /// Books one incremental mutation and compacts (rebuilds the index)
+    /// once enough have accumulated for splice-degraded structures —
+    /// overgrown kd leaves, skewed cell buckets — to be worth paying the
+    /// build again. `force` short-circuits the threshold for mutations
+    /// an index cannot absorb (a point outside a cell grid's domain).
+    fn note_mutation(&mut self, force: bool) {
+        self.mutations += 1;
+        let threshold = usize::max(32, self.built_total / 2);
+        if force || self.mutations > threshold {
+            self.rebuild();
         }
     }
 
@@ -266,6 +404,58 @@ mod tests {
             assert!(state.detect().outliers.is_empty());
             assert_eq!(state.count_core_neighbors(&[0.0, 0.0], 5), 0);
         }
+    }
+
+    #[test]
+    fn mutations_keep_state_equivalent_to_fresh_build() {
+        let params = OutlierParams::new(1.0, 2).unwrap();
+        for kind in ALL_KINDS {
+            let mut state = PartitionState::build(kind, sample_partition(), params);
+            state.insert_core(&[0.15, 0.15], 14).unwrap();
+            // Outside the built bounding box: cell grids must rebuild.
+            state.insert_core(&[20.0, 20.0], 15).unwrap();
+            state.insert_support(&[0.25, 0.05]).unwrap();
+            assert!(state.remove_core(13));
+            assert!(!state.remove_core(99));
+            assert!(state.remove_support_matching(&[0.3, 0.3]));
+            assert!(!state.remove_support_matching(&[123.0, 123.0]));
+            assert!(state.insert_core(&[0.15], 16).is_err(), "dim mismatch");
+
+            let fresh = PartitionState::build(kind, Arc::new(state.partition().clone()), params);
+            assert_eq!(
+                state.detect().outliers,
+                fresh.detect().outliers,
+                "kind {}",
+                kind.name()
+            );
+            for q in [[0.1, 0.1], [9.0, 9.0], [20.0, 20.0]] {
+                assert_eq!(
+                    state.count_core_neighbors(&q, usize::MAX),
+                    fresh.count_core_neighbors(&q, usize::MAX),
+                    "kind {} query {q:?}",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_churn_triggers_compaction() {
+        let params = OutlierParams::new(1.0, 2).unwrap();
+        let mut state =
+            PartitionState::build(AlgorithmKind::IndexBased, sample_partition(), params);
+        for i in 0..40u64 {
+            state.insert_core(&[0.01 * i as f64, 0.0], 100 + i).unwrap();
+        }
+        // The compaction threshold (32 for a tiny partition) fired at
+        // least once, so the pending counter wrapped back around.
+        assert!(state.pending_mutations() < 40);
+        let fresh = PartitionState::build(
+            AlgorithmKind::IndexBased,
+            Arc::new(state.partition().clone()),
+            params,
+        );
+        assert_eq!(state.detect().outliers, fresh.detect().outliers);
     }
 
     #[test]

@@ -1,5 +1,6 @@
-//! The resident engine: build once, serve many.
+//! The resident engine: build once, serve many — and mutate in place.
 
+use std::collections::{HashMap, VecDeque};
 use std::io::Write;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -11,7 +12,7 @@ use dod_core::{PointId, PointSet};
 use dod_detect::{Partition, PartitionState};
 use dod_obs::sync::{lock_recover, read_recover, wait_recover, write_recover};
 use dod_obs::{names, FanoutRecorder, FlightRecorder, Obs, Recorder, Value};
-use dod_partition::MultiTacticPlan;
+use dod_partition::{MultiTacticPlan, Router};
 
 use crate::error::EngineError;
 use crate::worker::{Job, Pending, WorkerPool};
@@ -21,6 +22,12 @@ pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
 
 /// Default drift threshold of [`Engine::refresh_if_drifted`].
 pub const DEFAULT_DRIFT_THRESHOLD: f64 = 0.25;
+
+/// Default staleness threshold: once incremental mutations since the
+/// last epoch exceed this fraction of the epoch's resident size, a
+/// mutation op falls back to an epoch-swap refresh (replanning over the
+/// churned dataset) instead of splicing further.
+pub const DEFAULT_STALENESS_THRESHOLD: f64 = 0.5;
 
 /// How many of a request's heaviest partitions get individual
 /// `engine.partition.work` counters; remaining work is rolled up per
@@ -64,6 +71,11 @@ pub struct EngineHealth {
     /// Total requests submitted since the engine was built (each minted
     /// a [`RequestId`]).
     pub requests: u64,
+    /// Resident (alive) points in the dataset.
+    pub points: usize,
+    /// Streaming mutations (inserts, removes, window expiries) applied
+    /// since the last epoch swap.
+    pub churn: u64,
 }
 
 /// The id minted for one engine request, propagated as the `request`
@@ -83,10 +95,212 @@ pub struct ScorePoint {
     pub outlier: bool,
 }
 
+/// A sliding-window bound on the resident dataset. Both limits may be
+/// active at once; a config with neither is unbounded (the default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WindowConfig {
+    /// Keep at most this many resident points, expiring the oldest.
+    pub max_points: Option<usize>,
+    /// Expire points older than this (measured from their insertion).
+    pub max_age: Option<Duration>,
+}
+
+impl WindowConfig {
+    /// Whether the window imposes no bound at all.
+    pub fn is_unbounded(&self) -> bool {
+        self.max_points.is_none() && self.max_age.is_none()
+    }
+}
+
+/// One engine operation, submitted via [`Engine::submit`] /
+/// [`Engine::submit_with`].
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Score external query points against the resident dataset.
+    Score {
+        /// The query points.
+        points: Vec<Vec<f64>>,
+    },
+    /// Detect all outliers of the resident dataset.
+    Detect,
+    /// Insert new points into the resident dataset, splicing them into
+    /// the per-partition state (or epoch-swapping when the plan cannot
+    /// absorb them exactly).
+    Insert {
+        /// The points to insert.
+        points: Vec<Vec<f64>>,
+    },
+    /// Remove resident points by id.
+    Remove {
+        /// Ids of the points to remove (as minted by insert, or the
+        /// build-time dataset positions).
+        ids: Vec<PointId>,
+    },
+    /// Reconfigure the sliding window (`Some`) or just run an expiry
+    /// sweep under the current one (`None`). Setting an unbounded
+    /// [`WindowConfig`] clears the window.
+    Window {
+        /// The new window bound, or `None` to tick the existing one.
+        config: Option<WindowConfig>,
+    },
+}
+
+/// Per-request options of [`Engine::submit_with`], builder-style.
+///
+/// ```
+/// # use std::time::Duration;
+/// # use dod_engine::RequestOptions;
+/// let opts = RequestOptions::new().deadline(Duration::from_millis(50));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RequestOptions {
+    deadline: Option<Duration>,
+    degraded: Option<Duration>,
+}
+
+impl RequestOptions {
+    /// Options carrying neither a deadline nor a degraded budget; the
+    /// engine's default deadline (if any) applies.
+    pub fn new() -> Self {
+        RequestOptions::default()
+    }
+
+    /// Hard per-request deadline, measured from submission: a request
+    /// past it fails with [`EngineError::DeadlineExceeded`].
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Degraded-mode time budget for [`Request::Score`]: instead of
+    /// failing, a blown budget returns partial per-point results
+    /// ([`Response::ScoreDegraded`]). Ignored by other request kinds.
+    pub fn degraded(mut self, budget: Duration) -> Self {
+        self.degraded = Some(budget);
+        self
+    }
+}
+
+/// The result of one [`Request`], matched to its kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Answer to [`Request::Score`].
+    Score(Vec<ScorePoint>),
+    /// Answer to [`Request::Score`] under a degraded budget.
+    ScoreDegraded(Vec<DegradedScore>),
+    /// Answer to [`Request::Detect`]: ascending outlier ids.
+    Outliers(Vec<PointId>),
+    /// Answer to [`Request::Insert`].
+    Insert(InsertReceipt),
+    /// Answer to [`Request::Remove`].
+    Remove(RemoveReceipt),
+    /// Answer to [`Request::Window`].
+    Window(WindowStatus),
+}
+
+impl Response {
+    /// The score vector, if this is a [`Response::Score`].
+    pub fn into_score(self) -> Option<Vec<ScorePoint>> {
+        match self {
+            Response::Score(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The degraded scores, if this is a [`Response::ScoreDegraded`].
+    pub fn into_degraded(self) -> Option<Vec<DegradedScore>> {
+        match self {
+            Response::ScoreDegraded(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The outlier ids, if this is a [`Response::Outliers`].
+    pub fn into_outliers(self) -> Option<Vec<PointId>> {
+        match self {
+            Response::Outliers(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The insert receipt, if this is a [`Response::Insert`].
+    pub fn into_insert(self) -> Option<InsertReceipt> {
+        match self {
+            Response::Insert(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The remove receipt, if this is a [`Response::Remove`].
+    pub fn into_remove(self) -> Option<RemoveReceipt> {
+        match self {
+            Response::Remove(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The window status, if this is a [`Response::Window`].
+    pub fn into_window(self) -> Option<WindowStatus> {
+        match self {
+            Response::Window(w) => Some(w),
+            _ => None,
+        }
+    }
+}
+
+/// Outcome of a [`Request::Insert`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InsertReceipt {
+    /// Stable id minted for each inserted point, in input order. Valid
+    /// across refreshes (an epoch swap preserves ids).
+    pub ids: Vec<PointId>,
+    /// Points the sliding window expired as a consequence of this
+    /// insert (possibly including just-inserted points).
+    pub expired: usize,
+    /// Whether the op fell back to an epoch-swap refresh (out-of-domain
+    /// point, no resident plan, or staleness threshold crossed).
+    pub refreshed: bool,
+    /// Resident (alive) points after the op.
+    pub resident: usize,
+}
+
+/// Outcome of a [`Request::Remove`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoveReceipt {
+    /// Points actually removed.
+    pub removed: usize,
+    /// Ids that were unknown or already removed.
+    pub missing: usize,
+    /// Whether the op fell back to an epoch-swap refresh.
+    pub refreshed: bool,
+    /// Resident (alive) points after the op.
+    pub resident: usize,
+}
+
+/// Outcome of a [`Request::Window`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowStatus {
+    /// The window in effect after the op.
+    pub window: WindowConfig,
+    /// Points the expiry sweep evicted.
+    pub expired: usize,
+    /// Whether the op fell back to an epoch-swap refresh.
+    pub refreshed: bool,
+    /// Resident (alive) points after the op.
+    pub resident: usize,
+}
+
 /// The materialized serving state of one plan epoch.
 struct ResidentPlan {
     mt: MultiTacticPlan,
-    states: Vec<Arc<PartitionState>>,
+    /// The routing structure of this epoch's plan, kept so streaming
+    /// inserts/removes can locate the partitions a point belongs to.
+    router: Arc<Router>,
+    /// Per-partition detector state. Readers (score/detect) take the
+    /// per-state read lock; mutation ops take the write lock — they
+    /// already hold the engine-wide ingest write lock, so these are
+    /// uncontended in practice and exist to make the sharing sound.
+    states: Vec<RwLock<PartitionState>>,
 }
 
 /// One immutable epoch of resident state; requests clone the `Arc` and
@@ -97,18 +311,169 @@ struct Resident {
     plan: Option<ResidentPlan>,
 }
 
+/// The engine's authoritative dataset: append-only slots with a
+/// liveness mask, so streaming inserts and removes are O(1) and stable
+/// [`PointId`]s survive epoch swaps. Dead slots are compacted away at
+/// each refresh.
+struct DatasetState {
+    /// Every point ever inserted this compaction era, dead or alive.
+    points: PointSet,
+    /// Stable id per slot, aligned with `points`.
+    ids: Vec<PointId>,
+    /// Liveness per slot.
+    alive: Vec<bool>,
+    /// Id → slot for O(1) removal.
+    index_of: HashMap<PointId, usize>,
+    /// Number of live slots.
+    alive_len: usize,
+    /// Next id to mint; never reused.
+    next_id: PointId,
+    /// The sliding-window bound currently in force.
+    window: WindowConfig,
+    /// Insertion order with arrival times, oldest first, for window
+    /// expiry. May contain dead entries; they are skipped when popped.
+    arrivals: VecDeque<(PointId, Instant)>,
+    /// Live points at the last materialization — the staleness baseline.
+    epoch_points: usize,
+    /// Mutations (inserts + removes + expiries) since the last
+    /// materialization.
+    churn: u64,
+}
+
+impl DatasetState {
+    fn new(data: &PointSet, window: WindowConfig, now: Instant) -> Self {
+        let n = data.len();
+        DatasetState {
+            points: data.clone(),
+            ids: (0..n as PointId).collect(),
+            alive: vec![true; n],
+            index_of: (0..n).map(|i| (i as PointId, i)).collect(),
+            alive_len: n,
+            next_id: n as PointId,
+            window,
+            arrivals: (0..n as PointId).map(|id| (id, now)).collect(),
+            epoch_points: n,
+            churn: 0,
+        }
+    }
+
+    /// Appends a live point and mints its id. Caller validates the
+    /// dimension first.
+    fn insert(&mut self, p: &[f64], now: Instant) -> PointId {
+        let slot = self.points.len();
+        self.points.push(p).expect("caller validated dimension");
+        let id = self.next_id;
+        self.next_id += 1;
+        self.ids.push(id);
+        self.alive.push(true);
+        self.index_of.insert(id, slot);
+        self.alive_len += 1;
+        self.arrivals.push_back((id, now));
+        self.churn += 1;
+        id
+    }
+
+    /// Marks `id` dead, returning its coordinates, or `None` if it is
+    /// unknown or already dead.
+    fn remove(&mut self, id: PointId) -> Option<Vec<f64>> {
+        let slot = *self.index_of.get(&id)?;
+        if !self.alive[slot] {
+            return None;
+        }
+        self.alive[slot] = false;
+        self.alive_len -= 1;
+        self.churn += 1;
+        Some(self.points.point(slot).to_vec())
+    }
+
+    /// Expires points the window no longer covers, oldest first,
+    /// returning them with their coordinates.
+    fn expire(&mut self, now: Instant) -> Vec<(PointId, Vec<f64>)> {
+        let mut evicted = Vec::new();
+        while let Some(&(id, arrived)) = self.arrivals.front() {
+            let slot = self.index_of[&id];
+            if !self.alive[slot] {
+                // Removed out of band; drop the stale arrival entry.
+                self.arrivals.pop_front();
+                continue;
+            }
+            let over_count = self
+                .window
+                .max_points
+                .is_some_and(|cap| self.alive_len > cap);
+            let over_age = self
+                .window
+                .max_age
+                .is_some_and(|age| now.duration_since(arrived) > age);
+            if !(over_count || over_age) {
+                break;
+            }
+            self.arrivals.pop_front();
+            self.alive[slot] = false;
+            self.alive_len -= 1;
+            self.churn += 1;
+            evicted.push((id, self.points.point(slot).to_vec()));
+        }
+        evicted
+    }
+
+    /// Drops dead slots, resetting the staleness baseline. Run at every
+    /// materialization so the epoch's plan sees exactly the live points.
+    fn compact(&mut self) {
+        if self.alive_len < self.points.len() {
+            let mut points =
+                PointSet::with_capacity(self.points.dim(), self.alive_len).expect("dim >= 1");
+            let mut ids = Vec::with_capacity(self.alive_len);
+            for slot in 0..self.points.len() {
+                if self.alive[slot] {
+                    points.push(self.points.point(slot)).expect("same dim");
+                    ids.push(self.ids[slot]);
+                }
+            }
+            self.points = points;
+            self.ids = ids;
+            self.alive = vec![true; self.alive_len];
+            self.index_of = self
+                .ids
+                .iter()
+                .enumerate()
+                .map(|(slot, &id)| (id, slot))
+                .collect();
+            self.arrivals
+                .retain(|(id, _)| self.index_of.contains_key(id));
+        }
+        self.epoch_points = self.alive_len;
+        self.churn = 0;
+    }
+
+    /// Churn since the last epoch relative to the epoch's size.
+    fn staleness(&self) -> f64 {
+        self.churn as f64 / self.epoch_points.max(1) as f64
+    }
+}
+
 struct Shared {
     runner: DodRunner,
-    data: PointSet,
     dim: usize,
+    /// The authoritative dataset, mutated by streaming ops.
+    dataset: Mutex<DatasetState>,
     resident: RwLock<Arc<Resident>>,
+    /// Read/write gate between serving and mutation: score/detect jobs
+    /// hold it shared for their whole execution, insert/remove/window
+    /// jobs hold it exclusively — so a reader never observes a
+    /// half-applied mutation (a point core-resident in one partition
+    /// but missing from a neighbor's support set).
+    ingest: RwLock<()>,
     /// Observed per-partition mass: core counts at materialization time
-    /// plus one unit per scored query point located in the partition.
-    /// Reset on every refresh.
+    /// plus one unit per scored query point located in the partition,
+    /// plus one unit per streaming mutation touching it. Reset on every
+    /// refresh.
     observed: Mutex<Vec<f64>>,
     /// Serializes refreshes so concurrent drift probes cannot replan the
     /// same epoch twice.
     refresh: Mutex<()>,
+    /// Staleness ratio above which a mutation op epoch-swaps.
+    staleness_threshold: f64,
     /// The engine's emitting handle: the user's recorder (if any) fanned
     /// out with the always-on flight recorder.
     obs: Obs,
@@ -137,6 +502,7 @@ impl Shared {
     fn materialize(
         runner: &DodRunner,
         data: &PointSet,
+        point_ids: &[PointId],
     ) -> Result<(Option<ResidentPlan>, Vec<f64>), EngineError> {
         if data.is_empty() {
             return Ok((None, Vec::new()));
@@ -148,13 +514,13 @@ impl Shared {
         let mut cores: Vec<PointSet> = (0..n_parts).map(|_| new_set()).collect();
         let mut core_ids: Vec<Vec<PointId>> = vec![Vec::new(); n_parts];
         let mut supports: Vec<PointSet> = (0..n_parts).map(|_| new_set()).collect();
-        for i in 0..data.len() {
+        for (i, &point_id) in point_ids.iter().enumerate() {
             let p = data.point(i);
             let routing = pre.router.route(p);
             cores[routing.core as usize]
                 .push(p)
                 .expect("same dimension");
-            core_ids[routing.core as usize].push(i as PointId);
+            core_ids[routing.core as usize].push(point_id);
             for &pid in &routing.support {
                 supports[pid as usize].push(p).expect("same dimension");
             }
@@ -167,13 +533,20 @@ impl Shared {
             let pid = states.len();
             let partition =
                 Partition::new(core, ids, support).expect("routing is dimension-consistent");
-            states.push(Arc::new(PartitionState::build(
+            states.push(RwLock::new(PartitionState::build(
                 pre.mt.algorithms[pid],
                 Arc::new(partition),
                 params,
             )));
         }
-        Ok((Some(ResidentPlan { mt: pre.mt, states }), counts))
+        Ok((
+            Some(ResidentPlan {
+                mt: pre.mt,
+                router: pre.router,
+                states,
+            }),
+            counts,
+        ))
     }
 
     /// Dumps the flight-recorder ring (when one is armed) as JSONL to
@@ -281,6 +654,7 @@ impl Shared {
         deadline: Option<Instant>,
         rid: RequestId,
     ) -> Result<Vec<ScorePoint>, EngineError> {
+        let _serving = read_recover(&self.ingest);
         let resident = Arc::clone(&read_recover(&self.resident));
         let params = self.runner.config().params;
         let (r, k, metric) = (params.r, params.k, params.metric);
@@ -310,18 +684,19 @@ impl Shared {
             };
             traffic[plan.mt.plan.locate(q) as usize] += 1;
             let mut neighbors = 0usize;
-            for (pid, state) in plan.states.iter().enumerate() {
+            for (pid, slot) in plan.states.iter().enumerate() {
                 if neighbors >= k {
                     break;
-                }
-                if state.core_len() == 0 {
-                    continue;
                 }
                 // Core sets partition the dataset (Lemma 3.1 replicates
                 // only support copies), so partitions whose rectangle is
                 // farther than `r` cannot contribute core neighbors.
                 let rect = plan.mt.plan.rect(pid);
                 if metric.min_dist_to_rect(rect.min(), rect.max(), q) > r {
+                    continue;
+                }
+                let state = read_recover(slot);
+                if state.core_len() == 0 {
                     continue;
                 }
                 let (found, w) = state.count_core_neighbors_traced(q, k - neighbors);
@@ -358,6 +733,7 @@ impl Shared {
         budget_at: Instant,
         rid: RequestId,
     ) -> Result<Vec<DegradedScore>, EngineError> {
+        let _serving = read_recover(&self.ingest);
         let resident = Arc::clone(&read_recover(&self.resident));
         let params = self.runner.config().params;
         let (r, k, metric) = (params.r, params.k, params.metric);
@@ -382,7 +758,7 @@ impl Shared {
             let mut neighbors = 0usize;
             let mut degraded = over_budget;
             if !degraded {
-                for (pid, state) in plan.states.iter().enumerate() {
+                for (pid, slot) in plan.states.iter().enumerate() {
                     if Instant::now() > budget_at {
                         over_budget = true;
                         degraded = true;
@@ -391,11 +767,12 @@ impl Shared {
                     if neighbors >= k {
                         break;
                     }
-                    if state.core_len() == 0 {
-                        continue;
-                    }
                     let rect = plan.mt.plan.rect(pid);
                     if metric.min_dist_to_rect(rect.min(), rect.max(), q) > r {
+                        continue;
+                    }
+                    let state = read_recover(slot);
+                    if state.core_len() == 0 {
                         continue;
                     }
                     let (found, w) = state.count_core_neighbors_traced(q, k - neighbors);
@@ -421,18 +798,20 @@ impl Shared {
         deadline: Option<Instant>,
         rid: RequestId,
     ) -> Result<Vec<PointId>, EngineError> {
+        let _serving = read_recover(&self.ingest);
         let resident = Arc::clone(&read_recover(&self.resident));
         let Some(plan) = &resident.plan else {
             return Ok(Vec::new());
         };
         let mut outliers = Vec::new();
         let mut work = vec![0u64; plan.states.len()];
-        for (pid, state) in plan.states.iter().enumerate() {
+        for (pid, slot) in plan.states.iter().enumerate() {
             if let Some(d) = deadline {
                 if Instant::now() > d {
                     return Err(EngineError::DeadlineExceeded);
                 }
             }
+            let state = read_recover(slot);
             let detection = state.detect();
             detection
                 .stats
@@ -445,6 +824,274 @@ impl Shared {
         outliers.sort_unstable();
         Ok(outliers)
     }
+
+    /// Inserts a batch into the resident dataset (the `insert` op).
+    ///
+    /// Points that the current plan can absorb exactly are spliced into
+    /// their partitions' states in place; a batch containing any point
+    /// the plan cannot absorb (outside the plan's domain or its core
+    /// partition's rectangle — where routing may be clamped and support
+    /// memberships of existing points could change) falls back to one
+    /// epoch-swap refresh over the whole batch. Either way, subsequent
+    /// answers are exactly a fresh rebuild's.
+    fn insert(
+        &self,
+        points: &[Vec<f64>],
+        deadline: Option<Instant>,
+        rid: RequestId,
+    ) -> Result<InsertReceipt, EngineError> {
+        let _ingest = write_recover(&self.ingest);
+        if let Some(d) = deadline {
+            if Instant::now() > d {
+                return Err(EngineError::DeadlineExceeded);
+            }
+        }
+        // Validate the whole batch before mutating anything.
+        for q in points {
+            if q.len() != self.dim {
+                return Err(EngineError::Dimension {
+                    expected: self.dim,
+                    got: q.len(),
+                });
+            }
+        }
+        let now = Instant::now();
+        let (ids, expired) = {
+            let mut ds = lock_recover(&self.dataset);
+            let ids: Vec<PointId> = points.iter().map(|p| ds.insert(p, now)).collect();
+            let expired = ds.expire(now);
+            (ids, expired)
+        };
+        self.note_churn(rid, "insert", points.len(), expired.len());
+        let mut refreshed = false;
+        {
+            let resident = Arc::clone(&read_recover(&self.resident));
+            match &resident.plan {
+                None => refreshed = true,
+                Some(plan) => {
+                    // Splicing p is exact iff p lies inside the plan's
+                    // domain (locate() clamps out-of-domain points, so
+                    // routing would be wrong) and inside its core
+                    // partition's rectangle (then any resident y within
+                    // r of p already has p's partition in its support
+                    // set, so no existing membership changes).
+                    let domain = plan.mt.plan.domain();
+                    let routings: Vec<_> = points.iter().map(|p| plan.router.route(p)).collect();
+                    let exact = points.iter().zip(&routings).all(|(p, routing)| {
+                        domain.contains_closed(p)
+                            && plan.mt.plan.rect(routing.core as usize).contains_closed(p)
+                    });
+                    if exact {
+                        {
+                            let mut observed = lock_recover(&self.observed);
+                            for ((p, &id), routing) in points.iter().zip(&ids).zip(&routings) {
+                                write_recover(&plan.states[routing.core as usize])
+                                    .insert_core(p, id)
+                                    .expect("dimension validated above");
+                                for &pid in &routing.support {
+                                    write_recover(&plan.states[pid as usize])
+                                        .insert_support(p)
+                                        .expect("dimension validated above");
+                                }
+                                if let Some(slot) = observed.get_mut(routing.core as usize) {
+                                    *slot += 1.0;
+                                }
+                            }
+                        }
+                        self.apply_removals(plan, &expired);
+                    } else {
+                        refreshed = true;
+                    }
+                }
+            }
+        }
+        if refreshed {
+            self.refresh_inner(None)?;
+        } else {
+            refreshed = self.staleness_fallback()?;
+        }
+        Ok(InsertReceipt {
+            ids,
+            expired: expired.len(),
+            refreshed,
+            resident: lock_recover(&self.dataset).alive_len,
+        })
+    }
+
+    /// Removes a batch by id (the `remove` op). Removal is always exact
+    /// incrementally: a resident point's routing under the current plan
+    /// is exactly where materialization (or its incremental insert)
+    /// placed its core and support copies.
+    fn remove(
+        &self,
+        ids: &[PointId],
+        deadline: Option<Instant>,
+        rid: RequestId,
+    ) -> Result<RemoveReceipt, EngineError> {
+        let _ingest = write_recover(&self.ingest);
+        if let Some(d) = deadline {
+            if Instant::now() > d {
+                return Err(EngineError::DeadlineExceeded);
+            }
+        }
+        let mut removed = Vec::new();
+        let mut missing = 0usize;
+        {
+            let mut ds = lock_recover(&self.dataset);
+            for &id in ids {
+                match ds.remove(id) {
+                    Some(coords) => removed.push((id, coords)),
+                    None => missing += 1,
+                }
+            }
+        }
+        self.note_churn(rid, "remove", removed.len(), 0);
+        {
+            let resident = Arc::clone(&read_recover(&self.resident));
+            if let Some(plan) = &resident.plan {
+                self.apply_removals(plan, &removed);
+            }
+        }
+        let refreshed = self.staleness_fallback()?;
+        Ok(RemoveReceipt {
+            removed: removed.len(),
+            missing,
+            refreshed,
+            resident: lock_recover(&self.dataset).alive_len,
+        })
+    }
+
+    /// Reconfigures and/or ticks the sliding window (the `window` op).
+    fn window(
+        &self,
+        config: Option<WindowConfig>,
+        deadline: Option<Instant>,
+        rid: RequestId,
+    ) -> Result<WindowStatus, EngineError> {
+        let _ingest = write_recover(&self.ingest);
+        if let Some(d) = deadline {
+            if Instant::now() > d {
+                return Err(EngineError::DeadlineExceeded);
+            }
+        }
+        let now = Instant::now();
+        let (window, expired) = {
+            let mut ds = lock_recover(&self.dataset);
+            if let Some(cfg) = config {
+                ds.window = cfg;
+            }
+            let expired = ds.expire(now);
+            (ds.window, expired)
+        };
+        self.note_churn(rid, "window", expired.len(), expired.len());
+        {
+            let resident = Arc::clone(&read_recover(&self.resident));
+            if let Some(plan) = &resident.plan {
+                self.apply_removals(plan, &expired);
+            }
+        }
+        let refreshed = self.staleness_fallback()?;
+        Ok(WindowStatus {
+            window,
+            expired: expired.len(),
+            refreshed,
+            resident: lock_recover(&self.dataset).alive_len,
+        })
+    }
+
+    /// Splices removals out of the resident states, attributing churn
+    /// mass to each point's core partition so the drift detector sees
+    /// mutation traffic alongside query traffic.
+    fn apply_removals(&self, plan: &ResidentPlan, removed: &[(PointId, Vec<f64>)]) {
+        if removed.is_empty() {
+            return;
+        }
+        let mut observed = lock_recover(&self.observed);
+        for (id, coords) in removed {
+            let routing = plan.router.route(coords);
+            write_recover(&plan.states[routing.core as usize]).remove_core(*id);
+            for &pid in &routing.support {
+                write_recover(&plan.states[pid as usize]).remove_support_matching(coords);
+            }
+            if let Some(slot) = observed.get_mut(routing.core as usize) {
+                *slot += 1.0;
+            }
+        }
+    }
+
+    /// Emits the churn / window-expiry counters for one mutation op.
+    fn note_churn(&self, rid: RequestId, op: &'static str, churned: usize, expired: usize) {
+        let labels = [("op", Value::from(op)), ("request", Value::from(rid))];
+        if churned > 0 {
+            self.obs
+                .counter(names::ENGINE_CHURN, churned as u64, &labels);
+        }
+        if expired > 0 {
+            self.obs
+                .counter(names::ENGINE_WINDOW_EXPIRED, expired as u64, &labels);
+        }
+    }
+
+    /// Probes staleness (churn since the last epoch over the epoch's
+    /// size) and epoch-swaps when it crossed the threshold — the point
+    /// where accumulated splices have degraded partition balance enough
+    /// that replanning beats further incremental maintenance. Returns
+    /// whether a refresh ran.
+    fn staleness_fallback(&self) -> Result<bool, EngineError> {
+        let staleness = lock_recover(&self.dataset).staleness();
+        let refresh = staleness > self.staleness_threshold;
+        self.obs.mark(
+            names::ENGINE_STALENESS,
+            &[
+                ("staleness", Value::from(staleness)),
+                ("threshold", Value::from(self.staleness_threshold)),
+                ("refreshed", Value::from(u64::from(refresh))),
+            ],
+        );
+        if refresh {
+            self.refresh_inner(None)?;
+        }
+        Ok(refresh)
+    }
+
+    /// Rebuilds the plan over the compacted live dataset with a
+    /// reseeded configuration and atomically swaps the new epoch in.
+    ///
+    /// Callers must prevent concurrent mutations: mutation jobs hold
+    /// the ingest write lock for their whole execution, and the public
+    /// refresh entry points acquire it — otherwise a half-applied
+    /// mutation could be lost across the swap.
+    fn refresh_inner(&self, drift: Option<f64>) -> Result<u64, EngineError> {
+        // Serialize refreshes; requests keep serving from the old epoch
+        // (behind its own Arc) until the swap below.
+        let _serial = lock_recover(&self.refresh);
+        let t0 = Instant::now();
+        let epoch = read_recover(&self.resident).epoch + 1;
+        let base = self.runner.config();
+        let cfg = base
+            .to_builder()
+            .seed(base.seed.wrapping_add(epoch))
+            .build()
+            .map_err(dod::Error::from)?;
+        let (points, ids) = {
+            let mut ds = lock_recover(&self.dataset);
+            ds.compact();
+            (ds.points.clone(), ds.ids.clone())
+        };
+        let (plan, counts) = Shared::materialize(&self.runner.with_config(cfg), &points, &ids)?;
+        {
+            let mut w = write_recover(&self.resident);
+            *w = Arc::new(Resident { epoch, plan });
+        }
+        *lock_recover(&self.observed) = counts;
+        let mut labels = vec![("epoch", Value::from(epoch))];
+        if let Some(d) = drift {
+            labels.push(("drift", Value::from(d)));
+        }
+        self.obs
+            .record_duration(names::ENGINE_REFRESH, t0.elapsed(), &labels);
+        Ok(epoch)
+    }
 }
 
 /// Builder for [`Engine`]. Construct with [`Engine::builder`].
@@ -454,6 +1101,8 @@ pub struct EngineBuilder {
     queue_capacity: usize,
     default_deadline: Option<Duration>,
     drift_threshold: f64,
+    staleness_threshold: f64,
+    window: WindowConfig,
     flight_capacity: usize,
     flight_dump: Option<Box<dyn Write + Send>>,
 }
@@ -487,6 +1136,24 @@ impl EngineBuilder {
     /// per-partition distribution above which the plan is rebuilt.
     pub fn drift_threshold(mut self, t: f64) -> Self {
         self.drift_threshold = t;
+        self
+    }
+
+    /// Staleness threshold (default [`DEFAULT_STALENESS_THRESHOLD`]):
+    /// once streaming mutations since the last epoch exceed this
+    /// fraction of the epoch's resident size, a mutation op falls back
+    /// to an epoch-swap refresh instead of splicing further.
+    pub fn staleness_threshold(mut self, t: f64) -> Self {
+        self.staleness_threshold = t;
+        self
+    }
+
+    /// Initial sliding-window bound on the resident dataset (default:
+    /// unbounded). The window is enforced at every mutation op
+    /// (`insert`, `remove`, `window`); reconfigure it at runtime with
+    /// [`Request::Window`].
+    pub fn window(mut self, w: WindowConfig) -> Self {
+        self.window = w;
         self
     }
 
@@ -529,15 +1196,19 @@ impl EngineBuilder {
             }
             None => user_obs,
         };
-        let (plan, counts) = Shared::materialize(&self.runner, &data)?;
+        let ids: Vec<PointId> = (0..data.len() as PointId).collect();
+        let (plan, counts) = Shared::materialize(&self.runner, &data, &ids)?;
         let dim = data.dim();
+        let dataset = DatasetState::new(&data, self.window, Instant::now());
         let shared = Arc::new(Shared {
             runner: self.runner,
-            data,
             dim,
+            dataset: Mutex::new(dataset),
             resident: RwLock::new(Arc::new(Resident { epoch: 0, plan })),
+            ingest: RwLock::new(()),
             observed: Mutex::new(counts),
             refresh: Mutex::new(()),
+            staleness_threshold: self.staleness_threshold,
             obs,
             in_flight: AtomicUsize::new(0),
             panics: AtomicU64::new(0),
@@ -559,19 +1230,32 @@ impl EngineBuilder {
 /// Preprocessing (sampling, partition planning, per-partition algorithm
 /// selection) and detector-state materialization run **once**, at
 /// [`EngineBuilder::build`]; every subsequent request is served from the
-/// resident [`PartitionState`]s on a bounded worker pool:
+/// resident [`PartitionState`]s on a bounded worker pool. All requests
+/// go through one entry point, [`Engine::submit`] (or
+/// [`Engine::submit_with`] for per-request [`RequestOptions`]):
 ///
-/// * [`Engine::score_batch`] — classify external query points against
-///   the resident dataset;
-/// * [`Engine::detect_all`] — the full outlier set of the resident
+/// * [`Request::Score`] — classify external query points against the
+///   resident dataset (exact, or degraded under a time budget);
+/// * [`Request::Detect`] — the full outlier set of the resident
 ///   dataset, identical to the one-shot pipeline's answer;
-/// * [`Engine::refresh_plan`] / [`Engine::refresh_if_drifted`] — rebuild
-///   the plan when the observed per-partition distribution has drifted
-///   from the plan's predictions.
+/// * [`Request::Insert`] / [`Request::Remove`] — streaming mutation of
+///   the resident dataset, spliced into the per-partition state in
+///   place (falling back to an epoch-swap refresh when a batch cannot
+///   be absorbed exactly, so answers always equal a fresh rebuild's);
+/// * [`Request::Window`] — sliding-window maintenance, expiring old
+///   points by count and/or age.
+///
+/// [`Engine::refresh_plan`] / [`Engine::refresh_if_drifted`] rebuild
+/// the plan when the observed per-partition distribution has drifted
+/// from the plan's predictions; mutation ops trigger the same epoch
+/// swap once churn crosses the staleness threshold.
 ///
 /// Submission is non-blocking: when the bounded queue is full, requests
 /// are rejected with [`EngineError::Overloaded`] instead of queueing
-/// without bound. Each request may carry a deadline.
+/// without bound. Each request may carry a deadline. Mutations are
+/// serialized against in-flight score/detect work by a
+/// reader–writer gate, so a reader never observes a half-applied
+/// mutation.
 pub struct Engine {
     shared: Arc<Shared>,
     pool: WorkerPool,
@@ -588,6 +1272,8 @@ impl Engine {
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
             default_deadline: None,
             drift_threshold: DEFAULT_DRIFT_THRESHOLD,
+            staleness_threshold: DEFAULT_STALENESS_THRESHOLD,
+            window: WindowConfig::default(),
             flight_capacity: dod_obs::DEFAULT_FLIGHT_CAPACITY,
             flight_dump: None,
         }
@@ -628,6 +1314,10 @@ impl Engine {
                 resident.plan.as_ref().map_or(0, |p| p.mt.num_partitions()),
             )
         };
+        let (points, churn) = {
+            let ds = lock_recover(&self.shared.dataset);
+            (ds.alive_len, ds.churn)
+        };
         EngineHealth {
             queue_depth: self.pool.queue_depth(),
             in_flight: self.shared.in_flight.load(Ordering::Acquire),
@@ -636,6 +1326,8 @@ impl Engine {
             epoch,
             partitions,
             requests: self.shared.requests.load(Ordering::Acquire),
+            points,
+            churn,
         }
     }
 
@@ -645,36 +1337,98 @@ impl Engine {
         self.shared.flight.as_ref()
     }
 
+    /// Submits a request with default options (the engine's default
+    /// deadline, no degraded budget).
+    ///
+    /// Returns immediately with a [`Pending`] handle resolving to the
+    /// request kind's [`Response`] arm, or with
+    /// [`EngineError::Overloaded`] when the submission queue is full.
+    pub fn submit(&self, req: Request) -> Result<Pending<Response>, EngineError> {
+        self.submit_with(req, RequestOptions::default())
+    }
+
+    /// Submits a request with explicit per-request [`RequestOptions`].
+    ///
+    /// A [`RequestOptions::deadline`] overrides the engine's default
+    /// deadline; a [`RequestOptions::degraded`] budget turns a
+    /// [`Request::Score`] into degraded-mode scoring
+    /// ([`Response::ScoreDegraded`]) — the budget clock starts at
+    /// submission, so time spent queued counts against it.
+    pub fn submit_with(
+        &self,
+        req: Request,
+        opts: RequestOptions,
+    ) -> Result<Pending<Response>, EngineError> {
+        let deadline = opts.deadline.or(self.default_deadline);
+        match req {
+            Request::Score { points } => {
+                let items = points.len();
+                if let Some(budget) = opts.degraded {
+                    let budget_at = Instant::now() + budget;
+                    self.submit_job("score_degraded", items, None, move |shared, _, rid| {
+                        shared
+                            .score_degraded(&points, budget_at, rid)
+                            .map(Response::ScoreDegraded)
+                    })
+                } else {
+                    self.submit_job("score", items, deadline, move |shared, d, rid| {
+                        shared.score(&points, d, rid).map(Response::Score)
+                    })
+                }
+            }
+            Request::Detect => {
+                let items = lock_recover(&self.shared.dataset).alive_len;
+                self.submit_job("detect", items, deadline, move |shared, d, rid| {
+                    shared.detect_all(d, rid).map(Response::Outliers)
+                })
+            }
+            Request::Insert { points } => {
+                let items = points.len();
+                self.submit_job("insert", items, deadline, move |shared, d, rid| {
+                    shared.insert(&points, d, rid).map(Response::Insert)
+                })
+            }
+            Request::Remove { ids } => {
+                let items = ids.len();
+                self.submit_job("remove", items, deadline, move |shared, d, rid| {
+                    shared.remove(&ids, d, rid).map(Response::Remove)
+                })
+            }
+            Request::Window { config } => {
+                self.submit_job("window", 0, deadline, move |shared, d, rid| {
+                    shared.window(config, d, rid).map(Response::Window)
+                })
+            }
+        }
+    }
+
     /// Scores a batch of query points against the resident dataset with
     /// the engine's default deadline: for each point, whether it would
     /// be a distance-threshold outlier (fewer than `k` resident points
     /// within `r`).
-    ///
-    /// Returns immediately with a [`Pending`] handle, or with
-    /// [`EngineError::Overloaded`] when the submission queue is full.
+    #[deprecated(note = "use `submit(Request::Score { points })`")]
     pub fn score_batch(
         &self,
         points: Vec<Vec<f64>>,
     ) -> Result<Pending<Vec<ScorePoint>>, EngineError> {
-        self.score_batch_inner(points, self.default_deadline)
+        let items = points.len();
+        let deadline = self.default_deadline;
+        self.submit_job("score", items, deadline, move |shared, d, rid| {
+            shared.score(&points, d, rid)
+        })
     }
 
     /// [`Engine::score_batch`] with an explicit per-request deadline.
+    #[deprecated(
+        note = "use `submit_with(Request::Score { points }, RequestOptions::new().deadline(d))`"
+    )]
     pub fn score_batch_within(
         &self,
         points: Vec<Vec<f64>>,
         deadline: Duration,
     ) -> Result<Pending<Vec<ScorePoint>>, EngineError> {
-        self.score_batch_inner(points, Some(deadline))
-    }
-
-    fn score_batch_inner(
-        &self,
-        points: Vec<Vec<f64>>,
-        deadline: Option<Duration>,
-    ) -> Result<Pending<Vec<ScorePoint>>, EngineError> {
         let items = points.len();
-        self.submit("score", items, deadline, move |shared, d, rid| {
+        self.submit_job("score", items, Some(deadline), move |shared, d, rid| {
             shared.score(&points, d, rid)
         })
     }
@@ -682,8 +1436,10 @@ impl Engine {
     /// Scores a batch under a degraded-mode time budget: instead of
     /// failing with [`EngineError::DeadlineExceeded`], a blown budget
     /// returns partial per-point results flagged
-    /// [`DegradedScore::degraded`]. The budget clock starts at
-    /// submission, so time spent queued counts against it.
+    /// [`DegradedScore::degraded`].
+    #[deprecated(
+        note = "use `submit_with(Request::Score { points }, RequestOptions::new().degraded(budget))`"
+    )]
     pub fn score_batch_degraded(
         &self,
         points: Vec<Vec<f64>>,
@@ -691,38 +1447,35 @@ impl Engine {
     ) -> Result<Pending<Vec<DegradedScore>>, EngineError> {
         let items = points.len();
         let budget_at = Instant::now() + budget;
-        self.submit("score_degraded", items, None, move |shared, _, rid| {
+        self.submit_job("score_degraded", items, None, move |shared, _, rid| {
             shared.score_degraded(&points, budget_at, rid)
         })
     }
 
     /// Detects all outliers of the resident dataset with the engine's
-    /// default deadline. The answer (ascending ids) is exactly the
-    /// one-shot pipeline's outlier set for the same configuration,
-    /// strategy, and data.
+    /// default deadline.
+    #[deprecated(note = "use `submit(Request::Detect)`")]
     pub fn detect_all(&self) -> Result<Pending<Vec<PointId>>, EngineError> {
-        self.detect_all_inner(self.default_deadline)
-    }
-
-    /// [`Engine::detect_all`] with an explicit per-request deadline.
-    pub fn detect_all_within(
-        &self,
-        deadline: Duration,
-    ) -> Result<Pending<Vec<PointId>>, EngineError> {
-        self.detect_all_inner(Some(deadline))
-    }
-
-    fn detect_all_inner(
-        &self,
-        deadline: Option<Duration>,
-    ) -> Result<Pending<Vec<PointId>>, EngineError> {
-        let items = self.shared.data.len();
-        self.submit("detect", items, deadline, move |shared, d, rid| {
+        let items = lock_recover(&self.shared.dataset).alive_len;
+        let deadline = self.default_deadline;
+        self.submit_job("detect", items, deadline, move |shared, d, rid| {
             shared.detect_all(d, rid)
         })
     }
 
-    fn submit<T: Send + 'static>(
+    /// [`Engine::detect_all`] with an explicit per-request deadline.
+    #[deprecated(note = "use `submit_with(Request::Detect, RequestOptions::new().deadline(d))`")]
+    pub fn detect_all_within(
+        &self,
+        deadline: Duration,
+    ) -> Result<Pending<Vec<PointId>>, EngineError> {
+        let items = lock_recover(&self.shared.dataset).alive_len;
+        self.submit_job("detect", items, Some(deadline), move |shared, d, rid| {
+            shared.detect_all(d, rid)
+        })
+    }
+
+    fn submit_job<T: Send + 'static>(
         &self,
         op: &'static str,
         items: usize,
@@ -817,7 +1570,7 @@ impl Engine {
     /// and the chaos suite are the only intended callers.
     #[doc(hidden)]
     pub fn inject_panic(&self) -> Result<Pending<()>, EngineError> {
-        self.submit(
+        self.submit_job(
             "inject_panic",
             0,
             None,
@@ -850,7 +1603,10 @@ impl Engine {
     /// Returns [`EngineError::Pipeline`] if re-planning fails; the
     /// previous resident state stays live in that case.
     pub fn refresh_plan(&self) -> Result<u64, EngineError> {
-        self.refresh_inner(None)
+        // Exclude in-flight mutation jobs (which apply dataset changes
+        // and state splices non-atomically) before swapping the epoch.
+        let _gate = write_recover(&self.shared.ingest);
+        self.shared.refresh_inner(None)
     }
 
     /// Probes drift and rebuilds the plan iff it exceeds the engine's
@@ -867,39 +1623,11 @@ impl Engine {
             ],
         );
         if refresh {
-            self.refresh_inner(Some(drift)).map(Some)
+            let _gate = write_recover(&self.shared.ingest);
+            self.shared.refresh_inner(Some(drift)).map(Some)
         } else {
             Ok(None)
         }
-    }
-
-    fn refresh_inner(&self, drift: Option<f64>) -> Result<u64, EngineError> {
-        let shared = &self.shared;
-        // Serialize refreshes; requests keep serving from the old epoch
-        // (behind its own Arc) until the swap below.
-        let _serial = lock_recover(&shared.refresh);
-        let t0 = Instant::now();
-        let epoch = read_recover(&shared.resident).epoch + 1;
-        let base = shared.runner.config();
-        let cfg = base
-            .to_builder()
-            .seed(base.seed.wrapping_add(epoch))
-            .build()
-            .map_err(dod::Error::from)?;
-        let (plan, counts) = Shared::materialize(&shared.runner.with_config(cfg), &shared.data)?;
-        {
-            let mut w = write_recover(&shared.resident);
-            *w = Arc::new(Resident { epoch, plan });
-        }
-        *lock_recover(&shared.observed) = counts;
-        let mut labels = vec![("epoch", Value::from(epoch))];
-        if let Some(d) = drift {
-            labels.push(("drift", Value::from(d)));
-        }
-        shared
-            .obs
-            .record_duration(names::ENGINE_REFRESH, t0.elapsed(), &labels);
-        Ok(epoch)
     }
 
     /// Parks every worker thread until the returned guard is dropped.

@@ -6,32 +6,47 @@
 //! work resident: an [`Engine`] runs preprocessing once, materializes
 //! each partition's detector state ([`dod_detect::PartitionState`] — the
 //! same build/query split the batch reducers use), and then serves
-//! micro-batch requests against that state:
+//! micro-batch requests against that state through one entry point,
+//! [`Engine::submit`]:
 //!
-//! * [`Engine::score_batch`] classifies external query points (is each
-//!   one a distance-threshold outlier with respect to the resident
-//!   dataset?), pruning partitions whose rectangle is farther than `r`
-//!   and stopping each count at `k`;
-//! * [`Engine::detect_all`] returns the resident dataset's full outlier
+//! * [`Request::Score`] classifies external query points (is each one a
+//!   distance-threshold outlier with respect to the resident dataset?),
+//!   pruning partitions whose rectangle is farther than `r` and
+//!   stopping each count at `k` — exactly, or degraded under a
+//!   [`RequestOptions::degraded`] time budget;
+//! * [`Request::Detect`] returns the resident dataset's full outlier
 //!   set — bit-for-bit the one-shot pipeline's answer for the same
 //!   configuration, strategy, and data, because both paths run the same
 //!   exact detectors over the same supporting-area routing;
+//! * [`Request::Insert`] / [`Request::Remove`] mutate the resident
+//!   dataset in place: points the current plan can absorb exactly are
+//!   spliced into their partitions' index structures (cell-count
+//!   increments, kd-leaf buffer splices), and batches it cannot absorb
+//!   fall back to an epoch-swap refresh — either way every subsequent
+//!   answer equals a fresh rebuild over the surviving points;
+//! * [`Request::Window`] bounds the resident dataset as a sliding
+//!   window by count and/or age ([`WindowConfig`]), expiring the oldest
+//!   points automatically at each mutation op;
 //! * [`Engine::refresh_plan`] re-samples and re-plans (a new *epoch*)
 //!   when [`Engine::drift`] — the total-variation distance between the
-//!   plan's predicted per-partition distribution and the observed one —
-//!   exceeds a threshold ([`Engine::refresh_if_drifted`]).
+//!   plan's predicted per-partition distribution and the observed one
+//!   (query traffic plus mutation churn) — exceeds a threshold
+//!   ([`Engine::refresh_if_drifted`]); mutation ops trigger the same
+//!   swap once churn crosses the staleness threshold
+//!   ([`EngineBuilder::staleness_threshold`]).
 //!
 //! Requests run on a bounded worker pool behind a bounded submission
 //! queue: when the queue is full, [`EngineError::Overloaded`] is
 //! returned immediately instead of queueing without bound, and each
 //! request may carry a deadline ([`EngineError::DeadlineExceeded`]).
+//! Mutations interleave safely with in-flight scoring: a reader–writer
+//! gate serializes them, so a score never observes a half-applied
+//! insert.
 //!
 //! The engine is hardened against misbehaving requests: a panicking job
 //! fails only its own request ([`EngineError::TaskPanicked`]) while the
-//! worker survives, [`Engine::health`] snapshots queue depth / in-flight
-//! requests / contained panics, and [`Engine::score_batch_degraded`]
-//! trades completeness for bounded latency by flagging partially-scored
-//! points instead of failing the batch.
+//! worker survives, and [`Engine::health`] snapshots queue depth /
+//! in-flight requests / contained panics / resident points / churn.
 //!
 //! Every request is traced: submission mints a [`RequestId`], carried as
 //! the `request` label on the request's span and on the
@@ -46,7 +61,7 @@
 //! ```
 //! use dod::{DodConfig, DodRunner};
 //! use dod_core::{OutlierParams, PointSet};
-//! use dod_engine::Engine;
+//! use dod_engine::{Engine, Request};
 //!
 //! let mut data = PointSet::from_xy(&[(0.0, 0.0), (0.1, 0.0), (0.0, 0.1)]);
 //! data.push(&[9.0, 9.0]).unwrap(); // isolated
@@ -56,16 +71,45 @@
 //!
 //! let engine = Engine::builder(runner).workers(2).build(&data).unwrap();
 //! // The resident outlier set, identical to the one-shot pipeline's.
-//! let outliers = engine.detect_all().unwrap().wait().unwrap();
+//! let outliers = engine
+//!     .submit(Request::Detect)
+//!     .unwrap()
+//!     .wait()
+//!     .unwrap()
+//!     .into_outliers()
+//!     .unwrap();
 //! assert_eq!(outliers, vec![3]);
 //! // Micro-batch scoring of external points against the same state.
 //! let scores = engine
-//!     .score_batch(vec![vec![0.05, 0.05], vec![-7.0, 8.0]])
+//!     .submit(Request::Score {
+//!         points: vec![vec![0.05, 0.05], vec![-7.0, 8.0]],
+//!     })
 //!     .unwrap()
 //!     .wait()
+//!     .unwrap()
+//!     .into_score()
 //!     .unwrap();
 //! assert!(!scores[0].outlier);
 //! assert!(scores[1].outlier);
+//! // Stream a point in: the isolated point gains a neighborhood.
+//! let receipt = engine
+//!     .submit(Request::Insert {
+//!         points: vec![vec![8.9, 9.0], vec![9.0, 8.9]],
+//!     })
+//!     .unwrap()
+//!     .wait()
+//!     .unwrap()
+//!     .into_insert()
+//!     .unwrap();
+//! assert_eq!(receipt.ids, vec![4, 5]);
+//! let outliers = engine
+//!     .submit(Request::Detect)
+//!     .unwrap()
+//!     .wait()
+//!     .unwrap()
+//!     .into_outliers()
+//!     .unwrap();
+//! assert!(outliers.is_empty());
 //! ```
 
 #![deny(missing_docs)]
@@ -76,8 +120,10 @@ mod error;
 mod worker;
 
 pub use engine::{
-    DegradedScore, Engine, EngineBuilder, EngineHealth, PauseGuard, RequestId, ScorePoint,
-    DEFAULT_DRIFT_THRESHOLD, DEFAULT_QUEUE_CAPACITY, PARTITION_WORK_TOP_K,
+    DegradedScore, Engine, EngineBuilder, EngineHealth, InsertReceipt, PauseGuard, RemoveReceipt,
+    Request, RequestId, RequestOptions, Response, ScorePoint, WindowConfig, WindowStatus,
+    DEFAULT_DRIFT_THRESHOLD, DEFAULT_QUEUE_CAPACITY, DEFAULT_STALENESS_THRESHOLD,
+    PARTITION_WORK_TOP_K,
 };
 pub use error::EngineError;
 pub use worker::Pending;
@@ -109,12 +155,52 @@ mod tests {
         )
     }
 
+    fn detect(engine: &Engine) -> Vec<dod_core::PointId> {
+        engine
+            .submit(Request::Detect)
+            .unwrap()
+            .wait()
+            .unwrap()
+            .into_outliers()
+            .unwrap()
+    }
+
+    fn score(engine: &Engine, points: Vec<Vec<f64>>) -> Vec<ScorePoint> {
+        engine
+            .submit(Request::Score { points })
+            .unwrap()
+            .wait()
+            .unwrap()
+            .into_score()
+            .unwrap()
+    }
+
+    fn insert(engine: &Engine, points: Vec<Vec<f64>>) -> InsertReceipt {
+        engine
+            .submit(Request::Insert { points })
+            .unwrap()
+            .wait()
+            .unwrap()
+            .into_insert()
+            .unwrap()
+    }
+
+    fn remove(engine: &Engine, ids: Vec<dod_core::PointId>) -> RemoveReceipt {
+        engine
+            .submit(Request::Remove { ids })
+            .unwrap()
+            .wait()
+            .unwrap()
+            .into_remove()
+            .unwrap()
+    }
+
     #[test]
     fn detect_all_matches_one_shot_pipeline() {
         let (data, params) = cluster_with_outlier();
         let expected = runner(params).run(&data).unwrap().outliers;
         let engine = Engine::builder(runner(params)).build(&data).unwrap();
-        assert_eq!(engine.detect_all().unwrap().wait().unwrap(), expected);
+        assert_eq!(detect(&engine), expected);
         assert_eq!(expected, vec![40]);
     }
 
@@ -122,14 +208,13 @@ mod tests {
     fn scoring_counts_resident_neighbors() {
         let (data, params) = cluster_with_outlier();
         let engine = Engine::builder(runner(params)).build(&data).unwrap();
-        let scores = engine
-            .score_batch(vec![
+        let scores = score(
+            &engine,
+            vec![
                 vec![0.7, 0.7],   // inside the cluster
                 vec![200.0, 0.0], // far away from everything
-            ])
-            .unwrap()
-            .wait()
-            .unwrap();
+            ],
+        );
         assert!(!scores[0].outlier);
         assert_eq!(scores[0].neighbors, params.k); // counting stopped at k
         assert!(scores[1].outlier);
@@ -141,7 +226,9 @@ mod tests {
         let (data, params) = cluster_with_outlier();
         let engine = Engine::builder(runner(params)).build(&data).unwrap();
         let err = engine
-            .score_batch(vec![vec![1.0, 2.0, 3.0]])
+            .submit(Request::Score {
+                points: vec![vec![1.0, 2.0, 3.0]],
+            })
             .unwrap()
             .wait()
             .unwrap_err();
@@ -161,28 +248,42 @@ mod tests {
             .build(&PointSet::new(2).unwrap())
             .unwrap();
         assert_eq!(engine.num_partitions(), 0);
-        assert!(engine.detect_all().unwrap().wait().unwrap().is_empty());
-        let scores = engine
-            .score_batch(vec![vec![0.0, 0.0]])
-            .unwrap()
-            .wait()
-            .unwrap();
+        assert!(detect(&engine).is_empty());
+        let scores = score(&engine, vec![vec![0.0, 0.0]]);
         assert!(scores[0].outlier);
         assert_eq!(engine.drift(), 0.0);
+    }
+
+    #[test]
+    fn insert_into_empty_engine_materializes_a_plan() {
+        let params = OutlierParams::new(1.0, 2).unwrap();
+        let engine = Engine::builder(runner(params))
+            .build(&PointSet::new(2).unwrap())
+            .unwrap();
+        let receipt = insert(
+            &engine,
+            vec![vec![0.0, 0.0], vec![0.1, 0.0], vec![0.0, 0.1]],
+        );
+        assert_eq!(receipt.ids, vec![0, 1, 2]);
+        assert!(receipt.refreshed, "no resident plan: must epoch-swap");
+        assert_eq!(receipt.resident, 3);
+        assert!(engine.num_partitions() > 0);
+        let scores = score(&engine, vec![vec![0.05, 0.05]]);
+        assert!(!scores[0].outlier);
     }
 
     #[test]
     fn refresh_bumps_epoch_and_preserves_answers() {
         let (data, params) = cluster_with_outlier();
         let engine = Engine::builder(runner(params)).build(&data).unwrap();
-        let before = engine.detect_all().unwrap().wait().unwrap();
+        let before = detect(&engine);
         assert_eq!(engine.epoch(), 0);
         let epoch = engine.refresh_plan().unwrap();
         assert_eq!(epoch, 1);
         assert_eq!(engine.epoch(), 1);
         // A reseeded plan partitions differently but must answer exactly
         // the same (the detectors are exact under any plan).
-        assert_eq!(engine.detect_all().unwrap().wait().unwrap(), before);
+        assert_eq!(detect(&engine), before);
     }
 
     #[test]
@@ -197,12 +298,95 @@ mod tests {
         // Hammer one corner of the domain with queries: the observed
         // distribution concentrates in one partition.
         let batch: Vec<Vec<f64>> = (0..2000).map(|_| vec![50.0, 50.0]).collect();
-        engine.score_batch(batch).unwrap().wait().unwrap();
+        score(&engine, batch);
         assert!(engine.drift() > 0.3, "drift = {}", engine.drift());
         let refreshed = engine.refresh_if_drifted().unwrap();
         assert_eq!(refreshed, Some(1));
         // The refresh resets the observed distribution.
         assert!(engine.drift() < 0.3);
+    }
+
+    #[test]
+    fn streaming_mutations_update_answers_exactly() {
+        let (data, params) = cluster_with_outlier();
+        let engine = Engine::builder(runner(params)).build(&data).unwrap();
+        assert_eq!(detect(&engine), vec![40]);
+        assert_eq!(engine.health().points, 41);
+
+        // Give the isolated point at (50, 50) a k-neighborhood.
+        let receipt = insert(
+            &engine,
+            vec![
+                vec![50.1, 50.0],
+                vec![49.9, 50.0],
+                vec![50.0, 50.1],
+                vec![50.0, 49.9],
+            ],
+        );
+        assert_eq!(receipt.ids, vec![41, 42, 43, 44]);
+        assert_eq!(receipt.resident, 45);
+        assert!(
+            detect(&engine).is_empty(),
+            "neighborhood absorbs the outlier"
+        );
+
+        // Remove the neighborhood again: the outlier returns, and the
+        // answer matches a fresh engine built over the surviving points.
+        let receipt = remove(&engine, vec![41, 42, 43, 44]);
+        assert_eq!(receipt.removed, 4);
+        assert_eq!(receipt.missing, 0);
+        assert_eq!(receipt.resident, 41);
+        assert_eq!(detect(&engine), vec![40]);
+        // Unknown and double-removed ids are reported, not errors.
+        let receipt = remove(&engine, vec![41, 999]);
+        assert_eq!(receipt.removed, 0);
+        assert_eq!(receipt.missing, 2);
+    }
+
+    #[test]
+    fn sliding_window_expires_oldest_points() {
+        let (data, params) = cluster_with_outlier();
+        let engine = Engine::builder(runner(params))
+            .window(WindowConfig {
+                max_points: Some(41),
+                max_age: None,
+            })
+            .build(&data)
+            .unwrap();
+        // Within the bound: a window tick expires nothing.
+        let status = engine
+            .submit(Request::Window { config: None })
+            .unwrap()
+            .wait()
+            .unwrap()
+            .into_window()
+            .unwrap();
+        assert_eq!(status.expired, 0);
+        assert_eq!(status.resident, 41);
+
+        // Two inserts push the two oldest points (ids 0, 1) out.
+        let receipt = insert(&engine, vec![vec![0.05, 0.05], vec![0.15, 0.05]]);
+        assert_eq!(receipt.expired, 2);
+        assert_eq!(receipt.resident, 41);
+        let rr = remove(&engine, vec![0, 1]);
+        assert_eq!(rr.missing, 2, "expired points are gone");
+
+        // Reconfiguring to a tighter bound expires immediately.
+        let status = engine
+            .submit(Request::Window {
+                config: Some(WindowConfig {
+                    max_points: Some(10),
+                    max_age: None,
+                }),
+            })
+            .unwrap()
+            .wait()
+            .unwrap()
+            .into_window()
+            .unwrap();
+        assert_eq!(status.expired, 31);
+        assert_eq!(status.resident, 10);
+        assert_eq!(engine.health().points, 10);
     }
 
     #[test]
@@ -215,7 +399,10 @@ mod tests {
         // A zero deadline has always expired by the time a worker picks
         // the request up.
         let err = engine
-            .detect_all_within(std::time::Duration::ZERO)
+            .submit_with(
+                Request::Detect,
+                RequestOptions::new().deadline(std::time::Duration::ZERO),
+            )
             .unwrap()
             .wait()
             .unwrap_err();
@@ -238,12 +425,8 @@ mod tests {
             other => panic!("expected TaskPanicked, got {other:?}"),
         }
         // The lone worker survived: both ops still serve correctly.
-        assert_eq!(engine.detect_all().unwrap().wait().unwrap(), expected);
-        let scores = engine
-            .score_batch(vec![vec![0.7, 0.7]])
-            .unwrap()
-            .wait()
-            .unwrap();
+        assert_eq!(detect(&engine), expected);
+        let scores = score(&engine, vec![vec![0.7, 0.7]]);
         assert!(!scores[0].outlier);
         let health = engine.health();
         assert_eq!(health.panics, 1);
@@ -264,6 +447,8 @@ mod tests {
         assert_eq!(h.partitions, engine.num_partitions());
         assert_eq!(h.panics, 0);
         assert_eq!(h.in_flight, 0);
+        assert_eq!(h.points, 41);
+        assert_eq!(h.churn, 0);
         engine.refresh_plan().unwrap();
         assert_eq!(engine.health().epoch, 1);
     }
@@ -273,11 +458,16 @@ mod tests {
         let (data, params) = cluster_with_outlier();
         let engine = Engine::builder(runner(params)).build(&data).unwrap();
         let points = vec![vec![0.7, 0.7], vec![200.0, 0.0]];
-        let exact = engine.score_batch(points.clone()).unwrap().wait().unwrap();
+        let exact = score(&engine, points.clone());
         let degraded = engine
-            .score_batch_degraded(points, std::time::Duration::from_secs(60))
+            .submit_with(
+                Request::Score { points },
+                RequestOptions::new().degraded(std::time::Duration::from_secs(60)),
+            )
             .unwrap()
             .wait()
+            .unwrap()
+            .into_degraded()
             .unwrap();
         for (d, e) in degraded.iter().zip(&exact) {
             assert!(!d.degraded);
@@ -294,22 +484,63 @@ mod tests {
         // A zero budget has expired before the batch starts: every point
         // must come back flagged, and the request must still succeed.
         let out = engine
-            .score_batch_degraded(points, std::time::Duration::ZERO)
+            .submit_with(
+                Request::Score { points },
+                RequestOptions::new().degraded(std::time::Duration::ZERO),
+            )
             .unwrap()
             .wait()
+            .unwrap()
+            .into_degraded()
             .unwrap();
         assert_eq!(out.len(), 512);
         assert!(out.iter().all(|s| s.degraded));
         // Dimension errors remain hard errors even in degraded mode.
         let err = engine
-            .score_batch_degraded(
-                vec![vec![1.0, 2.0, 3.0]],
-                std::time::Duration::from_secs(60),
+            .submit_with(
+                Request::Score {
+                    points: vec![vec![1.0, 2.0, 3.0]],
+                },
+                RequestOptions::new().degraded(std::time::Duration::from_secs(60)),
             )
             .unwrap()
             .wait()
             .unwrap_err();
         assert!(matches!(err, EngineError::Dimension { .. }));
+    }
+
+    /// The deprecated pre-`submit` surface still works; it shims onto
+    /// the same internals.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_serve() {
+        let (data, params) = cluster_with_outlier();
+        let engine = Engine::builder(runner(params)).build(&data).unwrap();
+        assert_eq!(engine.detect_all().unwrap().wait().unwrap(), vec![40]);
+        let scores = engine
+            .score_batch(vec![vec![0.7, 0.7]])
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(!scores[0].outlier);
+        let err = engine
+            .detect_all_within(std::time::Duration::ZERO)
+            .unwrap()
+            .wait()
+            .unwrap_err();
+        assert!(matches!(err, EngineError::DeadlineExceeded));
+        let scores = engine
+            .score_batch_within(vec![vec![0.7, 0.7]], std::time::Duration::from_secs(60))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(!scores[0].outlier);
+        let degraded = engine
+            .score_batch_degraded(vec![vec![0.7, 0.7]], std::time::Duration::from_secs(60))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(!degraded[0].degraded);
     }
 
     /// A `Write` sink whose contents the test can inspect after the
@@ -346,11 +577,7 @@ mod tests {
             .build(&data)
             .unwrap();
         // A healthy request first, so the ring holds unrelated history too.
-        engine
-            .score_batch(vec![vec![0.7, 0.7]])
-            .unwrap()
-            .wait()
-            .unwrap();
+        score(&engine, vec![vec![0.7, 0.7]]);
         engine.inject_panic().unwrap().wait().unwrap_err();
 
         let events = dod_obs::replay::parse_jsonl(&sink.contents()).unwrap();
@@ -392,7 +619,10 @@ mod tests {
             .build(&data)
             .unwrap();
         let err = engine
-            .detect_all_within(std::time::Duration::ZERO)
+            .submit_with(
+                Request::Detect,
+                RequestOptions::new().deadline(std::time::Duration::ZERO),
+            )
             .unwrap()
             .wait()
             .unwrap_err();
@@ -415,12 +645,8 @@ mod tests {
         let engine = Engine::builder(runner(params)).build(&data).unwrap();
         assert!(engine.flight_recorder().is_some());
         assert_eq!(engine.health().requests, 0);
-        engine
-            .score_batch(vec![vec![0.7, 0.7]])
-            .unwrap()
-            .wait()
-            .unwrap();
-        engine.detect_all().unwrap().wait().unwrap();
+        score(&engine, vec![vec![0.7, 0.7]]);
+        detect(&engine);
         assert_eq!(engine.health().requests, 2);
         // flight_capacity(0) disables the recorder entirely.
         let bare = Engine::builder(runner(params))
@@ -446,11 +672,7 @@ mod tests {
             .unwrap();
         let runner = DodRunner::builder().config(config).multi_tactic().build();
         let engine = Engine::builder(runner).build(&data).unwrap();
-        engine
-            .score_batch(vec![vec![0.7, 0.7]])
-            .unwrap()
-            .wait()
-            .unwrap();
+        score(&engine, vec![vec![0.7, 0.7]]);
         let events = memory.events();
         let span = events
             .iter()
@@ -502,7 +724,7 @@ mod tests {
         let queries: Vec<Vec<f64>> = (0..128)
             .map(|i| vec![((i * 13) % 63) as f64, ((i * 17) % 61) as f64])
             .collect();
-        engine.score_batch(queries).unwrap().wait().unwrap();
+        score(&engine, queries);
         let events = memory.events();
         let work: Vec<_> = events
             .iter()
@@ -544,10 +766,10 @@ mod tests {
             .unwrap();
         let guard = engine.pause();
         // One request fits in the queue...
-        let queued = engine.detect_all().unwrap();
+        let queued = engine.submit(Request::Detect).unwrap();
         // ...the next must bounce, deterministically.
         assert!(matches!(
-            engine.detect_all().unwrap_err(),
+            engine.submit(Request::Detect).unwrap_err(),
             EngineError::Overloaded
         ));
         assert_eq!(engine.queue_depth(), 1);

@@ -1,0 +1,105 @@
+//! Shared hand-rolled JSON *writing* primitives.
+//!
+//! The workspace builds offline (no serde), so every component that
+//! emits JSON — the [`crate::JsonlRecorder`] trace writer, the flight
+//! recorder's dump path, and the `dod serve` response loop — hand-rolls
+//! it. The escaping and non-finite-number rules must agree everywhere
+//! (a trace line and a serve response are both consumed by the same
+//! replay/jq tooling), so the primitives live here instead of being
+//! copied per crate.
+//!
+//! Two number flavors exist on purpose:
+//!
+//! * [`write_f64`] always emits a decimal point or exponent (`3.0`,
+//!   never `3`) so the JSONL replay parser can tell floats from
+//!   integers when round-tripping label values;
+//! * [`number`] emits the shortest form (`0`, `1.5`) for human-facing
+//!   response fields where the distinction does not matter.
+//!
+//! Both serialize non-finite values (`NaN`, `±Inf`) as `null`: bare
+//! `NaN` is not valid JSON and would poison every downstream consumer.
+
+use std::io::{self, Write};
+
+/// Writes `s` as a JSON string literal with escaping.
+pub fn write_str(out: &mut impl Write, s: &str) -> io::Result<()> {
+    out.write_all(b"\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_all(b"\\\"")?,
+            '\\' => out.write_all(b"\\\\")?,
+            '\n' => out.write_all(b"\\n")?,
+            '\r' => out.write_all(b"\\r")?,
+            '\t' => out.write_all(b"\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => write!(out, "{c}")?,
+        }
+    }
+    out.write_all(b"\"")
+}
+
+/// Writes an `f64` so it round-trips through the replay parser
+/// (always with a decimal point or exponent; non-finite as `null`).
+pub fn write_f64(out: &mut impl Write, v: f64) -> io::Result<()> {
+    if !v.is_finite() {
+        return out.write_all(b"null");
+    }
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        out.write_all(s.as_bytes())
+    } else {
+        write!(out, "{s}.0")
+    }
+}
+
+/// Escapes a string for embedding between quotes in a JSON document
+/// (the allocating form of [`write_str`], without the quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = Vec::with_capacity(s.len() + 2);
+    write_str(&mut out, s).expect("writing to a Vec cannot fail");
+    let mut quoted = String::from_utf8(out).expect("escaping emits valid UTF-8");
+    quoted.pop(); // closing quote
+    quoted.remove(0); // opening quote
+    quoted
+}
+
+/// Serializes an `f64` as a JSON value in its shortest form; non-finite
+/// numbers (`NaN`, `±Inf`) become `null`.
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_covers_quotes_controls_and_unicode() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("héllo"), "héllo");
+    }
+
+    /// Regression: non-finite f64s must serialize as `null` in both
+    /// flavors, never as bare `NaN`/`inf` (which no JSON parser accepts).
+    #[test]
+    fn non_finite_numbers_are_null_in_both_flavors() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(number(v), "null");
+            let mut buf = Vec::new();
+            write_f64(&mut buf, v).unwrap();
+            assert_eq!(buf, b"null");
+        }
+        assert_eq!(number(0.0), "0");
+        assert_eq!(number(1.5), "1.5");
+        let mut buf = Vec::new();
+        write_f64(&mut buf, 3.0).unwrap();
+        assert_eq!(buf, b"3.0", "replay flavor keeps the float marker");
+    }
+}

@@ -15,6 +15,7 @@ use std::path::Path;
 use std::sync::Mutex;
 
 use crate::event::{Event, EventKind, Value};
+use crate::json::{write_f64 as write_json_f64, write_str as write_json_string};
 use crate::recorder::Recorder;
 use crate::sync::lock_recover;
 
@@ -94,37 +95,6 @@ pub fn event_to_json(event: &Event) -> String {
     JsonlRecorder::write_event(&mut buf, event).expect("writing to a Vec cannot fail");
     buf.pop(); // trailing '\n'
     String::from_utf8(buf).expect("writer emits valid UTF-8")
-}
-
-/// Writes `s` as a JSON string literal with escaping.
-fn write_json_string(out: &mut impl Write, s: &str) -> io::Result<()> {
-    out.write_all(b"\"")?;
-    for c in s.chars() {
-        match c {
-            '"' => out.write_all(b"\\\"")?,
-            '\\' => out.write_all(b"\\\\")?,
-            '\n' => out.write_all(b"\\n")?,
-            '\r' => out.write_all(b"\\r")?,
-            '\t' => out.write_all(b"\\t")?,
-            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
-            c => write!(out, "{c}")?,
-        }
-    }
-    out.write_all(b"\"")
-}
-
-/// Writes an `f64` so it round-trips through the replay parser
-/// (always with a decimal point or exponent; non-finite as null).
-fn write_json_f64(out: &mut impl Write, v: f64) -> io::Result<()> {
-    if !v.is_finite() {
-        return out.write_all(b"null");
-    }
-    let s = format!("{v}");
-    if s.contains('.') || s.contains('e') || s.contains('E') {
-        out.write_all(s.as_bytes())
-    } else {
-        write!(out, "{s}.0")
-    }
 }
 
 #[cfg(test)]

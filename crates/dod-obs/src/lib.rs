@@ -29,6 +29,10 @@
 //! * [`FlightRecorder`]: a bounded, non-blocking ring of the most
 //!   recent events, dumped as replayable JSONL when a request fails.
 //!
+//! The workspace builds offline, so all JSON is hand-rolled; the shared
+//! writing primitives (escaping, non-finite-as-`null`) live in [`json`]
+//! and are used by the trace writer here and by `dod serve`.
+//!
 //! The event taxonomy used by the workspace is documented in
 //! `DESIGN.md` (§Observability); [`render::render_summary`] folds any
 //! event stream into the human-readable table behind `dod --profile`.
@@ -36,6 +40,7 @@
 mod event;
 mod flight;
 mod hist;
+pub mod json;
 mod jsonl;
 mod memory;
 mod metrics;

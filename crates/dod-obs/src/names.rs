@@ -56,3 +56,17 @@ pub const ENGINE_PARTITION_WORK: &str = "engine.partition.work";
 /// `dropped` (events lost to write contention), plus the offending
 /// request's `request` and `op` when known.
 pub const ENGINE_FLIGHT_DUMP: &str = "engine.flight.dump";
+
+/// Counter: points inserted into or removed from the resident dataset
+/// by streaming-ingest operations. Labels: `op` (`insert`, `remove`, or
+/// `window`), `request`.
+pub const ENGINE_CHURN: &str = "engine.churn";
+
+/// Counter: resident points expired by the sliding window. Labels: `op`
+/// (the operation whose expiry sweep evicted them), `request`.
+pub const ENGINE_WINDOW_EXPIRED: &str = "engine.window.expired";
+
+/// Mark: a staleness probe after a mutation op. Labels: `staleness`
+/// (mutations since the last epoch over the epoch's resident size),
+/// `threshold`, `refreshed` (whether an epoch swap was triggered).
+pub const ENGINE_STALENESS: &str = "engine.staleness";

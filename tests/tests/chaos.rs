@@ -193,7 +193,7 @@ fn panic_only_chaos_is_deterministic_across_repeats() {
 }
 
 /// Engine chaos: injected worker panics are contained to their own
-/// request, the health snapshot records them, and `detect_all` still
+/// request, the health snapshot records them, and `Request::Detect` still
 /// matches the one-shot pipeline afterwards.
 #[test]
 fn engine_survives_injected_panics_and_stays_exact() {
@@ -219,7 +219,13 @@ fn engine_survives_injected_panics_and_stays_exact() {
                 "expected TaskPanicked, got {err}"
             );
         }
-        let got = engine.detect_all().unwrap().wait().unwrap();
+        let got = engine
+            .submit(dod_engine::Request::Detect)
+            .unwrap()
+            .wait()
+            .unwrap()
+            .into_outliers()
+            .unwrap();
         assert_eq!(got, expected, "engine diverged after contained panics");
         let health = engine.health();
         assert_eq!(health.panics, 8);

@@ -1,6 +1,6 @@
 //! Resident engine vs. one-shot pipeline: the equivalence anchor.
 //!
-//! `Engine::detect_all()` must return exactly the one-shot pipeline's
+//! `Request::Detect` must return exactly the one-shot pipeline's
 //! outlier set for the same configuration, strategy, and data — both
 //! paths run the same exact detectors, so any divergence is a routing
 //! or state-materialization bug. Plus: scoring against the brute-force
@@ -8,7 +8,7 @@
 
 use dod::prelude::*;
 use dod_core::Metric;
-use dod_engine::{Engine, EngineError};
+use dod_engine::{Engine, EngineError, Request};
 use dod_integration::{mixed_density, reference_outliers, uniform_nd};
 
 fn config(params: OutlierParams) -> DodConfig {
@@ -25,11 +25,21 @@ fn engine_for(runner: DodRunner, data: &PointSet) -> Engine {
     Engine::builder(runner).workers(2).build(data).unwrap()
 }
 
+fn detect(engine: &Engine) -> Vec<dod_core::PointId> {
+    engine
+        .submit(Request::Detect)
+        .unwrap()
+        .wait()
+        .unwrap()
+        .into_outliers()
+        .unwrap()
+}
+
 type RunnerFactory = fn(DodConfig) -> DodRunner;
 
-/// Every strategy × both generators: the engine's `detect_all` answers
-/// exactly what the one-shot pipeline answers (which itself matches the
-/// brute-force reference).
+/// Every strategy × both generators: the engine's `Request::Detect`
+/// answers exactly what the one-shot pipeline answers (which itself
+/// matches the brute-force reference).
 #[test]
 fn detect_all_equals_one_shot_for_every_strategy() {
     let params = OutlierParams::new(1.2, 4).unwrap();
@@ -78,7 +88,7 @@ fn detect_all_equals_one_shot_for_every_strategy() {
             let one_shot = make(config(params)).run(&data).unwrap().outliers;
             assert_eq!(one_shot, expected, "{name}: pipeline vs reference");
             let engine = engine_for(make(config(params)), &data);
-            let resident = engine.detect_all().unwrap().wait().unwrap();
+            let resident = detect(&engine);
             assert_eq!(resident, one_shot, "{name}: engine vs pipeline");
         }
     }
@@ -108,11 +118,7 @@ fn detect_all_equals_one_shot_for_every_fixed_algorithm() {
         };
         assert_eq!(make().run(&data).unwrap().outliers, expected, "{kind:?}");
         let engine = engine_for(make(), &data);
-        assert_eq!(
-            engine.detect_all().unwrap().wait().unwrap(),
-            expected,
-            "{kind:?} via engine"
-        );
+        assert_eq!(detect(&engine), expected, "{kind:?} via engine");
     }
 }
 
@@ -133,7 +139,7 @@ fn detect_all_equals_one_shot_under_manhattan_metric() {
     };
     assert_eq!(make().run(&data).unwrap().outliers, expected);
     let engine = engine_for(make(), &data);
-    assert_eq!(engine.detect_all().unwrap().wait().unwrap(), expected);
+    assert_eq!(detect(&engine), expected);
 }
 
 /// Scoring the dataset's own points (nudged by zero) against the
@@ -158,7 +164,15 @@ fn score_batch_matches_brute_force_neighbor_counts() {
         })
         .chain([vec![1e4, -1e4]])
         .collect();
-    let scores = engine.score_batch(queries.clone()).unwrap().wait().unwrap();
+    let scores = engine
+        .submit(Request::Score {
+            points: queries.clone(),
+        })
+        .unwrap()
+        .wait()
+        .unwrap()
+        .into_score()
+        .unwrap();
     for (q, s) in queries.iter().zip(&scores) {
         let brute = (0..data.len())
             .filter(|&i| params.metric.within(q, data.point(i), params.r))
@@ -186,11 +200,11 @@ fn refresh_preserves_the_outlier_set() {
             .build(),
         &data,
     );
-    let before = engine.detect_all().unwrap().wait().unwrap();
+    let before = detect(&engine);
     assert_eq!(before, reference_outliers(&data, params));
     for expected_epoch in 1..=3 {
         assert_eq!(engine.refresh_plan().unwrap(), expected_epoch);
-        assert_eq!(engine.detect_all().unwrap().wait().unwrap(), before);
+        assert_eq!(detect(&engine), before);
     }
 }
 
@@ -213,10 +227,12 @@ fn backpressure_rejects_deterministically() {
     .unwrap();
 
     let paused = engine.pause();
-    let queued = engine.detect_all().expect("one request fits the queue");
+    let queued = engine
+        .submit(Request::Detect)
+        .expect("one request fits the queue");
     for _ in 0..3 {
         assert!(
-            matches!(engine.detect_all(), Err(EngineError::Overloaded)),
+            matches!(engine.submit(Request::Detect), Err(EngineError::Overloaded)),
             "queue is full; submission must bounce"
         );
     }
@@ -224,8 +240,7 @@ fn backpressure_rejects_deterministically() {
 
     // Releasing the workers drains the queue and the engine recovers.
     drop(paused);
-    let outliers = queued.wait().unwrap();
+    let outliers = queued.wait().unwrap().into_outliers().unwrap();
     assert_eq!(outliers, reference_outliers(&data, params));
-    let again = engine.detect_all().unwrap().wait().unwrap();
-    assert_eq!(again, outliers);
+    assert_eq!(detect(&engine), outliers);
 }

@@ -1,0 +1,317 @@
+//! Streaming-ingest equivalence oracle.
+//!
+//! The engine's contract for `Request::Insert` / `Request::Remove` /
+//! `Request::Window` is exactness under churn: after ANY interleaving of
+//! mutations and queries, the resident outlier set must be bit-identical
+//! to a from-scratch pipeline run over the surviving points — whether a
+//! given batch was absorbed incrementally (spliced into resident
+//! indexes) or fell back to an epoch-swap rebuild is invisible in the
+//! answers. The oracle below maintains a shadow model (the surviving
+//! `(id, coords)` pairs in id order), replays a scripted interleaving
+//! against the engine, and checks the resident `Detect` answer against a
+//! fresh build over the survivors after every mutation, across the same
+//! three strategy/mode combinations the chaos suite covers.
+
+use dod::prelude::*;
+use dod_engine::{Engine, Request, WindowConfig};
+use dod_integration::mixed_density;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn config(params: OutlierParams) -> DodConfig {
+    DodConfig::builder(params)
+        .sample_rate(1.0)
+        .block_size(32)
+        .num_reducers(3)
+        .target_partitions(8)
+        .build()
+        .unwrap()
+}
+
+/// The three partitioning/mode combinations under test (mirrors the
+/// chaos matrix).
+#[derive(Clone, Copy, Debug)]
+enum Strat {
+    UniSpaceFixed,
+    DDrivenCell,
+    DmtMultiTactic,
+}
+
+const STRATS: [Strat; 3] = [
+    Strat::UniSpaceFixed,
+    Strat::DDrivenCell,
+    Strat::DmtMultiTactic,
+];
+
+fn runner_for(strat: Strat, cfg: DodConfig) -> DodRunner {
+    let b = DodRunner::builder().config(cfg);
+    match strat {
+        Strat::UniSpaceFixed => b
+            .strategy(UniSpace)
+            .fixed(AlgorithmKind::NestedLoop)
+            .build(),
+        Strat::DDrivenCell => b.strategy(DDriven).fixed(AlgorithmKind::CellBased).build(),
+        Strat::DmtMultiTactic => b.strategy(Dmt::default()).multi_tactic().build(),
+    }
+}
+
+/// The ground truth: a from-scratch pipeline run over the surviving
+/// points, with positional outlier ids mapped back to engine ids.
+fn fresh_outliers(strat: Strat, params: OutlierParams, survivors: &[(u64, Vec<f64>)]) -> Vec<u64> {
+    let mut data = PointSet::new(2).unwrap();
+    for (_, p) in survivors {
+        data.push(p).unwrap();
+    }
+    let fresh = runner_for(strat, config(params))
+        .run(&data)
+        .unwrap()
+        .outliers;
+    fresh.iter().map(|&i| survivors[i as usize].0).collect()
+}
+
+fn resident_outliers(engine: &Engine) -> Vec<u64> {
+    engine
+        .submit(Request::Detect)
+        .unwrap()
+        .wait()
+        .unwrap()
+        .into_outliers()
+        .unwrap()
+}
+
+/// Replays a seeded interleaving of insert/remove/score ops against one
+/// strategy's engine, checking the detect oracle after every mutation.
+fn run_interleaving(strat: Strat, data_seed: u64, op_seed: u64, ops: usize) {
+    let params = OutlierParams::new(1.2, 4).unwrap();
+    let data = mixed_density(data_seed, 80);
+    let engine = Engine::builder(runner_for(strat, config(params)))
+        .workers(2)
+        .build(&data)
+        .unwrap();
+
+    // Shadow model: surviving (id, coords), in id order.
+    let mut survivors: Vec<(u64, Vec<f64>)> = (0..data.len())
+        .map(|i| (i as u64, data.point(i).to_vec()))
+        .collect();
+    let mut next_id = data.len() as u64;
+    let mut rng = StdRng::seed_from_u64(op_seed);
+
+    assert_eq!(
+        resident_outliers(&engine),
+        fresh_outliers(strat, params, &survivors),
+        "{strat:?}: diverged before any mutation"
+    );
+
+    for step in 0..ops {
+        match rng.gen_range(0u8..4) {
+            // Insert 1–3 points: jittered copies of residents (likely
+            // absorbed incrementally) and occasional far-out points
+            // (out of domain: forces the epoch-swap fallback).
+            0 | 1 => {
+                let n = rng.gen_range(1..=3);
+                let mut points = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let p = if rng.gen_bool(0.2) || survivors.is_empty() {
+                        vec![rng.gen_range(-30.0..30.0), rng.gen_range(-30.0..30.0)]
+                    } else {
+                        let (_, base) = &survivors[rng.gen_range(0..survivors.len())];
+                        vec![
+                            base[0] + rng.gen_range(-0.4..0.4),
+                            base[1] + rng.gen_range(-0.4..0.4),
+                        ]
+                    };
+                    points.push(p);
+                }
+                let receipt = engine
+                    .submit(Request::Insert {
+                        points: points.clone(),
+                    })
+                    .unwrap()
+                    .wait()
+                    .unwrap()
+                    .into_insert()
+                    .unwrap();
+                let expected_ids: Vec<u64> = (next_id..next_id + n as u64).collect();
+                assert_eq!(receipt.ids, expected_ids, "{strat:?} step {step}");
+                for (id, p) in expected_ids.iter().zip(points) {
+                    survivors.push((*id, p));
+                }
+                next_id += n as u64;
+            }
+            // Remove 1–2 surviving points (plus sometimes a missing id).
+            2 => {
+                let mut ids = Vec::new();
+                for _ in 0..rng.gen_range(1..=2usize) {
+                    if survivors.len() > 10 {
+                        let victim = rng.gen_range(0..survivors.len());
+                        ids.push(survivors.remove(victim).0);
+                    }
+                }
+                let missing = rng.gen_bool(0.3);
+                if missing {
+                    ids.push(next_id + 1000);
+                }
+                let removed = ids.len() - usize::from(missing);
+                let receipt = engine
+                    .submit(Request::Remove { ids })
+                    .unwrap()
+                    .wait()
+                    .unwrap()
+                    .into_remove()
+                    .unwrap();
+                assert_eq!(receipt.removed, removed, "{strat:?} step {step}");
+                assert_eq!(receipt.missing, usize::from(missing));
+                assert_eq!(receipt.resident, survivors.len());
+            }
+            // Score a probe batch: interleaves read traffic between the
+            // mutations (and feeds the drift accounting).
+            _ => {
+                let points: Vec<Vec<f64>> = (0..3)
+                    .map(|_| vec![rng.gen_range(-2.0..12.0), rng.gen_range(-2.0..12.0)])
+                    .collect();
+                engine
+                    .submit(Request::Score { points })
+                    .unwrap()
+                    .wait()
+                    .unwrap();
+            }
+        }
+        assert_eq!(
+            resident_outliers(&engine),
+            fresh_outliers(strat, params, &survivors),
+            "{strat:?}: diverged after step {step}"
+        );
+    }
+}
+
+/// Fixed seeds × all three strategies: fast, deterministic anchor.
+#[test]
+fn incremental_mutations_match_fresh_rebuild_for_every_strategy() {
+    for strat in STRATS {
+        run_interleaving(strat, 51, 52, 12);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // Random interleavings on the heaviest strategy (multi-tactic: all
+    // detector kinds can appear, so splice paths for every resident
+    // index structure get exercised).
+    #[test]
+    fn random_interleavings_stay_exact(
+        data_seed in 1u64..1000,
+        op_seed in 1u64..1000,
+    ) {
+        run_interleaving(Strat::DmtMultiTactic, data_seed, op_seed, 8);
+    }
+}
+
+/// A count-bounded window: inserts push the oldest points out, and the
+/// resident answer still matches a fresh build over the survivors.
+#[test]
+fn count_bounded_window_expires_oldest_and_stays_exact() {
+    let params = OutlierParams::new(1.2, 4).unwrap();
+    let data = mixed_density(61, 60);
+    let cap = data.len();
+    let engine = Engine::builder(runner_for(Strat::DmtMultiTactic, config(params)))
+        .window(WindowConfig {
+            max_points: Some(cap),
+            max_age: None,
+        })
+        .build(&data)
+        .unwrap();
+    let mut survivors: Vec<(u64, Vec<f64>)> = (0..data.len())
+        .map(|i| (i as u64, data.point(i).to_vec()))
+        .collect();
+
+    // Each batch of 5 inserts must expire the 5 oldest survivors.
+    let mut next_id = data.len() as u64;
+    for round in 0..4 {
+        let points: Vec<Vec<f64>> = (0..5)
+            .map(|i| {
+                let (_, base) = &survivors[10 + i];
+                vec![base[0] + 0.05, base[1] - 0.05]
+            })
+            .collect();
+        let receipt = engine
+            .submit(Request::Insert {
+                points: points.clone(),
+            })
+            .unwrap()
+            .wait()
+            .unwrap()
+            .into_insert()
+            .unwrap();
+        assert_eq!(receipt.expired, 5, "round {round}");
+        assert_eq!(receipt.resident, cap);
+        for (off, p) in points.into_iter().enumerate() {
+            survivors.push((next_id + off as u64, p));
+        }
+        next_id += 5;
+        survivors.drain(..5); // the 5 oldest fell out of the window
+        assert_eq!(
+            resident_outliers(&engine),
+            fresh_outliers(Strat::DmtMultiTactic, params, &survivors),
+            "round {round}: window expiry diverged from fresh rebuild"
+        );
+    }
+}
+
+/// An age-bounded window: once the initial points out-age the bound, the
+/// next mutation op expires them all.
+#[test]
+fn age_bounded_window_expires_old_points() {
+    let params = OutlierParams::new(1.2, 4).unwrap();
+    let data = mixed_density(71, 30);
+    let engine = Engine::builder(runner_for(Strat::DmtMultiTactic, config(params)))
+        .window(WindowConfig {
+            max_points: None,
+            max_age: Some(Duration::from_millis(40)),
+        })
+        .build(&data)
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+
+    // A window tick after the bound has passed sweeps everything.
+    let status = engine
+        .submit(Request::Window { config: None })
+        .unwrap()
+        .wait()
+        .unwrap()
+        .into_window()
+        .unwrap();
+    assert_eq!(status.expired, data.len());
+    assert_eq!(status.resident, 0);
+
+    // Fresh inserts are young and survive the next tick.
+    let receipt = engine
+        .submit(Request::Insert {
+            points: vec![vec![0.0, 0.0], vec![0.2, 0.0], vec![0.0, 0.2]],
+        })
+        .unwrap()
+        .wait()
+        .unwrap()
+        .into_insert()
+        .unwrap();
+    assert_eq!(receipt.expired, 0);
+    assert_eq!(receipt.resident, 3);
+    let status = engine
+        .submit(Request::Window { config: None })
+        .unwrap()
+        .wait()
+        .unwrap()
+        .into_window()
+        .unwrap();
+    assert_eq!(status.expired, 0);
+    assert_eq!(status.resident, 3);
+    // All three are mutual neighbors but below k=4: all outliers — and
+    // their engine ids survived the churn.
+    assert_eq!(
+        resident_outliers(&engine),
+        vec![30, 31, 32],
+        "ids are stable across expiry"
+    );
+}
