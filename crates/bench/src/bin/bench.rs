@@ -7,7 +7,7 @@
 //! cargo run --release -p bench --bin bench -- kernels --json out.json
 //! ```
 
-use bench::{ingest, kernels, obs_overhead, pipeline};
+use bench::{calibrate, ingest, kernels, obs_overhead, pipeline};
 use std::process::ExitCode;
 
 fn run_kernels(args: &[String]) -> ExitCode {
@@ -45,6 +45,37 @@ fn run_kernels(args: &[String]) -> ExitCode {
     }
     if let Some(path) = json_path {
         std::fs::write(&path, kernels::to_json(&rows)).expect("write json");
+        println!("\nwrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_calibrate(args: &[String]) -> ExitCode {
+    let mut json_path: Option<String> = None;
+    let mut quick = false;
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => {
+                let next = it.peek().filter(|a| !a.starts_with("--"));
+                json_path = Some(match next {
+                    Some(_) => it.next().unwrap().clone(),
+                    None => "BENCH_calibration.json".to_string(),
+                });
+            }
+            "--quick" => quick = true,
+            other => {
+                eprintln!("unknown calibrate flag: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let min_time_s = if quick { 0.05 } else { 0.4 };
+    let profile = calibrate::run_all(min_time_s);
+    print!("{}", calibrate::render_table(&profile));
+    if let Some(path) = json_path {
+        std::fs::write(&path, profile.to_json()).expect("write json");
         println!("\nwrote {path}");
     }
     ExitCode::SUCCESS
@@ -227,12 +258,14 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("kernels") => run_kernels(&args[1..]),
+        Some("calibrate") => run_calibrate(&args[1..]),
         Some("pipeline") => run_pipeline(&args[1..]),
         Some("obs-overhead") => run_obs_overhead(&args[1..]),
         Some("ingest") => run_ingest(&args[1..]),
         _ => {
             eprintln!(
                 "usage: bench kernels  [--json [path]] [--quick]\n       \
+                 bench calibrate [--json [path]] [--quick]\n       \
                  bench pipeline [--json [path]] [--quick] [--chaos-seed <int>]\n       \
                  bench obs-overhead [--json [path]] [--quick]\n       \
                  bench ingest [--json [path]] [--quick]"

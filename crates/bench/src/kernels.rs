@@ -61,7 +61,7 @@ fn uniform_set(seed: u64, n: usize, dim: usize, side: f64) -> PointSet {
 /// Times `work` (which must evaluate `pairs_per_call` predicates per
 /// call) adaptively until `min_time_s` of wall clock has accumulated,
 /// after one untimed warm-up call. Returns pairs per second.
-fn throughput(pairs_per_call: usize, min_time_s: f64, mut work: impl FnMut() -> usize) -> f64 {
+pub fn throughput(pairs_per_call: usize, min_time_s: f64, mut work: impl FnMut() -> usize) -> f64 {
     black_box(work());
     let mut calls = 0u64;
     let start = Instant::now();
@@ -133,14 +133,18 @@ impl MicroFixture {
     }
 }
 
-fn micro_row(name: &str, metric: Metric, dim: usize, min_time_s: f64) -> KernelBenchResult {
-    // r chosen so roughly half the candidates are neighbors: the
-    // predicate outcome must not be branch-predictor trivia.
-    let r = match metric {
+/// Radius at which roughly half the uniform micro candidates are
+/// neighbors: the predicate outcome must not be branch-predictor trivia.
+pub fn half_hit_radius(metric: Metric, dim: usize) -> f64 {
+    match metric {
         Metric::Euclidean => 4.0 * (dim as f64).sqrt(),
         Metric::Manhattan => 4.0 * dim as f64,
         Metric::Chebyshev => 4.0,
-    };
+    }
+}
+
+fn micro_row(name: &str, metric: Metric, dim: usize, min_time_s: f64) -> KernelBenchResult {
+    let r = half_hit_radius(metric, dim);
     let fx = MicroFixture::new(11 + dim as u64, MICRO_POINTS, dim);
     let pred = NeighborPredicate::with_metric(metric, r);
 

@@ -11,6 +11,7 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod calibrate;
 pub mod experiments;
 pub mod ingest;
 pub mod kernels;

@@ -4,10 +4,12 @@
 //! ```sh
 //! dod --input points.csv --r 0.5 --k 4 --report
 //! dod serve --input points.csv --r 0.5 --k 4   # resident engine, JSONL
+//! dod explain --input points.csv --r 0.5 --k 4 # planner introspection
 //! dod obs run.jsonl                            # offline trace analysis
 //! ```
 
 mod args;
+mod explain_cmd;
 mod obs_cmd;
 mod serve;
 
@@ -47,6 +49,11 @@ fn build_runner(args: &Args, obs: Obs) -> Result<DodRunner, String> {
         .target_partitions(args.partitions)
         .sample_rate(args.sample_rate)
         .obs(obs);
+    if let Some(path) = &args.calibration {
+        let profile = dod_detect::CalibrationProfile::load(path)
+            .map_err(|e| format!("loading calibration {path}: {e}"))?;
+        builder = builder.calibration(profile);
+    }
     if let Some(seed) = args.chaos_seed {
         // Deterministic fault injection: same seed, same faults. Extra
         // retries keep chaos-rate plans recoverable so the run usually
@@ -152,6 +159,7 @@ fn main() -> ExitCode {
                 Command::Run(args) => run(args),
                 Command::Serve(args) => serve::serve(args),
                 Command::Obs(args) => obs_cmd::run(args),
+                Command::Explain(args) => explain_cmd::run(args),
             };
             match result {
                 Ok(()) => ExitCode::SUCCESS,

@@ -17,12 +17,17 @@
 //!    per algorithm, rendered as a `+N more partitions` line).
 //!    Traces without request spans (batch runs) fall back to the slowest
 //!    spans overall.
-//! 4. **Cost audit** — predicted vs actual work per partition: the
-//!    planner's `predicted_cost` label on `dod.plan.partition` marks
-//!    against measured kernel work (`engine.partition.work`, or the
-//!    `detect.distance_evals` + `detect.index_ops` counters for batch
-//!    traces). A ratio far from 1 flags a partition the cost model
-//!    misjudged.
+//! 4. **Plan** — the committed plan as recorded by `dod.plan.partition`
+//!    marks: per partition, the winning algorithm, its predicted cost,
+//!    and (on PlanReport-enriched traces) the estimated population and
+//!    the winner's margin over the runner-up. `dod explain` prints the
+//!    full candidate table live; this section recovers what a trace
+//!    kept of it.
+//! 5. **Cost audit** — predicted vs actual work per partition: the
+//!    plan rows' predicted cost against measured kernel work
+//!    (`engine.partition.work`, or the `detect.distance_evals` +
+//!    `detect.index_ops` counters for batch traces). A ratio far from 1
+//!    flags a partition the cost model misjudged.
 
 use std::collections::BTreeMap;
 
@@ -78,7 +83,11 @@ pub fn analyze(events: &[Event], top: usize) -> String {
     stage_section(&mut out, events);
     latency_section(&mut out, events);
     slow_requests_section(&mut out, events, top);
-    cost_audit_section(&mut out, events);
+    // The plan marks are parsed once and shared between the plan section
+    // and the cost audit, which consumes their predicted costs as-is.
+    let plan = plan_rows(events);
+    plan_section(&mut out, &plan);
+    cost_audit_section(&mut out, events, &plan);
     out
 }
 
@@ -245,6 +254,63 @@ fn slow_requests_section(out: &mut String, events: &[Event], top: usize) {
     }
 }
 
+/// One partition's `dod.plan.partition` mark, as enriched by the
+/// pipeline from its [`dod_partition::PlanReport`]: the committed
+/// winner, its predicted cost, and — on enriched traces — the
+/// estimated population and the winner's margin over the runner-up.
+#[derive(Debug, Default, Clone)]
+struct PlanRow {
+    algorithm: String,
+    predicted: Option<f64>,
+    n_est: Option<f64>,
+    margin: Option<f64>,
+}
+
+/// Folds the plan marks into per-partition rows, parsed once for both
+/// the plan section and the cost audit. Later marks win: a refreshed
+/// plan supersedes the old one.
+fn plan_rows(events: &[Event]) -> BTreeMap<u64, PlanRow> {
+    let mut rows: BTreeMap<u64, PlanRow> = BTreeMap::new();
+    for e in events.iter().filter(|e| e.name == "dod.plan.partition") {
+        let Some(pid) = label_u64(e, "partition") else {
+            continue;
+        };
+        let row = rows.entry(pid).or_default();
+        if let Some(alg) = label_str(e, "algorithm") {
+            row.algorithm = alg.to_string();
+        }
+        row.predicted = label_f64(e, "predicted_cost");
+        row.n_est = label_f64(e, "n_est");
+        row.margin = label_f64(e, "margin");
+    }
+    rows
+}
+
+fn plan_section(out: &mut String, plan: &BTreeMap<u64, PlanRow>) {
+    out.push_str("\n== plan ==\n");
+    if plan.is_empty() {
+        out.push_str("(no dod.plan.partition marks in this trace)\n");
+        return;
+    }
+    out.push_str(&format!(
+        "{:>9}  {:<16} {:>12} {:>10} {:>12}\n",
+        "partition", "algorithm", "predicted", "n_est", "margin"
+    ));
+    for (pid, row) in plan {
+        out.push_str(&format!(
+            "{pid:>9}  {:<16} {:>12} {:>10} {:>12}\n",
+            if row.algorithm.is_empty() {
+                "?"
+            } else {
+                &row.algorithm
+            },
+            row.predicted.map_or("-".to_string(), |p| format!("{p:.1}")),
+            row.n_est.map_or("-".to_string(), |n| format!("{n:.1}")),
+            row.margin.map_or("-".to_string(), |m| format!("{m:.1}")),
+        ));
+    }
+}
+
 /// Per-partition audit row, keyed by partition id.
 #[derive(Debug, Default, Clone)]
 struct AuditRow {
@@ -254,22 +320,26 @@ struct AuditRow {
     detect_work: u64,
 }
 
-fn cost_audit_section(out: &mut String, events: &[Event]) {
+fn cost_audit_section(out: &mut String, events: &[Event], plan: &BTreeMap<u64, PlanRow>) {
     out.push_str("\n== cost audit (predicted vs actual) ==\n");
-    let mut rows: BTreeMap<u64, AuditRow> = BTreeMap::new();
+    // Predictions come straight from the parsed plan rows; this section
+    // only folds in the measured work.
+    let mut rows: BTreeMap<u64, AuditRow> = plan
+        .iter()
+        .map(|(&pid, p)| {
+            (
+                pid,
+                AuditRow {
+                    algorithm: p.algorithm.clone(),
+                    predicted: p.predicted,
+                    engine_work: 0,
+                    detect_work: 0,
+                },
+            )
+        })
+        .collect();
     for e in events {
         match e.name.as_ref() {
-            // Later marks win: a refreshed plan supersedes the old one.
-            "dod.plan.partition" => {
-                let Some(pid) = label_u64(e, "partition") else {
-                    continue;
-                };
-                let row = rows.entry(pid).or_default();
-                if let Some(alg) = label_str(e, "algorithm") {
-                    row.algorithm = alg.to_string();
-                }
-                row.predicted = label_f64(e, "predicted_cost");
-            }
             names::ENGINE_PARTITION_WORK => {
                 let Some(pid) = label_u64(e, "partition") else {
                     continue;
@@ -352,7 +422,9 @@ mod tests {
             Event::new("dod.plan.partition", EventKind::Mark)
                 .with_label("partition", 0u64)
                 .with_label("algorithm", "cell-based")
-                .with_label("predicted_cost", 100.0),
+                .with_label("predicted_cost", 100.0)
+                .with_label("n_est", 24.0)
+                .with_label("margin", 60.5),
             Event::new("dod.plan.partition", EventKind::Mark)
                 .with_label("partition", 1u64)
                 .with_label("algorithm", "kd-tree")
@@ -428,6 +500,28 @@ mod tests {
         assert!(audit.contains("kd-tree"), "{audit}");
     }
 
+    /// The plan section renders the report-enriched mark labels and
+    /// dashes out fields older traces never carried.
+    #[test]
+    fn plan_section_renders_report_enriched_marks() {
+        let text = analyze(&engine_trace(), 1);
+        let plan = text
+            .split("== plan ==")
+            .nth(1)
+            .unwrap()
+            .split("== cost audit")
+            .next()
+            .unwrap();
+        let p0 = plan.lines().find(|l| l.contains("cell-based")).unwrap();
+        assert!(p0.contains("100.0"), "{p0}");
+        assert!(p0.contains("24.0"), "{p0}");
+        assert!(p0.contains("60.5"), "{p0}");
+        // Partition 1's mark predates the report enrichment: dashes.
+        let p1 = plan.lines().find(|l| l.contains("kd-tree")).unwrap();
+        assert!(p1.contains("50.0"), "{p1}");
+        assert!(p1.trim_end().ends_with('-'), "{p1}");
+    }
+
     #[test]
     fn batch_trace_without_requests_falls_back_gracefully() {
         let events = vec![
@@ -451,6 +545,10 @@ mod tests {
         assert!(text.contains("0 events"), "{text}");
         assert!(
             text.contains("(no dod.stage spans in this trace)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("(no dod.plan.partition marks in this trace)"),
             "{text}"
         );
         assert!(

@@ -19,6 +19,13 @@
 //!    "expired":0,"refreshed":false,"resident":41}
 //! > {"op": "drift"}
 //! < {"v":1,"ok":true,"op":"drift","drift":0.12,"epoch":0}
+//! > {"op": "explain"}
+//! < {"v":1,"ok":true,"op":"explain","epoch":0,
+//!    "weights":{"pair":1,"structural":1},"calibrated":false,
+//!    "partitions":[{"partition":0,"winner":"cell-based","winner_cost":80,
+//!      "margin":120,"n_est":10,"volume":0.25,"density_mu":1.5,
+//!      "candidates":[{"algorithm":"cell-based","cost":80,
+//!        "pair_ops":20,"structural_ops":20}, …]}]}
 //! > {"op": "refresh"}
 //! < {"v":1,"ok":true,"op":"refresh","epoch":1}
 //! > {"op": "stats"}
@@ -38,6 +45,13 @@
 //! removes both. `expired` counts points the window evicted during the
 //! op, and `refreshed` reports whether the op fell back to a full
 //! epoch-swap rebuild (answers are exact either way).
+//!
+//! `explain` returns the resident plan's [`dod_partition::PlanReport`]:
+//! per partition, every candidate algorithm with its predicted cost and
+//! raw cost terms, the committed winner, and the winner's margin over
+//! the runner-up — the same document `dod explain --json` prints for a
+//! batch run. `epoch` tells clients which plan generation the report
+//! describes.
 //!
 //! `stats` is the full [`dod_engine::EngineHealth`] snapshot. `metrics`
 //! returns the Prometheus text-format exposition (the same document the
@@ -370,8 +384,87 @@ pub fn render_metrics(ctx: &ServeContext) -> String {
         "Points inserted or removed since the last epoch swap.",
         h.churn as f64,
     );
+    // Cost-audit state: cumulative calibration error per algorithm plus
+    // mispredict totals, sampled at scrape time (the incremental
+    // counters behind them flow through the recorder as
+    // `engine.cost.*` families).
+    let audit = ctx.engine.cost_audit();
+    if !audit.per_algorithm.is_empty() {
+        let ratio_labels: Vec<[(String, String); 1]> = audit
+            .per_algorithm
+            .iter()
+            .map(|a| [("algorithm".to_string(), a.algorithm.name().to_string())])
+            .collect();
+        let ratios: Vec<(&[(String, String)], f64)> = audit
+            .per_algorithm
+            .iter()
+            .zip(&ratio_labels)
+            .map(|(a, labels)| (&labels[..], a.ratio()))
+            .collect();
+        w.gauge_series(
+            "dod_engine_cost_calibration_ratio",
+            "Cumulative measured-over-predicted cost ratio per algorithm (1.0 = exact model).",
+            &ratios,
+        );
+    }
+    w.gauge(
+        "dod_engine_cost_audit_mispredicts",
+        "Partition observations where a rejected plan candidate measured cheaper.",
+        audit.mispredicts as f64,
+    );
+    w.gauge(
+        "dod_engine_cost_audit_gross_mispredicts",
+        "Mispredicted observations that crossed the gross threshold.",
+        audit.gross_mispredicts as f64,
+    );
     text.push_str(&w.finish());
     text
+}
+
+/// Renders a [`dod_partition::PlanReport`] body (everything after the
+/// response envelope): weights, calibration flag, and the per-partition
+/// candidate table. Shared between the `explain` op here and the
+/// `dod explain --json` subcommand so both emit the same schema.
+pub fn plan_report_json(report: &dod_partition::PlanReport) -> String {
+    let partitions: Vec<String> = report
+        .partitions
+        .iter()
+        .map(|p| {
+            let candidates: Vec<String> = p
+                .candidates
+                .iter()
+                .map(|c| {
+                    format!(
+                        "{{\"algorithm\":\"{}\",\"cost\":{},\"pair_ops\":{},\
+                         \"structural_ops\":{}}}",
+                        c.algorithm.name(),
+                        json::number(c.cost),
+                        json::number(c.terms.pair_ops),
+                        json::number(c.terms.structural_ops)
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"partition\":{},\"winner\":\"{}\",\"winner_cost\":{},\"margin\":{},\
+                 \"n_est\":{},\"volume\":{},\"density_mu\":{},\"candidates\":[{}]}}",
+                p.partition,
+                p.winner.name(),
+                json::number(p.winner_cost),
+                json::number(p.margin),
+                json::number(p.n_est),
+                json::number(p.volume),
+                json::number(p.density_mu),
+                candidates.join(",")
+            )
+        })
+        .collect();
+    format!(
+        "\"weights\":{{\"pair\":{},\"structural\":{}}},\"calibrated\":{},\"partitions\":[{}]",
+        json::number(report.weights.pair),
+        json::number(report.weights.structural),
+        report.calibrated,
+        partitions.join(",")
+    )
 }
 
 /// Extracts a `"points": [[…], …]` field as coordinate rows.
@@ -520,6 +613,19 @@ fn dispatch(ctx: &ServeContext, request: &Json) -> Result<Option<String>, ServeE
                 "{{\"v\":1,\"ok\":true,\"op\":\"window\",\"max_points\":{},\"max_age_ms\":{},\
                  \"expired\":{},\"refreshed\":{},\"resident\":{}}}",
                 points, age, status.expired, status.refreshed, status.resident
+            )))
+        }
+        "explain" => {
+            let Some(report) = engine.plan_report() else {
+                return Err(ServeError {
+                    code: "engine",
+                    msg: "no resident plan to explain".into(),
+                });
+            };
+            Ok(Some(format!(
+                "{{\"v\":1,\"ok\":true,\"op\":\"explain\",\"epoch\":{},{}}}",
+                engine.epoch(),
+                plan_report_json(&report)
             )))
         }
         "drift" => Ok(Some(format!(
@@ -979,6 +1085,76 @@ mod tests {
         assert!(text.contains("dod_engine_partitions "));
         assert!(text.contains("dod_engine_workers 1"));
         assert!(text.contains("dod_engine_points 41"));
+    }
+
+    /// The `explain` op round-trips through the JSONL protocol: every
+    /// partition reports a winner drawn from its candidate set, finite
+    /// costs, and a margin.
+    #[test]
+    fn explain_op_reports_the_resident_plan() {
+        let responses = session(concat!("{\"op\": \"explain\"}\n", "{\"op\": \"detect\"}\n",));
+        assert_eq!(responses.len(), 2);
+        let v = parse_json(&responses[0]).unwrap();
+        assert_eq!(v.get("v"), Some(&Json::Num(1.0)));
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("op"), Some(&Json::Str("explain".into())));
+        assert_eq!(v.get("epoch"), Some(&Json::Num(0.0)));
+        assert_eq!(v.get("calibrated"), Some(&Json::Bool(false)));
+        let weights = v.get("weights").unwrap();
+        assert_eq!(weights.get("pair"), Some(&Json::Num(1.0)));
+        assert_eq!(weights.get("structural"), Some(&Json::Num(1.0)));
+        let Some(Json::Arr(partitions)) = v.get("partitions") else {
+            panic!("partitions array: {}", responses[0]);
+        };
+        assert!(!partitions.is_empty());
+        for p in partitions {
+            let Some(Json::Str(winner)) = p.get("winner") else {
+                panic!("winner: {p:?}");
+            };
+            let Some(Json::Arr(candidates)) = p.get("candidates") else {
+                panic!("candidates: {p:?}");
+            };
+            assert!(!candidates.is_empty());
+            // The winner is one of the candidates, at its reported cost.
+            let found = candidates.iter().any(|c| {
+                c.get("algorithm") == Some(&Json::Str(winner.clone()))
+                    && c.get("cost") == p.get("winner_cost")
+            });
+            assert!(found, "winner in candidates: {p:?}");
+            assert!(matches!(p.get("winner_cost"), Some(Json::Num(c)) if c.is_finite()));
+            assert!(matches!(p.get("margin"), Some(Json::Num(m)) if m.is_finite()));
+            assert!(matches!(p.get("n_est"), Some(Json::Num(_))));
+            for c in candidates {
+                assert!(matches!(c.get("cost"), Some(Json::Num(c)) if *c > 0.0));
+                assert!(matches!(c.get("pair_ops"), Some(Json::Num(_))));
+                assert!(matches!(c.get("structural_ops"), Some(Json::Num(_))));
+            }
+        }
+    }
+
+    /// After measured work exists, the exposition carries the cost-audit
+    /// gauges next to the health gauges.
+    #[test]
+    fn metrics_include_cost_audit_gauges() {
+        let responses = session(concat!("{\"op\": \"detect\"}\n", "{\"op\": \"metrics\"}\n",));
+        let v = parse_json(&responses[1]).unwrap();
+        let Some(Json::Str(text)) = v.get("metrics") else {
+            panic!("metrics is a string: {}", responses[1]);
+        };
+        assert!(
+            text.contains("dod_engine_cost_calibration_ratio{algorithm=\""),
+            "{text}"
+        );
+        assert!(
+            text.contains("dod_engine_cost_audit_mispredicts "),
+            "{text}"
+        );
+        assert!(
+            text.contains("dod_engine_cost_audit_gross_mispredicts "),
+            "{text}"
+        );
+        // The recorder-side observation family is present too.
+        assert!(text.contains("dod_engine_cost_calibration"), "{text}");
     }
 
     #[test]

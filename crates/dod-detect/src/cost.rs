@@ -100,27 +100,101 @@ fn gamma_half_integer(m: usize) -> f64 {
     acc
 }
 
+/// Relative unit costs of the model's two op classes.
+///
+/// Every Section IV cost formula decomposes into **pair ops** (distance
+/// predicates — the work the PR 3 kernel layer accelerates) and
+/// **structural ops** (cell/index bookkeeping, which stayed scalar). The
+/// legacy model charged both at 1.0; a measured
+/// [`CalibrationProfile`](crate::calibration::CalibrationProfile) keeps
+/// `pair = 1.0` and raises `structural` to the measured scalar/kernel
+/// per-pair ratio, reflecting that bookkeeping got relatively more
+/// expensive once distance predicates were kernelized.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostWeights {
+    /// Cost of one distance predicate (kernel-tile pair test).
+    pub pair: f64,
+    /// Cost of one structural op (cell count, index node, window slot).
+    pub structural: f64,
+}
+
+impl CostWeights {
+    /// The legacy pre-calibration weights: both op classes cost 1.0.
+    /// With these weights every cost formula is bit-identical to the
+    /// original Section IV constants.
+    pub const UNIT: CostWeights = CostWeights {
+        pair: 1.0,
+        structural: 1.0,
+    };
+
+    /// Whether these are exactly the legacy unit weights.
+    pub fn is_unit(&self) -> bool {
+        *self == CostWeights::UNIT
+    }
+}
+
+impl Default for CostWeights {
+    fn default() -> Self {
+        CostWeights::UNIT
+    }
+}
+
+/// A predicted cost split into raw (unweighted) op counts per class.
+///
+/// `weighted(w)` recovers the scalar cost the planner compares; the raw
+/// counts are what `dod explain` reports so mispredictions can be
+/// attributed to the model shape vs the calibration weights.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostTerms {
+    /// Expected distance predicates.
+    pub pair_ops: f64,
+    /// Expected structural (cell/index bookkeeping) ops.
+    pub structural_ops: f64,
+}
+
+impl CostTerms {
+    /// Total cost under the given weights.
+    pub fn weighted(&self, w: CostWeights) -> f64 {
+        w.structural * self.structural_ops + w.pair * self.pair_ops
+    }
+}
+
 /// Cost model for a fixed parameterization (`r`, `k`, dimensionality).
 #[derive(Debug, Clone, Copy)]
 pub struct CostModel {
     params: OutlierParams,
     dim: usize,
     ball: f64,
+    weights: CostWeights,
 }
 
 impl CostModel {
-    /// Creates a model for datasets of dimensionality `dim`.
+    /// Creates a model for datasets of dimensionality `dim` with the
+    /// legacy unit weights (the documented fallback when no calibration
+    /// profile is loaded).
     pub fn new(params: OutlierParams, dim: usize) -> Self {
         CostModel {
             params,
             dim,
             ball: params.metric.ball_volume(dim, params.r),
+            weights: CostWeights::UNIT,
         }
+    }
+
+    /// Replaces the op-class weights (builder style).
+    pub fn with_weights(mut self, weights: CostWeights) -> Self {
+        self.weights = weights;
+        self
     }
 
     /// The outlier parameters the model was built for.
     pub fn params(&self) -> OutlierParams {
         self.params
+    }
+
+    /// The op-class weights the model charges.
+    pub fn weights(&self) -> CostWeights {
+        self.weights
     }
 
     /// Hit probability `μ = A(p)/A(D)`, clamped to `(0, 1]`.
@@ -133,24 +207,29 @@ impl CostModel {
     }
 
     /// Lemma 4.1, with the per-point cap at `n`: expected Nested-Loop work
-    /// for a partition of `n` points covering `volume`.
+    /// for a partition of `n` points covering `volume`. Pure pair ops.
     pub fn nested_loop(&self, n: usize, volume: f64) -> f64 {
         if n == 0 {
             return 0.0;
         }
         let mu = self.hit_probability(volume);
         let per_point = (self.params.k as f64 / mu).min(n as f64);
-        n as f64 * per_point
+        self.weights.pair * (n as f64 * per_point)
     }
 
-    /// Lemma 4.2: expected Cell-Based work.
+    /// Lemma 4.2: expected Cell-Based work. The `|D|` indexing term is
+    /// structural; the case-3 fallback scan adds Lemma 4.1's pair ops.
     pub fn cell_based(&self, n: usize, volume: f64) -> f64 {
         if n == 0 {
             return 0.0;
         }
         match self.cell_based_case(n, volume) {
-            CellBasedCase::AllInliers | CellBasedCase::AllOutliers => n as f64,
-            CellBasedCase::Fallback => n as f64 + self.nested_loop(n, volume),
+            CellBasedCase::AllInliers | CellBasedCase::AllOutliers => {
+                self.weights.structural * n as f64
+            }
+            CellBasedCase::Fallback => {
+                self.weights.structural * n as f64 + self.nested_loop(n, volume)
+            }
         }
     }
 
@@ -187,18 +266,20 @@ impl CostModel {
             return 0.0;
         }
         let lg = (n as f64 + 1.0).log2();
-        2.0 * n as f64 * lg + n as f64 * self.params.k as f64
+        self.weights.structural * (2.0 * n as f64 * lg)
+            + self.weights.pair * (n as f64 * self.params.k as f64)
     }
 
     /// Heuristic cost of the pivot-based detector (extension): `√n`
-    /// pivots give an `n·√n` build, then per point a `√n`-wide window
-    /// plus `k` verifications.
+    /// pivots give an `n·√n` build, then per point a `√n`-wide window of
+    /// 1-d comparisons plus `k` distance verifications.
     pub fn pivot_based(&self, n: usize, _volume: f64) -> f64 {
         if n == 0 {
             return 0.0;
         }
         let sqrt_n = (n as f64).sqrt();
-        n as f64 * sqrt_n + n as f64 * (sqrt_n + self.params.k as f64)
+        self.weights.structural * (n as f64 * sqrt_n + n as f64 * sqrt_n)
+            + self.weights.pair * (n as f64 * self.params.k as f64)
     }
 
     /// Predicted cost of running `kind` on the partition.
@@ -212,7 +293,49 @@ impl CostModel {
             }
             AlgorithmKind::IndexBased => self.index_based(n, volume),
             AlgorithmKind::PivotBased => self.pivot_based(n, volume),
-            AlgorithmKind::Reference => (n as f64) * (n as f64),
+            AlgorithmKind::Reference => self.weights.pair * ((n as f64) * (n as f64)),
+        }
+    }
+
+    /// The raw (unweighted) op counts behind [`CostModel::cost`], for
+    /// plan introspection. `cost_terms(..).weighted(self.weights())`
+    /// agrees with `cost(..)` up to float associativity.
+    pub fn cost_terms(&self, kind: AlgorithmKind, n: usize, volume: f64) -> CostTerms {
+        if n == 0 {
+            return CostTerms::default();
+        }
+        let nf = n as f64;
+        let k = self.params.k as f64;
+        match kind {
+            AlgorithmKind::NestedLoop => CostTerms {
+                pair_ops: nf * (k / self.hit_probability(volume)).min(nf),
+                structural_ops: 0.0,
+            },
+            AlgorithmKind::CellBased | AlgorithmKind::CellBasedFullScan => {
+                let fallback_pairs = match self.cell_based_case(n, volume) {
+                    CellBasedCase::AllInliers | CellBasedCase::AllOutliers => 0.0,
+                    CellBasedCase::Fallback => nf * (k / self.hit_probability(volume)).min(nf),
+                };
+                CostTerms {
+                    pair_ops: fallback_pairs,
+                    structural_ops: nf,
+                }
+            }
+            AlgorithmKind::IndexBased => CostTerms {
+                pair_ops: nf * k,
+                structural_ops: 2.0 * nf * (nf + 1.0).log2(),
+            },
+            AlgorithmKind::PivotBased => {
+                let sqrt_n = nf.sqrt();
+                CostTerms {
+                    pair_ops: nf * k,
+                    structural_ops: nf * sqrt_n + nf * sqrt_n,
+                }
+            }
+            AlgorithmKind::Reference => CostTerms {
+                pair_ops: nf * nf,
+                structural_ops: 0.0,
+            },
         }
     }
 }
@@ -446,5 +569,123 @@ mod tests {
         // Case thresholds still partition the axis: extremes prune.
         assert_eq!(m.cell_based_case(1000, 1e-3), CellBasedCase::AllInliers);
         assert_eq!(m.cell_based_case(1000, 1e15), CellBasedCase::AllOutliers);
+    }
+
+    #[test]
+    fn unit_weights_reproduce_legacy_costs_exactly() {
+        // The documented fallback: with no profile loaded the weighted
+        // model must be bit-identical to the pre-calibration constants.
+        let m = model(5.0, 4, 2);
+        let w = m.with_weights(CostWeights::UNIT);
+        for &(n, volume) in &[(10_000usize, 10.0), (10_000, 1e5), (10_000, 1e12), (0, 1.0)] {
+            for kind in [
+                AlgorithmKind::NestedLoop,
+                AlgorithmKind::CellBased,
+                AlgorithmKind::IndexBased,
+                AlgorithmKind::Reference,
+            ] {
+                assert_eq!(m.cost(kind, n, volume), w.cost(kind, n, volume));
+            }
+        }
+        assert_eq!(m.nested_loop(100, 0.0), 400.0);
+        assert_eq!(m.cell_based(10_000, 10.0), 10_000.0);
+    }
+
+    #[test]
+    fn cost_terms_weighted_matches_cost() {
+        let w = CostWeights {
+            pair: 1.0,
+            structural: 3.5,
+        };
+        let m = model(5.0, 4, 2).with_weights(w);
+        for &(n, volume) in &[(10_000usize, 10.0), (10_000, 1e5), (10_000, 1e12)] {
+            for kind in [
+                AlgorithmKind::NestedLoop,
+                AlgorithmKind::CellBased,
+                AlgorithmKind::IndexBased,
+                AlgorithmKind::PivotBased,
+                AlgorithmKind::Reference,
+            ] {
+                let cost = m.cost(kind, n, volume);
+                let via_terms = m.cost_terms(kind, n, volume).weighted(w);
+                assert!(
+                    (cost - via_terms).abs() <= 1e-9 * cost.abs().max(1.0),
+                    "{kind:?} n={n} volume={volume}: {cost} vs {via_terms}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn structural_weight_flips_dense_partitions_to_nested_loop() {
+        // Dense partition: μ = 1, NL = k·n pair ops, Cell-Based = n
+        // structural ops. Legacy constants pick Cell-Based; once the
+        // measured structural weight exceeds k the winner flips, and
+        // sparse (all-outlier) partitions keep Cell-Based regardless.
+        let unit = model(5.0, 4, 2);
+        let calibrated = model(5.0, 4, 2).with_weights(CostWeights {
+            pair: 1.0,
+            structural: 6.0,
+        });
+        let (dense_unit, _) = choose_algorithm(&unit, PAPER_CANDIDATES, 10_000, 10.0);
+        let (dense_cal, _) = choose_algorithm(&calibrated, PAPER_CANDIDATES, 10_000, 10.0);
+        assert_eq!(dense_unit, AlgorithmKind::CellBased);
+        assert_eq!(dense_cal, AlgorithmKind::NestedLoop);
+        let (sparse_cal, _) = choose_algorithm(&calibrated, PAPER_CANDIDATES, 10_000, 1e12);
+        assert_eq!(sparse_cal, AlgorithmKind::CellBased);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            // Uniform profile scaling rescales every candidate's cost by
+            // the same factor, so the chosen algorithm is invariant.
+            // Powers of two keep the scaling exact in floating point.
+            #[test]
+            fn choose_is_invariant_under_uniform_scaling(
+                n in 1usize..200_000,
+                volume in 1e-3f64..1e12,
+                exp in -10i32..=10,
+            ) {
+                let params = OutlierParams::new(5.0, 4).unwrap();
+                let scale = 2f64.powi(exp);
+                let unit = CostModel::new(params, 2);
+                let scaled = CostModel::new(params, 2).with_weights(CostWeights {
+                    pair: scale,
+                    structural: scale,
+                });
+                let candidates = &[
+                    AlgorithmKind::CellBased,
+                    AlgorithmKind::NestedLoop,
+                    AlgorithmKind::IndexBased,
+                    AlgorithmKind::PivotBased,
+                ];
+                let (a, ca) = choose_algorithm(&unit, candidates, n, volume);
+                let (b, cb) = choose_algorithm(&scaled, candidates, n, volume);
+                prop_assert_eq!(a, b);
+                prop_assert_eq!(cb, ca * scale);
+            }
+
+            // Raising only the per-pair weight can only ever move the
+            // winner toward algorithms with fewer pair ops — on dense
+            // partitions it must preserve or restore Cell-Based, never
+            // flip away from it.
+            #[test]
+            fn raising_pair_cost_never_abandons_cell_based_when_dense(
+                n in 100usize..100_000,
+                pair in 1.0f64..16.0,
+            ) {
+                let params = OutlierParams::new(5.0, 4).unwrap();
+                let dense_volume = 10.0;
+                let m = CostModel::new(params, 2).with_weights(CostWeights {
+                    pair,
+                    structural: 1.0,
+                });
+                let (alg, _) = choose_algorithm(&m, PAPER_CANDIDATES, n, dense_volume);
+                prop_assert_eq!(alg, AlgorithmKind::CellBased);
+            }
+        }
     }
 }

@@ -33,6 +33,7 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod calibration;
 pub mod cell_based;
 pub mod cost;
 pub mod detector;
@@ -44,8 +45,9 @@ pub mod reference;
 mod scan;
 pub mod state;
 
+pub use calibration::{CalibrationError, CalibrationProfile, ProfileEntry};
 pub use cell_based::{CellBased, CellIndex};
-pub use cost::{choose_algorithm, AlgorithmKind, CostModel};
+pub use cost::{choose_algorithm, AlgorithmKind, CostModel, CostTerms, CostWeights};
 pub use detector::{Detection, DetectionStats, Detector};
 pub use index_based::{IndexBased, KdIndex};
 pub use nested_loop::NestedLoop;

@@ -14,6 +14,7 @@ use dod_obs::sync::{lock_recover, read_recover, wait_recover, write_recover};
 use dod_obs::{names, FanoutRecorder, FlightRecorder, Obs, Recorder, Value};
 use dod_partition::{MultiTacticPlan, Router};
 
+use crate::audit::{CostAudit, CostAuditState};
 use crate::error::EngineError;
 use crate::worker::{Job, Pending, WorkerPool};
 
@@ -483,6 +484,9 @@ struct Shared {
     panics: AtomicU64,
     /// Monotonic [`RequestId`] mint; also the total-requests counter.
     requests: AtomicU64,
+    /// Predicted-vs-actual cost accumulators, folded from every
+    /// request's per-partition work against the resident plan's report.
+    cost_audit: Mutex<CostAuditState>,
     /// Ring of recent events, dumped on panic/typed error/deadline
     /// overrun. `None` only when built with `flight_capacity(0)`.
     flight: Option<Arc<FlightRecorder>>,
@@ -587,10 +591,46 @@ impl Shared {
         plan: Option<&ResidentPlan>,
         work: &[u64],
     ) {
+        let Some(plan) = plan else { return };
+        // Fold the measured work into the cost audit first — the audit
+        // accumulates (and is queryable via `Engine::cost_audit`) even
+        // when no recorder is attached.
+        let audit = lock_recover(&self.cost_audit).fold_request(&plan.mt.report, work);
         if !self.obs.enabled() {
             return;
         }
-        let Some(plan) = plan else { return };
+        for (alg, ratio) in &audit.ratios {
+            self.obs.observe(
+                names::ENGINE_COST_CALIBRATION,
+                *ratio,
+                &[("algorithm", Value::from(alg.name()))],
+            );
+        }
+        for (alg, better, count) in &audit.mispredicts {
+            self.obs.counter(
+                names::ENGINE_COST_MISPREDICTS,
+                *count,
+                &[
+                    ("algorithm", Value::from(alg.name())),
+                    ("better", Value::from(better.name())),
+                ],
+            );
+        }
+        // Gross mispredicts are rare by construction; still cap the
+        // marks so a pathological request stays bounded.
+        for g in audit.gross.iter().take(4) {
+            self.obs.mark(
+                names::ENGINE_COST_GROSS_MISPREDICT,
+                &[
+                    ("request", Value::from(rid)),
+                    ("op", Value::from(op)),
+                    ("partition", Value::from(g.partition)),
+                    ("algorithm", Value::from(g.algorithm.name())),
+                    ("better", Value::from(g.better.name())),
+                    ("ratio", Value::from(g.ratio)),
+                ],
+            );
+        }
         let algorithm_of = |pid: usize| -> &'static str {
             plan.mt.algorithms.get(pid).map_or("unknown", |a| a.name())
         };
@@ -1213,6 +1253,7 @@ impl EngineBuilder {
             in_flight: AtomicUsize::new(0),
             panics: AtomicU64::new(0),
             requests: AtomicU64::new(0),
+            cost_audit: Mutex::new(CostAuditState::default()),
             flight,
             flight_dump: Mutex::new(self.flight_dump),
         });
@@ -1335,6 +1376,23 @@ impl Engine {
     /// default; disable with [`EngineBuilder::flight_capacity`]`(0)`).
     pub fn flight_recorder(&self) -> Option<&Arc<FlightRecorder>> {
         self.shared.flight.as_ref()
+    }
+
+    /// A snapshot of the live predicted-vs-actual cost audit: measured
+    /// request work folded against the resident plan's predicted costs,
+    /// per algorithm, plus mispredict counts (see [`CostAudit`]).
+    /// Accumulates across epochs; empty until the first request that
+    /// does kernel work.
+    pub fn cost_audit(&self) -> CostAudit {
+        lock_recover(&self.shared.cost_audit).snapshot()
+    }
+
+    /// The resident plan's introspection report — per-partition
+    /// candidate costs, winners, and margins — or `None` for an empty
+    /// dataset.
+    pub fn plan_report(&self) -> Option<dod_partition::PlanReport> {
+        let resident = read_recover(&self.shared.resident).clone();
+        resident.plan.as_ref().map(|p| p.mt.report.clone())
     }
 
     /// Submits a request with default options (the engine's default

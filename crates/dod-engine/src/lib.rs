@@ -115,10 +115,12 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+mod audit;
 mod engine;
 mod error;
 mod worker;
 
+pub use audit::{AlgorithmAudit, CostAudit, GROSS_MISPREDICT_FACTOR, GROSS_MISPREDICT_MIN_WORK};
 pub use engine::{
     DegradedScore, Engine, EngineBuilder, EngineHealth, InsertReceipt, PauseGuard, RemoveReceipt,
     Request, RequestId, RequestOptions, Response, ScorePoint, WindowConfig, WindowStatus,
@@ -754,6 +756,51 @@ mod tests {
             assert!(r.label("algorithm").is_some());
             assert!(r.label("partitions").and_then(|v| v.as_u64()).unwrap_or(0) >= 1);
         }
+    }
+
+    #[test]
+    fn cost_audit_folds_measured_work_and_reaches_metrics() {
+        use dod_obs::{names, MetricsRecorder, Obs};
+        let (data, params) = cluster_with_outlier();
+        let metrics = std::sync::Arc::new(MetricsRecorder::new());
+        let config = DodConfig::builder(params)
+            .sample_rate(1.0)
+            .num_reducers(3)
+            .target_partitions(8)
+            .obs(Obs::new(metrics.clone()))
+            .build()
+            .unwrap();
+        let runner = dod::DodRunner::builder()
+            .config(config)
+            .multi_tactic()
+            .build();
+        let engine = Engine::builder(runner).build(&data).unwrap();
+        assert!(engine.cost_audit().per_algorithm.is_empty());
+        let report = engine.plan_report().expect("resident plan present");
+        assert!(!report.partitions.is_empty());
+        for p in &report.partitions {
+            assert!(p.margin.is_finite());
+            assert!(!p.candidates.is_empty());
+        }
+        detect(&engine);
+        let audit = engine.cost_audit();
+        assert!(
+            !audit.per_algorithm.is_empty(),
+            "a full detect does kernel work somewhere"
+        );
+        for a in &audit.per_algorithm {
+            assert!(a.observations > 0);
+            assert!(a.measured > 0.0 && a.predicted > 0.0);
+            assert!(a.ratio().is_finite());
+        }
+        // The calibration-error observations reached the metrics
+        // recorder and render as a Prometheus summary.
+        assert!(metrics
+            .observe_histogram(names::ENGINE_COST_CALIBRATION)
+            .is_some());
+        let text = metrics.render_prometheus();
+        assert!(text.contains("dod_engine_cost_calibration"));
+        assert!(text.contains("algorithm="));
     }
 
     #[test]

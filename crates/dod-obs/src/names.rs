@@ -70,3 +70,51 @@ pub const ENGINE_WINDOW_EXPIRED: &str = "engine.window.expired";
 /// (mutations since the last epoch over the epoch's resident size),
 /// `threshold`, `refreshed` (whether an epoch swap was triggered).
 pub const ENGINE_STALENESS: &str = "engine.staleness";
+
+/// Observation: measured-over-predicted work ratio of one partition,
+/// folded from `engine.partition.work` counters against the plan's
+/// predicted costs. 1.0 means the Section IV model was exact; the
+/// per-algorithm p50 is the calibration error the `bench calibrate`
+/// profile is meant to drive toward 1. Labels: `algorithm`.
+pub const ENGINE_COST_CALIBRATION: &str = "engine.cost.calibration";
+
+/// Counter: partitions whose measured work exceeded what a *rejected*
+/// plan candidate would have cost under the observed per-algorithm
+/// measured/predicted ratio — i.e. the planner picked a loser. Labels:
+/// `algorithm` (the winner that was picked), `better` (the candidate
+/// that measured cheaper).
+pub const ENGINE_COST_MISPREDICTS: &str = "engine.cost.mispredicts";
+
+/// Mark: a gross mispredict — the picked algorithm's measured work beat
+/// a rejected candidate's estimate by a large factor on a partition with
+/// non-trivial work; the flight recorder notes it for post-mortems.
+/// Labels: `partition`, `algorithm`, `better`, `ratio`.
+pub const ENGINE_COST_GROSS_MISPREDICT: &str = "engine.cost.gross_mispredict";
+
+/// Centralized Prometheus `# HELP` text for well-known event names.
+///
+/// [`crate::prom::render_snapshot`] consults this so every exposition
+/// (serve `/metrics`, `metrics` ops, tests) describes a family the same
+/// way; unknown names fall back to a generic per-kind description.
+pub fn prom_help(event_name: &str) -> Option<&'static str> {
+    Some(match event_name {
+        n if n == ENGINE_REQUEST => "Engine request latency from dequeue to completion.",
+        n if n == ENGINE_QUEUE_DEPTH => "Submission-queue depth sampled at enqueue.",
+        n if n == ENGINE_REJECTED => "Requests rejected because the submission queue was full.",
+        n if n == ENGINE_DEADLINE_MISSES => "Requests that missed their deadline.",
+        n if n == ENGINE_CACHE_HITS => "Requests answered from resident partition state.",
+        n if n == ENGINE_PANICS => "Requests whose job panicked on a worker thread.",
+        n if n == ENGINE_PARTITION_WORK => {
+            "Measured kernel work one request spent in one partition."
+        }
+        n if n == ENGINE_CHURN => "Points inserted or removed by streaming-ingest operations.",
+        n if n == ENGINE_WINDOW_EXPIRED => "Resident points expired by the sliding window.",
+        n if n == ENGINE_COST_CALIBRATION => {
+            "Measured-over-predicted partition work ratio per algorithm (1.0 = exact model)."
+        }
+        n if n == ENGINE_COST_MISPREDICTS => {
+            "Partitions where a rejected plan candidate measured cheaper than the picked one."
+        }
+        _ => return None,
+    })
+}

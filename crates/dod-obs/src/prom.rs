@@ -85,6 +85,20 @@ impl PromWriter {
         ));
     }
 
+    /// Appends a gauge family with one sample per label set (e.g. a
+    /// per-algorithm calibration ratio).
+    pub fn gauge_series(&mut self, name: &str, help: &str, series: &[(&[(String, String)], f64)]) {
+        self.out
+            .push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
+        for (labels, value) in series {
+            self.out.push_str(&format!(
+                "{name}{} {}\n",
+                render_labels(labels, None),
+                format_value(*value)
+            ));
+        }
+    }
+
     /// Appends a counter family: one `_total` sample per label set.
     pub fn counter(&mut self, name: &str, help: &str, series: &[(&[(String, String)], u64)]) {
         self.out.push_str(&format!(
@@ -144,25 +158,24 @@ pub fn render_snapshot(snapshot: &MetricsSnapshot) -> String {
             .iter()
             .map(|((_, labels), v)| (labels.as_slice(), *v))
             .collect();
-        w.counter(&metric_name(name), "Aggregated event counter.", &series);
+        let help = crate::names::prom_help(name).unwrap_or("Aggregated event counter.");
+        w.counter(&metric_name(name), help, &series);
     });
     for_each_family(&snapshot.spans, |name, series| {
         let series: Vec<(&[(String, String)], HistogramSummary)> = series
             .iter()
             .map(|((_, labels), s)| (labels.as_slice(), *s))
             .collect();
-        w.summary(
-            &format!("{}_seconds", metric_name(name)),
-            "Span duration summary in seconds.",
-            &series,
-        );
+        let help = crate::names::prom_help(name).unwrap_or("Span duration summary in seconds.");
+        w.summary(&format!("{}_seconds", metric_name(name)), help, &series);
     });
     for_each_family(&snapshot.observes, |name, series| {
         let series: Vec<(&[(String, String)], HistogramSummary)> = series
             .iter()
             .map(|((_, labels), s)| (labels.as_slice(), *s))
             .collect();
-        w.summary(&metric_name(name), "Observed sample summary.", &series);
+        let help = crate::names::prom_help(name).unwrap_or("Observed sample summary.");
+        w.summary(&metric_name(name), help, &series);
     });
     w.finish()
 }

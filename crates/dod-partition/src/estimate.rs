@@ -14,22 +14,33 @@
 
 use crate::minibucket::MiniBucketGrid;
 use crate::plan::PartitionPlan;
-use dod_core::{OutlierParams, PointSet, Rect};
-use dod_detect::cost::{AlgorithmKind, CostModel};
+use dod_core::{kernel::NeighborPredicate, OutlierParams, PointSet, Rect};
+use dod_detect::cost::{AlgorithmKind, CostModel, CostTerms, CostWeights};
 
 /// Abstract work units charged per partition independent of its content
 /// (task setup, partition materialization, detector construction),
 /// expressed in distance-evaluation equivalents.
 pub const PARTITION_OVERHEAD_OPS: f64 = 20_000.0;
 
+/// Cap on the pairwise probes (`query points × tile points`) the
+/// kernel-density refinement performs; above it the probe set is strided
+/// down and unprobed points fall back to ratio-corrected bucket density.
+const KERNEL_DENSITY_MAX_PAIRS: usize = 32 * 1024 * 1024;
+
 /// Per-partition cost estimates for every candidate algorithm.
 #[derive(Debug, Clone)]
 pub struct PartitionEstimate {
     /// Estimated real cardinality.
     pub n_est: f64,
+    /// Hit probability `μ = A(p)/A(D)` of the partition (Lemma 4.1's
+    /// density term), recorded for plan introspection.
+    pub hit_mu: f64,
     /// `(algorithm, estimated ops)` for each candidate, in candidate
     /// order.
     pub costs: Vec<(AlgorithmKind, f64)>,
+    /// Raw (unweighted) pair/structural op counts per candidate, aligned
+    /// with `costs`. Excludes [`PARTITION_OVERHEAD_OPS`].
+    pub terms: Vec<CostTerms>,
 }
 
 impl PartitionEstimate {
@@ -61,6 +72,20 @@ pub struct LocalCostEstimator {
     /// 1 / sampling rate: each sample point stands for this many points.
     scale: f64,
     ball: f64,
+    /// Op-class weights charged to the per-pair vs structural cost terms
+    /// (unit by default — the legacy behaviour).
+    weights: CostWeights,
+    /// Per-sample-point densities measured through the kernel layer
+    /// (NaN where the point was not probed), plus the measured-vs-bucket
+    /// ratio used for unprobed points. `None` until
+    /// [`LocalCostEstimator::with_kernel_density`] opts in.
+    measured: Option<MeasuredDensity>,
+}
+
+#[derive(Debug, Clone)]
+struct MeasuredDensity {
+    rho: Vec<f64>,
+    bucket_ratio: f64,
 }
 
 impl LocalCostEstimator {
@@ -91,11 +116,70 @@ impl LocalCostEstimator {
             params,
             scale,
             ball: params.metric.ball_volume(domain.dim(), params.r),
+            weights: CostWeights::UNIT,
+            measured: None,
         }
     }
 
-    /// The real-point density around a sample point.
-    fn local_density(&self, p: &[f64]) -> f64 {
+    /// Replaces the op-class weights (builder style). Pass the weights
+    /// from a measured
+    /// [`CalibrationProfile`](dod_detect::calibration::CalibrationProfile)
+    /// to make estimates comparable in real time rather than in legacy
+    /// unit ops.
+    pub fn with_weights(mut self, weights: CostWeights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Replaces bucket-histogram density estimation with densities
+    /// measured through the kernel layer: each probed sample point is
+    /// scanned against the whole sample with
+    /// [`NeighborPredicate::count_within_tile`] — the same code path the
+    /// detectors pay for — so the λ feeding the per-pair cost terms is
+    /// the λ the calibrated model charges. Probing is exhaustive up to
+    /// `KERNEL_DENSITY_MAX_PAIRS` pairwise tests; beyond that a strided
+    /// probe subset is measured and the remaining points use bucket
+    /// densities corrected by the measured/bucket ratio.
+    pub fn with_kernel_density(mut self, sample: &PointSet) -> Self {
+        let s = sample.len();
+        if s < 2 || self.ball <= 0.0 {
+            return self;
+        }
+        let stride = (s * s).div_ceil(KERNEL_DENSITY_MAX_PAIRS).max(1);
+        let pred = NeighborPredicate::with_metric(self.params.metric, self.params.r);
+        let tile = sample.as_flat();
+        let mut rho = vec![f64::NAN; s];
+        let (mut measured_sum, mut bucket_sum, mut probes) = (0.0f64, 0.0f64, 0usize);
+        let mut i = 0;
+        while i < s {
+            let q = sample.point(i);
+            // `found` includes the query point itself (distance 0).
+            let found = pred.count_within_tile(q, tile, usize::MAX).found;
+            let lambda = (found.saturating_sub(1)) as f64 * self.scale;
+            rho[i] = lambda / self.ball;
+            measured_sum += lambda;
+            bucket_sum += self.buckets.density_at(q) * self.scale * self.ball;
+            probes += 1;
+            i += stride;
+        }
+        let bucket_ratio = if probes > 0 && bucket_sum > 0.0 && measured_sum > 0.0 {
+            measured_sum / bucket_sum
+        } else {
+            1.0
+        };
+        self.measured = Some(MeasuredDensity { rho, bucket_ratio });
+        self
+    }
+
+    /// The real-point density around sample point `i` (coordinates `p`).
+    fn local_density(&self, i: usize, p: &[f64]) -> f64 {
+        if let Some(m) = &self.measured {
+            let measured = m.rho[i];
+            if measured.is_finite() {
+                return measured;
+            }
+            return self.buckets.density_at(p) * self.scale * m.bucket_ratio;
+        }
         self.buckets.density_at(p) * self.scale
     }
 
@@ -117,16 +201,25 @@ impl LocalCostEstimator {
             .map(|pid| {
                 let idxs = &members[pid];
                 let n_est = idxs.len() as f64 * self.scale;
-                let costs = candidates
-                    .iter()
-                    .map(|&kind| {
-                        (
-                            kind,
-                            self.subset_cost(sample, idxs, kind, plan.rect(pid).volume()),
-                        )
-                    })
-                    .collect();
-                PartitionEstimate { n_est, costs }
+                let volume = plan.rect(pid).volume();
+                let hit_mu = if volume <= 0.0 {
+                    1.0
+                } else {
+                    (self.ball / volume).min(1.0)
+                };
+                let mut costs = Vec::with_capacity(candidates.len());
+                let mut terms = Vec::with_capacity(candidates.len());
+                for &kind in candidates {
+                    let t = self.subset_terms(sample, idxs, kind, volume);
+                    costs.push((kind, t.weighted(self.weights) + PARTITION_OVERHEAD_OPS));
+                    terms.push(t);
+                }
+                PartitionEstimate {
+                    n_est,
+                    hit_mu,
+                    costs,
+                    terms,
+                }
             })
             .collect()
     }
@@ -141,16 +234,39 @@ impl LocalCostEstimator {
         kind: AlgorithmKind,
         volume: f64,
     ) -> f64 {
+        self.subset_terms(sample, idxs, kind, volume)
+            .weighted(self.weights)
+            + PARTITION_OVERHEAD_OPS
+    }
+
+    /// Raw (unweighted) pair/structural op counts of running `kind` over
+    /// the region whose sample points are `idxs` — the terms behind
+    /// [`LocalCostEstimator::subset_cost`], excluding the per-partition
+    /// overhead.
+    pub fn subset_terms(
+        &self,
+        sample: &PointSet,
+        idxs: &[u32],
+        kind: AlgorithmKind,
+        volume: f64,
+    ) -> CostTerms {
         let n_est = idxs.len() as f64 * self.scale;
-        let c = match kind {
-            AlgorithmKind::NestedLoop => self.nested_loop_cost(sample, idxs, n_est),
-            AlgorithmKind::CellBased => self.cell_based_cost(sample, idxs, n_est),
-            AlgorithmKind::CellBasedFullScan => self.cell_based_full_cost(sample, idxs, n_est),
+        match kind {
+            AlgorithmKind::NestedLoop => self.nested_loop_terms(sample, idxs, n_est),
+            AlgorithmKind::CellBased => self.cell_based_terms(sample, idxs, n_est),
+            AlgorithmKind::CellBasedFullScan => self.cell_based_full_terms(sample, idxs, n_est),
             // Index/pivot/reference: partition-level heuristics from the
             // paper-style model.
-            other => CostModel::new(self.params, sample.dim()).cost(other, n_est as usize, volume),
-        };
-        c + PARTITION_OVERHEAD_OPS
+            other => {
+                CostModel::new(self.params, sample.dim()).cost_terms(other, n_est as usize, volume)
+            }
+        }
+    }
+
+    /// The op-class weights the estimator charges (unit unless replaced
+    /// via [`LocalCostEstimator::with_weights`]).
+    pub fn weights(&self) -> CostWeights {
+        self.weights
     }
 
     /// Per-point Nested-Loop trial count at local density `rho`:
@@ -166,35 +282,42 @@ impl LocalCostEstimator {
         p_outlier * n_est + (1.0 - p_outlier) * inlier_trials
     }
 
-    /// Sum of per-point Nested-Loop trial counts.
-    fn nested_loop_cost(&self, sample: &PointSet, idxs: &[u32], n_est: f64) -> f64 {
+    /// Sum of per-point Nested-Loop trial counts — pure pair ops.
+    fn nested_loop_terms(&self, sample: &PointSet, idxs: &[u32], n_est: f64) -> CostTerms {
         if idxs.is_empty() || n_est <= 1.0 {
-            return 0.0;
+            return CostTerms::default();
         }
-        let mut total = 0.0;
+        let mut pair_ops = 0.0;
         for &i in idxs {
-            let rho = self.local_density(sample.point(i as usize));
-            total += self.nl_per_point(rho, n_est) * self.scale;
+            let rho = self.local_density(i as usize, sample.point(i as usize));
+            pair_ops += self.nl_per_point(rho, n_est) * self.scale;
         }
-        total
+        CostTerms {
+            pair_ops,
+            structural_ops: 0.0,
+        }
     }
 
     /// The full-scan Cell-Based variant: indexing plus, for unpruned
     /// points, the Nested-Loop per-point trials — the Lemma 4.2 case-3
     /// charge, evaluated with local densities and Poisson-smoothed
     /// pruning.
-    fn cell_based_full_cost(&self, sample: &PointSet, idxs: &[u32], n_est: f64) -> f64 {
+    fn cell_based_full_terms(&self, sample: &PointSet, idxs: &[u32], n_est: f64) -> CostTerms {
         if idxs.is_empty() {
-            return 0.0;
+            return CostTerms::default();
         }
         let dim = sample.dim() as f64;
-        let mut total = 2.0 * n_est;
+        // Indexing is structural; the surviving fallback scan is pair ops.
+        let mut pair_ops = 0.0;
         for &i in idxs {
-            let rho = self.local_density(sample.point(i as usize));
+            let rho = self.local_density(i as usize, sample.point(i as usize));
             let survive = self.unpruned_probability(rho, dim);
-            total += survive * self.nl_per_point(rho, n_est) * self.scale;
+            pair_ops += survive * self.nl_per_point(rho, n_est) * self.scale;
         }
-        total
+        CostTerms {
+            pair_ops,
+            structural_ops: 2.0 * n_est,
+        }
     }
 
     /// Probability that a point's cell survives both pruning rules, with
@@ -223,9 +346,9 @@ impl LocalCostEstimator {
     /// Indexing (`~2 ops/point`) plus per-point candidate-block work with
     /// the two pruning rules short-circuiting, mirroring the
     /// block-restricted implementation.
-    fn cell_based_cost(&self, sample: &PointSet, idxs: &[u32], n_est: f64) -> f64 {
+    fn cell_based_terms(&self, sample: &PointSet, idxs: &[u32], n_est: f64) -> CostTerms {
         if idxs.is_empty() {
-            return 0.0;
+            return CostTerms::default();
         }
         let dim = sample.dim() as f64;
         let side = self
@@ -235,14 +358,19 @@ impl LocalCostEstimator {
         let cell_vol = side.powf(dim);
         let m_radius = (self.params.r / side).ceil();
         let candidate_block = (2.0 * m_radius + 1.0).powf(dim) * cell_vol;
-        let mut total = 2.0 * n_est; // hashing + cell bookkeeping
+        // Hashing + cell bookkeeping is structural; the candidate-block
+        // scan performs distance predicates (pair ops).
+        let mut pair_ops = 0.0;
         for &i in idxs {
-            let rho = self.local_density(sample.point(i as usize));
+            let rho = self.local_density(i as usize, sample.point(i as usize));
             let survive = self.unpruned_probability(rho, dim);
             let per_point = survive * (candidate_block * rho).min(n_est);
-            total += per_point * self.scale;
+            pair_ops += per_point * self.scale;
         }
-        total
+        CostTerms {
+            pair_ops,
+            structural_ops: 2.0 * n_est,
+        }
     }
 }
 
@@ -448,13 +576,109 @@ mod tests {
     fn best_and_cost_of() {
         let e = PartitionEstimate {
             n_est: 10.0,
+            hit_mu: 0.5,
             costs: vec![
                 (AlgorithmKind::NestedLoop, 5.0),
                 (AlgorithmKind::CellBased, 3.0),
             ],
+            terms: vec![CostTerms::default(); 2],
         };
         assert_eq!(e.best(), (AlgorithmKind::CellBased, 3.0));
         assert_eq!(e.cost_of(AlgorithmKind::NestedLoop), 5.0);
         assert_eq!(e.cost_of(AlgorithmKind::PivotBased), 3.0);
+    }
+
+    #[test]
+    fn unit_weights_leave_estimates_bit_identical() {
+        let (sample, domain) = skewed_sample(6);
+        let base = LocalCostEstimator::new(&domain, &sample, 1.0, params(1.0, 4), 32);
+        let weighted = base.clone().with_weights(CostWeights::UNIT);
+        let plan = PartitionPlan::from_grid(GridSpec::uniform(domain, 4).unwrap());
+        let candidates = [
+            AlgorithmKind::NestedLoop,
+            AlgorithmKind::CellBased,
+            AlgorithmKind::CellBasedFullScan,
+        ];
+        let a = base.estimate(&plan, &sample, &candidates);
+        let b = weighted.estimate(&plan, &sample, &candidates);
+        for (ea, eb) in a.iter().zip(&b) {
+            for ((_, ca), (_, cb)) in ea.costs.iter().zip(&eb.costs) {
+                assert_eq!(ca, cb);
+            }
+        }
+    }
+
+    #[test]
+    fn structural_weight_raises_cell_based_relative_to_nested_loop() {
+        let (sample, domain) = skewed_sample(9);
+        let unit = LocalCostEstimator::new(&domain, &sample, 1.0, params(1.0, 4), 32);
+        let cal = unit.clone().with_weights(CostWeights {
+            pair: 1.0,
+            structural: 8.0,
+        });
+        let plan = PartitionPlan::from_grid(GridSpec::uniform(domain, 4).unwrap());
+        let blob_pid = plan.locate(&[2.0, 2.0]) as usize;
+        let candidates = [AlgorithmKind::CellBased, AlgorithmKind::NestedLoop];
+        let u = &unit.estimate(&plan, &sample, &candidates)[blob_pid];
+        let c = &cal.estimate(&plan, &sample, &candidates)[blob_pid];
+        // NL is pure pair ops: unchanged. CB carries the structural
+        // indexing term: strictly more expensive under the profile.
+        assert_eq!(
+            u.cost_of(AlgorithmKind::NestedLoop),
+            c.cost_of(AlgorithmKind::NestedLoop)
+        );
+        assert!(c.cost_of(AlgorithmKind::CellBased) > u.cost_of(AlgorithmKind::CellBased));
+    }
+
+    #[test]
+    fn kernel_density_stays_close_to_bucket_density_on_uniform_data() {
+        // On uniform data the bucket histogram is already accurate, so
+        // the measured-λ refinement must land in the same cost regime
+        // (same winner, costs within 2x) — it sharpens, not distorts.
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut sample = PointSet::new(2).unwrap();
+        for _ in 0..2000 {
+            sample
+                .push(&[rng.gen_range(0.0..20.0), rng.gen_range(0.0..20.0)])
+                .unwrap();
+        }
+        let domain = Rect::new(vec![0.0, 0.0], vec![20.0, 20.0]).unwrap();
+        let bucket = LocalCostEstimator::new(&domain, &sample, 1.0, params(1.0, 8), 32);
+        let kernel = bucket.clone().with_kernel_density(&sample);
+        let plan = PartitionPlan::from_grid(GridSpec::uniform(domain, 2).unwrap());
+        let candidates = [AlgorithmKind::NestedLoop, AlgorithmKind::CellBased];
+        let b = bucket.estimate(&plan, &sample, &candidates);
+        let k = kernel.estimate(&plan, &sample, &candidates);
+        for (eb, ek) in b.iter().zip(&k) {
+            for ((kind, cb), (_, ck)) in eb.costs.iter().zip(&ek.costs) {
+                assert!(
+                    *ck <= 2.0 * cb && *cb <= 2.0 * ck,
+                    "{kind:?}: bucket {cb} vs kernel {ck}"
+                );
+            }
+            assert_eq!(eb.best().0, ek.best().0);
+        }
+    }
+
+    #[test]
+    fn kernel_density_handles_degenerate_identical_points() {
+        let mut sample = PointSet::new(2).unwrap();
+        for _ in 0..50 {
+            sample.push(&[5.0, 5.0]).unwrap();
+        }
+        let domain = Rect::new(vec![5.0, 5.0], vec![5.0, 5.0]).unwrap();
+        let est = LocalCostEstimator::new(&domain, &sample, 1.0, params(1.0, 4), 32)
+            .with_kernel_density(&sample);
+        let plan = PartitionPlan::from_grid(GridSpec::uniform(domain, 1).unwrap());
+        let out = est.estimate(
+            &plan,
+            &sample,
+            &[AlgorithmKind::NestedLoop, AlgorithmKind::CellBased],
+        );
+        for e in &out {
+            for (kind, c) in &e.costs {
+                assert!(c.is_finite(), "{kind:?} cost {c}");
+            }
+        }
     }
 }

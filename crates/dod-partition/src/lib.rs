@@ -54,6 +54,9 @@ pub use estimate::{LocalCostEstimator, PartitionEstimate};
 pub use intrect::IntRect;
 pub use minibucket::MiniBucketGrid;
 pub use packing::{allocate, AllocationPolicy, AllocationSpec, BalanceWeight};
-pub use plan::{distribution_drift, MultiTacticPlan, PartitionPlan, PlanContext, Router, Routing};
+pub use plan::{
+    distribution_drift, CandidateCost, MultiTacticPlan, PartitionPlan, PartitionReport,
+    PlanContext, PlanReport, Router, Routing,
+};
 pub use sample::sample_points;
 pub use strategies::{CDriven, DDriven, Dmt, Domain, PartitionStrategy, UniSpace};

@@ -13,7 +13,7 @@ use crate::dshc::Cluster;
 use crate::minibucket::MiniBucketGrid;
 use crate::packing::{allocate, AllocationSpec, BalanceWeight};
 use dod_core::{CoreError, GridSpec, OutlierParams, PointSet, Rect};
-use dod_detect::cost::{choose_algorithm, AlgorithmKind, CostModel};
+use dod_detect::cost::{AlgorithmKind, CostModel, CostTerms, CostWeights};
 
 /// Maps points to partitions.
 #[derive(Debug, Clone)]
@@ -304,6 +304,86 @@ impl Router {
     }
 }
 
+/// One candidate's predicted cost on one partition, with the raw op
+/// counts behind it.
+#[derive(Debug, Clone, Copy)]
+pub struct CandidateCost {
+    /// The candidate algorithm.
+    pub algorithm: AlgorithmKind,
+    /// Total predicted cost (weighted ops; on the locality-aware path
+    /// this includes the constant per-partition overhead).
+    pub cost: f64,
+    /// Raw (unweighted) pair/structural op counts — excludes the
+    /// per-partition overhead, which is charged equally to every
+    /// candidate and so never affects selection.
+    pub terms: CostTerms,
+}
+
+/// Plan-time introspection record for one partition: the full candidate
+/// set the planner compared, the winner, and its margin.
+#[derive(Debug, Clone)]
+pub struct PartitionReport {
+    /// Partition id.
+    pub partition: usize,
+    /// Estimated real cardinality.
+    pub n_est: f64,
+    /// Footprint volume `A(D)`.
+    pub volume: f64,
+    /// Hit probability `μ = A(p)/A(D)` (Lemma 4.1's density term).
+    pub density_mu: f64,
+    /// Every candidate considered, in candidate order.
+    pub candidates: Vec<CandidateCost>,
+    /// The selected algorithm.
+    pub winner: AlgorithmKind,
+    /// The winner's predicted cost.
+    pub winner_cost: f64,
+    /// Runner-up cost minus winner cost: `0.0` with a single candidate,
+    /// and negative only for fixed (monolithic-baseline) plans where the
+    /// pinned algorithm was not the cheapest. Always finite.
+    pub margin: f64,
+}
+
+/// Plan-time introspection for a whole [`MultiTacticPlan`] — what `dod
+/// explain` renders and what the engine's cost audit folds measured work
+/// against.
+#[derive(Debug, Clone, Default)]
+pub struct PlanReport {
+    /// The op-class weights the planner charged.
+    pub weights: CostWeights,
+    /// Whether a measured calibration profile was in effect (false means
+    /// the legacy unit-weight fallback).
+    pub calibrated: bool,
+    /// One record per partition, in partition order.
+    pub partitions: Vec<PartitionReport>,
+}
+
+impl PlanReport {
+    /// Sum of winner costs over all partitions.
+    pub fn total_predicted(&self) -> f64 {
+        self.partitions.iter().map(|p| p.winner_cost).sum()
+    }
+}
+
+/// Picks the winner among `candidates` with the same semantics as
+/// [`dod_detect::cost::choose_algorithm`]: minimal cost, ties broken in
+/// favor of the earlier candidate. Returns `(winner, margin)`.
+fn pick_winner(candidates: &[CandidateCost]) -> (usize, f64) {
+    assert!(!candidates.is_empty(), "candidate set must not be empty");
+    let mut best = 0;
+    for (i, c) in candidates.iter().enumerate().skip(1) {
+        if c.cost < candidates[best].cost {
+            best = i;
+        }
+    }
+    let margin = candidates
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != best)
+        .map(|(_, c)| c.cost - candidates[best].cost)
+        .fold(f64::INFINITY, f64::min);
+    (best, if margin.is_finite() { margin } else { 0.0 })
+}
+
 /// Everything the preprocessing job hands to the detection job: partition
 /// plan, algorithm plan, allocation plan, and the cost estimates behind
 /// them.
@@ -319,6 +399,9 @@ pub struct MultiTacticPlan {
     pub predicted_costs: Vec<f64>,
     /// Estimated real cardinality per partition (sample count / rate).
     pub estimated_counts: Vec<f64>,
+    /// Plan-time introspection: the candidate comparison behind every
+    /// `algorithms[pid]` entry.
+    pub report: PlanReport,
 }
 
 impl MultiTacticPlan {
@@ -335,7 +418,34 @@ impl MultiTacticPlan {
         num_reducers: usize,
         spec: AllocationSpec,
     ) -> Self {
-        let model = CostModel::new(params, plan.domain().dim());
+        Self::build_weighted(
+            plan,
+            sample,
+            sample_rate,
+            params,
+            candidates,
+            num_reducers,
+            spec,
+            CostWeights::UNIT,
+        )
+    }
+
+    /// [`MultiTacticPlan::build`] with explicit op-class weights (from a
+    /// measured calibration profile). Unit weights reproduce `build`
+    /// exactly.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_weighted(
+        plan: PartitionPlan,
+        sample: &PointSet,
+        sample_rate: f64,
+        params: OutlierParams,
+        candidates: &[AlgorithmKind],
+        num_reducers: usize,
+        spec: AllocationSpec,
+        cost_weights: CostWeights,
+    ) -> Self {
+        assert!(!candidates.is_empty(), "candidate set must not be empty");
+        let model = CostModel::new(params, plan.domain().dim()).with_weights(cost_weights);
         let counts = plan.count_sample(sample);
         let scale = if sample_rate > 0.0 {
             1.0 / sample_rate
@@ -345,10 +455,30 @@ impl MultiTacticPlan {
         let mut algorithms = Vec::with_capacity(plan.num_partitions());
         let mut costs = Vec::with_capacity(plan.num_partitions());
         let mut estimated = Vec::with_capacity(plan.num_partitions());
+        let mut partitions = Vec::with_capacity(plan.num_partitions());
         for (pid, &c) in counts.iter().enumerate() {
             let n_est = c as f64 * scale;
             let volume = plan.rect(pid).volume();
-            let (alg, cost) = choose_algorithm(&model, candidates, n_est as usize, volume);
+            let candidate_costs: Vec<CandidateCost> = candidates
+                .iter()
+                .map(|&kind| CandidateCost {
+                    algorithm: kind,
+                    cost: model.cost(kind, n_est as usize, volume),
+                    terms: model.cost_terms(kind, n_est as usize, volume),
+                })
+                .collect();
+            let (best, margin) = pick_winner(&candidate_costs);
+            let (alg, cost) = (candidate_costs[best].algorithm, candidate_costs[best].cost);
+            partitions.push(PartitionReport {
+                partition: pid,
+                n_est,
+                volume,
+                density_mu: model.hit_probability(volume),
+                candidates: candidate_costs,
+                winner: alg,
+                winner_cost: cost,
+                margin,
+            });
             algorithms.push(alg);
             costs.push(cost);
             estimated.push(n_est);
@@ -364,6 +494,11 @@ impl MultiTacticPlan {
             allocation,
             predicted_costs: costs,
             estimated_counts: estimated,
+            report: PlanReport {
+                weights: cost_weights,
+                calibrated: !cost_weights.is_unit(),
+                partitions,
+            },
         }
     }
 
@@ -373,12 +508,17 @@ impl MultiTacticPlan {
     /// With `fixed == Some(kind)` every partition runs `kind` (the
     /// monolithic baselines) and allocation weights use that kind's cost;
     /// otherwise each partition gets its cheapest candidate.
+    ///
+    /// `cost_weights` records the op-class weights the estimates were
+    /// computed under (pass the estimator's weights; they only feed the
+    /// plan report — the estimates themselves are already weighted).
     pub fn from_estimates(
         plan: PartitionPlan,
         estimates: &[crate::estimate::PartitionEstimate],
         fixed: Option<AlgorithmKind>,
         num_reducers: usize,
         spec: AllocationSpec,
+        cost_weights: CostWeights,
     ) -> Self {
         assert_eq!(
             estimates.len(),
@@ -388,11 +528,39 @@ impl MultiTacticPlan {
         let mut algorithms = Vec::with_capacity(estimates.len());
         let mut costs = Vec::with_capacity(estimates.len());
         let mut counts = Vec::with_capacity(estimates.len());
-        for e in estimates {
+        let mut partitions = Vec::with_capacity(estimates.len());
+        for (pid, e) in estimates.iter().enumerate() {
             let (alg, cost) = match fixed {
                 Some(kind) => (kind, e.cost_of(kind)),
                 None => e.best(),
             };
+            let candidate_costs: Vec<CandidateCost> = e
+                .costs
+                .iter()
+                .enumerate()
+                .map(|(i, &(algorithm, c))| CandidateCost {
+                    algorithm,
+                    cost: c,
+                    terms: e.terms.get(i).copied().unwrap_or_default(),
+                })
+                .collect();
+            // Margin against the cheapest *other* candidate; negative
+            // when `fixed` pinned a non-optimal algorithm.
+            let margin = candidate_costs
+                .iter()
+                .filter(|c| c.algorithm != alg)
+                .map(|c| c.cost - cost)
+                .fold(f64::INFINITY, f64::min);
+            partitions.push(PartitionReport {
+                partition: pid,
+                n_est: e.n_est,
+                volume: plan.rect(pid).volume(),
+                density_mu: e.hit_mu,
+                candidates: candidate_costs,
+                winner: alg,
+                winner_cost: cost,
+                margin: if margin.is_finite() { margin } else { 0.0 },
+            });
             algorithms.push(alg);
             costs.push(cost);
             counts.push(e.n_est);
@@ -408,6 +576,11 @@ impl MultiTacticPlan {
             allocation,
             predicted_costs: costs,
             estimated_counts: counts,
+            report: PlanReport {
+                weights: cost_weights,
+                calibrated: !cost_weights.is_unit(),
+                partitions,
+            },
         }
     }
 

@@ -12,6 +12,7 @@
 //! not a breaking change.
 
 use dod_core::OutlierParams;
+use dod_detect::CalibrationProfile;
 use dod_obs::Obs;
 use dod_partition::sample::DEFAULT_SAMPLE_RATE;
 use dod_partition::AllocationSpec;
@@ -98,6 +99,11 @@ pub struct DodConfig {
     /// MapReduce task spans, and per-partition detector counters flow
     /// through it. Defaults to the disabled handle (zero overhead).
     pub obs: Obs,
+    /// Measured cost-model calibration. The unit profile (the default)
+    /// reproduces the legacy unit-op cost model bit for bit; a profile
+    /// loaded from `bench calibrate` output reweighs per-pair vs
+    /// structural work to match the kernel layer's measured throughput.
+    pub calibration: CalibrationProfile,
 }
 
 impl DodConfig {
@@ -123,6 +129,7 @@ impl DodConfig {
             allocation: None,
             paper_cost_model: false,
             obs: Obs::null(),
+            calibration: CalibrationProfile::unit(),
         }
     }
 
@@ -140,6 +147,7 @@ impl DodConfig {
             allocation: None,
             paper_cost_model: false,
             obs: Obs::null(),
+            calibration: CalibrationProfile::unit(),
         }
     }
 
@@ -158,6 +166,7 @@ impl DodConfig {
             allocation: self.allocation,
             paper_cost_model: self.paper_cost_model,
             obs: self.obs.clone(),
+            calibration: self.calibration.clone(),
         }
     }
 }
@@ -180,6 +189,7 @@ pub struct DodConfigBuilder {
     allocation: Option<AllocationSpec>,
     paper_cost_model: bool,
     obs: Obs,
+    calibration: CalibrationProfile,
 }
 
 impl DodConfigBuilder {
@@ -243,6 +253,12 @@ impl DodConfigBuilder {
         self
     }
 
+    /// Installs a measured cost-model calibration profile.
+    pub fn calibration(mut self, profile: CalibrationProfile) -> Self {
+        self.calibration = profile;
+        self
+    }
+
     /// Validates and finalizes the configuration.
     ///
     /// # Errors
@@ -284,6 +300,7 @@ impl DodConfigBuilder {
             allocation: self.allocation,
             paper_cost_model: self.paper_cost_model,
             obs: self.obs,
+            calibration: self.calibration,
         })
     }
 }

@@ -319,6 +319,7 @@ impl DodRunner {
         let allocation = cfg
             .allocation
             .unwrap_or_else(|| self.strategy.default_allocation());
+        let weights = cfg.calibration.weights_for(cfg.params.metric, domain.dim());
         let mt = if cfg.paper_cost_model {
             match &self.mode {
                 DetectionMode::Fixed(kind) => MultiTacticPlan::monolithic(
@@ -330,7 +331,7 @@ impl DodRunner {
                     cfg.num_reducers,
                     allocation,
                 ),
-                DetectionMode::MultiTactic(candidates) => MultiTacticPlan::build(
+                DetectionMode::MultiTactic(candidates) => MultiTacticPlan::build_weighted(
                     plan,
                     &sample,
                     cfg.sample_rate,
@@ -338,6 +339,7 @@ impl DodRunner {
                     candidates,
                     cfg.num_reducers,
                     allocation,
+                    weights,
                 ),
             }
         } else {
@@ -346,10 +348,24 @@ impl DodRunner {
                 DetectionMode::Fixed(kind) => (vec![*kind], Some(*kind)),
                 DetectionMode::MultiTactic(c) => (c.clone(), None),
             };
-            let estimator =
-                LocalCostEstimator::new(&domain, &sample, cfg.sample_rate, cfg.params, 32);
+            let mut estimator =
+                LocalCostEstimator::new(&domain, &sample, cfg.sample_rate, cfg.params, 32)
+                    .with_weights(weights);
+            if !cfg.calibration.is_unit() {
+                // A measured profile asks for measured quantities: route
+                // density estimation through the same kernel predicates
+                // the calibrated per-pair term was benchmarked on.
+                estimator = estimator.with_kernel_density(&sample);
+            }
             let estimates = estimator.estimate(&plan, &sample, &candidates);
-            MultiTacticPlan::from_estimates(plan, &estimates, fixed, cfg.num_reducers, allocation)
+            MultiTacticPlan::from_estimates(
+                plan,
+                &estimates,
+                fixed,
+                cfg.num_reducers,
+                allocation,
+                weights,
+            )
         };
         let router = Arc::new(mt.plan.router_with_metric(cfg.params.r, cfg.params.metric));
         let elapsed = t0.elapsed();
@@ -363,6 +379,10 @@ impl DodRunner {
                 ];
                 if let Some(&cost) = mt.predicted_costs.get(pid) {
                     labels.push(("predicted_cost", Value::from(cost)));
+                }
+                if let Some(p) = mt.report.partitions.get(pid) {
+                    labels.push(("n_est", Value::from(p.n_est)));
+                    labels.push(("margin", Value::from(p.margin)));
                 }
                 cfg.obs.mark("dod.plan.partition", &labels);
             }
