@@ -1,0 +1,29 @@
+//! Quick probe for the `micro_euclid_d8` row: repeats the measurement
+//! several times so kernel changes can be compared without waiting for
+//! the full `bench kernels` sweep on a noisy shared machine.
+
+use bench::kernels::{
+    half_hit_radius, kernel_tile_scan, scalar_pair_scan, throughput, MicroFixture, MICRO_POINTS,
+};
+use dod_core::{Metric, NeighborPredicate};
+
+fn main() {
+    let dim = 8;
+    let metric = Metric::Euclidean;
+    let r = half_hit_radius(metric, dim);
+    let fx = MicroFixture::new(11 + dim as u64, MICRO_POINTS, dim);
+    let pred = NeighborPredicate::with_metric(metric, r);
+    println!("active backend: {}", dod_core::active_backend().name());
+    for rep in 0..5 {
+        let kernel = throughput(MICRO_POINTS, 0.3, || {
+            kernel_tile_scan(&pred, &fx.query, &fx.tile)
+        });
+        let baseline = throughput(MICRO_POINTS, 0.3, || {
+            scalar_pair_scan(metric, r, &fx.query, &fx.data, &fx.order)
+        });
+        println!(
+            "rep {rep}: kernel {kernel:.3e}  baseline {baseline:.3e}  speedup {:.2}x",
+            kernel / baseline
+        );
+    }
+}

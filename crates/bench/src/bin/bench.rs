@@ -34,13 +34,13 @@ fn run_kernels(args: &[String]) -> ExitCode {
     let min_time_s = if quick { 0.05 } else { 0.4 };
     let rows = kernels::run_all(min_time_s);
     println!(
-        "{:<22} {:>16} {:>16} {:>9}",
-        "bench", "kernel pairs/s", "scalar pairs/s", "speedup"
+        "{:<22} {:>8} {:>16} {:>16} {:>9}",
+        "bench", "backend", "kernel pairs/s", "scalar pairs/s", "speedup"
     );
     for r in &rows {
         println!(
-            "{:<22} {:>16.3e} {:>16.3e} {:>8.2}x",
-            r.name, r.pairs_per_sec, r.baseline_pairs_per_sec, r.speedup
+            "{:<22} {:>8} {:>16.3e} {:>16.3e} {:>8.2}x",
+            r.name, r.backend, r.pairs_per_sec, r.baseline_pairs_per_sec, r.speedup
         );
     }
     if let Some(path) = json_path {

@@ -22,7 +22,7 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use dod_core::{Metric, NeighborPredicate, OutlierParams, PointSet};
+use dod_core::{KernelBackend, Metric, NeighborPredicate, OutlierParams, PointSet};
 use dod_detect::{Detector, NestedLoop, Partition, Reference};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -34,6 +34,10 @@ use rand::{Rng, SeedableRng};
 pub struct KernelBenchResult {
     /// Row identifier, e.g. `micro_euclid_d2`.
     pub name: String,
+    /// Kernel backend the fast side ran on (`"scalar"`, `"avx2"`,
+    /// `"neon"`). Micro rows are emitted once per available backend;
+    /// everything else reports the dispatched backend.
+    pub backend: String,
     /// Kernel-path throughput.
     pub pairs_per_sec: f64,
     /// Scalar-baseline throughput.
@@ -44,6 +48,13 @@ pub struct KernelBenchResult {
 
 /// Candidate-set size for the microbenchmark tiles.
 pub const MICRO_POINTS: usize = 4096;
+
+/// Candidate-set size for the multi-query rows. Deliberately larger than
+/// the last-level-private cache: register blocking's win is loading the
+/// tile once per query group instead of once per query, which only shows
+/// on tiles that don't sit in cache — the production shape, where a
+/// partition holds tens of thousands of points.
+pub const MULTI_POINTS: usize = 65536;
 
 fn uniform_set(seed: u64, n: usize, dim: usize, side: f64) -> PointSet {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -60,19 +71,26 @@ fn uniform_set(seed: u64, n: usize, dim: usize, side: f64) -> PointSet {
 
 /// Times `work` (which must evaluate `pairs_per_call` predicates per
 /// call) adaptively until `min_time_s` of wall clock has accumulated,
-/// after one untimed warm-up call. Returns pairs per second.
+/// after one untimed warm-up call. Three independent passes run and the
+/// fastest wins: on a shared machine the max is the least-interfered
+/// estimate. Returns pairs per second.
 pub fn throughput(pairs_per_call: usize, min_time_s: f64, mut work: impl FnMut() -> usize) -> f64 {
     black_box(work());
-    let mut calls = 0u64;
-    let start = Instant::now();
-    loop {
-        black_box(work());
-        calls += 1;
-        let elapsed = start.elapsed().as_secs_f64();
-        if elapsed >= min_time_s {
-            return (calls as f64) * (pairs_per_call as f64) / elapsed;
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let mut calls = 0u64;
+        let start = Instant::now();
+        loop {
+            black_box(work());
+            calls += 1;
+            let elapsed = start.elapsed().as_secs_f64();
+            if elapsed >= min_time_s {
+                best = best.max((calls as f64) * (pairs_per_call as f64) / elapsed);
+                break;
+            }
         }
     }
+    best
 }
 
 /// The pre-kernel inner loop: follow a permuted index order through
@@ -94,9 +112,17 @@ pub fn scalar_pair_scan(
     found
 }
 
-/// The kernel path over the same candidates gathered contiguously.
+/// The kernel path over the same candidates gathered contiguously,
+/// through runtime backend dispatch (vectorized when `simd` is on and
+/// the CPU supports it).
 pub fn kernel_tile_scan(pred: &NeighborPredicate, q: &[f64], tile: &[f64]) -> usize {
     pred.count_within_tile(q, tile, usize::MAX).found
+}
+
+/// The same scan pinned to the scalar tile path, regardless of feature
+/// flags — the "kernel" side of pre-backend bench rows.
+pub fn scalar_tile_scan(pred: &NeighborPredicate, q: &[f64], tile: &[f64]) -> usize {
+    pred.count_within_tile_scalar(q, tile, usize::MAX).found
 }
 
 /// Builds the shared fixture for one micro row: dataset, permuted order,
@@ -143,7 +169,11 @@ pub fn half_hit_radius(metric: Metric, dim: usize) -> f64 {
     }
 }
 
-fn micro_row(name: &str, metric: Metric, dim: usize, min_time_s: f64) -> KernelBenchResult {
+/// One micro config, one row per available backend: the scalar tile
+/// path always, plus the dispatched vector path when one is active.
+/// Both share the scalar per-pair baseline, so `speedup` stays
+/// "vs the pre-kernel loop" across backends.
+fn micro_rows(name: &str, metric: Metric, dim: usize, min_time_s: f64) -> Vec<KernelBenchResult> {
     let r = half_hit_radius(metric, dim);
     let fx = MicroFixture::new(11 + dim as u64, MICRO_POINTS, dim);
     let pred = NeighborPredicate::with_metric(metric, r);
@@ -151,17 +181,82 @@ fn micro_row(name: &str, metric: Metric, dim: usize, min_time_s: f64) -> KernelB
     let baseline = throughput(MICRO_POINTS, min_time_s, || {
         scalar_pair_scan(metric, r, &fx.query, &fx.data, &fx.order)
     });
-    let kernel = throughput(MICRO_POINTS, min_time_s, || {
-        kernel_tile_scan(&pred, &fx.query, &fx.tile)
-    });
     // Both sides count the same neighbors — a cheap sanity anchor.
     assert_eq!(
         scalar_pair_scan(metric, r, &fx.query, &fx.data, &fx.order),
         kernel_tile_scan(&pred, &fx.query, &fx.tile),
         "micro fixture disagreement for {name}"
     );
+    let scalar_kernel = throughput(MICRO_POINTS, min_time_s, || {
+        scalar_tile_scan(&pred, &fx.query, &fx.tile)
+    });
+    let mut rows = vec![KernelBenchResult {
+        name: name.to_string(),
+        backend: KernelBackend::Scalar.name().to_string(),
+        pairs_per_sec: scalar_kernel,
+        baseline_pairs_per_sec: baseline,
+        speedup: scalar_kernel / baseline,
+    }];
+    let active = dod_core::active_backend();
+    if active != KernelBackend::Scalar {
+        let kernel = throughput(MICRO_POINTS, min_time_s, || {
+            kernel_tile_scan(&pred, &fx.query, &fx.tile)
+        });
+        rows.push(KernelBenchResult {
+            name: name.to_string(),
+            backend: active.name().to_string(),
+            pairs_per_sec: kernel,
+            baseline_pairs_per_sec: baseline,
+            speedup: kernel / baseline,
+        });
+    }
+    rows
+}
+
+/// A multi-query row: one query-blocked [`count_within_tile_multi`]
+/// pass over `nq` queries vs `nq` independent single-query tile scans
+/// on the *same* (dispatched) backend — isolating the register-blocking
+/// win from the plain vectorization win. The tile is [`MULTI_POINTS`]
+/// large so it does not sit in cache between queries.
+///
+/// [`count_within_tile_multi`]: NeighborPredicate::count_within_tile_multi
+fn multi_row(
+    name: &str,
+    metric: Metric,
+    dim: usize,
+    nq: usize,
+    min_time_s: f64,
+) -> KernelBenchResult {
+    let r = half_hit_radius(metric, dim);
+    let fx = MicroFixture::new(11 + dim as u64, MULTI_POINTS, dim);
+    let pred = NeighborPredicate::with_metric(metric, r);
+    let mut rng = StdRng::seed_from_u64(0xAB + dim as u64);
+    let queries: Vec<f64> = (0..nq * dim).map(|_| rng.gen_range(0.0..10.0)).collect();
+    let needs = vec![usize::MAX; nq];
+
+    let single_total = || -> usize {
+        queries
+            .chunks_exact(dim)
+            .map(|q| pred.count_within_tile(q, &fx.tile, usize::MAX).found)
+            .sum()
+    };
+    let multi_total = || -> usize {
+        pred.count_within_tile_multi(&queries, &fx.tile, &needs)
+            .iter()
+            .map(|o| o.found)
+            .sum()
+    };
+    assert_eq!(
+        single_total(),
+        multi_total(),
+        "multi fixture disagreement for {name}"
+    );
+    let pairs = nq * MULTI_POINTS;
+    let baseline = throughput(pairs, min_time_s, single_total);
+    let kernel = throughput(pairs, min_time_s, multi_total);
     KernelBenchResult {
         name: name.to_string(),
+        backend: dod_core::active_backend().name().to_string(),
         pairs_per_sec: kernel,
         baseline_pairs_per_sec: baseline,
         speedup: kernel / baseline,
@@ -265,6 +360,7 @@ fn e2e_row(
     });
     KernelBenchResult {
         name: name.to_string(),
+        backend: dod_core::active_backend().name().to_string(),
         pairs_per_sec: kernel,
         baseline_pairs_per_sec: baseline,
         speedup: kernel / baseline,
@@ -277,31 +373,40 @@ fn e2e_row(
 pub fn run_all(min_time_s: f64) -> Vec<KernelBenchResult> {
     let mut rows = Vec::new();
     for dim in 1..=4 {
-        rows.push(micro_row(
+        rows.extend(micro_rows(
             &format!("micro_euclid_d{dim}"),
             Metric::Euclidean,
             dim,
             min_time_s,
         ));
     }
-    rows.push(micro_row(
+    rows.extend(micro_rows(
         "micro_euclid_d8",
         Metric::Euclidean,
         8,
         min_time_s,
     ));
-    rows.push(micro_row(
+    rows.extend(micro_rows(
         "micro_manhattan_d3",
         Metric::Manhattan,
         3,
         min_time_s,
     ));
-    rows.push(micro_row(
+    rows.extend(micro_rows(
         "micro_chebyshev_d3",
         Metric::Chebyshev,
         3,
         min_time_s,
     ));
+    for dim in 2..=4 {
+        rows.push(multi_row(
+            &format!("multi_euclid_d{dim}_q8"),
+            Metric::Euclidean,
+            dim,
+            8,
+            min_time_s,
+        ));
+    }
     rows.push(e2e_row(
         "e2e_nested_loop_d2",
         2,
@@ -326,9 +431,10 @@ pub fn to_json(results: &[KernelBenchResult]) -> String {
     let mut out = String::from("{\n  \"schema\": \"dod-bench-kernels/v1\",\n  \"benches\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"pairs_per_sec\": {:.0}, \
+            "    {{\"name\": \"{}\", \"backend\": \"{}\", \"pairs_per_sec\": {:.0}, \
              \"baseline_pairs_per_sec\": {:.0}, \"speedup_vs_scalar\": {:.2}}}{}\n",
             r.name,
+            r.backend,
             r.pairs_per_sec,
             r.baseline_pairs_per_sec,
             r.speedup,
@@ -370,13 +476,24 @@ mod tests {
     fn json_schema_shape() {
         let rows = vec![KernelBenchResult {
             name: "x".into(),
+            backend: "avx2".into(),
             pairs_per_sec: 2.0e9,
             baseline_pairs_per_sec: 1.0e9,
             speedup: 2.0,
         }];
         let json = to_json(&rows);
         assert!(json.contains("\"schema\": \"dod-bench-kernels/v1\""));
+        assert!(json.contains("\"backend\": \"avx2\""));
         assert!(json.contains("\"speedup_vs_scalar\": 2.00"));
         assert!(json.ends_with("}\n"));
+    }
+
+    /// Multi-query and single-query tile scans agree on every fixture
+    /// the bench rows use (the timed sides share this sanity assert).
+    #[test]
+    fn multi_row_fixture_agrees_quickly() {
+        let row = multi_row("multi_euclid_d2_q8", Metric::Euclidean, 2, 8, 0.001);
+        assert_eq!(row.backend, dod_core::active_backend().name());
+        assert!(row.pairs_per_sec > 0.0 && row.baseline_pairs_per_sec > 0.0);
     }
 }

@@ -38,6 +38,7 @@ pub fn render_report(report: &PlanReport) -> String {
             "unit / legacy constants"
         }
     ));
+    out.push_str(&format!("kernel backend: {}\n", report.backend));
     out.push_str(&format!("partitions: {}\n", report.partitions.len()));
     for p in &report.partitions {
         out.push_str(&format!(
@@ -151,6 +152,9 @@ mod tests {
         assert_eq!(v.get("points"), Some(&Json::Num(41.0)));
         assert_eq!(v.get("dim"), Some(&Json::Num(2.0)));
         assert_eq!(v.get("calibrated"), Some(&Json::Bool(false)));
+        // Uncalibrated plans are priced by the unit fallback, which is
+        // always attributed to the scalar backend.
+        assert_eq!(v.get("backend"), Some(&Json::Str("scalar".into())));
         let weights = v.get("weights").unwrap();
         assert_eq!(weights.get("pair"), Some(&Json::Num(1.0)));
         assert_eq!(weights.get("structural"), Some(&Json::Num(1.0)));
@@ -196,6 +200,7 @@ mod tests {
             text.contains("weights: pair=1.0 structural=1.0 (unit / legacy constants)"),
             "{text}"
         );
+        assert!(text.contains("kernel backend: scalar"), "{text}");
         assert!(text.contains("-- partition 0 [winner "), "{text}");
         assert!(text.contains("<- winner"), "{text}");
         assert!(text.contains("margin="), "{text}");

@@ -1,0 +1,667 @@
+//! Explicit `std::arch` kernel backends (the `simd` cargo feature).
+//!
+//! Two data-parallel layouts, both bit-identical to the scalar tiles:
+//!
+//! * **point-parallel** (single query): 4 points per AVX2 vector
+//!   (2 per NEON vector), transposed from the row-major tile so each
+//!   lane accumulates one point's distance. Used by
+//!   [`NeighborPredicate::count_within_tile`].
+//! * **query-parallel** (multi query): 4 queries per AVX2 vector in
+//!   SoA layout, iterating points and broadcasting each point
+//!   coordinate — so one pass over the tile serves the whole query
+//!   group and the tile's memory traffic is amortized. Used by
+//!   [`NeighborPredicate::count_within_tile_multi`].
+//!
+//! Bit-identity is guaranteed by construction: every lane accumulates
+//! dimensions in **ascending order with a single accumulator** using
+//! plain IEEE sub/mul/add — exactly the operation sequence of
+//! [`crate::point::dist_sq`] and the scalar `Metric` loops. No FMA is
+//! used anywhere: `fmadd` fuses the rounding step and could flip a
+//! comparison exactly at the `r` boundary. Because the math is
+//! bit-identical, the scalar replay of the block that crosses `need`
+//! (same rule as the scalar kernels) reproduces the exact early-exit
+//! position.
+//!
+//! Dispatch: [`detect`] runtime-checks AVX2 on x86-64
+//! (`is_x86_feature_detected!`, cached by `std`) and assumes NEON on
+//! aarch64 (baseline there); every entry point returns `None` when no
+//! vector backend applies so the caller falls back to the scalar tiles.
+
+use super::{NeighborPredicate, TileOutcome, BLOCK_POINTS};
+use crate::metric::Metric;
+
+/// Runtime backend selection for this process.
+pub(super) fn detect() -> super::KernelBackend {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        return super::KernelBackend::Avx2;
+    }
+    #[cfg(target_arch = "aarch64")]
+    return super::KernelBackend::Neon;
+    #[cfg(not(target_arch = "aarch64"))]
+    super::KernelBackend::Scalar
+}
+
+/// Vectorized single-query tile scan, or `None` when the scalar tiles
+/// are the better implementation (caller falls back to them).
+///
+/// Dispatch is *measured*, not reflexive: the monomorphized `d <= 4`
+/// scalar kernels already autovectorize into tighter code than the
+/// explicit transpose path (see the per-backend `micro_*` rows in
+/// `BENCH_kernels.json`), so explicit lanes only take over in the
+/// generic-kernel region `d > 4`, where the scalar fallback's
+/// early-abandon checks defeat autovectorization. Query-parallel
+/// multi scans have no such crossover — they win at every `d`.
+#[allow(unused_variables)]
+#[inline]
+pub(super) fn count_within_tile(
+    pred: &NeighborPredicate,
+    query: &[f64],
+    tile: &[f64],
+    dim: usize,
+    need: usize,
+) -> Option<TileOutcome> {
+    if dim <= 4 {
+        return None;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support verified at runtime on this CPU.
+        return Some(unsafe { x86::count_single(pred, query, tile, dim, need) });
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        // SAFETY: NEON is a baseline feature of the aarch64 target.
+        return Some(unsafe { neon::count_single(pred, query, tile, dim, need) });
+    }
+    #[cfg(not(target_arch = "aarch64"))]
+    None
+}
+
+/// Vectorized query-parallel multi scan, or `None` to fall back to the
+/// per-query path (which itself may use the single-query vector kernel).
+#[allow(unused_variables)]
+#[inline]
+pub(super) fn count_within_tile_multi(
+    pred: &NeighborPredicate,
+    queries: &[f64],
+    tile: &[f64],
+    needs: &[usize],
+    dim: usize,
+) -> Option<Vec<TileOutcome>> {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support verified at runtime on this CPU.
+        return Some(unsafe { x86::count_multi(pred, queries, tile, needs, dim) });
+    }
+    None
+}
+
+/// The comparison threshold a metric's accumulated lane value is tested
+/// against: `r²` for Euclidean (lanes accumulate squared distance),
+/// `r` otherwise.
+#[inline]
+fn lane_threshold(pred: &NeighborPredicate) -> f64 {
+    match pred.metric() {
+        Metric::Euclidean => pred.r_sq(),
+        _ => pred.r(),
+    }
+}
+
+/// Scalar replay of the block that crosses `need`, shared by every
+/// backend. `found` is the running count entering the block; returns the
+/// final count and the number of points of this block examined. The
+/// replay predicate is [`NeighborPredicate::within`], which is
+/// bit-identical to the lane math, so the blockwise count's promise that
+/// `need` is reached inside this block always holds.
+#[inline]
+fn replay_block(
+    pred: &NeighborPredicate,
+    q: &[f64],
+    block: &[f64],
+    dim: usize,
+    need: usize,
+    mut found: usize,
+) -> (usize, usize) {
+    for (i, p) in block.chunks_exact(dim).enumerate() {
+        if pred.within(q, p) {
+            found += 1;
+            if found >= need {
+                return (found, i + 1);
+            }
+        }
+    }
+    unreachable!("blockwise count promised `need` is reached in this block");
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::*;
+    use std::arch::x86_64::*;
+
+    /// Point-parallel single-query scan: the scalar kernels' blockwise
+    /// skeleton with the per-block count computed 4 points at a time.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 support at runtime.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn count_single(
+        pred: &NeighborPredicate,
+        q: &[f64],
+        tile: &[f64],
+        dim: usize,
+        need: usize,
+    ) -> TileOutcome {
+        let thresh = lane_threshold(pred);
+        let metric = pred.metric();
+        let mut found = 0usize;
+        let mut scanned = 0usize;
+        for block in tile.chunks(dim * BLOCK_POINTS) {
+            // Monomorphize the hot dimensionalities: a const trip count
+            // lets LLVM fully unroll the per-dimension loops (a runtime
+            // `dim` bound blocks unrolling). `0` means "runtime dim".
+            let hits = match dim {
+                5 => block_hits_single::<5>(metric, pred, q, block, dim, thresh),
+                6 => block_hits_single::<6>(metric, pred, q, block, dim, thresh),
+                7 => block_hits_single::<7>(metric, pred, q, block, dim, thresh),
+                8 => block_hits_single::<8>(metric, pred, q, block, dim, thresh),
+                _ => block_hits_single::<0>(metric, pred, q, block, dim, thresh),
+            };
+            if found + hits >= need {
+                let (f, examined) = replay_block(pred, q, block, dim, need, found);
+                return TileOutcome {
+                    found: f,
+                    scanned: scanned + examined,
+                };
+            }
+            found += hits;
+            scanned += block.len() / dim;
+        }
+        TileOutcome { found, scanned }
+    }
+
+    /// Branchless hit count over one block, 4 points per vector with a
+    /// scalar tail (fewer than 4 points left, via `pred.within` so the
+    /// tail agrees with the lanes bit for bit).
+    ///
+    /// Four independent 4-point groups run per iteration so their
+    /// accumulator latency chains overlap, and hits collect in an
+    /// integer vector (mask subtract) folded once at the end — no
+    /// per-vector `movemask`/`popcnt` on the hot path.
+    ///
+    /// `D` is the compile-time dimension (`0` = use the runtime `dim`).
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn block_hits_single<const D: usize>(
+        metric: Metric,
+        pred: &NeighborPredicate,
+        q: &[f64],
+        block: &[f64],
+        dim: usize,
+        thresh: f64,
+    ) -> usize {
+        let dim = if D != 0 { D } else { dim };
+        let n = block.len() / dim;
+        let t = _mm256_set1_pd(thresh);
+        let mut cnt = _mm256_setzero_si256();
+        let mut i = 0usize;
+        while i + 16 <= n {
+            let a0 = distance4(metric, q, &block[i * dim..], dim);
+            let a1 = distance4(metric, q, &block[(i + 4) * dim..], dim);
+            let a2 = distance4(metric, q, &block[(i + 8) * dim..], dim);
+            let a3 = distance4(metric, q, &block[(i + 12) * dim..], dim);
+            let m0 = _mm256_cmp_pd::<_CMP_LE_OQ>(a0, t);
+            let m1 = _mm256_cmp_pd::<_CMP_LE_OQ>(a1, t);
+            let m2 = _mm256_cmp_pd::<_CMP_LE_OQ>(a2, t);
+            let m3 = _mm256_cmp_pd::<_CMP_LE_OQ>(a3, t);
+            cnt = _mm256_sub_epi64(cnt, _mm256_castpd_si256(m0));
+            cnt = _mm256_sub_epi64(cnt, _mm256_castpd_si256(m1));
+            cnt = _mm256_sub_epi64(cnt, _mm256_castpd_si256(m2));
+            cnt = _mm256_sub_epi64(cnt, _mm256_castpd_si256(m3));
+            i += 16;
+        }
+        while i + 4 <= n {
+            let acc = distance4(metric, q, &block[i * dim..], dim);
+            let mask = _mm256_cmp_pd::<_CMP_LE_OQ>(acc, t);
+            cnt = _mm256_sub_epi64(cnt, _mm256_castpd_si256(mask));
+            i += 4;
+        }
+        let mut lanes = [0u64; 4];
+        _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, cnt);
+        let mut hits = (lanes[0] + lanes[1] + lanes[2] + lanes[3]) as usize;
+        for p in block[i * dim..].chunks_exact(dim) {
+            hits += usize::from(pred.within(q, p));
+        }
+        hits
+    }
+
+    /// Distance of 4 consecutive row-major points to `q`, one point per
+    /// lane (squared for Euclidean). Dimensions accumulate in ascending
+    /// order with a single accumulator — the scalar operation sequence.
+    #[inline(always)]
+    unsafe fn distance4(metric: Metric, q: &[f64], pts: &[f64], dim: usize) -> __m256d {
+        if dim == 0 {
+            return _mm256_setzero_pd();
+        }
+        let sign = _mm256_set1_pd(-0.0);
+        let mut acc;
+        let mut dd;
+        // The first dimension seeds the accumulator (see `seed`); the
+        // rest fold in ascending order — the scalar operation sequence.
+        if dim >= 2 {
+            // Dimension pairs: two coordinate columns per `columns2`
+            // (half the shuffle-port traffic of a full 4x4 transpose).
+            let (c0, c1) = columns2(pts, dim, 0);
+            acc = seed(metric, _mm256_sub_pd(c0, _mm256_set1_pd(q[0])), sign);
+            acc = accumulate(metric, acc, _mm256_sub_pd(c1, _mm256_set1_pd(q[1])), sign);
+            dd = 2;
+            while dd + 2 <= dim {
+                let (c0, c1) = columns2(pts, dim, dd);
+                acc = accumulate(metric, acc, _mm256_sub_pd(c0, _mm256_set1_pd(q[dd])), sign);
+                acc = accumulate(
+                    metric,
+                    acc,
+                    _mm256_sub_pd(c1, _mm256_set1_pd(q[dd + 1])),
+                    sign,
+                );
+                dd += 2;
+            }
+        } else {
+            let col = gather_column(pts, dim, 0);
+            acc = seed(metric, _mm256_sub_pd(col, _mm256_set1_pd(q[0])), sign);
+            dd = 1;
+        }
+        // Odd-dimension remainder: strided gather of one column.
+        if dd < dim {
+            let col = gather_column(pts, dim, dd);
+            let g = _mm256_sub_pd(col, _mm256_set1_pd(q[dd]));
+            acc = accumulate(metric, acc, g, sign);
+        }
+        acc
+    }
+
+    /// First-dimension accumulator seed: the gap term itself, skipping
+    /// the fold into a zero accumulator. Bit-identical to the scalar
+    /// fold: `0.0 + x == x` exactly for every `x` the gap terms produce
+    /// (squares and absolute values are never `-0.0`, and `NaN`
+    /// propagates the same), and for Chebyshev `max(|g|, 0.0)` keeps the
+    /// scalar `f64::max` NaN-ignoring start (`MAXPD` returns its second
+    /// operand — here `0.0` — when the gap is `NaN`).
+    #[inline(always)]
+    unsafe fn seed(metric: Metric, gap: __m256d, sign: __m256d) -> __m256d {
+        match metric {
+            Metric::Euclidean => _mm256_mul_pd(gap, gap),
+            Metric::Manhattan => _mm256_andnot_pd(sign, gap),
+            Metric::Chebyshev => _mm256_max_pd(_mm256_andnot_pd(sign, gap), _mm256_setzero_pd()),
+        }
+    }
+
+    /// Folds one dimension's 4-lane gap into the running accumulator.
+    ///
+    /// For Chebyshev the gap is the **first** `maxpd` operand: `MAXPD`
+    /// returns its second operand when either input is `NaN`, so a `NaN`
+    /// gap yields the running accumulator — exactly `f64::max`'s
+    /// NaN-ignoring fold in the scalar kernel.
+    #[inline(always)]
+    unsafe fn accumulate(metric: Metric, acc: __m256d, gap: __m256d, sign: __m256d) -> __m256d {
+        match metric {
+            Metric::Euclidean => _mm256_add_pd(acc, _mm256_mul_pd(gap, gap)),
+            Metric::Manhattan => _mm256_add_pd(acc, _mm256_andnot_pd(sign, gap)),
+            Metric::Chebyshev => _mm256_max_pd(_mm256_andnot_pd(sign, gap), acc),
+        }
+    }
+
+    /// Loads coordinate columns `dd` and `dd + 1` of 4 consecutive
+    /// points. Each 128-bit half-row load lands in its point's lane
+    /// half via `insertf128` (fused with the load, off the shuffle
+    /// port), so only the two `unpack`s hit the shuffle port — half the
+    /// port-5 traffic of a 4x4 transpose per dimension.
+    ///
+    /// # Safety
+    /// `pts` must hold at least 4 points of `dim >= dd + 2` coordinates.
+    #[inline(always)]
+    unsafe fn columns2(pts: &[f64], dim: usize, dd: usize) -> (__m256d, __m256d) {
+        debug_assert!(pts.len() >= 3 * dim + dd + 2);
+        let base = pts.as_ptr();
+        // a = p0[dd] p0[dd+1] p2[dd] p2[dd+1]
+        let a = _mm256_insertf128_pd::<1>(
+            _mm256_castpd128_pd256(_mm_loadu_pd(base.add(dd))),
+            _mm_loadu_pd(base.add(2 * dim + dd)),
+        );
+        // b = p1[dd] p1[dd+1] p3[dd] p3[dd+1]
+        let b = _mm256_insertf128_pd::<1>(
+            _mm256_castpd128_pd256(_mm_loadu_pd(base.add(dim + dd))),
+            _mm_loadu_pd(base.add(3 * dim + dd)),
+        );
+        (_mm256_unpacklo_pd(a, b), _mm256_unpackhi_pd(a, b))
+    }
+
+    /// Gathers coordinate `dd` of 4 consecutive points (strided), with a
+    /// contiguous-load fast path for `dim == 1`.
+    #[inline(always)]
+    unsafe fn gather_column(pts: &[f64], dim: usize, dd: usize) -> __m256d {
+        if dim == 1 {
+            _mm256_loadu_pd(pts.as_ptr())
+        } else {
+            _mm256_set_pd(pts[3 * dim + dd], pts[2 * dim + dd], pts[dim + dd], pts[dd])
+        }
+    }
+
+    /// Query-parallel multi scan: queries are packed 4 per vector in SoA
+    /// layout (`soa[dd * 4 + lane]`), the tile is walked once per block,
+    /// and each point is broadcast against the whole query group — one
+    /// tile load serves up to 4 queries.
+    ///
+    /// Per-query `found`/`scanned`/`done` bookkeeping keeps the result
+    /// bit-identical to independent single-query scans, including the
+    /// exact early-exit position via the shared scalar block replay.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 support at runtime.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn count_multi(
+        pred: &NeighborPredicate,
+        queries: &[f64],
+        tile: &[f64],
+        needs: &[usize],
+        dim: usize,
+    ) -> Vec<TileOutcome> {
+        let nq = needs.len();
+        let n_groups = nq.div_ceil(4);
+        // SoA pack; lanes past nq repeat the last query (their counts
+        // are computed and discarded).
+        let mut soa = vec![0.0f64; n_groups * dim * 4];
+        for g in 0..n_groups {
+            for lane in 0..4 {
+                let qi = (g * 4 + lane).min(nq - 1);
+                for dd in 0..dim {
+                    soa[(g * dim + dd) * 4 + lane] = queries[qi * dim + dd];
+                }
+            }
+        }
+
+        let thresh = _mm256_set1_pd(lane_threshold(pred));
+        let metric = pred.metric();
+        let mut found = vec![0usize; nq];
+        let mut scanned = vec![0usize; nq];
+        let mut done = vec![false; nq];
+        let mut live = nq;
+        for (qi, &need) in needs.iter().enumerate() {
+            if need == 0 {
+                done[qi] = true;
+                live -= 1;
+            }
+        }
+
+        for block in tile.chunks(dim * BLOCK_POINTS) {
+            if live == 0 {
+                break;
+            }
+            let pts = block.len() / dim;
+            for g in 0..n_groups {
+                let lanes = (nq - g * 4).min(4);
+                if done[g * 4..g * 4 + lanes].iter().all(|&d| d) {
+                    continue;
+                }
+                let gq = &soa[g * dim * 4..(g + 1) * dim * 4];
+                // Monomorphize hot dimensionalities (`0` = runtime dim):
+                // const trip counts let LLVM unroll the per-dimension
+                // loops that a runtime `dim` bound keeps rolled.
+                let counts = match dim {
+                    1 => block_hits_multi::<1>(metric, gq, block, dim, thresh),
+                    2 => block_hits_multi::<2>(metric, gq, block, dim, thresh),
+                    3 => block_hits_multi::<3>(metric, gq, block, dim, thresh),
+                    4 => block_hits_multi::<4>(metric, gq, block, dim, thresh),
+                    5 => block_hits_multi::<5>(metric, gq, block, dim, thresh),
+                    6 => block_hits_multi::<6>(metric, gq, block, dim, thresh),
+                    7 => block_hits_multi::<7>(metric, gq, block, dim, thresh),
+                    8 => block_hits_multi::<8>(metric, gq, block, dim, thresh),
+                    _ => block_hits_multi::<0>(metric, gq, block, dim, thresh),
+                };
+                for (lane, &hits) in counts.iter().enumerate().take(lanes) {
+                    let qi = g * 4 + lane;
+                    if done[qi] {
+                        continue;
+                    }
+                    let hits = hits as usize;
+                    if found[qi] + hits >= needs[qi] {
+                        let q = &queries[qi * dim..(qi + 1) * dim];
+                        let (f, examined) = replay_block(pred, q, block, dim, needs[qi], found[qi]);
+                        found[qi] = f;
+                        scanned[qi] += examined;
+                        done[qi] = true;
+                        live -= 1;
+                    } else {
+                        found[qi] += hits;
+                        scanned[qi] += pts;
+                    }
+                }
+            }
+        }
+        (0..nq)
+            .map(|qi| TileOutcome {
+                found: found[qi],
+                scanned: scanned[qi],
+            })
+            .collect()
+    }
+
+    /// Query columns a group keeps in registers for a whole block; the
+    /// planner's hot dimensionalities all fit.
+    const HOIST_DIMS: usize = 8;
+
+    /// Per-lane hit counts of one block against a 4-query SoA group.
+    /// The `LE` mask is all-ones (`-1` as i64) per hitting lane, so
+    /// subtracting it from an integer accumulator counts hits without
+    /// any cross-lane reduction until the block ends.
+    ///
+    /// For `dim <= HOIST_DIMS` the query columns are loaded once per
+    /// block and several points run per iteration with independent
+    /// accumulator chains (4 chains at `dim <= 4`, 2 above) — each
+    /// chain still folds dimensions in ascending order with a single
+    /// accumulator, so bit-identity is untouched.
+    ///
+    /// `D` is the compile-time dimension (`0` = use the runtime `dim`).
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn block_hits_multi<const D: usize>(
+        metric: Metric,
+        gq: &[f64],
+        block: &[f64],
+        dim: usize,
+        thresh: __m256d,
+    ) -> [u64; 4] {
+        let dim = if D != 0 { D } else { dim };
+        let sign = _mm256_set1_pd(-0.0);
+        let mut cnt = _mm256_setzero_si256();
+        if dim <= HOIST_DIMS {
+            let mut qcols = [_mm256_setzero_pd(); HOIST_DIMS];
+            for (dd, qc) in qcols.iter_mut().enumerate().take(dim) {
+                *qc = _mm256_loadu_pd(gq.as_ptr().add(dd * 4));
+            }
+            // One point's distance to the group, dimension 0 seeding
+            // the chain (see `seed`).
+            let point_acc = |p: &[f64]| {
+                let mut acc = seed(metric, _mm256_sub_pd(qcols[0], _mm256_set1_pd(p[0])), sign);
+                for dd in 1..dim {
+                    let g = _mm256_sub_pd(qcols[dd], _mm256_set1_pd(p[dd]));
+                    acc = accumulate(metric, acc, g, sign);
+                }
+                acc
+            };
+            // Short chains (small dim) need more in-flight points to
+            // cover the accumulate latency; 4 chains at dim <= 4, 2
+            // above. `D` makes the width a compile-time choice.
+            let rest = if dim <= 4 {
+                let mut quads = block.chunks_exact(dim * 4);
+                for pp in &mut quads {
+                    let a0 = point_acc(&pp[..dim]);
+                    let a1 = point_acc(&pp[dim..2 * dim]);
+                    let a2 = point_acc(&pp[2 * dim..3 * dim]);
+                    let a3 = point_acc(&pp[3 * dim..]);
+                    let m0 = _mm256_cmp_pd::<_CMP_LE_OQ>(a0, thresh);
+                    let m1 = _mm256_cmp_pd::<_CMP_LE_OQ>(a1, thresh);
+                    let m2 = _mm256_cmp_pd::<_CMP_LE_OQ>(a2, thresh);
+                    let m3 = _mm256_cmp_pd::<_CMP_LE_OQ>(a3, thresh);
+                    cnt = _mm256_sub_epi64(cnt, _mm256_castpd_si256(m0));
+                    cnt = _mm256_sub_epi64(cnt, _mm256_castpd_si256(m1));
+                    cnt = _mm256_sub_epi64(cnt, _mm256_castpd_si256(m2));
+                    cnt = _mm256_sub_epi64(cnt, _mm256_castpd_si256(m3));
+                }
+                quads.remainder()
+            } else {
+                let mut pairs = block.chunks_exact(dim * 2);
+                for pp in &mut pairs {
+                    let a0 = point_acc(&pp[..dim]);
+                    let a1 = point_acc(&pp[dim..]);
+                    let m0 = _mm256_cmp_pd::<_CMP_LE_OQ>(a0, thresh);
+                    let m1 = _mm256_cmp_pd::<_CMP_LE_OQ>(a1, thresh);
+                    cnt = _mm256_sub_epi64(cnt, _mm256_castpd_si256(m0));
+                    cnt = _mm256_sub_epi64(cnt, _mm256_castpd_si256(m1));
+                }
+                pairs.remainder()
+            };
+            for p in rest.chunks_exact(dim) {
+                let mask = _mm256_cmp_pd::<_CMP_LE_OQ>(point_acc(p), thresh);
+                cnt = _mm256_sub_epi64(cnt, _mm256_castpd_si256(mask));
+            }
+        } else {
+            for p in block.chunks_exact(dim) {
+                let mut acc = _mm256_setzero_pd();
+                for (dd, &pc) in p.iter().enumerate() {
+                    let qcol = _mm256_loadu_pd(gq.as_ptr().add(dd * 4));
+                    let g = _mm256_sub_pd(qcol, _mm256_set1_pd(pc));
+                    acc = accumulate(metric, acc, g, sign);
+                }
+                let mask = _mm256_cmp_pd::<_CMP_LE_OQ>(acc, thresh);
+                cnt = _mm256_sub_epi64(cnt, _mm256_castpd_si256(mask));
+            }
+        }
+        let mut out = [0u64; 4];
+        _mm256_storeu_si256(out.as_mut_ptr() as *mut __m256i, cnt);
+        out
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use super::*;
+    use std::arch::aarch64::*;
+
+    /// Point-parallel single-query scan, 2 points per 128-bit vector.
+    /// Same blockwise skeleton and scalar replay as the AVX2 and scalar
+    /// kernels; per-dimension gathers are two-lane combines.
+    ///
+    /// # Safety
+    /// NEON is baseline on aarch64; no extra runtime check is required.
+    pub(super) unsafe fn count_single(
+        pred: &NeighborPredicate,
+        q: &[f64],
+        tile: &[f64],
+        dim: usize,
+        need: usize,
+    ) -> TileOutcome {
+        let thresh = lane_threshold(pred);
+        let metric = pred.metric();
+        let mut found = 0usize;
+        let mut scanned = 0usize;
+        for block in tile.chunks(dim * BLOCK_POINTS) {
+            let hits = block_hits_single(metric, pred, q, block, dim, thresh);
+            if found + hits >= need {
+                let (f, examined) = replay_block(pred, q, block, dim, need, found);
+                return TileOutcome {
+                    found: f,
+                    scanned: scanned + examined,
+                };
+            }
+            found += hits;
+            scanned += block.len() / dim;
+        }
+        TileOutcome { found, scanned }
+    }
+
+    /// Branchless hit count over one block, 2 points per vector with a
+    /// `pred.within` scalar tail.
+    unsafe fn block_hits_single(
+        metric: Metric,
+        pred: &NeighborPredicate,
+        q: &[f64],
+        block: &[f64],
+        dim: usize,
+        thresh: f64,
+    ) -> usize {
+        let n = block.len() / dim;
+        let t = vdupq_n_f64(thresh);
+        let mut hits = 0usize;
+        let mut i = 0usize;
+        while i + 2 <= n {
+            let pts = &block[i * dim..];
+            let mut acc = vdupq_n_f64(0.0);
+            for dd in 0..dim {
+                let col = vcombine_f64(
+                    vld1_f64(pts.as_ptr().add(dd)),
+                    vld1_f64(pts.as_ptr().add(dim + dd)),
+                );
+                let g = vsubq_f64(col, vdupq_n_f64(q[dd]));
+                acc = match metric {
+                    Metric::Euclidean => vaddq_f64(acc, vmulq_f64(g, g)),
+                    Metric::Manhattan => vaddq_f64(acc, vabsq_f64(g)),
+                    // maxNum (NaN-ignoring) to mirror the scalar
+                    // `f64::max` fold exactly.
+                    Metric::Chebyshev => vmaxnmq_f64(acc, vabsq_f64(g)),
+                };
+            }
+            let m = vcleq_f64(acc, t);
+            hits += (vgetq_lane_u64::<0>(m) >> 63) as usize;
+            hits += (vgetq_lane_u64::<1>(m) >> 63) as usize;
+            i += 2;
+        }
+        for p in block[i * dim..].chunks_exact(dim) {
+            hits += usize::from(pred.within(q, p));
+        }
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::NeighborPredicate;
+    use crate::metric::Metric;
+    use proptest::prelude::*;
+
+    const METRICS: [Metric; 3] = [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev];
+
+    // With the `simd` feature on supported hardware the dispatched path
+    // must be bit-identical to the scalar tiles — outcome and early-exit
+    // position both.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+        #[test]
+        fn dispatched_backend_matches_scalar_tiles(
+            dim in 1usize..9,
+            n_points in 0usize..70,
+            need in 0usize..10,
+            r in 0.1f64..4.0,
+            seed_coords in proptest::collection::vec(-3.0f64..3.0, 1..500),
+            metric_sel in 0usize..3,
+        ) {
+            let metric = METRICS[metric_sel];
+            let want = dim * (n_points + 1);
+            let coords: Vec<f64> = (0..want)
+                .map(|i| seed_coords[i % seed_coords.len()])
+                .collect();
+            let (q, tile) = coords.split_at(dim);
+            let pred = NeighborPredicate::with_metric(metric, r);
+            let fast = pred.count_within_tile(q, tile, need);
+            let scalar = pred.count_within_tile_scalar(q, tile, need);
+            prop_assert_eq!(fast, scalar, "metric {:?} dim {} need {}", metric, dim, need);
+        }
+    }
+
+    #[test]
+    fn backend_is_reported() {
+        // Whatever the CPU, the active backend must be a stable name.
+        let b = crate::kernel::active_backend();
+        assert!(["scalar", "avx2", "neon"].contains(&b.name()));
+    }
+}

@@ -28,7 +28,7 @@ pub mod support;
 pub use dataset::{PointId, PointSet};
 pub use error::CoreError;
 pub use grid::{CellId, GridSpec};
-pub use kernel::{NeighborPredicate, TileOutcome};
+pub use kernel::{active_backend, FilterTile, KernelBackend, NeighborPredicate, TileOutcome};
 pub use metric::Metric;
 pub use params::OutlierParams;
 pub use point::{dist, dist_sq, Point};

@@ -53,6 +53,13 @@ impl Metric {
     /// gap is zero, and sums, sums of squares, and maxima of zeros are
     /// all zero. The exact predicate behind supporting-area routing under
     /// this metric.
+    ///
+    /// A `NaN` coordinate (in `x` or in the bounds) yields `NaN` rather
+    /// than being silently treated as inside-box: both range comparisons
+    /// are false for `NaN`, which previously produced a `0.0` gap — and
+    /// `f64::max` would then swallow the poison for `L∞`. Callers gate
+    /// with `> r`, which is false for `NaN`, so a poisoned distance
+    /// degrades to "don't prune" — never to a wrong prune.
     pub fn min_dist_to_rect(&self, min: &[f64], max: &[f64], x: &[f64]) -> f64 {
         debug_assert_eq!(min.len(), x.len());
         debug_assert_eq!(min.len(), max.len());
@@ -61,6 +68,8 @@ impl Metric {
                 min[i] - x[i]
             } else if x[i] > max[i] {
                 x[i] - max[i]
+            } else if x[i].is_nan() || min[i].is_nan() || max[i].is_nan() {
+                f64::NAN
             } else {
                 0.0
             }
@@ -68,7 +77,13 @@ impl Metric {
         match self {
             Metric::Euclidean => gaps.map(|g| g * g).sum::<f64>().sqrt(),
             Metric::Manhattan => gaps.sum(),
-            Metric::Chebyshev => gaps.fold(0.0, f64::max),
+            Metric::Chebyshev => gaps.fold(0.0, |a, b| {
+                if a.is_nan() || b.is_nan() {
+                    f64::NAN
+                } else {
+                    a.max(b)
+                }
+            }),
         }
     }
 
@@ -172,6 +187,59 @@ mod tests {
             Metric::Chebyshev.min_dist_to_rect(&lo, &hi, &[2.0, 2.0]),
             1.0
         );
+    }
+
+    /// Release-mode guarantee for the documented inside-box contract:
+    /// interior points, boundary points, and corner points are at
+    /// distance exactly `0.0` — not merely small — for all metrics.
+    #[test]
+    fn inside_box_distance_is_exactly_zero() {
+        let (lo, hi) = ([-1.0, 0.0, 2.5], [1.0, 3.0, 2.5]);
+        let inside = [
+            [0.0, 1.5, 2.5],  // interior (degenerate dim on its plane)
+            [-1.0, 0.0, 2.5], // min corner
+            [1.0, 3.0, 2.5],  // max corner
+            [1.0, 1.5, 2.5],  // face
+        ];
+        for m in METRICS {
+            for x in &inside {
+                let d = m.min_dist_to_rect(&lo, &hi, x);
+                assert_eq!(d, 0.0, "{m:?} {x:?}");
+                assert_eq!(d.to_bits(), 0.0f64.to_bits(), "{m:?} {x:?} (exact zero)");
+            }
+        }
+    }
+
+    /// `NaN` coordinates must poison the distance instead of counting as
+    /// inside-box — for the query point and for either bound, in any
+    /// position (first, middle, last dimension).
+    #[test]
+    fn nan_coordinates_are_rejected() {
+        let (lo, hi) = ([0.0, 0.0, 0.0], [1.0, 1.0, 1.0]);
+        for m in METRICS {
+            for i in 0..3 {
+                let mut x = [0.5, 0.5, 0.5];
+                x[i] = f64::NAN;
+                assert!(m.min_dist_to_rect(&lo, &hi, &x).is_nan(), "{m:?} x[{i}]");
+                // A NaN bound poisons too, even for an otherwise-inside x.
+                let mut blo = lo;
+                blo[i] = f64::NAN;
+                assert!(
+                    m.min_dist_to_rect(&blo, &hi, &[0.5, 0.5, 0.5]).is_nan(),
+                    "{m:?} min[{i}]"
+                );
+                let mut bhi = hi;
+                bhi[i] = f64::NAN;
+                assert!(
+                    m.min_dist_to_rect(&lo, &bhi, &[0.5, 0.5, 0.5]).is_nan(),
+                    "{m:?} max[{i}]"
+                );
+            }
+            // NaN never gates pruning on: callers test `> r`, which is
+            // false for a NaN distance.
+            let d = m.min_dist_to_rect(&lo, &hi, &[f64::NAN, 0.5, 0.5]);
+            assert_eq!(d.partial_cmp(&1.0), None);
+        }
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //! ```
 
 use crate::cost::CostWeights;
-use dod_core::Metric;
+use dod_core::{KernelBackend, Metric};
 use std::fmt;
 
 /// Schema identifier accepted by [`CalibrationProfile::from_json`].
@@ -39,6 +39,10 @@ pub struct ProfileEntry {
     pub metric: Metric,
     /// Dimensionality the row was measured at.
     pub dim: usize,
+    /// Kernel backend the row's `kernel_pair_ns` was measured through.
+    /// Rows from pre-backend profiles default to
+    /// [`KernelBackend::Scalar`].
+    pub backend: KernelBackend,
     /// Measured nanoseconds per kernel-tile distance predicate.
     pub kernel_pair_ns: f64,
     /// Measured nanoseconds per scalar (pre-kernel) distance predicate.
@@ -57,6 +61,7 @@ impl ProfileEntry {
     pub fn from_measurement(
         metric: Metric,
         dim: usize,
+        backend: KernelBackend,
         kernel_pair_ns: f64,
         scalar_pair_ns: f64,
     ) -> Self {
@@ -68,6 +73,7 @@ impl ProfileEntry {
         ProfileEntry {
             metric,
             dim,
+            backend,
             kernel_pair_ns,
             scalar_pair_ns,
             weights: CostWeights {
@@ -136,22 +142,46 @@ impl CalibrationProfile {
     }
 
     /// Weights for a `(metric, dim)` pair: exact row, else nearest
-    /// dimension for the metric, else unit.
+    /// dimension for the metric, else unit — preferring rows measured
+    /// under this process's active kernel backend (see
+    /// [`CalibrationProfile::resolve`]).
     pub fn weights_for(&self, metric: Metric, dim: usize) -> CostWeights {
-        let mut best: Option<(usize, CostWeights)> = None;
-        for e in &self.entries {
-            if e.metric != metric {
-                continue;
+        self.resolve(metric, dim).0
+    }
+
+    /// Weights for `(metric, dim)` plus the backend they were measured
+    /// under, so plan reports can attribute their cost constants.
+    ///
+    /// Rows measured under [`dod_core::active_backend`] are preferred
+    /// (even at a dimension gap) over rows from another backend, so one
+    /// checked-in profile carrying both scalar and vector rows serves
+    /// every build. Within a backend the usual exact-dim /
+    /// nearest-dim order applies; with no matching metric at all the
+    /// result is `(UNIT, Scalar)`.
+    pub fn resolve(&self, metric: Metric, dim: usize) -> (CostWeights, KernelBackend) {
+        let active = dod_core::active_backend();
+        for pass in 0..2 {
+            let mut best: Option<(usize, CostWeights, KernelBackend)> = None;
+            for e in &self.entries {
+                if e.metric != metric {
+                    continue;
+                }
+                if pass == 0 && e.backend != active {
+                    continue;
+                }
+                let gap = e.dim.abs_diff(dim);
+                if gap == 0 {
+                    return (e.weights, e.backend);
+                }
+                if best.is_none_or(|(g, _, _)| gap < g) {
+                    best = Some((gap, e.weights, e.backend));
+                }
             }
-            let gap = e.dim.abs_diff(dim);
-            if gap == 0 {
-                return e.weights;
-            }
-            if best.is_none_or(|(g, _)| gap < g) {
-                best = Some((gap, e.weights));
+            if let Some((_, w, b)) = best {
+                return (w, b);
             }
         }
-        best.map_or(CostWeights::UNIT, |(_, w)| w)
+        (CostWeights::UNIT, KernelBackend::Scalar)
     }
 
     /// Serializes to the `dod-calibration/v1` JSON document.
@@ -165,10 +195,12 @@ impl CalibrationProfile {
         s.push_str("  \"entries\": [\n");
         for (i, e) in self.entries.iter().enumerate() {
             s.push_str(&format!(
-                "    {{\"metric\": \"{}\", \"dim\": {}, \"kernel_pair_ns\": {:.4}, \
-                 \"scalar_pair_ns\": {:.4}, \"pair\": {:.4}, \"structural\": {:.4}}}{}\n",
+                "    {{\"metric\": \"{}\", \"dim\": {}, \"backend\": \"{}\", \
+                 \"kernel_pair_ns\": {:.4}, \"scalar_pair_ns\": {:.4}, \"pair\": {:.4}, \
+                 \"structural\": {:.4}}}{}\n",
                 e.metric.name(),
                 e.dim,
+                e.backend.name(),
                 e.kernel_pair_ns,
                 e.scalar_pair_ns,
                 e.weights.pair,
@@ -226,6 +258,12 @@ impl CalibrationProfile {
                     "entry {i}: dim must be >= 1"
                 )));
             }
+            let backend = match row.get("backend").and_then(Value::as_str) {
+                None => KernelBackend::Scalar,
+                Some(name) => backend_from_name(name).ok_or_else(|| {
+                    CalibrationError::new(format!("entry {i}: unknown backend {name:?}"))
+                })?,
+            };
             let weights = CostWeights {
                 pair: field_num("pair")?,
                 structural: field_num("structural")?,
@@ -242,6 +280,7 @@ impl CalibrationProfile {
             entries.push(ProfileEntry {
                 metric,
                 dim,
+                backend,
                 kernel_pair_ns: field_num("kernel_pair_ns")?,
                 scalar_pair_ns: field_num("scalar_pair_ns")?,
                 weights,
@@ -258,6 +297,16 @@ impl CalibrationProfile {
         let text = std::fs::read_to_string(path)
             .map_err(|e| CalibrationError::new(format!("read {path}: {e}")))?;
         Self::from_json(&text)
+    }
+}
+
+/// Inverse of [`KernelBackend::name`].
+pub fn backend_from_name(name: &str) -> Option<KernelBackend> {
+    match name {
+        "scalar" => Some(KernelBackend::Scalar),
+        "avx2" => Some(KernelBackend::Avx2),
+        "neon" => Some(KernelBackend::Neon),
+        _ => None,
     }
 }
 
@@ -494,9 +543,9 @@ mod tests {
 
     fn sample_profile() -> CalibrationProfile {
         CalibrationProfile::new(vec![
-            ProfileEntry::from_measurement(Metric::Euclidean, 2, 1.0, 4.0),
-            ProfileEntry::from_measurement(Metric::Euclidean, 4, 1.0, 6.0),
-            ProfileEntry::from_measurement(Metric::Manhattan, 3, 2.0, 5.0),
+            ProfileEntry::from_measurement(Metric::Euclidean, 2, KernelBackend::Scalar, 1.0, 4.0),
+            ProfileEntry::from_measurement(Metric::Euclidean, 4, KernelBackend::Scalar, 1.0, 6.0),
+            ProfileEntry::from_measurement(Metric::Manhattan, 3, KernelBackend::Scalar, 2.0, 5.0),
         ])
     }
 
@@ -550,7 +599,8 @@ mod tests {
 
     #[test]
     fn measurement_ratio_floors_at_one() {
-        let e = ProfileEntry::from_measurement(Metric::Euclidean, 2, 5.0, 2.0);
+        let e =
+            ProfileEntry::from_measurement(Metric::Euclidean, 2, KernelBackend::Scalar, 5.0, 2.0);
         assert_eq!(e.weights.structural, 1.0);
         assert_eq!(e.weights.pair, 1.0);
     }

@@ -36,6 +36,13 @@ pub const DEFAULT_STALENESS_THRESHOLD: f64 = 0.5;
 /// many partitions the plan holds.
 pub const PARTITION_WORK_TOP_K: usize = 16;
 
+/// Queries scored per partition pass in [`Engine::score_batch`]: each
+/// partition's core tile is visited once per group of this many queries
+/// through the kernel layer's query-blocked entry point. Matches the
+/// kernel's register-blocking width so a full group fills two 4-query
+/// vector blocks.
+pub const SCORE_GROUP: usize = 8;
+
 /// The verdict for one query point scored under a degraded-mode time
 /// budget ([`Engine::score_batch_degraded`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -688,6 +695,15 @@ impl Shared {
     }
 
     /// Scores a batch against the resident state (the `score` op).
+    ///
+    /// Queries run in groups of [`SCORE_GROUP`] with the partition loop
+    /// outside the group: every partition's core tile is visited once
+    /// per group through the kernel layer's query-blocked entry point
+    /// rather than once per query. The visit order swap is exact — a
+    /// query's early-exit cap at partition `pid` depends only on its
+    /// neighbors found in partitions before `pid`, which both orders
+    /// accumulate identically — so per-query results, per-partition work,
+    /// and traffic counters all match the query-at-a-time loop.
     fn score(
         &self,
         points: &[Vec<f64>],
@@ -702,51 +718,71 @@ impl Shared {
         let n_parts = resident.plan.as_ref().map_or(0, |p| p.mt.num_partitions());
         let mut traffic = vec![0u64; n_parts];
         let mut work = vec![0u64; n_parts];
-        for q in points {
+        for group in points.chunks(SCORE_GROUP.max(1)) {
             if let Some(d) = deadline {
                 if Instant::now() > d {
                     return Err(EngineError::DeadlineExceeded);
                 }
             }
-            if q.len() != self.dim {
-                return Err(EngineError::Dimension {
-                    expected: self.dim,
-                    got: q.len(),
-                });
+            for q in group {
+                if q.len() != self.dim {
+                    return Err(EngineError::Dimension {
+                        expected: self.dim,
+                        got: q.len(),
+                    });
+                }
             }
             let Some(plan) = &resident.plan else {
                 // Empty resident dataset: zero neighbors, always outlier.
-                out.push(ScorePoint {
+                out.extend(group.iter().map(|_| ScorePoint {
                     neighbors: 0,
                     outlier: true,
-                });
+                }));
                 continue;
             };
-            traffic[plan.mt.plan.locate(q) as usize] += 1;
-            let mut neighbors = 0usize;
+            for q in group {
+                traffic[plan.mt.plan.locate(q) as usize] += 1;
+            }
+            let mut neighbors = vec![0usize; group.len()];
+            let mut qrefs: Vec<&[f64]> = Vec::with_capacity(group.len());
+            let mut caps: Vec<usize> = Vec::with_capacity(group.len());
+            let mut members: Vec<usize> = Vec::with_capacity(group.len());
             for (pid, slot) in plan.states.iter().enumerate() {
-                if neighbors >= k {
+                if neighbors.iter().all(|&nb| nb >= k) {
                     break;
                 }
                 // Core sets partition the dataset (Lemma 3.1 replicates
                 // only support copies), so partitions whose rectangle is
                 // farther than `r` cannot contribute core neighbors.
                 let rect = plan.mt.plan.rect(pid);
-                if metric.min_dist_to_rect(rect.min(), rect.max(), q) > r {
+                qrefs.clear();
+                caps.clear();
+                members.clear();
+                for (j, q) in group.iter().enumerate() {
+                    if neighbors[j] >= k || metric.min_dist_to_rect(rect.min(), rect.max(), q) > r {
+                        continue;
+                    }
+                    members.push(j);
+                    qrefs.push(q.as_slice());
+                    caps.push(k - neighbors[j]);
+                }
+                if members.is_empty() {
                     continue;
                 }
                 let state = read_recover(slot);
                 if state.core_len() == 0 {
                     continue;
                 }
-                let (found, w) = state.count_core_neighbors_traced(q, k - neighbors);
-                neighbors += found;
-                work[pid] += w;
+                let results = state.count_core_neighbors_multi_traced(&qrefs, &caps);
+                for (&j, (found, w)) in members.iter().zip(results) {
+                    neighbors[j] += found;
+                    work[pid] += w;
+                }
             }
-            out.push(ScorePoint {
-                neighbors,
-                outlier: neighbors < k,
-            });
+            out.extend(neighbors.iter().map(|&nb| ScorePoint {
+                neighbors: nb,
+                outlier: nb < k,
+            }));
         }
         self.record_partition_work(rid, "score", resident.plan.as_ref(), &work);
         if traffic.iter().any(|&t| t > 0) {

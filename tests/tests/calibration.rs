@@ -76,6 +76,7 @@ fn calibration_changes_assignments_but_never_answers() {
     let heavy = CalibrationProfile::new(vec![ProfileEntry::from_measurement(
         Metric::Euclidean,
         2,
+        dod_core::KernelBackend::Scalar,
         1.0,
         6.0,
     )]);
@@ -136,6 +137,7 @@ fn calibrated_report_is_self_consistent() {
     let heavy = CalibrationProfile::new(vec![ProfileEntry::from_measurement(
         Metric::Euclidean,
         2,
+        dod_core::KernelBackend::Scalar,
         1.0,
         4.0,
     )]);

@@ -4,7 +4,7 @@
 //! sets from every detector. Covers all three metrics, dimensions 1–8,
 //! tile sizes 1..64, k-boundary hit patterns, and duplicated points.
 
-use dod_core::{Metric, NeighborPredicate, OutlierParams, PointId, PointSet};
+use dod_core::{FilterTile, Metric, NeighborPredicate, OutlierParams, PointId, PointSet};
 use dod_detect::{CellBased, Detector, IndexBased, NestedLoop, Partition, PivotBased, Reference};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -143,6 +143,53 @@ proptest! {
         prop_assert_eq!(out.reached(need), found >= need);
     }
 
+    // The multi-query entry point is indistinguishable from per-query
+    // dispatch AND from the scalar oracle, for every metric, dimension
+    // 1–8, and query counts spanning below/at/above the 4-lane register
+    // block (1, 3, 4, 5, 8, 9). The f32 prefilter over the same tile
+    // must agree too.
+    #[test]
+    fn multi_query_tile_counts_match_scalar(
+        seed in 0u64..10_000,
+        metric_idx in 0usize..3,
+        dim in 1usize..9,
+        points in 1usize..64,
+        nq_idx in 0usize..6,
+        r in 0.1f64..4.0,
+    ) {
+        const QUERY_COUNTS: [usize; 6] = [1, 3, 4, 5, 8, 9];
+        let nq = QUERY_COUNTS[nq_idx];
+        let metric = METRICS[metric_idx];
+        let tile = random_tile(seed, points, dim, 3.0);
+        let queries = random_tile(seed.wrapping_add(1), nq, dim, 3.0);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x51D);
+        let needs: Vec<usize> = (0..nq).map(|_| rng.gen_range(0..10usize)).collect();
+        let pred = NeighborPredicate::with_metric(metric, r);
+        let outs = pred.count_within_tile_multi(&queries, &tile, &needs);
+        prop_assert_eq!(outs.len(), nq);
+        let filter = FilterTile::build(&tile, dim);
+        for (j, out) in outs.iter().enumerate() {
+            let q = &queries[j * dim..(j + 1) * dim];
+            let single = pred.count_within_tile(q, &tile, needs[j]);
+            prop_assert_eq!(
+                (out.found, out.scanned),
+                (single.found, single.scanned),
+                "multi vs single: {} dim {} q {}/{}", metric.name(), dim, j, nq
+            );
+            let (found, scanned) = scalar_scan(metric, r, q, &tile, dim, needs[j]);
+            prop_assert_eq!(
+                (out.found, out.scanned),
+                (found, scanned),
+                "multi vs oracle: {} dim {} q {}/{}", metric.name(), dim, j, nq
+            );
+            let pre = pred.count_within_tile_prefiltered(q, &tile, &filter, needs[j]);
+            prop_assert_eq!(
+                (pre.found, pre.scanned),
+                (found, scanned),
+                "prefilter vs oracle: {} dim {} q {}/{}", metric.name(), dim, j, nq
+            );
+        }
+    }
 }
 
 proptest! {
@@ -239,6 +286,52 @@ fn duplicate_points_are_exact() {
                 assert!(
                     det.detect(&partition, params).outliers.is_empty(),
                     "{name} under {} in dim {dim}",
+                    metric.name()
+                );
+            }
+        }
+    }
+}
+
+/// f32-prefilter shell boundary: points sitting *exactly* at distance
+/// `r` land inside the uncertainty shell, get rechecked in f64, and
+/// count as neighbors (the predicate is inclusive) — for every metric
+/// and with the boundary point at every position of a cache block.
+#[test]
+fn prefilter_exact_boundary_points_are_inclusive() {
+    // Distances engineered to be exact: Euclid 3-4-5, Manhattan 3+4=7,
+    // Chebyshev max(3,4)=4.
+    for (metric, r) in [
+        (Metric::Euclidean, 5.0),
+        (Metric::Manhattan, 7.0),
+        (Metric::Chebyshev, 4.0),
+    ] {
+        for boundary_pos in [0usize, 15, 31, 32, 33, 63, 69] {
+            let dim = 2;
+            let mut tile = vec![100.0; 70 * dim]; // far outside
+            tile[boundary_pos * dim] = 3.0; // exactly at distance r
+            tile[boundary_pos * dim + 1] = 4.0;
+            if boundary_pos + 1 < 70 {
+                tile[(boundary_pos + 1) * dim] = 0.5; // strictly inside
+                tile[(boundary_pos + 1) * dim + 1] = 0.5;
+            }
+            let q = vec![0.0; dim];
+            let pred = NeighborPredicate::with_metric(metric, r);
+            let filter = FilterTile::build(&tile, dim);
+            for need in [1usize, 2, 3, usize::MAX] {
+                let pre = pred.count_within_tile_prefiltered(&q, &tile, &filter, need);
+                let (found, scanned) = scalar_scan(metric, r, &q, &tile, dim, need);
+                assert_eq!(
+                    (pre.found, pre.scanned),
+                    (found, scanned),
+                    "{} boundary_pos {boundary_pos} need {need}",
+                    metric.name()
+                );
+                let multi = pred.count_within_tile_multi(&q, &tile, &[need]);
+                assert_eq!(
+                    (multi[0].found, multi[0].scanned),
+                    (found, scanned),
+                    "{} multi boundary_pos {boundary_pos} need {need}",
                     metric.name()
                 );
             }
