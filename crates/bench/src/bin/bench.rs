@@ -44,7 +44,11 @@ fn run_kernels(args: &[String]) -> ExitCode {
         );
     }
     if let Some(path) = json_path {
-        std::fs::write(&path, kernels::to_json(&rows)).expect("write json");
+        dod_obs::write_atomic(
+            std::path::Path::new(&path),
+            kernels::to_json(&rows).as_bytes(),
+        )
+        .expect("write json");
         println!("\nwrote {path}");
     }
     ExitCode::SUCCESS
@@ -75,7 +79,8 @@ fn run_calibrate(args: &[String]) -> ExitCode {
     let profile = calibrate::run_all(min_time_s);
     print!("{}", calibrate::render_table(&profile));
     if let Some(path) = json_path {
-        std::fs::write(&path, profile.to_json()).expect("write json");
+        dod_obs::write_atomic(std::path::Path::new(&path), profile.to_json().as_bytes())
+            .expect("write json");
         println!("\nwrote {path}");
     }
     ExitCode::SUCCESS
@@ -144,7 +149,11 @@ fn run_pipeline(args: &[String]) -> ExitCode {
         );
     }
     if let Some(path) = json_path {
-        std::fs::write(&path, pipeline::to_json(&rows, chaos_seed)).expect("write json");
+        dod_obs::write_atomic(
+            std::path::Path::new(&path),
+            pipeline::to_json(&rows, chaos_seed).as_bytes(),
+        )
+        .expect("write json");
         println!("\nwrote {path}");
     }
     ExitCode::SUCCESS
@@ -185,7 +194,11 @@ fn run_obs_overhead(args: &[String]) -> ExitCode {
         bench::obs_overhead::OVERHEAD_BUDGET_PCT
     );
     if let Some(path) = json_path {
-        std::fs::write(&path, obs_overhead::to_json(&r, quick)).expect("write json");
+        dod_obs::write_atomic(
+            std::path::Path::new(&path),
+            obs_overhead::to_json(&r, quick).as_bytes(),
+        )
+        .expect("write json");
         println!("\nwrote {path}");
     }
     // Quick runs are smoke tests: too short to hold the budget to, so
@@ -238,7 +251,11 @@ fn run_ingest(args: &[String]) -> ExitCode {
         r.epochs
     );
     if let Some(path) = json_path {
-        std::fs::write(&path, ingest::to_json(&r, quick)).expect("write json");
+        dod_obs::write_atomic(
+            std::path::Path::new(&path),
+            ingest::to_json(&r, quick).as_bytes(),
+        )
+        .expect("write json");
         println!("\nwrote {path}");
     }
     // Quick runs are smoke tests: too short to hold the budget to, so

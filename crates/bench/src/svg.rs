@@ -89,7 +89,7 @@ pub fn write_plan_svg(
     sample: Option<&PointSet>,
     algorithms: Option<&[AlgorithmKind]>,
 ) -> std::io::Result<()> {
-    std::fs::write(path, plan_to_svg(plan, sample, algorithms))
+    dod_obs::write_atomic(path, plan_to_svg(plan, sample, algorithms).as_bytes())
 }
 
 /// Minimal check that `s` is a well-formed single-root SVG (used by tests

@@ -62,6 +62,16 @@ pub struct Args {
     /// re-weighting the planner's cost model; absent means the legacy
     /// unit-weighted constants.
     pub calibration: Option<String>,
+    /// Durability root: checkpoint completed tasks (and divert dead ones
+    /// to the per-job dead-letter queue) under this directory, and
+    /// resume from it on the next run.
+    pub checkpoint_dir: Option<String>,
+    /// Operator-chosen job name for the checkpoint store; defaults to
+    /// the input file's stem.
+    pub job_name: Option<String>,
+    /// Kill the run after this many fresh task completions (a
+    /// deterministic mid-stage interrupt, for exercising resume).
+    pub interrupt_after: Option<u64>,
 }
 
 /// Parsed `serve` subcommand: the base pipeline arguments plus the
@@ -107,6 +117,26 @@ pub struct ObsArgs {
     pub top: usize,
 }
 
+/// What `dod jobs` should do with the checkpoint store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobsAction {
+    /// Summarize every job under the store root.
+    List,
+    /// Print one job's manifest, task progress, and dead-letter queue.
+    Inspect(String),
+    /// Flag a job's dead-letter entries for re-execution.
+    Redrive(String),
+}
+
+/// Parsed `jobs` subcommand: durable-state operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobsArgs {
+    /// Checkpoint store root (the `--checkpoint-dir` of the runs).
+    pub dir: String,
+    /// The requested operation.
+    pub action: JobsAction,
+}
+
 /// A parsed invocation.
 #[derive(Debug, Clone)]
 pub enum Command {
@@ -118,6 +148,8 @@ pub enum Command {
     Obs(ObsArgs),
     /// Plan introspection: per-partition candidate costs and winners.
     Explain(ExplainArgs),
+    /// Checkpoint-store operations: list, inspect, redrive.
+    Jobs(JobsArgs),
 }
 
 /// Usage string printed on `--help` or bad arguments.
@@ -129,6 +161,9 @@ USAGE:
     dod serve --input <points.csv> --r <radius> --k <count> [options]
     dod explain --input <points.csv> --r <radius> --k <count> [--json] [options]
     dod obs <trace.jsonl> [--top <int>]
+    dod jobs list --dir <checkpoints>
+    dod jobs inspect <job-id> --dir <checkpoints>
+    dod jobs redrive <job-id> --dir <checkpoints>
 
 A point is an outlier iff it has fewer than k neighbors within distance r.
 Rows of the CSV are comma-separated coordinates (any dimensionality).
@@ -155,6 +190,12 @@ JSON document for scripting.
 request latency percentiles, the top-k slowest requests as span trees,
 and a predicted-vs-actual cost audit per partition.
 
+`dod jobs` operates on the durable state a checkpointed run leaves under
+--checkpoint-dir: `list` summarizes every job (task progress, dead
+letters, checkpoint age), `inspect` prints one job's manifest and its
+dead-letter queue, and `redrive` flags dead tasks for re-execution on
+the next run with the same arguments.
+
 SERVE OPTIONS:
     --workers <int>         engine worker threads                         [2]
     --queue <int>           submission-queue bound (excess rejected)     [64]
@@ -171,6 +212,9 @@ EXPLAIN OPTIONS:
 
 OBS OPTIONS:
     --top <int>             slow requests to expand into span trees       [5]
+
+JOBS OPTIONS:
+    --dir <path>            checkpoint store root (required)
 
 OPTIONS:
     --input <path>          input CSV (required)
@@ -194,6 +238,15 @@ OPTIONS:
                             `bench calibrate`) re-weighting the planner's
                             per-pair vs structural costs per metric and
                             dimension                         [unit weights]
+    --checkpoint-dir <path> persist per-task completion state and the
+                            dead-letter queue under this directory; an
+                            interrupted run re-invoked with the same
+                            arguments resumes from the last completed
+                            task
+    --job-name <name>       checkpoint job name            [input file stem]
+    --interrupt-after <n>   abort after n fresh task completions (a
+                            deterministic mid-stage kill, for exercising
+                            checkpoint resume)
     --help                  show this help
 ";
 
@@ -220,6 +273,7 @@ pub fn parse_command(args: &[String]) -> Result<Command, ArgError> {
         Some("serve") => {}
         Some("obs") => return parse_obs(&args[1..]).map(Command::Obs),
         Some("explain") => return parse_explain(&args[1..]).map(Command::Explain),
+        Some("jobs") => return parse_jobs(&args[1..]).map(Command::Jobs),
         _ => return parse(args).map(Command::Run),
     }
     let mut workers = 2usize;
@@ -310,6 +364,42 @@ fn parse_explain(args: &[String]) -> Result<ExplainArgs, ArgError> {
     })
 }
 
+/// Parses the `jobs` subcommand: an action (`list` | `inspect <job>` |
+/// `redrive <job>`) plus the required `--dir`.
+fn parse_jobs(args: &[String]) -> Result<JobsArgs, ArgError> {
+    let mut dir = None;
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Err(ArgError::Help),
+            "--dir" => {
+                dir = Some(
+                    it.next()
+                        .ok_or_else(|| ArgError::Invalid("--dir needs a value".into()))?
+                        .clone(),
+                )
+            }
+            other if other.starts_with("--") => {
+                return Err(ArgError::Invalid(format!("unknown argument {other:?}")))
+            }
+            word => positional.push(word.to_string()),
+        }
+    }
+    let action = match positional.as_slice() {
+        [action] if action == "list" => JobsAction::List,
+        [action, job] if action == "inspect" => JobsAction::Inspect(job.clone()),
+        [action, job] if action == "redrive" => JobsAction::Redrive(job.clone()),
+        _ => {
+            return Err(ArgError::Invalid(
+                "jobs needs one of: list, inspect <job-id>, redrive <job-id>".into(),
+            ))
+        }
+    };
+    let dir = dir.ok_or_else(|| ArgError::Invalid("jobs needs --dir <path>".into()))?;
+    Ok(JobsArgs { dir, action })
+}
+
 /// Parses the `obs` subcommand: a positional trace path plus `--top`.
 fn parse_obs(args: &[String]) -> Result<ObsArgs, ArgError> {
     let mut trace = None;
@@ -359,6 +449,9 @@ pub fn parse(args: &[String]) -> Result<Args, ArgError> {
     let mut profile = false;
     let mut chaos_seed = None;
     let mut calibration = None;
+    let mut checkpoint_dir = None;
+    let mut job_name = None;
+    let mut interrupt_after = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -438,6 +531,15 @@ pub fn parse(args: &[String]) -> Result<Args, ArgError> {
                 )
             }
             "--calibration" => calibration = Some(value("--calibration")?.clone()),
+            "--checkpoint-dir" => checkpoint_dir = Some(value("--checkpoint-dir")?.clone()),
+            "--job-name" => job_name = Some(value("--job-name")?.clone()),
+            "--interrupt-after" => {
+                interrupt_after = Some(
+                    value("--interrupt-after")?
+                        .parse::<u64>()
+                        .map_err(|e| ArgError::Invalid(format!("--interrupt-after: {e}")))?,
+                )
+            }
             other => return Err(ArgError::Invalid(format!("unknown argument {other:?}"))),
         }
     }
@@ -451,6 +553,16 @@ pub fn parse(args: &[String]) -> Result<Args, ArgError> {
     }
     if !(sample_rate > 0.0 && sample_rate <= 1.0) {
         return Err(ArgError::Invalid("--sample-rate must be in (0, 1]".into()));
+    }
+    if job_name.is_some() && checkpoint_dir.is_none() {
+        return Err(ArgError::Invalid(
+            "--job-name has no effect without --checkpoint-dir".into(),
+        ));
+    }
+    if interrupt_after == Some(0) {
+        return Err(ArgError::Invalid(
+            "--interrupt-after must be at least 1".into(),
+        ));
     }
     Ok(Args {
         input,
@@ -466,6 +578,9 @@ pub fn parse(args: &[String]) -> Result<Args, ArgError> {
         profile,
         chaos_seed,
         calibration,
+        checkpoint_dir,
+        job_name,
+        interrupt_after,
     })
 }
 
@@ -892,6 +1007,101 @@ mod tests {
                 "--calibration"
             ])),
             Err(ArgError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn checkpoint_arguments() {
+        let a = parse(&v(&["--input", "x", "--r", "1", "--k", "2"])).unwrap();
+        assert_eq!(a.checkpoint_dir, None);
+        assert_eq!(a.job_name, None);
+        assert_eq!(a.interrupt_after, None);
+
+        let a = parse(&v(&[
+            "--input",
+            "x",
+            "--r",
+            "1",
+            "--k",
+            "2",
+            "--checkpoint-dir",
+            "ck",
+            "--job-name",
+            "nightly",
+            "--interrupt-after",
+            "5",
+        ]))
+        .unwrap();
+        assert_eq!(a.checkpoint_dir.as_deref(), Some("ck"));
+        assert_eq!(a.job_name.as_deref(), Some("nightly"));
+        assert_eq!(a.interrupt_after, Some(5));
+
+        // --job-name without a checkpoint dir is a user error.
+        assert!(matches!(
+            parse(&v(&[
+                "--input",
+                "x",
+                "--r",
+                "1",
+                "--k",
+                "2",
+                "--job-name",
+                "nightly"
+            ])),
+            Err(ArgError::Invalid(_))
+        ));
+        assert!(matches!(
+            parse(&v(&[
+                "--input",
+                "x",
+                "--r",
+                "1",
+                "--k",
+                "2",
+                "--interrupt-after",
+                "0"
+            ])),
+            Err(ArgError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn jobs_subcommand() {
+        let cmd = parse_command(&v(&["jobs", "list", "--dir", "ck"])).unwrap();
+        let Command::Jobs(jobs) = cmd else {
+            panic!("expected jobs command");
+        };
+        assert_eq!(jobs.dir, "ck");
+        assert_eq!(jobs.action, JobsAction::List);
+
+        let cmd = parse_command(&v(&["jobs", "inspect", "nightly-detect", "--dir", "ck"])).unwrap();
+        let Command::Jobs(jobs) = cmd else {
+            panic!("expected jobs command");
+        };
+        assert_eq!(jobs.action, JobsAction::Inspect("nightly-detect".into()));
+
+        let cmd = parse_command(&v(&["jobs", "--dir", "ck", "redrive", "nightly-detect"])).unwrap();
+        let Command::Jobs(jobs) = cmd else {
+            panic!("expected jobs command");
+        };
+        assert_eq!(jobs.action, JobsAction::Redrive("nightly-detect".into()));
+
+        for bad in [
+            vec!["jobs"],
+            vec!["jobs", "list"],
+            vec!["jobs", "inspect", "--dir", "ck"],
+            vec!["jobs", "explode", "x", "--dir", "ck"],
+            vec!["jobs", "list", "inspect", "x", "--dir", "ck"],
+            vec!["jobs", "list", "--bogus", "--dir", "ck"],
+        ] {
+            assert!(
+                matches!(parse_command(&v(&bad)), Err(ArgError::Invalid(_))),
+                "accepted {bad:?}"
+            );
+        }
+        assert!(matches!(
+            parse_command(&v(&["jobs", "--help"])),
+            Err(ArgError::Help)
         ));
     }
 

@@ -1,0 +1,100 @@
+//! The `dod jobs` subcommand: operator tooling over the durable state a
+//! checkpointed run leaves behind — list every job's progress, inspect
+//! one job's manifest and dead-letter queue, and flag dead tasks for
+//! redrive.
+
+use crate::args::{JobsAction, JobsArgs};
+use mapreduce::checkpoint::{job_summary, list_jobs, mark_redrive, JobSummary};
+use std::path::Path;
+
+/// Entry point from `main`.
+pub fn run(args: &JobsArgs) -> Result<(), String> {
+    let root = Path::new(&args.dir);
+    match &args.action {
+        JobsAction::List => list(root),
+        JobsAction::Inspect(job) => inspect(root, job),
+        JobsAction::Redrive(job) => redrive(root, job),
+    }
+}
+
+fn age_str(age: Option<std::time::Duration>) -> String {
+    match age {
+        Some(a) => format!("{:.1}s ago", a.as_secs_f64()),
+        None => "-".to_string(),
+    }
+}
+
+fn progress(s: &JobSummary) -> String {
+    format!(
+        "map {}/{}, reduce {}/{}",
+        s.map_done, s.map_tasks, s.reduce_done, s.reducers
+    )
+}
+
+fn list(root: &Path) -> Result<(), String> {
+    let jobs = list_jobs(root).map_err(|e| e.to_string())?;
+    if jobs.is_empty() {
+        println!("no jobs under {}", root.display());
+        return Ok(());
+    }
+    println!(
+        "{:<28} {:<24} {:>4} {:>14}",
+        "job", "progress", "dlq", "last write"
+    );
+    for job in &jobs {
+        println!(
+            "{:<28} {:<24} {:>4} {:>14}",
+            job.job_id,
+            progress(job),
+            job.dlq.len(),
+            age_str(job.last_write_age)
+        );
+    }
+    Ok(())
+}
+
+fn inspect(root: &Path, job: &str) -> Result<(), String> {
+    let s = job_summary(root, job).map_err(|e| e.to_string())?;
+    println!("job:        {}", s.job_id);
+    println!("tag:        {}", s.tag);
+    println!("progress:   {}", progress(&s));
+    println!("last write: {}", age_str(s.last_write_age));
+    if s.dlq.is_empty() {
+        println!("dead-letter queue: empty");
+        return Ok(());
+    }
+    println!("dead-letter queue ({} entries):", s.dlq.len());
+    for e in &s.dlq {
+        println!(
+            "  {} task {} — {} attempt(s){}{}",
+            e.stage,
+            e.task,
+            e.attempts,
+            match e.fault_seed {
+                Some(seed) => format!(", fault seed {seed}"),
+                None => String::new(),
+            },
+            if e.redrive { ", redrive pending" } else { "" }
+        );
+        for err in &e.errors {
+            println!("      {err}");
+        }
+    }
+    Ok(())
+}
+
+fn redrive(root: &Path, job: &str) -> Result<(), String> {
+    // Surface a job-not-found error rather than mark_redrive's silent
+    // 0 for a missing dlq.jsonl.
+    let s = job_summary(root, job).map_err(|e| e.to_string())?;
+    let marked = mark_redrive(root, job).map_err(|e| e.to_string())?;
+    match (marked, s.dlq.len()) {
+        (0, 0) => println!("{job}: dead-letter queue is empty, nothing to redrive"),
+        (0, n) => println!("{job}: all {n} dead task(s) already flagged for redrive"),
+        (m, _) => println!(
+            "{job}: {m} dead task(s) flagged for redrive — re-run the job with \
+             the same arguments to re-execute them"
+        ),
+    }
+    Ok(())
+}

@@ -10,6 +10,7 @@
 
 mod args;
 mod explain_cmd;
+mod jobs_cmd;
 mod obs_cmd;
 mod serve;
 
@@ -54,7 +55,13 @@ fn build_runner(args: &Args, obs: Obs) -> Result<DodRunner, String> {
             .map_err(|e| format!("loading calibration {path}: {e}"))?;
         builder = builder.calibration(profile);
     }
-    if let Some(seed) = args.chaos_seed {
+    let mut fault = args.chaos_seed.map(FaultPlan::chaos);
+    if let Some(n) = args.interrupt_after {
+        // The interrupt rides on the fault plan (chaos seed 0 when none
+        // was requested — seed-derived faults stay off unless armed).
+        fault = Some(fault.unwrap_or(FaultPlan::new(0)).with_interrupt_after(n));
+    }
+    if let Some(plan) = fault {
         // Deterministic fault injection: same seed, same faults. Extra
         // retries keep chaos-rate plans recoverable so the run usually
         // still produces the exact answer.
@@ -62,8 +69,21 @@ fn build_runner(args: &Args, obs: Obs) -> Result<DodRunner, String> {
             ClusterConfig::default()
                 .with_retries(6)
                 .with_backoff_ms(1)
-                .with_fault(FaultPlan::chaos(seed)),
+                .with_fault(plan),
         );
+    }
+    if let Some(dir) = &args.checkpoint_dir {
+        let job = match &args.job_name {
+            Some(name) => name.clone(),
+            // Default to the input file's stem, e.g. `points.csv` ->
+            // job ids `points-detect` / `points-candidates` / ....
+            None => std::path::Path::new(&args.input)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .filter(|s| !s.is_empty())
+                .unwrap_or_else(|| "job".to_string()),
+        };
+        builder = builder.checkpoint(dir, job);
     }
     let config = builder.build().map_err(|e| e.to_string())?;
     let builder = DodRunner::builder().config(config);
@@ -102,6 +122,13 @@ fn run(args: &Args) -> Result<(), String> {
         args.params.r,
         args.params.k
     );
+    if outcome.report.diverted_tasks > 0 {
+        eprintln!(
+            "warning: {} task(s) dead-lettered — the outlier set is PARTIAL; \
+             inspect with `dod jobs` and redrive when the fault is fixed",
+            outcome.report.diverted_tasks
+        );
+    }
 
     match &args.output {
         Some(path) => {
@@ -160,6 +187,7 @@ fn main() -> ExitCode {
                 Command::Serve(args) => serve::serve(args),
                 Command::Obs(args) => obs_cmd::run(args),
                 Command::Explain(args) => explain_cmd::run(args),
+                Command::Jobs(args) => jobs_cmd::run(args),
             };
             match result {
                 Ok(()) => ExitCode::SUCCESS,

@@ -324,7 +324,7 @@ fn health_json(h: &EngineHealth) -> String {
     format!(
         "{{\"v\":1,\"ok\":true,\"op\":\"stats\",\"partitions\":{},\"epoch\":{},\
          \"queue_depth\":{},\"in_flight\":{},\"workers\":{},\"panics\":{},\"requests\":{},\
-         \"points\":{},\"churn\":{}}}",
+         \"points\":{},\"churn\":{},\"dlq_depth\":{},\"checkpoint_age_ms\":{}}}",
         h.partitions,
         h.epoch,
         h.queue_depth,
@@ -333,7 +333,12 @@ fn health_json(h: &EngineHealth) -> String {
         h.panics,
         h.requests,
         h.points,
-        h.churn
+        h.churn,
+        h.dlq_depth,
+        match h.checkpoint_age_ms {
+            Some(ms) => ms.to_string(),
+            None => "null".to_string(),
+        }
     )
 }
 
@@ -384,6 +389,20 @@ pub fn render_metrics(ctx: &ServeContext) -> String {
         "Points inserted or removed since the last epoch swap.",
         h.churn as f64,
     );
+    w.gauge(
+        "dod_engine_dlq_depth",
+        "Dead-letter entries across this engine's durable jobs.",
+        h.dlq_depth as f64,
+    );
+    // Only meaningful once a durable write exists; absent otherwise so
+    // alerting can distinguish "no checkpointing" from "age 0".
+    if let Some(ms) = h.checkpoint_age_ms {
+        w.gauge(
+            "dod_engine_checkpoint_age_seconds",
+            "Seconds since the newest checkpoint write across this engine's durable jobs.",
+            ms as f64 / 1000.0,
+        );
+    }
     // Cost-audit state: cumulative calibration error per algorithm plus
     // mispredict totals, sampled at scrape time (the incremental
     // counters behind them flow through the recorder as

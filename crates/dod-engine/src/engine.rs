@@ -84,6 +84,13 @@ pub struct EngineHealth {
     /// Streaming mutations (inserts, removes, window expiries) applied
     /// since the last epoch swap.
     pub churn: u64,
+    /// Dead-letter entries across this engine's durable jobs (0 when the
+    /// config carries no checkpoint spec).
+    pub dlq_depth: u64,
+    /// Milliseconds since the newest checkpoint write across this
+    /// engine's durable jobs; `None` without a checkpoint spec or before
+    /// the first durable write.
+    pub checkpoint_age_ms: Option<u64>,
 }
 
 /// The id minted for one engine request, propagated as the `request`
@@ -1395,6 +1402,15 @@ impl Engine {
             let ds = lock_recover(&self.shared.dataset);
             (ds.alive_len, ds.churn)
         };
+        // Durability gauges are read straight off the checkpoint store's
+        // directory: cheap (a handful of stats on tiny files), and
+        // always consistent with what `dod jobs` would report.
+        let durability = self
+            .config()
+            .checkpoint
+            .as_ref()
+            .map(|spec| mapreduce::checkpoint::durability_stats(&spec.dir, &spec.job_id))
+            .unwrap_or_default();
         EngineHealth {
             queue_depth: self.pool.queue_depth(),
             in_flight: self.shared.in_flight.load(Ordering::Acquire),
@@ -1405,6 +1421,10 @@ impl Engine {
             requests: self.shared.requests.load(Ordering::Acquire),
             points,
             churn,
+            dlq_depth: durability.dlq_depth,
+            checkpoint_age_ms: durability
+                .last_checkpoint_age
+                .map(|age| age.as_millis() as u64),
         }
     }
 

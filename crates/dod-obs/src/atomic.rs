@@ -1,0 +1,101 @@
+//! Atomic file writes: temp file + fsync + rename.
+//!
+//! Every JSON artifact the workspace persists (checkpoints, dead-letter
+//! queues, bench reports, SVG renders) goes through [`write_atomic`] so a
+//! reader can never observe a half-written file: the bytes land in a
+//! sibling temp file, are flushed to stable storage, and only then are
+//! renamed over the destination. Rename within a directory is atomic on
+//! POSIX, so the destination either holds the old contents or the new
+//! ones, never a torn mix.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counter so concurrent writers in one process never collide
+/// on a temp-file name even when targeting the same destination.
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Write `bytes` to `path` atomically: temp file in the same directory,
+/// `fsync`, then rename over the destination. Best-effort fsync of the
+/// parent directory afterwards so the rename itself survives a crash.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path.file_name().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("atomic write target has no file name: {}", path.display()),
+        )
+    })?;
+    let seq = TEMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let tmp_name = format!(
+        ".{}.tmp.{}.{}",
+        file_name.to_string_lossy(),
+        std::process::id(),
+        seq
+    );
+    let tmp_path = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => Path::new(&tmp_name).to_path_buf(),
+    };
+    let result = (|| {
+        let mut f = File::create(&tmp_path)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        fs::rename(&tmp_path, path)?;
+        // The rename is durable only once the directory entry is flushed;
+        // failure here is tolerable (the file contents are already safe).
+        if let Some(d) = dir {
+            if let Ok(dh) = File::open(d) {
+                let _ = dh.sync_all();
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp_path);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("dod-obs-atomic-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn writes_contents_and_overwrites() {
+        let path = temp_path("basic.json");
+        write_atomic(&path, b"{\"a\":1}").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"{\"a\":1}");
+        write_atomic(&path, b"{\"a\":2}").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"{\"a\":2}");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn leaves_no_temp_files_behind() {
+        let dir = temp_path("tmpdir");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.json");
+        write_atomic(&path, b"payload").unwrap();
+        let extra: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name() != "artifact.json")
+            .collect();
+        assert!(extra.is_empty(), "stray files: {extra:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_path_without_file_name() {
+        assert!(write_atomic(Path::new("/"), b"x").is_err());
+    }
+}

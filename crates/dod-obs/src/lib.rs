@@ -37,6 +37,7 @@
 //! `DESIGN.md` (§Observability); [`render::render_summary`] folds any
 //! event stream into the human-readable table behind `dod --profile`.
 
+pub mod atomic;
 mod event;
 mod flight;
 mod hist;
@@ -52,6 +53,7 @@ pub mod render;
 pub mod replay;
 pub mod sync;
 
+pub use atomic::write_atomic;
 pub use event::{Event, EventKind, Value};
 pub use flight::{FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 pub use hist::{Histogram, HistogramSummary};

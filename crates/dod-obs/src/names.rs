@@ -91,6 +91,24 @@ pub const ENGINE_COST_MISPREDICTS: &str = "engine.cost.mispredicts";
 /// Labels: `partition`, `algorithm`, `better`, `ratio`.
 pub const ENGINE_COST_GROSS_MISPREDICT: &str = "engine.cost.gross_mispredict";
 
+/// Counter: task-completion records persisted to the checkpoint store.
+/// Labels: `stage` (`map` or `reduce`).
+pub const MAPREDUCE_CHECKPOINT_WRITE: &str = "mapreduce.checkpoint.write";
+
+/// Counter: tasks restored from the checkpoint store on resume and
+/// skipped by the scheduler instead of being re-executed. Labels:
+/// `stage`.
+pub const MAPREDUCE_CHECKPOINT_SKIP: &str = "mapreduce.checkpoint.skip";
+
+/// Counter: tasks that exhausted their retry budget and were diverted
+/// to the dead-letter queue instead of aborting the job. Labels:
+/// `stage`.
+pub const MAPREDUCE_DLQ_DIVERTED: &str = "mapreduce.dlq.diverted";
+
+/// Counter: dead-letter entries re-driven through the scheduler that
+/// completed and were resolved out of the queue. Labels: `stage`.
+pub const MAPREDUCE_DLQ_REDRIVEN: &str = "mapreduce.dlq.redriven";
+
 /// Centralized Prometheus `# HELP` text for well-known event names.
 ///
 /// [`crate::prom::render_snapshot`] consults this so every exposition
@@ -114,6 +132,18 @@ pub fn prom_help(event_name: &str) -> Option<&'static str> {
         }
         n if n == ENGINE_COST_MISPREDICTS => {
             "Partitions where a rejected plan candidate measured cheaper than the picked one."
+        }
+        n if n == MAPREDUCE_CHECKPOINT_WRITE => {
+            "Task-completion records persisted to the checkpoint store."
+        }
+        n if n == MAPREDUCE_CHECKPOINT_SKIP => {
+            "Tasks restored from a checkpoint on resume instead of re-executed."
+        }
+        n if n == MAPREDUCE_DLQ_DIVERTED => {
+            "Tasks diverted to the dead-letter queue after exhausting retries."
+        }
+        n if n == MAPREDUCE_DLQ_REDRIVEN => {
+            "Dead-letter entries re-driven through the scheduler and resolved."
         }
         _ => return None,
     })

@@ -17,6 +17,22 @@ use dod_obs::Obs;
 use dod_partition::sample::DEFAULT_SAMPLE_RATE;
 use dod_partition::AllocationSpec;
 use mapreduce::ClusterConfig;
+use std::path::PathBuf;
+
+/// Where to persist job durability state (checkpoints + dead-letter
+/// queue). Attaching one switches every MapReduce job the pipeline runs
+/// to its durable variant: completed tasks are checkpointed under
+/// `dir/<job_id>-<stage suffix>/` and an interrupted run resumes from
+/// the last completed task instead of starting over.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointSpec {
+    /// Root directory of the checkpoint store.
+    pub dir: PathBuf,
+    /// Operator-chosen job name; the pipeline appends a per-job suffix
+    /// (`-detect`, `-candidates`, `-verify`) for each MapReduce job it
+    /// launches.
+    pub job_id: String,
+}
 
 /// A [`DodConfig::builder`] validation failure.
 #[derive(Debug, Clone, PartialEq)]
@@ -104,6 +120,9 @@ pub struct DodConfig {
     /// loaded from `bench calibrate` output reweighs per-pair vs
     /// structural work to match the kernel layer's measured throughput.
     pub calibration: CalibrationProfile,
+    /// Durability root for checkpoint/resume and the dead-letter queue.
+    /// `None` (the default) runs every job in-memory only.
+    pub checkpoint: Option<CheckpointSpec>,
 }
 
 impl DodConfig {
@@ -130,6 +149,7 @@ impl DodConfig {
             paper_cost_model: false,
             obs: Obs::null(),
             calibration: CalibrationProfile::unit(),
+            checkpoint: None,
         }
     }
 
@@ -148,6 +168,7 @@ impl DodConfig {
             paper_cost_model: false,
             obs: Obs::null(),
             calibration: CalibrationProfile::unit(),
+            checkpoint: None,
         }
     }
 
@@ -167,6 +188,7 @@ impl DodConfig {
             paper_cost_model: self.paper_cost_model,
             obs: self.obs.clone(),
             calibration: self.calibration.clone(),
+            checkpoint: self.checkpoint.clone(),
         }
     }
 }
@@ -190,6 +212,7 @@ pub struct DodConfigBuilder {
     paper_cost_model: bool,
     obs: Obs,
     calibration: CalibrationProfile,
+    checkpoint: Option<CheckpointSpec>,
 }
 
 impl DodConfigBuilder {
@@ -259,6 +282,16 @@ impl DodConfigBuilder {
         self
     }
 
+    /// Enables durable jobs: checkpoints and the dead-letter queue are
+    /// persisted under `dir`, keyed by `job_id` plus a per-job suffix.
+    pub fn checkpoint(mut self, dir: impl Into<PathBuf>, job_id: impl Into<String>) -> Self {
+        self.checkpoint = Some(CheckpointSpec {
+            dir: dir.into(),
+            job_id: job_id.into(),
+        });
+        self
+    }
+
     /// Validates and finalizes the configuration.
     ///
     /// # Errors
@@ -301,6 +334,7 @@ impl DodConfigBuilder {
             paper_cost_model: self.paper_cost_model,
             obs: self.obs,
             calibration: self.calibration,
+            checkpoint: self.checkpoint,
         })
     }
 }

@@ -12,7 +12,8 @@ use dod_detect::cost::AlgorithmKind;
 use dod_detect::{Detection, Partition, PartitionState};
 use dod_obs::Obs;
 use dod_partition::Router;
-use mapreduce::{EstimateSize, Mapper, Reducer};
+use mapreduce::checkpoint::Json;
+use mapreduce::{Durable, EstimateSize, Mapper, Reducer};
 use std::sync::Arc;
 
 /// One raw input record: the point's stable id and its coordinates.
@@ -34,6 +35,30 @@ pub struct TaggedPoint {
 impl EstimateSize for TaggedPoint {
     fn estimated_bytes(&self) -> usize {
         1 + 8 + 8 * self.coords.len()
+    }
+}
+
+// Checkpointed detection jobs persist tagged points as `[support, id,
+// coords]`; f64 coordinates round-trip bit-exactly (see
+// `mapreduce::checkpoint::Durable`), keeping resumed runs identical to
+// uninterrupted ones.
+impl Durable for TaggedPoint {
+    fn encode(&self, out: &mut String) {
+        out.push('[');
+        self.support.encode(out);
+        out.push(',');
+        self.id.encode(out);
+        out.push(',');
+        self.coords.encode(out);
+        out.push(']');
+    }
+    fn decode(v: &Json) -> Option<Self> {
+        let (support, id, coords) = <(bool, PointId, Vec<f64>)>::decode(v)?;
+        Some(TaggedPoint {
+            support,
+            id,
+            coords,
+        })
     }
 }
 

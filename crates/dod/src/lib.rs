@@ -41,7 +41,7 @@ pub mod framework;
 pub mod pipeline;
 pub mod two_job;
 
-pub use config::{ConfigError, DodConfig, DodConfigBuilder};
+pub use config::{CheckpointSpec, ConfigError, DodConfig, DodConfigBuilder};
 pub use framework::TaggedPoint;
 pub use pipeline::{
     DetectionMode, DodError, DodOutcome, DodRunner, DodRunnerBuilder, Preprocessed, RunReport,

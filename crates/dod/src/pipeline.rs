@@ -26,13 +26,15 @@ use dod_obs::Value;
 use dod_partition::{
     sample_points, Dmt, LocalCostEstimator, MultiTacticPlan, PartitionStrategy, PlanContext, Router,
 };
-use mapreduce::{run_job_obs, BlockStore, JobError, JobMetrics};
+use mapreduce::checkpoint::{fingerprint_u64s, CheckpointStore, JobFingerprint};
+use mapreduce::{run_job_obs, BlockStore, JobError, JobMetrics, JobOutcome};
 use std::collections::HashSet;
 use std::sync::Arc;
 
-/// Per-job metrics, sorted outlier ids, and per-partition reduce times
-/// returned by one detection protocol run.
-type JobOutputs = (Vec<JobMetrics>, Vec<PointId>, Vec<(u32, Duration)>);
+/// Per-job metrics, sorted outlier ids, per-partition reduce times, and
+/// the number of tasks diverted to the dead-letter queue, returned by
+/// one detection protocol run.
+type JobOutputs = (Vec<JobMetrics>, Vec<PointId>, Vec<(u32, Duration)>, u64);
 use std::time::{Duration, Instant};
 
 /// Errors from a pipeline run.
@@ -163,6 +165,12 @@ pub struct RunReport {
     pub partition_times: Vec<(u32, Duration)>,
     /// Predicted per-partition costs from the plan.
     pub predicted_costs: Vec<f64>,
+    /// Tasks diverted to the dead-letter queue across all jobs. Non-zero
+    /// only for checkpointed runs (see [`DodConfig::checkpoint`] — the
+    /// field on the config struct, set via the builder's `checkpoint`
+    /// method) whose jobs finished [`JobOutcome::PartialWithDlq`]; the
+    /// outlier set is then a partial result.
+    pub diverted_tasks: u64,
 }
 
 /// The result of a pipeline run.
@@ -447,7 +455,7 @@ impl DodRunner {
         }
         histogram.sort_by_key(|(a, _)| *a);
 
-        let (jobs, outliers, partition_times) = detection;
+        let (jobs, outliers, partition_times, diverted_tasks) = detection;
         let breakdown = StageBreakdown {
             preprocess,
             map: jobs.iter().map(|j| j.map_makespan).sum(),
@@ -480,8 +488,53 @@ impl DodRunner {
                 shuffle_bytes,
                 partition_times,
                 predicted_costs: mt.predicted_costs.clone(),
+                diverted_tasks,
             },
         })
+    }
+
+    /// Opens the checkpoint store for one of the pipeline's jobs, or
+    /// `None` when the config carries no durability spec. The job id is
+    /// the operator's name plus a per-job `suffix`; the fingerprint tag
+    /// binds the store to the parameters and plan that produced it, so a
+    /// resumed run against different inputs starts fresh instead of
+    /// restoring foreign state.
+    fn open_store(
+        &self,
+        suffix: &str,
+        map_tasks: usize,
+        tag: String,
+    ) -> Result<Option<CheckpointStore>, DodError> {
+        let Some(spec) = &self.config.checkpoint else {
+            return Ok(None);
+        };
+        let fingerprint = JobFingerprint {
+            map_tasks,
+            reducers: self.config.num_reducers,
+            tag,
+        };
+        CheckpointStore::open(&spec.dir, &format!("{}{suffix}", spec.job_id), &fingerprint)
+            .map(Some)
+            .map_err(|e| DodError::Job(JobError::Checkpoint(e.to_string())))
+    }
+
+    /// Fingerprint tag of one job: `r`, `k`, metric, seed, and the
+    /// partition plan (allocation + per-partition algorithms), plus a
+    /// job-specific `extra` word (the verify job hashes its candidate
+    /// set in).
+    fn job_tag(&self, job: &str, mt: &MultiTacticPlan, extra: u64) -> String {
+        let cfg = &self.config;
+        let words = [
+            cfg.params.r.to_bits(),
+            cfg.params.k as u64,
+            fnv_str(&format!("{:?}", cfg.params.metric)),
+            cfg.seed,
+            extra,
+        ]
+        .into_iter()
+        .chain(mt.allocation.iter().map(|&a| a as u64))
+        .chain(mt.algorithms.iter().map(|a| fnv_str(a.name())));
+        format!("{job} fp={:016x}", fingerprint_u64s(words))
     }
 
     /// The supporting-area single-job protocol (Section III).
@@ -498,19 +551,33 @@ impl DodRunner {
             .with_obs(cfg.obs.clone());
         let allocation = mt.allocation.clone();
         let partitioner = move |k: &u32, _n: usize| allocation[*k as usize];
-        let out = run_job_obs(
-            &cfg.cluster,
-            store,
-            &mapper,
-            &reducer,
-            &partitioner,
-            cfg.num_reducers,
-            &cfg.obs,
-        )?;
+        let ck = self.open_store("-detect", store.num_blocks(), self.job_tag("detect", mt, 0))?;
+        let out = match &ck {
+            Some(ck) => mapreduce::run_job_durable(
+                &cfg.cluster,
+                store,
+                &mapper,
+                &reducer,
+                &partitioner,
+                cfg.num_reducers,
+                &cfg.obs,
+                ck,
+            )?,
+            None => run_job_obs(
+                &cfg.cluster,
+                store,
+                &mapper,
+                &reducer,
+                &partitioner,
+                cfg.num_reducers,
+                &cfg.obs,
+            )?,
+        };
+        let diverted = diverted_count(out.outcome);
         let mut outliers = out.outputs;
         outliers.sort_unstable();
         let times = out.key_times;
-        Ok((vec![out.metrics], outliers, times))
+        Ok((vec![out.metrics], outliers, times, diverted))
     }
 
     /// The Domain baseline's two-job protocol (Section VI-A).
@@ -528,20 +595,38 @@ impl DodRunner {
             .with_obs(cfg.obs.clone());
         let allocation = mt.allocation.clone();
         let partitioner = move |k: &u32, _n: usize| allocation[*k as usize];
-        let job1 = run_job_obs(
-            &cfg.cluster,
-            store,
-            &mapper,
-            &reducer,
-            &partitioner,
-            cfg.num_reducers,
-            &cfg.obs,
+        let ck1 = self.open_store(
+            "-candidates",
+            store.num_blocks(),
+            self.job_tag("candidates", mt, 0),
         )?;
+        let job1 = match &ck1 {
+            Some(ck) => mapreduce::run_job_durable(
+                &cfg.cluster,
+                store,
+                &mapper,
+                &reducer,
+                &partitioner,
+                cfg.num_reducers,
+                &cfg.obs,
+                ck,
+            )?,
+            None => run_job_obs(
+                &cfg.cluster,
+                store,
+                &mapper,
+                &reducer,
+                &partitioner,
+                cfg.num_reducers,
+                &cfg.obs,
+            )?,
+        };
+        let mut diverted = diverted_count(job1.outcome);
         let candidates: Vec<Candidate> = job1.outputs;
         let partition_times = job1.key_times.clone();
 
         if candidates.is_empty() {
-            return Ok((vec![job1.metrics], Vec::new(), partition_times));
+            return Ok((vec![job1.metrics], Vec::new(), partition_times, diverted));
         }
 
         // Job 2: global verification of the candidates.
@@ -553,18 +638,42 @@ impl DodRunner {
         let verify_mapper = VerifyMapper::new(Arc::clone(&index));
         let verify_reducer = VerifyReducer::new(cfg.params.k);
         let hash_partitioner = |k: &u32, n: usize| (*k as usize) % n;
+        // The verify job's work depends on which candidates job 1
+        // produced, so its fingerprint hashes the candidate ids: a
+        // redrive that changes the candidate set invalidates stale
+        // verify checkpoints instead of restoring them.
+        let candidate_fp = fingerprint_u64s(index.candidates().iter().map(|c| c.id));
+        let ck2 = self.open_store(
+            "-verify",
+            store.num_blocks(),
+            self.job_tag("verify", mt, candidate_fp),
+        )?;
         // Partial counts fold map-side (a Hadoop combiner), keeping the
         // second job's shuffle tiny.
-        let job2 = mapreduce::run_job_with_combiner_obs(
-            &cfg.cluster,
-            store,
-            &verify_mapper,
-            &mapreduce::SumCombiner::new(),
-            &verify_reducer,
-            &hash_partitioner,
-            cfg.num_reducers,
-            &cfg.obs,
-        )?;
+        let job2 = match &ck2 {
+            Some(ck) => mapreduce::run_job_with_combiner_durable(
+                &cfg.cluster,
+                store,
+                &verify_mapper,
+                &mapreduce::SumCombiner::new(),
+                &verify_reducer,
+                &hash_partitioner,
+                cfg.num_reducers,
+                &cfg.obs,
+                ck,
+            )?,
+            None => mapreduce::run_job_with_combiner_obs(
+                &cfg.cluster,
+                store,
+                &verify_mapper,
+                &mapreduce::SumCombiner::new(),
+                &verify_reducer,
+                &hash_partitioner,
+                cfg.num_reducers,
+                &cfg.obs,
+            )?,
+        };
+        diverted += diverted_count(job2.outcome);
         let cleared: HashSet<u32> = job2.outputs.into_iter().collect();
         let mut outliers: Vec<PointId> = index
             .candidates()
@@ -574,8 +683,28 @@ impl DodRunner {
             .map(|(_, c)| c.id)
             .collect();
         outliers.sort_unstable();
-        Ok((vec![job1.metrics, job2.metrics], outliers, partition_times))
+        Ok((
+            vec![job1.metrics, job2.metrics],
+            outliers,
+            partition_times,
+            diverted,
+        ))
     }
+}
+
+/// Dead-lettered task count of one job outcome.
+fn diverted_count(outcome: JobOutcome) -> u64 {
+    match outcome {
+        JobOutcome::Complete => 0,
+        JobOutcome::PartialWithDlq { diverted } => diverted as u64,
+    }
+}
+
+/// FNV-1a over a string — stable words for the job fingerprint tag.
+fn fnv_str(s: &str) -> u64 {
+    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+    })
 }
 
 #[cfg(test)]

@@ -20,7 +20,8 @@ use crate::framework::{DodReducer, InputPoint, TaggedPoint};
 use dod_core::{GridSpec, OutlierParams, PointId, Rect};
 use dod_detect::cost::AlgorithmKind;
 use dod_partition::PartitionPlan;
-use mapreduce::{EstimateSize, Mapper, Reducer};
+use mapreduce::checkpoint::Json;
+use mapreduce::{Durable, EstimateSize, Mapper, Reducer};
 use std::sync::Arc;
 
 /// A locally-detected outlier awaiting global verification.
@@ -35,6 +36,21 @@ pub struct Candidate {
 impl EstimateSize for Candidate {
     fn estimated_bytes(&self) -> usize {
         8 + 8 * self.coords.len()
+    }
+}
+
+// Checkpointed baseline jobs persist candidates as `[id, coords]`.
+impl Durable for Candidate {
+    fn encode(&self, out: &mut String) {
+        out.push('[');
+        self.id.encode(out);
+        out.push(',');
+        self.coords.encode(out);
+        out.push(']');
+    }
+    fn decode(v: &Json) -> Option<Self> {
+        let (id, coords) = <(PointId, Vec<f64>)>::decode(v)?;
+        Some(Candidate { id, coords })
     }
 }
 

@@ -67,6 +67,12 @@ pub struct FaultPlan {
     /// Bitmask of lost nodes: bit `n` set means every attempt placed on
     /// logical node `n` fails until the scheduler blacklists it.
     pub lost_nodes: u64,
+    /// Abort the job after this many fresh task completions (0 =
+    /// never). Unlike the per-attempt faults this is a scheduler-level
+    /// kill switch: the durability suite uses it to interrupt a job
+    /// mid-stage at a deterministic point and then resume it from its
+    /// checkpoint. Restored (checkpoint-skipped) tasks do not count.
+    pub interrupt_after: u64,
 }
 
 impl FaultPlan {
@@ -80,6 +86,7 @@ impl FaultPlan {
             straggle_ms: 20,
             block_error_per_mille: 0,
             lost_nodes: 0,
+            interrupt_after: 0,
         }
     }
 
@@ -94,6 +101,7 @@ impl FaultPlan {
             straggle_ms: 15,
             block_error_per_mille: 80,
             lost_nodes: 1 << (mix(seed, 0x6e6f6465 /* "node" */) % 8),
+            interrupt_after: 0,
         }
     }
 
@@ -116,6 +124,13 @@ impl FaultPlan {
     /// (per-mille, clamped to 1000).
     pub fn with_block_errors(mut self, per_mille: u32) -> Self {
         self.block_error_per_mille = per_mille.min(1000);
+        self
+    }
+
+    /// Aborts the job after `count` fresh task completions (0 disables;
+    /// see the field docs).
+    pub fn with_interrupt_after(mut self, count: u64) -> Self {
+        self.interrupt_after = count;
         self
     }
 

@@ -12,12 +12,14 @@
 //! seeded [`crate::fault::FaultPlan`] via [`ClusterConfig::fault`].
 
 use crate::blockstore::{BlockReadError, BlockStore};
+use crate::checkpoint::{fingerprint_u64s, CheckpointStore, Durable};
 use crate::cluster::ClusterConfig;
+use crate::dlq::DlqEntry;
 use crate::fault::TaskFault;
 use crate::metrics::{makespan, JobMetrics};
 use crate::size::EstimateSize;
 use dod_obs::sync::lock_recover;
-use dod_obs::{Obs, Value};
+use dod_obs::{names, Obs, Value};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -105,6 +107,19 @@ pub enum JobError {
     /// The job was configured with zero reducers but the mappers emitted
     /// records.
     NoReducers,
+    /// The job was deliberately aborted mid-stage by
+    /// [`FaultPlan::interrupt_after`](crate::fault::FaultPlan) — the
+    /// durability suite's simulated crash. Completed tasks are already
+    /// checkpointed; re-running the job resumes from them.
+    Interrupted {
+        /// Stage that was executing when the interrupt fired.
+        stage: &'static str,
+        /// Tasks of that stage completed (and persisted) before it.
+        completed: usize,
+    },
+    /// A durable job could not persist its state; the run is aborted
+    /// rather than continuing half-durable.
+    Checkpoint(String),
 }
 
 impl std::fmt::Display for JobError {
@@ -118,11 +133,33 @@ impl std::fmt::Display for JobError {
                 write!(f, "{stage} task {task} failed after {attempts} attempts")
             }
             JobError::NoReducers => write!(f, "job emitted records but has no reducers"),
+            JobError::Interrupted { stage, completed } => {
+                write!(
+                    f,
+                    "job interrupted during the {stage} stage after {completed} completed tasks"
+                )
+            }
+            JobError::Checkpoint(detail) => write!(f, "checkpoint write failed: {detail}"),
         }
     }
 }
 
 impl std::error::Error for JobError {}
+
+/// How a job finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Every task completed.
+    Complete,
+    /// The job finished, but some tasks sit in the dead-letter queue
+    /// and their contribution is missing from the outputs. Only durable
+    /// jobs can end here; without a checkpoint store an exhausted task
+    /// still fails the whole job.
+    PartialWithDlq {
+        /// Tasks (across both stages) missing from this run's outputs.
+        diverted: usize,
+    },
+}
 
 /// Result of a successful job.
 #[derive(Debug)]
@@ -134,6 +171,8 @@ pub struct JobOutput<K, O> {
     /// Measured processing time of every key group, for per-partition cost
     /// attribution (reducer order, then key order).
     pub key_times: Vec<(K, Duration)>,
+    /// Whether every task contributed or some are dead-lettered.
+    pub outcome: JobOutcome,
 }
 
 /// Sort-groups one map task's output by key and folds each group through
@@ -167,6 +206,13 @@ struct PoolCounters {
     nodes_blacklisted: AtomicU64,
     block_read_errors: AtomicU64,
     backoff_nanos: AtomicU64,
+    checkpoint_writes: AtomicU64,
+    checkpoint_skips: AtomicU64,
+    dlq_diverted: AtomicU64,
+    dlq_redriven: AtomicU64,
+    /// Fresh (non-restored) completions across both stages; the
+    /// fault plan's `interrupt_after` kill switch counts these.
+    fresh_completions: AtomicU64,
 }
 
 /// Attempt number used for speculative re-executions. Primary attempts
@@ -214,6 +260,11 @@ struct Sched {
     node_blacklisted: Vec<bool>,
     done_count: usize,
     failed: Option<usize>,
+    /// The `interrupt_after` kill switch fired; workers drain out.
+    interrupted: bool,
+    /// Per-task attempt-failure history, for dead-letter records
+    /// (`TaskState` stays `Copy`, so histories live here).
+    errors: Vec<Vec<String>>,
 }
 
 impl Sched {
@@ -226,6 +277,8 @@ impl Sched {
             node_blacklisted: vec![false; nodes],
             done_count: 0,
             failed: None,
+            interrupted: false,
+            errors: vec![Vec::new(); num_tasks],
         }
     }
 
@@ -273,6 +326,38 @@ impl Sched {
     }
 }
 
+/// Durability hooks for one stage of [`run_task_pool`]. Built by
+/// `run_job_inner` from the job's [`CheckpointStore`]; absent for
+/// non-durable jobs.
+struct StageDurability<'a, T> {
+    /// Per-task results restored from the checkpoint; restored slots
+    /// are seeded as done and never re-executed.
+    restored: Vec<Option<(Duration, T)>>,
+    /// Tasks parked in the DLQ (diverted, not flagged for redrive):
+    /// the scheduler skips them and their slot stays `None`.
+    dead: Vec<bool>,
+    /// Tasks being re-driven from the DLQ this run; a win resolves
+    /// their queue entry.
+    redriven: Vec<bool>,
+    /// Persists a fresh completion (called under the scheduler lock,
+    /// *before* the completion becomes visible).
+    save: &'a (dyn Fn(usize, Duration, &T) + Sync),
+    /// Records an exhausted task into the DLQ: `(task, attempts,
+    /// attempt-error history)`.
+    divert: &'a (dyn Fn(usize, usize, Vec<String>) + Sync),
+    /// Resolves a redriven task's DLQ entry after it completed.
+    resolve: &'a (dyn Fn(usize) + Sync),
+}
+
+/// Why a stage stopped early.
+enum StageFailure {
+    /// A task exhausted its retries (non-durable jobs only).
+    Task(usize),
+    /// The `interrupt_after` kill switch fired after this many
+    /// completions.
+    Interrupted(usize),
+}
+
 /// Runs tasks from a shared queue on a bounded host thread pool with
 /// Hadoop-style recovery tactics:
 ///
@@ -286,16 +371,22 @@ impl Sched {
 /// * nodes accumulating `cluster.blacklist_after` attempt failures are
 ///   blacklisted and receive no further placements.
 ///
-/// Returns per-task `(duration_of_winning_attempt, result)` or the index
-/// of a task that exhausted its retries.
+/// With `durability` attached, checkpointed tasks are skipped, fresh
+/// completions are persisted before they become visible, and a task
+/// that exhausts its retries is diverted to the dead-letter queue
+/// (its slot stays `None`) instead of failing the stage.
+///
+/// Returns per-task `(duration_of_winning_attempt, result)` — `None`
+/// only for diverted tasks — or a [`StageFailure`].
 fn run_task_pool<T, F>(
     stage: &'static str,
     obs: &Obs,
     num_tasks: usize,
     cluster: &ClusterConfig,
     counters: &PoolCounters,
+    durability: Option<StageDurability<'_, T>>,
     run: F,
-) -> Result<Vec<(Duration, T)>, usize>
+) -> Result<Vec<Option<(Duration, T)>>, StageFailure>
 where
     T: Send,
     F: Fn(usize, usize) -> T + Sync,
@@ -303,11 +394,45 @@ where
     if num_tasks == 0 {
         return Ok(Vec::new());
     }
-    let results: Mutex<Vec<Option<(Duration, T)>>> =
-        Mutex::new((0..num_tasks).map(|_| None).collect());
-    let sched = Mutex::new(Sched::new(num_tasks, cluster.nodes));
+    let mut initial: Vec<Option<(Duration, T)>> = (0..num_tasks).map(|_| None).collect();
+    let mut sched0 = Sched::new(num_tasks, cluster.nodes);
+    let mut redriven = vec![false; num_tasks];
+    let mut hooks = None;
+    if let Some(d) = durability {
+        let mut skips = 0u64;
+        for (t, r) in d.restored.into_iter().enumerate() {
+            if d.dead[t] {
+                // Dead-lettered and not redriven: scheduled as done,
+                // contributes nothing.
+                sched0.tasks[t].done = true;
+                sched0.done_count += 1;
+            } else if let Some(v) = r {
+                initial[t] = Some(v);
+                sched0.tasks[t].done = true;
+                sched0.done_count += 1;
+                skips += 1;
+            }
+        }
+        if skips > 0 {
+            counters
+                .checkpoint_skips
+                .fetch_add(skips, Ordering::Relaxed);
+            obs.counter(
+                names::MAPREDUCE_CHECKPOINT_SKIP,
+                skips,
+                &[("stage", Value::from(stage))],
+            );
+        }
+        redriven = d.redriven;
+        hooks = Some((d.save, d.divert, d.resolve));
+    }
+    let results: Mutex<Vec<Option<(Duration, T)>>> = Mutex::new(initial);
+    let sched = Mutex::new(sched0);
     let retries = cluster.max_task_retries;
     let fault = cluster.fault.filter(|p| p.is_active());
+    let interrupt_after = cluster.fault.as_ref().map_or(0, |p| p.interrupt_after);
+    let redriven = &redriven;
+    let hooks = &hooks;
 
     // Executes one attempt: applies the fault plan's decision for this
     // (stage, task, attempt, node), then runs the closure under
@@ -339,9 +464,13 @@ where
         };
 
     // Commits a successful attempt. First writer wins; a losing
-    // speculative (or primary) attempt's output is discarded.
+    // speculative (or primary) attempt's output is discarded. For a
+    // durable stage the record is persisted under the scheduler lock,
+    // before the completion becomes visible — a crash right after a
+    // commit always finds the commit on disk.
     let commit = |task: usize, spec: bool, dur: Duration, value: T| {
         let mut won = false;
+        let mut resolved = false;
         {
             let mut s = lock_recover(&sched);
             s.durations.push(dur);
@@ -352,11 +481,38 @@ where
                 s.tasks[task].done = true;
                 won = true;
                 s.done_count += 1;
+                if let Some((save, _, resolve)) = hooks {
+                    save(task, dur, &value);
+                    counters.checkpoint_writes.fetch_add(1, Ordering::Relaxed);
+                    if redriven[task] {
+                        resolve(task);
+                        counters.dlq_redriven.fetch_add(1, Ordering::Relaxed);
+                        resolved = true;
+                    }
+                }
                 lock_recover(&results)[task] = Some((dur, value));
+                let fresh = counters.fresh_completions.fetch_add(1, Ordering::Relaxed) + 1;
+                if interrupt_after > 0 && fresh >= interrupt_after {
+                    s.interrupted = true;
+                }
             }
         }
         if won && spec {
             counters.speculative_won.fetch_add(1, Ordering::Relaxed);
+        }
+        if won && hooks.is_some() {
+            obs.counter(
+                names::MAPREDUCE_CHECKPOINT_WRITE,
+                1,
+                &[("stage", Value::from(stage)), ("task", Value::from(task))],
+            );
+        }
+        if resolved {
+            obs.counter(
+                names::MAPREDUCE_DLQ_REDRIVEN,
+                1,
+                &[("stage", Value::from(stage)), ("task", Value::from(task))],
+            );
         }
     };
 
@@ -364,41 +520,62 @@ where
     // the node once it accumulates enough failures) and emits the retry
     // telemetry. Returns whether the task is already done (a sibling
     // attempt won while this one was failing).
-    let book_failure = |task: usize, spec: bool, node: usize, err: &AttemptError| -> bool {
-        counters.retries.fetch_add(1, Ordering::Relaxed);
-        if matches!(err, AttemptError::BlockRead) {
-            counters.block_read_errors.fetch_add(1, Ordering::Relaxed);
-        }
-        let (done, newly_blacklisted) = {
-            let mut s = lock_recover(&sched);
-            s.node_failures[node] += 1;
-            let newly = cluster.blacklist_after > 0
-                && !s.node_blacklisted[node]
-                && s.node_failures[node] >= cluster.blacklist_after;
-            if newly {
-                s.node_blacklisted[node] = true;
+    let book_failure =
+        |task: usize, attempt: usize, spec: bool, node: usize, err: &AttemptError| -> bool {
+            counters.retries.fetch_add(1, Ordering::Relaxed);
+            if matches!(err, AttemptError::BlockRead) {
+                counters.block_read_errors.fetch_add(1, Ordering::Relaxed);
             }
-            let st = &mut s.tasks[task];
-            if !spec {
-                st.running = false;
+            let (done, newly_blacklisted) = {
+                let mut s = lock_recover(&sched);
+                let already_done = s.tasks[task].done;
+                let mut newly = false;
+                // First-writer-wins accounting: an attempt that loses to an
+                // already-committed sibling (a primary finishing after its
+                // speculative twin won, or vice versa) says nothing about
+                // node health — its failure must not push the node toward
+                // the blacklist, and the task's history is already settled.
+                if !already_done {
+                    s.node_failures[node] += 1;
+                    newly = cluster.blacklist_after > 0
+                        && !s.node_blacklisted[node]
+                        && s.node_failures[node] >= cluster.blacklist_after;
+                    if newly {
+                        s.node_blacklisted[node] = true;
+                    }
+                    let what = match err {
+                        AttemptError::NodeLost => "node lost",
+                        AttemptError::Panic => "panic",
+                        AttemptError::BlockRead => "block read error",
+                    };
+                    let desc = if spec {
+                        format!("speculative attempt on node {node}: {what}")
+                    } else {
+                        format!("attempt {attempt} on node {node}: {what}")
+                    };
+                    s.errors[task].push(desc);
+                }
+                let st = &mut s.tasks[task];
+                if !spec {
+                    st.running = false;
+                }
+                (already_done, newly)
+            };
+            if newly_blacklisted {
+                counters.nodes_blacklisted.fetch_add(1, Ordering::Relaxed);
+                obs.counter(
+                    "mapreduce.node.blacklisted",
+                    1,
+                    &[("stage", Value::from(stage)), ("node", Value::from(node))],
+                );
             }
-            (st.done, newly)
-        };
-        if newly_blacklisted {
-            counters.nodes_blacklisted.fetch_add(1, Ordering::Relaxed);
             obs.counter(
-                "mapreduce.node.blacklisted",
+                "mapreduce.task.retry",
                 1,
-                &[("stage", Value::from(stage)), ("node", Value::from(node))],
+                &[("stage", Value::from(stage)), ("task", Value::from(task))],
             );
-        }
-        obs.counter(
-            "mapreduce.task.retry",
-            1,
-            &[("stage", Value::from(stage)), ("task", Value::from(task))],
-        );
-        done
-    };
+            done
+        };
 
     let threads = cluster.effective_host_threads().max(1).min(num_tasks);
     std::thread::scope(|scope| {
@@ -410,9 +587,15 @@ where
                     let (task, mut attempt, spec, mut node);
                     {
                         let mut s = lock_recover(&sched);
-                        // The job already failed or finished: stop.
-                        if s.failed.is_some() || s.done_count == num_tasks {
+                        // The job already failed, was interrupted, or
+                        // finished: stop.
+                        if s.failed.is_some() || s.interrupted || s.done_count == num_tasks {
                             return;
+                        }
+                        // Skip slots seeded as done (restored from the
+                        // checkpoint or parked in the DLQ).
+                        while s.next < num_tasks && s.tasks[s.next].done {
+                            s.next += 1;
                         }
                         if s.next < num_tasks {
                             task = s.next;
@@ -458,7 +641,7 @@ where
                                 continue 'acquire;
                             }
                             Err(err) => {
-                                let done = book_failure(task, spec, node, &err);
+                                let done = book_failure(task, attempt, spec, node, &err);
                                 // A speculative loser never retries and
                                 // never fails the job; a primary whose
                                 // speculative sibling already won is
@@ -468,10 +651,34 @@ where
                                 }
                                 let failures = {
                                     let mut s = lock_recover(&sched);
-                                    let st = &mut s.tasks[task];
-                                    st.failures += 1;
-                                    let failures = st.failures;
+                                    s.tasks[task].failures += 1;
+                                    let failures = s.tasks[task].failures;
                                     if failures > retries {
+                                        if let Some((_, divert, _)) = hooks {
+                                            // Durable job: divert the
+                                            // exhausted task to the DLQ
+                                            // and keep the job going.
+                                            if !s.tasks[task].done {
+                                                s.tasks[task].done = true;
+                                                s.tasks[task].running = false;
+                                                s.done_count += 1;
+                                                let errors = std::mem::take(&mut s.errors[task]);
+                                                drop(s);
+                                                divert(task, failures, errors);
+                                                counters
+                                                    .dlq_diverted
+                                                    .fetch_add(1, Ordering::Relaxed);
+                                                obs.counter(
+                                                    names::MAPREDUCE_DLQ_DIVERTED,
+                                                    1,
+                                                    &[
+                                                        ("stage", Value::from(stage)),
+                                                        ("task", Value::from(task)),
+                                                    ],
+                                                );
+                                            }
+                                            continue 'acquire;
+                                        }
                                         s.failed = Some(task);
                                         return;
                                     }
@@ -500,7 +707,7 @@ where
                                 // sibling may have finished this task
                                 // during the backoff.
                                 let mut s = lock_recover(&sched);
-                                if s.failed.is_some() {
+                                if s.failed.is_some() || s.interrupted {
                                     return;
                                 }
                                 if s.tasks[task].done {
@@ -520,15 +727,19 @@ where
         }
     });
 
-    if let Some(t) = lock_recover(&sched).failed {
-        return Err(t);
+    let (failed, interrupted, done_count) = {
+        let s = lock_recover(&sched);
+        (s.failed, s.interrupted, s.done_count)
+    };
+    if let Some(t) = failed {
+        return Err(StageFailure::Task(t));
+    }
+    if interrupted {
+        return Err(StageFailure::Interrupted(done_count));
     }
     Ok(results
         .into_inner()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-        .into_iter()
-        .map(|r| r.expect("all tasks completed"))
-        .collect())
+        .unwrap_or_else(std::sync::PoisonError::into_inner))
 }
 
 /// Executes one MapReduce job.
@@ -595,6 +806,7 @@ where
         partitioner,
         num_reducers,
         obs,
+        None,
     )
 }
 
@@ -665,6 +877,141 @@ where
         partitioner,
         num_reducers,
         obs,
+        None,
+    )
+}
+
+/// One stage-2 task's persisted payload: the reducer outputs plus the
+/// per-key-group timings.
+type ReducePayload<K, O> = (Vec<O>, Vec<(K, Duration)>);
+
+/// A restored task record: the original attempt's duration plus its
+/// persisted value (map emissions, or a [`ReducePayload`]).
+type Restored<T> = Option<(Duration, T)>;
+/// Loader for a completed map task's record, if one survives on disk.
+type LoadMap<'a, K, V> = Box<dyn Fn(usize) -> Restored<Vec<(K, V)>> + Sync + 'a>;
+/// Persister for a completed map task.
+type SaveMap<'a, K, V> = Box<dyn Fn(usize, Duration, &Vec<(K, V)>) + Sync + 'a>;
+/// Loader for a completed reduce task keyed by the shuffle fingerprint.
+type LoadReduce<'a, K, O> = Box<dyn Fn(usize, u64) -> Restored<ReducePayload<K, O>> + Sync + 'a>;
+/// Persister for a completed reduce task.
+type SaveReduce<'a, K, O> = Box<dyn Fn(usize, u64, Duration, &ReducePayload<K, O>) + Sync + 'a>;
+
+/// Type-erased checkpoint accessors for one job run.
+///
+/// `run_job_inner` stays free of [`Durable`] bounds (the non-durable
+/// entry points must keep working for any `Mapper`/`Reducer`); the
+/// bounds live on [`run_job_durable`], which builds these boxed
+/// closures over the concrete key/value/output types.
+struct JobDurability<'a, K, V, O> {
+    store: &'a CheckpointStore,
+    load_map: LoadMap<'a, K, V>,
+    save_map: SaveMap<'a, K, V>,
+    load_reduce: LoadReduce<'a, K, O>,
+    save_reduce: SaveReduce<'a, K, O>,
+}
+
+impl<'a, K, V, O> JobDurability<'a, K, V, O>
+where
+    K: Durable + Ord + Clone + Send,
+    V: Durable + Send,
+    O: Durable + Send,
+{
+    fn new(store: &'a CheckpointStore) -> Self {
+        JobDurability {
+            store,
+            load_map: Box::new(move |t| store.load_task("map", t, 0)),
+            save_map: Box::new(move |t, dur, v: &Vec<(K, V)>| store.save_task("map", t, 0, dur, v)),
+            load_reduce: Box::new(move |t, fp| store.load_task("reduce", t, fp)),
+            save_reduce: Box::new(move |t, fp, dur, v: &ReducePayload<K, O>| {
+                store.save_task("reduce", t, fp, dur, v)
+            }),
+        }
+    }
+}
+
+/// [`run_job_obs`] with durability: completed tasks are persisted to
+/// `store` and skipped on resume, and tasks that exhaust their retry
+/// budget are diverted to the dead-letter queue (the job then finishes
+/// with [`JobOutcome::PartialWithDlq`] instead of erroring).
+///
+/// The key, value, and output types must be [`Durable`]; resumed runs
+/// are bit-identical to uninterrupted ones.
+///
+/// # Errors
+/// [`JobError::TaskFailed`] never occurs here (exhausted tasks divert
+/// instead); [`JobError::Interrupted`] reports a deliberate mid-stage
+/// abort and [`JobError::Checkpoint`] a persistence failure.
+#[allow(clippy::too_many_arguments)]
+pub fn run_job_durable<M, R>(
+    cluster: &ClusterConfig,
+    input: &BlockStore<M::In>,
+    mapper: &M,
+    reducer: &R,
+    partitioner: &Partitioner<M::K>,
+    num_reducers: usize,
+    obs: &Obs,
+    store: &CheckpointStore,
+) -> Result<JobOutput<M::K, R::Out>, JobError>
+where
+    M: Mapper,
+    M::In: EstimateSize,
+    M::K: Sync + Durable,
+    M::V: Clone + Sync + Durable,
+    R: Reducer<K = M::K, V = M::V>,
+    R::Out: Durable,
+{
+    let durability = JobDurability::new(store);
+    run_job_inner(
+        cluster,
+        input,
+        mapper,
+        None::<&NoCombiner<M::K, M::V>>,
+        reducer,
+        partitioner,
+        num_reducers,
+        obs,
+        Some(&durability),
+    )
+}
+
+/// [`run_job_durable`] with a map-side combiner (see
+/// [`run_job_with_combiner`]).
+///
+/// # Errors
+/// Same as [`run_job_durable`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_job_with_combiner_durable<M, C, R>(
+    cluster: &ClusterConfig,
+    input: &BlockStore<M::In>,
+    mapper: &M,
+    combiner: &C,
+    reducer: &R,
+    partitioner: &Partitioner<M::K>,
+    num_reducers: usize,
+    obs: &Obs,
+    store: &CheckpointStore,
+) -> Result<JobOutput<M::K, R::Out>, JobError>
+where
+    M: Mapper,
+    M::In: EstimateSize,
+    M::K: Sync + Durable,
+    M::V: Clone + Sync + Durable,
+    C: Combiner<K = M::K, V = M::V>,
+    R: Reducer<K = M::K, V = M::V>,
+    R::Out: Durable,
+{
+    let durability = JobDurability::new(store);
+    run_job_inner(
+        cluster,
+        input,
+        mapper,
+        Some(combiner),
+        reducer,
+        partitioner,
+        num_reducers,
+        obs,
+        Some(&durability),
     )
 }
 
@@ -680,6 +1027,18 @@ impl<K: Ord + Send + Sync, V: Send + Sync> Combiner for NoCombiner<K, V> {
     }
 }
 
+/// Maps a [`StageFailure`] to the job-level error.
+fn stage_error(stage: &'static str, failure: StageFailure, cluster: &ClusterConfig) -> JobError {
+    match failure {
+        StageFailure::Task(task) => JobError::TaskFailed {
+            stage,
+            task,
+            attempts: cluster.max_task_retries + 1,
+        },
+        StageFailure::Interrupted(completed) => JobError::Interrupted { stage, completed },
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_job_inner<M, C, R>(
     cluster: &ClusterConfig,
@@ -690,6 +1049,7 @@ fn run_job_inner<M, C, R>(
     partitioner: &Partitioner<M::K>,
     num_reducers: usize,
     obs: &Obs,
+    durable: Option<&JobDurability<'_, M::K, M::V, R::Out>>,
 ) -> Result<JobOutput<M::K, R::Out>, JobError>
 where
     M: Mapper,
@@ -701,6 +1061,45 @@ where
 {
     let job_start = Instant::now();
     let counters = PoolCounters::default();
+    let fault_seed = cluster.fault.as_ref().map(|f| f.seed);
+
+    // Builds the per-stage durability wiring: which tasks are restored
+    // (skipped), dead (DLQ, skipped without a result), or redriven.
+    fn stage_durability<'a, T>(
+        stage: &'static str,
+        num_tasks: usize,
+        dlq: &[DlqEntry],
+        load: impl Fn(usize) -> Option<(Duration, T)>,
+        save: &'a (dyn Fn(usize, Duration, &T) + Sync),
+        divert: &'a (dyn Fn(usize, usize, Vec<String>) + Sync),
+        resolve: &'a (dyn Fn(usize) + Sync),
+    ) -> StageDurability<'a, T> {
+        let mut restored = Vec::with_capacity(num_tasks);
+        let mut dead = vec![false; num_tasks];
+        let mut redriven = vec![false; num_tasks];
+        for (t, dead_slot) in dead.iter_mut().enumerate() {
+            match dlq.iter().find(|e| e.stage == stage && e.task == t) {
+                Some(e) if !e.redrive => {
+                    *dead_slot = true;
+                    restored.push(None);
+                }
+                entry => {
+                    if entry.is_some() {
+                        redriven[t] = true;
+                    }
+                    restored.push(load(t));
+                }
+            }
+        }
+        StageDurability {
+            restored,
+            dead,
+            redriven,
+            save,
+            divert,
+            resolve,
+        }
+    }
 
     // Simulated I/O charge per byte (zero when disabled).
     let io_secs_per_byte = if cluster.io_bytes_per_sec > 0 {
@@ -712,6 +1111,40 @@ where
 
     // ---- Map stage: one task per input block. ----
     let num_map_tasks = input.num_blocks();
+    let dlq = durable.map(|d| d.store.dlq_snapshot()).unwrap_or_default();
+    let map_save = |t: usize, dur: Duration, v: &Vec<(M::K, M::V)>| {
+        if let Some(d) = durable {
+            (d.save_map)(t, dur, v);
+        }
+    };
+    let map_divert = |task: usize, attempts: usize, errors: Vec<String>| {
+        if let Some(d) = durable {
+            d.store.dlq_divert(DlqEntry {
+                stage: "map".to_string(),
+                task,
+                attempts,
+                errors,
+                fault_seed,
+                redrive: false,
+            });
+        }
+    };
+    let map_resolve = |task: usize| {
+        if let Some(d) = durable {
+            d.store.dlq_resolve("map", task);
+        }
+    };
+    let map_durability = durable.map(|d| {
+        stage_durability(
+            "map",
+            num_map_tasks,
+            &dlq,
+            |t| (d.load_map)(t),
+            &map_save,
+            &map_divert,
+            &map_resolve,
+        )
+    });
     let map_stage = obs.scope("mapreduce.stage").with_label("stage", "map");
     let map_results = run_task_pool(
         "map",
@@ -719,6 +1152,7 @@ where
         num_map_tasks,
         cluster,
         &counters,
+        map_durability,
         |t, attempt| {
             // A transiently-failing block read aborts the attempt; the
             // pool books it as a task failure and retries, drawing a
@@ -737,33 +1171,48 @@ where
             out
         },
     )
-    .map_err(|task| JobError::TaskFailed {
-        stage: "map",
-        task,
-        attempts: cluster.max_task_retries + 1,
-    })?;
+    .map_err(|f| stage_error("map", f, cluster))?;
 
     // Charge each map task the simulated read of its input block.
+    // Diverted (dead-lettered) tasks have no winning attempt and
+    // contribute zero time.
     let map_task_times: Vec<Duration> = map_results
         .iter()
         .enumerate()
-        .map(|(t, (d, _))| {
-            let block_bytes: u64 = input
-                .block(t)
-                .iter()
-                .map(|x| x.estimated_bytes() as u64)
-                .sum();
-            *d + io_charge(block_bytes)
+        .map(|(t, r)| match r {
+            Some((d, _)) => {
+                let block_bytes: u64 = input
+                    .block(t)
+                    .iter()
+                    .map(|x| x.estimated_bytes() as u64)
+                    .sum();
+                *d + io_charge(block_bytes)
+            }
+            None => Duration::ZERO,
         })
         .collect();
     drop(map_stage);
     for (t, d) in map_task_times.iter().enumerate() {
+        if map_results[t].is_none() {
+            continue;
+        }
         obs.record_duration(
             "mapreduce.task",
             *d,
             &[("stage", Value::from("map")), ("task", Value::from(t))],
         );
     }
+    let map_diverted = map_results.iter().filter(|r| r.is_none()).count();
+    // Fingerprint of which map tasks fed the shuffle: reduce checkpoint
+    // records carry it, so reduce state persisted against a *different*
+    // map completion set (e.g. before a DLQ redrive filled a hole) is
+    // invalidated instead of silently reused.
+    let shuffle_fp = fingerprint_u64s(
+        map_results
+            .iter()
+            .enumerate()
+            .filter_map(|(t, r)| r.as_ref().map(|_| t as u64)),
+    );
 
     // ---- Shuffle: partition, then sort each reducer's records by key. ----
     let shuffle_stage = obs.scope("mapreduce.stage").with_label("stage", "shuffle");
@@ -771,7 +1220,8 @@ where
     let mut shuffle_bytes = 0u64;
     let mut reducer_bytes = vec![0u64; num_reducers];
     let mut per_reducer: Vec<Vec<(M::K, M::V)>> = (0..num_reducers).map(|_| Vec::new()).collect();
-    for (_, records) in map_results {
+    for r in map_results {
+        let Some((_, records)) = r else { continue };
         for (k, v) in records {
             if num_reducers == 0 {
                 return Err(JobError::NoReducers);
@@ -810,13 +1260,47 @@ where
     // Hadoop's materialized shuffle output), so a retried reduce task
     // re-reads its full input; values are cloned per group.
     let reduce_stage = obs.scope("mapreduce.stage").with_label("stage", "reduce");
-    type ReduceResult<O, K> = (Duration, (Vec<O>, Vec<(K, Duration)>));
+    let reduce_save = |t: usize, dur: Duration, v: &ReducePayload<M::K, R::Out>| {
+        if let Some(d) = durable {
+            (d.save_reduce)(t, shuffle_fp, dur, v);
+        }
+    };
+    let reduce_divert = |task: usize, attempts: usize, errors: Vec<String>| {
+        if let Some(d) = durable {
+            d.store.dlq_divert(DlqEntry {
+                stage: "reduce".to_string(),
+                task,
+                attempts,
+                errors,
+                fault_seed,
+                redrive: false,
+            });
+        }
+    };
+    let reduce_resolve = |task: usize| {
+        if let Some(d) = durable {
+            d.store.dlq_resolve("reduce", task);
+        }
+    };
+    let reduce_durability = durable.map(|d| {
+        stage_durability(
+            "reduce",
+            num_reducers,
+            &dlq,
+            |t| (d.load_reduce)(t, shuffle_fp),
+            &reduce_save,
+            &reduce_divert,
+            &reduce_resolve,
+        )
+    });
+    type ReduceResult<O, K> = Option<(Duration, ReducePayload<K, O>)>;
     let reduce_results: Vec<ReduceResult<R::Out, M::K>> = run_task_pool(
         "reduce",
         obs,
         num_reducers,
         cluster,
         &counters,
+        reduce_durability,
         |t, _attempt| {
             let records = &per_reducer[t];
             let mut outputs = Vec::new();
@@ -837,29 +1321,35 @@ where
             (outputs, key_times)
         },
     )
-    .map_err(|task| JobError::TaskFailed {
-        stage: "reduce",
-        task,
-        attempts: cluster.max_task_retries + 1,
-    })?;
+    .map_err(|f| stage_error("reduce", f, cluster))?;
 
     // Charge each reduce task the simulated fetch of its shuffle input.
     let reduce_task_times: Vec<Duration> = reduce_results
         .iter()
         .enumerate()
-        .map(|(t, (d, _))| *d + io_charge(reducer_bytes[t]))
+        .map(|(t, r)| match r {
+            Some((d, _)) => *d + io_charge(reducer_bytes[t]),
+            None => Duration::ZERO,
+        })
         .collect();
     drop(reduce_stage);
     for (t, d) in reduce_task_times.iter().enumerate() {
+        if reduce_results[t].is_none() {
+            continue;
+        }
         obs.record_duration(
             "mapreduce.task",
             *d,
             &[("stage", Value::from("reduce")), ("task", Value::from(t))],
         );
     }
+    let reduce_diverted = reduce_results.iter().filter(|r| r.is_none()).count();
     let mut outputs = Vec::new();
     let mut key_times = Vec::new();
-    for (_, (outs, times)) in reduce_results {
+    for r in reduce_results {
+        let Some((_, (outs, times))) = r else {
+            continue;
+        };
         outputs.extend(outs);
         key_times.extend(times);
     }
@@ -896,11 +1386,30 @@ where
         nodes_blacklisted: counters.nodes_blacklisted.load(Ordering::Relaxed),
         block_read_errors: counters.block_read_errors.load(Ordering::Relaxed),
         backoff_total: Duration::from_nanos(counters.backoff_nanos.load(Ordering::Relaxed)),
+        checkpoint_writes: counters.checkpoint_writes.load(Ordering::Relaxed),
+        checkpoint_skips: counters.checkpoint_skips.load(Ordering::Relaxed),
+        dlq_diverted: counters.dlq_diverted.load(Ordering::Relaxed),
+        dlq_redriven: counters.dlq_redriven.load(Ordering::Relaxed),
+    };
+    // A durable run that could not persist its state must not report
+    // success — the next resume would silently redo (or worse, skip)
+    // work. Surface the first latched write error as a typed failure.
+    if let Some(d) = durable {
+        if let Some(detail) = d.store.take_write_error() {
+            return Err(JobError::Checkpoint(detail));
+        }
+    }
+    let diverted = map_diverted + reduce_diverted;
+    let outcome = if diverted > 0 {
+        JobOutcome::PartialWithDlq { diverted }
+    } else {
+        JobOutcome::Complete
     };
     Ok(JobOutput {
         outputs,
         metrics,
         key_times,
+        outcome,
     })
 }
 
@@ -1552,6 +2061,267 @@ mod tests {
             got.sort();
             assert_eq!(got, expected, "seed {seed} corrupted the output");
         }
+    }
+
+    /// Mapper whose first invocation on item 13 straggles long enough to
+    /// be speculated on, then panics *after* the speculative sibling has
+    /// committed — the regression shape for first-writer-wins
+    /// accounting.
+    struct StragglerThenPanicMapper {
+        tripped: AtomicBool,
+    }
+    impl Mapper for StragglerThenPanicMapper {
+        type In = u32;
+        type K = u32;
+        type V = u64;
+        fn map(&self, item: &u32, emit: &mut dyn FnMut(u32, u64)) {
+            if *item == 13 && !self.tripped.swap(true, Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(250));
+                panic!("late failure after sibling committed");
+            }
+            emit(*item, 1);
+        }
+    }
+
+    #[test]
+    fn loser_failing_after_commit_does_not_blacklist_its_node() {
+        // blacklist_after == 1: a single *booked* failure blacklists a
+        // node. The only failure in this job is the straggling primary
+        // panicking long after its speculative twin committed the task —
+        // which says nothing about the node, so nothing may be
+        // blacklisted.
+        let store = BlockStore::from_items(vec![13u32, 1, 2, 3], 1, 1);
+        let cluster = ClusterConfig::new(2)
+            .with_host_threads(2)
+            .with_speculation(10, 100)
+            .with_blacklist_after(1);
+        let out = run_job(
+            &cluster,
+            &store,
+            &StragglerThenPanicMapper {
+                tripped: AtomicBool::new(false),
+            },
+            &SumReducer,
+            &hash_partitioner,
+            2,
+        )
+        .unwrap();
+        assert!(out.metrics.speculative_won >= 1);
+        assert_eq!(
+            out.metrics.nodes_blacklisted, 0,
+            "a post-commit loser failure was booked against its node"
+        );
+        let mut counts = out.outputs;
+        counts.sort();
+        assert_eq!(counts, vec![(1, 1), (2, 1), (3, 1), (13, 1)]);
+    }
+
+    fn ckpt_root(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("mapreduce-job-ckpt-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        std::fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    fn job_fp(map_tasks: usize, reducers: usize) -> crate::checkpoint::JobFingerprint {
+        crate::checkpoint::JobFingerprint {
+            map_tasks,
+            reducers,
+            tag: "test".to_string(),
+        }
+    }
+
+    #[test]
+    fn interrupted_durable_job_resumes_bit_identical() {
+        let items: Vec<u32> = (0..24).map(|i| i % 7).collect();
+        let store = BlockStore::from_items(items, 3, 1);
+        let clean = run_job(
+            &ClusterConfig::new(2),
+            &store,
+            &CountMapper,
+            &SumReducer,
+            &hash_partitioner,
+            3,
+        )
+        .unwrap();
+
+        let root = ckpt_root("resume");
+        let fp = job_fp(store.num_blocks(), 3);
+        let ck = CheckpointStore::open(&root, "wordcount", &fp).unwrap();
+        let interrupting = ClusterConfig::new(2)
+            .with_fault(crate::fault::FaultPlan::new(0).with_interrupt_after(3));
+        let err = run_job_durable(
+            &interrupting,
+            &store,
+            &CountMapper,
+            &SumReducer,
+            &hash_partitioner,
+            3,
+            &Obs::null(),
+            &ck,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, JobError::Interrupted { completed, .. } if completed >= 3),
+            "unexpected error: {err}"
+        );
+
+        let ck = CheckpointStore::open(&root, "wordcount", &fp).unwrap();
+        assert_eq!(
+            ck.resume_state(),
+            &crate::checkpoint::ResumeState::Resumable
+        );
+        let resumed = run_job_durable(
+            &ClusterConfig::new(2),
+            &store,
+            &CountMapper,
+            &SumReducer,
+            &hash_partitioner,
+            3,
+            &Obs::null(),
+            &ck,
+        )
+        .unwrap();
+        assert_eq!(resumed.outcome, JobOutcome::Complete);
+        assert!(
+            resumed.metrics.checkpoint_skips >= 3,
+            "completed tasks were re-executed: {} skips",
+            resumed.metrics.checkpoint_skips
+        );
+        assert_eq!(resumed.outputs, clean.outputs, "resume changed the output");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// Emits like [`CountMapper`] but always panics on item 13 — a
+    /// permanent fault until "fixed" by swapping the mapper.
+    struct BrokenOnThirteen;
+    impl Mapper for BrokenOnThirteen {
+        type In = u32;
+        type K = u32;
+        type V = u64;
+        fn map(&self, item: &u32, emit: &mut dyn FnMut(u32, u64)) {
+            if *item == 13 {
+                panic!("permanently broken");
+            }
+            emit(*item, 1);
+        }
+    }
+
+    #[test]
+    fn exhausted_task_diverts_to_dlq_and_redrive_converges() {
+        let items = vec![13u32, 1, 2, 3];
+        let store = BlockStore::from_items(items, 1, 1);
+        let clean = run_job(
+            &ClusterConfig::new(1),
+            &store,
+            &CountMapper,
+            &SumReducer,
+            &hash_partitioner,
+            2,
+        )
+        .unwrap();
+
+        let root = ckpt_root("dlq");
+        let fp = job_fp(store.num_blocks(), 2);
+        let cluster = ClusterConfig::new(1)
+            .with_retries(1)
+            .with_host_threads(1)
+            .with_backoff_ms(0)
+            .with_fault(crate::fault::FaultPlan::new(7));
+        let ck = CheckpointStore::open(&root, "dlq-job", &fp).unwrap();
+        let partial = run_job_durable(
+            &cluster,
+            &store,
+            &BrokenOnThirteen,
+            &SumReducer,
+            &hash_partitioner,
+            2,
+            &Obs::null(),
+            &ck,
+        )
+        .unwrap();
+        assert_eq!(partial.outcome, JobOutcome::PartialWithDlq { diverted: 1 });
+        assert_eq!(partial.metrics.dlq_diverted, 1);
+        let dead = ck.dlq_snapshot();
+        assert_eq!(dead.len(), 1);
+        assert_eq!((dead[0].stage.as_str(), dead[0].task), ("map", 0));
+        assert_eq!(dead[0].attempts, 2);
+        assert_eq!(dead[0].errors.len(), 2);
+        assert_eq!(dead[0].fault_seed, Some(7));
+        let mut partial_counts = partial.outputs.clone();
+        partial_counts.sort();
+        assert_eq!(partial_counts, vec![(1, 1), (2, 1), (3, 1)]);
+
+        // A re-run *without* redrive keeps the task parked: same
+        // partial result, no re-execution of the dead task.
+        let ck = CheckpointStore::open(&root, "dlq-job", &fp).unwrap();
+        let still_partial = run_job_durable(
+            &cluster,
+            &store,
+            &BrokenOnThirteen,
+            &SumReducer,
+            &hash_partitioner,
+            2,
+            &Obs::null(),
+            &ck,
+        )
+        .unwrap();
+        assert_eq!(
+            still_partial.outcome,
+            JobOutcome::PartialWithDlq { diverted: 1 }
+        );
+        assert_eq!(still_partial.metrics.dlq_diverted, 0, "dead task re-ran");
+
+        // Redrive with the fault cleared (fixed mapper): the dead task
+        // re-executes, its entry resolves, and the output converges to
+        // the fault-free run.
+        assert_eq!(
+            crate::checkpoint::mark_redrive(&root, "dlq-job").unwrap(),
+            1
+        );
+        let ck = CheckpointStore::open(&root, "dlq-job", &fp).unwrap();
+        let redriven = run_job_durable(
+            &ClusterConfig::new(1),
+            &store,
+            &CountMapper,
+            &SumReducer,
+            &hash_partitioner,
+            2,
+            &Obs::null(),
+            &ck,
+        )
+        .unwrap();
+        assert_eq!(redriven.outcome, JobOutcome::Complete);
+        assert_eq!(redriven.metrics.dlq_redriven, 1);
+        assert!(redriven.metrics.checkpoint_skips >= 3);
+        assert_eq!(redriven.outputs, clean.outputs);
+        assert!(ck.dlq_snapshot().is_empty(), "resolved entry survived");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn interrupt_without_checkpoint_is_a_typed_error() {
+        let store = BlockStore::from_items((0..8u32).collect(), 1, 1);
+        let cluster = ClusterConfig::new(1)
+            .with_host_threads(1)
+            .with_fault(crate::fault::FaultPlan::new(0).with_interrupt_after(2));
+        let err = run_job(
+            &cluster,
+            &store,
+            &CountMapper,
+            &SumReducer,
+            &hash_partitioner,
+            2,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            JobError::Interrupted {
+                stage: "map",
+                completed: 2
+            }
+        );
     }
 
     #[test]

@@ -69,18 +69,25 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod blockstore;
+pub mod checkpoint;
 pub mod cluster;
+pub mod dlq;
 pub mod fault;
 pub mod job;
 pub mod metrics;
 pub mod size;
 
 pub use blockstore::{BlockReadError, BlockStore};
+pub use checkpoint::{
+    CheckpointError, CheckpointStore, DurabilityStats, Durable, JobFingerprint, ResumeState,
+};
 pub use cluster::ClusterConfig;
+pub use dlq::{DeadLetterQueue, DlqEntry};
 pub use fault::{FaultPlan, TaskFault};
 pub use job::{
-    run_job, run_job_obs, run_job_with_combiner, run_job_with_combiner_obs, Combiner, JobError,
-    JobOutput, Mapper, Partitioner, Reducer, SumCombiner,
+    run_job, run_job_durable, run_job_obs, run_job_with_combiner, run_job_with_combiner_durable,
+    run_job_with_combiner_obs, Combiner, JobError, JobOutcome, JobOutput, Mapper, Partitioner,
+    Reducer, SumCombiner,
 };
 pub use metrics::{makespan, JobMetrics};
 pub use size::EstimateSize;

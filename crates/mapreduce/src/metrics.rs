@@ -123,6 +123,14 @@ pub struct JobMetrics {
     pub block_read_errors: u64,
     /// Total time spent sleeping in retry backoff across all attempts.
     pub backoff_total: Duration,
+    /// Task-completion records persisted to the checkpoint store.
+    pub checkpoint_writes: u64,
+    /// Tasks restored from the checkpoint store and skipped on resume.
+    pub checkpoint_skips: u64,
+    /// Tasks diverted to the dead-letter queue after exhausting retries.
+    pub dlq_diverted: u64,
+    /// Dead-letter entries re-driven through the scheduler and resolved.
+    pub dlq_redriven: u64,
 }
 
 impl JobMetrics {
